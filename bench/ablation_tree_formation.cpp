@@ -1,0 +1,96 @@
+// ABL-TREE — ablation for Section IV-A / Figure 2(c): hop-count trees
+// versus VMAT's timestamp trees under the wormhole/forged-hop attack.
+//
+// The wormhole adversary relays the tree-formation frame with a forged hop
+// count in slot 1. In hop-count mode every honest sensor that levels
+// through the poisoned frames ends with a level > L and cannot participate
+// in aggregation; in timestamp mode the same frames merely assign
+// (valid) early levels. We report the fraction of honest sensors left
+// without a valid level.
+#include <cstdio>
+#include <memory>
+
+#include "attack/strategies.h"
+#include "core/tree_formation.h"
+#include "util/stats.h"
+
+namespace {
+
+vmat::NetworkConfig bench_keys(std::uint64_t seed) {
+  vmat::NetworkConfig cfg;
+  cfg.keys.pool_size = 400;
+  cfg.keys.ring_size = 120;
+  cfg.keys.seed = seed;
+  return cfg;
+}
+
+double invalid_fraction(vmat::TreeMode mode, const vmat::Topology& topo,
+                        const std::unordered_set<vmat::NodeId>& malicious,
+                        std::int32_t forged_hops, std::uint64_t seed) {
+  vmat::Network net(topo, bench_keys(seed));
+  vmat::Adversary adv(&net, malicious,
+                      std::make_unique<vmat::WormholeStrategy>(forged_hops));
+  vmat::TreeFormationParams params;
+  params.mode = mode;
+  params.depth_bound = topo.depth();
+  params.session = seed;
+  const auto tree = run_tree_formation(net, &adv, params);
+  std::uint32_t honest = 0, invalid = 0;
+  for (std::uint32_t id = 1; id < topo.node_count(); ++id) {
+    if (malicious.contains(vmat::NodeId{id})) continue;
+    ++honest;
+    if (!tree.has_valid_level(vmat::NodeId{id})) ++invalid;
+  }
+  return honest == 0 ? 0.0 : static_cast<double>(invalid) / honest;
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "ABL-TREE | Section IV-A: fraction of honest sensors with NO valid "
+      "level under the wormhole attack\n(hop-count baseline vs VMAT "
+      "timestamp levels)\n\n");
+
+  vmat::TablePrinter table({"topology", "f", "forged hops",
+                            "hop-count: invalid frac",
+                            "timestamp: invalid frac"});
+
+  struct Case {
+    const char* name;
+    vmat::Topology topo;
+  };
+  const Case cases[] = {
+      {"line n=32", vmat::Topology::line(32)},
+      {"grid 8x8", vmat::Topology::grid(8, 8)},
+      {"geometric n=100", vmat::Topology::random_geometric(100, 0.2, 5)},
+  };
+
+  for (const auto& c : cases) {
+    for (const std::uint32_t f : {1u, 3u}) {
+      for (const std::int32_t hops : {10, 100}) {
+        // The wormhole measurement does not need the honest subgraph to
+        // stay connected (no vetoes flow here), so malicious nodes are
+        // simply spread across the id range.
+        std::unordered_set<vmat::NodeId> malicious;
+        for (std::uint32_t i = 1; i <= f; ++i)
+          malicious.insert(
+              vmat::NodeId{i * c.topo.node_count() / (f + 1)});
+        const double hop_frac = invalid_fraction(
+            vmat::TreeMode::kHopCount, c.topo, malicious, hops, 3);
+        const double ts_frac = invalid_fraction(
+            vmat::TreeMode::kTimestamp, c.topo, malicious, hops, 3);
+        table.add_row({c.name, std::to_string(f), std::to_string(hops),
+                       vmat::TablePrinter::fmt(hop_frac, 3),
+                       vmat::TablePrinter::fmt(ts_frac, 3)});
+      }
+    }
+  }
+  table.print();
+
+  std::printf(
+      "\nShape checks vs paper: hop-count trees lose a large fraction of "
+      "honest sensors to poisoned levels;\ntimestamp trees never lose any "
+      "(right column identically 0).\n");
+  return 0;
+}

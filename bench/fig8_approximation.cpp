@@ -1,0 +1,141 @@
+// FIG8 — reproduces Figure 8: "Approximation quality for predicate count",
+// i.e. the relative error of estimating a COUNT query via m = 100
+// exponential-synopsis MIN instances (Section VIII / IX).
+//
+// For each true predicate count c and each of 200 trials, we form the 100
+// per-instance minima and run the paper's estimator 1/((Σ a_i^min)/m). We
+// report the average relative error and the 90/95/99th percentiles across
+// trials — the series Figure 8 plots.
+//
+// Two modes:
+//  * statistical (all counts): the minimum of c i.i.d. Exp(1) variables is
+//    distributed Exp(mean 1/c), so each a_i^min is drawn directly — this
+//    is an exact sampling shortcut, not an approximation.
+//  * crypto-faithful (spot check): the minima are computed through the
+//    actual PRF-based SynopsisCodec over c sensors, verifying the shortcut.
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "core/synopsis.h"
+#include "util/random.h"
+#include "util/stats.h"
+
+namespace {
+
+constexpr std::uint32_t kInstances = 100;
+constexpr int kTrials = 200;
+
+std::vector<double> errors_statistical(std::int64_t count, vmat::Rng& rng) {
+  std::vector<double> errors;
+  errors.reserve(kTrials);
+  std::vector<vmat::Reading> minima(kInstances);
+  for (int trial = 0; trial < kTrials; ++trial) {
+    for (auto& m : minima)
+      m = vmat::SynopsisCodec::encode_value(
+          rng.exponential(1.0 / static_cast<double>(count)));
+    const double est = vmat::estimate_sum(minima);
+    errors.push_back(std::abs(est - static_cast<double>(count)) /
+                     static_cast<double>(count));
+  }
+  return errors;
+}
+
+std::vector<double> errors_crypto(std::int64_t count, vmat::Rng& rng,
+                                  int trials) {
+  std::vector<double> errors;
+  errors.reserve(static_cast<std::size_t>(trials));
+  std::vector<vmat::Reading> minima(kInstances);
+  for (int trial = 0; trial < trials; ++trial) {
+    const vmat::SynopsisCodec codec(rng());
+    std::fill(minima.begin(), minima.end(), vmat::kInfinity);
+    for (std::int64_t x = 1; x <= count; ++x)
+      for (std::uint32_t i = 0; i < kInstances; ++i)
+        minima[i] = std::min(
+            minima[i],
+            codec.value_for(vmat::NodeId{static_cast<std::uint32_t>(x)}, i, 1));
+    const double est = vmat::estimate_sum(minima);
+    errors.push_back(std::abs(est - static_cast<double>(count)) /
+                     static_cast<double>(count));
+  }
+  return errors;
+}
+
+void print_series(const char* label, const std::int64_t* counts,
+                  std::size_t count_n,
+                  const std::vector<std::vector<double>>& errors) {
+  vmat::TablePrinter table(
+      {"true count", "avg rel err", "p90", "p95", "p99", "max"});
+  for (std::size_t i = 0; i < count_n; ++i) {
+    table.add_row({std::to_string(counts[i]),
+                   vmat::TablePrinter::fmt(vmat::mean(errors[i]), 4),
+                   vmat::TablePrinter::fmt(vmat::percentile(errors[i], 90), 4),
+                   vmat::TablePrinter::fmt(vmat::percentile(errors[i], 95), 4),
+                   vmat::TablePrinter::fmt(vmat::percentile(errors[i], 99), 4),
+                   vmat::TablePrinter::fmt(vmat::percentile(errors[i], 100), 4)});
+  }
+  std::printf("%s\n", label);
+  table.print();
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "FIG8 | Figure 8: COUNT approximation error with m=%u synopses, "
+      "%d trials per point\n\n",
+      kInstances, kTrials);
+
+  vmat::Rng rng(0xf18);
+  {
+    const std::int64_t counts[] = {10, 20, 50, 100, 200, 500, 1000, 2000,
+                                   5000, 10000};
+    std::vector<std::vector<double>> errors;
+    for (std::int64_t c : counts) errors.push_back(errors_statistical(c, rng));
+    print_series("statistical mode (exact Exp(1/c) minima):", counts,
+                 std::size(counts), errors);
+  }
+  {
+    const std::int64_t counts[] = {10, 100, 500};
+    std::vector<std::vector<double>> errors;
+    for (std::int64_t c : counts)
+      errors.push_back(errors_crypto(c, rng, /*trials=*/40));
+    print_series(
+        "crypto-faithful spot check (PRF synopses, 40 trials):", counts,
+        std::size(counts), errors);
+  }
+
+  {
+    // m-sweep (ablation on the synopsis count): error ~ 1/sqrt(m), the
+    // Θ(ε⁻² log δ⁻¹) sizing rule of Section VIII.
+    vmat::TablePrinter table({"m synopses", "avg rel err", "p95",
+                              "err x sqrt(m)"});
+    for (const std::uint32_t m : {25u, 50u, 100u, 200u, 400u}) {
+      std::vector<double> errors;
+      std::vector<vmat::Reading> minima(m);
+      constexpr std::int64_t kCount = 1000;
+      for (int trial = 0; trial < kTrials; ++trial) {
+        for (auto& v : minima)
+          v = vmat::SynopsisCodec::encode_value(
+              rng.exponential(1.0 / static_cast<double>(kCount)));
+        errors.push_back(std::abs(vmat::estimate_sum(minima) - kCount) /
+                         static_cast<double>(kCount));
+      }
+      const double avg = vmat::mean(errors);
+      table.add_row({std::to_string(m), vmat::TablePrinter::fmt(avg, 4),
+                     vmat::TablePrinter::fmt(vmat::percentile(errors, 95), 4),
+                     vmat::TablePrinter::fmt(avg * std::sqrt(double(m)), 3)});
+    }
+    std::printf("m-sweep at true count 1000 (err x sqrt(m) ~ constant):\n");
+    table.print();
+    std::printf("\n");
+  }
+
+  std::printf(
+      "Shape checks vs paper: average relative error < 10%% at every count "
+      "with 100 synopses;\ncommunication = 100 synopses x 32 B = 3.2 KB "
+      "(paper: 100 x 24 B = 2.4 KB).\n");
+  return 0;
+}

@@ -1,0 +1,107 @@
+// MICRO — google-benchmark microbenchmarks for the crypto substrate and
+// the per-step protocol primitives (infrastructure, not a paper figure).
+#include <benchmark/benchmark.h>
+
+#include "core/audit.h"
+#include "core/synopsis.h"
+#include "crypto/hash_chain.h"
+#include "crypto/hmac.h"
+#include "crypto/mac.h"
+#include "crypto/prf.h"
+#include "crypto/sha256.h"
+#include "keys/key_ring.h"
+
+namespace {
+
+using namespace vmat;
+
+void BM_Sha256(benchmark::State& state) {
+  const Bytes data(static_cast<std::size_t>(state.range(0)), 0xab);
+  for (auto _ : state) benchmark::DoNotOptimize(Sha256::hash(data));
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Sha256)->Arg(64)->Arg(1024)->Arg(16384);
+
+void BM_HmacSha256(benchmark::State& state) {
+  const Bytes key(16, 0x11);
+  const Bytes msg(static_cast<std::size_t>(state.range(0)), 0x22);
+  for (auto _ : state) benchmark::DoNotOptimize(hmac_sha256(key, msg));
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_HmacSha256)->Arg(32)->Arg(256);
+
+void BM_MacComputeVerify(benchmark::State& state) {
+  const SymmetricKey key = derive_key("bench", 1, 2);
+  const Bytes msg(48, 0x33);
+  const Mac tag = compute_mac(key, msg);
+  for (auto _ : state) benchmark::DoNotOptimize(verify_mac(key, msg, tag));
+}
+BENCHMARK(BM_MacComputeVerify);
+
+void BM_PrfExponential(benchmark::State& state) {
+  const SymmetricKey key = derive_key("bench", 3, 4);
+  std::uint32_t i = 0;
+  for (auto _ : state)
+    benchmark::DoNotOptimize(prf_exponential(key, 7, 9, ++i, 5));
+}
+BENCHMARK(BM_PrfExponential);
+
+void BM_SynopsisValue(benchmark::State& state) {
+  const SynopsisCodec codec(99);
+  std::uint32_t i = 0;
+  for (auto _ : state)
+    benchmark::DoNotOptimize(codec.value_for(NodeId{42}, ++i, 17));
+}
+BENCHMARK(BM_SynopsisValue);
+
+void BM_HashChainVerify(benchmark::State& state) {
+  const HashChain chain(1, 128);
+  const auto distance = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state)
+    benchmark::DoNotOptimize(
+        HashChain::verify(chain.element(distance), distance, chain.anchor(), 0));
+}
+BENCHMARK(BM_HashChainVerify)->Arg(1)->Arg(32)->Arg(127);
+
+void BM_RingOverlap(benchmark::State& state) {
+  const KeyRing a(1, 250, 100000);
+  const KeyRing b(2, 250, 100000);
+  for (auto _ : state) benchmark::DoNotOptimize(a.overlap(b));
+}
+BENCHMARK(BM_RingOverlap);
+
+void BM_RingSample(benchmark::State& state) {
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    const KeyRing ring(++seed, 250, 100000);
+    benchmark::DoNotOptimize(ring.size());
+  }
+}
+BENCHMARK(BM_RingSample);
+
+void BM_EvaluatePredicate(benchmark::State& state) {
+  NodeAudit audit;
+  audit.agg.level = 3;
+  for (int i = 0; i < 8; ++i) {
+    ForwardRecord f;
+    f.msg.origin = NodeId{static_cast<std::uint32_t>(i)};
+    f.msg.value = 100 + i;
+    f.out_edge = KeyIndex{static_cast<std::uint32_t>(40 + i)};
+    audit.agg.forwarded.push_back(f);
+  }
+  Predicate p;
+  p.kind = PredicateKind::kAggForwardedValue;
+  p.v_max = 104;
+  p.level = 3;
+  p.id_lo = NodeId{0};
+  p.id_hi = NodeId{100};
+  p.z_lo = KeyIndex{0};
+  p.z_hi = KeyIndex{60};
+  for (auto _ : state)
+    benchmark::DoNotOptimize(evaluate_predicate(p, NodeId{5}, audit));
+}
+BENCHMARK(BM_EvaluatePredicate);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,182 @@
+// vmatsim — command-line driver for ad-hoc VMAT experiments.
+//
+//   vmatsim [--nodes N] [--topology grid|geometric|line]
+//           [--attack none|silent|drop|junk|choke|selfveto|wormhole|random|garbage]
+//           [--f K] [--theta T] [--query min|count] [--instances M]
+//           [--seed S] [--executions E] [--multipath] [--sparse-keys]
+//
+// Runs E query executions against the configured adversary and reports
+// each outcome plus the final revocation state.
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include "attack/composite.h"
+#include "vmat.h"
+
+namespace {
+
+struct Options {
+  std::uint32_t nodes = 100;
+  std::string topology = "geometric";
+  std::string attack = "silent";
+  std::uint32_t f = 2;
+  std::uint32_t theta = 0;
+  std::string query = "min";
+  std::uint32_t instances = 50;
+  std::uint64_t seed = 1;
+  int executions = 25;
+  bool multipath = false;
+  bool sparse_keys = false;
+};
+
+[[noreturn]] void usage(const char* argv0) {
+  std::printf(
+      "usage: %s [--nodes N] [--topology grid|geometric|line]\n"
+      "          [--attack none|silent|drop|junk|choke|selfveto|wormhole|"
+      "random|garbage]\n"
+      "          [--f K] [--theta T] [--query min|count] [--instances M]\n"
+      "          [--seed S] [--executions E] [--multipath] [--sparse-keys]\n",
+      argv0);
+  std::exit(2);
+}
+
+Options parse(int argc, char** argv) {
+  Options o;
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    auto value = [&]() -> std::string {
+      if (i + 1 >= argc) usage(argv[0]);
+      return argv[++i];
+    };
+    if (flag == "--nodes") o.nodes = static_cast<std::uint32_t>(std::stoul(value()));
+    else if (flag == "--topology") o.topology = value();
+    else if (flag == "--attack") o.attack = value();
+    else if (flag == "--f") o.f = static_cast<std::uint32_t>(std::stoul(value()));
+    else if (flag == "--theta") o.theta = static_cast<std::uint32_t>(std::stoul(value()));
+    else if (flag == "--query") o.query = value();
+    else if (flag == "--instances") o.instances = static_cast<std::uint32_t>(std::stoul(value()));
+    else if (flag == "--seed") o.seed = std::stoull(value());
+    else if (flag == "--executions") o.executions = std::stoi(value());
+    else if (flag == "--multipath") o.multipath = true;
+    else if (flag == "--sparse-keys") o.sparse_keys = true;
+    else usage(argv[0]);
+  }
+  return o;
+}
+
+vmat::Topology make_topology(const Options& o) {
+  if (o.topology == "grid") {
+    const auto side = static_cast<std::uint32_t>(std::sqrt(o.nodes));
+    return vmat::Topology::grid(side, side);
+  }
+  if (o.topology == "line") return vmat::Topology::line(o.nodes);
+  const double radius = 1.8 / std::sqrt(static_cast<double>(o.nodes));
+  return vmat::Topology::random_geometric(o.nodes, radius, o.seed);
+}
+
+std::unique_ptr<vmat::AdversaryStrategy> make_strategy(const Options& o) {
+  using namespace vmat;
+  if (o.attack == "none") return std::make_unique<NullStrategy>();
+  if (o.attack == "silent")
+    return std::make_unique<SilentDropStrategy>(LiePolicy::kDenyAll);
+  if (o.attack == "drop")
+    return std::make_unique<ValueDropStrategy>(LiePolicy::kRandom);
+  if (o.attack == "junk")
+    return std::make_unique<JunkInjectStrategy>(LiePolicy::kDenyAll);
+  if (o.attack == "choke")
+    return std::make_unique<ChokeVetoStrategy>(LiePolicy::kDenyAll);
+  if (o.attack == "selfveto")
+    return std::make_unique<SelfVetoStrategy>(1, LiePolicy::kDenyAll);
+  if (o.attack == "wormhole")
+    return std::make_unique<WormholeStrategy>(100, LiePolicy::kDenyAll);
+  if (o.attack == "random")
+    return std::make_unique<RandomByzantineStrategy>(o.seed);
+  if (o.attack == "garbage") return std::make_unique<GarbageStrategy>(o.seed);
+  std::fprintf(stderr, "unknown attack: %s\n", o.attack.c_str());
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options o = parse(argc, argv);
+
+  const auto topology = make_topology(o);
+  vmat::NetworkConfig netcfg;
+  if (o.sparse_keys) {
+    netcfg.keys.pool_size = 5000;
+    netcfg.keys.ring_size = 50;
+  } else {
+    netcfg.keys.pool_size = 1000;
+    netcfg.keys.ring_size = 180;
+  }
+  netcfg.keys.seed = o.seed;
+  netcfg.revocation_threshold = o.theta;
+  vmat::Network net(topology, netcfg);
+  if (o.sparse_keys) {
+    const auto established = net.establish_path_keys();
+    std::printf("path keys established: %zu\n", established);
+  }
+
+  std::unordered_set<vmat::NodeId> malicious;
+  if (o.attack != "none" && o.f > 0)
+    malicious = vmat::choose_malicious(topology, o.f, o.seed + 17);
+  vmat::Adversary adversary(&net, malicious, make_strategy(o));
+
+  vmat::VmatConfig cfg;
+  cfg.depth_bound = topology.depth(malicious);
+  cfg.multipath = o.multipath;
+  cfg.instances = o.query == "count" ? o.instances : 1;
+  cfg.seed = o.seed;
+  vmat::VmatCoordinator coordinator(&net, &adversary, cfg);
+
+  std::printf("vmatsim: attack=%s f=%zu theta=%u query=%s L=%d\n%s\n",
+              o.attack.c_str(), malicious.size(), o.theta, o.query.c_str(),
+              coordinator.effective_depth_bound(),
+              vmat::describe_deployment(net).c_str());
+
+  std::vector<vmat::Reading> readings(net.node_count());
+  for (std::uint32_t id = 0; id < net.node_count(); ++id)
+    readings[id] = 1000 + static_cast<vmat::Reading>((id * 131) % 777);
+  std::vector<std::uint8_t> predicate(net.node_count(), 0);
+  for (std::uint32_t id = 1; id < net.node_count(); id += 2) predicate[id] = 1;
+
+  vmat::QueryEngine queries(&coordinator);
+  int answered = 0, disrupted = 0;
+  for (int e = 1; e <= o.executions; ++e) {
+    if (o.query == "count") {
+      const auto out = queries.count(predicate);
+      if (out.answered()) {
+        ++answered;
+        std::printf("exec %3d: COUNT ~= %.1f\n", e, *out.estimate);
+      } else {
+        ++disrupted;
+        std::printf("exec %3d: disrupted (%s) -> revoked %zu keys, %zu "
+                    "sensors [%s]\n",
+                    e, vmat::to_string(out.exec.trigger),
+                    out.exec.revoked_keys.size(),
+                    out.exec.revoked_sensors.size(), out.exec.reason.c_str());
+      }
+    } else {
+      const auto out = coordinator.run_min(readings);
+      if (out.produced_result()) {
+        ++answered;
+        std::printf("exec %3d: MIN = %lld\n", e,
+                    static_cast<long long>(out.minima[0]));
+      } else {
+        ++disrupted;
+        std::printf("exec %3d: disrupted (%s) -> revoked %zu keys, %zu "
+                    "sensors [%s]\n",
+                    e, vmat::to_string(out.trigger), out.revoked_keys.size(),
+                    out.revoked_sensors.size(), out.reason.c_str());
+      }
+    }
+  }
+
+  std::printf("\nsummary: %d answered, %d disrupted\n%s", answered,
+              disrupted, vmat::describe_revocations(net).c_str());
+  return 0;
+}

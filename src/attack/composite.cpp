@@ -1,0 +1,75 @@
+#include "attack/composite.h"
+
+namespace vmat {
+
+CompositeStrategy::CompositeStrategy(
+    std::unique_ptr<AdversaryStrategy> tree,
+    std::unique_ptr<AdversaryStrategy> aggregation,
+    std::unique_ptr<AdversaryStrategy> confirmation,
+    std::unique_ptr<AdversaryStrategy> predicates)
+    : tree_(std::move(tree)),
+      aggregation_(std::move(aggregation)),
+      confirmation_(std::move(confirmation)),
+      predicates_(std::move(predicates)) {}
+
+void CompositeStrategy::on_tree_slot(AdversaryView& view, const TreeCtx& ctx) {
+  if (tree_ != nullptr) tree_->on_tree_slot(view, ctx);
+}
+
+void CompositeStrategy::on_agg_slot(AdversaryView& view, const AggCtx& ctx) {
+  if (aggregation_ != nullptr) aggregation_->on_agg_slot(view, ctx);
+}
+
+void CompositeStrategy::on_conf_slot(AdversaryView& view, const ConfCtx& ctx) {
+  if (confirmation_ != nullptr) confirmation_->on_conf_slot(view, ctx);
+}
+
+bool CompositeStrategy::answer_predicate(AdversaryView& view,
+                                         const Predicate& predicate,
+                                         NodeId holder) {
+  if (predicates_ == nullptr) return false;
+  return predicates_->answer_predicate(view, predicate, holder);
+}
+
+GarbageStrategy::GarbageStrategy(std::uint64_t seed, int blobs_per_slot)
+    : rng_(seed), blobs_per_slot_(blobs_per_slot) {}
+
+void GarbageStrategy::spray(AdversaryView& view) {
+  for (NodeId m : view.malicious()) {
+    for (int i = 0; i < blobs_per_slot_; ++i) {
+      // Random type tag (possibly valid) followed by random bytes: every
+      // decoder sees every kind of malformed frame.
+      Bytes blob;
+      const auto len = static_cast<std::size_t>(rng_.between(0, 40));
+      blob.reserve(len + 1);
+      blob.push_back(static_cast<std::uint8_t>(rng_.between(0, 6)));
+      for (std::size_t b = 0; b < len; ++b)
+        blob.push_back(static_cast<std::uint8_t>(rng_.below(256)));
+      for (NodeId v : view.net().topology().neighbors(m)) {
+        if (view.is_malicious(v)) continue;
+        const auto key = view.attack_key_for(v);
+        if (key.has_value() && rng_.bernoulli(0.5))
+          (void)view.inject(m, v, m, *key, blob);
+      }
+    }
+  }
+}
+
+void GarbageStrategy::on_tree_slot(AdversaryView& view, const TreeCtx&) {
+  spray(view);
+}
+
+void GarbageStrategy::on_agg_slot(AdversaryView& view, const AggCtx&) {
+  spray(view);
+}
+
+void GarbageStrategy::on_conf_slot(AdversaryView& view, const ConfCtx&) {
+  spray(view);
+}
+
+bool GarbageStrategy::answer_predicate(AdversaryView&, const Predicate&,
+                                       NodeId) {
+  return rng_.bernoulli(0.3);
+}
+
+}  // namespace vmat

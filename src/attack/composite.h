@@ -1,0 +1,64 @@
+// Composite and fuzzing adversaries.
+//
+// CompositeStrategy glues independently chosen sub-strategies per protocol
+// phase, so tests can combine e.g. wormhole tree formation with value
+// dropping and admit-all predicate answers — adaptive multi-front attacks.
+//
+// GarbageStrategy is the protocol fuzzer: in every slot of every phase each
+// malicious node sprays random byte blobs (valid edge MACs over garbage, or
+// corrupted copies of real messages) at its neighbors. Nothing it emits is
+// well-formed, so the guarantee under test is pure robustness: honest
+// decoders drop the noise and the execution behaves as if the adversary
+// were silent.
+#pragma once
+
+#include <memory>
+
+#include "attack/adversary.h"
+#include "util/random.h"
+
+namespace vmat {
+
+class CompositeStrategy final : public AdversaryStrategy {
+ public:
+  /// Any sub-strategy may be null (that phase stays silent). Predicate
+  /// answers delegate to `predicates` (null = deny all).
+  CompositeStrategy(std::unique_ptr<AdversaryStrategy> tree,
+                    std::unique_ptr<AdversaryStrategy> aggregation,
+                    std::unique_ptr<AdversaryStrategy> confirmation,
+                    std::unique_ptr<AdversaryStrategy> predicates);
+
+  void on_tree_slot(AdversaryView& view, const TreeCtx& ctx) override;
+  void on_agg_slot(AdversaryView& view, const AggCtx& ctx) override;
+  void on_conf_slot(AdversaryView& view, const ConfCtx& ctx) override;
+  [[nodiscard]] bool answer_predicate(AdversaryView& view,
+                                      const Predicate& predicate,
+                                      NodeId holder) override;
+
+ private:
+  std::unique_ptr<AdversaryStrategy> tree_;
+  std::unique_ptr<AdversaryStrategy> aggregation_;
+  std::unique_ptr<AdversaryStrategy> confirmation_;
+  std::unique_ptr<AdversaryStrategy> predicates_;
+};
+
+class GarbageStrategy final : public AdversaryStrategy {
+ public:
+  /// `blobs_per_slot` frames per malicious node per slot.
+  GarbageStrategy(std::uint64_t seed, int blobs_per_slot = 2);
+
+  void on_tree_slot(AdversaryView& view, const TreeCtx& ctx) override;
+  void on_agg_slot(AdversaryView& view, const AggCtx& ctx) override;
+  void on_conf_slot(AdversaryView& view, const ConfCtx& ctx) override;
+  [[nodiscard]] bool answer_predicate(AdversaryView& view,
+                                      const Predicate& predicate,
+                                      NodeId holder) override;
+
+ private:
+  void spray(AdversaryView& view);
+
+  Rng rng_;
+  int blobs_per_slot_;
+};
+
+}  // namespace vmat

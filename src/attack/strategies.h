@@ -1,0 +1,180 @@
+// Concrete adversary strategies — the attack zoo used by tests, benches,
+// and examples. Each models an attack family the paper discusses:
+//
+//   NullStrategy        dormant (passthrough) — the no-attack control.
+//   SilentDropStrategy  malicious sensors transmit nothing at all, so every
+//                       value routed through them is silently dropped
+//                       (Section IV-B dropping attack).
+//   ValueDropStrategy   participates but forwards the *largest* collected
+//                       value instead of the smallest — the stealthy form
+//                       of the dropping attack.
+//   JunkInjectStrategy  injects spurious minima (invalid sensor MACs, tiny
+//                       values, framed origins) during aggregation
+//                       (Figure 1 step 4).
+//   ChokeVetoStrategy   drops during aggregation, then floods spurious
+//                       vetoes in SOF slot 1 to beat legitimate vetoes to
+//                       every one-time forwarder — the choking attack of
+//                       Section IV-C.
+//   SelfVetoStrategy    hides its own small reading during aggregation and
+//                       then vetoes it with a *valid* MAC (the "legitimate
+//                       veto from a malicious sensor" case of Theorem 2).
+//   WormholeStrategy    during tree formation, injects tree frames with
+//                       forged hop counts through a wormhole (Figure 2(c));
+//                       breaks hop-count trees, is harmless against VMAT's
+//                       timestamp trees.
+//   RandomByzantineStrategy  seeded random mixture of all of the above with
+//                       random predicate-test answers — the fuzzing
+//                       adversary for the Theorem 7 property tests.
+//
+// All strategies take a LiePolicy governing how malicious key holders
+// answer keyed predicate tests: deny everything, admit everything, answer
+// randomly, or answer honestly from the node's real records.
+#pragma once
+
+#include <memory>
+
+#include "attack/adversary.h"
+#include "util/random.h"
+
+namespace vmat {
+
+enum class LiePolicy : std::uint8_t {
+  kDenyAll,   ///< never answer (stonewall the walk as early as possible)
+  kAdmitAll,  ///< always answer yes (drag the walk on, frame if possible)
+  kRandom,    ///< coin-flip per test (inconsistent-binary-search trigger)
+};
+
+/// Base with the shared predicate-answer policy. By default malicious
+/// sensors *participate honestly in tree formation* (the profitable play:
+/// attract children first, misbehave later); strategies that attack the
+/// tree itself override on_tree_slot.
+class PolicyStrategy : public AdversaryStrategy {
+ public:
+  explicit PolicyStrategy(LiePolicy policy, std::uint64_t seed = 7);
+
+  void on_tree_slot(AdversaryView& view, const TreeCtx& ctx) override;
+
+  [[nodiscard]] bool answer_predicate(AdversaryView& view,
+                                      const Predicate& predicate,
+                                      NodeId holder) override;
+
+ private:
+  LiePolicy policy_;
+  Rng rng_;
+};
+
+/// Honest tree-formation behaviour for malicious sensors: rebroadcast the
+/// flood in the slot after first receipt, exactly like an honest sensor.
+void participate_in_tree_formation(AdversaryView& view, const TreeCtx& ctx);
+
+class NullStrategy final : public AdversaryStrategy {
+ public:
+  [[nodiscard]] bool passthrough() const override { return true; }
+};
+
+class SilentDropStrategy final : public PolicyStrategy {
+ public:
+  explicit SilentDropStrategy(LiePolicy policy = LiePolicy::kDenyAll)
+      : PolicyStrategy(policy) {}
+};
+
+class ValueDropStrategy final : public PolicyStrategy {
+ public:
+  explicit ValueDropStrategy(LiePolicy policy = LiePolicy::kDenyAll)
+      : PolicyStrategy(policy) {}
+
+  void on_agg_slot(AdversaryView& view, const AggCtx& ctx) override;
+};
+
+class JunkInjectStrategy final : public PolicyStrategy {
+ public:
+  explicit JunkInjectStrategy(LiePolicy policy = LiePolicy::kDenyAll,
+                              bool frame_honest_origin = true)
+      : PolicyStrategy(policy), frame_honest_origin_(frame_honest_origin) {}
+
+  void on_agg_slot(AdversaryView& view, const AggCtx& ctx) override;
+
+ private:
+  bool frame_honest_origin_;
+};
+
+class ChokeVetoStrategy final : public PolicyStrategy {
+ public:
+  explicit ChokeVetoStrategy(LiePolicy policy = LiePolicy::kDenyAll)
+      : PolicyStrategy(policy) {}
+
+  void on_conf_slot(AdversaryView& view, const ConfCtx& ctx) override;
+};
+
+class SelfVetoStrategy final : public PolicyStrategy {
+ public:
+  explicit SelfVetoStrategy(Reading hidden_value,
+                            LiePolicy policy = LiePolicy::kDenyAll)
+      : PolicyStrategy(policy), hidden_value_(hidden_value) {}
+
+  void on_conf_slot(AdversaryView& view, const ConfCtx& ctx) override;
+
+ private:
+  Reading hidden_value_;
+};
+
+class WormholeStrategy final : public PolicyStrategy {
+ public:
+  /// `forged_hop_count` is what the injected tree frames claim; a large
+  /// value pushes honest hop-count levels beyond L.
+  explicit WormholeStrategy(std::int32_t forged_hop_count,
+                            LiePolicy policy = LiePolicy::kDenyAll)
+      : PolicyStrategy(policy), forged_hop_count_(forged_hop_count) {}
+
+  void on_tree_slot(AdversaryView& view, const TreeCtx& ctx) override;
+
+ private:
+  std::int32_t forged_hop_count_;
+};
+
+class RandomByzantineStrategy final : public AdversaryStrategy {
+ public:
+  explicit RandomByzantineStrategy(std::uint64_t seed);
+
+  void on_tree_slot(AdversaryView& view, const TreeCtx& ctx) override;
+  void on_agg_slot(AdversaryView& view, const AggCtx& ctx) override;
+  void on_conf_slot(AdversaryView& view, const ConfCtx& ctx) override;
+  [[nodiscard]] bool answer_predicate(AdversaryView& view,
+                                      const Predicate& predicate,
+                                      NodeId holder) override;
+  [[nodiscard]] Reading own_reading(NodeId node, Reading honest) override;
+
+ private:
+  Rng rng_;
+};
+
+// --- shared attack building blocks (also used by tests) ---
+
+/// Forward the per-instance *maximum* (dropping the minimum) from a
+/// malicious node at its scheduled slot, to its recorded parents.
+void forward_max_instead_of_min(AdversaryView& view, const AggCtx& ctx,
+                                NodeId node);
+
+/// Inject one spurious aggregation message (bogus MAC, very small value)
+/// from `node` to all of its physical neighbors it shares a usable key
+/// with. Claims `origin` as the message source.
+void inject_junk_min(AdversaryView& view, const AggCtx& ctx, NodeId node,
+                     NodeId claimed_origin);
+
+/// Flood one spurious veto (bogus MAC) from `node` to all reachable
+/// neighbors — the choking primitive.
+void inject_spurious_veto(AdversaryView& view, const ConfCtx& ctx,
+                          NodeId node, NodeId claimed_origin);
+
+/// Send a *valid* veto for `value` from malicious `node` (its own sensor
+/// key) to all reachable neighbors.
+void inject_valid_self_veto(AdversaryView& view, const ConfCtx& ctx,
+                            NodeId node, Reading value);
+
+/// Pick `count` random non-base-station malicious nodes such that the
+/// remaining honest subgraph stays connected (the paper's standing
+/// assumption). Throws after too many attempts.
+[[nodiscard]] std::unordered_set<NodeId> choose_malicious(
+    const Topology& topology, std::uint32_t count, std::uint64_t seed);
+
+}  // namespace vmat

@@ -1,0 +1,87 @@
+#include "baseline/alarm_only.h"
+
+#include "core/aggregation.h"
+#include "core/confirmation.h"
+#include "core/tree_formation.h"
+#include "util/random.h"
+
+namespace vmat {
+
+AlarmOnlyResult run_alarm_only(Network& net, Adversary* adversary,
+                               const std::vector<Reading>& readings,
+                               Level depth_bound, std::uint64_t seed) {
+  const std::uint32_t n = net.node_count();
+  std::uint64_t nonce_state = seed;
+
+  AlarmOnlyResult result;
+  TreeFormationParams tree_params;
+  tree_params.mode = TreeMode::kTimestamp;
+  tree_params.depth_bound = depth_bound;
+  tree_params.session = splitmix64(nonce_state);
+  const TreeResult tree = run_tree_formation(net, adversary, tree_params);
+  result.flooding_rounds += 2;  // announcement + tree
+
+  std::vector<std::vector<Reading>> values(n);
+  std::vector<std::vector<std::int64_t>> weights(n);
+  for (std::uint32_t id = 0; id < n; ++id) {
+    values[id] = {readings[id]};
+    weights[id] = {0};
+  }
+
+  AggConfig agg_config;
+  agg_config.instances = 1;
+  agg_config.nonce = splitmix64(nonce_state);
+  std::vector<NodeAudit> audits(n);
+  const AggregationOutcome agg =
+      run_aggregation(net, adversary, tree, agg_config, values, weights,
+                      audits);
+  result.flooding_rounds += 2;
+
+  Reading minimum = kInfinity;
+  for (const BsArrival& a : agg.arrivals) {
+    const bool ok =
+        a.msg.origin != kBaseStation && a.msg.origin.value < n &&
+        a.msg.weight == 0 &&
+        verify_agg_message(net.keys().sensor_key(a.msg.origin), a.msg,
+                           agg_config.nonce);
+    if (!ok) {
+      result.alarmed = true;  // spurious minimum: all it can do is alarm
+      return result;
+    }
+    minimum = std::min(minimum, a.msg.value);
+  }
+
+  const std::uint64_t conf_nonce = splitmix64(nonce_state);
+  const ConfirmationOutcome conf = run_confirmation(
+      net, adversary, tree, {minimum}, conf_nonce, values, audits);
+  result.flooding_rounds += 2;
+
+  if (!conf.arrivals.empty()) {
+    result.alarmed = true;  // any veto (even spurious): alarm, no result
+    return result;
+  }
+  result.minimum = minimum;
+  return result;
+}
+
+AlarmOnlyCampaign run_alarm_only_campaign(Network& net, Adversary* adversary,
+                                          const std::vector<Reading>& readings,
+                                          Level depth_bound,
+                                          std::uint64_t seed,
+                                          int max_attempts) {
+  AlarmOnlyCampaign campaign;
+  std::uint64_t state = seed;
+  for (int i = 0; i < max_attempts; ++i) {
+    ++campaign.executions;
+    const AlarmOnlyResult r = run_alarm_only(net, adversary, readings,
+                                             depth_bound, splitmix64(state));
+    if (!r.alarmed) {
+      campaign.minimum = r.minimum;
+      return campaign;
+    }
+  }
+  campaign.stalled = true;
+  return campaign;
+}
+
+}  // namespace vmat

@@ -1,0 +1,40 @@
+// Alarm-only secure aggregation — the SHIA-family baseline ([3], [9],
+// [19]): it detects a corrupted result (here via VMAT's own MIN+veto
+// machinery, which is at least as strong) but has no pinpointing or
+// revocation. On an alarm it can only retry; a persistent malicious sensor
+// therefore stalls it forever, which is exactly the gap VMAT closes
+// (Section I).
+#pragma once
+
+#include <optional>
+
+#include "attack/adversary.h"
+#include "core/phase_state.h"
+#include "sim/network.h"
+
+namespace vmat {
+
+struct AlarmOnlyResult {
+  std::optional<Reading> minimum;  ///< set iff no alarm was raised
+  bool alarmed{false};
+  int flooding_rounds{0};
+};
+
+/// One detect-only execution: tree + aggregation + confirmation; any junk
+/// or veto raises an alarm and discards the result.
+[[nodiscard]] AlarmOnlyResult run_alarm_only(
+    Network& net, Adversary* adversary, const std::vector<Reading>& readings,
+    Level depth_bound, std::uint64_t seed);
+
+/// Retry until a result or `max_attempts` alarms; returns how many
+/// executions were wasted (max_attempts means: stalled forever).
+struct AlarmOnlyCampaign {
+  std::optional<Reading> minimum;
+  int executions{0};
+  bool stalled{false};
+};
+[[nodiscard]] AlarmOnlyCampaign run_alarm_only_campaign(
+    Network& net, Adversary* adversary, const std::vector<Reading>& readings,
+    Level depth_bound, std::uint64_t seed, int max_attempts);
+
+}  // namespace vmat

@@ -1,0 +1,64 @@
+#include "baseline/sampling.h"
+
+#include <cmath>
+
+#include "util/random.h"
+
+namespace vmat {
+
+SamplingResult run_set_sampling_count(
+    const std::vector<std::uint8_t>& predicate, const SamplingConfig& config) {
+  const std::size_t n = predicate.size();
+  SamplingResult result;
+  result.levels = n <= 2 ? 1
+                         : static_cast<std::uint32_t>(
+                               std::ceil(std::log2(static_cast<double>(n))));
+  // Each level is a sequential phase of keyed predicate tests (each test
+  // costs two flooding rounds; tests within a level are batched but levels
+  // are inherently sequential): Ω(log n) flooding rounds total.
+  result.flooding_rounds = static_cast<int>(result.levels) * 2;
+
+  Rng rng(config.seed);
+  // Observed hit fraction per level: test j at level l samples each sensor
+  // independently with probability 2^-l (membership derived from a keyed
+  // hash in the real protocol; an Rng stream here).
+  std::vector<double> hit_fraction(result.levels, 0.0);
+  for (std::uint32_t level = 0; level < result.levels; ++level) {
+    const double p = std::pow(0.5, static_cast<double>(level + 1));
+    std::uint32_t hits = 0;
+    for (std::uint32_t t = 0; t < config.tests_per_level; ++t) {
+      bool any = false;
+      for (std::size_t id = 1; id < n && !any; ++id)
+        any = predicate[id] != 0 && rng.bernoulli(p);
+      if (any) ++hits;
+    }
+    hit_fraction[level] =
+        static_cast<double>(hits) / static_cast<double>(config.tests_per_level);
+  }
+
+  // Maximum-likelihood count over a log-spaced candidate grid:
+  // P(hit at level l | count c) = 1 - (1 - 2^-(l+1))^c.
+  double best_ll = -1e300;
+  double best_c = 0.0;
+  for (double c = 1.0; c <= static_cast<double>(n) * 1.5; c *= 1.05) {
+    double ll = 0.0;
+    for (std::uint32_t level = 0; level < result.levels; ++level) {
+      const double p = std::pow(0.5, static_cast<double>(level + 1));
+      double hit_p = 1.0 - std::pow(1.0 - p, c);
+      hit_p = std::min(std::max(hit_p, 1e-9), 1.0 - 1e-9);
+      const double f = hit_fraction[level];
+      ll += f * std::log(hit_p) + (1.0 - f) * std::log(1.0 - hit_p);
+    }
+    if (ll > best_ll) {
+      best_ll = ll;
+      best_c = c;
+    }
+  }
+  // Zero-count special case: no level ever hit.
+  bool any_hit = false;
+  for (double f : hit_fraction) any_hit = any_hit || f > 0.0;
+  result.estimate = any_hit ? best_c : 0.0;
+  return result;
+}
+
+}  // namespace vmat

@@ -1,0 +1,36 @@
+// Set-sampling comparator (Yu, IPSN'09 [29]).
+//
+// The sampling approach *tolerates* malicious sensors — it always produces
+// a correct (ε,δ)-style estimate and needs no pinpointing — but pays
+// Ω(log n) sequential flooding rounds per query, against VMAT's O(1)
+// (Section I). We implement a faithful functional model: geometric
+// set-sampling with choke-proof keyed predicate tests, where level ℓ
+// samples each sensor with probability 2^-ℓ and the count is estimated by
+// maximum likelihood over the observed hit fractions. Malicious sensors may
+// flip their own predicate bit (equivalent to lying about their own
+// reading, which no secure aggregation scheme prevents) but cannot
+// otherwise disturb the estimate — that is the tolerance property.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace vmat {
+
+struct SamplingConfig {
+  std::uint32_t tests_per_level{32};  ///< parallel keyed tests per level
+  std::uint64_t seed{1};
+};
+
+struct SamplingResult {
+  double estimate{0.0};
+  int flooding_rounds{0};  ///< 2 per sequential level: Ω(log n)
+  std::uint32_t levels{0};
+};
+
+/// Estimate the predicate count over `predicate` (one bool per sensor;
+/// index 0, the base station, is ignored).
+[[nodiscard]] SamplingResult run_set_sampling_count(
+    const std::vector<std::uint8_t>& predicate, const SamplingConfig& config);
+
+}  // namespace vmat

@@ -1,0 +1,122 @@
+#include "baseline/secoa.h"
+
+#include <stdexcept>
+
+#include "util/bytes.h"
+
+namespace vmat {
+namespace {
+
+Digest chain_base(const SecoaConfig& config, NodeId sensor) {
+  ByteWriter w;
+  w.str("secoa.base");
+  w.u64(config.seed);
+  w.u32(sensor.value);
+  return Sha256::hash(w.bytes());
+}
+
+Digest hash_forward(Digest d, std::int64_t steps) {
+  for (std::int64_t i = 0; i < steps; ++i) d = Sha256::hash(d);
+  return d;
+}
+
+}  // namespace
+
+Digest secoa_element(const SecoaConfig& config, NodeId sensor,
+                     std::int64_t value) {
+  if (value < 0 || value > config.max_value)
+    throw std::invalid_argument("secoa_element: value out of range");
+  return hash_forward(chain_base(config, sensor), config.max_value - value);
+}
+
+bool secoa_verify(const SecoaConfig& config, NodeId witness,
+                  std::int64_t value, const Digest& element) {
+  if (value < 0 || value > config.max_value) return false;
+  // The base station knows the seed end; the full chain has V_max steps, so
+  // the element at value v must hash forward to the anchor H^Vmax(base).
+  const Digest anchor = hash_forward(chain_base(config, witness),
+                                     config.max_value);
+  return hash_forward(element, value) == anchor;
+}
+
+SecoaResult run_secoa_max(const Network& net,
+                          const std::vector<std::int64_t>& readings,
+                          const std::unordered_set<NodeId>& malicious,
+                          SecoaAttack attack, const SecoaConfig& config) {
+  const std::uint32_t n = net.node_count();
+  const auto depth = net.topology().bfs_depth();
+
+  // Fold the claimed maximum up the BFS tree. Each subtree submits
+  // ⟨claim, witness, element⟩; honest nodes keep the largest claim.
+  struct Claim {
+    std::int64_t value{-1};
+    NodeId witness;
+    Digest element{};
+  };
+  std::vector<Claim> submitted(n);  // per node: best claim of its subtree
+
+  std::vector<std::uint32_t> order(n);
+  for (std::uint32_t i = 0; i < n; ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::uint32_t a, std::uint32_t b) {
+    return depth[a] > depth[b];
+  });
+
+  for (std::uint32_t id : order) {
+    if (id == kBaseStation.value || depth[id] == kNoLevel) continue;
+    const NodeId self{id};
+    Claim best = submitted[id];  // children already folded into here
+    // Own contribution.
+    if (readings[id] > best.value) {
+      best.value = readings[id];
+      best.witness = self;
+      best.element = secoa_element(config, self, readings[id]);
+    }
+
+    if (malicious.contains(self)) {
+      switch (attack) {
+        case SecoaAttack::kNone:
+          break;
+        case SecoaAttack::kInflate: {
+          best.value = std::min<std::int64_t>(config.max_value,
+                                              best.value + 50);
+          best.witness = self;
+          // It cannot compute the element for a value above its own
+          // reading; the best it can do is hand up garbage.
+          ByteWriter w;
+          w.str("secoa.forged");
+          w.u64(static_cast<std::uint64_t>(best.value));
+          best.element = Sha256::hash(w.bytes());
+          break;
+        }
+        case SecoaAttack::kDrop:
+          best = Claim{};  // suppress the whole subtree's claim
+          break;
+      }
+    }
+
+    // Hand the claim to the BFS parent.
+    for (NodeId v : net.topology().neighbors(self)) {
+      if (depth[v.value] == depth[id] - 1) {
+        if (best.value > submitted[v.value].value) submitted[v.value] = best;
+        break;
+      }
+    }
+  }
+
+  SecoaResult result;
+  const Claim& final_claim = submitted[kBaseStation.value];
+  if (final_claim.value < 0) {
+    result.maximum = std::nullopt;
+    return result;
+  }
+  result.witness = final_claim.witness;
+  if (secoa_verify(config, final_claim.witness, final_claim.value,
+                   final_claim.element)) {
+    result.maximum = final_claim.value;
+  } else {
+    result.verification_failed = true;
+  }
+  return result;
+}
+
+}  // namespace vmat

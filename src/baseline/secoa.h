@@ -1,0 +1,57 @@
+// SECOA-style one-way-chain aggregation (Nath, Yu, Chan, SIGMOD'09) for
+// MAX queries — the other detect-only comparator family in Section I.
+//
+// Every sensor i shares a chain seed with the base station and commits its
+// reading v by releasing the chain element at distance (V_max - v) from the
+// seed end: e_i(v) = H^(V_max - v)(base_i). Hashing forward *lowers* the
+// claimable value, so in-network aggregators (and the adversary) can only
+// ever weaken a claim — inflating the maximum would require inverting H.
+// The aggregate carried upward is ⟨claimed max M, witness id w, e_w(M)⟩;
+// the base station verifies e_w(M) by hashing the witness's base forward.
+//
+// What this gives: an *inflated* maximum never verifies. What it does not
+// give — the gap VMAT fills — is any defence against silently *dropping*
+// the true maximum: a smaller, correctly-witnessed value sails through.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_set>
+
+#include "crypto/sha256.h"
+#include "sim/network.h"
+
+namespace vmat {
+
+struct SecoaConfig {
+  std::int64_t max_value{256};  ///< V_max: readings live in [0, V_max]
+  std::uint64_t seed{1};
+};
+
+struct SecoaResult {
+  std::optional<std::int64_t> maximum;  ///< set iff the witness verified
+  bool verification_failed{false};      ///< inflation caught
+  NodeId witness;
+  int flooding_rounds{2};
+};
+
+enum class SecoaAttack : std::uint8_t {
+  kNone,
+  kInflate,  ///< claim max+50 with a forged chain element (must be caught)
+  kDrop,     ///< suppress the true maximum (goes undetected — the VMAT gap)
+};
+
+[[nodiscard]] SecoaResult run_secoa_max(
+    const Network& net, const std::vector<std::int64_t>& readings,
+    const std::unordered_set<NodeId>& malicious, SecoaAttack attack,
+    const SecoaConfig& config);
+
+/// Chain element a sensor releases for value v (exposed for tests).
+[[nodiscard]] Digest secoa_element(const SecoaConfig& config, NodeId sensor,
+                                   std::int64_t value);
+
+/// Base-station verification of a claimed (witness, value, element).
+[[nodiscard]] bool secoa_verify(const SecoaConfig& config, NodeId witness,
+                                std::int64_t value, const Digest& element);
+
+}  // namespace vmat

@@ -1,0 +1,45 @@
+#include "baseline/send_all.h"
+
+#include <algorithm>
+
+namespace vmat {
+
+SendAllResult run_send_all(const Network& net,
+                           const std::vector<Reading>& readings) {
+  // Each record: 4-byte id + 8-byte reading + 8-byte MAC (the paper's
+  // pessimistic assumption uses 8 bytes for the MAC alone).
+  constexpr std::uint64_t kRecordBytes = 20;
+
+  const auto depth = net.topology().bfs_depth();
+  const std::uint32_t n = net.node_count();
+
+  // subtree_records[v] = number of readings v transmits upward = size of
+  // its BFS subtree (itself included, base station excluded).
+  std::vector<std::uint32_t> order(n);
+  for (std::uint32_t i = 0; i < n; ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::uint32_t a, std::uint32_t b) {
+    return depth[a] > depth[b];
+  });
+
+  std::vector<std::uint64_t> subtree_records(n, 0);
+  SendAllResult result;
+  for (std::uint32_t id : order) {
+    if (depth[id] == kNoLevel || id == kBaseStation.value) continue;
+    subtree_records[id] += 1;  // own reading
+    result.minimum = std::min(result.minimum, readings[id]);
+    // Find the BFS parent and push the whole subtree up.
+    for (NodeId v : net.topology().neighbors(NodeId{id})) {
+      if (depth[v.value] == depth[id] - 1) {
+        subtree_records[v.value] += subtree_records[id];
+        break;
+      }
+    }
+    const std::uint64_t bytes = subtree_records[id] * kRecordBytes;
+    result.total_bytes += bytes;
+    result.max_node_bytes = std::max(result.max_node_bytes, bytes);
+  }
+  result.flooding_rounds = 1;
+  return result;
+}
+
+}  // namespace vmat

@@ -1,0 +1,128 @@
+#include "baseline/set_sampling.h"
+
+#include <cmath>
+#include <deque>
+#include <stdexcept>
+
+#include "crypto/prf.h"
+
+namespace vmat {
+
+SetSamplingProtocol::SetSamplingProtocol(
+    Network* net, Adversary* adversary,
+    const SetSamplingProtocolConfig& config)
+    : net_(net),
+      adversary_(adversary),
+      config_(config),
+      membership_key_(derive_key("vmat.set-sampling", config.key_seed, 0)) {
+  if (net == nullptr)
+    throw std::invalid_argument("SetSamplingProtocol: null net");
+  if (config.tests_per_level == 0)
+    throw std::invalid_argument("SetSamplingProtocol: zero tests per level");
+}
+
+bool SetSamplingProtocol::is_member(NodeId sensor, std::uint32_t test,
+                                    std::uint32_t level) const {
+  // Membership probability 2^-(level+1), deterministic per (sensor, test,
+  // level) — the pre-distributed set assignment.
+  const double u = prf_unit_open(membership_key_, test, sensor.value, level,
+                                 /*salt=*/7);
+  return u < std::pow(0.5, static_cast<double>(level + 1));
+}
+
+bool SetSamplingProtocol::run_test(const std::vector<std::uint8_t>& predicate,
+                                   std::uint32_t test, std::uint32_t level) {
+  // Gather repliers: honest members whose predicate holds, plus Byzantine
+  // members the strategy chooses to answer for (they hold the set key, so
+  // their reply verifies — the "own reading" freedom).
+  std::vector<NodeId> repliers;
+  for (std::uint32_t id = 1; id < net_->node_count(); ++id) {
+    const NodeId node{id};
+    if (!is_member(node, test, level)) continue;
+    if (net_->revocation().is_sensor_revoked(node)) continue;
+    if (byzantine(adversary_, node)) {
+      Predicate marker;  // carries (test, level) for the strategy
+      marker.id_lo = NodeId{test};
+      marker.id_hi = NodeId{level};
+      if (adversary_->strategy().answer_predicate(adversary_->view(), marker,
+                                                  node))
+        repliers.push_back(node);
+    } else if (predicate[id] != 0) {
+      repliers.push_back(node);
+    }
+  }
+  if (repliers.empty()) return false;
+
+  // Verified one-time flood = reachability over the active honest subgraph
+  // (same argument as the VMAT predicate test engine).
+  const std::uint32_t n = net_->node_count();
+  std::vector<bool> reached(n, false);
+  std::deque<NodeId> queue;
+  reached[kBaseStation.value] = true;
+  queue.push_back(kBaseStation);
+  while (!queue.empty()) {
+    const NodeId u = queue.front();
+    queue.pop_front();
+    for (NodeId v : net_->topology().neighbors(u)) {
+      if (reached[v.value] || byzantine(adversary_, v) ||
+          net_->revocation().is_sensor_revoked(v))
+        continue;
+      reached[v.value] = true;
+      queue.push_back(v);
+    }
+  }
+  for (NodeId r : repliers) {
+    if (reached[r.value]) return true;
+    for (NodeId v : net_->topology().neighbors(r))
+      if (reached[v.value]) return true;
+  }
+  return false;
+}
+
+SetSamplingRun SetSamplingProtocol::count(
+    const std::vector<std::uint8_t>& predicate) {
+  if (predicate.size() != net_->node_count())
+    throw std::invalid_argument("SetSamplingProtocol::count: size mismatch");
+
+  const std::uint32_t n = net_->node_count();
+  SetSamplingRun run;
+  run.levels = n <= 2 ? 1
+                      : static_cast<std::uint32_t>(
+                            std::ceil(std::log2(static_cast<double>(n))));
+  // Levels are sequential; each test costs two flooding rounds but tests
+  // within a level batch into one broadcast + one reply phase.
+  run.flooding_rounds = static_cast<int>(run.levels) * 2;
+
+  std::vector<double> hit_fraction(run.levels, 0.0);
+  for (std::uint32_t level = 0; level < run.levels; ++level) {
+    std::uint32_t hits = 0;
+    for (std::uint32_t test = 0; test < config_.tests_per_level; ++test)
+      if (run_test(predicate, test, level)) ++hits;
+    run.positive_tests += hits;
+    hit_fraction[level] =
+        static_cast<double>(hits) / config_.tests_per_level;
+  }
+
+  // Maximum-likelihood count over a log-spaced grid:
+  // P(test positive at level ℓ | count c) = 1 - (1 - 2^-(ℓ+1))^c.
+  double best_ll = -1e300;
+  double best_c = 0.0;
+  for (double c = 1.0; c <= static_cast<double>(n) * 1.5; c *= 1.05) {
+    double ll = 0.0;
+    for (std::uint32_t level = 0; level < run.levels; ++level) {
+      const double p = std::pow(0.5, static_cast<double>(level + 1));
+      double hit_p = 1.0 - std::pow(1.0 - p, c);
+      hit_p = std::min(std::max(hit_p, 1e-9), 1.0 - 1e-9);
+      const double f = hit_fraction[level];
+      ll += f * std::log(hit_p) + (1.0 - f) * std::log(1.0 - hit_p);
+    }
+    if (ll > best_ll) {
+      best_ll = ll;
+      best_c = c;
+    }
+  }
+  run.estimate = run.positive_tests == 0 ? 0.0 : best_c;
+  return run;
+}
+
+}  // namespace vmat

@@ -1,0 +1,71 @@
+// Set sampling (Yu, IPSN'09 [29]) — the protocol-level implementation.
+//
+// Pre-deployment, a matrix of *set keys* K_{j,ℓ} is generated; sensor x is
+// a member of set S_{j,ℓ} iff PRF(K_pool-derivation, x, j, ℓ) < 2^-ℓ, and
+// members are pre-loaded with that set's key. A COUNT query runs ℓ =
+// 1..⌈log₂ n⌉ sequential *levels*; at level ℓ the base station issues T
+// keyed predicate tests — "is there a sensor holding K_{j,ℓ} (i.e. in
+// S_{j,ℓ}) whose reading satisfies the query predicate?" — each resolved
+// with the same choke-proof verified-reply flood VMAT's pinpointing uses
+// (one legitimate byte string, verifiable by every forwarder against a
+// broadcast hash token). The count is then the maximum-likelihood fit to
+// the per-level positive-test fractions.
+//
+// Tolerance, mechanically: a Byzantine *member* of a set can fake a "yes"
+// (it holds the key — but that is indistinguishable from reporting its own
+// reading as satisfying, which no secure aggregation scheme prevents) or
+// stay silent (it cannot suppress an honest member's reply, which floods
+// around it). Byzantine non-members cannot forge replies at all. Hence no
+// pinpointing is ever needed — at the price of Ω(log n) sequential
+// flooding rounds per query, VMAT's motivating comparison (Section I).
+#pragma once
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "attack/adversary.h"
+#include "sim/network.h"
+
+namespace vmat {
+
+struct SetSamplingProtocolConfig {
+  std::uint32_t tests_per_level{32};
+  std::uint64_t key_seed{17};  ///< derives the set-key matrix
+};
+
+struct SetSamplingRun {
+  double estimate{0.0};
+  int flooding_rounds{0};
+  std::uint32_t levels{0};
+  std::uint32_t positive_tests{0};
+};
+
+class SetSamplingProtocol {
+ public:
+  SetSamplingProtocol(Network* net, Adversary* adversary,
+                      const SetSamplingProtocolConfig& config);
+
+  /// True iff sensor x belongs to sampling set (test j, level ℓ).
+  [[nodiscard]] bool is_member(NodeId sensor, std::uint32_t test,
+                               std::uint32_t level) const;
+
+  /// Run a full COUNT query over `predicate` (one flag per sensor; index 0
+  /// ignored). Byzantine members answer via the adversary's
+  /// answer_predicate hook (the Predicate carries the (test, level) pair
+  /// in its id window fields for the strategy to inspect).
+  [[nodiscard]] SetSamplingRun count(const std::vector<std::uint8_t>& predicate);
+
+ private:
+  /// One keyed test: does any member of (test, level) satisfy the
+  /// predicate and reach the base station through the honest subgraph?
+  [[nodiscard]] bool run_test(const std::vector<std::uint8_t>& predicate,
+                              std::uint32_t test, std::uint32_t level);
+
+  Network* net_;
+  Adversary* adversary_;
+  SetSamplingProtocolConfig config_;
+  SymmetricKey membership_key_;
+};
+
+}  // namespace vmat

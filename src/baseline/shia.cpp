@@ -1,0 +1,179 @@
+#include "baseline/shia.h"
+
+#include <algorithm>
+
+#include "util/bytes.h"
+#include "util/random.h"
+
+namespace vmat {
+
+ShiaLabel shia_fold(std::uint64_t nonce, NodeId self, std::int64_t reading,
+                    const std::vector<ShiaChildInput>& children) {
+  ShiaLabel label;
+  label.count = 1;
+  label.value = reading;
+  for (const auto& c : children) {
+    label.count += c.label.count;
+    label.value += c.label.value;
+  }
+  ByteWriter w;
+  w.str("shia.vertex");
+  w.u64(nonce);
+  w.u32(self.value);
+  w.u64(label.count);
+  w.i64(label.value);
+  w.i64(reading);
+  for (const auto& c : children) {
+    w.u32(c.child.value);
+    w.u64(c.label.count);
+    w.i64(c.label.value);
+    w.raw(c.label.hash);
+  }
+  label.hash = Sha256::hash(w.bytes());
+  return label;
+}
+
+namespace {
+
+/// What a vertex owner ships down for result checking: exactly the inputs
+/// it folded. Honest sensors ship the truth; a tamperer can only ship what
+/// is consistent with its own committed vertex (anything else mismatches
+/// even earlier), which is precisely what lets victims detect it.
+struct FoldRecord {
+  std::int64_t reading{0};
+  std::vector<ShiaChildInput> children;  // id-ordered
+  ShiaLabel out;
+};
+
+}  // namespace
+
+ShiaResult run_shia_sum(const Network& net,
+                        const std::vector<std::int64_t>& readings,
+                        const std::unordered_set<NodeId>& malicious,
+                        ShiaAttack attack, std::uint64_t nonce) {
+  const std::uint32_t n = net.node_count();
+  const auto depth = net.topology().bfs_depth();
+
+  // BFS aggregation tree: parent = the first neighbor one level up.
+  std::vector<NodeId> parent(n, kBaseStation);
+  std::vector<std::vector<NodeId>> children(n);
+  for (std::uint32_t id = 1; id < n; ++id) {
+    if (depth[id] == kNoLevel) continue;
+    for (NodeId v : net.topology().neighbors(NodeId{id})) {
+      if (depth[v.value] == depth[id] - 1) {
+        parent[id] = v;
+        children[v.value].push_back(NodeId{id});
+        break;
+      }
+    }
+  }
+
+  // Post-order fold (deepest first). `truth[id]` is the label id's subtree
+  // *should* contribute (what id itself committed); `fold[id]` records the
+  // inputs id actually folded and shipped.
+  std::vector<std::uint32_t> order(n);
+  for (std::uint32_t i = 0; i < n; ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::uint32_t a, std::uint32_t b) {
+    return depth[a] > depth[b];
+  });
+
+  std::vector<FoldRecord> fold(n);
+  for (std::uint32_t id : order) {
+    if (depth[id] == kNoLevel) continue;
+    const NodeId self{id};
+    FoldRecord& record = fold[id];
+    record.reading = id == kBaseStation.value ? 0 : readings[id];
+
+    // Children submitted their committed labels (in id order by
+    // construction of the children lists).
+    std::vector<ShiaChildInput> inputs;
+    for (NodeId c : children[id]) inputs.push_back({c, fold[c.value].out});
+
+    if (malicious.contains(self)) {
+      switch (attack) {
+        case ShiaAttack::kNone:
+          break;
+        case ShiaAttack::kDropChildren:
+          inputs.clear();  // fold as if it had no children
+          break;
+        case ShiaAttack::kTamperValue:
+          for (auto& input : inputs) {
+            input.label.value = 0;  // rewrite the branch's contribution
+          }
+          break;
+        case ShiaAttack::kInflateOwn:
+          record.reading += 1000;  // legal self-misreporting
+          break;
+      }
+    }
+    record.children = std::move(inputs);
+    record.out = shia_fold(nonce, self, record.reading, record.children);
+  }
+
+  ShiaResult result;
+  result.root = fold[kBaseStation.value].out;
+  // aggregation-commit + root dissemination + path dissemination + acks
+  result.flooding_rounds = 4;
+
+  // Result checking with real recomputation: sensor s substitutes its true
+  // label for its branch at every ancestor and hashes up to the root.
+  auto verifies = [&](NodeId s) {
+    ShiaLabel current = fold[s.value].out;
+    NodeId node = s;
+    // Bounded by the tree depth; kNoLevel sensors never reach here.
+    while (node != kBaseStation) {
+      const NodeId p = parent[node.value];
+      std::vector<ShiaChildInput> inputs = fold[p.value].children;
+      const auto it = std::find_if(
+          inputs.begin(), inputs.end(),
+          [&](const ShiaChildInput& c) { return c.child == node; });
+      if (it != inputs.end()) {
+        it->label = current;
+      } else {
+        // Dropped outright: reinsert in id order.
+        inputs.insert(std::find_if(inputs.begin(), inputs.end(),
+                                   [&](const ShiaChildInput& c) {
+                                     return node < c.child;
+                                   }),
+                      {node, current});
+      }
+      current = shia_fold(nonce, p, fold[p.value].reading, inputs);
+      node = p;
+    }
+    return current == result.root;
+  };
+
+  for (std::uint32_t id = 1; id < n; ++id) {
+    if (depth[id] == kNoLevel) continue;
+    if (malicious.contains(NodeId{id})) continue;
+    if (!verifies(NodeId{id})) ++result.missing_acks;
+  }
+  if (result.missing_acks > 0) {
+    result.alarmed = true;
+  } else {
+    result.sum = result.root.value;
+  }
+  return result;
+}
+
+ShiaCampaign run_shia_campaign(const Network& net,
+                               const std::vector<std::int64_t>& readings,
+                               const std::unordered_set<NodeId>& malicious,
+                               ShiaAttack attack, std::uint64_t seed,
+                               int max_attempts) {
+  ShiaCampaign campaign;
+  std::uint64_t state = seed;
+  for (int i = 0; i < max_attempts; ++i) {
+    ++campaign.executions;
+    const auto r =
+        run_shia_sum(net, readings, malicious, attack, splitmix64(state));
+    if (!r.alarmed) {
+      campaign.sum = r.sum;
+      return campaign;
+    }
+  }
+  campaign.stalled = true;
+  return campaign;
+}
+
+}  // namespace vmat

@@ -1,0 +1,95 @@
+// SHIA — Secure Hierarchical In-network Aggregation (Chan, Perrig, Song,
+// CCS'06), the detect-only baseline class the paper positions VMAT against.
+//
+// Implemented for SUM (predicate COUNT is the all-ones special case):
+//
+//  1. *Aggregation-commit*: over the BFS aggregation tree, every sensor
+//     builds a commitment vertex
+//         ⟨count, value, H(nonce ‖ count ‖ value ‖ child labels ‖ leaf)⟩
+//     folding its own leaf ⟨1, reading, id⟩ with its children's vertices,
+//     and forwards it to its parent. The base station ends up with a root
+//     label committing to the entire aggregation structure.
+//  2. *Dissemination*: the base station authenticated-broadcasts the root.
+//  3. *Result checking*: every ancestor ships its fold inputs (its own
+//     reading plus the per-child labels it actually folded) down to its
+//     subtree; each sensor substitutes its *true* label for its own branch
+//     and recomputes the chain of vertices up to the root with real
+//     SHA-256. The recomputation equals the broadcast root iff every
+//     ancestor folded this sensor's true contribution — an ancestor that
+//     dropped or rewrote the branch cannot ship consistent inputs without
+//     a hash collision.
+//  4. *Acknowledgement*: every verified sensor sends MAC_{sensor key}(nonce);
+//     the base station accepts the sum only if every sensor acked.
+//
+// What SHIA gives: a corrupted sum never gets accepted (an alarm is raised
+// instead). What it does NOT give — and what this baseline demonstrates —
+// is any way to tell *who* cheated: a persistent attacker alarms every
+// execution forever.
+#pragma once
+
+#include <optional>
+#include <unordered_set>
+
+#include "crypto/sha256.h"
+#include "sim/network.h"
+
+namespace vmat {
+
+/// A commitment-tree vertex label.
+struct ShiaLabel {
+  std::uint64_t count{0};
+  std::int64_t value{0};
+  Digest hash{};
+
+  friend bool operator==(const ShiaLabel&, const ShiaLabel&) = default;
+};
+
+enum class ShiaAttack : std::uint8_t {
+  kNone,
+  kDropChildren,   ///< omit every child's vertex from the fold
+  kTamperValue,    ///< rewrite child contributions to zero before folding
+  kInflateOwn,     ///< legal self-misreporting (must NOT alarm)
+};
+
+struct ShiaResult {
+  std::optional<std::int64_t> sum;  ///< set iff all sensors acked
+  bool alarmed{false};
+  std::size_t missing_acks{0};
+  int flooding_rounds{0};
+  ShiaLabel root;
+};
+
+/// One detect-only SHIA execution.
+[[nodiscard]] ShiaResult run_shia_sum(
+    const Network& net, const std::vector<std::int64_t>& readings,
+    const std::unordered_set<NodeId>& malicious, ShiaAttack attack,
+    std::uint64_t nonce);
+
+/// Retry loop: SHIA under a persistent attacker alarms forever.
+struct ShiaCampaign {
+  std::optional<std::int64_t> sum;
+  int executions{0};
+  bool stalled{false};
+};
+[[nodiscard]] ShiaCampaign run_shia_campaign(
+    const Network& net, const std::vector<std::int64_t>& readings,
+    const std::unordered_set<NodeId>& malicious, ShiaAttack attack,
+    std::uint64_t seed, int max_attempts);
+
+/// A child contribution as folded into a vertex: the claimed child id and
+/// the label the folder used for that child's subtree.
+struct ShiaChildInput {
+  NodeId child;
+  ShiaLabel label;
+
+  friend bool operator==(const ShiaChildInput&, const ShiaChildInput&) =
+      default;
+};
+
+/// The commitment fold, exposed for tests: label of a vertex from its leaf
+/// reading and its (id-ordered) child inputs.
+[[nodiscard]] ShiaLabel shia_fold(std::uint64_t nonce, NodeId self,
+                                  std::int64_t reading,
+                                  const std::vector<ShiaChildInput>& children);
+
+}  // namespace vmat

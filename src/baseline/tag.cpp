@@ -1,0 +1,70 @@
+#include "baseline/tag.h"
+
+#include <algorithm>
+
+namespace vmat {
+
+TagResult run_tag_min(Network& net, const std::vector<Reading>& readings,
+                      const std::unordered_set<NodeId>& malicious,
+                      TagAttack attack, Level depth_bound) {
+  // TAG has no security machinery: model it directly over the BFS tree of
+  // the physical topology (hop-count levels), with per-node min folding.
+  const auto depth = net.topology().bfs_depth();
+  const std::uint32_t n = net.node_count();
+
+  // Process nodes deepest-first: each folds its own reading and its
+  // children's submitted values, then submits to its BFS parent.
+  std::vector<std::optional<Reading>> submitted(n);
+  std::vector<std::uint32_t> order(n);
+  for (std::uint32_t i = 0; i < n; ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::uint32_t a, std::uint32_t b) {
+    return depth[a] > depth[b];
+  });
+
+  std::vector<std::optional<Reading>> folded(n);
+  for (std::uint32_t id : order) {
+    const NodeId node{id};
+    if (depth[id] == kNoLevel) continue;
+    Reading best = node == kBaseStation ? kInfinity : readings[id];
+    if (folded[id].has_value()) best = std::min(best, *folded[id]);
+
+    if (malicious.contains(node)) {
+      switch (attack) {
+        case TagAttack::kNone:
+          break;
+        case TagAttack::kDrop:
+          continue;  // submit nothing
+        case TagAttack::kInflate:
+          best = kInfinity - 1;
+          break;
+        case TagAttack::kDeflate:
+          best = -1000000;
+          break;
+      }
+    }
+
+    if (node == kBaseStation) {
+      folded[id] = best == kInfinity ? folded[id] : std::optional(best);
+      continue;
+    }
+    // Submit to the BFS parent (smallest-depth neighbor).
+    NodeId parent = node;
+    for (NodeId v : net.topology().neighbors(node)) {
+      if (depth[v.value] != kNoLevel && depth[v.value] == depth[id] - 1) {
+        parent = v;
+        break;
+      }
+    }
+    if (parent == node) continue;  // unreachable
+    auto& slot = folded[parent.value];
+    slot = slot.has_value() ? std::min(*slot, best) : best;
+  }
+
+  TagResult result;
+  result.minimum = folded[kBaseStation.value];
+  result.flooding_rounds = 2;
+  (void)depth_bound;
+  return result;
+}
+
+}  // namespace vmat

@@ -1,0 +1,32 @@
+// TAG-style insecure in-network aggregation (Madden et al. [15]) — the
+// classic baseline VMAT's introduction motivates against. Hop-count tree,
+// no MACs, no confirmation: a single malicious sensor on a cut of the tree
+// can silently corrupt the final answer, and nobody can tell.
+#pragma once
+
+#include <optional>
+#include <unordered_set>
+
+#include "sim/network.h"
+
+namespace vmat {
+
+enum class TagAttack : std::uint8_t {
+  kNone,
+  kDrop,     ///< malicious nodes forward nothing
+  kInflate,  ///< malicious nodes replace the min with a huge value
+  kDeflate,  ///< malicious nodes inject an absurdly small value
+};
+
+struct TagResult {
+  std::optional<Reading> minimum;  ///< what the base station believes
+  int flooding_rounds{2};          ///< tree + aggregation
+};
+
+/// Run one TAG MIN query. `malicious` nodes apply `attack`.
+[[nodiscard]] TagResult run_tag_min(Network& net,
+                                    const std::vector<Reading>& readings,
+                                    const std::unordered_set<NodeId>& malicious,
+                                    TagAttack attack, Level depth_bound);
+
+}  // namespace vmat

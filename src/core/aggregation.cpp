@@ -1,0 +1,164 @@
+#include "core/aggregation.h"
+
+#include <stdexcept>
+
+namespace vmat {
+namespace {
+
+/// The per-instance minima a sensor would honestly forward: its own message
+/// and everything collected from children, minimum by value (ties broken by
+/// origin id for determinism).
+AggBundle honest_bundle(const std::vector<AggMessage>& own,
+                        const std::vector<ReceivedRecord>& received,
+                        std::uint32_t instances) {
+  std::vector<const AggMessage*> best(instances, nullptr);
+  auto consider = [&](const AggMessage& m) {
+    if (m.instance >= instances) return;
+    const AggMessage*& slot = best[m.instance];
+    if (slot == nullptr || m.value < slot->value ||
+        (m.value == slot->value && m.origin < slot->origin))
+      slot = &m;
+  };
+  for (const auto& m : own) consider(m);
+  for (const auto& r : received) consider(r.msg);
+
+  AggBundle bundle;
+  for (const AggMessage* m : best)
+    if (m != nullptr) bundle.entries.push_back(*m);
+  return bundle;
+}
+
+}  // namespace
+
+AggregationOutcome run_aggregation(
+    Network& net, Adversary* adversary, const TreeResult& tree,
+    const AggConfig& config, const std::vector<std::vector<Reading>>& values,
+    const std::vector<std::vector<std::int64_t>>& weights,
+    std::vector<NodeAudit>& audits) {
+  const std::uint32_t n = net.node_count();
+  const Level L = tree.depth_bound;
+  if (values.size() != n || weights.size() != n || audits.size() != n)
+    throw std::invalid_argument("run_aggregation: size mismatch");
+
+  net.fabric().reset();
+  for (std::uint32_t id = 0; id < n; ++id) {
+    audits[id].agg.clear();
+    audits[id].agg.level = tree.level[id];
+  }
+
+  // Pre-build every node's own messages (what an honest node originates).
+  std::vector<std::vector<AggMessage>> own(n);
+  for (std::uint32_t id = 0; id < n; ++id) {
+    const NodeId node{id};
+    if (node == kBaseStation) continue;
+    if (net.revocation().is_sensor_revoked(node)) continue;
+    if (!tree.has_valid_level(node)) continue;
+    const SymmetricKey key = net.keys().sensor_key(node);
+    own[id].reserve(config.instances);
+    for (std::uint32_t i = 0; i < config.instances; ++i) {
+      // kInfinity marks "no contribution" (e.g. a COUNT predicate the
+      // sensor does not satisfy): the sensor originates nothing.
+      if (values[id][i] == kInfinity) continue;
+      own[id].push_back(make_agg_message(key, node, i, values[id][i],
+                                         weights[id][i], config.nonce));
+    }
+  }
+
+  // Valid records delivered to malicious nodes, exposed to the strategy.
+  std::vector<std::vector<ReceivedRecord>> malicious_received(n);
+
+  AggregationOutcome outcome;
+
+  for (Interval slot = 1; slot <= L; ++slot) {
+    if (adversary != nullptr && !adversary->strategy().passthrough()) {
+      AggCtx ctx;
+      ctx.tree = &tree;
+      ctx.config = &config;
+      ctx.slot = slot;
+      ctx.malicious_received = &malicious_received;
+      ctx.own_messages = &own;
+      adversary->strategy().on_agg_slot(adversary->view(), ctx);
+    }
+
+    // Honest transmissions: a level-i sensor transmits in slot L-i+1.
+    for (std::uint32_t id = 0; id < n; ++id) {
+      const NodeId node{id};
+      if (node == kBaseStation || byzantine(adversary, node)) continue;
+      if (net.revocation().is_sensor_revoked(node)) continue;
+      if (!tree.has_valid_level(node)) continue;
+      const Level i = tree.level[id];
+      if (slot != L - i + 1) continue;
+
+      const AggBundle bundle =
+          honest_bundle(own[id], audits[id].agg.received, config.instances);
+      if (bundle.entries.empty()) continue;
+      const Bytes frame = encode(bundle);
+
+      const auto& parents = tree.parents[id];
+      const std::size_t fanout =
+          config.multipath ? parents.size() : std::min<std::size_t>(1, parents.size());
+      for (std::size_t p = 0; p < fanout; ++p) {
+        const ParentLink& link = parents[p];
+        if (net.revocation().is_key_revoked(link.edge_key)) continue;
+        Envelope e;
+        e.from = node;
+        e.to = link.claimed_id;
+        e.edge_key = link.edge_key;
+        e.payload = frame;
+        e.edge_mac = compute_mac(net.keys().key_material(link.edge_key), frame);
+        // The claimed parent may not be a physical neighbor (a spoofed
+        // tree-formation frame); the fabric then drops the frame, which is
+        // exactly a silent drop the confirmation phase will catch.
+        for (std::uint32_t copy = 0; copy < net.redundancy(); ++copy)
+          (void)net.fabric().send(e);
+        for (const auto& m : bundle.entries)
+          audits[id].agg.forwarded.push_back(
+              {m, link.edge_key, link.claimed_id});
+      }
+    }
+
+    net.fabric().end_slot();
+
+    // Receipt.
+    for (std::uint32_t id = 0; id < n; ++id) {
+      const NodeId node{id};
+      if (net.revocation().is_sensor_revoked(node)) continue;
+      const bool is_bs = node == kBaseStation;
+      if (!is_bs && !tree.has_valid_level(node)) {
+        (void)net.fabric().take_inbox(node);
+        continue;
+      }
+      const Level i = is_bs ? 0 : tree.level[id];
+      auto frames = net.receive_valid(node);
+      // Collection window: slots 1 .. L-i.
+      if (!is_bs && slot > L - i) continue;
+      const bool is_malicious =
+          adversary != nullptr && adversary->is_malicious(node);
+      for (const auto& env : frames) {
+        const auto bundle = decode_agg(env.payload);
+        if (!bundle.has_value()) continue;
+        for (const auto& m : bundle->entries) {
+          if (m.instance >= config.instances) continue;
+          ReceivedRecord rec;
+          rec.msg = m;
+          rec.in_edge = env.edge_key;
+          rec.slot = slot;
+          rec.child_level = L - slot + 1;
+          rec.claimed_sender = env.from;
+          if (is_bs) {
+            outcome.arrivals.push_back({m, env.edge_key, slot});
+            audits[id].agg.received.push_back(rec);
+          } else {
+            audits[id].agg.received.push_back(rec);
+            if (is_malicious) malicious_received[id].push_back(rec);
+          }
+        }
+      }
+    }
+  }
+
+  net.fabric().reset();
+  return outcome;
+}
+
+}  // namespace vmat

@@ -1,0 +1,46 @@
+// Aggregation phase (Section IV-B).
+//
+// The phase is divided into L slots. A sensor at level i collects bundles
+// from its children until slot L-i, then transmits the per-instance minima
+// of {its own message} ∪ {collected messages} to its parent(s) in slot
+// L-i+1, recording ⟨level, message, in-edge, out-edge⟩ audit tuples as it
+// goes. The base station collects throughout and returns every arrival —
+// the coordinator classifies them as valid minima or junk.
+//
+// Multi-path mode (Section IV-D): bundles go to all recorded parents, one
+// ForwardRecord per parent.
+#pragma once
+
+#include <vector>
+
+#include "attack/adversary.h"
+#include "core/audit.h"
+#include "core/phase_state.h"
+#include "sim/network.h"
+
+namespace vmat {
+
+/// An aggregation message as it arrived at the base station.
+struct BsArrival {
+  AggMessage msg;
+  KeyIndex in_edge{kNoKey};
+  Interval slot{0};
+};
+
+struct AggregationOutcome {
+  std::vector<BsArrival> arrivals;
+};
+
+/// `values[node][instance]` is the value each sensor reports (raw reading
+/// for MIN, encoded synopsis otherwise); `weights[node][instance]` the
+/// synopsis weight (0 for raw MIN). Both must be sized node_count x
+/// instances. `audits` (sized node_count) receives the distributed audit
+/// trail; previous aggregation records are cleared.
+[[nodiscard]] AggregationOutcome run_aggregation(
+    Network& net, Adversary* adversary, const TreeResult& tree,
+    const AggConfig& config,
+    const std::vector<std::vector<Reading>>& values,
+    const std::vector<std::vector<std::int64_t>>& weights,
+    std::vector<NodeAudit>& audits);
+
+}  // namespace vmat

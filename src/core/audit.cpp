@@ -1,0 +1,94 @@
+#include "core/audit.h"
+
+#include <algorithm>
+
+namespace vmat {
+
+Bytes encode_predicate(const Predicate& p) {
+  ByteWriter w;
+  w.str("vmat.predicate");
+  w.u8(static_cast<std::uint8_t>(p.kind));
+  w.u32(p.instance);
+  w.i64(p.v_max);
+  w.u32(static_cast<std::uint32_t>(p.level));
+  w.u32(p.id_lo.value);
+  w.u32(p.id_hi.value);
+  w.u32(p.z_lo.value);
+  w.u32(p.z_hi.value);
+  w.u32(p.bound_edge.value);
+  w.raw(p.msg_hash);
+  return w.take();
+}
+
+namespace {
+
+bool in_id_window(const Predicate& p, NodeId self) noexcept {
+  return p.id_lo <= self && self <= p.id_hi;
+}
+
+bool in_edge_window(const Predicate& p, KeyIndex k) noexcept {
+  return k != kNoKey && p.z_lo <= k && k <= p.z_hi;
+}
+
+}  // namespace
+
+bool evaluate_predicate(const Predicate& p, NodeId self,
+                        const NodeAudit& audit) {
+  if (!in_id_window(p, self)) return false;
+
+  switch (p.kind) {
+    case PredicateKind::kAggForwardedValue: {
+      if (audit.agg.level != p.level) return false;
+      return std::any_of(
+          audit.agg.forwarded.begin(), audit.agg.forwarded.end(),
+          [&](const ForwardRecord& f) {
+            return f.msg.instance == p.instance && f.msg.value <= p.v_max &&
+                   in_edge_window(p, f.out_edge);
+          });
+    }
+    case PredicateKind::kAggReceivedValue: {
+      if (audit.agg.level != p.level - 1) return false;
+      return std::any_of(
+          audit.agg.received.begin(), audit.agg.received.end(),
+          [&](const ReceivedRecord& r) {
+            return r.msg.instance == p.instance && r.msg.value <= p.v_max &&
+                   r.child_level == p.level;
+          });
+    }
+    case PredicateKind::kJunkAggForwarded: {
+      if (audit.agg.level != p.level) return false;
+      return std::any_of(audit.agg.forwarded.begin(),
+                         audit.agg.forwarded.end(),
+                         [&](const ForwardRecord& f) {
+                           return f.out_edge == p.bound_edge &&
+                                  message_identity(f.msg) == p.msg_hash;
+                         });
+    }
+    case PredicateKind::kJunkAggReceived: {
+      if (audit.agg.level != p.level) return false;
+      return std::any_of(audit.agg.received.begin(), audit.agg.received.end(),
+                         [&](const ReceivedRecord& r) {
+                           return in_edge_window(p, r.in_edge) &&
+                                  message_identity(r.msg) == p.msg_hash;
+                         });
+    }
+    case PredicateKind::kJunkSofForwarded: {
+      if (!audit.sof.has_value()) return false;
+      const SofRecord& s = *audit.sof;
+      return s.forward_interval == p.level &&
+             message_identity(s.msg) == p.msg_hash &&
+             std::find(s.out_edges.begin(), s.out_edges.end(), p.bound_edge) !=
+                 s.out_edges.end();
+    }
+    case PredicateKind::kJunkSofReceived: {
+      if (!audit.sof.has_value()) return false;
+      const SofRecord& s = *audit.sof;
+      return !s.originated && s.received_interval == p.level &&
+             message_identity(s.msg) == p.msg_hash &&
+             in_edge_window(p, s.in_edge);
+    }
+  }
+  return false;
+}
+
+}  // namespace vmat

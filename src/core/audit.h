@@ -1,0 +1,140 @@
+// Distributed audit trails (Sections IV-B, IV-C) and the predicates the
+// pinpointing protocols evaluate against them (Figures 5 and 6).
+//
+// Each sensor stores, locally:
+//  - for the aggregation phase, the tuples
+//      ⟨level, message, sensor key, in-edge key, out-edge key⟩
+//    split here into ReceivedRecord (what arrived from children, with the
+//    in-edge key and the slot it arrived in) and ForwardRecord (what was
+//    forwarded to which parent with which out-edge key);
+//  - for the confirmation phase (SOF), the tuple
+//      ⟨interval, message, sensor key, in-edge key, out-edge key⟩
+//    as SofRecord.
+//
+// A keyed predicate test asks a yes/no question against these records; the
+// honest evaluation lives here so that sensors, the base station, and the
+// test engine all agree on semantics.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "core/messages.h"
+#include "util/ids.h"
+
+namespace vmat {
+
+/// An aggregation message accepted from a child during the collection
+/// window.
+struct ReceivedRecord {
+  AggMessage msg;
+  KeyIndex in_edge{kNoKey};
+  Interval slot{0};          ///< the slot it arrived in
+  Level child_level{kNoLevel};  ///< L - slot + 1, fixed at record time
+  NodeId claimed_sender;     ///< envelope `from` claim, unauthenticated
+};
+
+/// An aggregation message forwarded to a parent.
+struct ForwardRecord {
+  AggMessage msg;
+  KeyIndex out_edge{kNoKey};
+  NodeId parent;  ///< claimed parent id (tree-formation sender claim)
+};
+
+/// Audit state of one sensor for the aggregation phase.
+struct AggregationAudit {
+  Level level{kNoLevel};
+  std::vector<ReceivedRecord> received;
+  std::vector<ForwardRecord> forwarded;
+
+  void clear() {
+    level = kNoLevel;
+    received.clear();
+    forwarded.clear();
+  }
+};
+
+/// Audit state of one sensor for one SOF execution. A sensor handles at
+/// most one veto (one-time flooding), so at most one record.
+struct SofRecord {
+  VetoMsg msg;
+  bool originated{false};
+  Interval received_interval{0};  ///< 0 when originated
+  Interval forward_interval{0};   ///< the interval it was sent/forwarded in
+  KeyIndex in_edge{kNoKey};
+  std::vector<KeyIndex> out_edges;  ///< one per neighbor flooded
+};
+
+/// Everything one sensor remembers for pinpointing.
+struct NodeAudit {
+  AggregationAudit agg;
+  std::optional<SofRecord> sof;
+
+  void clear() {
+    agg.clear();
+    sof.reset();
+  }
+};
+
+// --- predicates ---
+
+enum class PredicateKind : std::uint8_t {
+  /// Figure 5 (veto walk): "at level `level`, forwarded an aggregation
+  /// message of instance `instance` with value <= v_max, using an out-edge
+  /// key whose pool index is in [z_lo, z_hi]".
+  kAggForwardedValue,
+
+  /// Figure 6 (veto walk): "being a sensor at level `level`-1, received,
+  /// from a child at level `level` (i.e. in slot L-level+1), an aggregation
+  /// message of instance `instance` with value <= v_max". Combined with the
+  /// id window below. The own-level clause keeps the walk's level
+  /// decrement sound: an honest admitter is guaranteed to be exactly one
+  /// level up the trail.
+  kAggReceivedValue,
+
+  /// Junk walk, aggregation: "at level `level`, forwarded *exactly* the
+  /// message with identity `msg_hash`, using out-edge key `bound_edge`".
+  kJunkAggForwarded,
+
+  /// Junk walk, aggregation: "at level `level`, received exactly `msg_hash`
+  /// with an in-edge key whose pool index is in [z_lo, z_hi]".
+  kJunkAggReceived,
+
+  /// Junk walk, confirmation: "in SOF interval `level`, sent/forwarded
+  /// exactly `msg_hash` using out-edge key `bound_edge`".
+  kJunkSofForwarded,
+
+  /// Junk walk, confirmation: "received exactly `msg_hash` in SOF interval
+  /// `level`, with an in-edge key whose pool index is in [z_lo, z_hi]".
+  kJunkSofReceived,
+};
+
+/// A predicate disseminated by a keyed predicate test. `level` doubles as
+/// the SOF interval for the kJunkSof* kinds. The id window [id_lo, id_hi]
+/// applies to every kind (Figure 6 binary-searches on it; Figure 5 tests
+/// key a single sensor via its sensor key, where the window is the full
+/// range).
+struct Predicate {
+  PredicateKind kind{PredicateKind::kAggForwardedValue};
+  std::uint32_t instance{0};
+  Reading v_max{0};
+  Level level{0};
+  NodeId id_lo{0};
+  NodeId id_hi{0};
+  KeyIndex z_lo{0};
+  KeyIndex z_hi{0};
+  KeyIndex bound_edge{kNoKey};
+  Digest msg_hash{};
+};
+
+/// Canonical encoding, part of the predicate test's broadcast and of the
+/// reply MAC input.
+[[nodiscard]] Bytes encode_predicate(const Predicate& p);
+
+/// Honest evaluation of a predicate by sensor `self` against its audit
+/// records. The key-possession part of the test is checked by the engine;
+/// this is only the behavioural clause.
+[[nodiscard]] bool evaluate_predicate(const Predicate& p, NodeId self,
+                                      const NodeAudit& audit);
+
+}  // namespace vmat

@@ -1,0 +1,123 @@
+#include "core/confirmation.h"
+
+#include <optional>
+#include <stdexcept>
+
+namespace vmat {
+namespace {
+
+/// The instance a sensor vetoes for: the smallest instance index whose own
+/// value undercuts the broadcast minimum.
+std::optional<std::uint32_t> veto_instance(
+    const std::vector<Reading>& own_values,
+    const std::vector<Reading>& minima) {
+  for (std::uint32_t i = 0; i < minima.size() && i < own_values.size(); ++i)
+    if (own_values[i] < minima[i]) return i;
+  return std::nullopt;
+}
+
+}  // namespace
+
+ConfirmationOutcome run_confirmation(
+    Network& net, Adversary* adversary, const TreeResult& tree,
+    const std::vector<Reading>& broadcast_minima, std::uint64_t nonce,
+    const std::vector<std::vector<Reading>>& values,
+    std::vector<NodeAudit>& audits, bool slotted) {
+  const std::uint32_t n = net.node_count();
+  const Level L = tree.depth_bound;
+  if (values.size() != n || audits.size() != n)
+    throw std::invalid_argument("run_confirmation: size mismatch");
+
+  net.fabric().reset();
+  for (auto& a : audits) a.sof.reset();
+
+  // Pending forwards decided at receipt, executed next slot.
+  std::vector<std::optional<Bytes>> pending(n);
+  std::vector<std::vector<VetoMsg>> malicious_vetoes(n);
+
+  ConfirmationOutcome outcome;
+
+  const Interval max_interval = slotted ? L : 4 * L + 4;
+  for (Interval slot = 1; slot <= max_interval; ++slot) {
+    if (adversary != nullptr && !adversary->strategy().passthrough()) {
+      ConfCtx ctx;
+      ctx.tree = &tree;
+      ctx.nonce = nonce;
+      ctx.slot = slot;
+      ctx.broadcast_minima = &broadcast_minima;
+      ctx.malicious_vetoes = &malicious_vetoes;
+      adversary->strategy().on_conf_slot(adversary->view(), ctx);
+    }
+
+    for (std::uint32_t id = 0; id < n; ++id) {
+      const NodeId node{id};
+      if (node == kBaseStation || byzantine(adversary, node)) continue;
+      if (net.revocation().is_sensor_revoked(node)) continue;
+
+      if (slot == 1) {
+        // Vetoers transmit in the first interval.
+        if (!tree.has_valid_level(node)) continue;
+        const auto instance = veto_instance(values[id], broadcast_minima);
+        if (!instance.has_value()) continue;
+        const VetoMsg veto = make_veto(
+            net.keys().sensor_key(node), node, *instance,
+            values[id][*instance], tree.level[id], nonce);
+        const Bytes frame = encode(veto);
+        SofRecord rec;
+        rec.msg = veto;
+        rec.originated = true;
+        rec.received_interval = 0;
+        rec.forward_interval = 1;
+        for (NodeId v : net.usable_neighbors(node)) {
+          if (net.send_secure(node, v, frame))
+            rec.out_edges.push_back(*net.usable_edge_key(node, v));
+        }
+        audits[id].sof = rec;
+      } else if (pending[id].has_value()) {
+        // One-time forward of the first veto received last slot.
+        const Bytes frame = std::move(*pending[id]);
+        pending[id].reset();
+        for (NodeId v : net.usable_neighbors(node)) {
+          if (net.send_secure(node, v, frame))
+            audits[id].sof->out_edges.push_back(*net.usable_edge_key(node, v));
+        }
+      }
+    }
+
+    net.fabric().end_slot();
+
+    for (std::uint32_t id = 0; id < n; ++id) {
+      const NodeId node{id};
+      if (net.revocation().is_sensor_revoked(node)) continue;
+      auto frames = net.receive_valid(node);
+      const bool is_malicious =
+          adversary != nullptr && adversary->is_malicious(node);
+      for (const auto& env : frames) {
+        const auto veto = decode_veto(env.payload);
+        if (!veto.has_value()) continue;
+        if (node == kBaseStation) {
+          outcome.arrivals.push_back({*veto, env.edge_key, slot});
+          continue;
+        }
+        if (is_malicious) malicious_vetoes[id].push_back(*veto);
+        if (byzantine(adversary, node)) continue;  // strategy decides itself
+        if (audits[id].sof.has_value()) continue;  // one-time: already handled
+        // First veto: schedule forwarding for the next slot and record the
+        // audit tuple now.
+        SofRecord rec;
+        rec.msg = *veto;
+        rec.originated = false;
+        rec.received_interval = slot;
+        rec.forward_interval = slot + 1;
+        rec.in_edge = env.edge_key;
+        audits[id].sof = rec;
+        pending[id] = env.payload;
+      }
+    }
+  }
+
+  net.fabric().reset();
+  return outcome;
+}
+
+}  // namespace vmat

@@ -1,0 +1,45 @@
+// Confirmation phase with SOF — Slotted One-time Flooding with Audit Trail
+// (Section IV-C).
+//
+// The base station has broadcast the per-instance minima it received. Any
+// sensor whose own value is smaller than the broadcast minimum for some
+// instance is a vetoer and floods its veto in slot 1. A non-vetoer forwards
+// the *first* valid-envelope veto it receives — if received in slot i, it
+// forwards in slot i+1 — and ignores everything else. Each sensor records
+// an SOF audit tuple ⟨interval, message, in-edge, out-edges⟩.
+//
+// Lemma 1: if any honest sensor vetoes, the base station receives *some*
+// veto (possibly a spurious one injected by the adversary to choke the
+// legitimate one — which then triggers junk-triggered pinpointing).
+//
+// `slotted = false` gives the unslotted ablation: the phase runs longer and
+// forwarding is not bounded by the L-interval discipline, so audit trails
+// can exceed L+1 tuples under adversarial detours.
+#pragma once
+
+#include <vector>
+
+#include "attack/adversary.h"
+#include "core/audit.h"
+#include "core/phase_state.h"
+#include "sim/network.h"
+
+namespace vmat {
+
+struct VetoArrival {
+  VetoMsg msg;
+  KeyIndex in_edge{kNoKey};
+  Interval interval{0};  ///< slot in which the base station received it
+};
+
+struct ConfirmationOutcome {
+  std::vector<VetoArrival> arrivals;
+};
+
+[[nodiscard]] ConfirmationOutcome run_confirmation(
+    Network& net, Adversary* adversary, const TreeResult& tree,
+    const std::vector<Reading>& broadcast_minima, std::uint64_t nonce,
+    const std::vector<std::vector<Reading>>& values,
+    std::vector<NodeAudit>& audits, bool slotted = true);
+
+}  // namespace vmat

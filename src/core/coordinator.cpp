@@ -1,0 +1,226 @@
+#include "core/coordinator.h"
+
+#include <stdexcept>
+
+#include "util/random.h"
+
+namespace vmat {
+namespace {
+
+/// Enough hash-chain elements for long experiment campaigns.
+constexpr std::size_t kMaxBroadcasts = 1 << 16;
+
+}  // namespace
+
+VmatCoordinator::VmatCoordinator(Network* net, Adversary* adversary,
+                                 VmatConfig config)
+    : net_(net),
+      adversary_(adversary),
+      config_(config),
+      depth_bound_(config.depth_bound),
+      nonce_state_(config.seed ^ 0x1234567890abcdefULL),
+      audits_(net->node_count()),
+      broadcaster_(config.seed, kMaxBroadcasts) {
+  if (net == nullptr) throw std::invalid_argument("VmatCoordinator: null net");
+  if (config.instances == 0)
+    throw std::invalid_argument("VmatCoordinator: zero instances");
+  if (depth_bound_ == 0) {
+    // "VMAT knows a rough upper bound on the depth" — default to the
+    // depth of the physical topology.
+    depth_bound_ = net_->physical_depth();
+  }
+  receivers_.reserve(net_->node_count());
+  for (std::uint32_t id = 0; id < net_->node_count(); ++id)
+    receivers_.emplace_back(broadcaster_.anchor());
+}
+
+std::uint64_t VmatCoordinator::fresh_nonce() noexcept {
+  return splitmix64(nonce_state_);
+}
+
+void VmatCoordinator::authenticated_broadcast(const Bytes& payload,
+                                              int& rounds) {
+  const SignedBroadcast b = broadcaster_.sign(payload);
+  for (std::uint32_t id = 1; id < net_->node_count(); ++id) {
+    if (net_->revocation().is_sensor_revoked(NodeId{id})) continue;
+    if (!receivers_[id].accept(b))
+      throw std::logic_error("authenticated broadcast rejected by a sensor");
+  }
+  rounds += 1;
+}
+
+ExecutionOutcome VmatCoordinator::run_min(
+    const std::vector<Reading>& readings) {
+  if (config_.instances != 1)
+    throw std::logic_error("run_min requires instances == 1");
+  std::vector<std::vector<Reading>> values(readings.size());
+  std::vector<std::vector<std::int64_t>> weights(readings.size());
+  for (std::size_t i = 0; i < readings.size(); ++i) {
+    Reading r = readings[i];
+    if (adversary_ != nullptr && adversary_->is_byzantine(NodeId{
+            static_cast<std::uint32_t>(i)}))
+      r = adversary_->strategy().own_reading(
+          NodeId{static_cast<std::uint32_t>(i)}, r);
+    values[i] = {r};
+    weights[i] = {0};
+  }
+  return execute(values, weights);
+}
+
+ExecutionOutcome VmatCoordinator::execute(
+    const std::vector<std::vector<Reading>>& values,
+    const std::vector<std::vector<std::int64_t>>& weights,
+    const ContentValidator& validate) {
+  const std::uint32_t n = net_->node_count();
+  if (values.size() != n || weights.size() != n)
+    throw std::invalid_argument("execute: values/weights must cover all nodes");
+
+  ExecutionOutcome out;
+  const std::uint64_t fabric_bytes_before = net_->fabric().total_bytes();
+
+  // --- announce + tree formation ---
+  const std::uint64_t session = fresh_nonce();
+  {
+    ByteWriter announce;
+    announce.str("vmat.announce.tree");
+    announce.u64(session);
+    authenticated_broadcast(announce.take(), out.data_rounds);
+  }
+  TreeFormationParams tree_params;
+  tree_params.mode = config_.tree_mode;
+  tree_params.depth_bound = depth_bound_;
+  tree_params.session = session;
+  tree_ = run_tree_formation(*net_, adversary_, tree_params);
+  out.data_rounds += 1;
+
+  // --- announce query + aggregation ---
+  const std::uint64_t agg_nonce = fresh_nonce();
+  {
+    ByteWriter announce;
+    announce.str("vmat.announce.query");
+    announce.u64(agg_nonce);
+    announce.u32(config_.instances);
+    authenticated_broadcast(announce.take(), out.data_rounds);
+  }
+  AggConfig agg_config;
+  agg_config.instances = config_.instances;
+  agg_config.nonce = agg_nonce;
+  agg_config.multipath = config_.multipath;
+  const AggregationOutcome agg =
+      run_aggregation(*net_, adversary_, tree_, agg_config, values, weights,
+                      audits_);
+  out.data_rounds += 1;
+
+  auto finish = [&](ExecutionOutcome& o) -> ExecutionOutcome& {
+    o.fabric_bytes = net_->fabric().total_bytes() - fabric_bytes_before;
+    return o;
+  };
+  auto finish_pinpoint = [&](PinpointOutcome&& pp, Trigger trigger) {
+    out.kind = OutcomeKind::kRevocation;
+    out.trigger = trigger;
+    out.revoked_keys = std::move(pp.revoked_keys);
+    out.revoked_sensors = std::move(pp.revoked_sensors);
+    out.reason = std::move(pp.reason);
+    out.pinpoint_cost = pp.cost;
+    return finish(out);
+  };
+
+  // --- Figure 1 step 4: classify arrivals, junk first ---
+  std::vector<Reading> minima(config_.instances, kInfinity);
+  for (const BsArrival& a : agg.arrivals) {
+    const bool id_ok =
+        a.msg.origin != kBaseStation && a.msg.origin.value < n &&
+        !net_->revocation().is_sensor_revoked(a.msg.origin);
+    const bool mac_ok =
+        id_ok && verify_agg_message(net_->keys().sensor_key(a.msg.origin),
+                                    a.msg, agg_nonce);
+    if (!mac_ok) {
+      PinpointEngine engine(net_, adversary_, &audits_, &tree_,
+                             config_.predicate_mode);
+      return finish_pinpoint(
+          engine.junk_triggered_aggregation(a.msg, a.in_edge, a.slot),
+          Trigger::kJunkAggregation);
+    }
+    const bool content_ok =
+        validate ? validate(a.msg) : a.msg.weight == 0;
+    if (!content_ok) {
+      // Valid sensor-key MAC over impossible content: only the origin's key
+      // holder could have signed it. Revoke the origin outright.
+      out.kind = OutcomeKind::kRevocation;
+      out.trigger = Trigger::kSelfIncrimination;
+      out.reason = "aggregation message with valid MAC but invalid content";
+      out.revoked_sensors = net_->revocation().revoke_sensor(a.msg.origin);
+      return finish(out);
+    }
+    if (a.msg.value < minima[a.msg.instance]) minima[a.msg.instance] = a.msg.value;
+  }
+
+  // --- announce minima + confirmation ---
+  const std::uint64_t conf_nonce = fresh_nonce();
+  {
+    ByteWriter announce;
+    announce.str("vmat.announce.minima");
+    announce.u64(conf_nonce);
+    for (Reading m : minima) announce.i64(m);
+    authenticated_broadcast(announce.take(), out.data_rounds);
+  }
+  const ConfirmationOutcome conf =
+      run_confirmation(*net_, adversary_, tree_, minima, conf_nonce, values,
+                       audits_, config_.slotted_sof);
+  out.data_rounds += 1;
+
+  // --- Figure 1 steps 7/8: spurious veto beats legitimate veto ---
+  const VetoArrival* legit = nullptr;
+  for (const VetoArrival& v : conf.arrivals) {
+    const bool id_ok = v.msg.origin != kBaseStation && v.msg.origin.value < n &&
+                       !net_->revocation().is_sensor_revoked(v.msg.origin);
+    const bool mac_ok =
+        id_ok && verify_veto(net_->keys().sensor_key(v.msg.origin), v.msg,
+                             conf_nonce);
+    if (!mac_ok) {
+      PinpointEngine engine(net_, adversary_, &audits_, &tree_,
+                             config_.predicate_mode);
+      return finish_pinpoint(
+          engine.junk_triggered_confirmation(v.msg, v.in_edge, v.interval),
+          Trigger::kJunkConfirmation);
+    }
+    const bool semantics_ok = v.msg.instance < config_.instances &&
+                              v.msg.level >= 1 && v.msg.level <= depth_bound_ &&
+                              v.msg.value < minima[v.msg.instance];
+    if (!semantics_ok) {
+      out.kind = OutcomeKind::kRevocation;
+      out.trigger = Trigger::kSelfIncrimination;
+      out.reason = "veto with valid MAC but impossible claim";
+      out.revoked_sensors = net_->revocation().revoke_sensor(v.msg.origin);
+      return finish(out);
+    }
+    if (legit == nullptr) legit = &v;
+  }
+  if (legit != nullptr) {
+    PinpointEngine engine(net_, adversary_, &audits_, &tree_,
+                          config_.predicate_mode);
+    return finish_pinpoint(engine.veto_triggered(legit->msg), Trigger::kVeto);
+  }
+
+  // --- Figure 1 step 6: no veto, the minima are correct ---
+  out.kind = OutcomeKind::kResult;
+  out.trigger = Trigger::kNone;
+  out.minima = std::move(minima);
+  return finish(out);
+}
+
+std::vector<ExecutionOutcome> VmatCoordinator::run_until_result(
+    const std::vector<std::vector<Reading>>& values,
+    const std::vector<std::vector<std::int64_t>>& weights,
+    const ContentValidator& validate, int max_executions) {
+  std::vector<ExecutionOutcome> history;
+  for (int i = 0; i < max_executions; ++i) {
+    history.push_back(execute(values, weights, validate));
+    if (history.back().produced_result()) return history;
+  }
+  throw std::runtime_error(
+      "run_until_result: no result after max_executions — an execution "
+      "failed to revoke adversary material (Theorem 7 violation)");
+}
+
+}  // namespace vmat

@@ -1,0 +1,126 @@
+// The VMAT execution driver — Figure 1's state machine, run by the trusted
+// base station.
+//
+// One execute() performs: authenticated announcement → tree formation →
+// authenticated query announcement → aggregation → junk check →
+// authenticated minimum broadcast → confirmation/SOF → veto check, and, on
+// any trigger, the corresponding pinpointing/revocation protocol. It
+// returns either per-instance minima (guaranteed correct, Theorem 2) or the
+// keys/sensors revoked (guaranteed adversary-held, Theorem 6) — the
+// Theorem 7 disjunction.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "attack/adversary.h"
+#include "broadcast/auth_broadcast.h"
+#include "core/aggregation.h"
+#include "core/confirmation.h"
+#include "core/phase_state.h"
+#include "core/pinpoint.h"
+#include "core/tree_formation.h"
+#include "sim/network.h"
+
+namespace vmat {
+
+struct VmatConfig {
+  Level depth_bound{0};  ///< announced L; 0 = use the physical depth
+  TreeMode tree_mode{TreeMode::kTimestamp};
+  bool multipath{false};     ///< Section IV-D ring aggregation
+  bool slotted_sof{true};    ///< false = unslotted ablation
+  std::uint32_t instances{1};
+  std::uint64_t seed{0x5eed};  ///< nonce/session generator seed
+  /// How keyed predicate tests execute during pinpointing: the exact
+  /// reachability collapse (fast, default) or the full fabric-level
+  /// verified flood.
+  PredicateTestMode predicate_mode{PredicateTestMode::kReachability};
+};
+
+enum class OutcomeKind : std::uint8_t { kResult, kRevocation };
+
+enum class Trigger : std::uint8_t {
+  kNone,               ///< clean run: result returned
+  kVeto,               ///< Figure 1 step 8
+  kJunkAggregation,    ///< Figure 1 step 4
+  kJunkConfirmation,   ///< Figure 1 step 7
+  kSelfIncrimination,  ///< valid-MAC message with impossible semantics
+};
+
+struct ExecutionOutcome {
+  OutcomeKind kind{OutcomeKind::kResult};
+  Trigger trigger{Trigger::kNone};
+  /// Per-instance minima; kInfinity where no message arrived. Only
+  /// meaningful when kind == kResult.
+  std::vector<Reading> minima;
+  std::vector<KeyIndex> revoked_keys;
+  std::vector<NodeId> revoked_sensors;
+  std::string reason;
+  /// O(1) data-path flooding rounds (announcements + phases).
+  int data_rounds{0};
+  /// Pinpointing cost (zero for clean runs).
+  CostMeter pinpoint_cost;
+  /// Payload bytes moved by the fabric during this execution.
+  std::uint64_t fabric_bytes{0};
+
+  [[nodiscard]] bool produced_result() const noexcept {
+    return kind == OutcomeKind::kResult;
+  }
+};
+
+/// Validates the content of an aggregation message beyond its sensor-key
+/// MAC (e.g. synopsis consistency). Returning false marks it spurious.
+using ContentValidator = std::function<bool(const AggMessage&)>;
+
+class VmatCoordinator {
+ public:
+  VmatCoordinator(Network* net, Adversary* adversary, VmatConfig config);
+
+  /// One full execution over per-node, per-instance values/weights
+  /// (kInfinity value = the node contributes nothing for that instance).
+  /// `validate` defaults to "raw reading" semantics (weight must be 0).
+  [[nodiscard]] ExecutionOutcome execute(
+      const std::vector<std::vector<Reading>>& values,
+      const std::vector<std::vector<std::int64_t>>& weights,
+      const ContentValidator& validate = {});
+
+  /// Plain MIN query over one reading per node (instances must be 1).
+  [[nodiscard]] ExecutionOutcome run_min(const std::vector<Reading>& readings);
+
+  /// Re-run the same query until it produces a result, revoking adversary
+  /// keys along the way — the "strictly diminishing capability" loop.
+  /// Throws after `max_executions` attempts.
+  [[nodiscard]] std::vector<ExecutionOutcome> run_until_result(
+      const std::vector<std::vector<Reading>>& values,
+      const std::vector<std::vector<std::int64_t>>& weights,
+      const ContentValidator& validate = {}, int max_executions = 1000);
+
+  [[nodiscard]] const std::vector<NodeAudit>& audits() const noexcept {
+    return audits_;
+  }
+  [[nodiscard]] const TreeResult& last_tree() const noexcept { return tree_; }
+  [[nodiscard]] const VmatConfig& config() const noexcept { return config_; }
+  [[nodiscard]] Level effective_depth_bound() const noexcept {
+    return depth_bound_;
+  }
+
+  [[nodiscard]] std::uint64_t fresh_nonce() noexcept;
+
+ private:
+  /// Sign at the base station and verify at every honest sensor; models one
+  /// flooding round of choke-resistant authenticated broadcast.
+  void authenticated_broadcast(const Bytes& payload, int& rounds);
+
+  Network* net_;
+  Adversary* adversary_;
+  VmatConfig config_;
+  Level depth_bound_;
+  std::uint64_t nonce_state_;
+  std::vector<NodeAudit> audits_;
+  TreeResult tree_;
+  AuthBroadcaster broadcaster_;
+  std::vector<AuthReceiver> receivers_;
+};
+
+}  // namespace vmat

@@ -1,0 +1,222 @@
+#include "core/messages.h"
+
+#include <algorithm>
+
+namespace vmat {
+namespace {
+
+void put_mac(ByteWriter& w, const Mac& mac) { w.raw(mac.bytes); }
+
+Mac get_mac(ByteReader& r) {
+  Mac mac;
+  const Bytes raw = r.raw(mac.bytes.size());
+  std::copy(raw.begin(), raw.end(), mac.bytes.begin());
+  return mac;
+}
+
+void put_agg_message(ByteWriter& w, const AggMessage& m) {
+  w.u32(m.origin.value);
+  w.u32(m.instance);
+  w.i64(m.value);
+  w.i64(m.weight);
+  put_mac(w, m.mac);
+}
+
+AggMessage get_agg_message(ByteReader& r) {
+  AggMessage m;
+  m.origin = NodeId{r.u32()};
+  m.instance = r.u32();
+  m.value = r.i64();
+  m.weight = r.i64();
+  m.mac = get_mac(r);
+  return m;
+}
+
+}  // namespace
+
+Bytes encode(const TreeFormationMsg& m) {
+  ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(MsgType::kTreeFormation));
+  w.u64(m.session);
+  w.u32(static_cast<std::uint32_t>(m.hop_count));
+  return w.take();
+}
+
+Bytes encode(const AggBundle& m) {
+  ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(MsgType::kAggBundle));
+  w.u32(static_cast<std::uint32_t>(m.entries.size()));
+  for (const auto& e : m.entries) put_agg_message(w, e);
+  return w.take();
+}
+
+Bytes encode(const VetoMsg& m) {
+  ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(MsgType::kVeto));
+  w.u32(m.origin.value);
+  w.u32(m.instance);
+  w.i64(m.value);
+  w.u32(static_cast<std::uint32_t>(m.level));
+  put_mac(w, m.mac);
+  return w.take();
+}
+
+Bytes encode(const PredicateReplyMsg& m) {
+  ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(MsgType::kPredicateReply));
+  put_mac(w, m.reply);
+  return w.take();
+}
+
+std::optional<MsgType> peek_type(const Bytes& frame) noexcept {
+  if (frame.empty()) return std::nullopt;
+  switch (frame[0]) {
+    case 1:
+      return MsgType::kTreeFormation;
+    case 2:
+      return MsgType::kAggBundle;
+    case 3:
+      return MsgType::kVeto;
+    case 4:
+      return MsgType::kPredicateReply;
+    default:
+      return std::nullopt;
+  }
+}
+
+std::optional<TreeFormationMsg> decode_tree(const Bytes& frame) {
+  try {
+    ByteReader r(frame);
+    if (r.u8() != static_cast<std::uint8_t>(MsgType::kTreeFormation))
+      return std::nullopt;
+    TreeFormationMsg m;
+    m.session = r.u64();
+    m.hop_count = static_cast<std::int32_t>(r.u32());
+    if (!r.done()) return std::nullopt;
+    return m;
+  } catch (const std::out_of_range&) {
+    return std::nullopt;
+  }
+}
+
+std::optional<AggBundle> decode_agg(const Bytes& frame) {
+  try {
+    ByteReader r(frame);
+    if (r.u8() != static_cast<std::uint8_t>(MsgType::kAggBundle))
+      return std::nullopt;
+    const std::uint32_t count = r.u32();
+    // Sanity bound so a malformed length cannot cause a huge allocation.
+    if (count > 100000) return std::nullopt;
+    AggBundle m;
+    m.entries.reserve(count);
+    for (std::uint32_t i = 0; i < count; ++i)
+      m.entries.push_back(get_agg_message(r));
+    if (!r.done()) return std::nullopt;
+    return m;
+  } catch (const std::out_of_range&) {
+    return std::nullopt;
+  }
+}
+
+std::optional<VetoMsg> decode_veto(const Bytes& frame) {
+  try {
+    ByteReader r(frame);
+    if (r.u8() != static_cast<std::uint8_t>(MsgType::kVeto))
+      return std::nullopt;
+    VetoMsg m;
+    m.origin = NodeId{r.u32()};
+    m.instance = r.u32();
+    m.value = r.i64();
+    m.level = static_cast<Level>(r.u32());
+    m.mac = get_mac(r);
+    if (!r.done()) return std::nullopt;
+    return m;
+  } catch (const std::out_of_range&) {
+    return std::nullopt;
+  }
+}
+
+std::optional<PredicateReplyMsg> decode_reply(const Bytes& frame) {
+  try {
+    ByteReader r(frame);
+    if (r.u8() != static_cast<std::uint8_t>(MsgType::kPredicateReply))
+      return std::nullopt;
+    PredicateReplyMsg m;
+    m.reply = get_mac(r);
+    if (!r.done()) return std::nullopt;
+    return m;
+  } catch (const std::out_of_range&) {
+    return std::nullopt;
+  }
+}
+
+Bytes agg_mac_input(std::uint64_t nonce, std::uint32_t instance, Reading value,
+                    std::int64_t weight) {
+  ByteWriter w;
+  w.str("vmat.agg");
+  w.u64(nonce);
+  w.u32(instance);
+  w.i64(value);
+  w.i64(weight);
+  return w.take();
+}
+
+Bytes veto_mac_input(std::uint64_t nonce, std::uint32_t instance, Reading value,
+                     Level level) {
+  ByteWriter w;
+  w.str("vmat.veto");
+  w.u64(nonce);
+  w.u32(instance);
+  w.i64(value);
+  w.u32(static_cast<std::uint32_t>(level));
+  return w.take();
+}
+
+AggMessage make_agg_message(const SymmetricKey& sensor_key, NodeId origin,
+                            std::uint32_t instance, Reading value,
+                            std::int64_t weight, std::uint64_t nonce) {
+  AggMessage m;
+  m.origin = origin;
+  m.instance = instance;
+  m.value = value;
+  m.weight = weight;
+  m.mac = compute_mac(sensor_key, agg_mac_input(nonce, instance, value, weight));
+  return m;
+}
+
+VetoMsg make_veto(const SymmetricKey& sensor_key, NodeId origin,
+                  std::uint32_t instance, Reading value, Level level,
+                  std::uint64_t nonce) {
+  VetoMsg m;
+  m.origin = origin;
+  m.instance = instance;
+  m.value = value;
+  m.level = level;
+  m.mac = compute_mac(sensor_key, veto_mac_input(nonce, instance, value, level));
+  return m;
+}
+
+bool verify_agg_message(const SymmetricKey& sensor_key, const AggMessage& m,
+                        std::uint64_t nonce) {
+  return verify_mac(sensor_key,
+                    agg_mac_input(nonce, m.instance, m.value, m.weight), m.mac);
+}
+
+bool verify_veto(const SymmetricKey& sensor_key, const VetoMsg& m,
+                 std::uint64_t nonce) {
+  return verify_mac(sensor_key,
+                    veto_mac_input(nonce, m.instance, m.value, m.level), m.mac);
+}
+
+Digest message_identity(const AggMessage& m) {
+  ByteWriter w;
+  w.str("vmat.id.agg");
+  put_agg_message(w, m);
+  return Sha256::hash(w.bytes());
+}
+
+Digest message_identity(const VetoMsg& m) {
+  return Sha256::hash(encode(m));
+}
+
+}  // namespace vmat

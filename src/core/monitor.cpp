@@ -1,0 +1,68 @@
+#include "core/monitor.h"
+
+#include <stdexcept>
+
+namespace vmat {
+
+MonitorService::MonitorService(QueryEngine* queries, Network* net,
+                               MonitorConfig config)
+    : queries_(queries), net_(net), config_(config) {
+  if (queries == nullptr || net == nullptr)
+    throw std::invalid_argument("MonitorService: null dependency");
+  if (config.max_retries_per_epoch < 1)
+    throw std::invalid_argument("MonitorService: retry budget must be >= 1");
+}
+
+template <typename RunOnce>
+EpochReport MonitorService::run_epoch(RunOnce&& run_once) {
+  EpochReport report;
+  report.epoch = epochs() + 1;
+  const std::size_t keys_before = net_->revocation().revoked_key_count();
+  const std::size_t sensors_before =
+      net_->revocation().revoked_sensors_in_order().size();
+
+  for (int attempt = 0; attempt < config_.max_retries_per_epoch; ++attempt) {
+    const QueryOutcome out = run_once();
+    if (out.answered()) {
+      report.estimate = out.estimate;
+      break;
+    }
+    ++report.disruptions;
+  }
+  report.keys_revoked =
+      net_->revocation().revoked_key_count() - keys_before;
+  report.sensors_revoked =
+      net_->revocation().revoked_sensors_in_order().size() - sensors_before;
+  history_.push_back(report);
+  return report;
+}
+
+EpochReport MonitorService::run_count_epoch(
+    const std::vector<std::uint8_t>& predicate) {
+  return run_epoch([&] { return queries_->count(predicate); });
+}
+
+EpochReport MonitorService::run_sum_epoch(
+    const std::vector<std::int64_t>& readings) {
+  return run_epoch([&] { return queries_->sum(readings); });
+}
+
+EpochReport MonitorService::run_average_epoch(
+    const std::vector<std::int64_t>& readings) {
+  return run_epoch([&] { return queries_->average(readings); });
+}
+
+int MonitorService::total_disruptions() const noexcept {
+  int total = 0;
+  for (const auto& r : history_) total += r.disruptions;
+  return total;
+}
+
+std::size_t MonitorService::answered_epochs() const noexcept {
+  std::size_t total = 0;
+  for (const auto& r : history_)
+    if (r.answered()) ++total;
+  return total;
+}
+
+}  // namespace vmat

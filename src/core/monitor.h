@@ -1,0 +1,70 @@
+// Continuous secure monitoring on top of the query engine.
+//
+// Long-running deployments ask the same query every epoch (e.g. "average
+// battery level, every 10 minutes"). MonitorService wraps that loop around
+// VMAT's guarantee: a disrupted execution is retried within the epoch, and
+// because every disruption revokes adversary key material (Theorem 7), the
+// retry budget is spent against a strictly shrinking opponent. The service
+// keeps per-epoch reports and running totals so operators can watch the
+// adversary being ground down.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "core/query.h"
+
+namespace vmat {
+
+struct MonitorConfig {
+  /// Retry budget per epoch; an epoch that exhausts it reports no estimate
+  /// (it still made progress: every retry revoked something).
+  int max_retries_per_epoch{50};
+};
+
+struct EpochReport {
+  int epoch{0};
+  std::optional<double> estimate;
+  int disruptions{0};          ///< retries consumed this epoch
+  std::size_t keys_revoked{0};  ///< new key revocations this epoch
+  std::size_t sensors_revoked{0};
+
+  [[nodiscard]] bool answered() const noexcept {
+    return estimate.has_value();
+  }
+};
+
+class MonitorService {
+ public:
+  MonitorService(QueryEngine* queries, Network* net,
+                 MonitorConfig config = {});
+
+  /// Run one COUNT epoch (retrying through disruptions).
+  EpochReport run_count_epoch(const std::vector<std::uint8_t>& predicate);
+
+  /// Run one SUM epoch.
+  EpochReport run_sum_epoch(const std::vector<std::int64_t>& readings);
+
+  /// Run one AVERAGE epoch.
+  EpochReport run_average_epoch(const std::vector<std::int64_t>& readings);
+
+  [[nodiscard]] const std::vector<EpochReport>& history() const noexcept {
+    return history_;
+  }
+  [[nodiscard]] int epochs() const noexcept {
+    return static_cast<int>(history_.size());
+  }
+  [[nodiscard]] int total_disruptions() const noexcept;
+  [[nodiscard]] std::size_t answered_epochs() const noexcept;
+
+ private:
+  template <typename RunOnce>
+  EpochReport run_epoch(RunOnce&& run_once);
+
+  QueryEngine* queries_;
+  Network* net_;
+  MonitorConfig config_;
+  std::vector<EpochReport> history_;
+};
+
+}  // namespace vmat

@@ -1,0 +1,50 @@
+// Shared state types produced/consumed by the protocol phases. Kept in a
+// leaf header so the adversary hook interface (attack/adversary.h) and the
+// phase drivers can both see them without a dependency cycle.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/ids.h"
+
+namespace vmat {
+
+/// How tree levels are derived during tree formation.
+enum class TreeMode : std::uint8_t {
+  kTimestamp,  ///< VMAT: level = slot of first receipt (Section IV-A)
+  kHopCount,   ///< naive TAG-style baseline: level = hop count + 1
+};
+
+/// A parent as recorded by a child: the id the tree-formation frame claimed
+/// to come from, and the edge key it was authenticated with. Only the edge
+/// key is trustworthy; the id is the sender's claim.
+struct ParentLink {
+  NodeId claimed_id;
+  KeyIndex edge_key{kNoKey};
+
+  friend bool operator==(const ParentLink&, const ParentLink&) = default;
+};
+
+/// Output of the tree-formation phase.
+struct TreeResult {
+  std::uint64_t session{0};
+  TreeMode mode{TreeMode::kTimestamp};
+  Level depth_bound{0};  ///< the announced L
+  std::vector<Level> level;                    ///< per node; kNoLevel if unset
+  std::vector<std::vector<ParentLink>> parents;  ///< per node
+
+  [[nodiscard]] bool has_valid_level(NodeId node) const {
+    const Level l = level[node.value];
+    return l >= 1 && l <= depth_bound;
+  }
+};
+
+/// Parameters of one aggregation execution.
+struct AggConfig {
+  std::uint32_t instances{1};  ///< parallel MIN instances (synopses)
+  std::uint64_t nonce{0};      ///< fresh per execution (Section IV-B)
+  bool multipath{false};       ///< Section IV-D ring aggregation
+};
+
+}  // namespace vmat

@@ -1,0 +1,74 @@
+// High-level aggregation query API (the public face of the library).
+//
+// COUNT, SUM, and AVERAGE queries are converted to parallel MIN instances
+// via verifiable exponential synopses (core/synopsis.h) and executed by the
+// VmatCoordinator. Each query call performs one VMAT execution; if the
+// adversary disrupted it, the outcome carries what was revoked instead of
+// an estimate, and the caller simply retries (each retry strictly shrinks
+// the adversary's key material — Theorem 7).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "core/coordinator.h"
+#include "core/synopsis.h"
+
+namespace vmat {
+
+struct QueryOutcome {
+  /// Set when the execution produced a result; the (ε,δ)-approximate
+  /// estimate of the queried aggregate.
+  std::optional<double> estimate;
+  /// Full execution detail (revocations, trigger, costs).
+  ExecutionOutcome exec;
+
+  [[nodiscard]] bool answered() const noexcept { return estimate.has_value(); }
+};
+
+class QueryEngine {
+ public:
+  /// `coordinator` must be configured with the number of instances to use
+  /// (e.g. instances_for(epsilon, delta), or the paper's 100).
+  explicit QueryEngine(VmatCoordinator* coordinator);
+
+  /// Predicate COUNT: how many sensors report `predicate[node] == true`?
+  [[nodiscard]] QueryOutcome count(const std::vector<std::uint8_t>& predicate);
+
+  /// SUM of non-negative integer readings (0 contributes nothing).
+  [[nodiscard]] QueryOutcome sum(const std::vector<std::int64_t>& readings);
+
+  /// AVERAGE of positive integer readings: SUM / COUNT(reading > 0) — two
+  /// executions, as in Section VIII.
+  [[nodiscard]] QueryOutcome average(const std::vector<std::int64_t>& readings);
+
+  /// Retry-until-answered convenience (the Theorem 7 loop).
+  [[nodiscard]] QueryOutcome count_until_answered(
+      const std::vector<std::uint8_t>& predicate, int max_executions = 1000);
+
+  /// Exact MIN of raw readings (runs on instance 0; works with any
+  /// coordinator instance count).
+  [[nodiscard]] QueryOutcome min_reading(const std::vector<Reading>& readings);
+
+  /// Exact MAX via MIN over negated readings (the standard duality; the
+  /// veto/pinpointing machinery applies unchanged).
+  [[nodiscard]] QueryOutcome max_reading(const std::vector<Reading>& readings);
+
+  /// Approximate q-quantile (0 < q < 1) of non-negative integer readings in
+  /// [0, domain_max], via a binary search of COUNT queries (log2(domain)
+  /// probes, each a retried secure execution). Error follows the COUNT
+  /// estimator's (ε,δ) bound.
+  [[nodiscard]] QueryOutcome quantile(
+      const std::vector<std::int64_t>& readings, double q,
+      std::int64_t domain_max, int max_executions_per_probe = 300);
+
+ private:
+  [[nodiscard]] QueryOutcome run_synopsis_query(
+      const std::vector<std::int64_t>& weights);
+  [[nodiscard]] QueryOutcome run_plain_min(
+      const std::vector<Reading>& readings);
+
+  VmatCoordinator* coordinator_;
+};
+
+}  // namespace vmat

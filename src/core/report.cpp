@@ -1,0 +1,123 @@
+#include "core/report.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace vmat {
+namespace {
+
+std::string format(const char* fmt, auto... args) {
+  char buf[256];
+  std::snprintf(buf, sizeof buf, fmt, args...);
+  return buf;
+}
+
+}  // namespace
+
+const char* to_string(Trigger trigger) noexcept {
+  switch (trigger) {
+    case Trigger::kNone: return "none";
+    case Trigger::kVeto: return "veto";
+    case Trigger::kJunkAggregation: return "junk-aggregation";
+    case Trigger::kJunkConfirmation: return "junk-confirmation";
+    case Trigger::kSelfIncrimination: return "self-incrimination";
+  }
+  return "?";
+}
+
+const char* to_string(OutcomeKind kind) noexcept {
+  switch (kind) {
+    case OutcomeKind::kResult: return "result";
+    case OutcomeKind::kRevocation: return "revocation";
+  }
+  return "?";
+}
+
+std::string summarize(const ExecutionOutcome& outcome) {
+  if (outcome.produced_result()) {
+    std::string minima = "[";
+    const std::size_t shown = std::min<std::size_t>(outcome.minima.size(), 3);
+    for (std::size_t i = 0; i < shown; ++i) {
+      if (i > 0) minima += ", ";
+      minima += outcome.minima[i] == kInfinity
+                    ? "inf"
+                    : std::to_string(outcome.minima[i]);
+    }
+    if (outcome.minima.size() > shown) minima += ", ...";
+    minima += "]";
+    return format("result: minima=%s (%d rounds, %.1f KB)", minima.c_str(),
+                  outcome.data_rounds,
+                  static_cast<double>(outcome.fabric_bytes) / 1000.0);
+  }
+  return format("revoked %zu key(s), %zu sensor(s) via %s: %s (%d tests)",
+                outcome.revoked_keys.size(), outcome.revoked_sensors.size(),
+                to_string(outcome.trigger), outcome.reason.c_str(),
+                outcome.pinpoint_cost.predicate_tests);
+}
+
+std::string describe(const ExecutionOutcome& outcome) {
+  std::string out;
+  out += format("outcome:   %s\n", to_string(outcome.kind));
+  out += format("trigger:   %s\n", to_string(outcome.trigger));
+  if (outcome.produced_result()) {
+    out += format("instances: %zu\n", outcome.minima.size());
+  } else {
+    out += format("reason:    %s\n", outcome.reason.c_str());
+    out += format("revoked:   %zu key(s), %zu sensor(s)\n",
+                  outcome.revoked_keys.size(), outcome.revoked_sensors.size());
+    out += format("pinpoint:  %d predicate tests, %d flooding rounds\n",
+                  outcome.pinpoint_cost.predicate_tests,
+                  outcome.pinpoint_cost.flooding_rounds);
+  }
+  out += format("data path: %d flooding rounds, %.1f KB on the fabric\n",
+                outcome.data_rounds,
+                static_cast<double>(outcome.fabric_bytes) / 1000.0);
+  return out;
+}
+
+std::string describe_revocations(const Network& net) {
+  const auto& reg = net.revocation();
+  std::size_t pinpointed = 0, bulk = 0;
+  for (const auto& e : reg.events()) {
+    if (e.cause == RevocationCause::kPinpointed)
+      ++pinpointed;
+    else
+      ++bulk;
+  }
+  std::string out;
+  out += format("revoked keys:    %zu (%zu pinpointed, %zu via ring seeds)\n",
+                reg.revoked_key_count(), pinpointed, bulk);
+  out += format("revoked sensors: %zu", reg.revoked_sensors_in_order().size());
+  for (NodeId s : reg.revoked_sensors_in_order())
+    out += format(" %u", s.value);
+  out += "\n";
+  out += format("threshold:       theta=%u%s\n", reg.threshold(),
+                reg.threshold() == 0 ? " (ring revocation disabled)" : "");
+  return out;
+}
+
+std::string describe_deployment(const Network& net) {
+  const auto& topo = net.topology();
+  std::size_t min_deg = topo.node_count(), max_deg = 0, total_deg = 0;
+  for (std::uint32_t id = 0; id < topo.node_count(); ++id) {
+    const std::size_t d = topo.degree(NodeId{id});
+    min_deg = std::min(min_deg, d);
+    max_deg = std::max(max_deg, d);
+    total_deg += d;
+  }
+  std::string out;
+  out += format("sensors:  %u (+ base station at node 0)\n",
+                net.node_count() - 1);
+  out += format("edges:    %zu physical, depth L=%d\n", topo.edge_count(),
+                net.physical_depth());
+  out += format("degree:   min %zu / avg %.1f / max %zu\n", min_deg,
+                static_cast<double>(total_deg) / topo.node_count(), max_deg);
+  out += format("keys:     pool u=%u, ring r=%u (mean pairwise overlap %.2f)\n",
+                net.keys().config().pool_size, net.keys().config().ring_size,
+                static_cast<double>(net.keys().config().ring_size) *
+                    net.keys().config().ring_size /
+                    net.keys().config().pool_size);
+  return out;
+}
+
+}  // namespace vmat

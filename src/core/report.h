@@ -1,0 +1,30 @@
+// Human-readable reporting for executions, revocation state, and
+// deployments — the observability layer the CLI and examples print from.
+#pragma once
+
+#include <string>
+
+#include "core/coordinator.h"
+#include "sim/network.h"
+
+namespace vmat {
+
+/// One-line outcome summary, e.g.
+///   "result: min=42 (6 rounds, 31.2 KB)" or
+///   "revoked 1 key via veto walk: veto/fig6: no holder admits (53 tests)".
+[[nodiscard]] std::string summarize(const ExecutionOutcome& outcome);
+
+/// Multi-line detail: trigger, minima/revocations, costs.
+[[nodiscard]] std::string describe(const ExecutionOutcome& outcome);
+
+/// Revocation ledger: per-cause key counts, fully revoked sensors.
+[[nodiscard]] std::string describe_revocations(const Network& net);
+
+/// Deployment summary: nodes, edges, depth, degree stats, key regime.
+[[nodiscard]] std::string describe_deployment(const Network& net);
+
+/// Stable names for enums (also used by tests and the CLI).
+[[nodiscard]] const char* to_string(Trigger trigger) noexcept;
+[[nodiscard]] const char* to_string(OutcomeKind kind) noexcept;
+
+}  // namespace vmat

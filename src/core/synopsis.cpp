@@ -1,0 +1,52 @@
+#include "core/synopsis.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace vmat {
+
+SynopsisCodec::SynopsisCodec(std::uint64_t nonce) noexcept
+    : nonce_(nonce), prg_key_(derive_key("vmat.synopsis-prg", nonce, 0)) {}
+
+Reading SynopsisCodec::encode_value(double a) noexcept {
+  if (a < 0.0) a = 0.0;
+  const double scaled = a * kScale;
+  if (scaled >= 9.0e18) return kInfinity - 1;
+  return static_cast<Reading>(scaled);
+}
+
+double SynopsisCodec::decode_value(Reading v) noexcept {
+  return static_cast<double>(v) / kScale;
+}
+
+Reading SynopsisCodec::value_for(NodeId origin, std::uint32_t instance,
+                                 std::int64_t weight) const noexcept {
+  const double a = prf_exponential(prg_key_, nonce_, origin.value, instance,
+                                   static_cast<std::uint64_t>(weight));
+  return encode_value(a);
+}
+
+bool SynopsisCodec::consistent(const AggMessage& m) const noexcept {
+  if (m.weight <= 0) return false;
+  return m.value == value_for(m.origin, m.instance, m.weight);
+}
+
+double estimate_sum(std::span<const Reading> minima) noexcept {
+  if (minima.empty()) return 0.0;
+  double sum = 0.0;
+  for (Reading v : minima) {
+    if (v == kInfinity) return 0.0;
+    sum += SynopsisCodec::decode_value(v);
+  }
+  const double a_min = sum / static_cast<double>(minima.size());
+  return a_min <= 0.0 ? 0.0 : 1.0 / a_min;
+}
+
+std::uint32_t instances_for(double epsilon, double delta) {
+  if (epsilon <= 0.0 || epsilon >= 1.0 || delta <= 0.0 || delta >= 1.0)
+    throw std::invalid_argument("instances_for: require 0 < ε, δ < 1");
+  const double m = 2.0 / (epsilon * epsilon) * std::log(2.0 / delta);
+  return static_cast<std::uint32_t>(std::ceil(m));
+}
+
+}  // namespace vmat

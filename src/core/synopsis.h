@@ -1,0 +1,60 @@
+// COUNT/SUM → MIN conversion via verifiable exponential synopses
+// (Section VIII, after Mosk-Aoyama & Shah [17]).
+//
+// A sensor x with reading (weight) v > 0 derives, for each of m parallel
+// instances, a_{i,x} ~ Exp(mean 1/v) from a *public* PRG seeded with
+// (query nonce ‖ x ‖ i ‖ v). min_x a_{i,x} is computed by m parallel MIN
+// queries; with a^min = (Σ_i a_i^min)/m the sum estimate is 1/a^min, an
+// (ε,δ)-approximation for m = Θ(ε⁻² log δ⁻¹).
+//
+// Verifiability: since the PRG seed is public, the base station recomputes
+// any claimed synopsis from (origin, instance, weight) and rejects
+// mismatches, so a malicious sensor can only submit synopses corresponding
+// to *some* reading of its own — exactly the paper's anti-fabrication
+// argument. Synopses travel as fixed-point Readings so the MIN machinery,
+// audit trails, and pinpointing apply unchanged.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "core/messages.h"
+#include "crypto/prf.h"
+#include "util/ids.h"
+
+namespace vmat {
+
+class SynopsisCodec {
+ public:
+  /// Fixed-point scale: values in (0, ~2^23) map losslessly enough into
+  /// int64 (synopses are at most ~-ln(2^-53)·1 ≈ 36.7 for weight 1).
+  static constexpr double kScale = 1099511627776.0;  // 2^40
+
+  explicit SynopsisCodec(std::uint64_t nonce) noexcept;
+
+  [[nodiscard]] std::uint64_t nonce() const noexcept { return nonce_; }
+
+  /// The synopsis a sensor with this weight must produce for an instance.
+  [[nodiscard]] Reading value_for(NodeId origin, std::uint32_t instance,
+                                  std::int64_t weight) const noexcept;
+
+  /// Base-station check: does the message carry exactly the synopsis its
+  /// claimed (origin, instance, weight) dictates, with weight > 0?
+  [[nodiscard]] bool consistent(const AggMessage& m) const noexcept;
+
+  [[nodiscard]] static Reading encode_value(double a) noexcept;
+  [[nodiscard]] static double decode_value(Reading v) noexcept;
+
+ private:
+  std::uint64_t nonce_;
+  SymmetricKey prg_key_;  // publicly derivable from the nonce
+};
+
+/// 1 / ((Σ decoded minima)/m); 0 when any instance saw no synopsis (which
+/// means no sensor carried positive weight).
+[[nodiscard]] double estimate_sum(std::span<const Reading> minima) noexcept;
+
+/// m = ceil(2 ε⁻² ln(2/δ)): enough instances for an (ε,δ)-approximation.
+[[nodiscard]] std::uint32_t instances_for(double epsilon, double delta);
+
+}  // namespace vmat

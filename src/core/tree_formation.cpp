@@ -1,0 +1,160 @@
+#include "core/tree_formation.h"
+
+#include <stdexcept>
+
+namespace vmat {
+namespace {
+
+/// Parents recorded this slot, deduplicated by (claimed id, edge key).
+void record_parent(std::vector<ParentLink>& parents, ParentLink link) {
+  for (const auto& p : parents)
+    if (p == link) return;
+  parents.push_back(link);
+}
+
+TreeResult run_timestamp_mode(Network& net, Adversary* adversary,
+                              const TreeFormationParams& params) {
+  const std::uint32_t n = net.node_count();
+  TreeResult result;
+  result.session = params.session;
+  result.mode = params.mode;
+  result.depth_bound = params.depth_bound;
+  result.level.assign(n, kNoLevel);
+  result.parents.assign(n, {});
+  result.level[kBaseStation.value] = 0;
+
+  const Bytes flood_frame = encode(TreeFormationMsg{params.session, 0});
+
+  for (Interval slot = 1; slot <= params.depth_bound; ++slot) {
+    if (adversary != nullptr && !adversary->strategy().passthrough()) {
+      TreeCtx ctx;
+      ctx.mode = params.mode;
+      ctx.depth_bound = params.depth_bound;
+      ctx.session = params.session;
+      ctx.slot = slot;
+      ctx.levels = &result.level;
+      adversary->strategy().on_tree_slot(adversary->view(), ctx);
+    }
+
+    // Honest transmissions: the base station in slot 1; level-(slot-1)
+    // sensors in slot `slot`.
+    for (std::uint32_t id = 0; id < n; ++id) {
+      const NodeId node{id};
+      if (byzantine(adversary, node)) continue;
+      if (net.revocation().is_sensor_revoked(node)) continue;
+      const bool is_bs_turn = (node == kBaseStation && slot == 1);
+      const bool is_sensor_turn =
+          (node != kBaseStation && result.level[id] == slot - 1);
+      if (is_bs_turn || is_sensor_turn)
+        net.broadcast_secure(node, flood_frame);
+    }
+
+    net.fabric().end_slot();
+
+    // Receipt: unleveled nodes adopt this slot as their level.
+    for (std::uint32_t id = 0; id < n; ++id) {
+      const NodeId node{id};
+      if (node == kBaseStation) {
+        (void)net.fabric().take_inbox(node);  // BS ignores tree frames
+        continue;
+      }
+      if (net.revocation().is_sensor_revoked(node)) continue;
+      auto frames = net.receive_valid(node);
+      if (result.level[id] != kNoLevel) continue;  // already leveled: ignore
+      bool adopted = false;
+      for (const auto& env : frames) {
+        const auto msg = decode_tree(env.payload);
+        if (!msg.has_value() || msg->session != params.session) continue;
+        adopted = true;
+        record_parent(result.parents[id], {env.from, env.edge_key});
+      }
+      if (adopted) result.level[id] = slot;
+    }
+  }
+  return result;
+}
+
+TreeResult run_hopcount_mode(Network& net, Adversary* adversary,
+                             const TreeFormationParams& params) {
+  const std::uint32_t n = net.node_count();
+  TreeResult result;
+  result.session = params.session;
+  result.mode = params.mode;
+  result.depth_bound = params.depth_bound;
+  result.level.assign(n, kNoLevel);
+  result.parents.assign(n, {});
+  result.level[kBaseStation.value] = 0;
+
+  // Hop count each node will forward with, once, in the slot after receipt.
+  std::vector<std::int32_t> pending_hop(n, -1);
+  std::vector<bool> forwarded(n, false);
+
+  const Interval slot_cap = 2 * params.depth_bound + 4;
+  for (Interval slot = 1; slot <= slot_cap; ++slot) {
+    if (adversary != nullptr && !adversary->strategy().passthrough()) {
+      TreeCtx ctx;
+      ctx.mode = params.mode;
+      ctx.depth_bound = params.depth_bound;
+      ctx.session = params.session;
+      ctx.slot = slot;
+      ctx.levels = &result.level;
+      adversary->strategy().on_tree_slot(adversary->view(), ctx);
+    }
+
+    for (std::uint32_t id = 0; id < n; ++id) {
+      const NodeId node{id};
+      if (byzantine(adversary, node)) continue;
+      if (net.revocation().is_sensor_revoked(node)) continue;
+      if (node == kBaseStation) {
+        if (slot == 1)
+          net.broadcast_secure(node, encode(TreeFormationMsg{params.session, 0}));
+        continue;
+      }
+      if (pending_hop[id] >= 0 && !forwarded[id]) {
+        net.broadcast_secure(node,
+                             encode(TreeFormationMsg{params.session,
+                                                     pending_hop[id] + 1}));
+        forwarded[id] = true;
+      }
+    }
+
+    net.fabric().end_slot();
+
+    for (std::uint32_t id = 0; id < n; ++id) {
+      const NodeId node{id};
+      if (node == kBaseStation) {
+        (void)net.fabric().take_inbox(node);
+        continue;
+      }
+      if (net.revocation().is_sensor_revoked(node)) continue;
+      auto frames = net.receive_valid(node);
+      if (result.level[id] != kNoLevel) continue;
+      for (const auto& env : frames) {
+        const auto msg = decode_tree(env.payload);
+        if (!msg.has_value() || msg->session != params.session) continue;
+        // First frame wins, exactly as in TAG.
+        result.level[id] = msg->hop_count + 1;
+        pending_hop[id] = msg->hop_count;
+        record_parent(result.parents[id], {env.from, env.edge_key});
+        break;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace
+
+TreeResult run_tree_formation(Network& net, Adversary* adversary,
+                              const TreeFormationParams& params) {
+  if (params.depth_bound < 1)
+    throw std::invalid_argument("run_tree_formation: depth_bound must be >= 1");
+  net.fabric().reset();
+  TreeResult result = params.mode == TreeMode::kTimestamp
+                          ? run_timestamp_mode(net, adversary, params)
+                          : run_hopcount_mode(net, adversary, params);
+  net.fabric().reset();
+  return result;
+}
+
+}  // namespace vmat

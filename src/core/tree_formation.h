@@ -1,0 +1,33 @@
+// Tree-formation phase (Section IV-A).
+//
+// VMAT mode (kTimestamp): the phase is divided into `depth_bound` (= L)
+// slots. The base station transmits in slot 1; a sensor that receives its
+// first valid tree-formation frame in slot t adopts level t and retransmits
+// in slot t+1. Levels are therefore bounded by L for every honest sensor
+// the malicious set does not partition away, no matter what hop counts
+// adversaries write into frames.
+//
+// Baseline mode (kHopCount): classic TAG flooding — level = received hop
+// count + 1, forwarded immediately. A wormhole pair can concatenate paths
+// and push honest levels beyond L (Figure 2(c)), which the ablation bench
+// demonstrates.
+#pragma once
+
+#include "attack/adversary.h"
+#include "core/phase_state.h"
+#include "sim/network.h"
+
+namespace vmat {
+
+struct TreeFormationParams {
+  TreeMode mode{TreeMode::kTimestamp};
+  Level depth_bound{0};  ///< the announced L (> 0)
+  std::uint64_t session{0};
+};
+
+/// Run the phase to completion. The adversary hook runs at the start of
+/// every slot, before honest transmissions.
+[[nodiscard]] TreeResult run_tree_formation(Network& net, Adversary* adversary,
+                                            const TreeFormationParams& params);
+
+}  // namespace vmat

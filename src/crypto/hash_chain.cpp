@@ -1,0 +1,42 @@
+#include "crypto/hash_chain.h"
+
+#include <stdexcept>
+
+#include "util/bytes.h"
+
+namespace vmat {
+
+HashChain::HashChain(std::uint64_t seed, std::size_t length) {
+  if (length == 0) throw std::invalid_argument("HashChain: zero length");
+  ByteWriter w;
+  w.str("vmat.hash-chain.seed");
+  w.u64(seed);
+  Digest current = Sha256::hash(w.bytes());
+
+  // Build from the seed end back to the anchor, then reverse.
+  std::vector<Digest> reversed;
+  reversed.reserve(length);
+  reversed.push_back(current);
+  for (std::size_t i = 1; i < length; ++i) {
+    current = Sha256::hash(current);
+    reversed.push_back(current);
+  }
+  chain_.assign(reversed.rbegin(), reversed.rend());
+}
+
+const Digest& HashChain::element(std::size_t i) const {
+  if (i >= chain_.size()) throw std::out_of_range("HashChain::element");
+  return chain_[i];
+}
+
+bool HashChain::verify(const Digest& candidate, std::size_t i,
+                       const Digest& verified,
+                       std::size_t verified_pos) noexcept {
+  if (i <= verified_pos) return false;
+  Digest current = candidate;
+  for (std::size_t step = 0; step < i - verified_pos; ++step)
+    current = Sha256::hash(current);
+  return current == verified;
+}
+
+}  // namespace vmat

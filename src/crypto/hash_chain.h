@@ -1,0 +1,40 @@
+// One-way hash chains, the commitment structure behind the authenticated
+// broadcast primitive (μTESLA-style, per Ning et al. [20]).
+//
+// The base station commits to chain anchor H^n(seed); releasing H^{n-i}(seed)
+// in epoch i authenticates that epoch's broadcast key. Receivers verify a
+// released element by hashing forward to a previously verified element.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "crypto/sha256.h"
+
+namespace vmat {
+
+class HashChain {
+ public:
+  /// Build a chain of `length` elements from a seed. element(0) is the
+  /// anchor (deepest hash, publicly known), element(length-1) the seed end.
+  HashChain(std::uint64_t seed, std::size_t length);
+
+  [[nodiscard]] std::size_t length() const noexcept { return chain_.size(); }
+
+  /// i in [0, length): element i, where larger i = released later.
+  [[nodiscard]] const Digest& element(std::size_t i) const;
+
+  [[nodiscard]] const Digest& anchor() const { return element(0); }
+
+  /// Verify that `candidate` is the element at position `i` of a chain whose
+  /// element at `verified_pos` (< i) is `verified`. Hashes forward i -
+  /// verified_pos times.
+  [[nodiscard]] static bool verify(const Digest& candidate, std::size_t i,
+                                   const Digest& verified,
+                                   std::size_t verified_pos) noexcept;
+
+ private:
+  std::vector<Digest> chain_;  // chain_[0] = anchor
+};
+
+}  // namespace vmat

@@ -1,0 +1,33 @@
+#include "crypto/hmac.h"
+
+#include <cstring>
+
+namespace vmat {
+
+Digest hmac_sha256(std::span<const std::uint8_t> key,
+                   std::span<const std::uint8_t> message) noexcept {
+  std::uint8_t block_key[64] = {};
+  if (key.size() > 64) {
+    const Digest d = Sha256::hash(key);
+    std::memcpy(block_key, d.data(), d.size());
+  } else {
+    std::memcpy(block_key, key.data(), key.size());
+  }
+
+  std::uint8_t ipad[64];
+  std::uint8_t opad[64];
+  for (int i = 0; i < 64; ++i) {
+    ipad[i] = static_cast<std::uint8_t>(block_key[i] ^ 0x36);
+    opad[i] = static_cast<std::uint8_t>(block_key[i] ^ 0x5c);
+  }
+
+  Sha256 inner;
+  inner.update(ipad).update(message);
+  const Digest inner_digest = inner.finish();
+
+  Sha256 outer;
+  outer.update(opad).update(inner_digest);
+  return outer.finish();
+}
+
+}  // namespace vmat

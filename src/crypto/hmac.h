@@ -1,0 +1,15 @@
+// HMAC-SHA-256 (RFC 2104 / FIPS 198-1), the MAC construction used for
+// sensor-key and edge-key MACs throughout VMAT.
+#pragma once
+
+#include <span>
+
+#include "crypto/sha256.h"
+#include "util/bytes.h"
+
+namespace vmat {
+
+[[nodiscard]] Digest hmac_sha256(std::span<const std::uint8_t> key,
+                                 std::span<const std::uint8_t> message) noexcept;
+
+}  // namespace vmat

@@ -1,0 +1,35 @@
+#include "crypto/mac.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace vmat {
+
+Mac compute_mac(const SymmetricKey& key,
+                std::span<const std::uint8_t> message) noexcept {
+  const Digest full = hmac_sha256(key.span(), message);
+  Mac tag;
+  std::copy_n(full.begin(), tag.bytes.size(), tag.bytes.begin());
+  return tag;
+}
+
+bool verify_mac(const SymmetricKey& key, std::span<const std::uint8_t> message,
+                const Mac& tag) noexcept {
+  return compute_mac(key, message) == tag;
+}
+
+Digest hash_of_mac(const Mac& tag) noexcept { return Sha256::hash(tag.bytes); }
+
+SymmetricKey derive_key(std::string_view label, std::uint64_t seed,
+                        std::uint64_t index) noexcept {
+  ByteWriter w;
+  w.str(label);
+  w.u64(seed);
+  w.u64(index);
+  const Digest d = Sha256::hash(w.bytes());
+  SymmetricKey key;
+  std::copy_n(d.begin(), key.bytes.size(), key.bytes.begin());
+  return key;
+}
+
+}  // namespace vmat

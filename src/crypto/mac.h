@@ -1,0 +1,56 @@
+// Symmetric keys and truncated message authentication codes.
+//
+// As in the paper (Section IX), MACs on the wire are truncated to 8 bytes.
+// Keys are 16-byte symmetric keys; the global key pool derives each key
+// deterministically from a pool seed so that "announce the ring seed" is a
+// complete revocation message.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+#include "crypto/hmac.h"
+#include "util/bytes.h"
+
+namespace vmat {
+
+/// A 128-bit symmetric key.
+struct SymmetricKey {
+  std::array<std::uint8_t, 16> bytes{};
+
+  friend constexpr auto operator<=>(const SymmetricKey&,
+                                    const SymmetricKey&) = default;
+
+  [[nodiscard]] std::span<const std::uint8_t> span() const noexcept {
+    return bytes;
+  }
+};
+
+/// An 8-byte (64-bit) truncated HMAC tag, the paper's on-wire MAC size.
+struct Mac {
+  std::array<std::uint8_t, 8> bytes{};
+
+  friend constexpr auto operator<=>(const Mac&, const Mac&) = default;
+};
+
+/// Compute MAC_key(message): HMAC-SHA-256 truncated to 8 bytes.
+[[nodiscard]] Mac compute_mac(const SymmetricKey& key,
+                              std::span<const std::uint8_t> message) noexcept;
+
+/// Constant-pattern verification helper.
+[[nodiscard]] bool verify_mac(const SymmetricKey& key,
+                              std::span<const std::uint8_t> message,
+                              const Mac& tag) noexcept;
+
+/// One-way hash of a MAC, H(MAC_K(N)) — the verifier token disseminated by
+/// the keyed predicate test.
+[[nodiscard]] Digest hash_of_mac(const Mac& tag) noexcept;
+
+/// Derive a key from a label and a 64-bit seed (used by the key pool and by
+/// per-sensor key derivation at the trusted base station).
+[[nodiscard]] SymmetricKey derive_key(std::string_view label,
+                                      std::uint64_t seed,
+                                      std::uint64_t index) noexcept;
+
+}  // namespace vmat

@@ -1,0 +1,43 @@
+#include "crypto/prf.h"
+
+#include <cmath>
+
+namespace vmat {
+
+std::uint64_t prf_u64(const SymmetricKey& key, std::uint64_t nonce,
+                      std::uint32_t node_id, std::uint32_t synopsis_index,
+                      std::uint64_t salt) noexcept {
+  ByteWriter w;
+  w.u64(nonce);
+  w.u32(node_id);
+  w.u32(synopsis_index);
+  w.u64(salt);
+  const Digest d = hmac_sha256(key.span(), w.bytes());
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= std::uint64_t{d[i]} << (8 * i);
+  return v;
+}
+
+double prf_unit_open(const SymmetricKey& key, std::uint64_t nonce,
+                     std::uint32_t node_id, std::uint32_t synopsis_index,
+                     std::uint64_t salt) noexcept {
+  // 53 uniform bits -> [0,1); retry via salt perturbation in the (measure
+  // zero in practice) case of exactly 0, so log() below stays finite.
+  std::uint64_t raw = prf_u64(key, nonce, node_id, synopsis_index, salt);
+  double u = static_cast<double>(raw >> 11) * 0x1.0p-53;
+  std::uint64_t bump = 1;
+  while (u <= 0.0) {
+    raw = prf_u64(key, nonce, node_id, synopsis_index, salt + 0x9e37 * bump++);
+    u = static_cast<double>(raw >> 11) * 0x1.0p-53;
+  }
+  return u;
+}
+
+double prf_exponential(const SymmetricKey& key, std::uint64_t nonce,
+                       std::uint32_t node_id, std::uint32_t synopsis_index,
+                       std::uint64_t weight) noexcept {
+  const double u = prf_unit_open(key, nonce, node_id, synopsis_index, weight);
+  return -std::log(u) / static_cast<double>(weight);
+}
+
+}  // namespace vmat

@@ -1,0 +1,36 @@
+// Self-contained SHA-256 (FIPS 180-4). The paper's one-way hash function
+// H() used by the keyed predicate test, and the compression primitive under
+// HMAC, hash chains, and the PRF.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+#include "util/bytes.h"
+
+namespace vmat {
+
+using Digest = std::array<std::uint8_t, 32>;
+
+/// Streaming SHA-256.
+class Sha256 {
+ public:
+  Sha256() noexcept;
+
+  Sha256& update(std::span<const std::uint8_t> data) noexcept;
+  [[nodiscard]] Digest finish() noexcept;
+
+  /// One-shot convenience.
+  [[nodiscard]] static Digest hash(std::span<const std::uint8_t> data) noexcept;
+
+ private:
+  void process_block(const std::uint8_t* block) noexcept;
+
+  std::uint32_t h_[8];
+  std::uint64_t length_{0};  // total bytes seen
+  std::uint8_t buffer_[64];
+  std::size_t buffered_{0};
+};
+
+}  // namespace vmat

@@ -1,0 +1,17 @@
+#include "keys/key_pool.h"
+
+#include <stdexcept>
+
+namespace vmat {
+
+KeyPool::KeyPool(std::uint32_t size, std::uint64_t seed)
+    : size_(size), seed_(seed) {
+  if (size == 0) throw std::invalid_argument("KeyPool: empty pool");
+}
+
+SymmetricKey KeyPool::key(KeyIndex index) const {
+  if (index.value >= size_) throw std::out_of_range("KeyPool::key");
+  return derive_key("vmat.pool-key", seed_, index.value);
+}
+
+}  // namespace vmat

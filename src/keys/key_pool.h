@@ -1,0 +1,32 @@
+// Global symmetric key pool for Eschenauer-Gligor key predistribution [7].
+//
+// All u keys are derived deterministically from one pool seed, so the
+// trusted base station can reconstruct any key from its index, and a sensor
+// ring is fully described by (node id, ring seed) — which is what makes
+// "announce the ring seed" a complete full-sensor revocation message
+// (Section VI-A, Figure 5 Step 7).
+#pragma once
+
+#include <cstdint>
+
+#include "crypto/mac.h"
+#include "util/ids.h"
+
+namespace vmat {
+
+class KeyPool {
+ public:
+  KeyPool(std::uint32_t size, std::uint64_t seed);
+
+  [[nodiscard]] std::uint32_t size() const noexcept { return size_; }
+  [[nodiscard]] std::uint64_t seed() const noexcept { return seed_; }
+
+  /// The pool key at a given index. Throws if index >= size().
+  [[nodiscard]] SymmetricKey key(KeyIndex index) const;
+
+ private:
+  std::uint32_t size_;
+  std::uint64_t seed_;
+};
+
+}  // namespace vmat

@@ -1,0 +1,59 @@
+#include "keys/key_ring.h"
+
+#include <algorithm>
+
+#include "util/random.h"
+
+namespace vmat {
+
+KeyRing::KeyRing(std::uint64_t ring_seed, std::uint32_t ring_size,
+                 std::uint32_t pool_size)
+    : seed_(ring_seed) {
+  Rng rng(ring_seed);
+  const auto raw = rng.sample_without_replacement(pool_size, ring_size);
+  indices_.reserve(raw.size());
+  for (std::uint32_t v : raw) indices_.push_back(KeyIndex{v});
+}
+
+bool KeyRing::contains(KeyIndex k) const noexcept {
+  return std::binary_search(indices_.begin(), indices_.end(), k);
+}
+
+std::optional<std::size_t> KeyRing::position_of(KeyIndex k) const noexcept {
+  const auto it = std::lower_bound(indices_.begin(), indices_.end(), k);
+  if (it == indices_.end() || *it != k) return std::nullopt;
+  return static_cast<std::size_t>(it - indices_.begin());
+}
+
+std::optional<KeyIndex> KeyRing::shared_key(const KeyRing& other) const {
+  auto a = indices_.begin();
+  auto b = other.indices_.begin();
+  while (a != indices_.end() && b != other.indices_.end()) {
+    if (*a == *b) return *a;
+    if (*a < *b)
+      ++a;
+    else
+      ++b;
+  }
+  return std::nullopt;
+}
+
+std::size_t KeyRing::overlap(const KeyRing& other) const noexcept {
+  std::size_t count = 0;
+  auto a = indices_.begin();
+  auto b = other.indices_.begin();
+  while (a != indices_.end() && b != other.indices_.end()) {
+    if (*a == *b) {
+      ++count;
+      ++a;
+      ++b;
+    } else if (*a < *b) {
+      ++a;
+    } else {
+      ++b;
+    }
+  }
+  return count;
+}
+
+}  // namespace vmat

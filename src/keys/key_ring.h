@@ -1,0 +1,49 @@
+// A sensor's key ring: r distinct key indices drawn uniformly from the
+// global pool by a per-sensor seed (Eschenauer-Gligor [7]).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "util/ids.h"
+
+namespace vmat {
+
+class KeyRing {
+ public:
+  /// Draw `ring_size` distinct indices from [0, pool_size) using the given
+  /// ring seed. Deterministic: the base station reconstructs the same ring
+  /// from the same seed.
+  KeyRing(std::uint64_t ring_seed, std::uint32_t ring_size,
+          std::uint32_t pool_size);
+
+  [[nodiscard]] std::uint64_t seed() const noexcept { return seed_; }
+  [[nodiscard]] std::size_t size() const noexcept { return indices_.size(); }
+
+  /// Sorted ascending, as required by the binary search in Figure 5
+  /// ("let z_1 < z_2 < ... < z_r be the index of the r edge keys").
+  [[nodiscard]] std::span<const KeyIndex> indices() const noexcept {
+    return indices_;
+  }
+
+  [[nodiscard]] bool contains(KeyIndex k) const noexcept;
+
+  /// Position of key k within the sorted ring, if present.
+  [[nodiscard]] std::optional<std::size_t> position_of(KeyIndex k) const noexcept;
+
+  /// Smallest key index shared with another ring, if any — the edge key for
+  /// a pair of neighboring sensors.
+  [[nodiscard]] std::optional<KeyIndex> shared_key(const KeyRing& other) const;
+
+  /// Number of shared key indices with `other` (used by threshold-θ
+  /// mis-revocation analysis, Figure 7).
+  [[nodiscard]] std::size_t overlap(const KeyRing& other) const noexcept;
+
+ private:
+  std::uint64_t seed_;
+  std::vector<KeyIndex> indices_;  // sorted
+};
+
+}  // namespace vmat

@@ -1,0 +1,100 @@
+#include "keys/predistribution.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/random.h"
+
+namespace vmat {
+
+Predistribution::Predistribution(std::uint32_t node_count,
+                                 const KeySetupConfig& config)
+    : config_(config),
+      pool_(config.pool_size, config.seed),
+      path_keys_(node_count),
+      next_path_index_(config.pool_size) {
+  if (node_count == 0)
+    throw std::invalid_argument("Predistribution: zero nodes");
+  if (config.ring_size > config.pool_size)
+    throw std::invalid_argument("Predistribution: ring larger than pool");
+
+  rings_.reserve(node_count);
+  std::uint64_t seed_state = config.seed ^ 0xabcdef12345678ULL;
+  for (std::uint32_t id = 0; id < node_count; ++id) {
+    const std::uint64_t ring_seed = splitmix64(seed_state);
+    rings_.emplace_back(ring_seed, config.ring_size, config.pool_size);
+    for (KeyIndex k : rings_.back().indices())
+      holders_[k].push_back(NodeId{id});
+  }
+  // Holder lists are built in increasing id order, so they are sorted.
+}
+
+const KeyRing& Predistribution::ring(NodeId node) const {
+  if (node.value >= rings_.size())
+    throw std::out_of_range("Predistribution::ring");
+  return rings_[node.value];
+}
+
+SymmetricKey Predistribution::sensor_key(NodeId node) const {
+  if (node.value >= rings_.size())
+    throw std::out_of_range("Predistribution::sensor_key");
+  return derive_key("vmat.sensor-key", config_.seed, node.value);
+}
+
+std::optional<KeyIndex> Predistribution::edge_key(NodeId a, NodeId b) const {
+  return ring(a).shared_key(ring(b));
+}
+
+std::span<const NodeId> Predistribution::holders(KeyIndex index) const {
+  const auto it = holders_.find(index);
+  if (it == holders_.end()) return {};
+  return it->second;
+}
+
+KeyIndex Predistribution::register_path_key(NodeId a, NodeId b) {
+  if (a.value >= rings_.size() || b.value >= rings_.size())
+    throw std::out_of_range("register_path_key: bad node id");
+  if (a == b) throw std::invalid_argument("register_path_key: same node");
+  if (const auto existing = path_key_between(a, b)) return *existing;
+
+  const KeyIndex index{next_path_index_++};
+  path_keys_[a.value].emplace_back(b, index);
+  path_keys_[b.value].emplace_back(a, index);
+  auto& held_by = holders_[index];
+  held_by = {std::min(a, b), std::max(a, b)};
+  return index;
+}
+
+std::optional<KeyIndex> Predistribution::path_key_between(NodeId a,
+                                                          NodeId b) const {
+  if (a.value >= path_keys_.size()) return std::nullopt;
+  for (const auto& [peer, index] : path_keys_[a.value])
+    if (peer == b) return index;
+  return std::nullopt;
+}
+
+bool Predistribution::node_holds(NodeId node, KeyIndex index) const {
+  if (index == kNoKey) return false;
+  if (!is_path_key(index)) return ring(node).contains(index);
+  for (const auto& [peer, held] : path_keys_[node.value])
+    if (held == index) return true;
+  return false;
+}
+
+std::vector<KeyIndex> Predistribution::keys_of(NodeId node) const {
+  std::vector<KeyIndex> out(ring(node).indices().begin(),
+                            ring(node).indices().end());
+  for (const auto& [peer, index] : path_keys_[node.value])
+    out.push_back(index);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+SymmetricKey Predistribution::key_material(KeyIndex index) const {
+  if (!is_path_key(index)) return pool_.key(index);
+  if (!holders_.contains(index))
+    throw std::out_of_range("key_material: unknown path key");
+  return derive_key("vmat.path-key", config_.seed, index.value);
+}
+
+}  // namespace vmat

@@ -1,0 +1,95 @@
+// Network-wide key predistribution state.
+//
+// Owns the global pool, every sensor's ring and sensor key, the
+// key-index -> holders map, and the pairwise edge-key relation. The trusted
+// base station holds one of these; each sensor only ever sees its own ring
+// and sensor key (enforced by the node/adversary interfaces, not here).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "keys/key_pool.h"
+#include "keys/key_ring.h"
+#include "util/ids.h"
+
+namespace vmat {
+
+struct KeySetupConfig {
+  std::uint32_t pool_size{1000};   ///< u — paper's evaluation uses 100,000
+  std::uint32_t ring_size{60};     ///< r — paper's evaluation uses 250
+  std::uint64_t seed{1};           ///< master seed for pool + ring seeds
+};
+
+class Predistribution {
+ public:
+  /// Set up pool and rings for `node_count` sensors (ids 0..node_count-1;
+  /// id 0 is the base station, which gets a ring too so it can terminate
+  /// audit trails).
+  Predistribution(std::uint32_t node_count, const KeySetupConfig& config);
+
+  [[nodiscard]] std::uint32_t node_count() const noexcept {
+    return static_cast<std::uint32_t>(rings_.size());
+  }
+  [[nodiscard]] const KeySetupConfig& config() const noexcept { return config_; }
+  [[nodiscard]] const KeyPool& pool() const noexcept { return pool_; }
+
+  [[nodiscard]] const KeyRing& ring(NodeId node) const;
+
+  /// The unique symmetric key a sensor shares with the base station.
+  [[nodiscard]] SymmetricKey sensor_key(NodeId node) const;
+
+  /// Edge key (smallest shared pool index) between two sensors, if any.
+  [[nodiscard]] std::optional<KeyIndex> edge_key(NodeId a, NodeId b) const;
+
+  /// Pool key material for an index.
+  [[nodiscard]] SymmetricKey pool_key(KeyIndex index) const {
+    return pool_.key(index);
+  }
+
+  /// All sensors holding `index` (ring membership or path-key endpoint),
+  /// sorted by id — "the base station knows the exact set of the t sensors
+  /// holding K_e" (Section VI-A, Figure 6 Step 1).
+  [[nodiscard]] std::span<const NodeId> holders(KeyIndex index) const;
+
+  // --- path keys (Eschenauer-Gligor path-key establishment) ---
+  //
+  // Neighbor pairs without a shared ring key can be given a dedicated
+  // pairwise key through a base-station-mediated exchange. Path keys get
+  // indices above the pool range and have exactly two holders.
+
+  /// Register (or return the existing) path key for the pair {a, b}.
+  KeyIndex register_path_key(NodeId a, NodeId b);
+
+  [[nodiscard]] bool is_path_key(KeyIndex index) const noexcept {
+    return index != kNoKey && index.value >= config_.pool_size;
+  }
+
+  /// The established path key between a and b, if any.
+  [[nodiscard]] std::optional<KeyIndex> path_key_between(NodeId a,
+                                                         NodeId b) const;
+
+  /// Does this node hold the key (ring membership or path-key endpoint)?
+  [[nodiscard]] bool node_holds(NodeId node, KeyIndex index) const;
+
+  /// Every key index the node holds, sorted ascending: its ring followed by
+  /// its path keys. This is the sequence the Figure 5 binary search runs
+  /// over.
+  [[nodiscard]] std::vector<KeyIndex> keys_of(NodeId node) const;
+
+  /// Key material for any index (pool or path key).
+  [[nodiscard]] SymmetricKey key_material(KeyIndex index) const;
+
+ private:
+  KeySetupConfig config_;
+  KeyPool pool_;
+  std::vector<KeyRing> rings_;  // indexed by node id
+  std::unordered_map<KeyIndex, std::vector<NodeId>> holders_;
+  std::vector<std::vector<std::pair<NodeId, KeyIndex>>> path_keys_;  // by node
+  std::uint32_t next_path_index_;
+};
+
+}  // namespace vmat

@@ -1,0 +1,101 @@
+#include "sim/fabric.h"
+
+#include <stdexcept>
+#include <utility>
+
+#include "util/random.h"
+
+namespace vmat {
+
+Fabric::Fabric(const Topology* topology, std::size_t capacity_per_slot)
+    : topology_(topology),
+      capacity_per_slot_(capacity_per_slot),
+      sent_this_slot_(topology->node_count(), 0),
+      in_flight_(topology->node_count()),
+      inbox_(topology->node_count()),
+      bytes_sent_(topology->node_count(), 0),
+      bytes_received_(topology->node_count(), 0) {
+  if (topology == nullptr) throw std::invalid_argument("Fabric: null topology");
+}
+
+std::size_t Fabric::frame_size(const Envelope& e) noexcept {
+  // Frame overhead: from/to ids (4+4), edge key index (4), edge MAC (8).
+  return 20 + e.payload.size();
+}
+
+void Fabric::set_loss(double probability, std::uint64_t seed) {
+  if (probability < 0.0 || probability >= 1.0)
+    throw std::invalid_argument("Fabric::set_loss: probability in [0,1)");
+  loss_probability_ = probability;
+  loss_rng_state_ = seed ^ 0x10553eedULL;
+}
+
+bool Fabric::send(Envelope envelope) {
+  return send_as(envelope.from, std::move(envelope));
+}
+
+bool Fabric::send_as(NodeId actual_sender, Envelope envelope) {
+  if (actual_sender.value >= in_flight_.size() ||
+      envelope.to.value >= in_flight_.size())
+    throw std::out_of_range("Fabric::send_as: bad node id");
+  if (!topology_->has_edge(actual_sender, envelope.to)) {
+    ++dropped_;
+    return false;  // radios cannot reach beyond physical neighbors
+  }
+  if (sent_this_slot_[actual_sender.value] >= capacity_per_slot_) {
+    ++dropped_;
+    return false;
+  }
+  ++sent_this_slot_[actual_sender.value];
+  ++frames_sent_;
+  const std::size_t size = frame_size(envelope);
+  bytes_sent_[actual_sender.value] += size;
+  total_bytes_ += size;
+  if (loss_probability_ > 0.0) {
+    const double roll =
+        static_cast<double>(splitmix64(loss_rng_state_) >> 11) * 0x1.0p-53;
+    if (roll < loss_probability_) {
+      ++lost_;
+      return true;  // sender cannot tell; the ether ate it
+    }
+  }
+  in_flight_[envelope.to.value].push_back(std::move(envelope));
+  return true;
+}
+
+void Fabric::end_slot() {
+  for (std::uint32_t id = 0; id < in_flight_.size(); ++id) {
+    for (auto& e : in_flight_[id]) {
+      bytes_received_[id] += frame_size(e);
+      inbox_[id].push_back(std::move(e));
+    }
+    in_flight_[id].clear();
+    sent_this_slot_[id] = 0;
+  }
+}
+
+std::vector<Envelope> Fabric::take_inbox(NodeId node) {
+  if (node.value >= inbox_.size())
+    throw std::out_of_range("Fabric::take_inbox");
+  return std::exchange(inbox_[node.value], {});
+}
+
+void Fabric::reset() {
+  for (auto& q : in_flight_) q.clear();
+  for (auto& q : inbox_) q.clear();
+  for (auto& c : sent_this_slot_) c = 0;
+}
+
+std::uint64_t Fabric::bytes_sent(NodeId node) const {
+  if (node.value >= bytes_sent_.size())
+    throw std::out_of_range("Fabric::bytes_sent");
+  return bytes_sent_[node.value];
+}
+
+std::uint64_t Fabric::bytes_received(NodeId node) const {
+  if (node.value >= bytes_received_.size())
+    throw std::out_of_range("Fabric::bytes_received");
+  return bytes_received_[node.value];
+}
+
+}  // namespace vmat

@@ -1,0 +1,100 @@
+// Slotted message fabric.
+//
+// The VMAT protocol is interval-synchronous: within a slot every node may
+// transmit to neighbors, and everything transmitted in slot t is available
+// in the receiver's inbox during slot t (delivery within the slot, matching
+// the paper's clock-guard-band argument). `end_slot()` moves transmissions
+// to inboxes and starts the next slot.
+//
+// Delivery order within a slot is the global send order. Protocol phase
+// drivers always let the adversary transmit *first* in each slot, which is
+// the pessimistic race model choking attacks need (a spurious veto beats a
+// legitimate veto into a one-time-flood inbox).
+//
+// An optional per-node per-slot transmit budget models the limited relaying
+// capacity that choking attacks exhaust; sends beyond it are dropped and
+// counted.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "crypto/mac.h"
+#include "sim/topology.h"
+#include "util/bytes.h"
+#include "util/ids.h"
+
+namespace vmat {
+
+/// A unicast frame on the wire: payload plus the edge-key MAC that
+/// authenticates it hop-by-hop. `from` is a *claim* — only the edge MAC
+/// constrains who could have produced the frame.
+struct Envelope {
+  NodeId from;
+  NodeId to;
+  KeyIndex edge_key{kNoKey};
+  Mac edge_mac;
+  Bytes payload;
+};
+
+class Fabric {
+ public:
+  explicit Fabric(const Topology* topology,
+                  std::size_t capacity_per_slot =
+                      std::numeric_limits<std::size_t>::max());
+
+  /// Enable lossy links: every frame is independently lost with the given
+  /// probability (deterministic per seed). The transmitter still pays for
+  /// the frame (radio energy is spent whether or not anyone hears it).
+  void set_loss(double probability, std::uint64_t seed);
+
+  [[nodiscard]] std::uint64_t frames_lost() const noexcept { return lost_; }
+
+  /// Queue a frame for delivery this slot. Returns false (and drops the
+  /// frame) if the sender exhausted its transmit budget, or the (from, to)
+  /// pair is not a physical edge. Malicious senders are subject to physics
+  /// too: they can only reach their own neighbors.
+  bool send(Envelope envelope);
+
+  /// Like send, but `actual_sender` does the transmitting (and pays the
+  /// budget) while the envelope may claim any `from` — source spoofing.
+  bool send_as(NodeId actual_sender, Envelope envelope);
+
+  /// Close the current slot: queued frames become receivable.
+  void end_slot();
+
+  /// Drain a node's inbox (frames delivered at the last end_slot()).
+  [[nodiscard]] std::vector<Envelope> take_inbox(NodeId node);
+
+  /// Discard everything in flight and all inboxes (phase boundary).
+  void reset();
+
+  // --- accounting ---
+  [[nodiscard]] std::uint64_t bytes_sent(NodeId node) const;
+  [[nodiscard]] std::uint64_t bytes_received(NodeId node) const;
+  [[nodiscard]] std::uint64_t total_bytes() const noexcept { return total_bytes_; }
+  [[nodiscard]] std::uint64_t frames_dropped() const noexcept { return dropped_; }
+  [[nodiscard]] std::uint64_t frames_sent() const noexcept { return frames_sent_; }
+
+  [[nodiscard]] const Topology& topology() const noexcept { return *topology_; }
+
+ private:
+  [[nodiscard]] static std::size_t frame_size(const Envelope& e) noexcept;
+
+  const Topology* topology_;
+  std::size_t capacity_per_slot_;
+  double loss_probability_{0.0};
+  std::uint64_t loss_rng_state_{0};
+  std::uint64_t lost_{0};
+  std::vector<std::size_t> sent_this_slot_;
+  std::vector<std::vector<Envelope>> in_flight_;
+  std::vector<std::vector<Envelope>> inbox_;
+  std::vector<std::uint64_t> bytes_sent_;
+  std::vector<std::uint64_t> bytes_received_;
+  std::uint64_t total_bytes_{0};
+  std::uint64_t dropped_{0};
+  std::uint64_t frames_sent_{0};
+};
+
+}  // namespace vmat

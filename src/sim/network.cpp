@@ -1,0 +1,107 @@
+#include "sim/network.h"
+
+namespace vmat {
+
+Network::Network(Topology topology, const NetworkConfig& config)
+    : topology_(std::move(topology)),
+      keys_(topology_.node_count(), config.keys),
+      revocation_(&keys_, config.revocation_threshold),
+      fabric_(&topology_, config.capacity_per_slot),
+      redundancy_(config.redundancy == 0 ? 1 : config.redundancy) {
+  if (config.loss_probability > 0.0)
+    fabric_.set_loss(config.loss_probability, config.keys.seed);
+}
+
+std::size_t Network::rekey(const KeySetupConfig& fresh_keys) {
+  const std::vector<NodeId> dead = revocation_.revoked_sensors_in_order();
+  const std::uint32_t theta = revocation_.threshold();
+  keys_ = Predistribution(topology_.node_count(), fresh_keys);
+  revocation_ = RevocationRegistry(&keys_, theta);
+  for (NodeId s : dead) (void)revocation_.revoke_sensor(s);
+  fabric_.reset();
+  return dead.size();
+}
+
+std::size_t Network::establish_path_keys() {
+  std::size_t established = 0;
+  for (std::uint32_t id = 0; id < topology_.node_count(); ++id) {
+    for (NodeId v : topology_.neighbors(NodeId{id})) {
+      if (v.value < id) continue;
+      if (keys_.edge_key(NodeId{id}, v).has_value()) continue;
+      if (keys_.path_key_between(NodeId{id}, v).has_value()) continue;
+      (void)keys_.register_path_key(NodeId{id}, v);
+      ++established;
+    }
+  }
+  return established;
+}
+
+std::vector<NodeId> Network::usable_neighbors(NodeId node) const {
+  std::vector<NodeId> out;
+  for (NodeId v : topology_.neighbors(node)) {
+    if (usable_edge_key(node, v).has_value()) out.push_back(v);
+  }
+  return out;
+}
+
+std::optional<KeyIndex> Network::usable_edge_key(NodeId a, NodeId b) const {
+  // The smallest *non-revoked* shared ring key: pairs fall back to their
+  // next shared key when one is revoked, exactly as Eschenauer-Gligor
+  // intends. An established path key serves as the last resort.
+  const auto& ra = keys_.ring(a);
+  const auto& rb = keys_.ring(b);
+  auto ia = ra.indices().begin();
+  auto ib = rb.indices().begin();
+  while (ia != ra.indices().end() && ib != rb.indices().end()) {
+    if (*ia == *ib) {
+      if (!revocation_.is_key_revoked(*ia)) return *ia;
+      ++ia;
+      ++ib;
+    } else if (*ia < *ib) {
+      ++ia;
+    } else {
+      ++ib;
+    }
+  }
+  const auto path = keys_.path_key_between(a, b);
+  if (path.has_value() && !revocation_.is_key_revoked(*path)) return path;
+  return std::nullopt;
+}
+
+bool Network::send_secure(NodeId from, NodeId to, const Bytes& payload) {
+  const auto key_index = usable_edge_key(from, to);
+  if (!key_index.has_value()) return false;
+  Envelope e;
+  e.from = from;
+  e.to = to;
+  e.edge_key = *key_index;
+  e.payload = payload;
+  e.edge_mac = compute_mac(keys_.key_material(*key_index), payload);
+  bool sent = false;
+  for (std::uint32_t copy = 0; copy < redundancy_; ++copy)
+    sent = fabric_.send(e) || sent;
+  return sent;
+}
+
+std::size_t Network::broadcast_secure(NodeId from, const Bytes& payload) {
+  std::size_t sent = 0;
+  for (NodeId v : usable_neighbors(from)) {
+    if (send_secure(from, v, payload)) ++sent;
+  }
+  return sent;
+}
+
+std::vector<Envelope> Network::receive_valid(NodeId node) {
+  std::vector<Envelope> valid;
+  for (auto& e : fabric_.take_inbox(node)) {
+    if (e.edge_key == kNoKey) continue;
+    if (revocation_.is_key_revoked(e.edge_key)) continue;
+    if (!keys_.node_holds(node, e.edge_key)) continue;
+    if (!verify_mac(keys_.key_material(e.edge_key), e.payload, e.edge_mac))
+      continue;
+    valid.push_back(std::move(e));
+  }
+  return valid;
+}
+
+}  // namespace vmat

@@ -1,0 +1,109 @@
+// Secure network: topology + key predistribution + revocation + fabric.
+//
+// This is the mechanical substrate the protocol phases run on. It provides
+// the *honest* send/receive discipline:
+//   - a frame to a neighbor is authenticated with the pair's edge key;
+//   - on receipt, a node accepts a frame only if it itself holds the claimed
+//     edge key, the key is not revoked, and the edge MAC verifies.
+// Nothing here knows about protocol semantics or about which nodes are
+// malicious; the adversary bypasses these helpers and talks to the fabric
+// directly (constrained by physics and by the keys it actually holds).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "keys/predistribution.h"
+#include "keys/revocation.h"
+#include "sim/fabric.h"
+#include "sim/topology.h"
+
+namespace vmat {
+
+struct NetworkConfig {
+  KeySetupConfig keys;
+  /// θ for full-sensor revocation; 0 (default) disables it. θ must be set
+  /// well above the expected honest ring overlap with the adversary's key
+  /// set (≈ f·r²/u, see Figure 7), otherwise ring revocations cascade into
+  /// honest sensors.
+  std::uint32_t revocation_threshold{0};
+  std::size_t capacity_per_slot{std::numeric_limits<std::size_t>::max()};
+  /// Per-frame loss probability (default 0: the paper's "messages are
+  /// reliable" assumption holds natively).
+  double loss_probability{0.0};
+  /// Blind repetitions per logical transmission — the paper's "after
+  /// proper retransmissions if necessary". With loss p and redundancy k, a
+  /// logical message is lost with probability p^k.
+  std::uint32_t redundancy{1};
+};
+
+class Network {
+ public:
+  Network(Topology topology, const NetworkConfig& config);
+
+  [[nodiscard]] std::uint32_t node_count() const noexcept {
+    return topology_.node_count();
+  }
+  [[nodiscard]] const Topology& topology() const noexcept { return topology_; }
+  [[nodiscard]] const Predistribution& keys() const noexcept { return keys_; }
+  [[nodiscard]] RevocationRegistry& revocation() noexcept { return revocation_; }
+  [[nodiscard]] const RevocationRegistry& revocation() const noexcept {
+    return revocation_;
+  }
+  [[nodiscard]] Fabric& fabric() noexcept { return fabric_; }
+  [[nodiscard]] const Fabric& fabric() const noexcept { return fabric_; }
+
+  /// Eschenauer-Gligor path-key establishment: give every physical
+  /// neighbor pair that shares no ring key a dedicated pairwise path key,
+  /// so the secure topology equals the physical one even with sparse
+  /// rings. Returns the number of path keys established.
+  std::size_t establish_path_keys();
+
+  /// Physical neighbors with whom `node` shares a *usable* (non-revoked)
+  /// edge key. This is the communication graph honest protocol code uses.
+  [[nodiscard]] std::vector<NodeId> usable_neighbors(NodeId node) const;
+
+  /// The usable edge key between two physical neighbors, if any.
+  [[nodiscard]] std::optional<KeyIndex> usable_edge_key(NodeId a,
+                                                        NodeId b) const;
+
+  /// Honest unicast: MAC the payload with the pair's edge key and transmit.
+  /// Returns false if there is no usable edge key or the fabric dropped it.
+  bool send_secure(NodeId from, NodeId to, const Bytes& payload);
+
+  /// Honest local broadcast: send_secure to every usable neighbor.
+  /// Returns the number of frames transmitted.
+  std::size_t broadcast_secure(NodeId from, const Bytes& payload);
+
+  /// Honest receive: drain `node`'s inbox and keep only frames whose edge
+  /// key is in `node`'s own ring, not revoked, and whose MAC verifies.
+  [[nodiscard]] std::vector<Envelope> receive_valid(NodeId node);
+
+  /// Depth (max BFS level) of the full physical topology.
+  [[nodiscard]] Level physical_depth() const { return topology_.depth(); }
+
+  /// Copies per logical transmission (see NetworkConfig::redundancy).
+  [[nodiscard]] std::uint32_t redundancy() const noexcept {
+    return redundancy_;
+  }
+
+  /// Re-keying epoch: replace the whole predistribution with fresh
+  /// material (new pool seed, new rings). Sensors that were fully revoked
+  /// are NOT re-keyed — they stay revoked in the fresh registry — while
+  /// honest sensors whose edge keys were burned by past pinpointing runs
+  /// come back at full capacity. Path keys disappear with the old pool;
+  /// call establish_path_keys() again if needed. Returns the number of
+  /// sensors carried over as revoked.
+  std::size_t rekey(const KeySetupConfig& fresh_keys);
+
+ private:
+  Topology topology_;
+  Predistribution keys_;
+  RevocationRegistry revocation_;
+  Fabric fabric_;
+  std::uint32_t redundancy_;
+};
+
+}  // namespace vmat

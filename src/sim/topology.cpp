@@ -1,0 +1,169 @@
+#include "sim/topology.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <stdexcept>
+
+#include "keys/predistribution.h"
+#include "util/random.h"
+
+namespace vmat {
+
+Topology::Topology(std::uint32_t node_count) : adj_(node_count) {
+  if (node_count == 0) throw std::invalid_argument("Topology: zero nodes");
+}
+
+void Topology::add_edge(NodeId a, NodeId b) {
+  if (a.value >= adj_.size() || b.value >= adj_.size())
+    throw std::out_of_range("Topology::add_edge");
+  if (a == b) throw std::invalid_argument("Topology::add_edge: self-loop");
+  if (has_edge(a, b)) return;
+  adj_[a.value].push_back(b);
+  adj_[b.value].push_back(a);
+}
+
+bool Topology::has_edge(NodeId a, NodeId b) const noexcept {
+  if (a.value >= adj_.size()) return false;
+  const auto& list = adj_[a.value];
+  return std::find(list.begin(), list.end(), b) != list.end();
+}
+
+std::span<const NodeId> Topology::neighbors(NodeId node) const {
+  if (node.value >= adj_.size()) throw std::out_of_range("Topology::neighbors");
+  return adj_[node.value];
+}
+
+std::size_t Topology::degree(NodeId node) const {
+  return neighbors(node).size();
+}
+
+std::size_t Topology::edge_count() const noexcept {
+  std::size_t total = 0;
+  for (const auto& list : adj_) total += list.size();
+  return total / 2;
+}
+
+std::vector<Level> Topology::bfs_depth(
+    const std::unordered_set<NodeId>& excluded) const {
+  std::vector<Level> depth(adj_.size(), kNoLevel);
+  if (excluded.contains(kBaseStation)) return depth;
+  std::deque<NodeId> queue;
+  depth[kBaseStation.value] = 0;
+  queue.push_back(kBaseStation);
+  while (!queue.empty()) {
+    const NodeId u = queue.front();
+    queue.pop_front();
+    for (NodeId v : adj_[u.value]) {
+      if (excluded.contains(v) || depth[v.value] != kNoLevel) continue;
+      depth[v.value] = depth[u.value] + 1;
+      queue.push_back(v);
+    }
+  }
+  return depth;
+}
+
+Level Topology::depth(const std::unordered_set<NodeId>& excluded) const {
+  Level max_depth = 0;
+  for (Level d : bfs_depth(excluded)) max_depth = std::max(max_depth, d);
+  return max_depth;
+}
+
+bool Topology::connected(const std::unordered_set<NodeId>& excluded) const {
+  const auto depth = bfs_depth(excluded);
+  for (std::uint32_t id = 0; id < adj_.size(); ++id) {
+    if (excluded.contains(NodeId{id})) continue;
+    if (depth[id] == kNoLevel) return false;
+  }
+  return true;
+}
+
+Topology Topology::secure_subgraph(const Predistribution& keys) const {
+  Topology out(node_count());
+  for (std::uint32_t id = 0; id < adj_.size(); ++id) {
+    for (NodeId v : adj_[id]) {
+      if (v.value < id) continue;  // each undirected edge once
+      if (keys.edge_key(NodeId{id}, v).has_value()) out.add_edge(NodeId{id}, v);
+    }
+  }
+  return out;
+}
+
+Topology Topology::line(std::uint32_t n) {
+  Topology t(n);
+  for (std::uint32_t i = 0; i + 1 < n; ++i)
+    t.add_edge(NodeId{i}, NodeId{i + 1});
+  return t;
+}
+
+Topology Topology::grid(std::uint32_t width, std::uint32_t height) {
+  if (width == 0 || height == 0)
+    throw std::invalid_argument("Topology::grid: empty");
+  Topology t(width * height);
+  const auto id = [width](std::uint32_t x, std::uint32_t y) {
+    return NodeId{y * width + x};
+  };
+  for (std::uint32_t y = 0; y < height; ++y) {
+    for (std::uint32_t x = 0; x < width; ++x) {
+      if (x + 1 < width) t.add_edge(id(x, y), id(x + 1, y));
+      if (y + 1 < height) t.add_edge(id(x, y), id(x, y + 1));
+    }
+  }
+  return t;
+}
+
+Topology Topology::star_of_chains(std::uint32_t branches,
+                                  std::uint32_t chain_length) {
+  if (branches == 0 || chain_length == 0)
+    throw std::invalid_argument("Topology::star_of_chains: empty");
+  Topology t(1 + branches * chain_length);
+  for (std::uint32_t b = 0; b < branches; ++b) {
+    NodeId prev = kBaseStation;
+    for (std::uint32_t i = 0; i < chain_length; ++i) {
+      const NodeId next{1 + b * chain_length + i};
+      t.add_edge(prev, next);
+      prev = next;
+    }
+  }
+  return t;
+}
+
+Topology Topology::random_geometric(std::uint32_t n, double radius,
+                                    std::uint64_t seed, int max_attempts) {
+  for (int attempt = 0; attempt < max_attempts; ++attempt) {
+    Rng rng(seed + static_cast<std::uint64_t>(attempt) * 0x9e3779b9ULL);
+    std::vector<double> x(n), y(n);
+    for (std::uint32_t i = 0; i < n; ++i) {
+      x[i] = rng.unit();
+      y[i] = rng.unit();
+    }
+    // Base station = node nearest the center; swap it into slot 0.
+    std::uint32_t best = 0;
+    double best_d = 2.0;
+    for (std::uint32_t i = 0; i < n; ++i) {
+      const double d = std::hypot(x[i] - 0.5, y[i] - 0.5);
+      if (d < best_d) {
+        best_d = d;
+        best = i;
+      }
+    }
+    std::swap(x[0], x[best]);
+    std::swap(y[0], y[best]);
+
+    Topology t(n);
+    const double r2 = radius * radius;
+    for (std::uint32_t i = 0; i < n; ++i) {
+      for (std::uint32_t j = i + 1; j < n; ++j) {
+        const double dx = x[i] - x[j];
+        const double dy = y[i] - y[j];
+        if (dx * dx + dy * dy <= r2) t.add_edge(NodeId{i}, NodeId{j});
+      }
+    }
+    if (t.connected()) return t;
+  }
+  throw std::runtime_error(
+      "Topology::random_geometric: could not generate a connected graph; "
+      "increase radius");
+}
+
+}  // namespace vmat

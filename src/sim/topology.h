@@ -1,0 +1,82 @@
+// Physical network topologies for the simulator.
+//
+// A topology is an undirected graph over nodes 0..n-1; node 0 is the base
+// station. Generators cover the shapes used by the paper's discussion and
+// our benches: random geometric graphs (the standard sensor deployment
+// model), grids, lines (worst-case depth), and a star-of-chains (controlled
+// L with controlled branching).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <unordered_set>
+#include <vector>
+
+#include "util/ids.h"
+
+namespace vmat {
+
+class Predistribution;
+
+class Topology {
+ public:
+  explicit Topology(std::uint32_t node_count);
+
+  [[nodiscard]] std::uint32_t node_count() const noexcept {
+    return static_cast<std::uint32_t>(adj_.size());
+  }
+
+  /// Add an undirected edge (idempotent; self-loops rejected).
+  void add_edge(NodeId a, NodeId b);
+
+  [[nodiscard]] bool has_edge(NodeId a, NodeId b) const noexcept;
+  [[nodiscard]] std::span<const NodeId> neighbors(NodeId node) const;
+  [[nodiscard]] std::size_t degree(NodeId node) const;
+  [[nodiscard]] std::size_t edge_count() const noexcept;
+
+  /// BFS depth of every node from the base station, skipping nodes in
+  /// `excluded` (used for "depth excluding all malicious sensors",
+  /// Section III). Unreachable or excluded nodes get kNoLevel.
+  [[nodiscard]] std::vector<Level> bfs_depth(
+      const std::unordered_set<NodeId>& excluded = {}) const;
+
+  /// Maximum finite BFS depth — the paper's L (excluding `excluded`).
+  [[nodiscard]] Level depth(
+      const std::unordered_set<NodeId>& excluded = {}) const;
+
+  /// True if every non-excluded node is reachable from the base station
+  /// through non-excluded nodes.
+  [[nodiscard]] bool connected(
+      const std::unordered_set<NodeId>& excluded = {}) const;
+
+  /// The subgraph keeping only edges whose endpoints share a pool key —
+  /// the communicable ("secure") topology under key predistribution.
+  [[nodiscard]] Topology secure_subgraph(const Predistribution& keys) const;
+
+  // --- generators ---
+
+  /// Chain 0-1-2-...-(n-1): depth n-1, the worst case for L.
+  [[nodiscard]] static Topology line(std::uint32_t n);
+
+  /// width x height grid; base station at a corner.
+  [[nodiscard]] static Topology grid(std::uint32_t width,
+                                     std::uint32_t height);
+
+  /// `branches` chains of length `chain_length` all rooted at the base
+  /// station: L = chain_length with n = 1 + branches * chain_length.
+  [[nodiscard]] static Topology star_of_chains(std::uint32_t branches,
+                                               std::uint32_t chain_length);
+
+  /// n nodes uniform in the unit square, edge iff distance <= radius; the
+  /// base station is the node closest to the center. Retries seeds until
+  /// connected (throws after `max_attempts`).
+  [[nodiscard]] static Topology random_geometric(std::uint32_t n,
+                                                 double radius,
+                                                 std::uint64_t seed,
+                                                 int max_attempts = 64);
+
+ private:
+  std::vector<std::vector<NodeId>> adj_;
+};
+
+}  // namespace vmat

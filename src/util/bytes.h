@@ -1,0 +1,64 @@
+// Byte-buffer serialization used for MAC inputs and on-wire message
+// encoding. All integers are encoded little-endian with fixed width so MAC
+// inputs are canonical across platforms.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace vmat {
+
+using Bytes = std::vector<std::uint8_t>;
+
+/// Append-only canonical encoder.
+class ByteWriter {
+ public:
+  void u8(std::uint8_t v);
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  void i64(std::int64_t v);
+  void raw(std::span<const std::uint8_t> bytes);
+  void str(std::string_view s);  // length-prefixed
+
+  [[nodiscard]] const Bytes& bytes() const noexcept { return buf_; }
+  [[nodiscard]] Bytes take() noexcept { return std::move(buf_); }
+
+ private:
+  Bytes buf_;
+};
+
+/// Matching decoder. Throws std::out_of_range on truncated input — protocol
+/// code treats that as a malformed (spurious) message.
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::uint8_t> data) noexcept
+      : data_(data) {}
+
+  [[nodiscard]] std::uint8_t u8();
+  [[nodiscard]] std::uint32_t u32();
+  [[nodiscard]] std::uint64_t u64();
+  [[nodiscard]] std::int64_t i64();
+  [[nodiscard]] Bytes raw(std::size_t n);
+  [[nodiscard]] std::string str();
+
+  [[nodiscard]] bool done() const noexcept { return pos_ == data_.size(); }
+  [[nodiscard]] std::size_t remaining() const noexcept {
+    return data_.size() - pos_;
+  }
+
+ private:
+  void need(std::size_t n) const;
+
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_{0};
+};
+
+/// Hex encoding for logs and test vectors.
+[[nodiscard]] std::string to_hex(std::span<const std::uint8_t> bytes);
+[[nodiscard]] Bytes from_hex(std::string_view hex);
+
+}  // namespace vmat

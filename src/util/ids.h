@@ -1,0 +1,66 @@
+// Strong identifier types shared across the VMAT library.
+//
+// Sensor ids, key indices, levels, and intervals are all small integers in
+// the paper; giving each its own type prevents the classic "passed a level
+// where a key index was expected" class of bugs in the pinpointing binary
+// searches.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+
+namespace vmat {
+
+/// Identifier of a sensor. The base station is always sensor 0.
+struct NodeId {
+  std::uint32_t value{0};
+
+  friend constexpr auto operator<=>(NodeId, NodeId) = default;
+};
+
+/// The base station's reserved id.
+inline constexpr NodeId kBaseStation{0};
+
+/// Index of a symmetric key in the global Eschenauer-Gligor key pool.
+struct KeyIndex {
+  std::uint32_t value{0};
+
+  friend constexpr auto operator<=>(KeyIndex, KeyIndex) = default;
+};
+
+/// Sentinel for "no key" (e.g. the vetoer end of an audit trail).
+inline constexpr KeyIndex kNoKey{std::numeric_limits<std::uint32_t>::max()};
+
+/// Level of a sensor on the aggregation tree (base station = 0).
+using Level = std::int32_t;
+
+/// Sentinel for "no level assigned" (sensor missed the tree-formation flood).
+inline constexpr Level kNoLevel = -1;
+
+/// Index of a time interval inside a protocol phase, 1-based as in the paper.
+using Interval = std::int32_t;
+
+/// A sensor reading / partial aggregation value. MIN queries operate on
+/// these. Synopsis-based COUNT/SUM map their exponentials into this domain
+/// via a fixed-point encoding (see core/synopsis.h).
+using Reading = std::int64_t;
+
+/// Sentinel "no reading seen yet": larger than every legal reading.
+inline constexpr Reading kInfinity = std::numeric_limits<Reading>::max();
+
+}  // namespace vmat
+
+template <>
+struct std::hash<vmat::NodeId> {
+  std::size_t operator()(vmat::NodeId id) const noexcept {
+    return std::hash<std::uint32_t>{}(id.value);
+  }
+};
+
+template <>
+struct std::hash<vmat::KeyIndex> {
+  std::size_t operator()(vmat::KeyIndex k) const noexcept {
+    return std::hash<std::uint32_t>{}(k.value);
+  }
+};

@@ -1,0 +1,91 @@
+#include "util/random.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace vmat {
+namespace {
+
+constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+Rng::Rng(std::uint64_t seed) noexcept {
+  // Expand the seed through splitmix64 as recommended by the xoshiro
+  // authors; guarantees a non-zero state.
+  for (auto& word : s_) word = splitmix64(seed);
+}
+
+Rng::result_type Rng::operator()() noexcept {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::below(std::uint64_t bound) noexcept {
+  // Lemire-style rejection to avoid modulo bias.
+  if (bound == 0) return 0;
+  const std::uint64_t threshold = (0 - bound) % bound;
+  for (;;) {
+    const std::uint64_t r = (*this)();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+std::int64_t Rng::between(std::int64_t lo, std::int64_t hi) noexcept {
+  const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+  return lo + static_cast<std::int64_t>(below(span));
+}
+
+double Rng::unit() noexcept {
+  return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+}
+
+double Rng::unit_open() noexcept {
+  for (;;) {
+    const double u = unit();
+    if (u > 0.0) return u;
+  }
+}
+
+double Rng::exponential(double mean) noexcept {
+  return -std::log(unit_open()) * mean;
+}
+
+bool Rng::bernoulli(double p) noexcept { return unit() < p; }
+
+Rng Rng::fork() noexcept { return Rng((*this)()); }
+
+std::vector<std::uint32_t> Rng::sample_without_replacement(std::uint32_t n,
+                                                           std::uint32_t k) {
+  if (k > n) throw std::invalid_argument("sample_without_replacement: k > n");
+  // Robert Floyd's algorithm: O(k) expected time, independent of n.
+  std::unordered_set<std::uint32_t> chosen;
+  chosen.reserve(k);
+  for (std::uint32_t j = n - k; j < n; ++j) {
+    const auto t = static_cast<std::uint32_t>(below(j + 1));
+    chosen.insert(chosen.contains(t) ? j : t);
+  }
+  std::vector<std::uint32_t> out(chosen.begin(), chosen.end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace vmat

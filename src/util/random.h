@@ -1,0 +1,76 @@
+// Deterministic random number generation.
+//
+// Every stochastic component of the library (topology generation, key-ring
+// sampling, adversary placement, synopsis noise in tests) draws from a Rng
+// seeded explicitly, so any run is reproducible from one 64-bit seed.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace vmat {
+
+/// splitmix64: used to expand one seed into independent stream seeds.
+[[nodiscard]] std::uint64_t splitmix64(std::uint64_t& state) noexcept;
+
+/// xoshiro256** deterministic generator. Satisfies
+/// std::uniform_random_bit_generator, so it composes with <random>
+/// distributions, though the library mostly uses the convenience helpers
+/// below to avoid implementation-defined distribution behaviour.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed) noexcept;
+
+  [[nodiscard]] static constexpr result_type min() noexcept { return 0; }
+  [[nodiscard]] static constexpr result_type max() noexcept {
+    return ~std::uint64_t{0};
+  }
+
+  result_type operator()() noexcept;
+
+  /// Uniform integer in [0, bound), bound > 0. Unbiased (rejection method).
+  [[nodiscard]] std::uint64_t below(std::uint64_t bound) noexcept;
+
+  /// Uniform integer in [lo, hi] inclusive.
+  [[nodiscard]] std::int64_t between(std::int64_t lo, std::int64_t hi) noexcept;
+
+  /// Uniform double in (0, 1) — never returns exactly 0 or 1, so it is safe
+  /// to feed into -log(u).
+  [[nodiscard]] double unit_open() noexcept;
+
+  /// Uniform double in [0, 1).
+  [[nodiscard]] double unit() noexcept;
+
+  /// Exponential with the given mean (> 0).
+  [[nodiscard]] double exponential(double mean) noexcept;
+
+  /// True with probability p.
+  [[nodiscard]] bool bernoulli(double p) noexcept;
+
+  /// Derive an independent child generator (for per-node / per-trial
+  /// streams).
+  [[nodiscard]] Rng fork() noexcept;
+
+  /// Sample k distinct integers from [0, n) using Robert Floyd's algorithm.
+  /// Result is sorted. Requires k <= n.
+  [[nodiscard]] std::vector<std::uint32_t> sample_without_replacement(
+      std::uint32_t n, std::uint32_t k);
+
+  /// In-place Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::span<T> items) noexcept {
+    for (std::size_t i = items.size(); i > 1; --i) {
+      std::size_t j = below(i);
+      using std::swap;
+      swap(items[i - 1], items[j]);
+    }
+  }
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace vmat

@@ -1,0 +1,58 @@
+// Small statistics helpers used by the benchmark harnesses and the
+// statistical property tests (Figure 7 / Figure 8 reproduction).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace vmat {
+
+[[nodiscard]] double mean(std::span<const double> xs) noexcept;
+[[nodiscard]] double variance(std::span<const double> xs) noexcept;
+[[nodiscard]] double stddev(std::span<const double> xs) noexcept;
+
+/// p in [0, 100]. Uses the nearest-rank method on a sorted copy, matching
+/// the paper's "x percentile: x% of all trials have an error below that
+/// value" reading.
+[[nodiscard]] double percentile(std::span<const double> xs, double p);
+
+/// Incremental accumulator for long-running sweeps.
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return n_ == 0 ? 0.0 : mean_; }
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+
+ private:
+  std::size_t n_{0};
+  double mean_{0.0};
+  double m2_{0.0};
+  double min_{0.0};
+  double max_{0.0};
+};
+
+/// Fixed-width table printer for the figure/table benches so every harness
+/// emits the same layout the paper's tables use.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  void add_row(const std::vector<std::string>& cells);
+  void print() const;
+
+  /// Format helper: fixed precision double.
+  [[nodiscard]] static std::string fmt(double v, int precision = 3);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace vmat

@@ -1,0 +1,51 @@
+// Umbrella header: the full public API of the VMAT library.
+//
+// Typical usage (see examples/quickstart.cpp):
+//
+//   auto topo = vmat::Topology::random_geometric(400, 0.12, /*seed=*/1);
+//   vmat::NetworkConfig netcfg;          // key pool, ring size, θ
+//   vmat::Network net(topo, netcfg);
+//   vmat::VmatConfig cfg;                // L, instances, tree mode
+//   cfg.instances = vmat::instances_for(0.1, 0.05);
+//   vmat::VmatCoordinator coordinator(&net, /*adversary=*/nullptr, cfg);
+//   vmat::QueryEngine queries(&coordinator);
+//   auto outcome = queries.count(predicate_bits);
+#pragma once
+
+#include "attack/adversary.h"        // IWYU pragma: export
+#include "attack/composite.h"        // IWYU pragma: export
+#include "attack/strategies.h"       // IWYU pragma: export
+#include "baseline/alarm_only.h"     // IWYU pragma: export
+#include "baseline/sampling.h"       // IWYU pragma: export
+#include "baseline/set_sampling.h"   // IWYU pragma: export
+#include "baseline/set_sampling.h"   // IWYU pragma: export
+#include "baseline/send_all.h"       // IWYU pragma: export
+#include "baseline/tag.h"            // IWYU pragma: export
+#include "broadcast/auth_broadcast.h"  // IWYU pragma: export
+#include "core/aggregation.h"        // IWYU pragma: export
+#include "core/audit.h"              // IWYU pragma: export
+#include "core/confirmation.h"       // IWYU pragma: export
+#include "core/coordinator.h"        // IWYU pragma: export
+#include "core/messages.h"           // IWYU pragma: export
+#include "core/monitor.h"            // IWYU pragma: export
+#include "core/pinpoint.h"           // IWYU pragma: export
+#include "core/predicate_test.h"     // IWYU pragma: export
+#include "core/query.h"              // IWYU pragma: export
+#include "core/report.h"             // IWYU pragma: export
+#include "core/synopsis.h"           // IWYU pragma: export
+#include "core/tree_formation.h"     // IWYU pragma: export
+#include "crypto/hash_chain.h"       // IWYU pragma: export
+#include "crypto/hmac.h"             // IWYU pragma: export
+#include "crypto/mac.h"              // IWYU pragma: export
+#include "crypto/prf.h"              // IWYU pragma: export
+#include "crypto/sha256.h"           // IWYU pragma: export
+#include "keys/key_pool.h"           // IWYU pragma: export
+#include "keys/key_ring.h"           // IWYU pragma: export
+#include "keys/predistribution.h"    // IWYU pragma: export
+#include "keys/revocation.h"         // IWYU pragma: export
+#include "sim/fabric.h"              // IWYU pragma: export
+#include "sim/network.h"             // IWYU pragma: export
+#include "sim/topology.h"            // IWYU pragma: export
+#include "util/ids.h"                // IWYU pragma: export
+#include "util/random.h"             // IWYU pragma: export
+#include "util/stats.h"              // IWYU pragma: export

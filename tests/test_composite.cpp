@@ -1,0 +1,135 @@
+// Composite and fuzzing adversary tests: multi-front attacks keep the
+// Theorem 7 disjunction; pure garbage never perturbs results or triggers
+// revocation of anything.
+#include <gtest/gtest.h>
+
+#include "attack/composite.h"
+#include "core/coordinator.h"
+#include "core/query.h"
+#include "helpers.h"
+
+namespace vmat {
+namespace {
+
+using testing::default_readings;
+using testing::dense_keys;
+using testing::revocations_sound;
+using testing::true_min;
+
+TEST(Garbage, PureNoiseChangesNothing) {
+  const auto topo = Topology::grid(5, 5);
+  const auto malicious = choose_malicious(topo, 3, 5);
+  Network net(topo, dense_keys());
+  Adversary adv(&net, malicious, std::make_unique<GarbageStrategy>(42));
+  VmatConfig cfg;
+  cfg.depth_bound = topo.depth(malicious);
+  VmatCoordinator coordinator(&net, &adv, cfg);
+  const auto readings = default_readings(net.node_count());
+  const auto out = coordinator.run_min(readings);
+  // Malformed frames are dropped at decode; the query completes as if the
+  // adversary were silent-but-honest-in-tree... except garbage nodes do
+  // not even forward, so the only possible outcome change is a routed-
+  // around minimum. Both outcomes must stay sound.
+  if (out.kind == OutcomeKind::kResult)
+    EXPECT_LE(out.minima[0], true_min(net, readings, malicious));
+  else
+    EXPECT_TRUE(revocations_sound(net, malicious)) << out.reason;
+}
+
+TEST(Garbage, NoiseDoesNotBreakSynopsisQueries) {
+  const auto topo = Topology::grid(5, 5);
+  const auto malicious = choose_malicious(topo, 2, 6);
+  Network net(topo, dense_keys());
+  Adversary adv(&net, malicious, std::make_unique<GarbageStrategy>(43));
+  VmatConfig cfg;
+  cfg.instances = 40;
+  cfg.depth_bound = topo.depth(malicious);
+  VmatCoordinator coordinator(&net, &adv, cfg);
+  QueryEngine queries(&coordinator);
+  std::vector<std::uint8_t> predicate(25, 1);
+  predicate[0] = 0;
+  // Retries allowed (a dropped-by-absence minimum may veto), but it must
+  // converge and stay sound.
+  const auto out = queries.count_until_answered(predicate, 200);
+  ASSERT_TRUE(out.answered());
+  EXPECT_TRUE(revocations_sound(net, malicious));
+}
+
+TEST(Composite, WormholePlusDropPlusLies) {
+  const auto topo = Topology::grid(5, 5);
+  const auto malicious = choose_malicious(topo, 3, 7);
+  Network net(topo, dense_keys());
+  auto strategy = std::make_unique<CompositeStrategy>(
+      std::make_unique<WormholeStrategy>(50),
+      std::make_unique<ValueDropStrategy>(),
+      std::make_unique<ChokeVetoStrategy>(),
+      std::make_unique<SilentDropStrategy>(LiePolicy::kAdmitAll));
+  Adversary adv(&net, malicious, std::move(strategy));
+  VmatConfig cfg;
+  cfg.depth_bound = topo.depth(malicious);
+  VmatCoordinator coordinator(&net, &adv, cfg);
+
+  const auto readings = default_readings(net.node_count());
+  std::vector<std::vector<Reading>> values(net.node_count());
+  std::vector<std::vector<std::int64_t>> weights(net.node_count());
+  for (std::uint32_t id = 0; id < net.node_count(); ++id) {
+    values[id] = {readings[id]};
+    weights[id] = {0};
+  }
+  const auto history = coordinator.run_until_result(values, weights, {}, 400);
+  EXPECT_TRUE(history.back().produced_result());
+  EXPECT_LE(history.back().minima[0], true_min(net, readings, malicious));
+  EXPECT_TRUE(revocations_sound(net, malicious));
+}
+
+TEST(Composite, NullSubStrategiesAreSilent) {
+  const auto topo = Topology::grid(4, 4);
+  const auto malicious = choose_malicious(topo, 2, 8);
+  Network net(topo, dense_keys());
+  Adversary adv(&net, malicious,
+                std::make_unique<CompositeStrategy>(nullptr, nullptr, nullptr,
+                                                    nullptr));
+  VmatConfig cfg;
+  cfg.depth_bound = topo.depth(malicious);
+  VmatCoordinator coordinator(&net, &adv, cfg);
+  const auto readings = default_readings(net.node_count());
+  const auto out = coordinator.run_min(readings);
+  // Fully silent malicious nodes: either the tree routed around them (a
+  // correct result over honest sensors) or a veto walk revoked something.
+  if (out.kind == OutcomeKind::kResult)
+    EXPECT_LE(out.minima[0], true_min(net, readings, malicious));
+  else
+    EXPECT_TRUE(revocations_sound(net, malicious)) << out.reason;
+}
+
+TEST(Composite, CompositeSweepAcrossSeeds) {
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    const auto topo = Topology::grid(5, 5);
+    const auto malicious = choose_malicious(topo, 2, seed + 20);
+    Network net(topo, dense_keys(0, seed));
+    auto strategy = std::make_unique<CompositeStrategy>(
+        std::make_unique<GarbageStrategy>(seed),
+        std::make_unique<SilentDropStrategy>(),
+        std::make_unique<SelfVetoStrategy>(1),
+        std::make_unique<SilentDropStrategy>(LiePolicy::kRandom));
+    Adversary adv(&net, malicious, std::move(strategy));
+    VmatConfig cfg;
+    cfg.depth_bound = topo.depth(malicious);
+    cfg.seed = seed;
+    VmatCoordinator coordinator(&net, &adv, cfg);
+    const auto readings = default_readings(net.node_count());
+    std::vector<std::vector<Reading>> values(net.node_count());
+    std::vector<std::vector<std::int64_t>> weights(net.node_count());
+    for (std::uint32_t id = 0; id < net.node_count(); ++id) {
+      values[id] = {readings[id]};
+      weights[id] = {0};
+    }
+    const auto history =
+        coordinator.run_until_result(values, weights, {}, 400);
+    EXPECT_TRUE(history.back().produced_result()) << "seed " << seed;
+    EXPECT_TRUE(revocations_sound(net, malicious)) << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace vmat

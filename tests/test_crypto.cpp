@@ -1,0 +1,200 @@
+// Crypto substrate tests: SHA-256 against FIPS vectors, HMAC against
+// RFC 4231 vectors, truncated MACs, the synopsis PRF, and hash chains.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+
+#include "crypto/hash_chain.h"
+#include "crypto/hmac.h"
+#include "crypto/mac.h"
+#include "crypto/prf.h"
+#include "crypto/sha256.h"
+#include "util/bytes.h"
+
+namespace vmat {
+namespace {
+
+Bytes ascii(const char* s) {
+  return Bytes(reinterpret_cast<const std::uint8_t*>(s),
+               reinterpret_cast<const std::uint8_t*>(s) + std::strlen(s));
+}
+
+std::string digest_hex(const Digest& d) { return to_hex(d); }
+
+TEST(Sha256, EmptyString) {
+  EXPECT_EQ(digest_hex(Sha256::hash({})),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256, Abc) {
+  EXPECT_EQ(digest_hex(Sha256::hash(ascii("abc"))),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256, TwoBlockMessage) {
+  EXPECT_EQ(
+      digest_hex(Sha256::hash(ascii(
+          "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"))),
+      "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256, MillionAs) {
+  Sha256 h;
+  const Bytes chunk(1000, static_cast<std::uint8_t>('a'));
+  for (int i = 0; i < 1000; ++i) h.update(chunk);
+  EXPECT_EQ(digest_hex(h.finish()),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256, StreamingEqualsOneShot) {
+  const Bytes msg = ascii("the quick brown fox jumps over the lazy dog etc");
+  for (std::size_t split = 0; split <= msg.size(); ++split) {
+    Sha256 h;
+    h.update(std::span(msg.data(), split));
+    h.update(std::span(msg.data() + split, msg.size() - split));
+    EXPECT_EQ(h.finish(), Sha256::hash(msg)) << "split=" << split;
+  }
+}
+
+TEST(Hmac, Rfc4231Case1) {
+  const Bytes key(20, 0x0b);
+  EXPECT_EQ(to_hex(hmac_sha256(key, ascii("Hi There"))),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+}
+
+TEST(Hmac, Rfc4231Case2) {
+  EXPECT_EQ(to_hex(hmac_sha256(ascii("Jefe"),
+                               ascii("what do ya want for nothing?"))),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+}
+
+TEST(Hmac, Rfc4231Case3) {
+  const Bytes key(20, 0xaa);
+  const Bytes msg(50, 0xdd);
+  EXPECT_EQ(to_hex(hmac_sha256(key, msg)),
+            "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe");
+}
+
+TEST(Hmac, Rfc4231Case6LongKey) {
+  const Bytes key(131, 0xaa);
+  EXPECT_EQ(to_hex(hmac_sha256(
+                key, ascii("Test Using Larger Than Block-Size Key - Hash "
+                           "Key First"))),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54");
+}
+
+TEST(Mac, TruncatesHmacPrefix) {
+  SymmetricKey key;
+  key.bytes.fill(0x42);
+  const Bytes msg = ascii("message");
+  const Mac tag = compute_mac(key, msg);
+  const Digest full = hmac_sha256(key.span(), msg);
+  for (std::size_t i = 0; i < tag.bytes.size(); ++i)
+    EXPECT_EQ(tag.bytes[i], full[i]);
+}
+
+TEST(Mac, VerifyAcceptsAndRejects) {
+  SymmetricKey key;
+  key.bytes.fill(1);
+  SymmetricKey other;
+  other.bytes.fill(2);
+  const Bytes msg = ascii("payload");
+  const Mac tag = compute_mac(key, msg);
+  EXPECT_TRUE(verify_mac(key, msg, tag));
+  EXPECT_FALSE(verify_mac(other, msg, tag));
+  Bytes tampered = msg;
+  tampered[0] ^= 1;
+  EXPECT_FALSE(verify_mac(key, tampered, tag));
+}
+
+TEST(Mac, DeriveKeyIsDeterministicAndLabelSeparated) {
+  EXPECT_EQ(derive_key("a", 1, 2), derive_key("a", 1, 2));
+  EXPECT_NE(derive_key("a", 1, 2), derive_key("b", 1, 2));
+  EXPECT_NE(derive_key("a", 1, 2), derive_key("a", 2, 2));
+  EXPECT_NE(derive_key("a", 1, 2), derive_key("a", 1, 3));
+}
+
+TEST(Prf, Deterministic) {
+  const SymmetricKey key = derive_key("test", 1, 1);
+  EXPECT_EQ(prf_u64(key, 5, 6, 7, 8), prf_u64(key, 5, 6, 7, 8));
+  EXPECT_NE(prf_u64(key, 5, 6, 7, 8), prf_u64(key, 5, 6, 7, 9));
+  EXPECT_NE(prf_u64(key, 5, 6, 7, 8), prf_u64(key, 5, 6, 8, 8));
+}
+
+TEST(Prf, UnitOpenInRange) {
+  const SymmetricKey key = derive_key("test", 2, 1);
+  for (std::uint32_t i = 0; i < 2000; ++i) {
+    const double u = prf_unit_open(key, 1, 2, i, 3);
+    EXPECT_GT(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Prf, ExponentialMeanMatchesInverseWeight) {
+  const SymmetricKey key = derive_key("test", 3, 1);
+  constexpr std::uint64_t kWeight = 4;
+  double sum = 0.0;
+  constexpr int kDraws = 50000;
+  for (int i = 0; i < kDraws; ++i)
+    sum += prf_exponential(key, 9, 1, static_cast<std::uint32_t>(i), kWeight);
+  EXPECT_NEAR(sum / kDraws, 1.0 / kWeight, 0.01);
+}
+
+TEST(Prf, MinOfExponentialsScalesWithTotalWeight) {
+  // min over sensors of Exp(rate v_x) ~ Exp(rate sum v_x): the synopsis
+  // foundation. Check the empirical mean of the minimum.
+  const SymmetricKey key = derive_key("test", 4, 1);
+  constexpr int kSensors = 50;
+  constexpr int kInstances = 4000;
+  double sum_min = 0.0;
+  for (int i = 0; i < kInstances; ++i) {
+    double m = 1e300;
+    for (std::uint32_t x = 0; x < kSensors; ++x)
+      m = std::min(m, prf_exponential(key, 7, x, static_cast<std::uint32_t>(i), 2));
+    sum_min += m;
+  }
+  // Total weight 100 -> mean of min = 1/100.
+  EXPECT_NEAR(sum_min / kInstances, 0.01, 0.001);
+}
+
+TEST(HashChain, ForwardVerification) {
+  const HashChain chain(99, 16);
+  // Every element verifies against the anchor.
+  for (std::size_t i = 1; i < chain.length(); ++i)
+    EXPECT_TRUE(HashChain::verify(chain.element(i), i, chain.anchor(), 0));
+  // And against any earlier verified element.
+  EXPECT_TRUE(HashChain::verify(chain.element(10), 10, chain.element(4), 4));
+}
+
+TEST(HashChain, RejectsWrongElementAndOrder) {
+  const HashChain chain(99, 16);
+  Digest forged = chain.element(5);
+  forged[0] ^= 1;
+  EXPECT_FALSE(HashChain::verify(forged, 5, chain.anchor(), 0));
+  // Same or earlier position never verifies.
+  EXPECT_FALSE(HashChain::verify(chain.element(3), 3, chain.element(5), 5));
+  EXPECT_FALSE(HashChain::verify(chain.element(5), 5, chain.element(5), 5));
+}
+
+TEST(HashChain, DifferentSeedsDiffer) {
+  const HashChain a(1, 8);
+  const HashChain b(2, 8);
+  EXPECT_NE(a.anchor(), b.anchor());
+}
+
+TEST(HashChain, AdjacentElementsHashForward) {
+  const HashChain chain(7, 8);
+  for (std::size_t i = 1; i < chain.length(); ++i)
+    EXPECT_EQ(Sha256::hash(chain.element(i)), chain.element(i - 1));
+}
+
+TEST(HashOfMac, MatchesManualHash) {
+  SymmetricKey key;
+  key.bytes.fill(9);
+  const Mac tag = compute_mac(key, ascii("x"));
+  EXPECT_EQ(hash_of_mac(tag), Sha256::hash(tag.bytes));
+}
+
+}  // namespace
+}  // namespace vmat

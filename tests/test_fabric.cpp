@@ -1,0 +1,171 @@
+// Fabric and secure-network mechanics: slotted delivery, physics
+// constraints, capacity, accounting, and the honest receive discipline.
+#include <gtest/gtest.h>
+
+#include "sim/fabric.h"
+#include "sim/network.h"
+
+namespace vmat {
+namespace {
+
+Envelope plain(NodeId from, NodeId to, std::uint8_t tag) {
+  Envelope e;
+  e.from = from;
+  e.to = to;
+  e.edge_key = KeyIndex{0};
+  e.payload = {tag};
+  return e;
+}
+
+TEST(Fabric, DeliversAfterEndSlotOnly) {
+  const auto topo = Topology::line(3);
+  Fabric fabric(&topo);
+  EXPECT_TRUE(fabric.send(plain(NodeId{0}, NodeId{1}, 7)));
+  EXPECT_TRUE(fabric.take_inbox(NodeId{1}).empty());
+  fabric.end_slot();
+  const auto inbox = fabric.take_inbox(NodeId{1});
+  ASSERT_EQ(inbox.size(), 1u);
+  EXPECT_EQ(inbox[0].payload[0], 7);
+  // Drained: second take is empty.
+  EXPECT_TRUE(fabric.take_inbox(NodeId{1}).empty());
+}
+
+TEST(Fabric, RefusesNonNeighborTransmission) {
+  const auto topo = Topology::line(3);
+  Fabric fabric(&topo);
+  EXPECT_FALSE(fabric.send(plain(NodeId{0}, NodeId{2}, 1)));
+  EXPECT_EQ(fabric.frames_dropped(), 1u);
+}
+
+TEST(Fabric, SpoofedSenderStillBoundByPhysics) {
+  const auto topo = Topology::line(3);  // 0-1-2
+  Fabric fabric(&topo);
+  // Node 2 claims to be node 0 but can only reach its own neighbor 1.
+  EXPECT_TRUE(fabric.send_as(NodeId{2}, plain(NodeId{0}, NodeId{1}, 9)));
+  fabric.end_slot();
+  const auto inbox = fabric.take_inbox(NodeId{1});
+  ASSERT_EQ(inbox.size(), 1u);
+  EXPECT_EQ(inbox[0].from, NodeId{0});  // the lie is preserved on the frame
+  // But it cannot reach node 0's other side directly... (line: 0 has only
+  // neighbor 1, so sending "to 0" from 2 fails).
+  EXPECT_FALSE(fabric.send_as(NodeId{2}, plain(NodeId{0}, NodeId{0}, 9)));
+}
+
+TEST(Fabric, CapacityLimitsPerSlotAndResets) {
+  const auto topo = Topology::star_of_chains(4, 1);  // hub 0 with 4 leaves
+  Fabric fabric(&topo, 2);
+  EXPECT_TRUE(fabric.send(plain(NodeId{0}, NodeId{1}, 1)));
+  EXPECT_TRUE(fabric.send(plain(NodeId{0}, NodeId{2}, 2)));
+  EXPECT_FALSE(fabric.send(plain(NodeId{0}, NodeId{3}, 3)));  // over budget
+  fabric.end_slot();
+  EXPECT_TRUE(fabric.send(plain(NodeId{0}, NodeId{3}, 3)));  // fresh slot
+}
+
+TEST(Fabric, ByteAccounting) {
+  const auto topo = Topology::line(2);
+  Fabric fabric(&topo);
+  Envelope e = plain(NodeId{0}, NodeId{1}, 5);
+  e.payload = Bytes(10, 0xaa);
+  ASSERT_TRUE(fabric.send(e));
+  fabric.end_slot();
+  EXPECT_EQ(fabric.bytes_sent(NodeId{0}), 30u);  // 20 overhead + 10 payload
+  EXPECT_EQ(fabric.bytes_received(NodeId{1}), 30u);
+  EXPECT_EQ(fabric.total_bytes(), 30u);
+}
+
+TEST(Fabric, ResetDropsInFlightAndInboxes) {
+  const auto topo = Topology::line(2);
+  Fabric fabric(&topo);
+  ASSERT_TRUE(fabric.send(plain(NodeId{0}, NodeId{1}, 1)));
+  fabric.reset();
+  fabric.end_slot();
+  EXPECT_TRUE(fabric.take_inbox(NodeId{1}).empty());
+}
+
+class NetworkTest : public ::testing::Test {
+ protected:
+  NetworkTest()
+      : net_(Topology::line(4),
+             {.keys = {.pool_size = 60, .ring_size = 40, .seed = 2},
+              .revocation_threshold = 0}) {}
+
+  Network net_;
+};
+
+TEST_F(NetworkTest, SecureSendIsReceivedValid) {
+  const Bytes payload{1, 2, 3};
+  ASSERT_TRUE(net_.send_secure(NodeId{0}, NodeId{1}, payload));
+  net_.fabric().end_slot();
+  const auto got = net_.receive_valid(NodeId{1});
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0].payload, payload);
+}
+
+TEST_F(NetworkTest, TamperedFrameRejected) {
+  const Bytes payload{1, 2, 3};
+  const auto key = net_.usable_edge_key(NodeId{0}, NodeId{1});
+  ASSERT_TRUE(key.has_value());
+  Envelope e;
+  e.from = NodeId{0};
+  e.to = NodeId{1};
+  e.edge_key = *key;
+  e.payload = payload;
+  e.edge_mac = compute_mac(net_.keys().pool_key(*key), payload);
+  e.payload[0] ^= 1;  // tamper after MAC
+  ASSERT_TRUE(net_.fabric().send(e));
+  net_.fabric().end_slot();
+  EXPECT_TRUE(net_.receive_valid(NodeId{1}).empty());
+}
+
+TEST_F(NetworkTest, WrongKeyClaimRejected) {
+  // Claim a key the receiver does not hold.
+  KeyIndex absent{0};
+  for (std::uint32_t k = 0; k < 60; ++k) {
+    if (!net_.keys().ring(NodeId{1}).contains(KeyIndex{k})) {
+      absent = KeyIndex{k};
+      break;
+    }
+  }
+  Envelope e;
+  e.from = NodeId{0};
+  e.to = NodeId{1};
+  e.edge_key = absent;
+  e.payload = {9};
+  e.edge_mac = compute_mac(net_.keys().pool_key(absent), e.payload);
+  ASSERT_TRUE(net_.fabric().send(e));
+  net_.fabric().end_slot();
+  EXPECT_TRUE(net_.receive_valid(NodeId{1}).empty());
+}
+
+TEST_F(NetworkTest, RevokedKeyRejectedAndFallbackUsed) {
+  const auto first = net_.usable_edge_key(NodeId{0}, NodeId{1});
+  ASSERT_TRUE(first.has_value());
+  (void)net_.revocation().revoke_key(*first);
+  const auto second = net_.usable_edge_key(NodeId{0}, NodeId{1});
+  // Dense rings here: a fallback shared key exists and differs.
+  ASSERT_TRUE(second.has_value());
+  EXPECT_NE(*first, *second);
+
+  // Frames MAC'd with the revoked key are dropped on receive.
+  Envelope e;
+  e.from = NodeId{0};
+  e.to = NodeId{1};
+  e.edge_key = *first;
+  e.payload = {1};
+  e.edge_mac = compute_mac(net_.keys().pool_key(*first), e.payload);
+  ASSERT_TRUE(net_.fabric().send(e));
+  net_.fabric().end_slot();
+  EXPECT_TRUE(net_.receive_valid(NodeId{1}).empty());
+}
+
+TEST_F(NetworkTest, BroadcastSecureHitsAllUsableNeighbors) {
+  const Bytes payload{5};
+  const auto sent = net_.broadcast_secure(NodeId{1}, payload);
+  EXPECT_EQ(sent, net_.usable_neighbors(NodeId{1}).size());
+  net_.fabric().end_slot();
+  EXPECT_EQ(net_.receive_valid(NodeId{0}).size(), 1u);
+  EXPECT_EQ(net_.receive_valid(NodeId{2}).size(), 1u);
+}
+
+}  // namespace
+}  // namespace vmat

@@ -1,0 +1,189 @@
+// Key predistribution and revocation tests: pool determinism, ring
+// sampling, edge-key discovery (the Eschenauer-Gligor birthday property),
+// holder indexing, and the θ-threshold revocation cascade.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "keys/key_pool.h"
+#include "keys/key_ring.h"
+#include "keys/predistribution.h"
+#include "keys/revocation.h"
+
+namespace vmat {
+namespace {
+
+TEST(KeyPool, DeterministicByIndexAndSeed) {
+  const KeyPool pool(100, 7);
+  EXPECT_EQ(pool.key(KeyIndex{3}), pool.key(KeyIndex{3}));
+  EXPECT_NE(pool.key(KeyIndex{3}), pool.key(KeyIndex{4}));
+  const KeyPool other(100, 8);
+  EXPECT_NE(pool.key(KeyIndex{3}), other.key(KeyIndex{3}));
+}
+
+TEST(KeyPool, RejectsBadIndex) {
+  const KeyPool pool(10, 1);
+  EXPECT_THROW((void)pool.key(KeyIndex{10}), std::out_of_range);
+}
+
+TEST(KeyRing, SortedDistinctAndDeterministic) {
+  const KeyRing a(42, 50, 1000);
+  const KeyRing b(42, 50, 1000);
+  ASSERT_EQ(a.size(), 50u);
+  EXPECT_TRUE(std::equal(a.indices().begin(), a.indices().end(),
+                         b.indices().begin()));
+  for (std::size_t i = 1; i < a.size(); ++i)
+    EXPECT_LT(a.indices()[i - 1], a.indices()[i]);
+}
+
+TEST(KeyRing, ContainsAndPosition) {
+  const KeyRing ring(42, 50, 1000);
+  for (std::size_t i = 0; i < ring.size(); ++i) {
+    const KeyIndex k = ring.indices()[i];
+    EXPECT_TRUE(ring.contains(k));
+    EXPECT_EQ(ring.position_of(k), i);
+  }
+  // A value not in the ring.
+  for (std::uint32_t v = 0; v < 1000; ++v) {
+    if (!ring.contains(KeyIndex{v})) {
+      EXPECT_FALSE(ring.position_of(KeyIndex{v}).has_value());
+      break;
+    }
+  }
+}
+
+TEST(KeyRing, SharedKeyIsSmallestCommon) {
+  const KeyRing a(1, 400, 1000);
+  const KeyRing b(2, 400, 1000);
+  const auto shared = a.shared_key(b);
+  ASSERT_TRUE(shared.has_value());
+  EXPECT_TRUE(a.contains(*shared));
+  EXPECT_TRUE(b.contains(*shared));
+  // Nothing smaller is common.
+  for (KeyIndex k : a.indices()) {
+    if (k == *shared) break;
+    EXPECT_FALSE(b.contains(k));
+  }
+}
+
+TEST(KeyRing, OverlapSymmetricAndBounded) {
+  const KeyRing a(1, 100, 500);
+  const KeyRing b(2, 100, 500);
+  EXPECT_EQ(a.overlap(b), b.overlap(a));
+  EXPECT_LE(a.overlap(b), 100u);
+  EXPECT_EQ(a.overlap(a), 100u);
+}
+
+TEST(KeyRing, BirthdayParadoxSharingProbability) {
+  // With r = c*sqrt(u), two rings share a key with prob ~ 1 - e^{-c^2}.
+  // u = 2500, r = 100 => c = 2, P(share) ~ 0.98.
+  int share = 0;
+  constexpr int kPairs = 400;
+  for (int i = 0; i < kPairs; ++i) {
+    const KeyRing a(2 * i + 1000, 100, 2500);
+    const KeyRing b(2 * i + 1001, 100, 2500);
+    if (a.shared_key(b).has_value()) ++share;
+  }
+  EXPECT_GT(share, kPairs * 0.93);
+}
+
+TEST(Predistribution, HoldersAreExactAndSorted) {
+  const Predistribution pd(50, {.pool_size = 200, .ring_size = 20, .seed = 3});
+  for (std::uint32_t k = 0; k < 200; ++k) {
+    const auto holders = pd.holders(KeyIndex{k});
+    for (std::size_t i = 1; i < holders.size(); ++i)
+      EXPECT_LT(holders[i - 1], holders[i]);
+    for (NodeId h : holders) EXPECT_TRUE(pd.ring(h).contains(KeyIndex{k}));
+  }
+  // Every ring entry appears in the holder map.
+  for (std::uint32_t id = 0; id < 50; ++id) {
+    for (KeyIndex k : pd.ring(NodeId{id}).indices()) {
+      const auto holders = pd.holders(k);
+      EXPECT_TRUE(std::find(holders.begin(), holders.end(), NodeId{id}) !=
+                  holders.end());
+    }
+  }
+}
+
+TEST(Predistribution, EdgeKeySymmetric) {
+  const Predistribution pd(30, {.pool_size = 100, .ring_size = 30, .seed = 4});
+  for (std::uint32_t a = 0; a < 30; ++a)
+    for (std::uint32_t b = a + 1; b < 30; ++b)
+      EXPECT_EQ(pd.edge_key(NodeId{a}, NodeId{b}),
+                pd.edge_key(NodeId{b}, NodeId{a}));
+}
+
+TEST(Predistribution, SensorKeysUniquePerNode) {
+  const Predistribution pd(20, {.pool_size = 100, .ring_size = 10, .seed = 5});
+  for (std::uint32_t a = 0; a < 20; ++a)
+    for (std::uint32_t b = a + 1; b < 20; ++b)
+      EXPECT_NE(pd.sensor_key(NodeId{a}), pd.sensor_key(NodeId{b}));
+}
+
+TEST(Revocation, KeyRevocationIsIdempotent) {
+  const Predistribution pd(20, {.pool_size = 100, .ring_size = 10, .seed = 6});
+  RevocationRegistry reg(&pd, 0);
+  EXPECT_FALSE(reg.is_key_revoked(KeyIndex{5}));
+  (void)reg.revoke_key(KeyIndex{5});
+  EXPECT_TRUE(reg.is_key_revoked(KeyIndex{5}));
+  (void)reg.revoke_key(KeyIndex{5});
+  EXPECT_EQ(reg.revoked_key_count(), 1u);
+  EXPECT_EQ(reg.events().size(), 1u);
+}
+
+TEST(Revocation, ThresholdTriggersSensorRevocation) {
+  const Predistribution pd(10, {.pool_size = 50, .ring_size = 10, .seed = 7});
+  RevocationRegistry reg(&pd, 3);
+  const NodeId victim{4};
+  const auto ring = pd.ring(victim).indices();
+  std::vector<NodeId> newly;
+  // Revoke ring keys one by one until victim crosses θ = 3.
+  for (std::size_t i = 0; i < ring.size() && newly.empty(); ++i)
+    newly = reg.revoke_key(ring[i]);
+  EXPECT_TRUE(reg.is_sensor_revoked(victim) ||
+              // Some other sensor sharing these keys may trip first; either
+              // way, somebody crossed the threshold.
+              !newly.empty());
+}
+
+TEST(Revocation, SensorRevocationRevokesWholeRing) {
+  const Predistribution pd(10, {.pool_size = 200, .ring_size = 12, .seed = 8});
+  RevocationRegistry reg(&pd, 0);  // no cascade
+  const NodeId victim{3};
+  const auto newly = reg.revoke_sensor(victim);
+  ASSERT_FALSE(newly.empty());
+  EXPECT_EQ(newly.front(), victim);
+  EXPECT_TRUE(reg.is_sensor_revoked(victim));
+  for (KeyIndex k : pd.ring(victim).indices())
+    EXPECT_TRUE(reg.is_key_revoked(k));
+}
+
+TEST(Revocation, PinpointedVsRingSeedCausesTracked) {
+  const Predistribution pd(10, {.pool_size = 200, .ring_size = 12, .seed = 9});
+  RevocationRegistry reg(&pd, 0);
+  (void)reg.revoke_key(KeyIndex{1});
+  (void)reg.revoke_sensor(NodeId{2});
+  EXPECT_EQ(reg.pinpointed_key_count(), 1u);
+  EXPECT_GT(reg.events().size(), 1u);
+}
+
+TEST(Revocation, CountsRevokedKeysPerSensor) {
+  const Predistribution pd(10, {.pool_size = 200, .ring_size = 12, .seed = 10});
+  RevocationRegistry reg(&pd, 100);  // high threshold: no cascade
+  const NodeId node{5};
+  const auto ring = pd.ring(node).indices();
+  (void)reg.revoke_key(ring[0]);
+  (void)reg.revoke_key(ring[1]);
+  EXPECT_EQ(reg.revoked_count(node), 2u);
+}
+
+TEST(Revocation, ZeroThresholdDisablesAutoRevocation) {
+  const Predistribution pd(10, {.pool_size = 50, .ring_size = 20, .seed = 11});
+  RevocationRegistry reg(&pd, 0);
+  for (KeyIndex k : pd.ring(NodeId{1}).indices())
+    (void)reg.revoke_key(k);
+  EXPECT_FALSE(reg.is_sensor_revoked(NodeId{1}));
+}
+
+}  // namespace
+}  // namespace vmat

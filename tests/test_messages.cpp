@@ -1,0 +1,128 @@
+// Message codec tests: round trips, malformed-frame rejection, sensor-key
+// MAC helpers, and message identity.
+#include <gtest/gtest.h>
+
+#include "core/messages.h"
+
+namespace vmat {
+namespace {
+
+SymmetricKey test_key(std::uint8_t fill) {
+  SymmetricKey k;
+  k.bytes.fill(fill);
+  return k;
+}
+
+TEST(Messages, TreeRoundTrip) {
+  const TreeFormationMsg m{0xfeedbeef, 7};
+  const auto decoded = decode_tree(encode(m));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, m);
+  EXPECT_EQ(peek_type(encode(m)), MsgType::kTreeFormation);
+}
+
+TEST(Messages, AggBundleRoundTrip) {
+  AggBundle bundle;
+  for (std::uint32_t i = 0; i < 3; ++i) {
+    AggMessage m;
+    m.origin = NodeId{10 + i};
+    m.instance = i;
+    m.value = -5 + static_cast<Reading>(i);
+    m.weight = i;
+    m.mac.bytes.fill(static_cast<std::uint8_t>(i));
+    bundle.entries.push_back(m);
+  }
+  const auto decoded = decode_agg(encode(bundle));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, bundle);
+}
+
+TEST(Messages, VetoRoundTrip) {
+  VetoMsg v;
+  v.origin = NodeId{42};
+  v.instance = 3;
+  v.value = -999;
+  v.level = 5;
+  v.mac.bytes.fill(0xcd);
+  const auto decoded = decode_veto(encode(v));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, v);
+}
+
+TEST(Messages, ReplyRoundTrip) {
+  PredicateReplyMsg r;
+  r.reply.bytes.fill(0x77);
+  const auto decoded = decode_reply(encode(r));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, r);
+}
+
+TEST(Messages, CrossTypeDecodeFails) {
+  const auto tree_frame = encode(TreeFormationMsg{1, 2});
+  EXPECT_FALSE(decode_agg(tree_frame).has_value());
+  EXPECT_FALSE(decode_veto(tree_frame).has_value());
+  EXPECT_FALSE(decode_reply(tree_frame).has_value());
+}
+
+TEST(Messages, TruncatedFrameRejected) {
+  auto frame = encode(VetoMsg{});
+  frame.pop_back();
+  EXPECT_FALSE(decode_veto(frame).has_value());
+}
+
+TEST(Messages, TrailingGarbageRejected) {
+  auto frame = encode(TreeFormationMsg{1, 2});
+  frame.push_back(0);
+  EXPECT_FALSE(decode_tree(frame).has_value());
+}
+
+TEST(Messages, EmptyAndUnknownFrames) {
+  EXPECT_FALSE(peek_type({}).has_value());
+  EXPECT_FALSE(peek_type({99}).has_value());
+  EXPECT_FALSE(decode_tree({}).has_value());
+}
+
+TEST(Messages, OversizedBundleCountRejected) {
+  ByteWriter w;
+  w.u8(2);             // kAggBundle
+  w.u32(0xffffffffu);  // absurd count
+  EXPECT_FALSE(decode_agg(w.take()).has_value());
+}
+
+TEST(Messages, AggMacVerifies) {
+  const SymmetricKey key = test_key(1);
+  const auto m = make_agg_message(key, NodeId{5}, 2, -7, 0, 0xabc);
+  EXPECT_TRUE(verify_agg_message(key, m, 0xabc));
+  EXPECT_FALSE(verify_agg_message(key, m, 0xabd));     // wrong nonce
+  EXPECT_FALSE(verify_agg_message(test_key(2), m, 0xabc));  // wrong key
+  auto tampered = m;
+  tampered.value += 1;
+  EXPECT_FALSE(verify_agg_message(key, tampered, 0xabc));
+  tampered = m;
+  tampered.weight += 1;
+  EXPECT_FALSE(verify_agg_message(key, tampered, 0xabc));
+}
+
+TEST(Messages, VetoMacVerifiesAndBindsLevel) {
+  const SymmetricKey key = test_key(3);
+  const auto v = make_veto(key, NodeId{9}, 0, -3, 4, 0x123);
+  EXPECT_TRUE(verify_veto(key, v, 0x123));
+  auto tampered = v;
+  tampered.level = 5;
+  EXPECT_FALSE(verify_veto(key, tampered, 0x123));
+}
+
+TEST(Messages, IdentityDistinguishesMessages) {
+  const SymmetricKey key = test_key(4);
+  const auto a = make_agg_message(key, NodeId{1}, 0, 5, 0, 1);
+  auto b = a;
+  EXPECT_EQ(message_identity(a), message_identity(b));
+  b.value = 6;
+  EXPECT_NE(message_identity(a), message_identity(b));
+  b = a;
+  b.mac.bytes[0] ^= 1;  // identity covers the MAC too
+  EXPECT_NE(message_identity(a), message_identity(b));
+}
+
+}  // namespace
+}  // namespace vmat

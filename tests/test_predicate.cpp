@@ -1,0 +1,356 @@
+// Keyed predicate test: honest evaluation semantics over audit records and
+// the Theorem 3 engine guarantees (success iff a satisfying honest holder
+// exists, modulo Byzantine holders who may answer either way).
+#include <gtest/gtest.h>
+
+#include "core/aggregation.h"
+#include "core/predicate_test.h"
+#include "core/tree_formation.h"
+#include "helpers.h"
+
+namespace vmat {
+namespace {
+
+using testing::default_readings;
+using testing::dense_keys;
+
+// --- evaluate_predicate unit tests over hand-built audits ---
+
+NodeAudit sample_audit() {
+  NodeAudit audit;
+  audit.agg.level = 3;
+  ReceivedRecord r;
+  r.msg.origin = NodeId{9};
+  r.msg.instance = 0;
+  r.msg.value = 42;
+  r.in_edge = KeyIndex{17};
+  r.slot = 2;
+  r.child_level = 4;
+  audit.agg.received.push_back(r);
+  ForwardRecord f;
+  f.msg = r.msg;
+  f.out_edge = KeyIndex{23};
+  f.parent = NodeId{2};
+  audit.agg.forwarded.push_back(f);
+  return audit;
+}
+
+TEST(Predicate, AggForwardedMatchesLevelValueAndWindow) {
+  const NodeAudit audit = sample_audit();
+  Predicate p;
+  p.kind = PredicateKind::kAggForwardedValue;
+  p.instance = 0;
+  p.v_max = 42;
+  p.level = 3;
+  p.id_lo = NodeId{0};
+  p.id_hi = NodeId{100};
+  p.z_lo = KeyIndex{20};
+  p.z_hi = KeyIndex{25};
+  EXPECT_TRUE(evaluate_predicate(p, NodeId{5}, audit));
+  p.v_max = 41;  // smaller bound
+  EXPECT_FALSE(evaluate_predicate(p, NodeId{5}, audit));
+  p.v_max = 42;
+  p.level = 4;  // wrong level
+  EXPECT_FALSE(evaluate_predicate(p, NodeId{5}, audit));
+  p.level = 3;
+  p.z_hi = KeyIndex{22};  // out-edge outside window
+  EXPECT_FALSE(evaluate_predicate(p, NodeId{5}, audit));
+  p.z_hi = KeyIndex{25};
+  p.id_lo = p.id_hi = NodeId{6};  // id window excludes self
+  EXPECT_FALSE(evaluate_predicate(p, NodeId{5}, audit));
+  p.id_lo = NodeId{0};
+  p.id_hi = NodeId{100};
+  p.instance = 1;  // wrong instance
+  EXPECT_FALSE(evaluate_predicate(p, NodeId{5}, audit));
+}
+
+TEST(Predicate, AggReceivedRequiresOwnLevelOneBelow) {
+  const NodeAudit audit = sample_audit();  // own level 3, child level 4
+  Predicate p;
+  p.kind = PredicateKind::kAggReceivedValue;
+  p.instance = 0;
+  p.v_max = 50;
+  p.level = 4;  // child level; admitter must sit at 3
+  p.id_lo = NodeId{0};
+  p.id_hi = NodeId{100};
+  EXPECT_TRUE(evaluate_predicate(p, NodeId{5}, audit));
+  p.level = 5;  // would require own level 4
+  EXPECT_FALSE(evaluate_predicate(p, NodeId{5}, audit));
+}
+
+TEST(Predicate, JunkAggKindsBindExactIdentityAndEdge) {
+  const NodeAudit audit = sample_audit();
+  const Digest id_hash = message_identity(audit.agg.forwarded[0].msg);
+  Predicate p;
+  p.kind = PredicateKind::kJunkAggForwarded;
+  p.level = 3;
+  p.bound_edge = KeyIndex{23};
+  p.msg_hash = id_hash;
+  p.id_lo = NodeId{0};
+  p.id_hi = NodeId{100};
+  EXPECT_TRUE(evaluate_predicate(p, NodeId{5}, audit));
+  p.bound_edge = KeyIndex{17};
+  EXPECT_FALSE(evaluate_predicate(p, NodeId{5}, audit));
+  p.bound_edge = KeyIndex{23};
+  p.msg_hash[0] ^= 1;
+  EXPECT_FALSE(evaluate_predicate(p, NodeId{5}, audit));
+
+  Predicate q;
+  q.kind = PredicateKind::kJunkAggReceived;
+  q.level = 3;
+  q.z_lo = KeyIndex{17};
+  q.z_hi = KeyIndex{17};
+  q.msg_hash = id_hash;
+  q.id_lo = NodeId{0};
+  q.id_hi = NodeId{100};
+  EXPECT_TRUE(evaluate_predicate(q, NodeId{5}, audit));
+  q.z_lo = q.z_hi = KeyIndex{18};
+  EXPECT_FALSE(evaluate_predicate(q, NodeId{5}, audit));
+}
+
+TEST(Predicate, SofKindsMatchIntervalAndEdges) {
+  NodeAudit audit;
+  SofRecord rec;
+  rec.msg.origin = NodeId{4};
+  rec.msg.value = 7;
+  rec.msg.level = 2;
+  rec.originated = false;
+  rec.received_interval = 2;
+  rec.forward_interval = 3;
+  rec.in_edge = KeyIndex{31};
+  rec.out_edges = {KeyIndex{40}, KeyIndex{41}};
+  audit.sof = rec;
+  const Digest id_hash = message_identity(rec.msg);
+
+  Predicate p;
+  p.kind = PredicateKind::kJunkSofForwarded;
+  p.level = 3;
+  p.bound_edge = KeyIndex{41};
+  p.msg_hash = id_hash;
+  p.id_lo = NodeId{0};
+  p.id_hi = NodeId{100};
+  EXPECT_TRUE(evaluate_predicate(p, NodeId{6}, audit));
+  p.level = 2;
+  EXPECT_FALSE(evaluate_predicate(p, NodeId{6}, audit));
+  p.level = 3;
+  p.bound_edge = KeyIndex{42};
+  EXPECT_FALSE(evaluate_predicate(p, NodeId{6}, audit));
+
+  Predicate q;
+  q.kind = PredicateKind::kJunkSofReceived;
+  q.level = 2;
+  q.z_lo = KeyIndex{31};
+  q.z_hi = KeyIndex{31};
+  q.msg_hash = id_hash;
+  q.id_lo = NodeId{0};
+  q.id_hi = NodeId{100};
+  EXPECT_TRUE(evaluate_predicate(q, NodeId{6}, audit));
+  // Originators never satisfy the received kind.
+  audit.sof->originated = true;
+  EXPECT_FALSE(evaluate_predicate(q, NodeId{6}, audit));
+}
+
+TEST(Predicate, NoAuditNeverSatisfies) {
+  const NodeAudit empty;
+  for (auto kind : {PredicateKind::kAggForwardedValue,
+                    PredicateKind::kAggReceivedValue,
+                    PredicateKind::kJunkAggForwarded,
+                    PredicateKind::kJunkAggReceived,
+                    PredicateKind::kJunkSofForwarded,
+                    PredicateKind::kJunkSofReceived}) {
+    Predicate p;
+    p.kind = kind;
+    p.id_lo = NodeId{0};
+    p.id_hi = NodeId{100};
+    p.v_max = kInfinity - 1;
+    p.z_lo = KeyIndex{0};
+    p.z_hi = KeyIndex{0xfffffff0};
+    EXPECT_FALSE(evaluate_predicate(p, NodeId{1}, empty));
+  }
+}
+
+// --- engine tests (Theorem 3) over a real aggregation run ---
+
+struct EngineFixture {
+  EngineFixture()
+      : net(Topology::line(6), dense_keys()), audits(net.node_count()) {
+    TreeFormationParams tp;
+    tp.depth_bound = net.physical_depth();
+    tp.session = 1;
+    tree = run_tree_formation(net, nullptr, tp);
+    AggConfig cfg;
+    cfg.nonce = 0xaa;
+    auto readings = default_readings(net.node_count());
+    readings[5] = 1;
+    std::vector<std::vector<Reading>> values(net.node_count());
+    std::vector<std::vector<std::int64_t>> weights(net.node_count());
+    for (std::uint32_t id = 0; id < net.node_count(); ++id) {
+      values[id] = {readings[id]};
+      weights[id] = {0};
+    }
+    (void)run_aggregation(net, nullptr, tree, cfg, values, weights, audits);
+  }
+
+  Predicate forwarded_probe(Level level, Reading v_max) {
+    Predicate p;
+    p.kind = PredicateKind::kAggForwardedValue;
+    p.v_max = v_max;
+    p.level = level;
+    p.id_lo = NodeId{0};
+    p.id_hi = NodeId{0xffffffff};
+    p.z_lo = KeyIndex{0};
+    p.z_hi = KeyIndex{0xfffffff0};
+    return p;
+  }
+
+  Network net;
+  TreeResult tree;
+  std::vector<NodeAudit> audits;
+};
+
+TEST(PredicateEngine, SucceedsWhenHonestHolderSatisfies) {
+  EngineFixture fx;
+  CostMeter meter;
+  PredicateTestEngine engine(&fx.net, nullptr, &fx.audits, &meter);
+  // Node 3 (level 3) forwarded value 1.
+  EXPECT_TRUE(engine.run(KeySpec::sensor_key(NodeId{3}),
+                         fx.forwarded_probe(3, 1)));
+  EXPECT_EQ(meter.predicate_tests, 1);
+  EXPECT_EQ(meter.flooding_rounds, 2);
+}
+
+TEST(PredicateEngine, FailsWhenNobodySatisfies) {
+  EngineFixture fx;
+  CostMeter meter;
+  PredicateTestEngine engine(&fx.net, nullptr, &fx.audits, &meter);
+  // Wrong level for node 3.
+  EXPECT_FALSE(engine.run(KeySpec::sensor_key(NodeId{3}),
+                          fx.forwarded_probe(4, 1)));
+}
+
+TEST(PredicateEngine, PoolKeyTestReachesAllHolders) {
+  EngineFixture fx;
+  CostMeter meter;
+  PredicateTestEngine engine(&fx.net, nullptr, &fx.audits, &meter);
+  // Use node 3's actual out-edge key: its holder (node 3) satisfies.
+  const KeyIndex out_edge = fx.audits[3].agg.forwarded[0].out_edge;
+  EXPECT_TRUE(engine.run(KeySpec::pool_key(out_edge),
+                         fx.forwarded_probe(3, 1)));
+}
+
+TEST(PredicateEngine, ByzantineHolderCanFakeYes) {
+  EngineFixture fx;
+  Adversary adv(&fx.net, {NodeId{2}},
+                std::make_unique<SilentDropStrategy>(LiePolicy::kAdmitAll));
+  CostMeter meter;
+  PredicateTestEngine engine(&fx.net, &adv, &fx.audits, &meter);
+  // Node 2 has no matching record (probe at absurd level), but admits.
+  EXPECT_TRUE(engine.run(KeySpec::sensor_key(NodeId{2}),
+                         fx.forwarded_probe(99, 1)));
+}
+
+TEST(PredicateEngine, ByzantineHolderCanStonewall) {
+  EngineFixture fx;
+  Adversary adv(&fx.net, {NodeId{2}},
+                std::make_unique<SilentDropStrategy>(LiePolicy::kDenyAll));
+  CostMeter meter;
+  PredicateTestEngine engine(&fx.net, &adv, &fx.audits, &meter);
+  // Node 2 does satisfy (it forwarded value 1 at level 2) but stays silent.
+  EXPECT_FALSE(engine.run(KeySpec::sensor_key(NodeId{2}),
+                          fx.forwarded_probe(2, 1)));
+}
+
+TEST(PredicateEngine, ByzantineCannotFakeForKeysItLacks) {
+  EngineFixture fx;
+  Adversary adv(&fx.net, {NodeId{2}},
+                std::make_unique<SilentDropStrategy>(LiePolicy::kAdmitAll));
+  CostMeter meter;
+  PredicateTestEngine engine(&fx.net, &adv, &fx.audits, &meter);
+  // Sensor key of honest node 4, probe it does not satisfy: node 2 cannot
+  // answer for a key it does not hold, so the test must fail.
+  EXPECT_FALSE(engine.run(KeySpec::sensor_key(NodeId{4}),
+                          fx.forwarded_probe(99, 1)));
+}
+
+TEST(PredicateEngine, MessageLevelModeAgreesWithReachability) {
+  // The reachability collapse is claimed to be exact; check it against the
+  // full fabric-level verified flood across a grid of predicates and
+  // adversary configurations.
+  EngineFixture fx;
+  struct Case {
+    std::unordered_set<NodeId> malicious;
+    LiePolicy policy;
+  };
+  const Case cases[] = {
+      {{}, LiePolicy::kDenyAll},
+      {{NodeId{2}}, LiePolicy::kDenyAll},
+      {{NodeId{2}}, LiePolicy::kAdmitAll},
+      {{NodeId{1}, NodeId{4}}, LiePolicy::kDenyAll},
+      {{NodeId{1}, NodeId{4}}, LiePolicy::kAdmitAll},
+  };
+  for (const auto& c : cases) {
+    std::optional<Adversary> adv;
+    if (!c.malicious.empty())
+      adv.emplace(&fx.net, c.malicious,
+                  std::make_unique<SilentDropStrategy>(c.policy));
+    Adversary* adv_ptr = adv.has_value() ? &*adv : nullptr;
+    for (Level level : {1, 2, 3, 4, 5, 99}) {
+      for (Reading v_max : {Reading{1}, Reading{101}, Reading{1000}}) {
+        for (std::uint32_t target : {1u, 2u, 3u, 4u, 5u}) {
+          const Predicate p = fx.forwarded_probe(level, v_max);
+          CostMeter m1, m2;
+          PredicateTestEngine fast(&fx.net, adv_ptr, &fx.audits, &m1,
+                                   PredicateTestMode::kReachability);
+          PredicateTestEngine full(&fx.net, adv_ptr, &fx.audits, &m2,
+                                   PredicateTestMode::kMessageLevel);
+          const KeySpec key = KeySpec::sensor_key(NodeId{target});
+          EXPECT_EQ(fast.run(key, p), full.run(key, p))
+              << "target=" << target << " level=" << level
+              << " v_max=" << v_max << " f=" << c.malicious.size();
+        }
+      }
+    }
+  }
+}
+
+TEST(PredicateEngine, MessageLevelDropsJunkFrames) {
+  // Feed the flood machinery a junk frame directly: a forwarder must drop
+  // anything whose hash does not match the token, so a test keyed on a key
+  // nobody satisfies still fails even with garbage in flight.
+  EngineFixture fx;
+  CostMeter meter;
+  PredicateTestEngine engine(&fx.net, nullptr, &fx.audits, &meter,
+                             PredicateTestMode::kMessageLevel);
+  // Stuff junk into the fabric; the engine resets it before flooding, so
+  // also verify a plain failing test is unaffected end to end.
+  Envelope junk;
+  junk.from = NodeId{1};
+  junk.to = NodeId{0};
+  junk.edge_key = kNoKey;
+  junk.payload = encode(PredicateReplyMsg{});  // wrong reply bytes
+  (void)fx.net.fabric().send(junk);
+  EXPECT_FALSE(engine.run(KeySpec::sensor_key(NodeId{3}),
+                          fx.forwarded_probe(4, 1)));
+}
+
+TEST(PredicateEngine, ReplyBlockedByByzantineCutFails) {
+  // Line 0-1-2-3-4-5 with Byzantine node 1: replies from beyond it cannot
+  // reach the base station (Byzantine nodes do not relay).
+  EngineFixture fx;
+  Adversary adv(&fx.net, {NodeId{1}},
+                std::make_unique<SilentDropStrategy>(LiePolicy::kDenyAll));
+  CostMeter meter;
+  PredicateTestEngine engine(&fx.net, &adv, &fx.audits, &meter);
+  EXPECT_FALSE(engine.run(KeySpec::sensor_key(NodeId{4}),
+                          fx.forwarded_probe(4, 101)));
+  // But an injector adjacent to the reachable component succeeds: node 1
+  // itself answering yes reaches the BS.
+  Adversary adv2(&fx.net, {NodeId{1}},
+                 std::make_unique<SilentDropStrategy>(LiePolicy::kAdmitAll));
+  PredicateTestEngine engine2(&fx.net, &adv2, &fx.audits, &meter);
+  EXPECT_TRUE(engine2.run(KeySpec::sensor_key(NodeId{1}),
+                          fx.forwarded_probe(99, 1)));
+}
+
+}  // namespace
+}  // namespace vmat

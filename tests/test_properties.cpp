@@ -1,0 +1,204 @@
+// Theorem 7 property sweep: for every strategy family x topology x seed,
+// each execution either returns the correct minimum or revokes key material
+// held by the adversary; honest sensors are never revoked; and repeated
+// executions always converge to a result (strictly diminishing adversary).
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <tuple>
+
+#include "core/coordinator.h"
+#include "helpers.h"
+
+namespace vmat {
+namespace {
+
+using testing::default_readings;
+using testing::dense_keys;
+using testing::revocations_sound;
+using testing::true_min;
+
+enum class Family {
+  kSilent,
+  kValueDrop,
+  kJunk,
+  kChoke,
+  kSelfVeto,
+  kRandomByzantine,
+};
+
+std::string family_name(Family f) {
+  switch (f) {
+    case Family::kSilent: return "Silent";
+    case Family::kValueDrop: return "ValueDrop";
+    case Family::kJunk: return "Junk";
+    case Family::kChoke: return "Choke";
+    case Family::kSelfVeto: return "SelfVeto";
+    case Family::kRandomByzantine: return "RandomByzantine";
+  }
+  return "?";
+}
+
+std::unique_ptr<AdversaryStrategy> make_strategy(Family f, LiePolicy policy,
+                                                 std::uint64_t seed) {
+  switch (f) {
+    case Family::kSilent:
+      return std::make_unique<SilentDropStrategy>(policy);
+    case Family::kValueDrop:
+      return std::make_unique<ValueDropStrategy>(policy);
+    case Family::kJunk:
+      return std::make_unique<JunkInjectStrategy>(policy);
+    case Family::kChoke:
+      return std::make_unique<ChokeVetoStrategy>(policy);
+    case Family::kSelfVeto:
+      return std::make_unique<SelfVetoStrategy>(1, policy);
+    case Family::kRandomByzantine:
+      return std::make_unique<RandomByzantineStrategy>(seed);
+  }
+  return nullptr;
+}
+
+enum class Shape { kGrid, kGeometric };
+
+Topology make_topology(Shape shape, std::uint64_t seed) {
+  switch (shape) {
+    case Shape::kGrid:
+      return Topology::grid(5, 5);
+    case Shape::kGeometric:
+      return Topology::random_geometric(40, 0.3, seed);
+  }
+  return Topology::line(2);
+}
+
+using Params = std::tuple<Family, LiePolicy, Shape, std::uint64_t>;
+
+class Theorem7Sweep : public ::testing::TestWithParam<Params> {};
+
+TEST_P(Theorem7Sweep, EveryExecutionResultsOrSoundlyRevokes) {
+  const auto [family, policy, shape, seed] = GetParam();
+  const Topology topo = make_topology(shape, seed);
+  const auto malicious = choose_malicious(topo, 3, seed * 13 + 1);
+  Network net(topo, dense_keys(/*theta=*/0, seed));
+  Adversary adv(&net, malicious, make_strategy(family, policy, seed));
+  VmatConfig cfg;
+  cfg.depth_bound = topo.depth(malicious);
+  cfg.seed = seed;
+  VmatCoordinator coordinator(&net, &adv, cfg);
+
+  const auto readings = default_readings(net.node_count());
+  std::vector<std::vector<Reading>> values(net.node_count());
+  std::vector<std::vector<std::int64_t>> weights(net.node_count());
+  for (std::uint32_t id = 0; id < net.node_count(); ++id) {
+    values[id] = {readings[id]};
+    weights[id] = {0};
+  }
+
+  int executions = 0;
+  for (; executions < 400; ++executions) {
+    const auto out = coordinator.execute(values, weights);
+    // Soundness after every single execution.
+    ASSERT_TRUE(revocations_sound(net, malicious))
+        << family_name(family) << " execution " << executions << ": "
+        << out.reason;
+    if (out.kind == OutcomeKind::kResult) {
+      // Theorem 2: a returned result never exceeds the honest minimum
+      // (malicious sensors may legally self-report or hide their own
+      // readings, so it can be smaller).
+      EXPECT_LE(out.minima[0], true_min(net, readings, malicious));
+      // And it cannot be a fabrication below anything any sensor could
+      // have signed (RandomByzantine's own_reading shifts by >= -5).
+      EXPECT_GE(out.minima[0], 101 - 5);
+      break;
+    }
+    // Theorem 7: a non-result execution revoked something.
+    ASSERT_FALSE(out.revoked_keys.empty() && out.revoked_sensors.empty())
+        << family_name(family) << ": execution neither resulted nor revoked ("
+        << out.reason << ")";
+  }
+  EXPECT_LT(executions, 400) << "adversary was never exhausted";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Families, Theorem7Sweep,
+    ::testing::Combine(
+        ::testing::Values(Family::kSilent, Family::kValueDrop, Family::kJunk,
+                          Family::kChoke, Family::kSelfVeto,
+                          Family::kRandomByzantine),
+        ::testing::Values(LiePolicy::kDenyAll, LiePolicy::kAdmitAll,
+                          LiePolicy::kRandom),
+        ::testing::Values(Shape::kGrid, Shape::kGeometric),
+        ::testing::Values(std::uint64_t{1}, std::uint64_t{2},
+                          std::uint64_t{3})),
+    [](const ::testing::TestParamInfo<Params>& info) {
+      const Family family = std::get<0>(info.param);
+      const LiePolicy policy = std::get<1>(info.param);
+      const Shape shape = std::get<2>(info.param);
+      std::string name = family_name(family);
+      name += policy == LiePolicy::kDenyAll    ? "Deny"
+              : policy == LiePolicy::kAdmitAll ? "Admit"
+                                               : "Rand";
+      name += shape == Shape::kGrid ? "Grid" : "Geo";
+      name += std::to_string(std::get<3>(info.param));
+      return name;
+    });
+
+// The multipath variant of the sweep (Section IV-D): same guarantees.
+class Theorem7Multipath : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(Theorem7Multipath, MultipathKeepsGuarantees) {
+  const std::uint64_t seed = GetParam();
+  const Topology topo = Topology::grid(5, 5);
+  const auto malicious = choose_malicious(topo, 3, seed);
+  Network net(topo, dense_keys(0, seed));
+  Adversary adv(&net, malicious,
+                std::make_unique<ValueDropStrategy>(LiePolicy::kRandom));
+  VmatConfig cfg;
+  cfg.depth_bound = topo.depth(malicious);
+  cfg.multipath = true;
+  cfg.seed = seed;
+  VmatCoordinator coordinator(&net, &adv, cfg);
+  const auto readings = default_readings(net.node_count());
+  std::vector<std::vector<Reading>> values(net.node_count());
+  std::vector<std::vector<std::int64_t>> weights(net.node_count());
+  for (std::uint32_t id = 0; id < net.node_count(); ++id) {
+    values[id] = {readings[id]};
+    weights[id] = {0};
+  }
+  const auto history = coordinator.run_until_result(values, weights, {}, 400);
+  EXPECT_TRUE(history.back().produced_result());
+  EXPECT_LE(history.back().minima[0], true_min(net, readings, malicious));
+  EXPECT_TRUE(revocations_sound(net, malicious));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Theorem7Multipath,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+// Unslotted-SOF ablation still satisfies the disjunction (just with longer
+// trails; the length difference is measured in the ablation bench).
+class UnslottedSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(UnslottedSweep, UnslottedSofStillSoundlyRevokes) {
+  const std::uint64_t seed = GetParam();
+  const Topology topo = Topology::grid(5, 5);
+  const auto malicious = choose_malicious(topo, 2, seed);
+  Network net(topo, dense_keys(0, seed));
+  Adversary adv(&net, malicious,
+                std::make_unique<ChokeVetoStrategy>(LiePolicy::kDenyAll));
+  VmatConfig cfg;
+  cfg.depth_bound = topo.depth(malicious);
+  cfg.slotted_sof = false;
+  cfg.seed = seed;
+  VmatCoordinator coordinator(&net, &adv, cfg);
+  const auto readings = default_readings(net.node_count());
+  const auto out = coordinator.run_min(readings);
+  if (out.kind == OutcomeKind::kRevocation)
+    EXPECT_TRUE(revocations_sound(net, malicious)) << out.reason;
+  else
+    EXPECT_LE(out.minima[0], true_min(net, readings, malicious));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, UnslottedSweep, ::testing::Values(1, 2, 3, 4));
+
+}  // namespace
+}  // namespace vmat

@@ -1,0 +1,81 @@
+// SECOA baseline tests: one-way-chain claims verify, inflation is caught,
+// and silent drops sail through — the asymmetry VMAT's veto phase closes.
+#include <gtest/gtest.h>
+
+#include "baseline/secoa.h"
+#include "helpers.h"
+
+namespace vmat {
+namespace {
+
+using testing::dense_keys;
+
+TEST(SecoaChain, ElementsVerifyExactlyAtTheirValue) {
+  const SecoaConfig cfg{.max_value = 64, .seed = 5};
+  for (std::int64_t v : {0, 1, 17, 63, 64}) {
+    const Digest e = secoa_element(cfg, NodeId{3}, v);
+    EXPECT_TRUE(secoa_verify(cfg, NodeId{3}, v, e));
+    if (v > 0) {
+      EXPECT_FALSE(secoa_verify(cfg, NodeId{3}, v - 1, e));
+    }
+    if (v < 64) {
+      EXPECT_FALSE(secoa_verify(cfg, NodeId{3}, v + 1, e));
+    }
+    EXPECT_FALSE(secoa_verify(cfg, NodeId{4}, v, e));  // wrong witness
+  }
+}
+
+TEST(SecoaChain, HashingForwardLowersClaims) {
+  // e(v) hashed forward once is e(v-1): claims can be weakened, never
+  // strengthened.
+  const SecoaConfig cfg{.max_value = 32, .seed = 6};
+  const Digest e10 = secoa_element(cfg, NodeId{2}, 10);
+  EXPECT_EQ(Sha256::hash(e10), secoa_element(cfg, NodeId{2}, 9));
+}
+
+TEST(SecoaChain, RangeValidation) {
+  const SecoaConfig cfg{.max_value = 8, .seed = 1};
+  EXPECT_THROW((void)secoa_element(cfg, NodeId{1}, 9), std::invalid_argument);
+  EXPECT_THROW((void)secoa_element(cfg, NodeId{1}, -1), std::invalid_argument);
+  Digest d{};
+  EXPECT_FALSE(secoa_verify(cfg, NodeId{1}, 9, d));
+}
+
+TEST(Secoa, HonestMaxWithWitness) {
+  Network net(Topology::grid(5, 5), dense_keys());
+  std::vector<std::int64_t> readings(25, 10);
+  readings[0] = 0;
+  readings[17] = 99;
+  const auto r = run_secoa_max(net, readings, {}, SecoaAttack::kNone,
+                               {.max_value = 128, .seed = 2});
+  ASSERT_TRUE(r.maximum.has_value());
+  EXPECT_EQ(*r.maximum, 99);
+  EXPECT_EQ(r.witness, NodeId{17});
+}
+
+TEST(Secoa, InflationIsCaught) {
+  Network net(Topology::grid(5, 5), dense_keys());
+  std::vector<std::int64_t> readings(25, 10);
+  readings[0] = 0;
+  const auto r = run_secoa_max(net, readings, {NodeId{6}},
+                               SecoaAttack::kInflate,
+                               {.max_value = 128, .seed = 2});
+  EXPECT_TRUE(r.verification_failed);
+  EXPECT_FALSE(r.maximum.has_value());
+}
+
+TEST(Secoa, DropGoesUndetected) {
+  // The true max (deep behind the malicious node on a line) is silently
+  // suppressed, and SECOA happily verifies a smaller witness: the gap VMAT
+  // closes with the confirmation/veto phase.
+  Network net(Topology::line(6), dense_keys());
+  std::vector<std::int64_t> readings{0, 10, 11, 12, 13, 99};
+  const auto r = run_secoa_max(net, readings, {NodeId{2}}, SecoaAttack::kDrop,
+                               {.max_value = 128, .seed = 2});
+  ASSERT_TRUE(r.maximum.has_value());
+  EXPECT_LT(*r.maximum, 99);
+  EXPECT_FALSE(r.verification_failed);  // no alarm: the stealth drop wins
+}
+
+}  // namespace
+}  // namespace vmat

@@ -1,0 +1,106 @@
+// SHIA baseline tests: commitment folding, detection of drop/tamper
+// attacks, tolerance of legal self-misreporting, and the stall-forever
+// behaviour under a persistent attacker that motivates VMAT.
+#include <gtest/gtest.h>
+
+#include "baseline/shia.h"
+#include "helpers.h"
+
+namespace vmat {
+namespace {
+
+using testing::dense_keys;
+
+std::vector<std::int64_t> unit_readings(std::uint32_t n) {
+  std::vector<std::int64_t> r(n, 1);
+  r[0] = 0;  // base station contributes nothing
+  return r;
+}
+
+TEST(ShiaFold, CommitmentBindsEverything) {
+  const ShiaLabel leaf_a = shia_fold(7, NodeId{1}, 5, {});
+  EXPECT_EQ(leaf_a.count, 1u);
+  EXPECT_EQ(leaf_a.value, 5);
+  // Any change to nonce, id, reading, or children changes the hash.
+  EXPECT_NE(shia_fold(8, NodeId{1}, 5, {}).hash, leaf_a.hash);
+  EXPECT_NE(shia_fold(7, NodeId{2}, 5, {}).hash, leaf_a.hash);
+  EXPECT_NE(shia_fold(7, NodeId{1}, 6, {}).hash, leaf_a.hash);
+
+  const ShiaLabel parent =
+      shia_fold(7, NodeId{3}, 2, {{NodeId{1}, leaf_a}});
+  EXPECT_EQ(parent.count, 2u);
+  EXPECT_EQ(parent.value, 7);
+  ShiaLabel forged = leaf_a;
+  forged.value = 4;
+  EXPECT_NE(shia_fold(7, NodeId{3}, 2, {{NodeId{1}, forged}}).hash,
+            parent.hash);
+  // The claimed child id is committed too.
+  EXPECT_NE(shia_fold(7, NodeId{3}, 2, {{NodeId{2}, leaf_a}}).hash,
+            parent.hash);
+}
+
+TEST(Shia, HonestRunSumsExactly) {
+  Network net(Topology::grid(5, 5), dense_keys());
+  const auto r = run_shia_sum(net, unit_readings(25), {}, ShiaAttack::kNone, 3);
+  EXPECT_FALSE(r.alarmed);
+  ASSERT_TRUE(r.sum.has_value());
+  EXPECT_EQ(*r.sum, 24);  // 24 sensors contribute 1 each
+  EXPECT_EQ(r.root.count, 25u);  // BS vertex included
+}
+
+TEST(Shia, DropAttackAlarms) {
+  Network net(Topology::grid(5, 5), dense_keys());
+  // A malicious interior node with children.
+  const auto r = run_shia_sum(net, unit_readings(25), {NodeId{6}},
+                              ShiaAttack::kDropChildren, 3);
+  EXPECT_TRUE(r.alarmed);
+  EXPECT_FALSE(r.sum.has_value());
+  EXPECT_GT(r.missing_acks, 0u);
+}
+
+TEST(Shia, TamperAttackAlarms) {
+  Network net(Topology::grid(5, 5), dense_keys());
+  const auto r = run_shia_sum(net, unit_readings(25), {NodeId{6}},
+                              ShiaAttack::kTamperValue, 3);
+  EXPECT_TRUE(r.alarmed);
+  EXPECT_FALSE(r.sum.has_value());
+}
+
+TEST(Shia, SelfMisreportingIsNotDetected) {
+  // Lying about one's own reading is outside the secure-aggregation threat
+  // model: SHIA (correctly) accepts it.
+  Network net(Topology::grid(5, 5), dense_keys());
+  const auto r = run_shia_sum(net, unit_readings(25), {NodeId{6}},
+                              ShiaAttack::kInflateOwn, 3);
+  EXPECT_FALSE(r.alarmed);
+  ASSERT_TRUE(r.sum.has_value());
+  EXPECT_EQ(*r.sum, 24 + 1000);
+}
+
+TEST(Shia, LeafAttackerCannotHurtAnyone) {
+  // A malicious node with no children has nothing to drop.
+  Network net(Topology::line(5), dense_keys());
+  const auto r = run_shia_sum(net, unit_readings(5), {NodeId{4}},
+                              ShiaAttack::kDropChildren, 3);
+  EXPECT_FALSE(r.alarmed);
+  EXPECT_EQ(*r.sum, 4);
+}
+
+TEST(Shia, PersistentAttackerStallsForever) {
+  Network net(Topology::grid(5, 5), dense_keys());
+  const auto campaign =
+      run_shia_campaign(net, unit_readings(25), {NodeId{6}},
+                        ShiaAttack::kDropChildren, 1, /*max_attempts=*/30);
+  EXPECT_TRUE(campaign.stalled);
+  EXPECT_EQ(campaign.executions, 30);
+}
+
+TEST(Shia, ConstantRoundsButNoRevocation) {
+  Network net(Topology::grid(6, 6), dense_keys());
+  const auto r = run_shia_sum(net, unit_readings(36), {}, ShiaAttack::kNone, 9);
+  EXPECT_EQ(r.flooding_rounds, 4);
+  // There is no revocation interface at all — that is the point.
+}
+
+}  // namespace
+}  // namespace vmat

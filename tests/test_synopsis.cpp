@@ -1,0 +1,135 @@
+// Synopsis engine tests: codec determinism and verification, estimator
+// accuracy ((ε,δ)-approximation behaviour), and instance sizing.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/synopsis.h"
+#include "util/random.h"
+#include "util/stats.h"
+
+namespace vmat {
+namespace {
+
+TEST(SynopsisCodec, DeterministicPerNonceOriginInstanceWeight) {
+  const SynopsisCodec codec(123);
+  EXPECT_EQ(codec.value_for(NodeId{5}, 2, 7), codec.value_for(NodeId{5}, 2, 7));
+  EXPECT_NE(codec.value_for(NodeId{5}, 2, 7), codec.value_for(NodeId{5}, 3, 7));
+  EXPECT_NE(codec.value_for(NodeId{5}, 2, 7), codec.value_for(NodeId{6}, 2, 7));
+  EXPECT_NE(codec.value_for(NodeId{5}, 2, 7), codec.value_for(NodeId{5}, 2, 8));
+  const SynopsisCodec other(124);
+  EXPECT_NE(codec.value_for(NodeId{5}, 2, 7), other.value_for(NodeId{5}, 2, 7));
+}
+
+TEST(SynopsisCodec, EncodeDecodeRoundTrip) {
+  for (double a : {1e-9, 0.001, 0.5, 1.0, 36.7}) {
+    const Reading encoded = SynopsisCodec::encode_value(a);
+    EXPECT_NEAR(SynopsisCodec::decode_value(encoded), a, a * 1e-9 + 1e-12);
+  }
+  EXPECT_EQ(SynopsisCodec::encode_value(-1.0), 0);
+}
+
+TEST(SynopsisCodec, ConsistencyCheckCatchesFabrication) {
+  const SynopsisCodec codec(77);
+  AggMessage m;
+  m.origin = NodeId{4};
+  m.instance = 1;
+  m.weight = 3;
+  m.value = codec.value_for(NodeId{4}, 1, 3);
+  EXPECT_TRUE(codec.consistent(m));
+  m.value -= 1;  // claims a smaller synopsis than its weight dictates
+  EXPECT_FALSE(codec.consistent(m));
+  m.value = codec.value_for(NodeId{4}, 1, 3);
+  m.weight = 0;  // non-positive weight is never a valid synopsis
+  EXPECT_FALSE(codec.consistent(m));
+  m.weight = -2;
+  EXPECT_FALSE(codec.consistent(m));
+}
+
+TEST(SynopsisCodec, LargerWeightGivesStochasticallySmallerSynopses) {
+  const SynopsisCodec codec(9);
+  double small_sum = 0, large_sum = 0;
+  for (std::uint32_t i = 0; i < 2000; ++i) {
+    small_sum += SynopsisCodec::decode_value(codec.value_for(NodeId{1}, i, 1));
+    large_sum += SynopsisCodec::decode_value(codec.value_for(NodeId{1}, i, 50));
+  }
+  EXPECT_GT(small_sum / large_sum, 30.0);  // means 1 vs 1/50
+}
+
+TEST(Estimator, RecoverCountWithinTenPercentOnAverage) {
+  // The Figure 8 headline: 100 synopses -> average relative error < 10%.
+  constexpr std::uint32_t kInstances = 100;
+  constexpr int kTrials = 120;
+  Rng seeds(42);
+  for (std::int64_t count : {10, 100, 1000}) {
+    double total_err = 0.0;
+    for (int t = 0; t < kTrials; ++t) {
+      const SynopsisCodec codec(seeds());
+      std::vector<Reading> minima(kInstances, kInfinity);
+      for (std::uint32_t i = 0; i < kInstances; ++i)
+        for (std::int64_t x = 1; x <= count; ++x)
+          minima[i] = std::min(
+              minima[i],
+              codec.value_for(NodeId{static_cast<std::uint32_t>(x)}, i, 1));
+      const double est = estimate_sum(minima);
+      total_err += std::abs(est - static_cast<double>(count)) /
+                   static_cast<double>(count);
+    }
+    EXPECT_LT(total_err / kTrials, 0.14) << "count " << count;
+  }
+}
+
+TEST(Estimator, SumOfWeightsRecovered) {
+  constexpr std::uint32_t kInstances = 200;
+  const SynopsisCodec codec(5);
+  // Weights 1..40: sum = 820.
+  std::vector<Reading> minima(kInstances, kInfinity);
+  for (std::uint32_t i = 0; i < kInstances; ++i)
+    for (std::uint32_t x = 1; x <= 40; ++x)
+      minima[i] = std::min(minima[i], codec.value_for(NodeId{x}, i, x));
+  const double est = estimate_sum(minima);
+  EXPECT_NEAR(est, 820.0, 820.0 * 0.2);
+}
+
+TEST(Estimator, EmptyAndInfiniteInputs) {
+  EXPECT_EQ(estimate_sum({}), 0.0);
+  const std::vector<Reading> with_gap{SynopsisCodec::encode_value(0.5),
+                                      kInfinity};
+  EXPECT_EQ(estimate_sum(with_gap), 0.0);
+}
+
+TEST(InstancesFor, MatchesChernoffShape) {
+  EXPECT_THROW((void)instances_for(0, 0.1), std::invalid_argument);
+  EXPECT_THROW((void)instances_for(0.1, 1.5), std::invalid_argument);
+  const auto coarse = instances_for(0.2, 0.1);
+  const auto fine = instances_for(0.1, 0.1);
+  EXPECT_NEAR(static_cast<double>(fine) / coarse, 4.0, 0.1);  // ε⁻² scaling
+  EXPECT_GT(instances_for(0.1, 0.01), instances_for(0.1, 0.1));
+}
+
+TEST(Estimator, ErrorShrinksWithMoreInstances) {
+  Rng seeds(7);
+  auto avg_err = [&](std::uint32_t instances) {
+    double total = 0.0;
+    constexpr int kTrials = 60;
+    constexpr std::int64_t kCount = 500;
+    for (int t = 0; t < kTrials; ++t) {
+      const SynopsisCodec codec(seeds());
+      std::vector<Reading> minima(instances, kInfinity);
+      for (std::uint32_t i = 0; i < instances; ++i)
+        for (std::int64_t x = 1; x <= kCount; ++x)
+          minima[i] = std::min(
+              minima[i],
+              codec.value_for(NodeId{static_cast<std::uint32_t>(x)}, i, 1));
+      total += std::abs(estimate_sum(minima) - kCount) / kCount;
+    }
+    return total / kTrials;
+  };
+  const double err25 = avg_err(25);
+  const double err400 = avg_err(400);
+  // 16x instances -> ~4x smaller error; allow generous slack.
+  EXPECT_LT(err400, err25 / 2.0);
+}
+
+}  // namespace
+}  // namespace vmat

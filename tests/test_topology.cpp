@@ -1,0 +1,104 @@
+// Topology generator and graph-utility tests.
+#include <gtest/gtest.h>
+
+#include "keys/predistribution.h"
+#include "sim/topology.h"
+
+namespace vmat {
+namespace {
+
+TEST(Topology, LineDepthAndDegrees) {
+  const auto t = Topology::line(5);
+  EXPECT_EQ(t.node_count(), 5u);
+  EXPECT_EQ(t.edge_count(), 4u);
+  EXPECT_EQ(t.depth(), 4);
+  EXPECT_EQ(t.degree(NodeId{0}), 1u);
+  EXPECT_EQ(t.degree(NodeId{2}), 2u);
+  const auto depth = t.bfs_depth();
+  for (std::uint32_t i = 0; i < 5; ++i) EXPECT_EQ(depth[i], static_cast<Level>(i));
+}
+
+TEST(Topology, GridShape) {
+  const auto t = Topology::grid(4, 3);
+  EXPECT_EQ(t.node_count(), 12u);
+  EXPECT_EQ(t.edge_count(), 4u * 2 + 3u * 3);  // horizontal + vertical
+  EXPECT_EQ(t.depth(), 3 + 2);                 // manhattan from corner
+  EXPECT_TRUE(t.connected());
+}
+
+TEST(Topology, StarOfChains) {
+  const auto t = Topology::star_of_chains(3, 4);
+  EXPECT_EQ(t.node_count(), 13u);
+  EXPECT_EQ(t.depth(), 4);
+  EXPECT_EQ(t.degree(kBaseStation), 3u);
+  EXPECT_TRUE(t.connected());
+}
+
+TEST(Topology, AddEdgeValidation) {
+  Topology t(3);
+  EXPECT_THROW(t.add_edge(NodeId{0}, NodeId{0}), std::invalid_argument);
+  EXPECT_THROW(t.add_edge(NodeId{0}, NodeId{3}), std::out_of_range);
+  t.add_edge(NodeId{0}, NodeId{1});
+  t.add_edge(NodeId{0}, NodeId{1});  // idempotent
+  EXPECT_EQ(t.edge_count(), 1u);
+}
+
+TEST(Topology, ExclusionAffectsDepthAndConnectivity) {
+  // 0-1-2-3 plus shortcut 0-3: excluding 1 leaves 0-3-2.
+  Topology t(4);
+  t.add_edge(NodeId{0}, NodeId{1});
+  t.add_edge(NodeId{1}, NodeId{2});
+  t.add_edge(NodeId{2}, NodeId{3});
+  t.add_edge(NodeId{0}, NodeId{3});
+  EXPECT_EQ(t.depth(), 2);
+  const std::unordered_set<NodeId> excl{NodeId{3}};
+  EXPECT_EQ(t.depth(excl), 2);
+  const std::unordered_set<NodeId> cut{NodeId{1}, NodeId{3}};
+  EXPECT_FALSE(t.connected(cut));
+}
+
+TEST(Topology, RandomGeometricIsConnectedAndRooted) {
+  const auto t = Topology::random_geometric(150, 0.16, 42);
+  EXPECT_EQ(t.node_count(), 150u);
+  EXPECT_TRUE(t.connected());
+  EXPECT_GT(t.degree(kBaseStation), 0u);
+}
+
+TEST(Topology, RandomGeometricDeterministicPerSeed) {
+  const auto a = Topology::random_geometric(80, 0.2, 7);
+  const auto b = Topology::random_geometric(80, 0.2, 7);
+  EXPECT_EQ(a.edge_count(), b.edge_count());
+  for (std::uint32_t i = 0; i < 80; ++i)
+    EXPECT_EQ(a.degree(NodeId{i}), b.degree(NodeId{i}));
+}
+
+TEST(Topology, RandomGeometricThrowsWhenImpossible) {
+  EXPECT_THROW((void)Topology::random_geometric(100, 0.01, 1, 3),
+               std::runtime_error);
+}
+
+TEST(Topology, SecureSubgraphKeepsOnlyKeyedEdges) {
+  const auto t = Topology::grid(5, 5);
+  // Tiny rings: many physical edges will lack a shared key.
+  const Predistribution sparse(25, {.pool_size = 500, .ring_size = 5, .seed = 1});
+  const auto secure = t.secure_subgraph(sparse);
+  EXPECT_LT(secure.edge_count(), t.edge_count());
+  for (std::uint32_t a = 0; a < 25; ++a)
+    for (NodeId b : secure.neighbors(NodeId{a}))
+      EXPECT_TRUE(sparse.edge_key(NodeId{a}, b).has_value());
+
+  // Dense rings: essentially every edge survives.
+  const Predistribution dense(25, {.pool_size = 100, .ring_size = 60, .seed = 1});
+  EXPECT_EQ(t.secure_subgraph(dense).edge_count(), t.edge_count());
+}
+
+TEST(Topology, BfsDepthUnreachableIsNoLevel) {
+  Topology t(3);
+  t.add_edge(NodeId{0}, NodeId{1});
+  const auto depth = t.bfs_depth();
+  EXPECT_EQ(depth[2], kNoLevel);
+  EXPECT_FALSE(t.connected());
+}
+
+}  // namespace
+}  // namespace vmat

@@ -1,0 +1,210 @@
+// Unit tests for util: deterministic RNG, sampling, statistics, and the
+// canonical byte codec.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "util/bytes.h"
+#include "util/random.h"
+#include "util/stats.h"
+
+namespace vmat {
+namespace {
+
+TEST(Splitmix, KnownSequenceIsDeterministic) {
+  std::uint64_t s1 = 42, s2 = 42;
+  for (int i = 0; i < 100; ++i)
+    EXPECT_EQ(splitmix64(s1), splitmix64(s2));
+}
+
+TEST(Rng, SameSeedSameStream) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a() == b()) ++equal;
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = rng.below(17);
+    EXPECT_LT(v, 17u);
+  }
+}
+
+TEST(Rng, BelowIsRoughlyUniform) {
+  Rng rng(11);
+  std::array<int, 8> buckets{};
+  constexpr int kDraws = 80000;
+  for (int i = 0; i < kDraws; ++i) buckets[rng.below(8)]++;
+  for (int count : buckets) {
+    EXPECT_GT(count, kDraws / 8 * 0.9);
+    EXPECT_LT(count, kDraws / 8 * 1.1);
+  }
+}
+
+TEST(Rng, BetweenInclusive) {
+  Rng rng(3);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = rng.between(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= v == -3;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UnitOpenNeverZeroOrOne) {
+  Rng rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.unit_open();
+    EXPECT_GT(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, ExponentialHasRequestedMean) {
+  Rng rng(9);
+  double sum = 0.0;
+  constexpr int kDraws = 200000;
+  for (int i = 0; i < kDraws; ++i) sum += rng.exponential(2.5);
+  EXPECT_NEAR(sum / kDraws, 2.5, 0.05);
+}
+
+TEST(Rng, SampleWithoutReplacementIsDistinctAndSorted) {
+  Rng rng(13);
+  const auto sample = rng.sample_without_replacement(1000, 250);
+  ASSERT_EQ(sample.size(), 250u);
+  EXPECT_TRUE(std::is_sorted(sample.begin(), sample.end()));
+  const std::set<std::uint32_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 250u);
+  for (auto v : sample) EXPECT_LT(v, 1000u);
+}
+
+TEST(Rng, SampleFullRange) {
+  Rng rng(14);
+  const auto sample = rng.sample_without_replacement(10, 10);
+  ASSERT_EQ(sample.size(), 10u);
+  for (std::uint32_t i = 0; i < 10; ++i) EXPECT_EQ(sample[i], i);
+}
+
+TEST(Rng, SampleRejectsOversizedRequest) {
+  Rng rng(15);
+  EXPECT_THROW((void)rng.sample_without_replacement(5, 6),
+               std::invalid_argument);
+}
+
+TEST(Rng, SampleIsUnbiased) {
+  // Every element of [0,20) should be picked ~ k/n of the time.
+  Rng rng(17);
+  std::array<int, 20> hits{};
+  constexpr int kTrials = 20000;
+  for (int t = 0; t < kTrials; ++t)
+    for (auto v : rng.sample_without_replacement(20, 5)) hits[v]++;
+  for (int h : hits) {
+    EXPECT_GT(h, kTrials / 4 * 0.85);
+    EXPECT_LT(h, kTrials / 4 * 1.15);
+  }
+}
+
+TEST(Stats, MeanVarianceStddev) {
+  const std::vector<double> xs{1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(mean(xs), 3.0);
+  EXPECT_DOUBLE_EQ(variance(xs), 2.5);
+  EXPECT_DOUBLE_EQ(stddev(xs), std::sqrt(2.5));
+}
+
+TEST(Stats, PercentileNearestRank) {
+  const std::vector<double> xs{10, 20, 30, 40, 50, 60, 70, 80, 90, 100};
+  EXPECT_DOUBLE_EQ(percentile(xs, 50), 50.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 90), 90.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 100), 100.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 0), 10.0);
+}
+
+TEST(Stats, PercentileValidatesInput) {
+  EXPECT_THROW((void)percentile({}, 50), std::invalid_argument);
+  const std::vector<double> xs{1.0};
+  EXPECT_THROW((void)percentile(xs, 101), std::invalid_argument);
+}
+
+TEST(Stats, RunningStatsMatchesBatch) {
+  Rng rng(21);
+  std::vector<double> xs;
+  RunningStats rs;
+  for (int i = 0; i < 5000; ++i) {
+    const double x = rng.unit() * 10 - 3;
+    xs.push_back(x);
+    rs.add(x);
+  }
+  EXPECT_NEAR(rs.mean(), mean(xs), 1e-9);
+  EXPECT_NEAR(rs.variance(), variance(xs), 1e-7);
+  EXPECT_EQ(rs.count(), xs.size());
+  EXPECT_DOUBLE_EQ(rs.min(), *std::min_element(xs.begin(), xs.end()));
+  EXPECT_DOUBLE_EQ(rs.max(), *std::max_element(xs.begin(), xs.end()));
+}
+
+TEST(Bytes, WriterReaderRoundTrip) {
+  ByteWriter w;
+  w.u8(0xab);
+  w.u32(0xdeadbeef);
+  w.u64(0x0123456789abcdefULL);
+  w.i64(-42);
+  w.str("hello");
+  const Bytes buf = w.take();
+
+  ByteReader r(buf);
+  EXPECT_EQ(r.u8(), 0xab);
+  EXPECT_EQ(r.u32(), 0xdeadbeefu);
+  EXPECT_EQ(r.u64(), 0x0123456789abcdefULL);
+  EXPECT_EQ(r.i64(), -42);
+  EXPECT_EQ(r.str(), "hello");
+  EXPECT_TRUE(r.done());
+}
+
+TEST(Bytes, TruncatedReadThrows) {
+  ByteWriter w;
+  w.u32(7);
+  const Bytes buf = w.take();
+  ByteReader r(buf);
+  (void)r.u32();
+  EXPECT_THROW((void)r.u8(), std::out_of_range);
+}
+
+TEST(Bytes, HexRoundTrip) {
+  const Bytes data{0x00, 0x01, 0xfe, 0xff, 0x7a};
+  EXPECT_EQ(to_hex(data), "0001feff7a");
+  EXPECT_EQ(from_hex("0001feff7a"), data);
+  EXPECT_EQ(from_hex("0001FEFF7A"), data);
+}
+
+TEST(Bytes, FromHexRejectsBadInput) {
+  EXPECT_THROW((void)from_hex("abc"), std::invalid_argument);
+  EXPECT_THROW((void)from_hex("zz"), std::invalid_argument);
+}
+
+TEST(TablePrinter, RejectsMismatchedRow) {
+  TablePrinter table({"a", "b"});
+  EXPECT_THROW(table.add_row({"only one"}), std::invalid_argument);
+  table.add_row({"x", "y"});  // well-formed rows are fine
+}
+
+TEST(TablePrinter, FmtPrecision) {
+  EXPECT_EQ(TablePrinter::fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(TablePrinter::fmt(3.0, 0), "3");
+  EXPECT_EQ(TablePrinter::fmt(-0.5, 1), "-0.5");
+}
+
+}  // namespace
+}  // namespace vmat
