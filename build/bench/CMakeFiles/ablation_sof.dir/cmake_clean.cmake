@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_sof.dir/ablation_sof.cpp.o"
+  "CMakeFiles/ablation_sof.dir/ablation_sof.cpp.o.d"
+  "ablation_sof"
+  "ablation_sof.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_sof.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

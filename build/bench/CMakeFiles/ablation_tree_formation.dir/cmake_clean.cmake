@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_tree_formation.dir/ablation_tree_formation.cpp.o"
+  "CMakeFiles/ablation_tree_formation.dir/ablation_tree_formation.cpp.o.d"
+  "ablation_tree_formation"
+  "ablation_tree_formation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_tree_formation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_misrevocation.dir/fig7_misrevocation.cpp.o"
+  "CMakeFiles/fig7_misrevocation.dir/fig7_misrevocation.cpp.o.d"
+  "fig7_misrevocation"
+  "fig7_misrevocation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_misrevocation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_approximation.dir/fig8_approximation.cpp.o"
+  "CMakeFiles/fig8_approximation.dir/fig8_approximation.cpp.o.d"
+  "fig8_approximation"
+  "fig8_approximation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_approximation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_neutralization.dir/fig_neutralization.cpp.o"
+  "CMakeFiles/fig_neutralization.dir/fig_neutralization.cpp.o.d"
+  "fig_neutralization"
+  "fig_neutralization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_neutralization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

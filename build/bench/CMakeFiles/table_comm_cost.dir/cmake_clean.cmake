@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_comm_cost.dir/table_comm_cost.cpp.o"
+  "CMakeFiles/table_comm_cost.dir/table_comm_cost.cpp.o.d"
+  "table_comm_cost"
+  "table_comm_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_comm_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

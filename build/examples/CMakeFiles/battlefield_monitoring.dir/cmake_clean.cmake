@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/battlefield_monitoring.dir/battlefield_monitoring.cpp.o"
+  "CMakeFiles/battlefield_monitoring.dir/battlefield_monitoring.cpp.o.d"
+  "battlefield_monitoring"
+  "battlefield_monitoring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/battlefield_monitoring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/choking_forensics.dir/choking_forensics.cpp.o"
+  "CMakeFiles/choking_forensics.dir/choking_forensics.cpp.o.d"
+  "choking_forensics"
+  "choking_forensics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/choking_forensics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

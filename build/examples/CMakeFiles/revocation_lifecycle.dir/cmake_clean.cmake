@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/revocation_lifecycle.dir/revocation_lifecycle.cpp.o"
+  "CMakeFiles/revocation_lifecycle.dir/revocation_lifecycle.cpp.o.d"
+  "revocation_lifecycle"
+  "revocation_lifecycle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/revocation_lifecycle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

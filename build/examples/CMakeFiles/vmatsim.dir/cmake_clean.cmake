@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vmatsim.dir/vmatsim.cpp.o"
+  "CMakeFiles/vmatsim.dir/vmatsim.cpp.o.d"
+  "vmatsim"
+  "vmatsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vmatsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build/examples/quickstart")
+set_tests_properties(example_quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;13;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_battlefield "/root/repo/build/examples/battlefield_monitoring")
+set_tests_properties(example_battlefield PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;14;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_choking "/root/repo/build/examples/choking_forensics")
+set_tests_properties(example_choking PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;15;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_revocation "/root/repo/build/examples/revocation_lifecycle")
+set_tests_properties(example_revocation PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;16;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_vmatsim "/root/repo/build/examples/vmatsim" "--nodes" "36" "--topology" "grid" "--attack" "junk" "--f" "1" "--theta" "0" "--executions" "6")
+set_tests_properties(example_vmatsim PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;17;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_vmatsim_sparse "/root/repo/build/examples/vmatsim" "--nodes" "49" "--topology" "grid" "--attack" "none" "--query" "count" "--sparse-keys" "--executions" "2")
+set_tests_properties(example_vmatsim_sparse PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;18;add_test;/root/repo/examples/CMakeLists.txt;0;")

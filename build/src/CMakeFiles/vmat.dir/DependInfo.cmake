@@ -1,0 +1,56 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/attack/adversary.cpp" "src/CMakeFiles/vmat.dir/attack/adversary.cpp.o" "gcc" "src/CMakeFiles/vmat.dir/attack/adversary.cpp.o.d"
+  "/root/repo/src/attack/composite.cpp" "src/CMakeFiles/vmat.dir/attack/composite.cpp.o" "gcc" "src/CMakeFiles/vmat.dir/attack/composite.cpp.o.d"
+  "/root/repo/src/attack/strategies.cpp" "src/CMakeFiles/vmat.dir/attack/strategies.cpp.o" "gcc" "src/CMakeFiles/vmat.dir/attack/strategies.cpp.o.d"
+  "/root/repo/src/baseline/alarm_only.cpp" "src/CMakeFiles/vmat.dir/baseline/alarm_only.cpp.o" "gcc" "src/CMakeFiles/vmat.dir/baseline/alarm_only.cpp.o.d"
+  "/root/repo/src/baseline/sampling.cpp" "src/CMakeFiles/vmat.dir/baseline/sampling.cpp.o" "gcc" "src/CMakeFiles/vmat.dir/baseline/sampling.cpp.o.d"
+  "/root/repo/src/baseline/secoa.cpp" "src/CMakeFiles/vmat.dir/baseline/secoa.cpp.o" "gcc" "src/CMakeFiles/vmat.dir/baseline/secoa.cpp.o.d"
+  "/root/repo/src/baseline/send_all.cpp" "src/CMakeFiles/vmat.dir/baseline/send_all.cpp.o" "gcc" "src/CMakeFiles/vmat.dir/baseline/send_all.cpp.o.d"
+  "/root/repo/src/baseline/set_sampling.cpp" "src/CMakeFiles/vmat.dir/baseline/set_sampling.cpp.o" "gcc" "src/CMakeFiles/vmat.dir/baseline/set_sampling.cpp.o.d"
+  "/root/repo/src/baseline/shia.cpp" "src/CMakeFiles/vmat.dir/baseline/shia.cpp.o" "gcc" "src/CMakeFiles/vmat.dir/baseline/shia.cpp.o.d"
+  "/root/repo/src/baseline/tag.cpp" "src/CMakeFiles/vmat.dir/baseline/tag.cpp.o" "gcc" "src/CMakeFiles/vmat.dir/baseline/tag.cpp.o.d"
+  "/root/repo/src/broadcast/auth_broadcast.cpp" "src/CMakeFiles/vmat.dir/broadcast/auth_broadcast.cpp.o" "gcc" "src/CMakeFiles/vmat.dir/broadcast/auth_broadcast.cpp.o.d"
+  "/root/repo/src/core/aggregation.cpp" "src/CMakeFiles/vmat.dir/core/aggregation.cpp.o" "gcc" "src/CMakeFiles/vmat.dir/core/aggregation.cpp.o.d"
+  "/root/repo/src/core/audit.cpp" "src/CMakeFiles/vmat.dir/core/audit.cpp.o" "gcc" "src/CMakeFiles/vmat.dir/core/audit.cpp.o.d"
+  "/root/repo/src/core/confirmation.cpp" "src/CMakeFiles/vmat.dir/core/confirmation.cpp.o" "gcc" "src/CMakeFiles/vmat.dir/core/confirmation.cpp.o.d"
+  "/root/repo/src/core/coordinator.cpp" "src/CMakeFiles/vmat.dir/core/coordinator.cpp.o" "gcc" "src/CMakeFiles/vmat.dir/core/coordinator.cpp.o.d"
+  "/root/repo/src/core/messages.cpp" "src/CMakeFiles/vmat.dir/core/messages.cpp.o" "gcc" "src/CMakeFiles/vmat.dir/core/messages.cpp.o.d"
+  "/root/repo/src/core/monitor.cpp" "src/CMakeFiles/vmat.dir/core/monitor.cpp.o" "gcc" "src/CMakeFiles/vmat.dir/core/monitor.cpp.o.d"
+  "/root/repo/src/core/pinpoint.cpp" "src/CMakeFiles/vmat.dir/core/pinpoint.cpp.o" "gcc" "src/CMakeFiles/vmat.dir/core/pinpoint.cpp.o.d"
+  "/root/repo/src/core/predicate_test.cpp" "src/CMakeFiles/vmat.dir/core/predicate_test.cpp.o" "gcc" "src/CMakeFiles/vmat.dir/core/predicate_test.cpp.o.d"
+  "/root/repo/src/core/query.cpp" "src/CMakeFiles/vmat.dir/core/query.cpp.o" "gcc" "src/CMakeFiles/vmat.dir/core/query.cpp.o.d"
+  "/root/repo/src/core/report.cpp" "src/CMakeFiles/vmat.dir/core/report.cpp.o" "gcc" "src/CMakeFiles/vmat.dir/core/report.cpp.o.d"
+  "/root/repo/src/core/synopsis.cpp" "src/CMakeFiles/vmat.dir/core/synopsis.cpp.o" "gcc" "src/CMakeFiles/vmat.dir/core/synopsis.cpp.o.d"
+  "/root/repo/src/core/tree_formation.cpp" "src/CMakeFiles/vmat.dir/core/tree_formation.cpp.o" "gcc" "src/CMakeFiles/vmat.dir/core/tree_formation.cpp.o.d"
+  "/root/repo/src/crypto/hash_chain.cpp" "src/CMakeFiles/vmat.dir/crypto/hash_chain.cpp.o" "gcc" "src/CMakeFiles/vmat.dir/crypto/hash_chain.cpp.o.d"
+  "/root/repo/src/crypto/hmac.cpp" "src/CMakeFiles/vmat.dir/crypto/hmac.cpp.o" "gcc" "src/CMakeFiles/vmat.dir/crypto/hmac.cpp.o.d"
+  "/root/repo/src/crypto/mac.cpp" "src/CMakeFiles/vmat.dir/crypto/mac.cpp.o" "gcc" "src/CMakeFiles/vmat.dir/crypto/mac.cpp.o.d"
+  "/root/repo/src/crypto/prf.cpp" "src/CMakeFiles/vmat.dir/crypto/prf.cpp.o" "gcc" "src/CMakeFiles/vmat.dir/crypto/prf.cpp.o.d"
+  "/root/repo/src/crypto/sha256.cpp" "src/CMakeFiles/vmat.dir/crypto/sha256.cpp.o" "gcc" "src/CMakeFiles/vmat.dir/crypto/sha256.cpp.o.d"
+  "/root/repo/src/keys/key_pool.cpp" "src/CMakeFiles/vmat.dir/keys/key_pool.cpp.o" "gcc" "src/CMakeFiles/vmat.dir/keys/key_pool.cpp.o.d"
+  "/root/repo/src/keys/key_ring.cpp" "src/CMakeFiles/vmat.dir/keys/key_ring.cpp.o" "gcc" "src/CMakeFiles/vmat.dir/keys/key_ring.cpp.o.d"
+  "/root/repo/src/keys/predistribution.cpp" "src/CMakeFiles/vmat.dir/keys/predistribution.cpp.o" "gcc" "src/CMakeFiles/vmat.dir/keys/predistribution.cpp.o.d"
+  "/root/repo/src/keys/revocation.cpp" "src/CMakeFiles/vmat.dir/keys/revocation.cpp.o" "gcc" "src/CMakeFiles/vmat.dir/keys/revocation.cpp.o.d"
+  "/root/repo/src/sim/fabric.cpp" "src/CMakeFiles/vmat.dir/sim/fabric.cpp.o" "gcc" "src/CMakeFiles/vmat.dir/sim/fabric.cpp.o.d"
+  "/root/repo/src/sim/network.cpp" "src/CMakeFiles/vmat.dir/sim/network.cpp.o" "gcc" "src/CMakeFiles/vmat.dir/sim/network.cpp.o.d"
+  "/root/repo/src/sim/topology.cpp" "src/CMakeFiles/vmat.dir/sim/topology.cpp.o" "gcc" "src/CMakeFiles/vmat.dir/sim/topology.cpp.o.d"
+  "/root/repo/src/util/bytes.cpp" "src/CMakeFiles/vmat.dir/util/bytes.cpp.o" "gcc" "src/CMakeFiles/vmat.dir/util/bytes.cpp.o.d"
+  "/root/repo/src/util/random.cpp" "src/CMakeFiles/vmat.dir/util/random.cpp.o" "gcc" "src/CMakeFiles/vmat.dir/util/random.cpp.o.d"
+  "/root/repo/src/util/stats.cpp" "src/CMakeFiles/vmat.dir/util/stats.cpp.o" "gcc" "src/CMakeFiles/vmat.dir/util/stats.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

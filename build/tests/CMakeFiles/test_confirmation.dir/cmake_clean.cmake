@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_confirmation.dir/test_confirmation.cpp.o"
+  "CMakeFiles/test_confirmation.dir/test_confirmation.cpp.o.d"
+  "test_confirmation"
+  "test_confirmation.pdb"
+  "test_confirmation[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_confirmation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pinpoint.dir/test_pinpoint.cpp.o"
+  "CMakeFiles/test_pinpoint.dir/test_pinpoint.cpp.o.d"
+  "test_pinpoint"
+  "test_pinpoint.pdb"
+  "test_pinpoint[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pinpoint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

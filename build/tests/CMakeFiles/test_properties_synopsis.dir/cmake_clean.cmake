@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_properties_synopsis.dir/test_properties_synopsis.cpp.o"
+  "CMakeFiles/test_properties_synopsis.dir/test_properties_synopsis.cpp.o.d"
+  "test_properties_synopsis"
+  "test_properties_synopsis.pdb"
+  "test_properties_synopsis[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_properties_synopsis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rekey.dir/test_rekey.cpp.o"
+  "CMakeFiles/test_rekey.dir/test_rekey.cpp.o.d"
+  "test_rekey"
+  "test_rekey.pdb"
+  "test_rekey[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rekey.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

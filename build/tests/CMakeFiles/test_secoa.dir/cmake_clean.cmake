@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_secoa.dir/test_secoa.cpp.o"
+  "CMakeFiles/test_secoa.dir/test_secoa.cpp.o.d"
+  "test_secoa"
+  "test_secoa.pdb"
+  "test_secoa[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_secoa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_shia.dir/test_shia.cpp.o"
+  "CMakeFiles/test_shia.dir/test_shia.cpp.o.d"
+  "test_shia"
+  "test_shia.pdb"
+  "test_shia[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_shia.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

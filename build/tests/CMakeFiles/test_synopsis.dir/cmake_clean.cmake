@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_synopsis.dir/test_synopsis.cpp.o"
+  "CMakeFiles/test_synopsis.dir/test_synopsis.cpp.o.d"
+  "test_synopsis"
+  "test_synopsis.pdb"
+  "test_synopsis[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_synopsis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
