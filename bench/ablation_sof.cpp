@@ -12,10 +12,13 @@
 // yet then propagate it with large intervals.
 #include <cstdio>
 #include <memory>
+#include <string>
+#include <vector>
 
 #include "attack/strategies.h"
 #include "core/confirmation.h"
 #include "core/tree_formation.h"
+#include "trial_runner.h"
 #include "util/stats.h"
 
 namespace {
@@ -112,18 +115,38 @@ int main() {
       "ABL-SOF | Section IV-C: audit-trail length (max SOF forward "
       "interval), slotted vs unslotted flooding\n\n");
 
+  // The six (replay, slotted) cases are independent protocol runs — fan
+  // them out over the trial engine (each case is deterministic; the engine
+  // rng is unused).
+  struct Case {
+    vmat::Interval replay;
+    bool slotted;
+  };
+  std::vector<Case> cases;
+  for (const vmat::Interval replay : {20, 40, 60})
+    for (const bool slotted : {true, false}) cases.push_back({replay, slotted});
+
+  vmat::bench::BenchReport report("ablation_sof");
+  report.config("cases", static_cast<std::int64_t>(cases.size()));
+  auto& group = report.group("cases");
+  std::vector<TrailStats> stats(cases.size());
+  vmat::bench::timed_trials(group, cases.size(), 0,
+                            [&](std::size_t i, vmat::Rng&) {
+                              stats[i] = run_case(cases[i].slotted,
+                                                  cases[i].replay);
+                            });
+
   vmat::TablePrinter table({"replay interval", "mode", "max trail interval",
                             "sensors holding a tuple", "bound L+1"});
-  for (const vmat::Interval replay : {20, 40, 60}) {
-    for (const bool slotted : {true, false}) {
-      const auto stats = run_case(slotted, replay);
-      // L for this topology (excluding the bridge) is 2*kArm = 24.
-      table.add_row({std::to_string(replay), slotted ? "slotted" : "unslotted",
-                     std::to_string(stats.max_interval),
-                     std::to_string(stats.forwarders), "25"});
-    }
+  for (std::size_t i = 0; i < cases.size(); ++i) {
+    // L for this topology (excluding the bridge) is 2*kArm = 24.
+    table.add_row({std::to_string(cases[i].replay),
+                   cases[i].slotted ? "slotted" : "unslotted",
+                   std::to_string(stats[i].max_interval),
+                   std::to_string(stats[i].forwarders), "25"});
   }
   table.print();
+  report.write();
 
   std::printf(
       "\nShape checks vs paper: slotted SOF keeps every audit tuple's "

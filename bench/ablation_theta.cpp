@@ -9,11 +9,14 @@
 //  * campaign (protocol-in-the-loop): a junk-injecting attacker is run to
 //    exhaustion with and without threshold revocation; we count the keys
 //    that needed an individual pinpointing walk.
+#include <algorithm>
 #include <cstdio>
 #include <memory>
+#include <string>
 
 #include "attack/strategies.h"
 #include "core/coordinator.h"
+#include "trial_runner.h"
 #include "util/random.h"
 #include "util/stats.h"
 
@@ -23,40 +26,46 @@ constexpr std::uint32_t kPool = 100000;
 constexpr std::uint32_t kRing = 250;
 
 /// Smallest θ with zero mis-revoked honest sensors across trials
-/// (paper parameters; same computation as the Figure 7 bench).
-std::uint32_t theta_star(std::uint32_t n, std::uint32_t f, int trials,
-                         std::uint64_t seed) {
-  vmat::Rng rng(seed);
-  std::vector<std::uint32_t> stamps(kPool, 0);
-  std::vector<std::uint8_t> adversary(kPool, 0);
-  std::vector<std::uint32_t> ring;
-  std::uint32_t mark = 0;
-  std::uint32_t worst_overlap = 0;
+/// (paper parameters; same computation as the Figure 7 bench). Trials run
+/// on the parallel engine; the reduction (max over per-trial worst
+/// overlaps) is order-independent.
+std::uint32_t theta_star(std::uint32_t n, std::uint32_t f,
+                         std::size_t n_trials, std::uint64_t seed,
+                         vmat::bench::TrialGroup& group) {
+  std::vector<std::uint32_t> per_trial_worst(n_trials, 0);
 
-  auto draw = [&](std::uint32_t m) {
-    ring.clear();
-    while (ring.size() < kRing) {
-      const auto k = static_cast<std::uint32_t>(rng.below(kPool));
-      if (stamps[k] == m) continue;
-      stamps[k] = m;
-      ring.push_back(k);
-    }
-  };
+  vmat::bench::timed_trials(
+      group, n_trials, seed, [&](std::size_t trial, vmat::Rng& rng) {
+        std::vector<std::uint32_t> stamps(kPool, 0);
+        std::vector<std::uint8_t> adversary(kPool, 0);
+        std::vector<std::uint32_t> ring;
+        std::uint32_t mark = 0;
+        std::uint32_t worst = 0;
 
-  for (int t = 0; t < trials; ++t) {
-    std::fill(adversary.begin(), adversary.end(), 0);
-    for (std::uint32_t m = 0; m < f; ++m) {
-      draw(++mark);
-      for (auto k : ring) adversary[k] = 1;
-    }
-    for (std::uint32_t h = f; h < n; ++h) {
-      draw(++mark);
-      std::uint32_t overlap = 0;
-      for (auto k : ring) overlap += adversary[k];
-      worst_overlap = std::max(worst_overlap, overlap);
-    }
-  }
-  return worst_overlap + 1;
+        auto draw = [&](std::uint32_t m) {
+          ring.clear();
+          while (ring.size() < kRing) {
+            const auto k = static_cast<std::uint32_t>(rng.below(kPool));
+            if (stamps[k] == m) continue;
+            stamps[k] = m;
+            ring.push_back(k);
+          }
+        };
+
+        for (std::uint32_t m = 0; m < f; ++m) {
+          draw(++mark);
+          for (auto k : ring) adversary[k] = 1;
+        }
+        for (std::uint32_t h = f; h < n; ++h) {
+          draw(++mark);
+          std::uint32_t overlap = 0;
+          for (auto k : ring) overlap += adversary[k];
+          worst = std::max(worst, overlap);
+        }
+        per_trial_worst[trial] = worst;
+      });
+
+  return *std::max_element(per_trial_worst.begin(), per_trial_worst.end()) + 1;
 }
 
 struct CampaignCost {
@@ -101,34 +110,52 @@ CampaignCost run_campaign(std::uint32_t theta, std::uint64_t seed) {
 }  // namespace
 
 int main() {
+  const std::size_t n_trials = vmat::bench::trials(30);
   std::printf(
       "TXT-THETA | threshold revocation: individually pinpointed keys "
       "saved by announcing the ring seed at theta\n\n");
+
+  vmat::bench::BenchReport report("ablation_theta");
+  report.config("pool", static_cast<std::int64_t>(kPool));
+  report.config("ring", static_cast<std::int64_t>(kRing));
+  report.config("trials", static_cast<std::int64_t>(n_trials));
 
   {
     vmat::TablePrinter table({"f", "theta* (zero mis-revocation)",
                               "keys saved per malicious ring",
                               "saving vs r=250"});
     for (const std::uint32_t f : {1u, 5u, 10u, 20u}) {
-      const auto t = theta_star(1000, f, /*trials=*/30, 0xabc0 + f);
+      auto& group = report.group("theta_star f=" + std::to_string(f));
+      const auto t = theta_star(1000, f, n_trials, 0xabc0 + f, group);
+      group.metric("theta_star", t);
       table.add_row(
           {std::to_string(f), std::to_string(t),
            std::to_string(kRing - t),
            vmat::TablePrinter::fmt(100.0 * (kRing - t) / kRing, 1) + "%"});
     }
-    std::printf("analytic view (u=%u, r=%u, n=1000, 30 trials):\n", kPool,
-                kRing);
+    std::printf("analytic view (u=%u, r=%u, n=1000, %zu trials):\n", kPool,
+                kRing, n_trials);
     table.print();
     std::printf("\n");
   }
 
   {
+    // Campaigns are independent protocol-in-the-loop runs — fan the four
+    // theta configurations out over the trial engine (the campaign itself
+    // is deterministic from its fixed seed; the engine rng is unused).
+    const std::uint32_t thetas[] = {0u, 6u, 10u, 16u};
+    std::vector<CampaignCost> costs(std::size(thetas));
+    auto& group = report.group("campaign");
+    vmat::bench::timed_trials(group, std::size(thetas), 0,
+                              [&](std::size_t i, vmat::Rng&) {
+                                costs[i] = run_campaign(thetas[i], 3);
+                              });
     vmat::TablePrinter table({"theta", "executions to kill attacker",
                               "individually pinpointed keys",
                               "attacker fully revoked"});
-    for (const std::uint32_t theta : {0u, 6u, 10u, 16u}) {
-      const auto c = run_campaign(theta, 3);
-      table.add_row({theta == 0 ? "off" : std::to_string(theta),
+    for (std::size_t i = 0; i < std::size(thetas); ++i) {
+      const auto& c = costs[i];
+      table.add_row({thetas[i] == 0 ? "off" : std::to_string(thetas[i]),
                      std::to_string(c.executions),
                      std::to_string(c.pinpointed),
                      c.attacker_dead ? "yes" : "no (keys exhausted instead)"});
@@ -138,6 +165,7 @@ int main() {
         "ring overlap ~2):\n");
     table.print();
   }
+  report.write();
 
   std::printf(
       "\nShape checks vs paper: theta* stays around 7..30 — an order of "

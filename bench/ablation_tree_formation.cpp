@@ -9,9 +9,12 @@
 // without a valid level.
 #include <cstdio>
 #include <memory>
+#include <string>
+#include <vector>
 
 #include "attack/strategies.h"
 #include "core/tree_formation.h"
+#include "trial_runner.h"
 #include "util/stats.h"
 
 namespace {
@@ -66,27 +69,46 @@ int main() {
       {"geometric n=100", vmat::Topology::random_geometric(100, 0.2, 5)},
   };
 
-  for (const auto& c : cases) {
-    for (const std::uint32_t f : {1u, 3u}) {
-      for (const std::int32_t hops : {10, 100}) {
+  // Flatten the (topology, f, hops) grid and fan the independent rows out
+  // over the trial engine; each row is deterministic from its parameters.
+  struct RowSpec {
+    const Case* c;
+    std::uint32_t f;
+    std::int32_t hops;
+  };
+  std::vector<RowSpec> rows;
+  for (const auto& c : cases)
+    for (const std::uint32_t f : {1u, 3u})
+      for (const std::int32_t hops : {10, 100}) rows.push_back({&c, f, hops});
+
+  vmat::bench::BenchReport report("ablation_tree_formation");
+  report.config("rows", static_cast<std::int64_t>(rows.size()));
+  auto& group = report.group("rows");
+  std::vector<std::pair<double, double>> fracs(rows.size());
+  vmat::bench::timed_trials(
+      group, rows.size(), 0, [&](std::size_t i, vmat::Rng&) {
+        const RowSpec& r = rows[i];
         // The wormhole measurement does not need the honest subgraph to
         // stay connected (no vetoes flow here), so malicious nodes are
         // simply spread across the id range.
         std::unordered_set<vmat::NodeId> malicious;
-        for (std::uint32_t i = 1; i <= f; ++i)
+        for (std::uint32_t j = 1; j <= r.f; ++j)
           malicious.insert(
-              vmat::NodeId{i * c.topo.node_count() / (f + 1)});
-        const double hop_frac = invalid_fraction(
-            vmat::TreeMode::kHopCount, c.topo, malicious, hops, 3);
-        const double ts_frac = invalid_fraction(
-            vmat::TreeMode::kTimestamp, c.topo, malicious, hops, 3);
-        table.add_row({c.name, std::to_string(f), std::to_string(hops),
-                       vmat::TablePrinter::fmt(hop_frac, 3),
-                       vmat::TablePrinter::fmt(ts_frac, 3)});
-      }
-    }
+              vmat::NodeId{j * r.c->topo.node_count() / (r.f + 1)});
+        fracs[i] = {invalid_fraction(vmat::TreeMode::kHopCount, r.c->topo,
+                                     malicious, r.hops, 3),
+                    invalid_fraction(vmat::TreeMode::kTimestamp, r.c->topo,
+                                     malicious, r.hops, 3)};
+      });
+
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    table.add_row({rows[i].c->name, std::to_string(rows[i].f),
+                   std::to_string(rows[i].hops),
+                   vmat::TablePrinter::fmt(fracs[i].first, 3),
+                   vmat::TablePrinter::fmt(fracs[i].second, 3)});
   }
   table.print();
+  report.write();
 
   std::printf(
       "\nShape checks vs paper: hop-count trees lose a large fraction of "

@@ -2,14 +2,23 @@
 // the network grows, clean and attacked, plus per-execution message
 // volume. Not a paper figure; it documents that the simulator comfortably
 // hosts the paper's parameter ranges.
+//
+// Timing discipline: each (size, mode) cell runs bench::trials(3) repeats
+// through the trial engine on a dedicated serial pool — wall-clock numbers
+// must not contend with each other — and the table reports the minimum,
+// the usual noise-robust choice for repeat timings.
 #include <algorithm>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <memory>
+#include <string>
+#include <unordered_set>
+#include <vector>
 
 #include "attack/strategies.h"
 #include "core/coordinator.h"
+#include "trial_runner.h"
 #include "util/stats.h"
 
 namespace {
@@ -31,12 +40,26 @@ double ms_since(std::chrono::steady_clock::time_point start) {
 }  // namespace
 
 int main() {
+  const std::size_t n_trials = vmat::bench::trials(3);
   std::printf(
-      "SCALE | full-execution wall time and traffic vs network size\n\n");
+      "SCALE | full-execution wall time and traffic vs network size "
+      "(min over %zu repeats)\n\n",
+      n_trials);
+
+  std::vector<std::uint32_t> sizes = {50u, 100u, 200u, 400u, 800u};
+  if (vmat::bench::smoke()) sizes = {50u, 100u};
+
+  vmat::bench::BenchReport report("bench_scale");
+  report.config("repeats", static_cast<std::int64_t>(n_trials));
+  report.config("sizes", static_cast<std::int64_t>(sizes.size()));
+
+  // Repeats of one cell measure the same deterministic execution, so they
+  // must run strictly serially for the timings to mean anything.
+  vmat::ThreadPool serial(1);
 
   vmat::TablePrinter table({"n", "L", "clean exec ms", "clean KB",
                             "attacked exec ms", "pinpoint tests"});
-  for (const std::uint32_t n : {50u, 100u, 200u, 400u, 800u}) {
+  for (const std::uint32_t n : sizes) {
     const double radius = 1.8 / std::sqrt(static_cast<double>(n));
     const auto topo = vmat::Topology::random_geometric(n, radius, 7);
 
@@ -64,42 +87,58 @@ int main() {
       }
     }
 
-    // Clean run.
-    double clean_ms = 0.0;
+    // Clean runs. trial_ms includes network setup; the table's "exec ms"
+    // column keeps the historical meaning (run_min only), measured inside
+    // each trial.
     std::uint64_t clean_bytes = 0;
     vmat::Level depth_bound = 0;
-    {
-      vmat::Network net(topo, bench_keys(n));
-      vmat::VmatCoordinator coordinator(&net, nullptr, {});
-      std::vector<vmat::Reading> readings(n, 500);
-      const auto start = std::chrono::steady_clock::now();
-      const auto out = coordinator.run_min(readings);
-      clean_ms = ms_since(start);
-      clean_bytes = out.fabric_bytes;
-      depth_bound = coordinator.effective_depth_bound();
-    }
+    std::vector<double> clean_exec(n_trials, 0.0);
+    auto& clean_group = report.group("clean n=" + std::to_string(n));
+    vmat::bench::timed_trials(
+        clean_group, n_trials, 0,
+        [&](std::size_t t, vmat::Rng&) {
+          vmat::Network net(topo, bench_keys(n));
+          vmat::VmatCoordinator coordinator(&net, nullptr, {});
+          std::vector<vmat::Reading> readings(n, 500);
+          const auto start = std::chrono::steady_clock::now();
+          const auto out = coordinator.run_min(readings);
+          clean_exec[t] = ms_since(start);
+          clean_bytes = out.fabric_bytes;
+          depth_bound = coordinator.effective_depth_bound();
+        },
+        &serial);
+    const double clean_ms = vmat::percentile(clean_exec, 0);
+    clean_group.metric("exec_ms_min", clean_ms);
+    clean_group.metric("fabric_kb", clean_bytes / 1000.0);
 
-    // Attacked run: the victim's whole parent set silently drops its
+    // Attacked runs: the victim's whole parent set silently drops its
     // minimum, forcing a veto and a pinpointing walk.
-    double attacked_ms = 0.0;
     int tests = 0;
-    {
-      vmat::Network net(topo, bench_keys(n));
-      vmat::Adversary adv(&net, malicious,
-                          std::make_unique<vmat::SilentDropStrategy>(
-                              vmat::LiePolicy::kDenyAll));
-      vmat::VmatConfig cfg;
-      cfg.depth_bound = topo.depth(malicious);
-      vmat::VmatCoordinator coordinator(&net, &adv, cfg);
-      std::vector<vmat::Reading> readings(n, 500);
-      for (std::uint32_t id = 1; id < n; ++id)
-        readings[id] = 500 + static_cast<vmat::Reading>(id);
-      readings[victim] = 1;
-      const auto start = std::chrono::steady_clock::now();
-      const auto out = coordinator.run_min(readings);
-      attacked_ms = ms_since(start);
-      tests = out.pinpoint_cost.predicate_tests;
-    }
+    std::vector<double> attacked_exec(n_trials, 0.0);
+    auto& attacked_group = report.group("attacked n=" + std::to_string(n));
+    vmat::bench::timed_trials(
+        attacked_group, n_trials, 0,
+        [&](std::size_t t, vmat::Rng&) {
+          vmat::Network net(topo, bench_keys(n));
+          vmat::Adversary adv(&net, malicious,
+                              std::make_unique<vmat::SilentDropStrategy>(
+                                  vmat::LiePolicy::kDenyAll));
+          vmat::VmatConfig cfg;
+          cfg.depth_bound = topo.depth(malicious);
+          vmat::VmatCoordinator coordinator(&net, &adv, cfg);
+          std::vector<vmat::Reading> readings(n, 500);
+          for (std::uint32_t id = 1; id < n; ++id)
+            readings[id] = 500 + static_cast<vmat::Reading>(id);
+          readings[victim] = 1;
+          const auto start = std::chrono::steady_clock::now();
+          const auto out = coordinator.run_min(readings);
+          attacked_exec[t] = ms_since(start);
+          tests = out.pinpoint_cost.predicate_tests;
+        },
+        &serial);
+    const double attacked_ms = vmat::percentile(attacked_exec, 0);
+    attacked_group.metric("exec_ms_min", attacked_ms);
+    attacked_group.metric("pinpoint_tests", tests);
 
     table.add_row({std::to_string(n), std::to_string(depth_bound),
                    vmat::TablePrinter::fmt(clean_ms, 1),
@@ -108,5 +147,6 @@ int main() {
                    std::to_string(tests)});
   }
   table.print();
+  report.write();
   return 0;
 }

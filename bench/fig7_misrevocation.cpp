@@ -8,11 +8,18 @@
 // with the union of the malicious rings (the keys the adversary can expose
 // to frame it).
 //
+// Trials run on the parallel trial engine: each trial draws from its own
+// (base_seed, trial) stream and tallies into a per-trial histogram, reduced
+// serially afterwards — bit-identical for any VMAT_THREADS.
+//
 // Paper shape to match: f=1 -> θ ≈ 7 already gives ~0 mis-revocations;
 // f=20 -> θ = 27 keeps the average below 1; θ stays ~10% of r.
+#include <algorithm>
 #include <cstdio>
+#include <string>
 #include <vector>
 
+#include "trial_runner.h"
 #include "util/random.h"
 #include "util/stats.h"
 
@@ -20,7 +27,7 @@ namespace {
 
 constexpr std::uint32_t kPool = 100000;
 constexpr std::uint32_t kRing = 250;
-constexpr int kTrials = 100;
+constexpr std::uint32_t kMaxTheta = 60;
 
 /// Draw a ring of kRing distinct keys using a stamp array (O(r) expected,
 /// no allocation) — the hot loop of this bench.
@@ -42,52 +49,63 @@ struct Row {
   std::vector<double> avg_misrevoked_at_theta;  // index = θ
 };
 
-Row run_config(std::uint32_t n, std::uint32_t f, std::uint64_t seed) {
-  vmat::Rng rng(seed);
-  std::vector<std::uint32_t> stamps(kPool, 0);
-  std::vector<std::uint32_t> ring;
-  std::vector<std::uint8_t> adversary_keys(kPool, 0);
+Row run_config(std::uint32_t n, std::uint32_t f, std::uint64_t seed,
+               std::size_t n_trials, vmat::bench::TrialGroup& group) {
+  // Per-trial tails, reduced serially below (determinism contract).
+  std::vector<std::vector<std::uint64_t>> per_trial(
+      n_trials, std::vector<std::uint64_t>(kMaxTheta + 1, 0));
 
-  constexpr std::uint32_t kMaxTheta = 60;
-  std::vector<std::uint64_t> misrevoked_ge_theta(kMaxTheta + 1, 0);
+  vmat::bench::timed_trials(
+      group, n_trials, seed, [&](std::size_t trial, vmat::Rng& rng) {
+        std::vector<std::uint32_t> stamps(kPool, 0);
+        std::vector<std::uint32_t> ring;
+        std::vector<std::uint8_t> adversary_keys(kPool, 0);
+        auto& misrevoked_ge_theta = per_trial[trial];
+        std::uint32_t mark = 0;
 
-  std::uint32_t mark = 0;
-  for (int trial = 0; trial < kTrials; ++trial) {
-    // Adversary key set: union of f malicious rings.
-    std::fill(adversary_keys.begin(), adversary_keys.end(), 0);
-    for (std::uint32_t m = 0; m < f; ++m) {
-      draw_ring(rng, stamps, ++mark, ring);
-      for (std::uint32_t k : ring) adversary_keys[k] = 1;
-    }
-    // Honest sensors: n - f independent rings; tally overlap tails.
-    for (std::uint32_t h = f; h < n; ++h) {
-      draw_ring(rng, stamps, ++mark, ring);
-      std::uint32_t overlap = 0;
-      for (std::uint32_t k : ring) overlap += adversary_keys[k];
-      if (overlap > kMaxTheta) overlap = kMaxTheta;
-      // Sensor is mis-revoked for every θ <= overlap.
-      for (std::uint32_t theta = 1; theta <= overlap; ++theta)
-        ++misrevoked_ge_theta[theta];
-    }
-  }
+        // Adversary key set: union of f malicious rings.
+        for (std::uint32_t m = 0; m < f; ++m) {
+          draw_ring(rng, stamps, ++mark, ring);
+          for (std::uint32_t k : ring) adversary_keys[k] = 1;
+        }
+        // Honest sensors: n - f independent rings; tally overlap tails.
+        for (std::uint32_t h = f; h < n; ++h) {
+          draw_ring(rng, stamps, ++mark, ring);
+          std::uint32_t overlap = 0;
+          for (std::uint32_t k : ring) overlap += adversary_keys[k];
+          if (overlap > kMaxTheta) overlap = kMaxTheta;
+          // Sensor is mis-revoked for every θ <= overlap.
+          for (std::uint32_t theta = 1; theta <= overlap; ++theta)
+            ++misrevoked_ge_theta[theta];
+        }
+      });
 
   Row row;
   row.n = n;
   row.f = f;
   row.avg_misrevoked_at_theta.resize(kMaxTheta + 1, 0.0);
-  for (std::uint32_t theta = 1; theta <= kMaxTheta; ++theta)
+  for (std::uint32_t theta = 1; theta <= kMaxTheta; ++theta) {
+    std::uint64_t total = 0;
+    for (const auto& hist : per_trial) total += hist[theta];
     row.avg_misrevoked_at_theta[theta] =
-        static_cast<double>(misrevoked_ge_theta[theta]) / kTrials;
+        static_cast<double>(total) / static_cast<double>(n_trials);
+  }
   return row;
 }
 
 }  // namespace
 
 int main() {
+  const std::size_t n_trials = vmat::bench::trials(100);
   std::printf(
       "FIG7 | Figure 7: avg # honest sensors mis-revoked vs threshold θ\n"
-      "u=%u pool keys, r=%u keys/ring, %d trials per configuration\n\n",
-      kPool, kRing, kTrials);
+      "u=%u pool keys, r=%u keys/ring, %zu trials per configuration\n\n",
+      kPool, kRing, n_trials);
+
+  vmat::bench::BenchReport report("fig7_misrevocation");
+  report.config("pool", static_cast<std::int64_t>(kPool));
+  report.config("ring", static_cast<std::int64_t>(kRing));
+  report.config("trials", static_cast<std::int64_t>(n_trials));
 
   const std::uint32_t thetas[] = {1, 3, 5, 7, 10, 15, 20, 25, 27, 30, 40};
   for (const std::uint32_t n : {1000u, 10000u}) {
@@ -98,7 +116,9 @@ int main() {
       return headers;
     }());
     for (const std::uint32_t f : {1u, 5u, 10u, 20u}) {
-      const Row row = run_config(n, f, 0xf1670000 + n + f);
+      auto& group = report.group("n=" + std::to_string(n) +
+                                 " f=" + std::to_string(f));
+      const Row row = run_config(n, f, 0xf1670000 + n + f, n_trials, group);
       std::vector<std::string> cells{"f=" + std::to_string(f)};
       for (auto t : thetas)
         cells.push_back(
@@ -111,12 +131,14 @@ int main() {
           break;
         }
       cells.push_back(std::to_string(theta_star));
+      group.metric("theta_star", theta_star);
       table.add_row(cells);
     }
     std::printf("n = %u sensors:\n", n);
     table.print();
     std::printf("\n");
   }
+  report.write();
   std::printf(
       "Shape checks vs paper: f=1 needs theta ~7; f=20 needs theta ~27 "
       "(about 10%% of r=250).\n");

@@ -5,7 +5,9 @@
 // For each true predicate count c and each of 200 trials, we form the 100
 // per-instance minima and run the paper's estimator 1/((Σ a_i^min)/m). We
 // report the average relative error and the 90/95/99th percentiles across
-// trials — the series Figure 8 plots.
+// trials — the series Figure 8 plots. Trials run on the parallel trial
+// engine with independent per-trial streams (bit-identical for any
+// VMAT_THREADS).
 //
 // Two modes:
 //  * statistical (all counts): the minimum of c i.i.d. Exp(1) variables is
@@ -16,49 +18,53 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <string>
 #include <vector>
 
 #include "core/synopsis.h"
+#include "trial_runner.h"
 #include "util/random.h"
 #include "util/stats.h"
 
 namespace {
 
 constexpr std::uint32_t kInstances = 100;
-constexpr int kTrials = 200;
 
-std::vector<double> errors_statistical(std::int64_t count, vmat::Rng& rng) {
-  std::vector<double> errors;
-  errors.reserve(kTrials);
-  std::vector<vmat::Reading> minima(kInstances);
-  for (int trial = 0; trial < kTrials; ++trial) {
-    for (auto& m : minima)
-      m = vmat::SynopsisCodec::encode_value(
-          rng.exponential(1.0 / static_cast<double>(count)));
-    const double est = vmat::estimate_sum(minima);
-    errors.push_back(std::abs(est - static_cast<double>(count)) /
-                     static_cast<double>(count));
-  }
+std::vector<double> errors_statistical(std::int64_t count, std::uint64_t seed,
+                                       std::size_t n_trials,
+                                       vmat::bench::TrialGroup& group) {
+  std::vector<double> errors(n_trials, 0.0);
+  vmat::bench::timed_trials(
+      group, n_trials, seed, [&](std::size_t trial, vmat::Rng& rng) {
+        std::vector<vmat::Reading> minima(kInstances);
+        for (auto& m : minima)
+          m = vmat::SynopsisCodec::encode_value(
+              rng.exponential(1.0 / static_cast<double>(count)));
+        const double est = vmat::estimate_sum(minima);
+        errors[trial] = std::abs(est - static_cast<double>(count)) /
+                        static_cast<double>(count);
+      });
   return errors;
 }
 
-std::vector<double> errors_crypto(std::int64_t count, vmat::Rng& rng,
-                                  int trials) {
-  std::vector<double> errors;
-  errors.reserve(static_cast<std::size_t>(trials));
-  std::vector<vmat::Reading> minima(kInstances);
-  for (int trial = 0; trial < trials; ++trial) {
-    const vmat::SynopsisCodec codec(rng());
-    std::fill(minima.begin(), minima.end(), vmat::kInfinity);
-    for (std::int64_t x = 1; x <= count; ++x)
-      for (std::uint32_t i = 0; i < kInstances; ++i)
-        minima[i] = std::min(
-            minima[i],
-            codec.value_for(vmat::NodeId{static_cast<std::uint32_t>(x)}, i, 1));
-    const double est = vmat::estimate_sum(minima);
-    errors.push_back(std::abs(est - static_cast<double>(count)) /
-                     static_cast<double>(count));
-  }
+std::vector<double> errors_crypto(std::int64_t count, std::uint64_t seed,
+                                  std::size_t n_trials,
+                                  vmat::bench::TrialGroup& group) {
+  std::vector<double> errors(n_trials, 0.0);
+  vmat::bench::timed_trials(
+      group, n_trials, seed, [&](std::size_t trial, vmat::Rng& rng) {
+        std::vector<vmat::Reading> minima(kInstances, vmat::kInfinity);
+        const vmat::SynopsisCodec codec(rng());
+        for (std::int64_t x = 1; x <= count; ++x)
+          for (std::uint32_t i = 0; i < kInstances; ++i)
+            minima[i] = std::min(
+                minima[i],
+                codec.value_for(vmat::NodeId{static_cast<std::uint32_t>(x)}, i,
+                                1));
+        const double est = vmat::estimate_sum(minima);
+        errors[trial] = std::abs(est - static_cast<double>(count)) /
+                        static_cast<double>(count);
+      });
   return errors;
 }
 
@@ -83,27 +89,44 @@ void print_series(const char* label, const std::int64_t* counts,
 }  // namespace
 
 int main() {
+  const std::size_t n_trials = vmat::bench::trials(200);
   std::printf(
       "FIG8 | Figure 8: COUNT approximation error with m=%u synopses, "
-      "%d trials per point\n\n",
-      kInstances, kTrials);
+      "%zu trials per point\n\n",
+      kInstances, n_trials);
 
-  vmat::Rng rng(0xf18);
+  vmat::bench::BenchReport report("fig8_approximation");
+  report.config("instances", static_cast<std::int64_t>(kInstances));
+  report.config("trials", static_cast<std::int64_t>(n_trials));
+
   {
     const std::int64_t counts[] = {10, 20, 50, 100, 200, 500, 1000, 2000,
                                    5000, 10000};
     std::vector<std::vector<double>> errors;
-    for (std::int64_t c : counts) errors.push_back(errors_statistical(c, rng));
+    for (std::int64_t c : counts) {
+      auto& group = report.group("statistical c=" + std::to_string(c));
+      errors.push_back(
+          errors_statistical(c, 0xf180000 + static_cast<std::uint64_t>(c),
+                             n_trials, group));
+      group.metric("avg_rel_err", vmat::mean(errors.back()));
+      group.metric("p95_rel_err", vmat::percentile(errors.back(), 95));
+    }
     print_series("statistical mode (exact Exp(1/c) minima):", counts,
                  std::size(counts), errors);
   }
   {
     const std::int64_t counts[] = {10, 100, 500};
+    const std::size_t crypto_trials = vmat::bench::trials(40);
     std::vector<std::vector<double>> errors;
-    for (std::int64_t c : counts)
-      errors.push_back(errors_crypto(c, rng, /*trials=*/40));
+    for (std::int64_t c : counts) {
+      auto& group = report.group("crypto c=" + std::to_string(c));
+      errors.push_back(errors_crypto(c,
+                                     0xf18c000 + static_cast<std::uint64_t>(c),
+                                     crypto_trials, group));
+      group.metric("avg_rel_err", vmat::mean(errors.back()));
+    }
     print_series(
-        "crypto-faithful spot check (PRF synopses, 40 trials):", counts,
+        "crypto-faithful spot check (PRF synopses):", counts,
         std::size(counts), errors);
   }
 
@@ -113,17 +136,21 @@ int main() {
     vmat::TablePrinter table({"m synopses", "avg rel err", "p95",
                               "err x sqrt(m)"});
     for (const std::uint32_t m : {25u, 50u, 100u, 200u, 400u}) {
-      std::vector<double> errors;
-      std::vector<vmat::Reading> minima(m);
       constexpr std::int64_t kCount = 1000;
-      for (int trial = 0; trial < kTrials; ++trial) {
-        for (auto& v : minima)
-          v = vmat::SynopsisCodec::encode_value(
-              rng.exponential(1.0 / static_cast<double>(kCount)));
-        errors.push_back(std::abs(vmat::estimate_sum(minima) - kCount) /
-                         static_cast<double>(kCount));
-      }
+      std::vector<double> errors(n_trials, 0.0);
+      auto& group = report.group("m-sweep m=" + std::to_string(m));
+      vmat::bench::timed_trials(
+          group, n_trials, 0xf185e0 + m,
+          [&](std::size_t trial, vmat::Rng& rng) {
+            std::vector<vmat::Reading> minima(m);
+            for (auto& v : minima)
+              v = vmat::SynopsisCodec::encode_value(
+                  rng.exponential(1.0 / static_cast<double>(kCount)));
+            errors[trial] = std::abs(vmat::estimate_sum(minima) - kCount) /
+                            static_cast<double>(kCount);
+          });
       const double avg = vmat::mean(errors);
+      group.metric("avg_rel_err", avg);
       table.add_row({std::to_string(m), vmat::TablePrinter::fmt(avg, 4),
                      vmat::TablePrinter::fmt(vmat::percentile(errors, 95), 4),
                      vmat::TablePrinter::fmt(avg * std::sqrt(double(m)), 3)});
@@ -133,6 +160,7 @@ int main() {
     std::printf("\n");
   }
 
+  report.write();
   std::printf(
       "Shape checks vs paper: average relative error < 10%% at every count "
       "with 100 synopses;\ncommunication = 100 synopses x 32 B = 3.2 KB "

@@ -44,7 +44,7 @@ bool AdversaryView::inject(NodeId via, NodeId to, NodeId claimed_from,
   e.to = to;
   e.edge_key = edge_key;
   e.payload = payload;
-  e.edge_mac = compute_mac(net_->keys().key_material(edge_key), payload);
+  e.edge_mac = net_->keys().mac_context(edge_key).compute(payload);
   return net_->fabric().send_as(via, std::move(e));
 }
 

@@ -42,7 +42,7 @@ AlarmOnlyResult run_alarm_only(Network& net, Adversary* adversary,
     const bool ok =
         a.msg.origin != kBaseStation && a.msg.origin.value < n &&
         a.msg.weight == 0 &&
-        verify_agg_message(net.keys().sensor_key(a.msg.origin), a.msg,
+        verify_agg_message(net.keys().sensor_mac_context(a.msg.origin), a.msg,
                            agg_config.nonce);
     if (!ok) {
       result.alarmed = true;  // spurious minimum: all it can do is alarm

@@ -53,7 +53,7 @@ AggregationOutcome run_aggregation(
     if (node == kBaseStation) continue;
     if (net.revocation().is_sensor_revoked(node)) continue;
     if (!tree.has_valid_level(node)) continue;
-    const SymmetricKey key = net.keys().sensor_key(node);
+    const MacContext& key = net.keys().sensor_mac_context(node);
     own[id].reserve(config.instances);
     for (std::uint32_t i = 0; i < config.instances; ++i) {
       // kInfinity marks "no contribution" (e.g. a COUNT predicate the
@@ -105,7 +105,7 @@ AggregationOutcome run_aggregation(
         e.to = link.claimed_id;
         e.edge_key = link.edge_key;
         e.payload = frame;
-        e.edge_mac = compute_mac(net.keys().key_material(link.edge_key), frame);
+        e.edge_mac = net.keys().mac_context(link.edge_key).compute(frame);
         // The claimed parent may not be a physical neighbor (a spoofed
         // tree-formation frame); the fabric then drops the frame, which is
         // exactly a silent drop the confirmation phase will catch.

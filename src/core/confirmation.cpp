@@ -60,7 +60,7 @@ ConfirmationOutcome run_confirmation(
         const auto instance = veto_instance(values[id], broadcast_minima);
         if (!instance.has_value()) continue;
         const VetoMsg veto = make_veto(
-            net.keys().sensor_key(node), node, *instance,
+            net.keys().sensor_mac_context(node), node, *instance,
             values[id][*instance], tree.level[id], nonce);
         const Bytes frame = encode(veto);
         SofRecord rec;

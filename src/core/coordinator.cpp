@@ -132,7 +132,7 @@ ExecutionOutcome VmatCoordinator::execute(
         a.msg.origin != kBaseStation && a.msg.origin.value < n &&
         !net_->revocation().is_sensor_revoked(a.msg.origin);
     const bool mac_ok =
-        id_ok && verify_agg_message(net_->keys().sensor_key(a.msg.origin),
+        id_ok && verify_agg_message(net_->keys().sensor_mac_context(a.msg.origin),
                                     a.msg, agg_nonce);
     if (!mac_ok) {
       PinpointEngine engine(net_, adversary_, &audits_, &tree_,
@@ -175,8 +175,8 @@ ExecutionOutcome VmatCoordinator::execute(
     const bool id_ok = v.msg.origin != kBaseStation && v.msg.origin.value < n &&
                        !net_->revocation().is_sensor_revoked(v.msg.origin);
     const bool mac_ok =
-        id_ok && verify_veto(net_->keys().sensor_key(v.msg.origin), v.msg,
-                             conf_nonce);
+        id_ok && verify_veto(net_->keys().sensor_mac_context(v.msg.origin),
+                             v.msg, conf_nonce);
     if (!mac_ok) {
       PinpointEngine engine(net_, adversary_, &audits_, &tree_,
                              config_.predicate_mode);

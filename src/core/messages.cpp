@@ -172,7 +172,7 @@ Bytes veto_mac_input(std::uint64_t nonce, std::uint32_t instance, Reading value,
   return w.take();
 }
 
-AggMessage make_agg_message(const SymmetricKey& sensor_key, NodeId origin,
+AggMessage make_agg_message(const MacContext& sensor_key, NodeId origin,
                             std::uint32_t instance, Reading value,
                             std::int64_t weight, std::uint64_t nonce) {
   AggMessage m;
@@ -180,11 +180,18 @@ AggMessage make_agg_message(const SymmetricKey& sensor_key, NodeId origin,
   m.instance = instance;
   m.value = value;
   m.weight = weight;
-  m.mac = compute_mac(sensor_key, agg_mac_input(nonce, instance, value, weight));
+  m.mac = sensor_key.compute(agg_mac_input(nonce, instance, value, weight));
   return m;
 }
 
-VetoMsg make_veto(const SymmetricKey& sensor_key, NodeId origin,
+AggMessage make_agg_message(const SymmetricKey& sensor_key, NodeId origin,
+                            std::uint32_t instance, Reading value,
+                            std::int64_t weight, std::uint64_t nonce) {
+  return make_agg_message(MacContext(sensor_key), origin, instance, value,
+                          weight, nonce);
+}
+
+VetoMsg make_veto(const MacContext& sensor_key, NodeId origin,
                   std::uint32_t instance, Reading value, Level level,
                   std::uint64_t nonce) {
   VetoMsg m;
@@ -192,20 +199,37 @@ VetoMsg make_veto(const SymmetricKey& sensor_key, NodeId origin,
   m.instance = instance;
   m.value = value;
   m.level = level;
-  m.mac = compute_mac(sensor_key, veto_mac_input(nonce, instance, value, level));
+  m.mac = sensor_key.compute(veto_mac_input(nonce, instance, value, level));
   return m;
+}
+
+VetoMsg make_veto(const SymmetricKey& sensor_key, NodeId origin,
+                  std::uint32_t instance, Reading value, Level level,
+                  std::uint64_t nonce) {
+  return make_veto(MacContext(sensor_key), origin, instance, value, level,
+                   nonce);
+}
+
+bool verify_agg_message(const MacContext& sensor_key, const AggMessage& m,
+                        std::uint64_t nonce) {
+  return sensor_key.verify(agg_mac_input(nonce, m.instance, m.value, m.weight),
+                           m.mac);
 }
 
 bool verify_agg_message(const SymmetricKey& sensor_key, const AggMessage& m,
                         std::uint64_t nonce) {
-  return verify_mac(sensor_key,
-                    agg_mac_input(nonce, m.instance, m.value, m.weight), m.mac);
+  return verify_agg_message(MacContext(sensor_key), m, nonce);
+}
+
+bool verify_veto(const MacContext& sensor_key, const VetoMsg& m,
+                 std::uint64_t nonce) {
+  return sensor_key.verify(veto_mac_input(nonce, m.instance, m.value, m.level),
+                           m.mac);
 }
 
 bool verify_veto(const SymmetricKey& sensor_key, const VetoMsg& m,
                  std::uint64_t nonce) {
-  return verify_mac(sensor_key,
-                    veto_mac_input(nonce, m.instance, m.value, m.level), m.mac);
+  return verify_veto(MacContext(sensor_key), m, nonce);
 }
 
 Digest message_identity(const AggMessage& m) {

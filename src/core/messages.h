@@ -101,20 +101,34 @@ struct PredicateReplyMsg {
 [[nodiscard]] Bytes veto_mac_input(std::uint64_t nonce, std::uint32_t instance,
                                    Reading value, Level level);
 
-/// Build a properly MAC'd aggregation message for a sensor.
+/// Build a properly MAC'd aggregation message for a sensor. The MacContext
+/// overloads are the hot path (cached key schedule via
+/// Predistribution::sensor_mac_context); the SymmetricKey forms re-derive
+/// the schedule per call.
+[[nodiscard]] AggMessage make_agg_message(const MacContext& sensor_key,
+                                          NodeId origin, std::uint32_t instance,
+                                          Reading value, std::int64_t weight,
+                                          std::uint64_t nonce);
 [[nodiscard]] AggMessage make_agg_message(const SymmetricKey& sensor_key,
                                           NodeId origin, std::uint32_t instance,
                                           Reading value, std::int64_t weight,
                                           std::uint64_t nonce);
 
 /// Build a properly MAC'd veto.
+[[nodiscard]] VetoMsg make_veto(const MacContext& sensor_key, NodeId origin,
+                                std::uint32_t instance, Reading value,
+                                Level level, std::uint64_t nonce);
 [[nodiscard]] VetoMsg make_veto(const SymmetricKey& sensor_key, NodeId origin,
                                 std::uint32_t instance, Reading value,
                                 Level level, std::uint64_t nonce);
 
 /// Base-station verification of the sensor-key MAC inside a message.
+[[nodiscard]] bool verify_agg_message(const MacContext& sensor_key,
+                                      const AggMessage& m, std::uint64_t nonce);
 [[nodiscard]] bool verify_agg_message(const SymmetricKey& sensor_key,
                                       const AggMessage& m, std::uint64_t nonce);
+[[nodiscard]] bool verify_veto(const MacContext& sensor_key, const VetoMsg& m,
+                               std::uint64_t nonce);
 [[nodiscard]] bool verify_veto(const SymmetricKey& sensor_key, const VetoMsg& m,
                                std::uint64_t nonce);
 

@@ -28,14 +28,14 @@ bool PredicateTestEngine::holder_is(const KeySpec& key, NodeId node) const {
   return false;
 }
 
-SymmetricKey PredicateTestEngine::key_material(const KeySpec& key) const {
+const MacContext& PredicateTestEngine::key_context(const KeySpec& key) const {
   switch (key.type) {
     case KeySpec::Type::kSensorKey:
-      return net_->keys().sensor_key(key.sensor);
+      return net_->keys().sensor_mac_context(key.sensor);
     case KeySpec::Type::kPoolKey:
-      return net_->keys().key_material(key.pool);
+      return net_->keys().mac_context(key.pool);
   }
-  throw std::logic_error("key_material: bad key spec");
+  throw std::logic_error("key_context: bad key spec");
 }
 
 std::vector<NodeId> PredicateTestEngine::collect_repliers(
@@ -170,7 +170,7 @@ bool PredicateTestEngine::run(const KeySpec& key, const Predicate& predicate) {
   mac_input.str("vmat.predicate-reply");
   mac_input.u64(nonce_);
   mac_input.raw(encode_predicate(predicate));
-  const Mac reply = compute_mac(key_material(key), mac_input.bytes());
+  const Mac reply = key_context(key).compute(mac_input.bytes());
   return flood_reply(repliers, reply, hash_of_mac(reply));
 }
 

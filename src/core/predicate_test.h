@@ -85,7 +85,7 @@ class PredicateTestEngine {
 
  private:
   [[nodiscard]] bool holder_is(const KeySpec& key, NodeId node) const;
-  [[nodiscard]] SymmetricKey key_material(const KeySpec& key) const;
+  [[nodiscard]] const MacContext& key_context(const KeySpec& key) const;
   [[nodiscard]] std::vector<NodeId> collect_repliers(
       const KeySpec& key, const Predicate& predicate);
   [[nodiscard]] bool reaches_base_station(

@@ -4,8 +4,7 @@
 
 namespace vmat {
 
-Digest hmac_sha256(std::span<const std::uint8_t> key,
-                   std::span<const std::uint8_t> message) noexcept {
+HmacKeyState::HmacKeyState(std::span<const std::uint8_t> key) noexcept {
   std::uint8_t block_key[64] = {};
   if (key.size() > 64) {
     const Digest d = Sha256::hash(key);
@@ -14,20 +13,33 @@ Digest hmac_sha256(std::span<const std::uint8_t> key,
     std::memcpy(block_key, key.data(), key.size());
   }
 
-  std::uint8_t ipad[64];
-  std::uint8_t opad[64];
-  for (int i = 0; i < 64; ++i) {
-    ipad[i] = static_cast<std::uint8_t>(block_key[i] ^ 0x36);
-    opad[i] = static_cast<std::uint8_t>(block_key[i] ^ 0x5c);
-  }
-
+  std::uint8_t pad[64];
+  for (int i = 0; i < 64; ++i)
+    pad[i] = static_cast<std::uint8_t>(block_key[i] ^ 0x36);
   Sha256 inner;
-  inner.update(ipad).update(message);
+  inner.update(pad);
+  inner_ = inner.midstate();
+
+  for (int i = 0; i < 64; ++i)
+    pad[i] = static_cast<std::uint8_t>(block_key[i] ^ 0x5c);
+  Sha256 outer;
+  outer.update(pad);
+  outer_ = outer.midstate();
+}
+
+Digest HmacKeyState::mac(std::span<const std::uint8_t> message) const noexcept {
+  Sha256 inner(inner_);
+  inner.update(message);
   const Digest inner_digest = inner.finish();
 
-  Sha256 outer;
-  outer.update(opad).update(inner_digest);
+  Sha256 outer(outer_);
+  outer.update(inner_digest);
   return outer.finish();
+}
+
+Digest hmac_sha256(std::span<const std::uint8_t> key,
+                   std::span<const std::uint8_t> message) noexcept {
+  return HmacKeyState(key).mac(message);
 }
 
 }  // namespace vmat

@@ -1,5 +1,12 @@
 // HMAC-SHA-256 (RFC 2104 / FIPS 198-1), the MAC construction used for
 // sensor-key and edge-key MACs throughout VMAT.
+//
+// Two entry points:
+//  * hmac_sha256(): one-shot, re-derives the ipad/opad pads per call;
+//  * HmacKeyState: precomputes the ipad/opad SHA-256 midstates once per
+//    key, so each subsequent MAC costs only the message + finalization
+//    compressions. Repeated MACs under one key (every edge-key hop in the
+//    simulator) should go through a cached HmacKeyState.
 #pragma once
 
 #include <span>
@@ -8,6 +15,21 @@
 #include "util/bytes.h"
 
 namespace vmat {
+
+/// Precomputed HMAC key schedule: the SHA-256 midstates after compressing
+/// the 64-byte ipad and opad blocks. Immutable after construction, so a
+/// const HmacKeyState is safe to share across threads.
+class HmacKeyState {
+ public:
+  explicit HmacKeyState(std::span<const std::uint8_t> key) noexcept;
+
+  /// HMAC-SHA-256 of `message` under the precomputed key.
+  [[nodiscard]] Digest mac(std::span<const std::uint8_t> message) const noexcept;
+
+ private:
+  Sha256Midstate inner_;  // state after the ipad block
+  Sha256Midstate outer_;  // state after the opad block
+};
 
 [[nodiscard]] Digest hmac_sha256(std::span<const std::uint8_t> key,
                                  std::span<const std::uint8_t> message) noexcept;

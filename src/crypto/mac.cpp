@@ -5,12 +5,16 @@
 
 namespace vmat {
 
-Mac compute_mac(const SymmetricKey& key,
-                std::span<const std::uint8_t> message) noexcept {
-  const Digest full = hmac_sha256(key.span(), message);
+Mac MacContext::compute(std::span<const std::uint8_t> message) const noexcept {
+  const Digest full = state_.mac(message);
   Mac tag;
   std::copy_n(full.begin(), tag.bytes.size(), tag.bytes.begin());
   return tag;
+}
+
+Mac compute_mac(const SymmetricKey& key,
+                std::span<const std::uint8_t> message) noexcept {
+  return MacContext(key).compute(message);
 }
 
 bool verify_mac(const SymmetricKey& key, std::span<const std::uint8_t> message,

@@ -34,7 +34,29 @@ struct Mac {
   friend constexpr auto operator<=>(const Mac&, const Mac&) = default;
 };
 
-/// Compute MAC_key(message): HMAC-SHA-256 truncated to 8 bytes.
+/// A keyed MAC context: the HMAC pad schedule is derived once at
+/// construction, so each compute()/verify() pays only the per-message
+/// compressions. Hot paths that MAC repeatedly under one key (edge keys,
+/// sensor keys) should hold one of these — the key caches in src/keys/
+/// hand them out. Immutable after construction.
+class MacContext {
+ public:
+  explicit MacContext(const SymmetricKey& key) noexcept : state_(key.span()) {}
+
+  /// MAC_key(message): HMAC-SHA-256 truncated to 8 bytes.
+  [[nodiscard]] Mac compute(std::span<const std::uint8_t> message) const noexcept;
+
+  [[nodiscard]] bool verify(std::span<const std::uint8_t> message,
+                            const Mac& tag) const noexcept {
+    return compute(message) == tag;
+  }
+
+ private:
+  HmacKeyState state_;
+};
+
+/// Compute MAC_key(message): HMAC-SHA-256 truncated to 8 bytes. One-shot
+/// wrapper over MacContext; prefer a cached MacContext when the key repeats.
 [[nodiscard]] Mac compute_mac(const SymmetricKey& key,
                               std::span<const std::uint8_t> message) noexcept;
 

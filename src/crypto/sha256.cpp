@@ -2,6 +2,11 @@
 
 #include <cstring>
 
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#define VMAT_SHA_NI_POSSIBLE 1
+#endif
+
 namespace vmat {
 namespace {
 
@@ -22,6 +27,68 @@ constexpr std::uint32_t rotr(std::uint32_t x, int n) noexcept {
   return (x >> n) | (x << (32 - n));
 }
 
+#ifdef VMAT_SHA_NI_POSSIBLE
+// Hardware compression via the SHA extensions, selected at runtime so the
+// binary still runs on CPUs without them. Same FIPS 180-4 function as the
+// scalar path below, bit for bit.
+__attribute__((target("sha,sse4.1,ssse3"))) void process_block_shani(
+    std::uint32_t h[8], const std::uint8_t* block) noexcept {
+  const __m128i kBswap =
+      _mm_set_epi64x(0x0c0d0e0f08090a0bLL, 0x0405060700010203LL);
+
+  // Repack {ABCD, EFGH} into the {ABEF, CDGH} layout sha256rnds2 wants.
+  __m128i tmp = _mm_loadu_si128(reinterpret_cast<const __m128i*>(&h[0]));
+  __m128i state1 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(&h[4]));
+  tmp = _mm_shuffle_epi32(tmp, 0xB1);
+  state1 = _mm_shuffle_epi32(state1, 0x1B);
+  __m128i state0 = _mm_alignr_epi8(tmp, state1, 8);
+  state1 = _mm_blend_epi16(state1, tmp, 0xF0);
+
+  const __m128i abef_save = state0;
+  const __m128i cdgh_save = state1;
+
+  __m128i w[4];
+  for (int i = 0; i < 4; ++i)
+    w[i] = _mm_shuffle_epi8(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(block + 16 * i)),
+        kBswap);
+
+  for (int i = 0; i < 16; ++i) {
+    if (i >= 4) {
+      // Message-schedule recurrence over four-word vectors: the slot being
+      // overwritten is W[4(i-4)..], and (i+1)&3, (i+2)&3, (i+3)&3 address
+      // the i-3, i-2, i-1 vectors.
+      w[i & 3] = _mm_sha256msg2_epu32(
+          _mm_add_epi32(_mm_sha256msg1_epu32(w[i & 3], w[(i + 1) & 3]),
+                        _mm_alignr_epi8(w[(i + 3) & 3], w[(i + 2) & 3], 4)),
+          w[(i + 3) & 3]);
+    }
+    const __m128i msg = _mm_add_epi32(
+        w[i & 3],
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(&kK[4 * i])));
+    state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+    state0 =
+        _mm_sha256rnds2_epu32(state0, state1, _mm_shuffle_epi32(msg, 0x0E));
+  }
+
+  state0 = _mm_add_epi32(state0, abef_save);
+  state1 = _mm_add_epi32(state1, cdgh_save);
+
+  // Back to word order.
+  tmp = _mm_shuffle_epi32(state0, 0x1B);
+  state1 = _mm_shuffle_epi32(state1, 0xB1);
+  state0 = _mm_blend_epi16(tmp, state1, 0xF0);
+  state1 = _mm_alignr_epi8(state1, tmp, 8);
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(&h[0]), state0);
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(&h[4]), state1);
+}
+
+bool shani_supported() noexcept {
+  return __builtin_cpu_supports("sha") && __builtin_cpu_supports("sse4.1") &&
+         __builtin_cpu_supports("ssse3");
+}
+#endif  // VMAT_SHA_NI_POSSIBLE
+
 }  // namespace
 
 Sha256::Sha256() noexcept {
@@ -31,7 +98,25 @@ Sha256::Sha256() noexcept {
   std::memcpy(h_, init, sizeof h_);
 }
 
+Sha256::Sha256(const Sha256Midstate& m) noexcept : length_(m.length) {
+  std::memcpy(h_, m.h.data(), sizeof h_);
+}
+
+Sha256Midstate Sha256::midstate() const noexcept {
+  Sha256Midstate m;
+  std::memcpy(m.h.data(), h_, sizeof h_);
+  m.length = length_;
+  return m;
+}
+
 void Sha256::process_block(const std::uint8_t* block) noexcept {
+#ifdef VMAT_SHA_NI_POSSIBLE
+  static const bool use_shani = shani_supported();
+  if (use_shani) {
+    process_block_shani(h_, block);
+    return;
+  }
+#endif
   std::uint32_t w[64];
   for (int i = 0; i < 16; ++i) {
     w[i] = (std::uint32_t{block[4 * i]} << 24) |
@@ -101,21 +186,24 @@ Sha256& Sha256::update(std::span<const std::uint8_t> data) noexcept {
 
 Digest Sha256::finish() noexcept {
   const std::uint64_t bit_length = length_ * 8;
-  static constexpr std::uint8_t pad_byte = 0x80;
-  update(std::span(&pad_byte, 1));
-  static constexpr std::uint8_t zero = 0x00;
-  while (buffered_ != 56) update(std::span(&zero, 1));
-  std::uint8_t len_bytes[8];
+  // Assemble the padding directly in the block buffer: 0x80, zeros up to
+  // offset 56 (mod 64), then the 8-byte big-endian bit length.
+  buffer_[buffered_] = 0x80;
+  if (buffered_ < 56) {
+    std::memset(buffer_ + buffered_ + 1, 0, 55 - buffered_);
+  } else {
+    std::memset(buffer_ + buffered_ + 1, 0, 63 - buffered_);
+    process_block(buffer_);
+    std::memset(buffer_, 0, 56);
+  }
   for (int i = 0; i < 8; ++i)
-    len_bytes[i] = static_cast<std::uint8_t>(bit_length >> (8 * (7 - i)));
-  update(len_bytes);
+    buffer_[56 + i] = static_cast<std::uint8_t>(bit_length >> (8 * (7 - i)));
+  process_block(buffer_);
 
   Digest out;
   for (int i = 0; i < 8; ++i) {
-    out[4 * i] = static_cast<std::uint8_t>(h_[i] >> 24);
-    out[4 * i + 1] = static_cast<std::uint8_t>(h_[i] >> 16);
-    out[4 * i + 2] = static_cast<std::uint8_t>(h_[i] >> 8);
-    out[4 * i + 3] = static_cast<std::uint8_t>(h_[i]);
+    const std::uint32_t be = __builtin_bswap32(h_[i]);
+    std::memcpy(out.data() + 4 * i, &be, 4);
   }
   return out;
 }

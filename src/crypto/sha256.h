@@ -13,13 +13,29 @@ namespace vmat {
 
 using Digest = std::array<std::uint8_t, 32>;
 
+/// Compression state captured at a 64-byte block boundary. Lets a caller
+/// pay for a fixed prefix (e.g. the HMAC ipad/opad block) once and resume
+/// from it for every message — the mechanism behind the cached MAC key
+/// schedules.
+struct Sha256Midstate {
+  std::array<std::uint32_t, 8> h{};
+  std::uint64_t length{0};  // bytes compressed so far; multiple of 64
+};
+
 /// Streaming SHA-256.
 class Sha256 {
  public:
   Sha256() noexcept;
 
+  /// Resume from a saved block-aligned state.
+  explicit Sha256(const Sha256Midstate& m) noexcept;
+
   Sha256& update(std::span<const std::uint8_t> data) noexcept;
   [[nodiscard]] Digest finish() noexcept;
+
+  /// Snapshot the compression state. Only valid at a block boundary (no
+  /// buffered partial block); the HMAC key-schedule is the intended caller.
+  [[nodiscard]] Sha256Midstate midstate() const noexcept;
 
   /// One-shot convenience.
   [[nodiscard]] static Digest hash(std::span<const std::uint8_t> data) noexcept;

@@ -14,4 +14,10 @@ SymmetricKey KeyPool::key(KeyIndex index) const {
   return derive_key("vmat.pool-key", seed_, index.value);
 }
 
+const MacContext& KeyPool::mac_context(KeyIndex index) const {
+  const auto it = contexts_.find(index.value);
+  if (it != contexts_.end()) return it->second;
+  return contexts_.emplace(index.value, MacContext(key(index))).first->second;
+}
+
 }  // namespace vmat

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <unordered_map>
 
 #include "crypto/mac.h"
 #include "util/ids.h"
@@ -24,9 +25,17 @@ class KeyPool {
   /// The pool key at a given index. Throws if index >= size().
   [[nodiscard]] SymmetricKey key(KeyIndex index) const;
 
+  /// Cached MAC schedule for a pool key: derives the key and its HMAC pad
+  /// midstates on first use, then hands out the same context, so repeated
+  /// MACs under one pool key skip both the key derivation hash and the pad
+  /// compressions. The cache is lazily mutated and NOT thread-safe; the
+  /// trial engine gives each concurrent trial its own KeyPool.
+  [[nodiscard]] const MacContext& mac_context(KeyIndex index) const;
+
  private:
   std::uint32_t size_;
   std::uint64_t seed_;
+  mutable std::unordered_map<std::uint32_t, MacContext> contexts_;
 };
 
 }  // namespace vmat

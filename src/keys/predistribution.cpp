@@ -97,4 +97,21 @@ SymmetricKey Predistribution::key_material(KeyIndex index) const {
   return derive_key("vmat.path-key", config_.seed, index.value);
 }
 
+const MacContext& Predistribution::mac_context(KeyIndex index) const {
+  if (!is_path_key(index)) return pool_.mac_context(index);
+  const auto it = path_contexts_.find(index.value);
+  if (it != path_contexts_.end()) return it->second;
+  return path_contexts_
+      .emplace(index.value, MacContext(key_material(index)))
+      .first->second;
+}
+
+const MacContext& Predistribution::sensor_mac_context(NodeId node) const {
+  const auto it = sensor_contexts_.find(node.value);
+  if (it != sensor_contexts_.end()) return it->second;
+  return sensor_contexts_
+      .emplace(node.value, MacContext(sensor_key(node)))
+      .first->second;
+}
+
 }  // namespace vmat

@@ -83,6 +83,16 @@ class Predistribution {
   /// Key material for any index (pool or path key).
   [[nodiscard]] SymmetricKey key_material(KeyIndex index) const;
 
+  /// Cached MAC schedule for any key index (pool or path key). The hot-path
+  /// counterpart of key_material(): first use derives the key and its HMAC
+  /// pad midstates, every later MAC under the same index skips both. Lazily
+  /// mutated; NOT thread-safe (each concurrent trial owns its Network).
+  [[nodiscard]] const MacContext& mac_context(KeyIndex index) const;
+
+  /// Cached MAC schedule for a sensor's base-station key — same contract as
+  /// mac_context() but keyed by sensor_key(node).
+  [[nodiscard]] const MacContext& sensor_mac_context(NodeId node) const;
+
  private:
   KeySetupConfig config_;
   KeyPool pool_;
@@ -90,6 +100,8 @@ class Predistribution {
   std::unordered_map<KeyIndex, std::vector<NodeId>> holders_;
   std::vector<std::vector<std::pair<NodeId, KeyIndex>>> path_keys_;  // by node
   std::uint32_t next_path_index_;
+  mutable std::unordered_map<std::uint32_t, MacContext> path_contexts_;
+  mutable std::unordered_map<std::uint32_t, MacContext> sensor_contexts_;
 };
 
 }  // namespace vmat

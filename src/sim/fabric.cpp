@@ -1,5 +1,7 @@
 #include "sim/fabric.h"
 
+#include <algorithm>
+#include <iterator>
 #include <stdexcept>
 #include <utility>
 
@@ -65,11 +67,20 @@ bool Fabric::send_as(NodeId actual_sender, Envelope envelope) {
 
 void Fabric::end_slot() {
   for (std::uint32_t id = 0; id < in_flight_.size(); ++id) {
-    for (auto& e : in_flight_[id]) {
-      bytes_received_[id] += frame_size(e);
-      inbox_[id].push_back(std::move(e));
+    auto& arriving = in_flight_[id];
+    if (!arriving.empty()) {
+      for (const auto& e : arriving) bytes_received_[id] += frame_size(e);
+      auto& box = inbox_[id];
+      if (box.empty()) {
+        // Wholesale handoff: no per-envelope moves, and the vector that
+        // swaps back keeps its capacity for the next slot.
+        box.swap(arriving);
+      } else {
+        box.reserve(box.size() + arriving.size());
+        std::move(arriving.begin(), arriving.end(), std::back_inserter(box));
+        arriving.clear();
+      }
     }
-    in_flight_[id].clear();
     sent_this_slot_[id] = 0;
   }
 }

@@ -1,5 +1,7 @@
 #include "sim/network.h"
 
+#include <algorithm>
+
 namespace vmat {
 
 Network::Network(Topology topology, const NetworkConfig& config)
@@ -19,6 +21,7 @@ std::size_t Network::rekey(const KeySetupConfig& fresh_keys) {
   revocation_ = RevocationRegistry(&keys_, theta);
   for (NodeId s : dead) (void)revocation_.revoke_sensor(s);
   fabric_.reset();
+  edge_key_cache_.clear();
   return dead.size();
 }
 
@@ -33,6 +36,7 @@ std::size_t Network::establish_path_keys() {
       ++established;
     }
   }
+  if (established > 0) edge_key_cache_.clear();
   return established;
 }
 
@@ -45,6 +49,20 @@ std::vector<NodeId> Network::usable_neighbors(NodeId node) const {
 }
 
 std::optional<KeyIndex> Network::usable_edge_key(NodeId a, NodeId b) const {
+  const std::uint64_t lo = std::min(a.value, b.value);
+  const std::uint64_t hi = std::max(a.value, b.value);
+  const std::uint64_t edge = (lo << 32) | hi;
+  const std::size_t revoked = revocation_.revoked_key_count();
+  const auto it = edge_key_cache_.find(edge);
+  if (it != edge_key_cache_.end() && it->second.revoked_count == revoked)
+    return it->second.key;
+  const auto key = compute_usable_edge_key(a, b);
+  edge_key_cache_[edge] = {key, revoked};
+  return key;
+}
+
+std::optional<KeyIndex> Network::compute_usable_edge_key(NodeId a,
+                                                         NodeId b) const {
   // The smallest *non-revoked* shared ring key: pairs fall back to their
   // next shared key when one is revoked, exactly as Eschenauer-Gligor
   // intends. An established path key serves as the last resort.
@@ -76,11 +94,11 @@ bool Network::send_secure(NodeId from, NodeId to, const Bytes& payload) {
   e.to = to;
   e.edge_key = *key_index;
   e.payload = payload;
-  e.edge_mac = compute_mac(keys_.key_material(*key_index), payload);
+  e.edge_mac = keys_.mac_context(*key_index).compute(payload);
   bool sent = false;
-  for (std::uint32_t copy = 0; copy < redundancy_; ++copy)
+  for (std::uint32_t copy = 1; copy < redundancy_; ++copy)
     sent = fabric_.send(e) || sent;
-  return sent;
+  return fabric_.send(std::move(e)) || sent;
 }
 
 std::size_t Network::broadcast_secure(NodeId from, const Bytes& payload) {
@@ -97,8 +115,7 @@ std::vector<Envelope> Network::receive_valid(NodeId node) {
     if (e.edge_key == kNoKey) continue;
     if (revocation_.is_key_revoked(e.edge_key)) continue;
     if (!keys_.node_holds(node, e.edge_key)) continue;
-    if (!verify_mac(keys_.key_material(e.edge_key), e.payload, e.edge_mac))
-      continue;
+    if (!keys_.mac_context(e.edge_key).verify(e.payload, e.edge_mac)) continue;
     valid.push_back(std::move(e));
   }
   return valid;

@@ -13,6 +13,7 @@
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <unordered_map>
 #include <vector>
 
 #include "keys/predistribution.h"
@@ -99,11 +100,29 @@ class Network {
   std::size_t rekey(const KeySetupConfig& fresh_keys);
 
  private:
+  /// Uncached ring merge behind usable_edge_key().
+  [[nodiscard]] std::optional<KeyIndex> compute_usable_edge_key(NodeId a,
+                                                                NodeId b) const;
+
   Topology topology_;
   Predistribution keys_;
   RevocationRegistry revocation_;
   Fabric fabric_;
   std::uint32_t redundancy_;
+
+  /// Per-edge cache of the usable_edge_key() ring merge. An entry is valid
+  /// while the registry's revoked-key count (monotone: keys are only ever
+  /// added) still matches the count recorded at fill time; any revocation
+  /// in between forces a recompute, since it may have burned the cached
+  /// key or changed the smallest-non-revoked answer. Cleared wholesale on
+  /// rekey() and establish_path_keys(), which change the key material
+  /// itself. Lazily mutated, hence not thread-safe — concurrent trials
+  /// each own their Network.
+  struct EdgeKeyEntry {
+    std::optional<KeyIndex> key;
+    std::size_t revoked_count;
+  };
+  mutable std::unordered_map<std::uint64_t, EdgeKeyEntry> edge_key_cache_;
 };
 
 }  // namespace vmat

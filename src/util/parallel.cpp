@@ -1,0 +1,123 @@
+#include "util/parallel.h"
+
+#include <cstdlib>
+#include <string>
+
+namespace vmat {
+
+std::size_t default_thread_count() {
+  if (const char* env = std::getenv("VMAT_THREADS")) {
+    char* end = nullptr;
+    const long v = std::strtol(env, &end, 10);
+    if (end != env && v >= 1) return static_cast<std::size_t>(v);
+    return 1;
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+std::uint64_t trial_seed(std::uint64_t base_seed,
+                         std::uint64_t trial_index) noexcept {
+  // One splitmix64 step over a stream-head that mixes the trial index in
+  // with the golden ratio, so adjacent trials land in unrelated streams.
+  std::uint64_t state = base_seed + 0x9e3779b97f4a7c15ULL * (trial_index + 1);
+  return splitmix64(state);
+}
+
+ThreadPool::ThreadPool(std::size_t threads)
+    : nominal_(threads == 0 ? default_thread_count() : threads) {
+  workers_.reserve(nominal_ - 1);
+  for (std::size_t i = 0; i + 1 < nominal_; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mu_);
+    shutting_down_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::worker_loop() {
+  std::uint64_t seen_generation = 0;
+  for (;;) {
+    {
+      std::unique_lock lock(mu_);
+      work_cv_.wait(lock, [&] {
+        return shutting_down_ || (job_ != nullptr && generation_ != seen_generation);
+      });
+      if (shutting_down_) return;
+      seen_generation = generation_;
+    }
+    drain_batch();
+  }
+}
+
+void ThreadPool::drain_batch() {
+  for (;;) {
+    const std::function<void(std::size_t)>* fn;
+    std::size_t index;
+    {
+      std::lock_guard lock(mu_);
+      if (job_ == nullptr || next_index_ >= job_n_) return;
+      fn = job_;
+      index = next_index_++;
+      ++in_flight_;
+    }
+    std::exception_ptr error;
+    try {
+      (*fn)(index);
+    } catch (...) {
+      error = std::current_exception();
+    }
+    {
+      std::lock_guard lock(mu_);
+      if (error && !first_error_) first_error_ = error;
+      if (--in_flight_ == 0 && next_index_ >= job_n_) done_cv_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::for_each(std::size_t n,
+                          const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  {
+    std::lock_guard lock(mu_);
+    job_ = &fn;
+    job_n_ = n;
+    next_index_ = 0;
+    in_flight_ = 0;
+    first_error_ = nullptr;
+    ++generation_;
+  }
+  work_cv_.notify_all();
+  drain_batch();  // the caller works too
+  std::exception_ptr error;
+  {
+    std::unique_lock lock(mu_);
+    done_cv_.wait(lock, [&] { return next_index_ >= job_n_ && in_flight_ == 0; });
+    job_ = nullptr;
+    error = first_error_;
+    first_error_ = nullptr;
+  }
+  if (error) std::rethrow_exception(error);
+}
+
+ThreadPool& ThreadPool::shared() {
+  static ThreadPool pool;
+  return pool;
+}
+
+void parallel_for_trials(std::size_t n_trials, std::uint64_t base_seed,
+                         const std::function<void(std::size_t, Rng&)>& fn,
+                         ThreadPool* pool) {
+  if (pool == nullptr) pool = &ThreadPool::shared();
+  pool->for_each(n_trials, [&](std::size_t trial) {
+    Rng rng(trial_seed(base_seed, trial));
+    fn(trial, rng);
+  });
+}
+
+}  // namespace vmat

@@ -1,0 +1,86 @@
+// Parallel Monte-Carlo trial engine.
+//
+// A small fixed-size thread pool plus parallel_for_trials(), the harness
+// every figure/table bench runs its trials through. The determinism
+// contract: each trial gets an independent RNG stream seeded purely from
+// (base_seed, trial_index) via trial_seed(), trials write results only
+// into per-trial slots, and aggregation happens serially in trial order
+// after the join — so results are bit-identical no matter how many threads
+// run (VMAT_THREADS=1 and VMAT_THREADS=32 print the same tables).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "util/random.h"
+
+namespace vmat {
+
+/// Worker-thread count the shared trial pool uses: the VMAT_THREADS
+/// environment variable if set (clamped to >= 1), otherwise
+/// std::thread::hardware_concurrency().
+[[nodiscard]] std::size_t default_thread_count();
+
+/// Deterministic per-trial seed derived from (base_seed, trial_index) only
+/// — never from scheduling — so trial t draws the same stream regardless of
+/// which thread runs it or how many trials run concurrently.
+[[nodiscard]] std::uint64_t trial_seed(std::uint64_t base_seed,
+                                       std::uint64_t trial_index) noexcept;
+
+/// Small fixed-size thread pool. `threads` is the nominal parallelism: the
+/// pool spawns threads-1 workers and the calling thread participates in
+/// every for_each(), so ThreadPool(1) executes strictly serially on the
+/// caller (useful under sanitizers and for debugging).
+class ThreadPool {
+ public:
+  explicit ThreadPool(std::size_t threads = 0);  // 0 -> default_thread_count()
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t thread_count() const noexcept { return nominal_; }
+
+  /// Run fn(index) for every index in [0, n), distributed dynamically over
+  /// the pool plus the calling thread, and wait for all of them. The first
+  /// exception thrown by any fn is rethrown here (remaining indices still
+  /// drain). Not reentrant: one for_each at a time per pool.
+  void for_each(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+  /// Process-wide pool for the trial engine, built lazily with
+  /// default_thread_count() threads.
+  [[nodiscard]] static ThreadPool& shared();
+
+ private:
+  void worker_loop();
+  /// Claim-and-run loop shared by workers and the caller.
+  void drain_batch();
+
+  std::size_t nominal_;
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  const std::function<void(std::size_t)>* job_{nullptr};
+  std::size_t job_n_{0};
+  std::size_t next_index_{0};
+  std::size_t in_flight_{0};
+  std::uint64_t generation_{0};
+  std::exception_ptr first_error_;
+  bool shutting_down_{false};
+};
+
+/// Run n_trials independent trials: fn(trial_index, rng) with rng seeded
+/// trial_seed(base_seed, trial_index). Uses ThreadPool::shared() unless a
+/// pool is supplied. See the header comment for the determinism contract.
+void parallel_for_trials(std::size_t n_trials, std::uint64_t base_seed,
+                         const std::function<void(std::size_t, Rng&)>& fn,
+                         ThreadPool* pool = nullptr);
+
+}  // namespace vmat

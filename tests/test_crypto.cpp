@@ -10,7 +10,9 @@
 #include "crypto/mac.h"
 #include "crypto/prf.h"
 #include "crypto/sha256.h"
+#include "keys/key_pool.h"
 #include "util/bytes.h"
+#include "util/random.h"
 
 namespace vmat {
 namespace {
@@ -82,6 +84,75 @@ TEST(Hmac, Rfc4231Case6LongKey) {
                 key, ascii("Test Using Larger Than Block-Size Key - Hash "
                            "Key First"))),
             "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54");
+}
+
+TEST(Hmac, KeyStateMatchesOneShot) {
+  // The cached ipad/opad midstates must reproduce hmac_sha256 exactly for
+  // every key-size regime (short, exactly one block, hashed-down long) and
+  // message lengths straddling block boundaries.
+  Rng rng(0x5eed);
+  for (const std::size_t key_len : {0u, 16u, 63u, 64u, 65u, 131u}) {
+    Bytes key(key_len);
+    for (auto& b : key) b = static_cast<std::uint8_t>(rng.below(256));
+    const HmacKeyState state(key);
+    for (const std::size_t msg_len : {0u, 1u, 55u, 56u, 63u, 64u, 65u, 1000u}) {
+      Bytes msg(msg_len);
+      for (auto& b : msg) b = static_cast<std::uint8_t>(rng.below(256));
+      EXPECT_EQ(state.mac(msg), hmac_sha256(key, msg))
+          << "key_len=" << key_len << " msg_len=" << msg_len;
+    }
+  }
+}
+
+TEST(Hmac, KeyStateIsReusable) {
+  const Bytes key(20, 0x0b);
+  const HmacKeyState state(key);
+  const Bytes msg = ascii("Hi There");
+  // Same state, repeated use: RFC 4231 case 1 every time.
+  for (int i = 0; i < 3; ++i)
+    EXPECT_EQ(to_hex(state.mac(msg)),
+              "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+}
+
+TEST(Mac, ContextMatchesOneShotForRandomKeys) {
+  Rng rng(0xc0ffee);
+  for (int i = 0; i < 50; ++i) {
+    SymmetricKey key;
+    for (auto& b : key.bytes) b = static_cast<std::uint8_t>(rng.below(256));
+    Bytes msg(rng.below(200));
+    for (auto& b : msg) b = static_cast<std::uint8_t>(rng.below(256));
+    const MacContext ctx(key);
+    EXPECT_EQ(ctx.compute(msg), compute_mac(key, msg)) << "i=" << i;
+  }
+}
+
+TEST(Mac, ContextVerifyAcceptsAndRejects) {
+  SymmetricKey key;
+  key.bytes.fill(7);
+  const Bytes msg = ascii("payload");
+  const MacContext ctx(key);
+  const Mac tag = ctx.compute(msg);
+  EXPECT_TRUE(ctx.verify(msg, tag));
+  EXPECT_TRUE(verify_mac(key, msg, tag));
+  Bytes tampered = msg;
+  tampered[0] ^= 1;
+  EXPECT_FALSE(ctx.verify(tampered, tag));
+  Mac wrong = tag;
+  wrong.bytes[0] ^= 1;
+  EXPECT_FALSE(ctx.verify(msg, wrong));
+}
+
+TEST(Mac, KeyPoolContextConsistent) {
+  const KeyPool pool(32, 99);
+  for (std::uint32_t i = 0; i < pool.size(); ++i) {
+    const KeyIndex index{i};
+    const Bytes msg = ascii("pool message");
+    // Cached context == fresh context from the derived key, and the cache
+    // hands back the same object on reuse.
+    EXPECT_EQ(pool.mac_context(index).compute(msg),
+              MacContext(pool.key(index)).compute(msg));
+    EXPECT_EQ(&pool.mac_context(index), &pool.mac_context(index));
+  }
 }
 
 TEST(Mac, TruncatesHmacPrefix) {

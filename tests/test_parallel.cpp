@@ -1,0 +1,116 @@
+// Trial-engine tests: the determinism contract (bit-identical per-trial
+// streams and aggregates for any thread count), seed derivation, pool
+// mechanics, and exception propagation.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "util/parallel.h"
+
+namespace vmat {
+namespace {
+
+constexpr std::size_t kTrials = 64;
+
+/// Run kTrials trials on the given pool, each drawing a few values from its
+/// engine-provided rng, and return the per-trial outputs.
+std::vector<std::uint64_t> run_trials(ThreadPool& pool,
+                                      std::uint64_t base_seed) {
+  std::vector<std::uint64_t> out(kTrials, 0);
+  parallel_for_trials(
+      kTrials, base_seed,
+      [&](std::size_t trial, Rng& rng) {
+        std::uint64_t acc = 0;
+        for (int i = 0; i < 16; ++i) acc = acc * 31 + rng.below(1'000'000);
+        out[trial] = acc;
+      },
+      &pool);
+  return out;
+}
+
+TEST(TrialSeed, DeterministicAndDistinct) {
+  EXPECT_EQ(trial_seed(7, 0), trial_seed(7, 0));
+  EXPECT_NE(trial_seed(7, 0), trial_seed(7, 1));
+  EXPECT_NE(trial_seed(7, 0), trial_seed(8, 0));
+  // Adjacent trials under adjacent bases must not collide either.
+  EXPECT_NE(trial_seed(7, 1), trial_seed(8, 0));
+}
+
+TEST(ThreadPool, BitIdenticalAcrossThreadCounts) {
+  ThreadPool serial(1);
+  ThreadPool two(2);
+  ThreadPool eight(8);
+
+  const auto a = run_trials(serial, 42);
+  const auto b = run_trials(two, 42);
+  const auto c = run_trials(eight, 42);
+
+  // Per-trial values identical, hence every aggregate identical.
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a, c);
+  const auto sum = [](const std::vector<std::uint64_t>& v) {
+    return std::accumulate(v.begin(), v.end(), std::uint64_t{0});
+  };
+  EXPECT_EQ(sum(a), sum(c));
+
+  // Different base seed -> different streams.
+  EXPECT_NE(a, run_trials(serial, 43));
+}
+
+TEST(ThreadPool, RepeatedRunsAreStable) {
+  ThreadPool pool(4);
+  const auto first = run_trials(pool, 9);
+  for (int rep = 0; rep < 5; ++rep) EXPECT_EQ(run_trials(pool, 9), first);
+}
+
+TEST(ThreadPool, CoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(257);
+  for (auto& h : hits) h.store(0);
+  pool.for_each(hits.size(),
+                [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (std::size_t i = 0; i < hits.size(); ++i)
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+}
+
+TEST(ThreadPool, ZeroTrialsIsANoop) {
+  ThreadPool pool(4);
+  bool called = false;
+  pool.for_each(0, [&](std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+  parallel_for_trials(0, 1, [&](std::size_t, Rng&) { called = true; }, &pool);
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPool, PropagatesExceptionsAndStaysUsable) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.for_each(32,
+                    [](std::size_t i) {
+                      if (i == 13) throw std::runtime_error("boom");
+                    }),
+      std::runtime_error);
+  // The pool must survive the failed batch.
+  std::atomic<int> done{0};
+  pool.for_each(32, [&](std::size_t) { done.fetch_add(1); });
+  EXPECT_EQ(done.load(), 32);
+}
+
+TEST(ThreadPool, SerialPoolRunsOnCaller) {
+  ThreadPool pool(1);
+  const auto caller = std::this_thread::get_id();
+  pool.for_each(8, [&](std::size_t) {
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+  });
+}
+
+TEST(DefaultThreadCount, AtLeastOne) {
+  EXPECT_GE(default_thread_count(), 1u);
+}
+
+}  // namespace
+}  // namespace vmat
