@@ -231,7 +231,7 @@ void timed_trials(TrialGroup& group, std::size_t n, std::uint64_t base_seed,
   group.trial_ms.assign(n, 0.0);
   parallel_for_trials(
       n, base_seed,
-      [&](std::size_t trial, Rng& rng) {
+      [&group, &fn](std::size_t trial, Rng& rng) {
         const auto start = std::chrono::steady_clock::now();
         fn(trial, rng);
         group.trial_ms[trial] =

@@ -1,5 +1,7 @@
 // Human-readable reporting for executions, revocation state, and
 // deployments — the observability layer the CLI and examples print from.
+// Together with util/stats, this is the sanctioned stdout sink for
+// library code (vmat-lint: stdout-in-src).
 #pragma once
 
 #include <string>

@@ -9,7 +9,7 @@ HmacKeyState::HmacKeyState(std::span<const std::uint8_t> key) noexcept {
   if (key.size() > 64) {
     const Digest d = Sha256::hash(key);
     std::memcpy(block_key, d.data(), d.size());
-  } else {
+  } else if (!key.empty()) {  // empty span may carry nullptr; memcpy(_, nullptr, 0) is UB
     std::memcpy(block_key, key.data(), key.size());
   }
 

@@ -161,6 +161,10 @@ void Sha256::process_block(const std::uint8_t* block) noexcept {
 }
 
 Sha256& Sha256::update(std::span<const std::uint8_t> data) noexcept {
+  // An empty span may carry data() == nullptr; memcpy(_, nullptr, 0) is
+  // undefined behaviour (UBSan: nonnull attribute), so return before any
+  // pointer arithmetic on data.data().
+  if (data.empty()) return *this;
   length_ += data.size();
   std::size_t offset = 0;
   if (buffered_ > 0) {

@@ -7,6 +7,13 @@
 // into per-trial slots, and aggregation happens serially in trial order
 // after the join — so results are bit-identical no matter how many threads
 // run (VMAT_THREADS=1 and VMAT_THREADS=32 print the same tables).
+//
+// Tooling backstops the contract: vmat-lint bans raw RNG engines outside
+// src/util/random.* (determinism-rng) and default [&]/[=] captures in
+// task lambdas handed to for_each()/parallel_for_trials()
+// (threadpool-ref-capture) — name every capture so shared state is
+// auditable. -DVMAT_SANITIZE=thread + `ctest -L tsan` race-checks the
+// pool itself.
 #pragma once
 
 #include <condition_variable>

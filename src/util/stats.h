@@ -1,5 +1,9 @@
 // Small statistics helpers used by the benchmark harnesses and the
 // statistical property tests (Figure 7 / Figure 8 reproduction).
+//
+// Together with core/report, this is the sanctioned stdout sink for
+// library code: vmat-lint's stdout-in-src rule bans direct std::cout /
+// printf everywhere else under src/.
 #pragma once
 
 #include <cstddef>

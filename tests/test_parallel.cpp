@@ -23,7 +23,7 @@ std::vector<std::uint64_t> run_trials(ThreadPool& pool,
   std::vector<std::uint64_t> out(kTrials, 0);
   parallel_for_trials(
       kTrials, base_seed,
-      [&](std::size_t trial, Rng& rng) {
+      [&out](std::size_t trial, Rng& rng) {
         std::uint64_t acc = 0;
         for (int i = 0; i < 16; ++i) acc = acc * 31 + rng.below(1'000'000);
         out[trial] = acc;
@@ -72,7 +72,7 @@ TEST(ThreadPool, CoversEveryIndexExactlyOnce) {
   std::vector<std::atomic<int>> hits(257);
   for (auto& h : hits) h.store(0);
   pool.for_each(hits.size(),
-                [&](std::size_t i) { hits[i].fetch_add(1); });
+                [&hits](std::size_t i) { hits[i].fetch_add(1); });
   for (std::size_t i = 0; i < hits.size(); ++i)
     EXPECT_EQ(hits[i].load(), 1) << "index " << i;
 }
@@ -80,9 +80,10 @@ TEST(ThreadPool, CoversEveryIndexExactlyOnce) {
 TEST(ThreadPool, ZeroTrialsIsANoop) {
   ThreadPool pool(4);
   bool called = false;
-  pool.for_each(0, [&](std::size_t) { called = true; });
+  pool.for_each(0, [&called](std::size_t) { called = true; });
   EXPECT_FALSE(called);
-  parallel_for_trials(0, 1, [&](std::size_t, Rng&) { called = true; }, &pool);
+  parallel_for_trials(0, 1, [&called](std::size_t, Rng&) { called = true; },
+                      &pool);
   EXPECT_FALSE(called);
 }
 
@@ -96,14 +97,14 @@ TEST(ThreadPool, PropagatesExceptionsAndStaysUsable) {
       std::runtime_error);
   // The pool must survive the failed batch.
   std::atomic<int> done{0};
-  pool.for_each(32, [&](std::size_t) { done.fetch_add(1); });
+  pool.for_each(32, [&done](std::size_t) { done.fetch_add(1); });
   EXPECT_EQ(done.load(), 32);
 }
 
 TEST(ThreadPool, SerialPoolRunsOnCaller) {
   ThreadPool pool(1);
   const auto caller = std::this_thread::get_id();
-  pool.for_each(8, [&](std::size_t) {
+  pool.for_each(8, [&caller](std::size_t) {
     EXPECT_EQ(std::this_thread::get_id(), caller);
   });
 }

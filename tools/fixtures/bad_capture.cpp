@@ -1,0 +1,22 @@
+// Fixture: default captures in ThreadPool task lambdas hide shared
+// mutable state from review.
+#include <cstdint>
+#include <vector>
+
+#include "util/parallel.h"
+
+namespace vmat_fixture {
+
+inline void hammer(vmat::ThreadPool& pool, std::vector<std::uint64_t>& out) {
+  pool.for_each(out.size(),
+                [&](std::size_t i) {  // threadpool-ref-capture (line 11)
+                  out[i] = i;
+                });
+  vmat::parallel_for_trials(
+      out.size(), 3,
+      [=](std::size_t, vmat::Rng&) {  // threadpool-ref-capture (line 15)
+      },
+      &pool);
+}
+
+}  // namespace vmat_fixture

@@ -1,0 +1,21 @@
+// Fixture: MAC verification results discarded — a message accepted
+// without a checked MAC.
+#include <cstdint>
+#include <span>
+
+#include "crypto/mac.h"
+
+namespace vmat_fixture {
+
+inline void accept(const vmat::MacContext& ctx,
+                   std::span<const std::uint8_t> msg, const vmat::Mac& tag) {
+  ctx.verify(msg, tag);               // mac-verify-discarded (line 12)
+}
+
+inline void accept_oneshot(const vmat::SymmetricKey& key,
+                           std::span<const std::uint8_t> msg,
+                           const vmat::Mac& tag) {
+  verify_mac(key, msg, tag);          // mac-verify-discarded (line 18)
+}
+
+}  // namespace vmat_fixture

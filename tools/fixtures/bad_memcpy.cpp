@@ -1,0 +1,20 @@
+// Fixture: raw memcpy on key material outside src/crypto/ and
+// src/util/bytes.*.
+#include <cstdint>
+#include <cstring>
+
+namespace vmat_fixture {
+
+struct Wire {
+  std::uint8_t payload[16];
+};
+
+inline void leak_key(Wire& w, const std::uint8_t* key_bytes) {
+  std::memcpy(w.payload, key_bytes, sizeof w.payload);  // key-memcpy (line 13)
+}
+
+inline void copy_plain(Wire& w, const std::uint8_t* body) {
+  std::memcpy(w.payload, body, sizeof w.payload);  // fine: not key material
+}
+
+}  // namespace vmat_fixture

@@ -1,0 +1,22 @@
+// Fixture: raw RNG engines outside src/util/random.* — breaks the
+// (base_seed, trial_index) determinism contract.
+#include <cstdlib>
+#include <random>
+
+namespace vmat_fixture {
+
+inline int roll_engine() {
+  std::mt19937 gen(12345);            // determinism-rng (line 9)
+  return static_cast<int>(gen());
+}
+
+inline int roll_device() {
+  std::random_device rd;              // determinism-rng (line 14)
+  return static_cast<int>(rd());
+}
+
+inline int roll_libc() {
+  return rand() % 6;                  // determinism-rng (line 19)
+}
+
+}  // namespace vmat_fixture

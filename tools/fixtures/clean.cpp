@@ -1,0 +1,22 @@
+// Fixture: a file that trips no vmat-lint rule. Mentions of mt19937 and
+// std::cout inside comments and strings must be ignored by the stripper.
+#include <cstdint>
+#include <vector>
+
+#include "util/parallel.h"
+#include "util/random.h"
+
+namespace vmat_fixture {
+
+const char* kBanner = "std::mt19937 rand() std::cout memcpy(key, src, n)";
+
+inline std::uint64_t draw(vmat::Rng& rng) { return rng.below(100); }
+
+inline void trials(vmat::ThreadPool& pool, std::vector<std::uint64_t>& out) {
+  vmat::parallel_for_trials(
+      out.size(), 7,
+      [&out](std::size_t trial, vmat::Rng& rng) { out[trial] = draw(rng); },
+      &pool);
+}
+
+}  // namespace vmat_fixture

@@ -1,0 +1,34 @@
+// Fixture: value-returning crypto APIs missing [[nodiscard]] (this file's
+// fixture path contains a `crypto` component, which is what the rule keys
+// on).
+#pragma once
+
+#include <cstdint>
+
+namespace vmat_fixture {
+
+class Verifier {
+ public:
+  explicit Verifier(std::uint64_t key) noexcept : key_(key) {}
+
+  bool verify(std::uint64_t tag) const noexcept {  // missing-nodiscard (14)
+    return tag == key_;
+  }
+
+  [[nodiscard]] std::uint64_t key() const noexcept { return key_; }
+
+  void reset(std::uint64_t key) noexcept { key_ = key; }  // fine: void
+
+  std::uint64_t bump() noexcept { return ++key_; }  // fine: mutator
+
+ private:
+  std::uint64_t key_;
+};
+
+std::uint64_t derive_subkey(std::uint64_t key,
+                            std::uint64_t index) noexcept;  // missing (28)
+
+[[nodiscard]] std::uint64_t derive_epoch_key(std::uint64_t key,
+                                             std::uint64_t epoch) noexcept;
+
+}  // namespace vmat_fixture

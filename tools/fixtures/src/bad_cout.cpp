@@ -1,0 +1,15 @@
+// Fixture: direct stdout inside src/ (this file's fixture path contains a
+// `src` component, which is what the rule keys on).
+#include <cstdio>
+#include <iostream>
+
+namespace vmat_fixture {
+
+inline void narrate(int rounds) {
+  std::cout << "rounds=" << rounds << "\n";  // stdout-in-src (line 9)
+  printf("rounds=%d\n", rounds);             // stdout-in-src (line 10)
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%d", rounds);  // fine: buffer formatting
+}
+
+}  // namespace vmat_fixture

@@ -1,0 +1,34 @@
+// Fixture: every violation here carries a vmat-lint suppression, so the
+// file must lint clean. Exercises same-line, previous-line, and file-level
+// suppression syntax.
+//
+// vmat-lint: allow-file(key-memcpy)
+#include <cstdlib>
+#include <cstring>
+#include <random>
+
+#include "util/parallel.h"
+
+namespace vmat_fixture {
+
+inline int legacy_roll() {
+  std::mt19937 gen(1);  // vmat-lint: allow(determinism-rng)
+  return static_cast<int>(gen() % 6);
+}
+
+inline int legacy_roll_libc() {
+  // vmat-lint: allow(determinism-rng)
+  return rand() % 6;
+}
+
+inline void copy_key(std::uint8_t* dst, const std::uint8_t* key_bytes) {
+  std::memcpy(dst, key_bytes, 16);  // allowed file-wide above
+}
+
+inline void hammer(vmat::ThreadPool& pool, std::uint64_t* out,
+                   std::size_t n) {
+  // vmat-lint: allow(threadpool-ref-capture)
+  pool.for_each(n, [&](std::size_t i) { out[i] = i; });
+}
+
+}  // namespace vmat_fixture

@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Minimal run-clang-tidy: drive clang-tidy over the repo's compilation
+database, restricted to first-party sources, with a parallel worker pool.
+
+Used by the `tidy` build target and the `vmat_tidy` ctest (label: lint).
+Kept dependency-free so it runs on any python3 without LLVM's own
+run-clang-tidy being installed.
+
+Exit status: 0 clean, 1 diagnostics emitted, 2 usage/setup error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import concurrent.futures
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+
+def main(argv: list[str]) -> int:
+    ap = argparse.ArgumentParser(prog="run_clang_tidy")
+    ap.add_argument("paths", nargs="*",
+                    help="source roots relative to --root "
+                         "(default: src bench tests)")
+    ap.add_argument("--clang-tidy", default="clang-tidy",
+                    help="clang-tidy executable")
+    ap.add_argument("-p", dest="build_dir", required=True,
+                    help="build directory containing compile_commands.json")
+    ap.add_argument("--root", default=".", help="repository root")
+    ap.add_argument("-j", dest="jobs", type=int,
+                    default=os.cpu_count() or 1)
+    args = ap.parse_args(argv)
+
+    root = Path(args.root).resolve()
+    db_path = Path(args.build_dir) / "compile_commands.json"
+    if not db_path.is_file():
+        print(f"run_clang_tidy: no compilation database at {db_path} "
+              "(configure with CMAKE_EXPORT_COMPILE_COMMANDS=ON)",
+              file=sys.stderr)
+        return 2
+
+    roots = [(root / p).resolve() for p in (args.paths or
+                                            ["src", "bench", "tests"])]
+    entries = json.loads(db_path.read_text())
+    files = sorted({
+        str(Path(e["directory"], e["file"]).resolve())
+        for e in entries
+        if any(str(Path(e["directory"], e["file"]).resolve())
+               .startswith(str(r) + os.sep) for r in roots)
+    })
+    if not files:
+        print("run_clang_tidy: no first-party files in the database",
+              file=sys.stderr)
+        return 2
+
+    failed = []
+
+    def run_one(path: str) -> tuple[str, int, str]:
+        proc = subprocess.run(
+            [args.clang_tidy, "-p", args.build_dir, "--quiet", path],
+            capture_output=True, text=True)
+        return path, proc.returncode, proc.stdout + proc.stderr
+
+    with concurrent.futures.ThreadPoolExecutor(max_workers=args.jobs) as ex:
+        for path, code, output in ex.map(run_one, files):
+            # clang-tidy exits non-zero on errors; warnings-as-errors from
+            # .clang-tidy promote every finding.
+            diagnostics = [ln for ln in output.splitlines()
+                           if ": warning:" in ln or ": error:" in ln]
+            if code != 0 or diagnostics:
+                failed.append(path)
+                sys.stdout.write(output)
+
+    if failed:
+        print(f"run_clang_tidy: {len(failed)}/{len(files)} file(s) with "
+              "diagnostics", file=sys.stderr)
+        return 1
+    print(f"run_clang_tidy: {len(files)} file(s) clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -1,0 +1,504 @@
+#!/usr/bin/env python3
+"""vmat-lint: protocol-invariant linter for the VMAT codebase.
+
+VMAT's security argument only holds if every implementation path preserves
+a handful of mechanical invariants. This linter enforces the ones that are
+checkable from source text, as named, individually suppressible rules:
+
+  determinism-rng        All randomness flows through vmat::Rng seeded via
+                         trial_seed(). Raw std::mt19937 / rand() / &c.
+                         outside src/util/random.* silently breaks the
+                         bit-identical-across-thread-counts contract.
+  mac-verify-discarded   A MAC verification whose result is discarded is a
+                         message accepted without a verified MAC. The
+                         [[nodiscard]] attributes catch this at compile
+                         time; this rule catches it in un-compiled paths
+                         and fixture code.
+  missing-nodiscard      Value-returning crypto/keys APIs must be
+                         [[nodiscard]] so the compiler enforces the rule
+                         above everywhere.
+  key-memcpy             Raw memcpy on key material outside src/crypto/
+                         and src/util/bytes.* bypasses the canonical
+                         encoders and the constant-pattern helpers.
+  threadpool-ref-capture Task lambdas handed to ThreadPool::for_each /
+                         parallel_for_trials must name every capture
+                         explicitly ([&] / [=] defaults are banned), so
+                         shared mutable state is visible in review and the
+                         per-trial-slot discipline is auditable.
+  stdout-in-src          No direct std::cout / printf in src/ — output
+                         goes through core/report or util/stats, which the
+                         trial engine serialises.
+
+Suppression syntax (checked per rule name, or `*` for all):
+
+  some_call();  // vmat-lint: allow(rule-name)       -- this line
+  // vmat-lint: allow(rule-name)                     -- or the line above
+  // vmat-lint: allow-file(rule-name)                -- whole file
+
+Exit status: 0 clean, 1 violations found, 2 usage/internal error.
+Output format: path:line: [rule-name] message
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+CXX_SUFFIXES = {".cpp", ".cc", ".cxx", ".h", ".hpp", ".inl"}
+
+ALLOW_RE = re.compile(r"vmat-lint:\s*allow\(([^)]*)\)")
+ALLOW_FILE_RE = re.compile(r"vmat-lint:\s*allow-file\(([^)]*)\)")
+
+
+class Violation:
+    __slots__ = ("path", "line", "rule", "message")
+
+    def __init__(self, path: str, line: int, rule: str, message: str):
+        self.path = path
+        self.line = line
+        self.rule = rule
+        self.message = message
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+class SourceFile:
+    """A parsed source file: raw lines, comment-and-string-stripped lines
+    (for rule matching), and per-line / per-file suppression sets."""
+
+    def __init__(self, path: Path, rel: str):
+        self.path = path
+        self.rel = rel  # repo-relative, forward slashes
+        text = path.read_text(encoding="utf-8", errors="replace")
+        self.raw_lines = text.split("\n")
+        code, comments = _strip(text)
+        self.code_lines = code.split("\n")
+        self.comment_lines = comments.split("\n")
+        self.file_allows: set[str] = set()
+        self.line_allows: dict[int, set[str]] = {}
+        for i, comment in enumerate(self.comment_lines, start=1):
+            for m in ALLOW_FILE_RE.finditer(comment):
+                self.file_allows.update(_rule_list(m.group(1)))
+            for m in ALLOW_RE.finditer(comment):
+                self.line_allows.setdefault(i, set()).update(
+                    _rule_list(m.group(1)))
+
+    def allowed(self, rule: str, line: int) -> bool:
+        if self.file_allows & {rule, "*"}:
+            return True
+        for candidate in (line, line - 1):
+            if self.line_allows.get(candidate, set()) & {rule, "*"}:
+                return True
+        return False
+
+    def in_dir(self, *segments: str) -> bool:
+        """True if any of `segments` appears as a path component of rel."""
+        parts = self.rel.split("/")
+        return any(s in parts for s in segments)
+
+    def basename(self) -> str:
+        return self.rel.rsplit("/", 1)[-1]
+
+
+def _rule_list(spec: str) -> list[str]:
+    return [r.strip() for r in spec.split(",") if r.strip()]
+
+
+def _strip(text: str):
+    """Split `text` into (code, comments): two equal-shape strings where
+    comment bodies / string-literal bodies are blanked in `code`, and
+    everything except comment text is blanked in `comments`. Newlines are
+    preserved in both so line numbers survive."""
+    code = []
+    comments = []
+    i, n = 0, len(text)
+    NORMAL, LINE_COMMENT, BLOCK_COMMENT, STRING, CHAR, RAW = range(6)
+    state = NORMAL
+    raw_terminator = ""
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if state == NORMAL:
+            if c == "/" and nxt == "/":
+                state = LINE_COMMENT
+                code.append("  ")
+                comments.append("  ")
+                i += 2
+                continue
+            if c == "/" and nxt == "*":
+                state = BLOCK_COMMENT
+                code.append("  ")
+                comments.append("  ")
+                i += 2
+                continue
+            if c == "R" and nxt == '"':
+                m = re.match(r'R"([^(\s]*)\(', text[i:])
+                if m:
+                    state = RAW
+                    raw_terminator = ")" + m.group(1) + '"'
+                    code.append(" " * len(m.group(0)))
+                    comments.append(" " * len(m.group(0)))
+                    i += len(m.group(0))
+                    continue
+            if c == '"':
+                state = STRING
+                code.append(c)
+                comments.append(" ")
+                i += 1
+                continue
+            if c == "'":
+                state = CHAR
+                code.append(c)
+                comments.append(" ")
+                i += 1
+                continue
+            code.append(c)
+            comments.append(c if c == "\n" else " ")
+            i += 1
+        elif state == LINE_COMMENT:
+            if c == "\n":
+                state = NORMAL
+                code.append("\n")
+                comments.append("\n")
+            else:
+                code.append(" ")
+                comments.append(c)
+            i += 1
+        elif state == BLOCK_COMMENT:
+            if c == "*" and nxt == "/":
+                state = NORMAL
+                code.append("  ")
+                comments.append("  ")
+                i += 2
+            else:
+                code.append("\n" if c == "\n" else " ")
+                comments.append(c)
+                i += 1
+        elif state in (STRING, CHAR):
+            quote = '"' if state == STRING else "'"
+            if c == "\\" and nxt:
+                code.append("  ")
+                comments.append("  ")
+                i += 2
+            elif c == quote:
+                state = NORMAL
+                code.append(c)
+                comments.append(" ")
+                i += 1
+            elif c == "\n":  # unterminated; bail to NORMAL
+                state = NORMAL
+                code.append("\n")
+                comments.append("\n")
+                i += 1
+            else:
+                code.append(" ")
+                comments.append(" ")
+                i += 1
+        elif state == RAW:
+            if text.startswith(raw_terminator, i):
+                state = NORMAL
+                code.append(" " * len(raw_terminator))
+                comments.append(" " * len(raw_terminator))
+                i += len(raw_terminator)
+            else:
+                code.append("\n" if c == "\n" else " ")
+                comments.append("\n" if c == "\n" else " ")
+                i += 1
+    return "".join(code), "".join(comments)
+
+
+def _balanced_span(text: str, open_pos: int) -> int:
+    """Index just past the parenthesis group opening at text[open_pos]
+    (which must be '('), or -1 if unbalanced."""
+    depth = 0
+    for j in range(open_pos, len(text)):
+        if text[j] == "(":
+            depth += 1
+        elif text[j] == ")":
+            depth -= 1
+            if depth == 0:
+                return j + 1
+    return -1
+
+
+# --------------------------------------------------------------------------
+# Rules. Each rule is a function (SourceFile, report) -> None where report
+# is called as report(line_number, message).
+# --------------------------------------------------------------------------
+
+RNG_RE = re.compile(
+    r"\bstd::(mt19937(?:_64)?|minstd_rand0?|default_random_engine|"
+    r"random_device|ranlux\w+|knuth_b)\b"
+    r"|(?<!\w)(mt19937(?:_64)?|random_device)\b"
+    r"|(?<!\w)(s?rand|drand48|lrand48|mrand48)\s*\(")
+
+
+def rule_determinism_rng(src: SourceFile, report) -> None:
+    if src.basename().startswith("random.") and src.in_dir("util"):
+        return  # src/util/random.* is the one sanctioned implementation
+    for i, line in enumerate(src.code_lines, start=1):
+        if RNG_RE.search(line):
+            report(i, "raw RNG engine/source outside src/util/random.*; "
+                      "draw from vmat::Rng seeded via trial_seed() instead")
+
+
+VERIFY_CALL_RE = re.compile(
+    r"^\s*(?:[A-Za-z_]\w*(?:\.|->|::))*"
+    r"(verify|verify_mac|verify_chain|compute|compute_mac|hmac_sha256|mac)"
+    r"\s*\(")
+STMT_END_RE = re.compile(r"[;{}]\s*$|^\s*$")
+CONTROL_TAIL_RE = re.compile(r"^\s*(if|while|for|else|switch|case|do)\b")
+
+
+def rule_mac_verify_discarded(src: SourceFile, report) -> None:
+    lines = src.code_lines
+    for i, line in enumerate(lines, start=1):
+        m = VERIFY_CALL_RE.match(line)
+        if not m:
+            continue
+        # Must be the start of a statement: previous non-blank code line
+        # ends a statement/block, or opens a control body.
+        prev = ""
+        for j in range(i - 2, -1, -1):
+            if lines[j].strip():
+                prev = lines[j]
+                break
+        if prev and not (STMT_END_RE.search(prev)
+                         or (prev.rstrip().endswith(")")
+                             and CONTROL_TAIL_RE.match(prev))):
+            continue
+        # The whole statement must be just the call: find the call's
+        # closing paren (possibly lines below) and require `;` after it.
+        flat = "\n".join(lines[i - 1:min(i + 9, len(lines))])
+        open_pos = flat.index("(", flat.index(m.group(1)))
+        end = _balanced_span(flat, open_pos)
+        if end < 0:
+            continue
+        tail = flat[end:].lstrip()
+        if tail.startswith(";"):
+            report(i, f"result of {m.group(1)}() is discarded — every "
+                      "accepted message must have a *checked* MAC")
+
+
+DECL_RE = re.compile(
+    r"^((?:\[\[[\w:,\s]+\]\]\s*)*)"
+    r"((?:(?:static|constexpr|explicit|inline|friend|virtual)\s+)*)"
+    r"((?:const\s+)?[A-Za-z_][\w]*(?:::[\w]+)*(?:<[^;(){}]*>)?"
+    r"(?:\s*[&*])*)\s+"
+    r"([A-Za-z_]\w*)\s*\(")
+DECL_SKIP_NAMES = {"if", "while", "for", "switch", "return", "sizeof",
+                   "static_assert", "decltype", "alignas", "alignof",
+                   "defined", "catch", "operator"}
+
+
+def rule_missing_nodiscard(src: SourceFile, report) -> None:
+    if not src.in_dir("crypto", "keys"):
+        return
+    if not src.basename().endswith((".h", ".hpp")):
+        return
+    lines = src.code_lines
+    for i, line in enumerate(lines, start=1):
+        m = DECL_RE.match(line.lstrip())
+        if not m:
+            continue
+        attrs, mods, ret, name = (m.group(1) or ""), (m.group(2) or ""), \
+            m.group(3).strip(), m.group(4)
+        if name in DECL_SKIP_NAMES or "operator" in line:
+            continue
+        if "friend" in mods:
+            continue
+        if ret in ("void", "const void") or ret.rstrip("&* ") == "void":
+            continue
+        # Look back one line for an attribute that wrapped.
+        back = lines[i - 2].strip() if i >= 2 else ""
+        if "[[nodiscard]]" in attrs or "[[nodiscard]]" in line \
+                or back.endswith("[[nodiscard]]"):
+            continue
+        indent = len(line) - len(line.lstrip())
+        is_member = indent > 0
+        # For members, only const-qualified (observer) functions are
+        # required; mutators returning values (e.g. registration handles)
+        # may legitimately be called for effect. Free functions and static
+        # members in crypto/keys are pure by construction here.
+        if is_member and "static" not in mods:
+            flat = "\n".join(lines[i - 1:min(i + 9, len(lines))])
+            open_pos = flat.index("(", flat.index(name))
+            end = _balanced_span(flat, open_pos)
+            if end < 0:
+                continue
+            tail = flat[end:]
+            tail = tail.split(";", 1)[0].split("{", 1)[0]
+            if not re.search(r"\bconst\b", tail):
+                continue
+        report(i, f"value-returning crypto/keys API `{name}` must be "
+                  "[[nodiscard]] so discarded MAC checks fail the build")
+
+
+MEMCPY_RE = re.compile(r"(?<!\w)(?:std::)?memcpy\s*\(")
+KEY_ARG_RE = re.compile(r"(?i)\b\w*(key|secret|seed|ring|pad)\w*\b")
+
+
+def rule_key_memcpy(src: SourceFile, report) -> None:
+    if src.in_dir("crypto"):
+        return
+    if src.basename().startswith("bytes.") and src.in_dir("util"):
+        return
+    lines = src.code_lines
+    for i, line in enumerate(lines, start=1):
+        m = MEMCPY_RE.search(line)
+        if not m:
+            continue
+        flat = "\n".join(lines[i - 1:min(i + 4, len(lines))])
+        open_pos = flat.index("(", flat.index("memcpy"))
+        end = _balanced_span(flat, open_pos)
+        args = flat[open_pos:end if end > 0 else len(flat)]
+        if KEY_ARG_RE.search(args):
+            report(i, "raw memcpy on key material outside src/crypto/ and "
+                      "src/util/bytes.*; use the canonical ByteWriter/"
+                      "SymmetricKey copy paths")
+
+
+POOL_CALL_RE = re.compile(
+    r"(?:(?:\.|->)for_each|(?<!\w)parallel_for_trials)\s*\(")
+DEFAULT_CAPTURE_RE = re.compile(r"^\s*([&=])\s*(?:,|\])")
+
+
+def rule_threadpool_ref_capture(src: SourceFile, report) -> None:
+    if src.basename().startswith("parallel.") and src.in_dir("util"):
+        return  # the engine itself wraps the user lambda
+    lines = src.code_lines
+    for i, line in enumerate(lines, start=1):
+        m = POOL_CALL_RE.search(line)
+        if not m:
+            continue
+        flat = "\n".join(lines[i - 1:min(i + 9, len(lines))])
+        pos = flat.find("[", m.end())
+        if pos < 0:
+            continue
+        capture = flat[pos + 1:]
+        if DEFAULT_CAPTURE_RE.match(capture):
+            report(i, "default capture ([&] / [=]) in a ThreadPool task "
+                      "lambda; name every captured object so shared "
+                      "mutable state is auditable")
+
+
+STDOUT_RE = re.compile(r"\bstd::cout\b|(?<!\w)printf\s*\(")
+
+
+def rule_stdout_in_src(src: SourceFile, report) -> None:
+    if not src.in_dir("src"):
+        return
+    base = src.basename()
+    if src.in_dir("util") and base.startswith("stats."):
+        return  # the sanctioned table/stats printer
+    if src.in_dir("core") and base.startswith("report."):
+        return  # the sanctioned report sink
+    for i, line in enumerate(src.code_lines, start=1):
+        if STDOUT_RE.search(line):
+            report(i, "direct stdout in src/; route output through "
+                      "core/report or util/stats so the trial engine can "
+                      "serialise it")
+
+
+RULES = {
+    "determinism-rng": rule_determinism_rng,
+    "mac-verify-discarded": rule_mac_verify_discarded,
+    "missing-nodiscard": rule_missing_nodiscard,
+    "key-memcpy": rule_key_memcpy,
+    "threadpool-ref-capture": rule_threadpool_ref_capture,
+    "stdout-in-src": rule_stdout_in_src,
+}
+
+
+def lint_file(src: SourceFile, only: set[str] | None) -> list[Violation]:
+    out: list[Violation] = []
+    for rule_name, fn in RULES.items():
+        if only and rule_name not in only:
+            continue
+
+        def report(line: int, message: str, _rule=rule_name) -> None:
+            if not src.allowed(_rule, line):
+                out.append(Violation(src.rel, line, _rule, message))
+
+        fn(src, report)
+    return out
+
+
+def collect(root: Path, paths: list[str]) -> list[SourceFile]:
+    files: list[SourceFile] = []
+    seen: set[Path] = set()
+    for spec in paths:
+        p = (root / spec) if not Path(spec).is_absolute() else Path(spec)
+        if p.is_file():
+            candidates = [p]
+        elif p.is_dir():
+            candidates = sorted(q for q in p.rglob("*")
+                                if q.suffix in CXX_SUFFIXES and q.is_file())
+        else:
+            print(f"vmat-lint: no such path: {spec}", file=sys.stderr)
+            sys.exit(2)
+        for q in candidates:
+            q = q.resolve()
+            if q in seen:
+                continue
+            seen.add(q)
+            try:
+                rel = q.relative_to(root.resolve()).as_posix()
+            except ValueError:
+                rel = q.as_posix()
+            files.append(SourceFile(q, rel))
+    return files
+
+
+def main(argv: list[str]) -> int:
+    ap = argparse.ArgumentParser(
+        prog="vmat-lint",
+        description="Protocol-invariant linter for the VMAT codebase.")
+    ap.add_argument("paths", nargs="*", default=None,
+                    help="files or directories relative to --root "
+                         "(default: src bench tests)")
+    ap.add_argument("--root", default=".",
+                    help="repository root (default: cwd)")
+    ap.add_argument("--rule", action="append", default=[],
+                    help="run only this rule (repeatable)")
+    ap.add_argument("--list-rules", action="store_true",
+                    help="print rule names and exit")
+    args = ap.parse_args(argv)
+
+    if args.list_rules:
+        for name in RULES:
+            print(name)
+        return 0
+
+    only = set(args.rule)
+    unknown = only - set(RULES)
+    if unknown:
+        print(f"vmat-lint: unknown rule(s): {', '.join(sorted(unknown))}",
+              file=sys.stderr)
+        return 2
+
+    root = Path(args.root)
+    if not root.is_dir():
+        print(f"vmat-lint: --root is not a directory: {root}",
+              file=sys.stderr)
+        return 2
+    paths = args.paths or ["src", "bench", "tests"]
+
+    violations: list[Violation] = []
+    for src in collect(root, paths):
+        violations.extend(lint_file(src, only or None))
+
+    violations.sort(key=lambda v: (v.path, v.line, v.rule))
+    for v in violations:
+        print(v)
+    if violations:
+        print(f"vmat-lint: {len(violations)} violation(s)", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
