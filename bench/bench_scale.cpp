@@ -18,6 +18,7 @@
 
 #include "attack/strategies.h"
 #include "core/coordinator.h"
+#include "sim/fabric.h"
 #include "trial_runner.h"
 #include "util/stats.h"
 
@@ -92,6 +93,7 @@ int main() {
     // each trial.
     std::uint64_t clean_bytes = 0;
     vmat::Level depth_bound = 0;
+    vmat::ExecutionMetrics clean_metrics;
     std::vector<double> clean_exec(n_trials, 0.0);
     auto& clean_group = report.group("clean n=" + std::to_string(n));
     vmat::bench::timed_trials(
@@ -104,16 +106,19 @@ int main() {
           const auto out = coordinator.run_min(readings);
           clean_exec[t] = ms_since(start);
           clean_bytes = out.fabric_bytes;
+          clean_metrics = out.metrics;
           depth_bound = coordinator.effective_depth_bound();
         },
         &serial);
     const double clean_ms = vmat::percentile(clean_exec, 0);
     clean_group.metric("exec_ms_min", clean_ms);
-    clean_group.metric("fabric_kb", clean_bytes / 1000.0);
+    clean_group.metric("fabric_kb", clean_bytes / vmat::kBytesPerKb);
+    vmat::bench::add_phase_metrics(clean_group, clean_metrics);
 
     // Attacked runs: the victim's whole parent set silently drops its
     // minimum, forcing a veto and a pinpointing walk.
     int tests = 0;
+    vmat::ExecutionMetrics attacked_metrics;
     std::vector<double> attacked_exec(n_trials, 0.0);
     auto& attacked_group = report.group("attacked n=" + std::to_string(n));
     vmat::bench::timed_trials(
@@ -134,15 +139,17 @@ int main() {
           const auto out = coordinator.run_min(readings);
           attacked_exec[t] = ms_since(start);
           tests = out.pinpoint_cost.predicate_tests;
+          attacked_metrics = out.metrics;
         },
         &serial);
     const double attacked_ms = vmat::percentile(attacked_exec, 0);
     attacked_group.metric("exec_ms_min", attacked_ms);
     attacked_group.metric("pinpoint_tests", tests);
+    vmat::bench::add_phase_metrics(attacked_group, attacked_metrics);
 
     table.add_row({std::to_string(n), std::to_string(depth_bound),
                    vmat::TablePrinter::fmt(clean_ms, 1),
-                   vmat::TablePrinter::fmt(clean_bytes / 1000.0, 1),
+                   vmat::TablePrinter::fmt(clean_bytes / vmat::kBytesPerKb, 1),
                    vmat::TablePrinter::fmt(attacked_ms, 1),
                    std::to_string(tests)});
   }

@@ -14,6 +14,7 @@
 #include "baseline/send_all.h"
 #include "core/coordinator.h"
 #include "core/query.h"
+#include "sim/fabric.h"
 #include "sim/network.h"
 #include "util/stats.h"
 
@@ -46,8 +47,9 @@ int main() {
                               "send-all payload (KB)", "ratio"});
     for (const std::uint32_t n : {100u, 1000u, 10000u, 100000u}) {
       const double vmat_kb =
-          static_cast<double>(kInstances * kSynopsisBytes) / 1000.0;
-      const double naive_kb = static_cast<double>(n) * kRecordBytes / 1000.0;
+          static_cast<double>(kInstances * kSynopsisBytes) / vmat::kBytesPerKb;
+      const double naive_kb =
+          static_cast<double>(n) * kRecordBytes / vmat::kBytesPerKb;
       table.add_row({std::to_string(n), vmat::TablePrinter::fmt(vmat_kb, 1),
                      vmat::TablePrinter::fmt(naive_kb, 1),
                      vmat::TablePrinter::fmt(naive_kb / vmat_kb, 1)});
@@ -88,9 +90,9 @@ int main() {
       std::vector<vmat::Reading> readings(n, 100);
       const auto send_all = vmat::run_send_all(net, readings);
 
-      const double vmat_kb = static_cast<double>(vmat_hottest) / 1000.0;
+      const double vmat_kb = static_cast<double>(vmat_hottest) / vmat::kBytesPerKb;
       const double naive_kb =
-          static_cast<double>(send_all.max_node_bytes) / 1000.0;
+          static_cast<double>(send_all.max_node_bytes) / vmat::kBytesPerKb;
       table.add_row({std::to_string(n), vmat::TablePrinter::fmt(vmat_kb, 1),
                      vmat::TablePrinter::fmt(naive_kb, 1),
                      vmat::TablePrinter::fmt(naive_kb / vmat_kb, 2)});

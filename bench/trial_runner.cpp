@@ -5,6 +5,7 @@
 #include <cstdlib>
 #include <fstream>
 
+#include "sim/fabric.h"
 #include "util/stats.h"
 
 namespace vmat::bench {
@@ -223,6 +224,25 @@ void BenchReport::write() const {
   std::ofstream out(path);
   out << w.str() << '\n';
   std::printf("[json] wrote %s\n", path.c_str());
+}
+
+void add_phase_metrics(TrialGroup& group, const ExecutionMetrics& metrics) {
+  auto emit = [&group](const std::string& prefix, const PhaseCounters& c) {
+    group.metric(prefix + ".bytes_kb",
+                 static_cast<double>(c.bytes_sent) / kBytesPerKb);
+    group.metric(prefix + ".frames", static_cast<double>(c.frames_sent));
+    group.metric(prefix + ".mac_verifies",
+                 static_cast<double>(c.mac_verifies));
+    group.metric(prefix + ".predicate_tests",
+                 static_cast<double>(c.predicate_tests));
+  };
+  for (std::size_t p = 0; p < kTracePhaseCount; ++p) {
+    const auto phase = static_cast<TracePhase>(p);
+    const PhaseCounters& c = metrics.at(phase);
+    if (c == PhaseCounters{}) continue;  // idle phases would just be noise
+    emit(to_string(phase), c);
+  }
+  emit("totals", metrics.totals());
 }
 
 void timed_trials(TrialGroup& group, std::size_t n, std::uint64_t base_seed,

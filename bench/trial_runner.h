@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "trace/trace.h"
 #include "util/parallel.h"
 
 namespace vmat::bench {
@@ -114,5 +115,11 @@ class BenchReport {
 void timed_trials(TrialGroup& group, std::size_t n, std::uint64_t base_seed,
                   const std::function<void(std::size_t, Rng&)>& fn,
                   ThreadPool* pool = nullptr);
+
+/// Flatten a flight-recorder metrics snapshot into per-phase group metrics
+/// ("<phase>.bytes_kb", "<phase>.frames", "<phase>.mac_verifies",
+/// "<phase>.predicate_tests" for phases with activity, plus totals) so
+/// every BENCH_*.json carries the typed per-phase cost breakdown.
+void add_phase_metrics(TrialGroup& group, const ExecutionMetrics& metrics);
 
 }  // namespace vmat::bench

@@ -4,9 +4,13 @@
 //           [--attack none|silent|drop|junk|choke|selfveto|wormhole|random|garbage]
 //           [--f K] [--theta T] [--query min|count] [--instances M]
 //           [--seed S] [--executions E] [--multipath] [--sparse-keys]
+//           [--trace FILE]
 //
 // Runs E query executions against the configured adversary and reports
-// each outcome plus the final revocation state.
+// each outcome plus the final revocation state. With --trace, records the
+// full flight-recorder event stream across all executions, writes it to
+// FILE as JSON (readable by tools/check_trace.py), and runs the built-in
+// trace-invariant checker over the recording.
 #include <cmath>
 #include <cstdio>
 #include <cstring>
@@ -30,6 +34,7 @@ struct Options {
   int executions = 25;
   bool multipath = false;
   bool sparse_keys = false;
+  std::string trace;  // empty = no recording
 };
 
 [[noreturn]] void usage(const char* argv0) {
@@ -38,7 +43,8 @@ struct Options {
       "          [--attack none|silent|drop|junk|choke|selfveto|wormhole|"
       "random|garbage]\n"
       "          [--f K] [--theta T] [--query min|count] [--instances M]\n"
-      "          [--seed S] [--executions E] [--multipath] [--sparse-keys]\n",
+      "          [--seed S] [--executions E] [--multipath] [--sparse-keys]\n"
+      "          [--trace FILE]\n",
       argv0);
   std::exit(2);
 }
@@ -62,6 +68,7 @@ Options parse(int argc, char** argv) {
     else if (flag == "--executions") o.executions = std::stoi(value());
     else if (flag == "--multipath") o.multipath = true;
     else if (flag == "--sparse-keys") o.sparse_keys = true;
+    else if (flag == "--trace") o.trace = value();
     else usage(argv[0]);
   }
   return o;
@@ -133,6 +140,9 @@ int main(int argc, char** argv) {
   cfg.seed = o.seed;
   vmat::VmatCoordinator coordinator(&net, &adversary, cfg);
 
+  vmat::FlightRecorder recorder;
+  if (!o.trace.empty()) coordinator.set_recorder(&recorder);
+
   std::printf("vmatsim: attack=%s f=%zu theta=%u query=%s L=%d\n%s\n",
               o.attack.c_str(), malicious.size(), o.theta, o.query.c_str(),
               coordinator.effective_depth_bound(),
@@ -178,5 +188,20 @@ int main(int argc, char** argv) {
 
   std::printf("\nsummary: %d answered, %d disrupted\n%s", answered,
               disrupted, vmat::describe_revocations(net).c_str());
+
+  if (!o.trace.empty()) {
+    if (!recorder.write_json(o.trace)) {
+      std::fprintf(stderr, "failed to write trace: %s\n", o.trace.c_str());
+      return 1;
+    }
+    const auto check = vmat::check_trace(recorder);
+    std::printf("trace: %zu execution(s), %zu event(s); invariants %s\n",
+                recorder.execution_count(), recorder.events().size(),
+                check.ok() ? "OK" : "VIOLATED");
+    if (!check.ok()) {
+      std::printf("%s", check.to_string().c_str());
+      return 1;
+    }
+  }
   return 0;
 }

@@ -19,7 +19,7 @@ AuthBroadcaster::AuthBroadcaster(std::uint64_t seed,
                                  std::size_t max_broadcasts)
     : chain_(seed, max_broadcasts + 1) {}
 
-SignedBroadcast AuthBroadcaster::sign(Bytes payload) {
+SignedBroadcast AuthBroadcaster::sign(Bytes payload, Tracer tracer) {
   if (next_epoch_ >= chain_.length())
     throw std::runtime_error("AuthBroadcaster: hash chain exhausted");
   SignedBroadcast b;
@@ -27,18 +27,22 @@ SignedBroadcast AuthBroadcaster::sign(Bytes payload) {
   b.chain_element = chain_.element(next_epoch_);
   b.payload = std::move(payload);
   b.mac = compute_mac(broadcast_key(b.chain_element), b.payload);
+  tracer.mac_compute(kBaseStation, kNoKey);
   ++next_epoch_;
   return b;
 }
 
 AuthReceiver::AuthReceiver(const Digest& anchor) : last_verified_(anchor) {}
 
-bool AuthReceiver::accept(const SignedBroadcast& b) {
-  if (b.epoch <= last_epoch_) return false;
-  if (!HashChain::verify(b.chain_element, b.epoch, last_verified_, last_epoch_))
-    return false;
-  if (!verify_mac(broadcast_key(b.chain_element), b.payload, b.mac))
-    return false;
+bool AuthReceiver::accept(const SignedBroadcast& b, Tracer tracer,
+                          NodeId self) {
+  const bool ok =
+      b.epoch > last_epoch_ &&
+      HashChain::verify(b.chain_element, b.epoch, last_verified_,
+                        last_epoch_) &&
+      verify_mac(broadcast_key(b.chain_element), b.payload, b.mac);
+  tracer.mac_verify(self, kNoKey, ok);
+  if (!ok) return false;
   last_verified_ = b.chain_element;
   last_epoch_ = b.epoch;
   return true;

@@ -20,6 +20,7 @@
 
 #include "crypto/hash_chain.h"
 #include "crypto/mac.h"
+#include "trace/trace.h"
 #include "util/bytes.h"
 
 namespace vmat {
@@ -40,7 +41,7 @@ class AuthBroadcaster {
   [[nodiscard]] const Digest& anchor() const { return chain_.anchor(); }
 
   /// Sign the next broadcast. Throws if the chain is exhausted.
-  [[nodiscard]] SignedBroadcast sign(Bytes payload);
+  [[nodiscard]] SignedBroadcast sign(Bytes payload, Tracer tracer = {});
 
   [[nodiscard]] std::uint64_t next_epoch() const noexcept { return next_epoch_; }
 
@@ -56,7 +57,9 @@ class AuthReceiver {
 
   /// Accept iff the chain element verifies against the last verified
   /// element, the epoch is strictly newer, and the MAC checks out.
-  [[nodiscard]] bool accept(const SignedBroadcast& b);
+  /// `self` identifies the receiving sensor in the trace stream.
+  [[nodiscard]] bool accept(const SignedBroadcast& b, Tracer tracer = {},
+                            NodeId self = {});
 
  private:
   Digest last_verified_;

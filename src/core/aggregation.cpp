@@ -34,7 +34,7 @@ AggregationOutcome run_aggregation(
     Network& net, Adversary* adversary, const TreeResult& tree,
     const AggConfig& config, const std::vector<std::vector<Reading>>& values,
     const std::vector<std::vector<std::int64_t>>& weights,
-    std::vector<NodeAudit>& audits) {
+    std::vector<NodeAudit>& audits, Tracer tracer) {
   const std::uint32_t n = net.node_count();
   const Level L = tree.depth_bound;
   if (values.size() != n || weights.size() != n || audits.size() != n)
@@ -70,6 +70,7 @@ AggregationOutcome run_aggregation(
   AggregationOutcome outcome;
 
   for (Interval slot = 1; slot <= L; ++slot) {
+    tracer.slot_tick(slot);
     if (adversary != nullptr && !adversary->strategy().passthrough()) {
       AggCtx ctx;
       ctx.tree = &tree;
@@ -106,6 +107,7 @@ AggregationOutcome run_aggregation(
         e.edge_key = link.edge_key;
         e.payload = frame;
         e.edge_mac = net.keys().mac_context(link.edge_key).compute(frame);
+        tracer.mac_compute(node, link.edge_key);
         // The claimed parent may not be a physical neighbor (a spoofed
         // tree-formation frame); the fabric then drops the frame, which is
         // exactly a silent drop the confirmation phase will catch.

@@ -17,6 +17,7 @@
 #include "core/audit.h"
 #include "core/phase_state.h"
 #include "sim/network.h"
+#include "trace/trace.h"
 
 namespace vmat {
 
@@ -41,6 +42,6 @@ struct AggregationOutcome {
     const AggConfig& config,
     const std::vector<std::vector<Reading>>& values,
     const std::vector<std::vector<std::int64_t>>& weights,
-    std::vector<NodeAudit>& audits);
+    std::vector<NodeAudit>& audits, Tracer tracer = {});
 
 }  // namespace vmat

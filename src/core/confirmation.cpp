@@ -22,7 +22,7 @@ ConfirmationOutcome run_confirmation(
     Network& net, Adversary* adversary, const TreeResult& tree,
     const std::vector<Reading>& broadcast_minima, std::uint64_t nonce,
     const std::vector<std::vector<Reading>>& values,
-    std::vector<NodeAudit>& audits, bool slotted) {
+    std::vector<NodeAudit>& audits, bool slotted, Tracer tracer) {
   const std::uint32_t n = net.node_count();
   const Level L = tree.depth_bound;
   if (values.size() != n || audits.size() != n)
@@ -39,6 +39,7 @@ ConfirmationOutcome run_confirmation(
 
   const Interval max_interval = slotted ? L : 4 * L + 4;
   for (Interval slot = 1; slot <= max_interval; ++slot) {
+    tracer.slot_tick(slot);
     if (adversary != nullptr && !adversary->strategy().passthrough()) {
       ConfCtx ctx;
       ctx.tree = &tree;
@@ -73,6 +74,7 @@ ConfirmationOutcome run_confirmation(
             rec.out_edges.push_back(*net.usable_edge_key(node, v));
         }
         audits[id].sof = rec;
+        tracer.veto(node, node, slot, values[id][*instance], true);
       } else if (pending[id].has_value()) {
         // One-time forward of the first veto received last slot.
         const Bytes frame = std::move(*pending[id]);
@@ -112,6 +114,7 @@ ConfirmationOutcome run_confirmation(
         rec.in_edge = env.edge_key;
         audits[id].sof = rec;
         pending[id] = env.payload;
+        tracer.veto(node, veto->origin, slot, veto->value, false);
       }
     }
   }

@@ -23,6 +23,7 @@
 #include "core/audit.h"
 #include "core/phase_state.h"
 #include "sim/network.h"
+#include "trace/trace.h"
 
 namespace vmat {
 
@@ -40,6 +41,6 @@ struct ConfirmationOutcome {
     Network& net, Adversary* adversary, const TreeResult& tree,
     const std::vector<Reading>& broadcast_minima, std::uint64_t nonce,
     const std::vector<std::vector<Reading>>& values,
-    std::vector<NodeAudit>& audits, bool slotted = true);
+    std::vector<NodeAudit>& audits, bool slotted = true, Tracer tracer = {});
 
 }  // namespace vmat

@@ -38,14 +38,30 @@ std::uint64_t VmatCoordinator::fresh_nonce() noexcept {
   return splitmix64(nonce_state_);
 }
 
+void VmatCoordinator::set_recorder(FlightRecorder* recorder) {
+  trace_state_.sink = recorder;
+  if (recorder == nullptr) return;
+  TraceContext ctx;
+  ctx.nodes = net_->node_count();
+  ctx.depth_bound = depth_bound_;
+  ctx.ring_size = net_->keys().config().ring_size;
+  ctx.theta = net_->revocation().threshold();
+  ctx.instances = config_.instances;
+  ctx.slotted_sof = config_.slotted_sof;
+  recorder->set_context(ctx);
+}
+
 void VmatCoordinator::authenticated_broadcast(const Bytes& payload,
-                                              int& rounds) {
-  const SignedBroadcast b = broadcaster_.sign(payload);
+                                              int& rounds, Tracer tracer) {
+  const SignedBroadcast b = broadcaster_.sign(payload, tracer);
+  std::uint64_t receivers = 0;
   for (std::uint32_t id = 1; id < net_->node_count(); ++id) {
     if (net_->revocation().is_sensor_revoked(NodeId{id})) continue;
-    if (!receivers_[id].accept(b))
+    if (!receivers_[id].accept(b, tracer, NodeId{id}))
       throw std::logic_error("authenticated broadcast rejected by a sensor");
+    ++receivers;
   }
+  tracer.auth_broadcast(payload.size(), receivers);
   rounds += 1;
 }
 
@@ -76,7 +92,18 @@ ExecutionOutcome VmatCoordinator::execute(
     throw std::invalid_argument("execute: values/weights must cover all nodes");
 
   ExecutionOutcome out;
-  const std::uint64_t fabric_bytes_before = net_->fabric().total_bytes();
+
+  // Attach the flight recorder for exactly this execution: the Tracer
+  // handles passed down all point at trace_state_, and the network-side
+  // attachment is undone on every exit path so no component keeps a handle
+  // into a dead coordinator.
+  Tracer tracer{&trace_state_};
+  tracer.begin_execution();
+  net_->set_tracer(tracer);
+  struct TracerDetach {
+    Network* net;
+    ~TracerDetach() { net->set_tracer({}); }
+  } detach{net_};
 
   // --- announce + tree formation ---
   const std::uint64_t session = fresh_nonce();
@@ -84,13 +111,15 @@ ExecutionOutcome VmatCoordinator::execute(
     ByteWriter announce;
     announce.str("vmat.announce.tree");
     announce.u64(session);
-    authenticated_broadcast(announce.take(), out.data_rounds);
+    tracer.begin_phase(TracePhase::kBroadcast);
+    authenticated_broadcast(announce.take(), out.data_rounds, tracer);
   }
   TreeFormationParams tree_params;
   tree_params.mode = config_.tree_mode;
   tree_params.depth_bound = depth_bound_;
   tree_params.session = session;
-  tree_ = run_tree_formation(*net_, adversary_, tree_params);
+  tracer.begin_phase(TracePhase::kTreeFormation);
+  tree_ = run_tree_formation(*net_, adversary_, tree_params, tracer);
   out.data_rounds += 1;
 
   // --- announce query + aggregation ---
@@ -100,19 +129,24 @@ ExecutionOutcome VmatCoordinator::execute(
     announce.str("vmat.announce.query");
     announce.u64(agg_nonce);
     announce.u32(config_.instances);
-    authenticated_broadcast(announce.take(), out.data_rounds);
+    tracer.begin_phase(TracePhase::kBroadcast);
+    authenticated_broadcast(announce.take(), out.data_rounds, tracer);
   }
   AggConfig agg_config;
   agg_config.instances = config_.instances;
   agg_config.nonce = agg_nonce;
   agg_config.multipath = config_.multipath;
+  tracer.begin_phase(TracePhase::kAggregation);
   const AggregationOutcome agg =
       run_aggregation(*net_, adversary_, tree_, agg_config, values, weights,
-                      audits_);
+                      audits_, tracer);
   out.data_rounds += 1;
 
   auto finish = [&](ExecutionOutcome& o) -> ExecutionOutcome& {
-    o.fabric_bytes = net_->fabric().total_bytes() - fabric_bytes_before;
+    tracer.end_execution(o.produced_result(),
+                         static_cast<std::int64_t>(o.trigger));
+    o.metrics = trace_state_.metrics;
+    o.fabric_bytes = o.metrics.totals().bytes_sent;
     return o;
   };
   auto finish_pinpoint = [&](PinpointOutcome&& pp, Trigger trigger) {
@@ -134,9 +168,12 @@ ExecutionOutcome VmatCoordinator::execute(
     const bool mac_ok =
         id_ok && verify_agg_message(net_->keys().sensor_mac_context(a.msg.origin),
                                     a.msg, agg_nonce);
+    tracer.mac_verify(a.msg.origin, kNoKey, mac_ok);
     if (!mac_ok) {
+      tracer.arrival_rejected(a.msg.origin, a.slot, a.msg.value);
+      tracer.begin_phase(TracePhase::kPinpoint);
       PinpointEngine engine(net_, adversary_, &audits_, &tree_,
-                             config_.predicate_mode);
+                             config_.predicate_mode, tracer);
       return finish_pinpoint(
           engine.junk_triggered_aggregation(a.msg, a.in_edge, a.slot),
           Trigger::kJunkAggregation);
@@ -146,12 +183,14 @@ ExecutionOutcome VmatCoordinator::execute(
     if (!content_ok) {
       // Valid sensor-key MAC over impossible content: only the origin's key
       // holder could have signed it. Revoke the origin outright.
+      tracer.arrival_rejected(a.msg.origin, a.slot, a.msg.value);
       out.kind = OutcomeKind::kRevocation;
       out.trigger = Trigger::kSelfIncrimination;
       out.reason = "aggregation message with valid MAC but invalid content";
       out.revoked_sensors = net_->revocation().revoke_sensor(a.msg.origin);
       return finish(out);
     }
+    tracer.arrival_accepted(a.msg.origin, a.slot, a.msg.value);
     if (a.msg.value < minima[a.msg.instance]) minima[a.msg.instance] = a.msg.value;
   }
 
@@ -162,11 +201,13 @@ ExecutionOutcome VmatCoordinator::execute(
     announce.str("vmat.announce.minima");
     announce.u64(conf_nonce);
     for (Reading m : minima) announce.i64(m);
-    authenticated_broadcast(announce.take(), out.data_rounds);
+    tracer.begin_phase(TracePhase::kBroadcast);
+    authenticated_broadcast(announce.take(), out.data_rounds, tracer);
   }
+  tracer.begin_phase(TracePhase::kConfirmation);
   const ConfirmationOutcome conf =
       run_confirmation(*net_, adversary_, tree_, minima, conf_nonce, values,
-                       audits_, config_.slotted_sof);
+                       audits_, config_.slotted_sof, tracer);
   out.data_rounds += 1;
 
   // --- Figure 1 steps 7/8: spurious veto beats legitimate veto ---
@@ -177,9 +218,12 @@ ExecutionOutcome VmatCoordinator::execute(
     const bool mac_ok =
         id_ok && verify_veto(net_->keys().sensor_mac_context(v.msg.origin),
                              v.msg, conf_nonce);
+    tracer.mac_verify(v.msg.origin, kNoKey, mac_ok);
     if (!mac_ok) {
+      tracer.arrival_rejected(v.msg.origin, v.interval, v.msg.value);
+      tracer.begin_phase(TracePhase::kPinpoint);
       PinpointEngine engine(net_, adversary_, &audits_, &tree_,
-                             config_.predicate_mode);
+                             config_.predicate_mode, tracer);
       return finish_pinpoint(
           engine.junk_triggered_confirmation(v.msg, v.in_edge, v.interval),
           Trigger::kJunkConfirmation);
@@ -188,17 +232,20 @@ ExecutionOutcome VmatCoordinator::execute(
                               v.msg.level >= 1 && v.msg.level <= depth_bound_ &&
                               v.msg.value < minima[v.msg.instance];
     if (!semantics_ok) {
+      tracer.arrival_rejected(v.msg.origin, v.interval, v.msg.value);
       out.kind = OutcomeKind::kRevocation;
       out.trigger = Trigger::kSelfIncrimination;
       out.reason = "veto with valid MAC but impossible claim";
       out.revoked_sensors = net_->revocation().revoke_sensor(v.msg.origin);
       return finish(out);
     }
+    tracer.arrival_accepted(v.msg.origin, v.interval, v.msg.value);
     if (legit == nullptr) legit = &v;
   }
   if (legit != nullptr) {
+    tracer.begin_phase(TracePhase::kPinpoint);
     PinpointEngine engine(net_, adversary_, &audits_, &tree_,
-                          config_.predicate_mode);
+                          config_.predicate_mode, tracer);
     return finish_pinpoint(engine.veto_triggered(legit->msg), Trigger::kVeto);
   }
 

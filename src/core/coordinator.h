@@ -22,6 +22,7 @@
 #include "core/pinpoint.h"
 #include "core/tree_formation.h"
 #include "sim/network.h"
+#include "trace/trace.h"
 
 namespace vmat {
 
@@ -61,8 +62,13 @@ struct ExecutionOutcome {
   int data_rounds{0};
   /// Pinpointing cost (zero for clean runs).
   CostMeter pinpoint_cost;
-  /// Payload bytes moved by the fabric during this execution.
+  /// Payload bytes moved by the fabric during this execution. Always equal
+  /// to metrics.totals().bytes_sent — the fabric and the flight recorder
+  /// meter the same frame-size definition (frame_size in sim/fabric.h).
   std::uint64_t fabric_bytes{0};
+  /// Typed per-phase counters collected by the flight recorder for this
+  /// execution (always metered, even with no recorder attached).
+  ExecutionMetrics metrics;
 
   [[nodiscard]] bool produced_result() const noexcept {
     return kind == OutcomeKind::kResult;
@@ -107,10 +113,17 @@ class VmatCoordinator {
 
   [[nodiscard]] std::uint64_t fresh_nonce() noexcept;
 
+  /// Attach a flight recorder: every subsequent execute() records its full
+  /// event stream into it (and fills its TraceContext from this deployment).
+  /// Pass nullptr to stop recording; per-phase metrics are metered either
+  /// way and land in ExecutionOutcome::metrics.
+  void set_recorder(FlightRecorder* recorder);
+
  private:
   /// Sign at the base station and verify at every honest sensor; models one
   /// flooding round of choke-resistant authenticated broadcast.
-  void authenticated_broadcast(const Bytes& payload, int& rounds);
+  void authenticated_broadcast(const Bytes& payload, int& rounds,
+                               Tracer tracer);
 
   Network* net_;
   Adversary* adversary_;
@@ -121,6 +134,9 @@ class VmatCoordinator {
   TreeResult tree_;
   AuthBroadcaster broadcaster_;
   std::vector<AuthReceiver> receivers_;
+  /// Shared by every component tracing one execution; the Tracer handles
+  /// threaded through the phases all point here.
+  TraceState trace_state_;
 };
 
 }  // namespace vmat

@@ -24,9 +24,10 @@ Predicate with_z_window(Predicate p, KeyIndex lo, KeyIndex hi) {
 
 PinpointEngine::PinpointEngine(Network* net, Adversary* adversary,
                                const std::vector<NodeAudit>* audits,
-                               const TreeResult* tree, PredicateTestMode mode)
+                               const TreeResult* tree, PredicateTestMode mode,
+                               Tracer tracer)
     : net_(net), adversary_(adversary), audits_(audits), tree_(tree),
-      mode_(mode) {
+      mode_(mode), tracer_(tracer) {
   if (net == nullptr || audits == nullptr || tree == nullptr)
     throw std::invalid_argument("PinpointEngine: null dependency");
 }
@@ -54,7 +55,8 @@ void PinpointEngine::revoke_ring(NodeId node, PinpointOutcome& out,
 KeyIndex PinpointEngine::find_edge_key(NodeId owner, Predicate probe,
                                        PinpointOutcome& out,
                                        const char* what) {
-  PredicateTestEngine tests(net_, adversary_, audits_, &out.cost, mode_);
+  PredicateTestEngine tests(net_, adversary_, audits_, &out.cost, mode_,
+                            tracer_);
   const KeySpec key = KeySpec::sensor_key(owner);
   // Honest sensors only ever use non-revoked keys, and re-revoking a key
   // would not diminish the adversary; the base station therefore searches
@@ -104,7 +106,8 @@ std::optional<NodeId> PinpointEngine::find_holder(KeyIndex edge_key,
                                                   Predicate probe,
                                                   PinpointOutcome& out,
                                                   const char* what) {
-  PredicateTestEngine tests(net_, adversary_, audits_, &out.cost, mode_);
+  PredicateTestEngine tests(net_, adversary_, audits_, &out.cost, mode_,
+                            tracer_);
   const KeySpec key = KeySpec::pool_key(edge_key);
   const auto holders = net_->keys().holders(edge_key);
   if (holders.empty()) {
@@ -157,6 +160,7 @@ PinpointOutcome PinpointEngine::veto_triggered(const VetoMsg& veto) {
   Level level = veto.level;
 
   for (Level step = 0; step <= L + 1; ++step) {
+    tracer_.pinpoint_step(current, kNoKey, step, level);
     if (level < 1) {
       // Only the base station sits at level 0; a non-base-station sensor
       // whose own key admitted to level 0 is lying.
@@ -202,6 +206,7 @@ PinpointOutcome PinpointEngine::junk_triggered_aggregation(
   Level level = L - bs_slot + 1;  // claimed level of the sensor that sent it
 
   for (Level step = 0; step <= L + 1; ++step) {
+    tracer_.pinpoint_step(NodeId{}, edge, step, level);
     if (level > L) {
       // Nobody legitimate exists beyond level L; whoever used this key to
       // pass the junk down refuses to exist.
@@ -250,6 +255,7 @@ PinpointOutcome PinpointEngine::junk_triggered_confirmation(
   // arrival interval — which can exceed L+1 only in the unslotted-SOF
   // ablation (slotted SOF guarantees bs_interval <= L, Section IV-C).
   for (Interval step = 0; step <= bs_interval + 1; ++step) {
+    tracer_.pinpoint_step(NodeId{}, edge, step, interval);
     // Who admits forwarding exactly this veto in this SOF interval on this
     // edge key?
     Predicate p_fwd;

@@ -57,7 +57,8 @@ class PinpointEngine {
  public:
   PinpointEngine(Network* net, Adversary* adversary,
                  const std::vector<NodeAudit>* audits, const TreeResult* tree,
-                 PredicateTestMode mode = PredicateTestMode::kReachability);
+                 PredicateTestMode mode = PredicateTestMode::kReachability,
+                 Tracer tracer = {});
 
   /// Figure 4: the base station received a legitimate (valid-MAC) veto.
   [[nodiscard]] PinpointOutcome veto_triggered(const VetoMsg& veto);
@@ -98,6 +99,7 @@ class PinpointEngine {
   const std::vector<NodeAudit>* audits_;
   const TreeResult* tree_;
   PredicateTestMode mode_;
+  Tracer tracer_;
 };
 
 }  // namespace vmat

@@ -8,12 +8,13 @@ namespace vmat {
 PredicateTestEngine::PredicateTestEngine(Network* net, Adversary* adversary,
                                          const std::vector<NodeAudit>* audits,
                                          CostMeter* meter,
-                                         PredicateTestMode mode)
+                                         PredicateTestMode mode, Tracer tracer)
     : net_(net),
       adversary_(adversary),
       audits_(audits),
       meter_(meter),
-      mode_(mode) {
+      mode_(mode),
+      tracer_(tracer) {
   if (net == nullptr || audits == nullptr || meter == nullptr)
     throw std::invalid_argument("PredicateTestEngine: null dependency");
 }
@@ -162,16 +163,24 @@ bool PredicateTestEngine::run(const KeySpec& key, const Predicate& predicate) {
 
   const std::vector<NodeId> repliers = collect_repliers(key, predicate);
 
-  if (mode_ == PredicateTestMode::kReachability)
-    return reaches_base_station(repliers);
-
-  // Message-level mode: derive the actual reply and token and flood it.
-  ByteWriter mac_input;
-  mac_input.str("vmat.predicate-reply");
-  mac_input.u64(nonce_);
-  mac_input.raw(encode_predicate(predicate));
-  const Mac reply = key_context(key).compute(mac_input.bytes());
-  return flood_reply(repliers, reply, hash_of_mac(reply));
+  bool ok;
+  if (mode_ == PredicateTestMode::kReachability) {
+    ok = reaches_base_station(repliers);
+  } else {
+    // Message-level mode: derive the actual reply and token and flood it.
+    ByteWriter mac_input;
+    mac_input.str("vmat.predicate-reply");
+    mac_input.u64(nonce_);
+    mac_input.raw(encode_predicate(predicate));
+    const Mac reply = key_context(key).compute(mac_input.bytes());
+    ok = flood_reply(repliers, reply, hash_of_mac(reply));
+  }
+  const NodeId subject =
+      key.type == KeySpec::Type::kSensorKey ? key.sensor : NodeId{};
+  const KeyIndex pool =
+      key.type == KeySpec::Type::kPoolKey ? key.pool : kNoKey;
+  tracer_.predicate_test(subject, pool, ok);
+  return ok;
 }
 
 }  // namespace vmat

@@ -31,6 +31,7 @@
 #include "attack/adversary.h"
 #include "core/audit.h"
 #include "sim/network.h"
+#include "trace/trace.h"
 
 namespace vmat {
 
@@ -77,7 +78,8 @@ class PredicateTestEngine {
   /// `audits` must outlive the engine and stay indexed by node id.
   PredicateTestEngine(Network* net, Adversary* adversary,
                       const std::vector<NodeAudit>* audits, CostMeter* meter,
-                      PredicateTestMode mode = PredicateTestMode::kReachability);
+                      PredicateTestMode mode = PredicateTestMode::kReachability,
+                      Tracer tracer = {});
 
   /// Run one keyed predicate test. Exact per Theorem 3 semantics plus
   /// Byzantine holders answering via the adversary strategy.
@@ -98,6 +100,7 @@ class PredicateTestEngine {
   const std::vector<NodeAudit>* audits_;
   CostMeter* meter_;
   PredicateTestMode mode_;
+  Tracer tracer_;
   std::uint64_t nonce_{0};
 };
 

@@ -47,7 +47,7 @@ std::string summarize(const ExecutionOutcome& outcome) {
     minima += "]";
     return format("result: minima=%s (%d rounds, %.1f KB)", minima.c_str(),
                   outcome.data_rounds,
-                  static_cast<double>(outcome.fabric_bytes) / 1000.0);
+                  static_cast<double>(outcome.fabric_bytes) / kBytesPerKb);
   }
   return format("revoked %zu key(s), %zu sensor(s) via %s: %s (%d tests)",
                 outcome.revoked_keys.size(), outcome.revoked_sensors.size(),
@@ -71,7 +71,7 @@ std::string describe(const ExecutionOutcome& outcome) {
   }
   out += format("data path: %d flooding rounds, %.1f KB on the fabric\n",
                 outcome.data_rounds,
-                static_cast<double>(outcome.fabric_bytes) / 1000.0);
+                static_cast<double>(outcome.fabric_bytes) / kBytesPerKb);
   return out;
 }
 

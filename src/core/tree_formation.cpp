@@ -13,7 +13,8 @@ void record_parent(std::vector<ParentLink>& parents, ParentLink link) {
 }
 
 TreeResult run_timestamp_mode(Network& net, Adversary* adversary,
-                              const TreeFormationParams& params) {
+                              const TreeFormationParams& params,
+                              Tracer tracer) {
   const std::uint32_t n = net.node_count();
   TreeResult result;
   result.session = params.session;
@@ -26,6 +27,7 @@ TreeResult run_timestamp_mode(Network& net, Adversary* adversary,
   const Bytes flood_frame = encode(TreeFormationMsg{params.session, 0});
 
   for (Interval slot = 1; slot <= params.depth_bound; ++slot) {
+    tracer.slot_tick(slot);
     if (adversary != nullptr && !adversary->strategy().passthrough()) {
       TreeCtx ctx;
       ctx.mode = params.mode;
@@ -75,7 +77,8 @@ TreeResult run_timestamp_mode(Network& net, Adversary* adversary,
 }
 
 TreeResult run_hopcount_mode(Network& net, Adversary* adversary,
-                             const TreeFormationParams& params) {
+                             const TreeFormationParams& params,
+                             Tracer tracer) {
   const std::uint32_t n = net.node_count();
   TreeResult result;
   result.session = params.session;
@@ -91,6 +94,7 @@ TreeResult run_hopcount_mode(Network& net, Adversary* adversary,
 
   const Interval slot_cap = 2 * params.depth_bound + 4;
   for (Interval slot = 1; slot <= slot_cap; ++slot) {
+    tracer.slot_tick(slot);
     if (adversary != nullptr && !adversary->strategy().passthrough()) {
       TreeCtx ctx;
       ctx.mode = params.mode;
@@ -146,13 +150,14 @@ TreeResult run_hopcount_mode(Network& net, Adversary* adversary,
 }  // namespace
 
 TreeResult run_tree_formation(Network& net, Adversary* adversary,
-                              const TreeFormationParams& params) {
+                              const TreeFormationParams& params,
+                              Tracer tracer) {
   if (params.depth_bound < 1)
     throw std::invalid_argument("run_tree_formation: depth_bound must be >= 1");
   net.fabric().reset();
   TreeResult result = params.mode == TreeMode::kTimestamp
-                          ? run_timestamp_mode(net, adversary, params)
-                          : run_hopcount_mode(net, adversary, params);
+                          ? run_timestamp_mode(net, adversary, params, tracer)
+                          : run_hopcount_mode(net, adversary, params, tracer);
   net.fabric().reset();
   return result;
 }

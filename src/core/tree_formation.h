@@ -16,6 +16,7 @@
 #include "attack/adversary.h"
 #include "core/phase_state.h"
 #include "sim/network.h"
+#include "trace/trace.h"
 
 namespace vmat {
 
@@ -28,6 +29,7 @@ struct TreeFormationParams {
 /// Run the phase to completion. The adversary hook runs at the start of
 /// every slot, before honest transmissions.
 [[nodiscard]] TreeResult run_tree_formation(Network& net, Adversary* adversary,
-                                            const TreeFormationParams& params);
+                                            const TreeFormationParams& params,
+                                            Tracer tracer = {});
 
 }  // namespace vmat

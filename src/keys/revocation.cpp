@@ -15,7 +15,13 @@ void RevocationRegistry::mark_key(KeyIndex key, RevocationCause cause,
                                   std::vector<NodeId>& newly) {
   if (!revoked_keys_.insert(key).second) return;  // already revoked
   events_.push_back({key, cause});
-  if (threshold_ == 0) return;
+  tracer_.key_revoked(key, cause == RevocationCause::kPinpointed);
+  // Only individually pinpointed keys witness adversarial use. A bulk
+  // ring-seed revocation proves nothing about the *other* holders of the
+  // ring's keys, so it must not advance their θ counters — otherwise one
+  // sensor revocation could avalanche honest high-overlap rings past θ,
+  // which the Figure 7 model rules out.
+  if (threshold_ == 0 || cause != RevocationCause::kPinpointed) return;
   for (NodeId holder : keys_->holders(key)) {
     if (revoked_sensors_.contains(holder)) continue;
     const std::uint32_t c = ++counts_[holder];
@@ -27,6 +33,7 @@ void RevocationRegistry::mark_sensor(NodeId node, std::vector<NodeId>& newly) {
   if (!revoked_sensors_.insert(node).second) return;
   revoked_sensor_order_.push_back(node);
   newly.push_back(node);
+  tracer_.sensor_revoked(node);
   // Ring seed announcement plus any path keys the sensor was an endpoint
   // of (the peer drops them once the sensor is revoked).
   for (KeyIndex k : keys_->keys_of(node))

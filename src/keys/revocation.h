@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "keys/predistribution.h"
+#include "trace/trace.h"
 #include "util/ids.h"
 
 namespace vmat {
@@ -64,8 +65,13 @@ class RevocationRegistry {
     return revoked_sensor_order_;
   }
 
-  /// Number of revoked keys currently in a sensor's ring.
+  /// Number of *pinpointed* revoked keys currently in a sensor's ring —
+  /// the count compared against θ. Bulk ring-seed revocations say nothing
+  /// about the other holders of those keys and do not contribute.
   [[nodiscard]] std::uint32_t revoked_count(NodeId node) const noexcept;
+
+  /// Attach (or detach) the flight recorder: key/sensor revocation events.
+  void set_tracer(Tracer tracer) noexcept { tracer_ = tracer; }
 
   /// How many events were individual (pinpointed) revocations.
   [[nodiscard]] std::size_t pinpointed_key_count() const noexcept;
@@ -78,6 +84,7 @@ class RevocationRegistry {
 
   const Predistribution* keys_;
   std::uint32_t threshold_;
+  Tracer tracer_;
   std::unordered_set<KeyIndex> revoked_keys_;
   std::unordered_set<NodeId> revoked_sensors_;
   std::vector<NodeId> revoked_sensor_order_;

@@ -20,11 +20,6 @@ Fabric::Fabric(const Topology* topology, std::size_t capacity_per_slot)
   if (topology == nullptr) throw std::invalid_argument("Fabric: null topology");
 }
 
-std::size_t Fabric::frame_size(const Envelope& e) noexcept {
-  // Frame overhead: from/to ids (4+4), edge key index (4), edge MAC (8).
-  return 20 + e.payload.size();
-}
-
 void Fabric::set_loss(double probability, std::uint64_t seed) {
   if (probability < 0.0 || probability >= 1.0)
     throw std::invalid_argument("Fabric::set_loss: probability in [0,1)");
@@ -40,24 +35,28 @@ bool Fabric::send_as(NodeId actual_sender, Envelope envelope) {
   if (actual_sender.value >= in_flight_.size() ||
       envelope.to.value >= in_flight_.size())
     throw std::out_of_range("Fabric::send_as: bad node id");
+  const std::size_t size = frame_size(envelope);
   if (!topology_->has_edge(actual_sender, envelope.to)) {
     ++dropped_;
+    tracer_.frame_dropped(actual_sender, envelope.to, size);
     return false;  // radios cannot reach beyond physical neighbors
   }
   if (sent_this_slot_[actual_sender.value] >= capacity_per_slot_) {
     ++dropped_;
+    tracer_.frame_dropped(actual_sender, envelope.to, size);
     return false;
   }
   ++sent_this_slot_[actual_sender.value];
   ++frames_sent_;
-  const std::size_t size = frame_size(envelope);
   bytes_sent_[actual_sender.value] += size;
   total_bytes_ += size;
+  tracer_.frame_sent(actual_sender, envelope.to, envelope.edge_key, size);
   if (loss_probability_ > 0.0) {
     const double roll =
         static_cast<double>(splitmix64(loss_rng_state_) >> 11) * 0x1.0p-53;
     if (roll < loss_probability_) {
       ++lost_;
+      tracer_.frame_lost(actual_sender, envelope.to, size);
       return true;  // sender cannot tell; the ether ate it
     }
   }
@@ -69,7 +68,11 @@ void Fabric::end_slot() {
   for (std::uint32_t id = 0; id < in_flight_.size(); ++id) {
     auto& arriving = in_flight_[id];
     if (!arriving.empty()) {
-      for (const auto& e : arriving) bytes_received_[id] += frame_size(e);
+      for (const auto& e : arriving) {
+        const std::size_t size = frame_size(e);
+        bytes_received_[id] += size;
+        tracer_.frame_delivered(NodeId{id}, size);
+      }
       auto& box = inbox_[id];
       if (box.empty()) {
         // Wholesale handoff: no per-envelope moves, and the vector that

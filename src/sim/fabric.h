@@ -22,6 +22,7 @@
 
 #include "crypto/mac.h"
 #include "sim/topology.h"
+#include "trace/trace.h"
 #include "util/bytes.h"
 #include "util/ids.h"
 
@@ -38,6 +39,20 @@ struct Envelope {
   Bytes payload;
 };
 
+/// Per-frame wire overhead: from/to ids (4+4), edge key index (4), and the
+/// 8-byte truncated edge MAC. The ONE frame-size definition every byte
+/// counter in the repo (fabric accounting, trace counters, summarize()'s
+/// KB figures, table_comm_cost) derives from.
+inline constexpr std::size_t kFrameOverheadBytes = 20;
+
+/// Reporting convention: 1 KB = 1000 bytes (decimal, not KiB), everywhere.
+inline constexpr double kBytesPerKb = 1000.0;
+
+/// Wire size of a frame.
+[[nodiscard]] inline std::size_t frame_size(const Envelope& e) noexcept {
+  return kFrameOverheadBytes + e.payload.size();
+}
+
 class Fabric {
  public:
   explicit Fabric(const Topology* topology,
@@ -50,6 +65,10 @@ class Fabric {
   void set_loss(double probability, std::uint64_t seed);
 
   [[nodiscard]] std::uint64_t frames_lost() const noexcept { return lost_; }
+
+  /// Attach (or detach, with a default-constructed handle) the flight
+  /// recorder: send/deliver/drop/loss events and per-phase byte counters.
+  void set_tracer(Tracer tracer) noexcept { tracer_ = tracer; }
 
   /// Queue a frame for delivery this slot. Returns false (and drops the
   /// frame) if the sender exhausted its transmit budget, or the (from, to)
@@ -80,9 +99,8 @@ class Fabric {
   [[nodiscard]] const Topology& topology() const noexcept { return *topology_; }
 
  private:
-  [[nodiscard]] static std::size_t frame_size(const Envelope& e) noexcept;
-
   const Topology* topology_;
+  Tracer tracer_;
   std::size_t capacity_per_slot_;
   double loss_probability_{0.0};
   std::uint64_t loss_rng_state_{0};

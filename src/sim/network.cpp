@@ -19,6 +19,7 @@ std::size_t Network::rekey(const KeySetupConfig& fresh_keys) {
   const std::uint32_t theta = revocation_.threshold();
   keys_ = Predistribution(topology_.node_count(), fresh_keys);
   revocation_ = RevocationRegistry(&keys_, theta);
+  revocation_.set_tracer(tracer_);
   for (NodeId s : dead) (void)revocation_.revoke_sensor(s);
   fabric_.reset();
   edge_key_cache_.clear();
@@ -95,6 +96,7 @@ bool Network::send_secure(NodeId from, NodeId to, const Bytes& payload) {
   e.edge_key = *key_index;
   e.payload = payload;
   e.edge_mac = keys_.mac_context(*key_index).compute(payload);
+  tracer_.mac_compute(from, *key_index);
   bool sent = false;
   for (std::uint32_t copy = 1; copy < redundancy_; ++copy)
     sent = fabric_.send(e) || sent;
@@ -115,7 +117,10 @@ std::vector<Envelope> Network::receive_valid(NodeId node) {
     if (e.edge_key == kNoKey) continue;
     if (revocation_.is_key_revoked(e.edge_key)) continue;
     if (!keys_.node_holds(node, e.edge_key)) continue;
-    if (!keys_.mac_context(e.edge_key).verify(e.payload, e.edge_mac)) continue;
+    const bool mac_ok = keys_.mac_context(e.edge_key).verify(e.payload,
+                                                             e.edge_mac);
+    tracer_.mac_verify(node, e.edge_key, mac_ok);
+    if (!mac_ok) continue;
     valid.push_back(std::move(e));
   }
   return valid;

@@ -56,6 +56,15 @@ class Network {
   [[nodiscard]] Fabric& fabric() noexcept { return fabric_; }
   [[nodiscard]] const Fabric& fabric() const noexcept { return fabric_; }
 
+  /// Attach (or detach, with a default handle) the flight recorder to this
+  /// network and its fabric/revocation registry. The coordinator attaches
+  /// around each execution; the handle must not outlive its TraceState.
+  void set_tracer(Tracer tracer) noexcept {
+    tracer_ = tracer;
+    fabric_.set_tracer(tracer);
+    revocation_.set_tracer(tracer);
+  }
+
   /// Eschenauer-Gligor path-key establishment: give every physical
   /// neighbor pair that shares no ring key a dedicated pairwise path key,
   /// so the secure topology equals the physical one even with sparse
@@ -109,6 +118,7 @@ class Network {
   RevocationRegistry revocation_;
   Fabric fabric_;
   std::uint32_t redundancy_;
+  Tracer tracer_;
 
   /// Per-edge cache of the usable_edge_key() ring merge. An entry is valid
   /// while the registry's revoked-key count (monotone: keys are only ever

@@ -1,0 +1,167 @@
+#include "trace/checker.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace vmat {
+namespace {
+
+std::uint64_t ceil_log2(std::uint64_t x) noexcept {
+  std::uint64_t bits = 0;
+  while ((1ULL << bits) < x) ++bits;
+  return bits;
+}
+
+struct ExecutionSlice {
+  std::span<const TraceEvent> events;  // starts at kExecutionBegin
+};
+
+std::vector<ExecutionSlice> slice_executions(
+    std::span<const TraceEvent> events) {
+  std::vector<ExecutionSlice> slices;
+  std::size_t begin = events.size();
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    if (events[i].kind != TraceEventKind::kExecutionBegin) continue;
+    if (begin < i) slices.push_back({events.subspan(begin, i - begin)});
+    begin = i;
+  }
+  if (begin < events.size()) slices.push_back({events.subspan(begin)});
+  return slices;
+}
+
+std::string format(const char* fmt, auto... args) {
+  char buf[256];
+  std::snprintf(buf, sizeof buf, fmt, args...);
+  return buf;
+}
+
+}  // namespace
+
+std::string CheckReport::to_string() const {
+  if (violations.empty()) return "trace: all invariants hold\n";
+  std::string out;
+  for (const TraceViolation& v : violations)
+    out += format("exec %zu: [%s] %s\n", v.execution, v.property.c_str(),
+                  v.detail.c_str());
+  out += format("trace: %zu violation(s)\n", violations.size());
+  return out;
+}
+
+std::uint64_t predicate_test_envelope(const TraceContext& context) noexcept {
+  // One binary search over m candidates costs at most 2*ceil(log2 m)
+  // window tests plus the whole-window test and a re-confirmation; each
+  // walk step runs two searches (Figure 5 + Figure 6). The candidate set
+  // is a key ring (ring keys + up to one path key per neighbor) or a
+  // holder list, both bounded by nodes + ring_size.
+  const std::uint64_t m =
+      std::max<std::uint64_t>(2, std::uint64_t{context.nodes} +
+                                     context.ring_size);
+  const std::uint64_t per_search = 2 * ceil_log2(m) + 3;
+  const std::uint64_t L =
+      context.depth_bound > 0 ? static_cast<std::uint64_t>(context.depth_bound)
+                              : 1;
+  const std::uint64_t steps = context.slotted_sof ? L + 2 : 4 * L + 6;
+  return steps * (2 * per_search + 1) + 8;
+}
+
+CheckReport check_trace(const TraceContext& context,
+                        std::span<const TraceEvent> events,
+                        std::span<const ExecutionMetrics> metrics) {
+  CheckReport report;
+  const auto slices = slice_executions(events);
+  const std::uint64_t test_envelope = predicate_test_envelope(context);
+
+  for (std::size_t x = 0; x < slices.size(); ++x) {
+    const auto ev = slices[x].events;
+    auto flag = [&](const char* property, std::string detail) {
+      report.violations.push_back({property, x, std::move(detail)});
+    };
+
+    bool saw_outcome = false;
+    bool produced_result = false;
+    bool revoked_anything = false;
+    std::int64_t pinpoint_steps = 0;
+
+    for (std::size_t i = 0; i < ev.size(); ++i) {
+      const TraceEvent& e = ev[i];
+      switch (e.kind) {
+        case TraceEventKind::kArrivalAccepted: {
+          const bool verified = i > 0 &&
+                                ev[i - 1].kind == TraceEventKind::kMacVerify &&
+                                ev[i - 1].ok && ev[i - 1].a == e.a;
+          if (!verified)
+            flag("mac-before-accept",
+                 format("arrival from node %u accepted without an "
+                        "immediately preceding verified MAC",
+                        e.a.value));
+          break;
+        }
+        case TraceEventKind::kPinpointStep:
+          ++pinpoint_steps;
+          break;
+        case TraceEventKind::kKeyRevoked:
+        case TraceEventKind::kSensorRevoked:
+          revoked_anything = true;
+          break;
+        case TraceEventKind::kOutcome:
+          saw_outcome = true;
+          produced_result = e.ok;
+          break;
+        default:
+          break;
+      }
+      if (context.slotted_sof && e.phase == TracePhase::kConfirmation &&
+          e.slot > context.depth_bound)
+        flag("lemma1-trail",
+             format("confirmation event `%s` in interval %d > L=%d",
+                    to_string(e.kind), e.slot, context.depth_bound));
+    }
+
+    const std::int64_t max_steps =
+        context.slotted_sof ? context.depth_bound + 2
+                            : 4 * context.depth_bound + 6;
+    if (pinpoint_steps > max_steps)
+      flag("lemma1-trail", format("pinpointing walk took %lld steps > %lld",
+                                  static_cast<long long>(pinpoint_steps),
+                                  static_cast<long long>(max_steps)));
+
+    if (!saw_outcome) {
+      flag("truncated-execution", "stream ends without a kOutcome event");
+      continue;  // the remaining properties need the outcome
+    }
+
+    if (produced_result == revoked_anything)
+      flag("theorem7-disjunction",
+           produced_result
+               ? "execution produced a result AND revoked key material"
+               : "execution produced no result and revoked nothing");
+
+    if (x < metrics.size()) {
+      const PhaseCounters totals = metrics[x].totals();
+      if (produced_result) {
+        if (totals.predicate_tests != 0)
+          flag("round-envelope",
+               format("clean execution ran %llu predicate tests",
+                      static_cast<unsigned long long>(totals.predicate_tests)));
+        if (totals.auth_broadcasts > 4)
+          flag("round-envelope",
+               format("clean execution used %llu authenticated broadcasts > 4",
+                      static_cast<unsigned long long>(totals.auth_broadcasts)));
+      } else if (totals.predicate_tests > test_envelope) {
+        flag("round-envelope",
+             format("revocation execution ran %llu predicate tests > "
+                    "O(L log n) envelope %llu",
+                    static_cast<unsigned long long>(totals.predicate_tests),
+                    static_cast<unsigned long long>(test_envelope)));
+      }
+    }
+  }
+  return report;
+}
+
+CheckReport check_trace(const FlightRecorder& recorder) {
+  return check_trace(recorder.context(), recorder.events(),
+                     recorder.execution_metrics());
+}
+
+}  // namespace vmat

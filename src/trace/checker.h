@@ -1,0 +1,59 @@
+// Trace-invariant checker: validates theorem-shaped properties over a
+// recorded execution stream. tools/check_trace.py implements the same
+// properties over the exported JSON; DESIGN.md ("Flight recorder & trace
+// invariants") documents the envelope constants.
+//
+// Properties, per execution:
+//   lemma1-trail          With slotted SOF every confirmation-phase event
+//                         happens in an interval <= L (audit trails are
+//                         <= L+1 tuples, Lemma 1), and a pinpointing walk
+//                         takes <= L+2 steps (4L+6 unslotted).
+//   mac-before-accept     Every kArrivalAccepted is immediately preceded
+//                         by a successful kMacVerify for the same origin —
+//                         nothing is accepted on an unverified MAC.
+//   theorem7-disjunction  The execution produced a result XOR revoked at
+//                         least one key/sensor (Theorem 7).
+//   round-envelope        Clean executions stay within the O(1) data-path
+//                         budget (no predicate tests, <= 4 authenticated
+//                         broadcasts); revocation executions stay within
+//                         the O(L log n) pinpointing envelope.
+//   truncated-execution   The stream for an execution ends with kOutcome.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "trace/trace.h"
+
+namespace vmat {
+
+struct TraceViolation {
+  std::string property;
+  std::size_t execution{0};
+  std::string detail;
+};
+
+struct CheckReport {
+  std::vector<TraceViolation> violations;
+
+  [[nodiscard]] bool ok() const noexcept { return violations.empty(); }
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Upper bound on predicate tests for one revocation execution: the
+/// O(L log n) envelope the round-envelope property enforces.
+[[nodiscard]] std::uint64_t predicate_test_envelope(
+    const TraceContext& context) noexcept;
+
+/// Check a recorded stream against `context`. `metrics` (one snapshot per
+/// completed execution, in order) gates the round-envelope property; pass
+/// an empty span to skip it.
+[[nodiscard]] CheckReport check_trace(
+    const TraceContext& context, std::span<const TraceEvent> events,
+    std::span<const ExecutionMetrics> metrics);
+
+/// Convenience: check everything a FlightRecorder captured.
+[[nodiscard]] CheckReport check_trace(const FlightRecorder& recorder);
+
+}  // namespace vmat

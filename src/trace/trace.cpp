@@ -1,0 +1,388 @@
+#include "trace/trace.h"
+
+#include <cstdio>
+#include <fstream>
+
+namespace vmat {
+
+const char* to_string(TracePhase phase) noexcept {
+  switch (phase) {
+    case TracePhase::kNone: return "none";
+    case TracePhase::kBroadcast: return "broadcast";
+    case TracePhase::kTreeFormation: return "tree-formation";
+    case TracePhase::kAggregation: return "aggregation";
+    case TracePhase::kConfirmation: return "confirmation";
+    case TracePhase::kPinpoint: return "pinpoint";
+  }
+  return "?";
+}
+
+const char* to_string(TraceEventKind kind) noexcept {
+  switch (kind) {
+    case TraceEventKind::kExecutionBegin: return "exec-begin";
+    case TraceEventKind::kPhaseBegin: return "phase-begin";
+    case TraceEventKind::kPhaseEnd: return "phase-end";
+    case TraceEventKind::kSlotTick: return "slot";
+    case TraceEventKind::kSend: return "send";
+    case TraceEventKind::kDeliver: return "deliver";
+    case TraceEventKind::kDrop: return "drop";
+    case TraceEventKind::kLoss: return "loss";
+    case TraceEventKind::kAuthBroadcast: return "auth-bcast";
+    case TraceEventKind::kMacCompute: return "mac-compute";
+    case TraceEventKind::kMacVerify: return "mac-verify";
+    case TraceEventKind::kArrivalAccepted: return "accept";
+    case TraceEventKind::kArrivalRejected: return "reject";
+    case TraceEventKind::kVeto: return "veto";
+    case TraceEventKind::kPredicateTest: return "predicate-test";
+    case TraceEventKind::kPinpointStep: return "pinpoint-step";
+    case TraceEventKind::kKeyRevoked: return "key-revoked";
+    case TraceEventKind::kSensorRevoked: return "sensor-revoked";
+    case TraceEventKind::kOutcome: return "outcome";
+  }
+  return "?";
+}
+
+PhaseCounters& PhaseCounters::operator+=(const PhaseCounters& other) noexcept {
+  frames_sent += other.frames_sent;
+  frames_delivered += other.frames_delivered;
+  frames_dropped += other.frames_dropped;
+  frames_lost += other.frames_lost;
+  bytes_sent += other.bytes_sent;
+  mac_computes += other.mac_computes;
+  mac_verifies += other.mac_verifies;
+  mac_failures += other.mac_failures;
+  auth_broadcasts += other.auth_broadcasts;
+  flooding_rounds += other.flooding_rounds;
+  predicate_tests += other.predicate_tests;
+  return *this;
+}
+
+PhaseCounters ExecutionMetrics::totals() const noexcept {
+  PhaseCounters sum;
+  for (const PhaseCounters& c : phase) sum += c;
+  return sum;
+}
+
+// --- Tracer ---
+
+void Tracer::emit(TraceEvent event) {
+  event.phase = state_->phase;
+  state_->sink->on_event(event);
+}
+
+void Tracer::begin_execution() {
+  if (state_ == nullptr) return;
+  state_->metrics = ExecutionMetrics{};
+  state_->phase = TracePhase::kNone;
+  state_->slot = 0;
+  const std::int64_t ordinal = state_->executions++;
+  if (recording())
+    emit({.kind = TraceEventKind::kExecutionBegin, .value = ordinal});
+}
+
+void Tracer::begin_phase(TracePhase p) {
+  if (state_ == nullptr) return;
+  if (state_->phase != TracePhase::kNone) end_phase();
+  state_->phase = p;
+  state_->slot = 0;
+  if (recording()) emit({.kind = TraceEventKind::kPhaseBegin});
+}
+
+void Tracer::end_phase() {
+  if (state_ == nullptr || state_->phase == TracePhase::kNone) return;
+  if (recording()) emit({.kind = TraceEventKind::kPhaseEnd});
+  state_->phase = TracePhase::kNone;
+  state_->slot = 0;
+}
+
+void Tracer::end_execution(bool produced_result, std::int64_t trigger) {
+  if (state_ == nullptr) return;
+  end_phase();
+  if (recording()) {
+    emit({.kind = TraceEventKind::kOutcome,
+          .value = trigger,
+          .ok = produced_result});
+    state_->sink->on_execution_end(state_->metrics);
+  }
+}
+
+void Tracer::record_slot_tick(Interval slot) {
+  emit({.kind = TraceEventKind::kSlotTick, .slot = slot});
+}
+
+void Tracer::record_frame_sent(NodeId from, NodeId to, KeyIndex key,
+                               std::size_t bytes) {
+  emit({.kind = TraceEventKind::kSend,
+        .slot = state_->slot,
+        .a = from,
+        .b = to,
+        .key = key,
+        .bytes = static_cast<std::uint32_t>(bytes)});
+}
+
+void Tracer::record_frame_delivered(NodeId to, std::size_t bytes) {
+  emit({.kind = TraceEventKind::kDeliver,
+        .slot = state_->slot,
+        .b = to,
+        .bytes = static_cast<std::uint32_t>(bytes)});
+}
+
+void Tracer::record_frame_dropped(NodeId from, NodeId to, std::size_t bytes) {
+  emit({.kind = TraceEventKind::kDrop,
+        .slot = state_->slot,
+        .a = from,
+        .b = to,
+        .bytes = static_cast<std::uint32_t>(bytes),
+        .ok = false});
+}
+
+void Tracer::record_frame_lost(NodeId from, NodeId to, std::size_t bytes) {
+  emit({.kind = TraceEventKind::kLoss,
+        .slot = state_->slot,
+        .a = from,
+        .b = to,
+        .bytes = static_cast<std::uint32_t>(bytes),
+        .ok = false});
+}
+
+void Tracer::auth_broadcast(std::size_t payload_bytes,
+                            std::uint64_t receivers) {
+  if (state_ == nullptr) return;
+  PhaseCounters& c = counters();
+  c.auth_broadcasts += 1;
+  c.flooding_rounds += 1;
+  if (recording())
+    emit({.kind = TraceEventKind::kAuthBroadcast,
+          .bytes = static_cast<std::uint32_t>(payload_bytes),
+          .value = static_cast<std::int64_t>(receivers)});
+}
+
+void Tracer::record_mac_compute(NodeId node, KeyIndex key) {
+  emit({.kind = TraceEventKind::kMacCompute,
+        .slot = state_->slot,
+        .a = node,
+        .key = key});
+}
+
+void Tracer::record_mac_verify(NodeId node, KeyIndex key, bool ok) {
+  emit({.kind = TraceEventKind::kMacVerify,
+        .slot = state_->slot,
+        .a = node,
+        .key = key,
+        .ok = ok});
+}
+
+void Tracer::arrival_accepted(NodeId origin, Interval slot,
+                              std::int64_t value) {
+  if (!recording()) return;
+  emit({.kind = TraceEventKind::kArrivalAccepted,
+        .slot = slot,
+        .a = origin,
+        .value = value});
+}
+
+void Tracer::arrival_rejected(NodeId origin, Interval slot,
+                              std::int64_t value) {
+  if (!recording()) return;
+  emit({.kind = TraceEventKind::kArrivalRejected,
+        .slot = slot,
+        .a = origin,
+        .value = value,
+        .ok = false});
+}
+
+void Tracer::veto(NodeId actor, NodeId origin, Interval slot,
+                  std::int64_t value, bool originated) {
+  if (!recording()) return;
+  emit({.kind = TraceEventKind::kVeto,
+        .slot = slot,
+        .a = actor,
+        .b = origin,
+        .value = value,
+        .ok = originated});
+}
+
+void Tracer::predicate_test(NodeId sensor, KeyIndex pool_key, bool ok) {
+  if (state_ == nullptr) return;
+  PhaseCounters& c = counters();
+  c.predicate_tests += 1;
+  c.flooding_rounds += 2;  // token dissemination + reply flood
+  if (recording())
+    emit({.kind = TraceEventKind::kPredicateTest,
+          .a = sensor,
+          .key = pool_key,
+          .ok = ok});
+}
+
+void Tracer::pinpoint_step(NodeId current, KeyIndex edge, std::int64_t step,
+                           Interval level) {
+  if (!recording()) return;
+  emit({.kind = TraceEventKind::kPinpointStep,
+        .slot = level,
+        .a = current,
+        .key = edge,
+        .value = step});
+}
+
+void Tracer::key_revoked(KeyIndex key, bool pinpointed) {
+  if (!recording()) return;
+  emit({.kind = TraceEventKind::kKeyRevoked, .key = key, .ok = pinpointed});
+}
+
+void Tracer::sensor_revoked(NodeId node) {
+  if (!recording()) return;
+  emit({.kind = TraceEventKind::kSensorRevoked, .a = node});
+}
+
+// --- FlightRecorder ---
+
+void FlightRecorder::on_event(const TraceEvent& event) {
+  events_.push_back(event);
+}
+
+void FlightRecorder::on_execution_end(const ExecutionMetrics& metrics) {
+  execution_metrics_.push_back(metrics);
+}
+
+std::size_t FlightRecorder::execution_count() const noexcept {
+  std::size_t n = 0;
+  for (const TraceEvent& e : events_)
+    if (e.kind == TraceEventKind::kExecutionBegin) ++n;
+  return n;
+}
+
+void FlightRecorder::clear() {
+  events_.clear();
+  execution_metrics_.clear();
+}
+
+namespace {
+
+void append_u64(std::string& out, std::uint64_t v) { out += std::to_string(v); }
+
+void append_event(std::string& out, const TraceEvent& e) {
+  out += "{\"k\":\"";
+  out += to_string(e.kind);
+  out += "\",\"ph\":\"";
+  out += to_string(e.phase);
+  out += "\",\"slot\":";
+  out += std::to_string(e.slot);
+  out += ",\"a\":";
+  append_u64(out, e.a.value);
+  out += ",\"b\":";
+  append_u64(out, e.b.value);
+  out += ",\"key\":";
+  // kNoKey serialises as -1 so downstream tools need no sentinel constant.
+  out += e.key == kNoKey ? std::string("-1") : std::to_string(e.key.value);
+  out += ",\"bytes\":";
+  append_u64(out, e.bytes);
+  out += ",\"v\":";
+  out += std::to_string(e.value);
+  out += ",\"ok\":";
+  out += e.ok ? "true" : "false";
+  out += '}';
+}
+
+void append_counters(std::string& out, const PhaseCounters& c) {
+  out += "{\"frames_sent\":";
+  append_u64(out, c.frames_sent);
+  out += ",\"frames_delivered\":";
+  append_u64(out, c.frames_delivered);
+  out += ",\"frames_dropped\":";
+  append_u64(out, c.frames_dropped);
+  out += ",\"frames_lost\":";
+  append_u64(out, c.frames_lost);
+  out += ",\"bytes_sent\":";
+  append_u64(out, c.bytes_sent);
+  out += ",\"mac_computes\":";
+  append_u64(out, c.mac_computes);
+  out += ",\"mac_verifies\":";
+  append_u64(out, c.mac_verifies);
+  out += ",\"mac_failures\":";
+  append_u64(out, c.mac_failures);
+  out += ",\"auth_broadcasts\":";
+  append_u64(out, c.auth_broadcasts);
+  out += ",\"flooding_rounds\":";
+  append_u64(out, c.flooding_rounds);
+  out += ",\"predicate_tests\":";
+  append_u64(out, c.predicate_tests);
+  out += '}';
+}
+
+void append_metrics(std::string& out, const ExecutionMetrics& m) {
+  out += '{';
+  for (std::size_t p = 0; p < kTracePhaseCount; ++p) {
+    out += '"';
+    out += to_string(static_cast<TracePhase>(p));
+    out += "\":";
+    append_counters(out, m.phase[p]);
+    out += ',';
+  }
+  out += "\"totals\":";
+  append_counters(out, m.totals());
+  out += '}';
+}
+
+}  // namespace
+
+std::string FlightRecorder::to_json() const {
+  std::string out;
+  out.reserve(256 + events_.size() * 96);
+  out += "{\"trace_version\":1,\"context\":{\"nodes\":";
+  append_u64(out, context_.nodes);
+  out += ",\"depth_bound\":";
+  out += std::to_string(context_.depth_bound);
+  out += ",\"ring_size\":";
+  append_u64(out, context_.ring_size);
+  out += ",\"theta\":";
+  append_u64(out, context_.theta);
+  out += ",\"instances\":";
+  append_u64(out, context_.instances);
+  out += ",\"slotted_sof\":";
+  out += context_.slotted_sof ? "true" : "false";
+  out += "},\"executions\":[";
+
+  // Slice the stream at kExecutionBegin markers; metrics snapshots align
+  // with completed executions in recording order.
+  std::size_t exec = 0;
+  bool open = false;
+  bool first_event = true;
+  auto close_execution = [&] {
+    out += ']';
+    if (exec < execution_metrics_.size()) {
+      out += ",\"metrics\":";
+      append_metrics(out, execution_metrics_[exec]);
+    }
+    out += '}';
+    ++exec;
+  };
+  for (const TraceEvent& e : events_) {
+    if (e.kind == TraceEventKind::kExecutionBegin) {
+      if (open) close_execution();
+      if (exec > 0) out += ',';
+      out += "{\"events\":[";
+      open = true;
+      first_event = true;
+    }
+    if (!open) continue;  // events before the first marker are skipped
+    if (!first_event) out += ',';
+    first_event = false;
+    append_event(out, e);
+  }
+  if (open) close_execution();
+  out += "]}";
+  return out;
+}
+
+bool FlightRecorder::write_json(const std::string& path) const {
+  std::ofstream file(path);
+  if (!file) return false;
+  file << to_json() << '\n';
+  if (!file) return false;
+  // src/trace is a sanctioned output sink (see tools/vmat_lint.py): the
+  // pointer line mirrors BenchReport::write so harness logs stay greppable.
+  std::printf("[trace] wrote %s\n", path.c_str());
+  return true;
+}
+
+}  // namespace vmat

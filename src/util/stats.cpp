@@ -38,12 +38,10 @@ double percentile(std::span<const double> xs, double p) {
 }
 
 void RunningStats::add(double x) noexcept {
-  if (n_ == 0) {
-    min_ = max_ = x;
-  } else {
-    min_ = std::min(min_, x);
-    max_ = std::max(max_, x);
-  }
+  // min_/max_ start at the +/-inf identities, so no first-sample special
+  // case is needed (and none can be forgotten again).
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
   ++n_;
   const double delta = x - mean_;
   mean_ += delta / static_cast<double>(n_);

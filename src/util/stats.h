@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstddef>
+#include <limits>
 #include <span>
 #include <string>
 #include <vector>
@@ -19,10 +20,17 @@ namespace vmat {
 
 /// p in [0, 100]. Uses the nearest-rank method on a sorted copy, matching
 /// the paper's "x percentile: x% of all trials have an error below that
-/// value" reading.
+/// value" reading: p == 0 returns the minimum, p == 100 the maximum, and a
+/// single-element span returns that element for every p. Throws
+/// std::invalid_argument on an empty span or p outside [0, 100].
 [[nodiscard]] double percentile(std::span<const double> xs, double p);
 
 /// Incremental accumulator for long-running sweeps.
+///
+/// Empty-accumulator contract: min() is +inf and max() is -inf before the
+/// first add() — the identity elements, so merging or comparing against an
+/// empty accumulator is well defined. (They used to initialise to 0.0,
+/// which silently clamped all-positive minima and all-negative maxima.)
 class RunningStats {
  public:
   void add(double x) noexcept;
@@ -38,8 +46,8 @@ class RunningStats {
   std::size_t n_{0};
   double mean_{0.0};
   double m2_{0.0};
-  double min_{0.0};
-  double max_{0.0};
+  double min_{std::numeric_limits<double>::infinity()};
+  double max_{-std::numeric_limits<double>::infinity()};
 };
 
 /// Fixed-width table printer for the figure/table benches so every harness

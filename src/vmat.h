@@ -46,6 +46,8 @@
 #include "sim/fabric.h"              // IWYU pragma: export
 #include "sim/network.h"             // IWYU pragma: export
 #include "sim/topology.h"            // IWYU pragma: export
+#include "trace/checker.h"           // IWYU pragma: export
+#include "trace/trace.h"             // IWYU pragma: export
 #include "util/ids.h"                // IWYU pragma: export
 #include "util/random.h"             // IWYU pragma: export
 #include "util/stats.h"              // IWYU pragma: export

@@ -103,6 +103,14 @@ TEST(VmatLint, StdoutInSrcIsFlagged) {
   EXPECT_TRUE(r.mentions("bad_cout.cpp:10:")) << r.output;
 }
 
+TEST(VmatLint, TraceSinkStdoutIsSanctioned) {
+  // src/trace/ writes the trace-file pointer line directly; the stdout rule
+  // carves it out just like core/report and util/stats.
+  const auto r = run_lint("tools/fixtures/src/trace/clean_trace_sink.cpp");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_TRUE(r.output.empty()) << r.output;
+}
+
 TEST(VmatLint, MissingNodiscardInCryptoHeaderIsFlagged) {
   // The const observer and the free function are flagged; the void mutator
   // and the value-returning non-const mutator are not.

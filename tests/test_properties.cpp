@@ -2,14 +2,22 @@
 // each execution either returns the correct minimum or revokes key material
 // held by the adversary; honest sensors are never revoked; and repeated
 // executions always converge to a result (strictly diminishing adversary).
+//
+// Every sweep runs with the flight recorder attached and validates the
+// recorded stream with the trace-invariant checker, so the Lemma 1 /
+// Theorem 7 trace properties are exercised across the whole strategy zoo.
+// Set VMAT_TRACE_DIR to export each recording as JSON (CI feeds these to
+// tools/check_trace.py).
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <memory>
 #include <string>
 #include <tuple>
 
 #include "core/coordinator.h"
 #include "helpers.h"
+#include "trace/checker.h"
 
 namespace vmat {
 namespace {
@@ -59,6 +67,20 @@ std::unique_ptr<AdversaryStrategy> make_strategy(Family f, LiePolicy policy,
   return nullptr;
 }
 
+/// Validate a sweep's recording against the trace invariants and, when
+/// VMAT_TRACE_DIR is set, export it as <dir>/<current test name>.json.
+void check_and_export(const FlightRecorder& recorder) {
+  const auto check = check_trace(recorder);
+  EXPECT_TRUE(check.ok()) << check.to_string();
+  const char* dir = std::getenv("VMAT_TRACE_DIR");
+  if (dir == nullptr || dir[0] == '\0') return;
+  const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+  std::string name = std::string(info->test_suite_name()) + "." + info->name();
+  for (char& c : name)
+    if (c == '/') c = '_';
+  EXPECT_TRUE(recorder.write_json(std::string(dir) + "/" + name + ".json"));
+}
+
 enum class Shape { kGrid, kGeometric };
 
 Topology make_topology(Shape shape, std::uint64_t seed) {
@@ -85,6 +107,8 @@ TEST_P(Theorem7Sweep, EveryExecutionResultsOrSoundlyRevokes) {
   cfg.depth_bound = topo.depth(malicious);
   cfg.seed = seed;
   VmatCoordinator coordinator(&net, &adv, cfg);
+  FlightRecorder recorder;
+  coordinator.set_recorder(&recorder);
 
   const auto readings = default_readings(net.node_count());
   std::vector<std::vector<Reading>> values(net.node_count());
@@ -117,6 +141,7 @@ TEST_P(Theorem7Sweep, EveryExecutionResultsOrSoundlyRevokes) {
         << out.reason << ")";
   }
   EXPECT_LT(executions, 400) << "adversary was never exhausted";
+  check_and_export(recorder);
 }
 
 INSTANTIATE_TEST_SUITE_P(
@@ -158,6 +183,8 @@ TEST_P(Theorem7Multipath, MultipathKeepsGuarantees) {
   cfg.multipath = true;
   cfg.seed = seed;
   VmatCoordinator coordinator(&net, &adv, cfg);
+  FlightRecorder recorder;
+  coordinator.set_recorder(&recorder);
   const auto readings = default_readings(net.node_count());
   std::vector<std::vector<Reading>> values(net.node_count());
   std::vector<std::vector<std::int64_t>> weights(net.node_count());
@@ -169,6 +196,7 @@ TEST_P(Theorem7Multipath, MultipathKeepsGuarantees) {
   EXPECT_TRUE(history.back().produced_result());
   EXPECT_LE(history.back().minima[0], true_min(net, readings, malicious));
   EXPECT_TRUE(revocations_sound(net, malicious));
+  check_and_export(recorder);
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, Theorem7Multipath,
@@ -190,12 +218,15 @@ TEST_P(UnslottedSweep, UnslottedSofStillSoundlyRevokes) {
   cfg.slotted_sof = false;
   cfg.seed = seed;
   VmatCoordinator coordinator(&net, &adv, cfg);
+  FlightRecorder recorder;
+  coordinator.set_recorder(&recorder);
   const auto readings = default_readings(net.node_count());
   const auto out = coordinator.run_min(readings);
   if (out.kind == OutcomeKind::kRevocation)
     EXPECT_TRUE(revocations_sound(net, malicious)) << out.reason;
   else
     EXPECT_LE(out.minima[0], true_min(net, readings, malicious));
+  check_and_export(recorder);
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, UnslottedSweep, ::testing::Values(1, 2, 3, 4));

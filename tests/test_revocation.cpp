@@ -86,6 +86,43 @@ TEST(Fig7Stats, LargerAdversaryNeedsLargerTheta) {
   EXPECT_LT(max_honest_overlap(1), max_honest_overlap(16));
 }
 
+// Regression for the θ-cascade accounting bug: ring-seed bulk revocations
+// said nothing about the *other* holders of those keys, yet they used to
+// count toward every holder's θ. With high ring overlap one revoked sensor
+// then chain-revoked honest neighbors. Only pinpointed keys — individual
+// exposures attributable to the holder — may contribute (Section VI-C).
+TEST(ThetaCascade, RingSeedRevocationsDoNotCountTowardOtherSensorsTheta) {
+  // pool 50, ring 40: any two rings overlap in ~32 keys, far above θ = 10,
+  // so the pre-fix accounting would cascade through the whole deployment.
+  const Predistribution pd(6, {.pool_size = 50, .ring_size = 40, .seed = 11});
+  RevocationRegistry reg(&pd, /*threshold=*/10);
+
+  const auto newly = reg.revoke_sensor(NodeId{1});
+  ASSERT_FALSE(newly.empty());
+  EXPECT_EQ(newly.front(), NodeId{1});
+  EXPECT_EQ(newly.size(), 1u) << "ring-seed revocation cascaded";
+  for (std::uint32_t id = 2; id < 6; ++id) {
+    EXPECT_FALSE(reg.is_sensor_revoked(NodeId{id})) << "sensor " << id;
+    EXPECT_EQ(reg.revoked_count(NodeId{id}), 0u) << "sensor " << id;
+  }
+}
+
+TEST(ThetaCascade, PinpointedRevocationsStillCrossTheta) {
+  const Predistribution pd(6, {.pool_size = 50, .ring_size = 40, .seed = 11});
+  RevocationRegistry reg(&pd, /*threshold=*/10);
+
+  // Individually pinpointed keys are real exposures and must still count:
+  // after θ of node 2's keys are revoked one by one, node 2 falls.
+  std::uint32_t walked = 0;
+  for (KeyIndex k : pd.ring(NodeId{2}).indices()) {
+    if (reg.is_sensor_revoked(NodeId{2})) break;
+    (void)reg.revoke_key(k);
+    ++walked;
+  }
+  EXPECT_TRUE(reg.is_sensor_revoked(NodeId{2}));
+  EXPECT_EQ(walked, 10u) << "cascade should fire exactly at theta";
+}
+
 // θ-campaign scaffolding: a junk-injecting attacker placed at a
 // high-degree node, under the paper's sparse-key regime (mean pairwise
 // ring overlap r²/u = 2). Every execution pinpoints one fresh edge key the

@@ -4,6 +4,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <set>
 
 #include "util/bytes.h"
@@ -135,8 +136,41 @@ TEST(Stats, PercentileNearestRank) {
 
 TEST(Stats, PercentileValidatesInput) {
   EXPECT_THROW((void)percentile({}, 50), std::invalid_argument);
+  EXPECT_THROW((void)percentile({}, 0), std::invalid_argument);
+  EXPECT_THROW((void)percentile({}, 100), std::invalid_argument);
   const std::vector<double> xs{1.0};
   EXPECT_THROW((void)percentile(xs, 101), std::invalid_argument);
+  EXPECT_THROW((void)percentile(xs, -0.5), std::invalid_argument);
+}
+
+TEST(Stats, PercentileEndpointsAndSingleElement) {
+  // Documented contract: p == 0 is the minimum, p == 100 the maximum, and
+  // a single-element span returns that element for every p.
+  const std::vector<double> xs{7.0, -2.0, 3.5};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0), -2.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 100), 7.0);
+  const std::vector<double> one{42.0};
+  for (const double p : {0.0, 1.0, 50.0, 99.0, 100.0})
+    EXPECT_DOUBLE_EQ(percentile(one, p), 42.0) << "p=" << p;
+}
+
+TEST(Stats, EmptyRunningStatsUsesIdentityExtrema) {
+  // min() = +inf and max() = -inf before the first add(): the identity
+  // elements, so min/max over a merged-empty accumulator stay correct.
+  // (They used to start at 0.0, which clamped all-positive minima.)
+  RunningStats rs;
+  EXPECT_EQ(rs.count(), 0u);
+  EXPECT_EQ(rs.min(), std::numeric_limits<double>::infinity());
+  EXPECT_EQ(rs.max(), -std::numeric_limits<double>::infinity());
+
+  rs.add(5.0);  // a single all-positive sample must surface as the min
+  EXPECT_DOUBLE_EQ(rs.min(), 5.0);
+  EXPECT_DOUBLE_EQ(rs.max(), 5.0);
+
+  RunningStats negatives;
+  negatives.add(-3.0);  // ...and a single negative sample as the max
+  EXPECT_DOUBLE_EQ(negatives.min(), -3.0);
+  EXPECT_DOUBLE_EQ(negatives.max(), -3.0);
 }
 
 TEST(Stats, RunningStatsMatchesBatch) {

@@ -1,0 +1,207 @@
+#!/usr/bin/env python3
+"""check_trace: trace-invariant checker over exported flight-recorder JSON.
+
+Mirrors src/trace/checker.cpp over the schema FlightRecorder::to_json
+writes (trace_version 1), so CI — and anyone without a build tree — can
+validate a recording produced by `vmatsim --trace FILE` or the property
+suite's VMAT_TRACE_DIR export. Properties, per execution:
+
+  lemma1-trail          With slotted SOF every confirmation-phase event
+                        happens in an interval <= L (audit trails are
+                        <= L+1 tuples, Lemma 1), and a pinpointing walk
+                        takes <= L+2 steps (4L+6 unslotted).
+  mac-before-accept     Every accept event is immediately preceded by a
+                        successful mac-verify for the same origin.
+  theorem7-disjunction  The execution produced a result XOR revoked at
+                        least one key/sensor (Theorem 7).
+  round-envelope        Clean executions stay within the O(1) data-path
+                        budget (no predicate tests, <= 4 authenticated
+                        broadcasts); revocation executions stay within the
+                        O(L log n) pinpointing envelope.
+  truncated-execution   The stream for an execution ends with an outcome.
+
+Exit status: 0 all invariants hold, 1 violations found, 2 usage/IO error.
+Output format: exec N: [property] message
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Any
+
+
+class Violation:
+    __slots__ = ("execution", "prop", "detail")
+
+    def __init__(self, execution: int, prop: str, detail: str):
+        self.execution = execution
+        self.prop = prop
+        self.detail = detail
+
+    def __str__(self) -> str:
+        return f"exec {self.execution}: [{self.prop}] {self.detail}"
+
+
+def ceil_log2(x: int) -> int:
+    bits = 0
+    while (1 << bits) < x:
+        bits += 1
+    return bits
+
+
+def predicate_test_envelope(context: dict[str, Any]) -> int:
+    """O(L log n) bound on predicate tests for one revocation execution.
+
+    Must match vmat::predicate_test_envelope (src/trace/checker.cpp): one
+    binary search over m candidates costs at most 2*ceil(log2 m) window
+    tests plus the whole-window test and a re-confirmation; each walk step
+    runs two searches (Figure 5 + Figure 6).
+    """
+    m = max(2, int(context["nodes"]) + int(context["ring_size"]))
+    per_search = 2 * ceil_log2(m) + 3
+    depth = max(int(context["depth_bound"]), 1)
+    steps = depth + 2 if context["slotted_sof"] else 4 * depth + 6
+    return steps * (2 * per_search + 1) + 8
+
+
+def check_execution(
+    index: int, execution: dict[str, Any], context: dict[str, Any]
+) -> list[Violation]:
+    events = execution.get("events", [])
+    out: list[Violation] = []
+
+    def flag(prop: str, detail: str) -> None:
+        out.append(Violation(index, prop, detail))
+
+    depth_bound = int(context["depth_bound"])
+    saw_outcome = False
+    produced_result = False
+    revoked_anything = False
+    pinpoint_steps = 0
+
+    for i, e in enumerate(events):
+        kind = e["k"]
+        if kind == "accept":
+            prev = events[i - 1] if i > 0 else None
+            verified = (
+                prev is not None
+                and prev["k"] == "mac-verify"
+                and prev["ok"]
+                and prev["a"] == e["a"]
+            )
+            if not verified:
+                flag(
+                    "mac-before-accept",
+                    f"arrival from node {e['a']} accepted without an "
+                    "immediately preceding verified MAC",
+                )
+        elif kind == "pinpoint-step":
+            pinpoint_steps += 1
+        elif kind in ("key-revoked", "sensor-revoked"):
+            revoked_anything = True
+        elif kind == "outcome":
+            saw_outcome = True
+            produced_result = bool(e["ok"])
+        if (
+            context["slotted_sof"]
+            and e["ph"] == "confirmation"
+            and int(e["slot"]) > depth_bound
+        ):
+            flag(
+                "lemma1-trail",
+                f"confirmation event `{kind}` in interval {e['slot']} "
+                f"> L={depth_bound}",
+            )
+
+    max_steps = depth_bound + 2 if context["slotted_sof"] else 4 * depth_bound + 6
+    if pinpoint_steps > max_steps:
+        flag(
+            "lemma1-trail",
+            f"pinpointing walk took {pinpoint_steps} steps > {max_steps}",
+        )
+
+    if not saw_outcome:
+        flag("truncated-execution", "stream ends without an outcome event")
+        return out  # the remaining properties need the outcome
+
+    if produced_result == revoked_anything:
+        flag(
+            "theorem7-disjunction",
+            "execution produced a result AND revoked key material"
+            if produced_result
+            else "execution produced no result and revoked nothing",
+        )
+
+    metrics = execution.get("metrics")
+    if metrics is not None:
+        totals = metrics["totals"]
+        if produced_result:
+            if totals["predicate_tests"] != 0:
+                flag(
+                    "round-envelope",
+                    f"clean execution ran {totals['predicate_tests']} "
+                    "predicate tests",
+                )
+            if totals["auth_broadcasts"] > 4:
+                flag(
+                    "round-envelope",
+                    f"clean execution used {totals['auth_broadcasts']} "
+                    "authenticated broadcasts > 4",
+                )
+        elif totals["predicate_tests"] > predicate_test_envelope(context):
+            flag(
+                "round-envelope",
+                f"revocation execution ran {totals['predicate_tests']} "
+                f"predicate tests > O(L log n) envelope "
+                f"{predicate_test_envelope(context)}",
+            )
+    return out
+
+
+def check_trace(trace: dict[str, Any]) -> list[Violation]:
+    version = trace.get("trace_version")
+    if version != 1:
+        raise ValueError(f"unsupported trace_version: {version!r}")
+    context = trace["context"]
+    violations: list[Violation] = []
+    for index, execution in enumerate(trace.get("executions", [])):
+        violations.extend(check_execution(index, execution, context))
+    return violations
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="check_trace", description=__doc__.splitlines()[0]
+    )
+    parser.add_argument("traces", nargs="+", help="trace JSON file(s)")
+    args = parser.parse_args(argv)
+
+    total_violations = 0
+    total_executions = 0
+    for path in args.traces:
+        try:
+            with open(path, encoding="utf-8") as f:
+                trace = json.load(f)
+            violations = check_trace(trace)
+        except (OSError, ValueError, KeyError) as err:
+            print(f"{path}: error: {err}", file=sys.stderr)
+            return 2
+        executions = len(trace.get("executions", []))
+        total_executions += executions
+        total_violations += len(violations)
+        for v in violations:
+            print(f"{path}: {v}")
+    if total_violations:
+        print(f"trace: {total_violations} violation(s)")
+        return 1
+    print(
+        f"trace: all invariants hold "
+        f"({total_executions} execution(s), {len(args.traces)} file(s))"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -1,0 +1,13 @@
+// Fixture: src/trace/ is a sanctioned output sink — the flight recorder
+// prints the path of the trace file it wrote, mirroring BenchReport::write.
+// stdout-in-src must NOT fire anywhere under a trace/ component.
+#include <cstdio>
+#include <string>
+
+namespace fixture {
+
+inline void announce_trace_file(const std::string& path) {
+  std::printf("[trace] wrote %s\n", path.c_str());
+}
+
+}  // namespace fixture

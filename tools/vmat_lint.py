@@ -396,6 +396,8 @@ def rule_stdout_in_src(src: SourceFile, report) -> None:
         return  # the sanctioned table/stats printer
     if src.in_dir("core") and base.startswith("report."):
         return  # the sanctioned report sink
+    if src.in_dir("trace"):
+        return  # the flight recorder's export sink (trace-file pointer line)
     for i, line in enumerate(src.code_lines, start=1):
         if STDOUT_RE.search(line):
             report(i, "direct stdout in src/; route output through "
