@@ -19,8 +19,8 @@
 
 namespace {
 
-vmat::NetworkConfig bench_keys(std::uint64_t seed) {
-  vmat::NetworkConfig cfg;
+vmat::NetworkSpec bench_keys(std::uint64_t seed) {
+  vmat::NetworkSpec cfg;
   cfg.keys.pool_size = 400;
   cfg.keys.ring_size = 120;
   cfg.keys.seed = seed;
@@ -49,7 +49,7 @@ Row run(bool multipath, std::uint32_t f, std::size_t trials,
         vmat::Adversary adv(&net, malicious,
                             std::make_unique<vmat::SilentDropStrategy>(
                                 vmat::LiePolicy::kDenyAll));
-        vmat::VmatConfig cfg;
+        vmat::CoordinatorSpec cfg;
         cfg.depth_bound = topo.depth(malicious);
         cfg.multipath = multipath;
         cfg.seed = seed;

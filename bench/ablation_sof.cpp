@@ -49,8 +49,8 @@ class DelayVetoStrategy final : public vmat::PolicyStrategy {
   vmat::Interval replay_at_;
 };
 
-vmat::NetworkConfig bench_keys() {
-  vmat::NetworkConfig cfg;
+vmat::NetworkSpec bench_keys() {
+  vmat::NetworkSpec cfg;
   cfg.keys.pool_size = 400;
   cfg.keys.ring_size = 120;
   cfg.keys.seed = 21;
@@ -85,7 +85,7 @@ TrailStats run_case(bool slotted, vmat::Interval replay_at) {
   vmat::Adversary adv(&net, {bridge},
                       std::make_unique<DelayVetoStrategy>(replay_at));
 
-  vmat::TreeFormationParams tp;
+  vmat::TreePhaseParams tp;
   tp.depth_bound = topo.depth({bridge});
   tp.session = 1;
   const auto tree = run_tree_formation(net, &adv, tp);

@@ -81,7 +81,7 @@ CampaignCost run_campaign(std::uint32_t theta, std::uint64_t seed) {
     if (topo.degree(vmat::NodeId{id}) > topo.degree(attacker))
       attacker = vmat::NodeId{id};
 
-  vmat::NetworkConfig netcfg;
+  vmat::NetworkSpec netcfg;
   netcfg.keys.pool_size = 800;
   netcfg.keys.ring_size = 40;
   netcfg.keys.seed = seed;
@@ -90,7 +90,7 @@ CampaignCost run_campaign(std::uint32_t theta, std::uint64_t seed) {
   vmat::Adversary adv(&net, {attacker},
                       std::make_unique<vmat::JunkInjectStrategy>(
                           vmat::LiePolicy::kDenyAll, /*frame=*/false));
-  vmat::VmatConfig cfg;
+  vmat::CoordinatorSpec cfg;
   cfg.depth_bound =
       topo.depth(std::unordered_set<vmat::NodeId>{attacker}) + 2;
   cfg.seed = seed;

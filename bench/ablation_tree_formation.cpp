@@ -19,8 +19,8 @@
 
 namespace {
 
-vmat::NetworkConfig bench_keys(std::uint64_t seed) {
-  vmat::NetworkConfig cfg;
+vmat::NetworkSpec bench_keys(std::uint64_t seed) {
+  vmat::NetworkSpec cfg;
   cfg.keys.pool_size = 400;
   cfg.keys.ring_size = 120;
   cfg.keys.seed = seed;
@@ -33,7 +33,7 @@ double invalid_fraction(vmat::TreeMode mode, const vmat::Topology& topo,
   vmat::Network net(topo, bench_keys(seed));
   vmat::Adversary adv(&net, malicious,
                       std::make_unique<vmat::WormholeStrategy>(forged_hops));
-  vmat::TreeFormationParams params;
+  vmat::TreePhaseParams params;
   params.mode = mode;
   params.depth_bound = topo.depth();
   params.session = seed;

@@ -24,8 +24,8 @@
 
 namespace {
 
-vmat::NetworkConfig bench_keys(std::uint64_t seed) {
-  vmat::NetworkConfig cfg;
+vmat::NetworkSpec bench_keys(std::uint64_t seed) {
+  vmat::NetworkSpec cfg;
   cfg.keys.pool_size = 1000;
   cfg.keys.ring_size = 180;
   cfg.keys.seed = seed;
@@ -100,7 +100,7 @@ int main() {
         clean_group, n_trials, 0,
         [&](std::size_t t, vmat::Rng&) {
           vmat::Network net(topo, bench_keys(n));
-          vmat::VmatCoordinator coordinator(&net, nullptr, {});
+          vmat::VmatCoordinator coordinator(&net, nullptr, vmat::CoordinatorSpec{});
           std::vector<vmat::Reading> readings(n, 500);
           const auto start = std::chrono::steady_clock::now();
           const auto out = coordinator.run_min(readings);
@@ -128,7 +128,7 @@ int main() {
           vmat::Adversary adv(&net, malicious,
                               std::make_unique<vmat::SilentDropStrategy>(
                                   vmat::LiePolicy::kDenyAll));
-          vmat::VmatConfig cfg;
+          vmat::CoordinatorSpec cfg;
           cfg.depth_bound = topo.depth(malicious);
           vmat::VmatCoordinator coordinator(&net, &adv, cfg);
           std::vector<vmat::Reading> readings(n, 500);

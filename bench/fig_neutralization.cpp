@@ -30,7 +30,7 @@ Outcome run_campaign(std::uint32_t f, std::uint32_t theta,
   const auto topo = vmat::Topology::random_geometric(60, 0.32, seed);
   const auto malicious = vmat::choose_malicious(topo, f, seed + 5);
 
-  vmat::NetworkConfig netcfg;
+  vmat::NetworkSpec netcfg;
   netcfg.keys.pool_size = 800;
   netcfg.keys.ring_size = 40;
   netcfg.keys.seed = seed;
@@ -41,7 +41,7 @@ Outcome run_campaign(std::uint32_t f, std::uint32_t theta,
   vmat::Adversary adv(&net, malicious,
                       std::make_unique<vmat::JunkInjectStrategy>(
                           vmat::LiePolicy::kDenyAll, /*frame=*/false));
-  vmat::VmatConfig cfg;
+  vmat::CoordinatorSpec cfg;
   cfg.depth_bound = topo.depth(malicious) + 2;
   cfg.seed = seed;
   vmat::VmatCoordinator coordinator(&net, &adv, cfg);

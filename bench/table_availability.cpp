@@ -27,8 +27,8 @@ namespace {
 
 constexpr int kAttempts = 40;
 
-vmat::NetworkConfig bench_keys() {
-  vmat::NetworkConfig cfg;
+vmat::NetworkSpec bench_keys() {
+  vmat::NetworkSpec cfg;
   // The paper's sparse regime scaled down: mean pairwise ring overlap
   // r²/u = 1, θ an order of magnitude above it (no honest mis-revocation),
   // path keys covering the unkeyed physical edges.
@@ -126,7 +126,7 @@ int main() {
     vmat::Adversary adv(&net, malicious,
                         std::make_unique<vmat::ChokeVetoStrategy>(
                             vmat::LiePolicy::kDenyAll));
-    vmat::VmatConfig cfg;
+    vmat::CoordinatorSpec cfg;
     cfg.depth_bound = topo.depth(malicious);
     vmat::VmatCoordinator coordinator(&net, &adv, cfg);
     int answered = 0, wrong = 0;

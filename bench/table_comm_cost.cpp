@@ -26,8 +26,8 @@ constexpr std::uint64_t kSynopsisBytes = 32;
 constexpr std::uint64_t kRecordBytes = 20;  // id + reading + MAC
 constexpr std::uint32_t kInstances = 100;
 
-vmat::NetworkConfig bench_keys() {
-  vmat::NetworkConfig cfg;
+vmat::NetworkSpec bench_keys() {
+  vmat::NetworkSpec cfg;
   cfg.keys.pool_size = 400;
   cfg.keys.ring_size = 120;
   cfg.keys.seed = 77;
@@ -73,7 +73,7 @@ int main() {
       vmat::Network net(vmat::Topology::grid(side, side), bench_keys());
 
       // Measured VMAT execution with m synopses.
-      vmat::VmatConfig cfg;
+      vmat::CoordinatorSpec cfg;
       cfg.instances = kInstances;
       vmat::VmatCoordinator coordinator(&net, nullptr, cfg);
       vmat::QueryEngine queries(&coordinator);

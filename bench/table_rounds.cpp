@@ -39,8 +39,8 @@ Gauntlet make_gauntlet(std::uint32_t depth) {
   return {std::move(t), vmat::NodeId{depth / 2}, depth};
 }
 
-vmat::NetworkConfig bench_keys(std::uint64_t seed) {
-  vmat::NetworkConfig cfg;
+vmat::NetworkSpec bench_keys(std::uint64_t seed) {
+  vmat::NetworkSpec cfg;
   cfg.keys.pool_size = 400;
   cfg.keys.ring_size = 120;
   cfg.keys.seed = seed;
@@ -60,7 +60,7 @@ int main() {
     for (const std::uint32_t side : {4u, 8u, 16u, 24u}) {
       const std::uint32_t n = side * side;
       vmat::Network net(vmat::Topology::grid(side, side), bench_keys(3));
-      vmat::VmatCoordinator coordinator(&net, nullptr, {});
+      vmat::VmatCoordinator coordinator(&net, nullptr, vmat::CoordinatorSpec{});
       std::vector<vmat::Reading> readings(n, 100);
       const auto out = coordinator.run_min(readings);
       const auto sampling = vmat::run_set_sampling_count(
@@ -84,7 +84,7 @@ int main() {
       vmat::Adversary adv(
           &net, {g.malicious},
           std::make_unique<vmat::SilentDropStrategy>(vmat::LiePolicy::kDenyAll));
-      vmat::VmatConfig cfg;
+      vmat::CoordinatorSpec cfg;
       cfg.depth_bound =
           net.topology().depth(std::unordered_set<vmat::NodeId>{g.malicious});
       vmat::VmatCoordinator coordinator(&net, &adv, cfg);

@@ -13,7 +13,7 @@ int main() {
   const auto topology =
       vmat::Topology::random_geometric(/*n=*/150, /*radius=*/0.17, /*seed=*/5);
 
-  vmat::NetworkConfig netcfg;
+  vmat::NetworkSpec netcfg;
   netcfg.keys.pool_size = 2000;
   netcfg.keys.ring_size = 100;  // mean pairwise overlap r²/u = 5
   netcfg.keys.seed = 11;
@@ -54,7 +54,7 @@ int main() {
       &net, captured,
       std::make_unique<vmat::ValueDropStrategy>(vmat::LiePolicy::kRandom));
 
-  vmat::VmatConfig cfg;
+  vmat::CoordinatorSpec cfg;
   cfg.depth_bound = topology.depth(captured);
   vmat::VmatCoordinator coordinator(&net, &adversary, cfg);
 

@@ -13,7 +13,7 @@ int main() {
 
   // Sparse rings (mean pairwise overlap 3), so the θ threshold is
   // reachable within a short forensics campaign.
-  vmat::NetworkConfig netcfg;
+  vmat::NetworkSpec netcfg;
   netcfg.keys.pool_size = 1200;
   netcfg.keys.ring_size = 60;
   netcfg.keys.seed = 3;
@@ -25,7 +25,7 @@ int main() {
       &net, malicious,
       std::make_unique<vmat::ChokeVetoStrategy>(vmat::LiePolicy::kDenyAll));
 
-  vmat::VmatConfig cfg;
+  vmat::CoordinatorSpec cfg;
   cfg.depth_bound = topology.depth(malicious);
   vmat::VmatCoordinator coordinator(&net, &adversary, cfg);
 

@@ -1,35 +1,35 @@
-// Quickstart: build a sensor network, run a secure COUNT query, read the
-// estimate. No adversary — the minimal happy path of the public API.
+// Quickstart: describe a deployment with one SimulationSpec, run a secure
+// COUNT query, then serve a small mixed batch through the epoch-batched
+// Engine. No adversary — the minimal happy path of the public API.
 #include <cstdio>
 
 #include "vmat.h"
 
 int main() {
-  // 1. Deploy 300 sensors uniformly at random; the base station is the
-  //    node closest to the center (id 0).
-  const auto topology = vmat::Topology::random_geometric(
-      /*n=*/300, /*radius=*/0.12, /*seed=*/2024);
+  // 1. One spec describes the whole deployment: 300 sensors placed
+  //    uniformly at random (base station = node 0), Eschenauer-Gligor key
+  //    predistribution with dense rings, revocation threshold θ, and
+  //    enough synopsis instances for a (15%, 10%)-approximation.
+  vmat::SimulationSpec spec;
+  spec.nodes(300)
+      .key_pool(/*pool_size=*/2000, /*ring_size=*/260)
+      .revocation_threshold(30)
+      .accuracy(/*epsilon=*/0.15, /*delta=*/0.1)
+      .seed(2024);
+  if (const auto errors = spec.validate(); !errors.empty()) {
+    for (const auto& e : errors) std::printf("spec: %s\n", e.message.c_str());
+    return 2;
+  }
 
-  // 2. Key predistribution (Eschenauer-Gligor) + revocation threshold θ.
-  vmat::NetworkConfig netcfg;
-  netcfg.keys.pool_size = 2000;
-  netcfg.keys.ring_size = 260;  // dense rings: every physical edge keyed
-  netcfg.keys.seed = 7;
-  netcfg.revocation_threshold = 30;
-  vmat::Network net(topology, netcfg);
-
-  // 3. Configure the coordinator: enough synopsis instances for a
-  //    (10%, 5%)-approximation.
-  vmat::VmatConfig cfg;
-  cfg.instances = vmat::instances_for(/*epsilon=*/0.15, /*delta=*/0.1);
-  vmat::VmatCoordinator coordinator(&net, /*adversary=*/nullptr, cfg);
+  vmat::Network net(spec);
+  vmat::VmatCoordinator coordinator(&net, /*adversary=*/nullptr, spec);
   vmat::QueryEngine queries(&coordinator);
 
   std::printf("network: %u sensors, depth L=%d, %u synopsis instances\n",
               net.node_count(), coordinator.effective_depth_bound(),
-              cfg.instances);
+              spec.effective_instances());
 
-  // 4. Ask: how many sensors currently read a temperature above 40?
+  // 2. Ask: how many sensors currently read a temperature above 40?
   //    (Simulated: sensors 1..120 do.)
   std::vector<std::uint8_t> above_40(net.node_count(), 0);
   for (std::uint32_t id = 1; id <= 120; ++id) above_40[id] = 1;
@@ -46,13 +46,34 @@ int main() {
                 outcome.exec.reason.c_str());
   }
 
-  // 5. SUM and AVERAGE work the same way.
+  // 3. Batched serving: schedule several queries into one epoch so they
+  //    share a single authenticated tree formation. Each query still gets
+  //    its own nonce — the security argument is per-query.
   std::vector<std::int64_t> battery_mv(net.node_count(), 0);
   for (std::uint32_t id = 1; id < net.node_count(); ++id)
     battery_mv[id] = 2900 + static_cast<std::int64_t>(id % 200);
-  const auto avg = queries.average(battery_mv);
-  if (avg.answered())
-    std::printf("AVERAGE(battery) ~= %.0f mV (true ~2999 mV)\n",
-                *avg.estimate);
+
+  std::vector<vmat::EngineQuery> batch(3);
+  batch[0].kind = vmat::EngineQueryKind::kCount;
+  batch[0].predicate = above_40;
+  batch[1].kind = vmat::EngineQueryKind::kAverage;
+  batch[1].readings = battery_mv;
+  batch[2].kind = vmat::EngineQueryKind::kMin;
+  batch[2].raw = battery_mv;  // exact MIN runs on the raw readings
+
+  vmat::Engine engine(&coordinator);
+  const auto results = engine.run_batch(std::move(batch));
+  for (const auto& r : results) {
+    if (r.answered())
+      std::printf("query #%llu ~= %.1f (epoch %llu, %d execution(s))\n",
+                  static_cast<unsigned long long>(r.id), *r.estimate,
+                  static_cast<unsigned long long>(r.epoch_id), r.executions);
+    else
+      std::printf("query #%llu failed: %s\n",
+                  static_cast<unsigned long long>(r.id),
+                  r.error ? r.error->to_string().c_str() : "unknown");
+  }
+  std::printf("epochs formed for the batch: %llu\n",
+              static_cast<unsigned long long>(engine.stats().epochs_formed));
   return 0;
 }

@@ -14,7 +14,7 @@ int main() {
 
   // Sparse rings (mean pairwise overlap r^2/u = 2), the regime where θ is
   // meaningful.
-  vmat::NetworkConfig netcfg;
+  vmat::NetworkSpec netcfg;
   netcfg.keys.pool_size = 800;
   netcfg.keys.ring_size = 40;
   netcfg.keys.seed = 3;
@@ -33,7 +33,7 @@ int main() {
   vmat::Adversary adversary(&net, {attacker},
                             std::make_unique<vmat::JunkInjectStrategy>(
                                 vmat::LiePolicy::kDenyAll, /*frame=*/false));
-  vmat::VmatConfig cfg;
+  vmat::CoordinatorSpec cfg;
   cfg.depth_bound =
       topology.depth(std::unordered_set<vmat::NodeId>{attacker}) + 2;
   vmat::VmatCoordinator coordinator(&net, &adversary, cfg);

@@ -3,14 +3,17 @@
 //   vmatsim [--nodes N] [--topology grid|geometric|line]
 //           [--attack none|silent|drop|junk|choke|selfveto|wormhole|random|garbage]
 //           [--f K] [--theta T] [--query min|count] [--instances M]
-//           [--seed S] [--executions E] [--multipath] [--sparse-keys]
-//           [--trace FILE]
+//           [--seed S] [--executions E] [--serve Q] [--multipath]
+//           [--sparse-keys] [--trace FILE]
 //
-// Runs E query executions against the configured adversary and reports
-// each outcome plus the final revocation state. With --trace, records the
-// full flight-recorder event stream across all executions, writes it to
-// FILE as JSON (readable by tools/check_trace.py), and runs the built-in
-// trace-invariant checker over the recording.
+// Default mode runs E one-shot query executions against the configured
+// adversary and reports each outcome plus the final revocation state.
+// --serve Q instead submits Q queries (COUNT / SUM / AVERAGE / MIN / MAX /
+// quantile, round-robin) to the epoch-batched serving engine and reports
+// per-query results, engine stats, and per-epoch rollups. With --trace,
+// records the full flight-recorder event stream, writes it to FILE as JSON
+// (readable by tools/check_trace.py), and runs the built-in trace-invariant
+// checker over the recording.
 #include <cmath>
 #include <cstdio>
 #include <cstring>
@@ -32,6 +35,7 @@ struct Options {
   std::uint32_t instances = 50;
   std::uint64_t seed = 1;
   int executions = 25;
+  int serve = 0;  // > 0: epoch-batched serving mode with this many queries
   bool multipath = false;
   bool sparse_keys = false;
   std::string trace;  // empty = no recording
@@ -43,8 +47,8 @@ struct Options {
       "          [--attack none|silent|drop|junk|choke|selfveto|wormhole|"
       "random|garbage]\n"
       "          [--f K] [--theta T] [--query min|count] [--instances M]\n"
-      "          [--seed S] [--executions E] [--multipath] [--sparse-keys]\n"
-      "          [--trace FILE]\n",
+      "          [--seed S] [--executions E] [--serve Q] [--multipath]\n"
+      "          [--sparse-keys] [--trace FILE]\n",
       argv0);
   std::exit(2);
 }
@@ -66,6 +70,7 @@ Options parse(int argc, char** argv) {
     else if (flag == "--instances") o.instances = static_cast<std::uint32_t>(std::stoul(value()));
     else if (flag == "--seed") o.seed = std::stoull(value());
     else if (flag == "--executions") o.executions = std::stoi(value());
+    else if (flag == "--serve") o.serve = std::stoi(value());
     else if (flag == "--multipath") o.multipath = true;
     else if (flag == "--sparse-keys") o.sparse_keys = true;
     else if (flag == "--trace") o.trace = value();
@@ -74,14 +79,36 @@ Options parse(int argc, char** argv) {
   return o;
 }
 
-vmat::Topology make_topology(const Options& o) {
-  if (o.topology == "grid") {
-    const auto side = static_cast<std::uint32_t>(std::sqrt(o.nodes));
-    return vmat::Topology::grid(side, side);
+/// One validated SimulationSpec from the command line — the whole
+/// deployment in a single builder (the unified public API; see
+/// spec/simulation_spec.h).
+vmat::SimulationSpec make_spec(Options& o) {
+  vmat::SimulationSpec spec;
+  const auto kind = vmat::topology_kind_from(o.topology);
+  if (!kind.has_value()) {
+    std::fprintf(stderr, "unknown topology: %s\n", o.topology.c_str());
+    std::exit(2);
   }
-  if (o.topology == "line") return vmat::Topology::line(o.nodes);
-  const double radius = 1.8 / std::sqrt(static_cast<double>(o.nodes));
-  return vmat::Topology::random_geometric(o.nodes, radius, o.seed);
+  if (*kind == vmat::TopologyKind::kGrid) {
+    // Grid deployments need a perfect square; round down like the old CLI.
+    const auto side = static_cast<std::uint32_t>(std::sqrt(o.nodes));
+    o.nodes = side * side;
+  }
+  spec.nodes(o.nodes).topology(*kind).seed(o.seed);
+  if (o.sparse_keys)
+    spec.key_pool(5000, 50);
+  else
+    spec.key_pool(1000, 180);
+  spec.revocation_threshold(o.theta);
+  spec.multipath(o.multipath);
+  spec.instances(o.query == "count" || o.serve > 0 ? o.instances : 1);
+  const auto errors = spec.validate();
+  if (!errors.empty()) {
+    for (const auto& e : errors)
+      std::fprintf(stderr, "invalid spec: %s\n", e.to_string().c_str());
+    std::exit(2);
+  }
+  return spec;
 }
 
 std::unique_ptr<vmat::AdversaryStrategy> make_strategy(const Options& o) {
@@ -106,23 +133,100 @@ std::unique_ptr<vmat::AdversaryStrategy> make_strategy(const Options& o) {
   std::exit(2);
 }
 
+/// Round-robin over the engine's query kinds so a --serve run exercises
+/// the whole serving surface.
+vmat::EngineQuery make_served_query(int index, std::uint32_t n,
+                                    const std::vector<vmat::Reading>& readings,
+                                    const std::vector<std::uint8_t>& predicate) {
+  vmat::EngineQuery q;
+  std::vector<std::int64_t> weights(n, 0);
+  for (std::uint32_t id = 1; id < n; ++id) weights[id] = readings[id];
+  switch (index % 6) {
+    case 0:
+      q.kind = vmat::EngineQueryKind::kCount;
+      q.predicate = predicate;
+      break;
+    case 1:
+      q.kind = vmat::EngineQueryKind::kSum;
+      q.readings = weights;
+      break;
+    case 2:
+      q.kind = vmat::EngineQueryKind::kAverage;
+      q.readings = weights;
+      break;
+    case 3:
+      q.kind = vmat::EngineQueryKind::kMin;
+      q.raw = readings;
+      break;
+    case 4:
+      q.kind = vmat::EngineQueryKind::kMax;
+      q.raw = readings;
+      break;
+    default:
+      q.kind = vmat::EngineQueryKind::kQuantile;
+      q.readings = weights;
+      q.q = 0.5;
+      q.domain_max = 2048;
+      break;
+  }
+  return q;
+}
+
+int run_serving_mode(const Options& o, vmat::VmatCoordinator& coordinator,
+                     const std::vector<vmat::Reading>& readings,
+                     const std::vector<std::uint8_t>& predicate) {
+  const std::uint32_t n = coordinator.network().node_count();
+  vmat::Engine engine(&coordinator);
+  std::vector<vmat::EngineQuery> batch;
+  batch.reserve(static_cast<std::size_t>(o.serve));
+  for (int q = 0; q < o.serve; ++q)
+    batch.push_back(make_served_query(q, n, readings, predicate));
+  const auto results = engine.run_batch(std::move(batch));
+
+  for (const auto& r : results) {
+    if (r.answered())
+      std::printf("query %3llu: %-8s ~= %.1f  (executions %d, epoch %llu)\n",
+                  static_cast<unsigned long long>(r.id),
+                  vmat::to_string(r.kind), *r.estimate, r.executions,
+                  static_cast<unsigned long long>(r.epoch_id));
+    else
+      std::printf("query %3llu: %-8s FAILED: %s\n",
+                  static_cast<unsigned long long>(r.id),
+                  vmat::to_string(r.kind),
+                  r.error.has_value() ? r.error->to_string().c_str() : "?");
+  }
+
+  const vmat::EngineStats& stats = engine.stats();
+  std::printf(
+      "\nengine: %llu round(s), %llu execution(s) (%llu disrupted), "
+      "%llu epoch(s), %llu answered, %llu failed, %.1f KB on fabric\n",
+      static_cast<unsigned long long>(stats.rounds),
+      static_cast<unsigned long long>(stats.executions),
+      static_cast<unsigned long long>(stats.disrupted_executions),
+      static_cast<unsigned long long>(stats.epochs_formed),
+      static_cast<unsigned long long>(stats.queries_answered),
+      static_cast<unsigned long long>(stats.queries_failed),
+      static_cast<double>(stats.fabric_bytes) / 1024.0);
+  for (const auto& epoch : engine.epoch_rollups())
+    std::printf(
+        "  epoch %llu: formation %d round(s) %.1f KB | %llu execution(s), "
+        "%llu query(ies) served, %.1f KB\n",
+        static_cast<unsigned long long>(epoch.epoch_id),
+        epoch.formation_rounds,
+        static_cast<double>(epoch.formation_bytes) / 1024.0,
+        static_cast<unsigned long long>(epoch.executions),
+        static_cast<unsigned long long>(epoch.queries_served),
+        static_cast<double>(epoch.fabric_bytes) / 1024.0);
+  return stats.queries_failed == 0 ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  const Options o = parse(argc, argv);
+  Options o = parse(argc, argv);
 
-  const auto topology = make_topology(o);
-  vmat::NetworkConfig netcfg;
-  if (o.sparse_keys) {
-    netcfg.keys.pool_size = 5000;
-    netcfg.keys.ring_size = 50;
-  } else {
-    netcfg.keys.pool_size = 1000;
-    netcfg.keys.ring_size = 180;
-  }
-  netcfg.keys.seed = o.seed;
-  netcfg.revocation_threshold = o.theta;
-  vmat::Network net(topology, netcfg);
+  const vmat::SimulationSpec base_spec = make_spec(o);
+  vmat::Network net(base_spec);
   if (o.sparse_keys) {
     const auto established = net.establish_path_keys();
     std::printf("path keys established: %zu\n", established);
@@ -130,15 +234,12 @@ int main(int argc, char** argv) {
 
   std::unordered_set<vmat::NodeId> malicious;
   if (o.attack != "none" && o.f > 0)
-    malicious = vmat::choose_malicious(topology, o.f, o.seed + 17);
+    malicious = vmat::choose_malicious(net.topology(), o.f, o.seed + 17);
   vmat::Adversary adversary(&net, malicious, make_strategy(o));
 
-  vmat::VmatConfig cfg;
-  cfg.depth_bound = topology.depth(malicious);
-  cfg.multipath = o.multipath;
-  cfg.instances = o.query == "count" ? o.instances : 1;
-  cfg.seed = o.seed;
-  vmat::VmatCoordinator coordinator(&net, &adversary, cfg);
+  vmat::SimulationSpec spec = base_spec;
+  spec.depth_bound(net.topology().depth(malicious));
+  vmat::VmatCoordinator coordinator(&net, &adversary, spec);
 
   vmat::FlightRecorder recorder;
   if (!o.trace.empty()) coordinator.set_recorder(&recorder);
@@ -154,40 +255,45 @@ int main(int argc, char** argv) {
   std::vector<std::uint8_t> predicate(net.node_count(), 0);
   for (std::uint32_t id = 1; id < net.node_count(); id += 2) predicate[id] = 1;
 
-  vmat::QueryEngine queries(&coordinator);
-  int answered = 0, disrupted = 0;
-  for (int e = 1; e <= o.executions; ++e) {
-    if (o.query == "count") {
-      const auto out = queries.count(predicate);
-      if (out.answered()) {
-        ++answered;
-        std::printf("exec %3d: COUNT ~= %.1f\n", e, *out.estimate);
+  int serve_status = 0;
+  if (o.serve > 0) {
+    serve_status = run_serving_mode(o, coordinator, readings, predicate);
+  } else {
+    vmat::QueryEngine queries(&coordinator);
+    int answered = 0, disrupted = 0;
+    for (int e = 1; e <= o.executions; ++e) {
+      if (o.query == "count") {
+        const auto out = queries.count(predicate);
+        if (out.answered()) {
+          ++answered;
+          std::printf("exec %3d: COUNT ~= %.1f\n", e, *out.estimate);
+        } else {
+          ++disrupted;
+          std::printf("exec %3d: disrupted (%s) -> revoked %zu keys, %zu "
+                      "sensors [%s]\n",
+                      e, vmat::to_string(out.exec.trigger),
+                      out.exec.revoked_keys.size(),
+                      out.exec.revoked_sensors.size(),
+                      out.exec.reason.c_str());
+        }
       } else {
-        ++disrupted;
-        std::printf("exec %3d: disrupted (%s) -> revoked %zu keys, %zu "
-                    "sensors [%s]\n",
-                    e, vmat::to_string(out.exec.trigger),
-                    out.exec.revoked_keys.size(),
-                    out.exec.revoked_sensors.size(), out.exec.reason.c_str());
-      }
-    } else {
-      const auto out = coordinator.run_min(readings);
-      if (out.produced_result()) {
-        ++answered;
-        std::printf("exec %3d: MIN = %lld\n", e,
-                    static_cast<long long>(out.minima[0]));
-      } else {
-        ++disrupted;
-        std::printf("exec %3d: disrupted (%s) -> revoked %zu keys, %zu "
-                    "sensors [%s]\n",
-                    e, vmat::to_string(out.trigger), out.revoked_keys.size(),
-                    out.revoked_sensors.size(), out.reason.c_str());
+        const auto out = coordinator.run_min(readings);
+        if (out.produced_result()) {
+          ++answered;
+          std::printf("exec %3d: MIN = %lld\n", e,
+                      static_cast<long long>(out.minima[0]));
+        } else {
+          ++disrupted;
+          std::printf("exec %3d: disrupted (%s) -> revoked %zu keys, %zu "
+                      "sensors [%s]\n",
+                      e, vmat::to_string(out.trigger), out.revoked_keys.size(),
+                      out.revoked_sensors.size(), out.reason.c_str());
+        }
       }
     }
+    std::printf("\nsummary: %d answered, %d disrupted\n%s", answered,
+                disrupted, vmat::describe_revocations(net).c_str());
   }
-
-  std::printf("\nsummary: %d answered, %d disrupted\n%s", answered,
-              disrupted, vmat::describe_revocations(net).c_str());
 
   if (!o.trace.empty()) {
     if (!recorder.write_json(o.trace)) {
@@ -203,5 +309,5 @@ int main(int argc, char** argv) {
       return 1;
     }
   }
-  return 0;
+  return serve_status;
 }

@@ -14,7 +14,7 @@ AlarmOnlyResult run_alarm_only(Network& net, Adversary* adversary,
   std::uint64_t nonce_state = seed;
 
   AlarmOnlyResult result;
-  TreeFormationParams tree_params;
+  TreePhaseParams tree_params;
   tree_params.mode = TreeMode::kTimestamp;
   tree_params.depth_bound = depth_bound;
   tree_params.session = splitmix64(nonce_state);

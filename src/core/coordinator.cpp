@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "spec/simulation_spec.h"
 #include "util/random.h"
 
 namespace vmat {
@@ -10,10 +11,23 @@ namespace {
 /// Enough hash-chain elements for long experiment campaigns.
 constexpr std::size_t kMaxBroadcasts = 1 << 16;
 
+CoordinatorSpec validated_coordinator_spec(const SimulationSpec& spec) {
+  const auto errors = spec.validate();
+  if (!errors.empty()) {
+    std::string msg = "VmatCoordinator: invalid SimulationSpec";
+    for (const Error& e : errors) {
+      msg += "\n  ";
+      msg += e.to_string();
+    }
+    throw std::invalid_argument(msg);
+  }
+  return spec.coordinator();
+}
+
 }  // namespace
 
 VmatCoordinator::VmatCoordinator(Network* net, Adversary* adversary,
-                                 VmatConfig config)
+                                 CoordinatorSpec config)
     : net_(net),
       adversary_(adversary),
       config_(config),
@@ -33,6 +47,10 @@ VmatCoordinator::VmatCoordinator(Network* net, Adversary* adversary,
   for (std::uint32_t id = 0; id < net_->node_count(); ++id)
     receivers_.emplace_back(broadcaster_.anchor());
 }
+
+VmatCoordinator::VmatCoordinator(Network* net, Adversary* adversary,
+                                 const SimulationSpec& spec)
+    : VmatCoordinator(net, adversary, validated_coordinator_spec(spec)) {}
 
 std::uint64_t VmatCoordinator::fresh_nonce() noexcept {
   return splitmix64(nonce_state_);
@@ -65,6 +83,24 @@ void VmatCoordinator::authenticated_broadcast(const Bytes& payload,
   rounds += 1;
 }
 
+void VmatCoordinator::form_tree(std::uint64_t session, int& rounds,
+                                Tracer tracer) {
+  {
+    ByteWriter announce;
+    announce.str("vmat.announce.tree");
+    announce.u64(session);
+    tracer.begin_phase(TracePhase::kBroadcast);
+    authenticated_broadcast(announce.take(), rounds, tracer);
+  }
+  TreePhaseParams tree_params;
+  tree_params.mode = config_.tree_mode;
+  tree_params.depth_bound = depth_bound_;
+  tree_params.session = session;
+  tracer.begin_phase(TracePhase::kTreeFormation);
+  tree_ = run_tree_formation(*net_, adversary_, tree_params, tracer);
+  rounds += 1;
+}
+
 ExecutionOutcome VmatCoordinator::run_min(
     const std::vector<Reading>& readings) {
   if (config_.instances != 1)
@@ -83,16 +119,64 @@ ExecutionOutcome VmatCoordinator::run_min(
   return execute(values, weights);
 }
 
+const Epoch& VmatCoordinator::prepare_epoch() {
+  Tracer tracer{&trace_state_};
+  tracer.begin_epoch();
+  net_->set_tracer(tracer);
+  struct TracerDetach {
+    Network* net;
+    ~TracerDetach() { net->set_tracer({}); }
+  } detach{net_};
+
+  int rounds = 0;
+  const std::uint64_t session = fresh_nonce();
+  form_tree(session, rounds, tracer);
+  tracer.end_epoch();
+
+  epoch_.id += 1;
+  epoch_.session = session;
+  epoch_.formation_rounds = rounds;
+  epoch_.metrics = trace_state_.metrics;
+  epoch_.fabric_bytes = epoch_.metrics.totals().bytes_sent;
+  epoch_.revoked_keys = net_->revocation().revoked_key_count();
+  epoch_.revoked_sensors = net_->revocation().revoked_sensors_in_order().size();
+  epoch_.key_generation = net_->key_generation();
+  epoch_stale_ = false;
+  return epoch_;
+}
+
+bool VmatCoordinator::epoch_ready() const noexcept {
+  return !epoch_stale_ && epoch_.id != 0 &&
+         net_->revocation().revoked_key_count() == epoch_.revoked_keys &&
+         net_->revocation().revoked_sensors_in_order().size() ==
+             epoch_.revoked_sensors &&
+         net_->key_generation() == epoch_.key_generation;
+}
+
+ExecutionOutcome VmatCoordinator::run_query(
+    const std::vector<std::vector<Reading>>& values,
+    const std::vector<std::vector<std::int64_t>>& weights,
+    const ContentValidator& validate, std::uint32_t instances) {
+  if (!epoch_ready())
+    throw std::logic_error(
+        "run_query: no ready epoch — call prepare_epoch() first (a "
+        "revocation or rekey invalidates the current epoch)");
+  Tracer tracer{&trace_state_};
+  tracer.begin_execution();
+  net_->set_tracer(tracer);
+  struct TracerDetach {
+    Network* net;
+    ~TracerDetach() { net->set_tracer({}); }
+  } detach{net_};
+  return run_query_phases(values, weights, validate,
+                          instances == 0 ? config_.instances : instances,
+                          tracer, 0);
+}
+
 ExecutionOutcome VmatCoordinator::execute(
     const std::vector<std::vector<Reading>>& values,
     const std::vector<std::vector<std::int64_t>>& weights,
     const ContentValidator& validate) {
-  const std::uint32_t n = net_->node_count();
-  if (values.size() != n || weights.size() != n)
-    throw std::invalid_argument("execute: values/weights must cover all nodes");
-
-  ExecutionOutcome out;
-
   // Attach the flight recorder for exactly this execution: the Tracer
   // handles passed down all point at trace_state_, and the network-side
   // attachment is undone on every exit path so no component keeps a handle
@@ -105,22 +189,28 @@ ExecutionOutcome VmatCoordinator::execute(
     ~TracerDetach() { net->set_tracer({}); }
   } detach{net_};
 
-  // --- announce + tree formation ---
+  // A one-shot execution forms its own tree, which orphans any epoch tree
+  // a serving layer may have prepared.
+  epoch_stale_ = true;
+
+  int rounds = 0;
   const std::uint64_t session = fresh_nonce();
-  {
-    ByteWriter announce;
-    announce.str("vmat.announce.tree");
-    announce.u64(session);
-    tracer.begin_phase(TracePhase::kBroadcast);
-    authenticated_broadcast(announce.take(), out.data_rounds, tracer);
-  }
-  TreeFormationParams tree_params;
-  tree_params.mode = config_.tree_mode;
-  tree_params.depth_bound = depth_bound_;
-  tree_params.session = session;
-  tracer.begin_phase(TracePhase::kTreeFormation);
-  tree_ = run_tree_formation(*net_, adversary_, tree_params, tracer);
-  out.data_rounds += 1;
+  form_tree(session, rounds, tracer);
+  return run_query_phases(values, weights, validate, config_.instances,
+                          tracer, rounds);
+}
+
+ExecutionOutcome VmatCoordinator::run_query_phases(
+    const std::vector<std::vector<Reading>>& values,
+    const std::vector<std::vector<std::int64_t>>& weights,
+    const ContentValidator& validate, std::uint32_t instances, Tracer tracer,
+    int rounds_so_far) {
+  const std::uint32_t n = net_->node_count();
+  if (values.size() != n || weights.size() != n)
+    throw std::invalid_argument("execute: values/weights must cover all nodes");
+
+  ExecutionOutcome out;
+  out.data_rounds = rounds_so_far;
 
   // --- announce query + aggregation ---
   const std::uint64_t agg_nonce = fresh_nonce();
@@ -128,12 +218,12 @@ ExecutionOutcome VmatCoordinator::execute(
     ByteWriter announce;
     announce.str("vmat.announce.query");
     announce.u64(agg_nonce);
-    announce.u32(config_.instances);
+    announce.u32(instances);
     tracer.begin_phase(TracePhase::kBroadcast);
     authenticated_broadcast(announce.take(), out.data_rounds, tracer);
   }
   AggConfig agg_config;
-  agg_config.instances = config_.instances;
+  agg_config.instances = instances;
   agg_config.nonce = agg_nonce;
   agg_config.multipath = config_.multipath;
   tracer.begin_phase(TracePhase::kAggregation);
@@ -160,7 +250,7 @@ ExecutionOutcome VmatCoordinator::execute(
   };
 
   // --- Figure 1 step 4: classify arrivals, junk first ---
-  std::vector<Reading> minima(config_.instances, kInfinity);
+  std::vector<Reading> minima(instances, kInfinity);
   for (const BsArrival& a : agg.arrivals) {
     const bool id_ok =
         a.msg.origin != kBaseStation && a.msg.origin.value < n &&
@@ -228,7 +318,7 @@ ExecutionOutcome VmatCoordinator::execute(
           engine.junk_triggered_confirmation(v.msg, v.in_edge, v.interval),
           Trigger::kJunkConfirmation);
     }
-    const bool semantics_ok = v.msg.instance < config_.instances &&
+    const bool semantics_ok = v.msg.instance < instances &&
                               v.msg.level >= 1 && v.msg.level <= depth_bound_ &&
                               v.msg.value < minima[v.msg.instance];
     if (!semantics_ok) {

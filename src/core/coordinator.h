@@ -8,6 +8,14 @@
 // returns either per-instance minima (guaranteed correct, Theorem 2) or the
 // keys/sensors revoked (guaranteed adversary-held, Theorem 6) — the
 // Theorem 7 disjunction.
+//
+// The serving split: execute() is the one-shot form. A serving layer
+// (engine/engine.h) instead calls prepare_epoch() once — announcement +
+// tree formation under a fresh session — and then run_query() many times
+// over the shared tree; the epoch stays valid until a revocation (or
+// rekey/path-key change) invalidates the formed tree. Each run_query()
+// uses fresh query/confirmation nonces, so the per-execution security
+// argument is unchanged — only the tree-formation cost is amortized.
 #pragma once
 
 #include <functional>
@@ -26,7 +34,7 @@
 
 namespace vmat {
 
-struct VmatConfig {
+struct CoordinatorSpec {
   Level depth_bound{0};  ///< announced L; 0 = use the physical depth
   TreeMode tree_mode{TreeMode::kTimestamp};
   bool multipath{false};     ///< Section IV-D ring aggregation
@@ -38,6 +46,13 @@ struct VmatConfig {
   /// verified flood.
   PredicateTestMode predicate_mode{PredicateTestMode::kReachability};
 };
+
+/// Pre-SimulationSpec name, kept as a conversion shim for one release.
+using VmatConfig  // vmat-lint: allow(deprecated-config)
+    [[deprecated("use SimulationSpec (spec/simulation_spec.h) or "
+                 "CoordinatorSpec")]] = CoordinatorSpec;
+
+class SimulationSpec;
 
 enum class OutcomeKind : std::uint8_t { kResult, kRevocation };
 
@@ -79,9 +94,33 @@ struct ExecutionOutcome {
 /// MAC (e.g. synopsis consistency). Returning false marks it spurious.
 using ContentValidator = std::function<bool(const AggMessage&)>;
 
+/// A formed epoch: one authenticated announcement + tree formation whose
+/// tree is shared by every run_query() until a revocation invalidates it.
+struct Epoch {
+  std::uint64_t id{0};       ///< 1-based formation ordinal; 0 = none yet
+  std::uint64_t session{0};  ///< the tree-formation session nonce
+  /// Flooding rounds spent on formation (announcement + tree phase).
+  int formation_rounds{0};
+  /// Metrics for the formation slice only; query executions meter their
+  /// own slices into ExecutionOutcome::metrics.
+  ExecutionMetrics metrics;
+  /// Fabric bytes moved by the formation slice.
+  std::uint64_t fabric_bytes{0};
+  // Revocation/key-material snapshot the epoch's validity is checked
+  // against (any change means the formed tree may be stale).
+  std::size_t revoked_keys{0};
+  std::size_t revoked_sensors{0};
+  std::uint64_t key_generation{0};
+};
+
 class VmatCoordinator {
  public:
-  VmatCoordinator(Network* net, Adversary* adversary, VmatConfig config);
+  VmatCoordinator(Network* net, Adversary* adversary, CoordinatorSpec config);
+
+  /// Construct from a validated SimulationSpec (throws
+  /// std::invalid_argument with the joined validation report otherwise).
+  VmatCoordinator(Network* net, Adversary* adversary,
+                  const SimulationSpec& spec);
 
   /// One full execution over per-node, per-instance values/weights
   /// (kInfinity value = the node contributes nothing for that instance).
@@ -90,6 +129,31 @@ class VmatCoordinator {
       const std::vector<std::vector<Reading>>& values,
       const std::vector<std::vector<std::int64_t>>& weights,
       const ContentValidator& validate = {});
+
+  // --- epoch-batched serving (engine/engine.h drives these) ---
+
+  /// Form (or re-form) the epoch: authenticated announcement + tree
+  /// formation under a fresh session nonce. Returns the epoch descriptor.
+  const Epoch& prepare_epoch();
+
+  /// A prepare_epoch() tree exists and no revocation / rekey / path-key
+  /// change (or intervening execute()) has stalled it.
+  [[nodiscard]] bool epoch_ready() const noexcept;
+
+  /// The last formed epoch (id 0 when none was formed yet).
+  [[nodiscard]] const Epoch& epoch() const noexcept { return epoch_; }
+
+  /// One query execution over the current epoch's tree: query announcement
+  /// → aggregation → minima announcement → confirmation → classification,
+  /// with fresh per-query nonces. Requires epoch_ready() (throws
+  /// std::logic_error otherwise). `instances` overrides config().instances
+  /// for this execution (0 = config value) — the serving engine packs many
+  /// queries into one wide execution this way. A kRevocation outcome
+  /// invalidates the epoch.
+  [[nodiscard]] ExecutionOutcome run_query(
+      const std::vector<std::vector<Reading>>& values,
+      const std::vector<std::vector<std::int64_t>>& weights,
+      const ContentValidator& validate = {}, std::uint32_t instances = 0);
 
   /// Plain MIN query over one reading per node (instances must be 1).
   [[nodiscard]] ExecutionOutcome run_min(const std::vector<Reading>& readings);
@@ -105,8 +169,9 @@ class VmatCoordinator {
   [[nodiscard]] const std::vector<NodeAudit>& audits() const noexcept {
     return audits_;
   }
+  [[nodiscard]] Network& network() const noexcept { return *net_; }
   [[nodiscard]] const TreeResult& last_tree() const noexcept { return tree_; }
-  [[nodiscard]] const VmatConfig& config() const noexcept { return config_; }
+  [[nodiscard]] const CoordinatorSpec& config() const noexcept { return config_; }
   [[nodiscard]] Level effective_depth_bound() const noexcept {
     return depth_bound_;
   }
@@ -125,13 +190,27 @@ class VmatCoordinator {
   void authenticated_broadcast(const Bytes& payload, int& rounds,
                                Tracer tracer);
 
+  /// Announcement broadcast + tree formation for `session` (fills tree_).
+  void form_tree(std::uint64_t session, int& rounds, Tracer tracer);
+
+  /// Query announcement → aggregation → minima announcement →
+  /// confirmation → classification over the already-formed tree_;
+  /// `rounds_so_far` seeds ExecutionOutcome::data_rounds.
+  [[nodiscard]] ExecutionOutcome run_query_phases(
+      const std::vector<std::vector<Reading>>& values,
+      const std::vector<std::vector<std::int64_t>>& weights,
+      const ContentValidator& validate, std::uint32_t instances,
+      Tracer tracer, int rounds_so_far);
+
   Network* net_;
   Adversary* adversary_;
-  VmatConfig config_;
+  CoordinatorSpec config_;
   Level depth_bound_;
   std::uint64_t nonce_state_;
   std::vector<NodeAudit> audits_;
   TreeResult tree_;
+  Epoch epoch_;
+  bool epoch_stale_{true};
   AuthBroadcaster broadcaster_;
   std::vector<AuthReceiver> receivers_;
   /// Shared by every component tracing one execution; the Tracer handles

@@ -9,8 +9,7 @@ void put_mac(ByteWriter& w, const Mac& mac) { w.raw(mac.bytes); }
 
 Mac get_mac(ByteReader& r) {
   Mac mac;
-  const Bytes raw = r.raw(mac.bytes.size());
-  std::copy(raw.begin(), raw.end(), mac.bytes.begin());
+  r.raw_into(mac.bytes);
   return mac;
 }
 
@@ -44,6 +43,9 @@ Bytes encode(const TreeFormationMsg& m) {
 
 Bytes encode(const AggBundle& m) {
   ByteWriter w;
+  // 24 fixed bytes + MAC per entry; exact pre-size keeps the hot
+  // aggregation path allocation-flat.
+  w.reserve(5 + m.entries.size() * (24 + sizeof(Mac::bytes)));
   w.u8(static_cast<std::uint8_t>(MsgType::kAggBundle));
   w.u32(static_cast<std::uint32_t>(m.entries.size()));
   for (const auto& e : m.entries) put_agg_message(w, e);
@@ -150,15 +152,42 @@ std::optional<PredicateReplyMsg> decode_reply(const Bytes& frame) {
   }
 }
 
+namespace {
+
+// agg_mac_input's canonical layout, built into a caller buffer with no
+// allocation: str("vmat.agg") | u64 nonce | u32 instance | i64 value |
+// i64 weight — 12 + 8 + 4 + 8 + 8 bytes, all little-endian.
+constexpr std::size_t kAggMacInputSize = 40;
+
+void fill_agg_mac_input(std::uint8_t* out, std::uint64_t nonce,
+                        std::uint32_t instance, Reading value,
+                        std::int64_t weight) noexcept {
+  constexpr char label[] = "vmat.agg";
+  constexpr std::uint32_t label_len = 8;
+  std::size_t at = 0;
+  for (int i = 0; i < 4; ++i)
+    out[at++] = static_cast<std::uint8_t>(label_len >> (8 * i));
+  for (std::size_t i = 0; i < label_len; ++i)
+    out[at++] = static_cast<std::uint8_t>(label[i]);
+  for (int i = 0; i < 8; ++i)
+    out[at++] = static_cast<std::uint8_t>(nonce >> (8 * i));
+  for (int i = 0; i < 4; ++i)
+    out[at++] = static_cast<std::uint8_t>(instance >> (8 * i));
+  const auto v = static_cast<std::uint64_t>(value);
+  for (int i = 0; i < 8; ++i)
+    out[at++] = static_cast<std::uint8_t>(v >> (8 * i));
+  const auto w = static_cast<std::uint64_t>(weight);
+  for (int i = 0; i < 8; ++i)
+    out[at++] = static_cast<std::uint8_t>(w >> (8 * i));
+}
+
+}  // namespace
+
 Bytes agg_mac_input(std::uint64_t nonce, std::uint32_t instance, Reading value,
                     std::int64_t weight) {
-  ByteWriter w;
-  w.str("vmat.agg");
-  w.u64(nonce);
-  w.u32(instance);
-  w.i64(value);
-  w.i64(weight);
-  return w.take();
+  Bytes out(kAggMacInputSize);
+  fill_agg_mac_input(out.data(), nonce, instance, value, weight);
+  return out;
 }
 
 Bytes veto_mac_input(std::uint64_t nonce, std::uint32_t instance, Reading value,
@@ -180,7 +209,9 @@ AggMessage make_agg_message(const MacContext& sensor_key, NodeId origin,
   m.instance = instance;
   m.value = value;
   m.weight = weight;
-  m.mac = sensor_key.compute(agg_mac_input(nonce, instance, value, weight));
+  std::uint8_t input[kAggMacInputSize];
+  fill_agg_mac_input(input, nonce, instance, value, weight);
+  m.mac = sensor_key.compute(input);
   return m;
 }
 

@@ -22,11 +22,9 @@ QueryOutcome QueryEngine::run_synopsis_query(
     values[id].assign(instances, kInfinity);
     weight_grid[id].assign(instances, 0);
     if (weights[id] <= 0 || id == kBaseStation.value) continue;
-    for (std::uint32_t i = 0; i < instances; ++i) {
-      values[id][i] = codec.value_for(NodeId{static_cast<std::uint32_t>(id)},
-                                      i, weights[id]);
-      weight_grid[id][i] = weights[id];
-    }
+    codec.fill_values(NodeId{static_cast<std::uint32_t>(id)}, weights[id],
+                      values[id]);
+    weight_grid[id].assign(instances, weights[id]);
   }
 
   QueryOutcome out;

@@ -13,6 +13,7 @@
 
 #include "core/coordinator.h"
 #include "core/synopsis.h"
+#include "util/error.h"
 
 namespace vmat {
 
@@ -24,6 +25,17 @@ struct QueryOutcome {
   ExecutionOutcome exec;
 
   [[nodiscard]] bool answered() const noexcept { return estimate.has_value(); }
+
+  /// Typed error when the query was not answered: kDisrupted carrying the
+  /// execution's reason string. Callers never dig through exec.reason.
+  [[nodiscard]] std::optional<Error> error() const {
+    if (answered()) return std::nullopt;
+    return Error{ErrorCode::kDisrupted, exec.reason};
+  }
+  /// Human-readable disruption detail ("" for answered queries).
+  [[nodiscard]] const std::string& reason() const noexcept {
+    return exec.reason;
+  }
 };
 
 class QueryEngine {

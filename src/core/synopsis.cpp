@@ -1,12 +1,49 @@
 #include "core/synopsis.h"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 
 namespace vmat {
 
+namespace {
+
+/// Map one digest lane to a uniform (0,1) draw: 53 bits, with the
+/// measure-zero all-zeros lane clamped to 2^-53 so log() stays finite.
+/// Deterministic and public, so the validator recomputes it exactly.
+double lane_unit_open(const Digest& d, std::uint32_t lane) noexcept {
+  std::uint64_t raw = 0;
+  for (int i = 0; i < 8; ++i)
+    raw |= std::uint64_t{d[8 * lane + i]} << (8 * i);
+  std::uint64_t bits = raw >> 11;
+  if (bits == 0) bits = 1;
+  return static_cast<double>(bits) * 0x1.0p-53;
+}
+
+}  // namespace
+
 SynopsisCodec::SynopsisCodec(std::uint64_t nonce) noexcept
-    : nonce_(nonce), prg_key_(derive_key("vmat.synopsis-prg", nonce, 0)) {}
+    : nonce_(nonce),
+      prg_key_(derive_key("vmat.synopsis-prg", nonce, 0)),
+      prg_state_(prg_key_.span()) {}
+
+Digest SynopsisCodec::block_digest(NodeId origin, std::uint32_t block,
+                                   std::int64_t weight) const noexcept {
+  // Canonical LE encoding of (nonce, origin, block, weight) — the ByteWriter
+  // layout, on the stack to keep the per-block cost at the two SHA-256
+  // compressions of the cached key schedule.
+  std::uint8_t msg[24];
+  for (int i = 0; i < 8; ++i)
+    msg[i] = static_cast<std::uint8_t>(nonce_ >> (8 * i));
+  for (int i = 0; i < 4; ++i)
+    msg[8 + i] = static_cast<std::uint8_t>(origin.value >> (8 * i));
+  for (int i = 0; i < 4; ++i)
+    msg[12 + i] = static_cast<std::uint8_t>(block >> (8 * i));
+  const auto w = static_cast<std::uint64_t>(weight);
+  for (int i = 0; i < 8; ++i)
+    msg[16 + i] = static_cast<std::uint8_t>(w >> (8 * i));
+  return prg_state_.mac(msg);
+}
 
 Reading SynopsisCodec::encode_value(double a) noexcept {
   if (a < 0.0) a = 0.0;
@@ -21,9 +58,21 @@ double SynopsisCodec::decode_value(Reading v) noexcept {
 
 Reading SynopsisCodec::value_for(NodeId origin, std::uint32_t instance,
                                  std::int64_t weight) const noexcept {
-  const double a = prf_exponential(prg_key_, nonce_, origin.value, instance,
-                                   static_cast<std::uint64_t>(weight));
-  return encode_value(a);
+  const Digest d = block_digest(origin, instance / kLanes, weight);
+  const double u = lane_unit_open(d, instance % kLanes);
+  return encode_value(-std::log(u) / static_cast<double>(weight));
+}
+
+void SynopsisCodec::fill_values(NodeId origin, std::int64_t weight,
+                                std::span<Reading> out) const noexcept {
+  const double w = static_cast<double>(weight);
+  for (std::uint32_t i = 0; i < out.size(); i += kLanes) {
+    const Digest d = block_digest(origin, i / kLanes, weight);
+    const std::uint32_t lanes =
+        std::min<std::uint32_t>(kLanes, static_cast<std::uint32_t>(out.size()) - i);
+    for (std::uint32_t lane = 0; lane < lanes; ++lane)
+      out[i + lane] = encode_value(-std::log(lane_unit_open(d, lane)) / w);
+  }
 }
 
 bool SynopsisCodec::consistent(const AggMessage& m) const noexcept {

@@ -13,7 +13,7 @@ void record_parent(std::vector<ParentLink>& parents, ParentLink link) {
 }
 
 TreeResult run_timestamp_mode(Network& net, Adversary* adversary,
-                              const TreeFormationParams& params,
+                              const TreePhaseParams& params,
                               Tracer tracer) {
   const std::uint32_t n = net.node_count();
   TreeResult result;
@@ -77,7 +77,7 @@ TreeResult run_timestamp_mode(Network& net, Adversary* adversary,
 }
 
 TreeResult run_hopcount_mode(Network& net, Adversary* adversary,
-                             const TreeFormationParams& params,
+                             const TreePhaseParams& params,
                              Tracer tracer) {
   const std::uint32_t n = net.node_count();
   TreeResult result;
@@ -150,7 +150,7 @@ TreeResult run_hopcount_mode(Network& net, Adversary* adversary,
 }  // namespace
 
 TreeResult run_tree_formation(Network& net, Adversary* adversary,
-                              const TreeFormationParams& params,
+                              const TreePhaseParams& params,
                               Tracer tracer) {
   if (params.depth_bound < 1)
     throw std::invalid_argument("run_tree_formation: depth_bound must be >= 1");

@@ -20,16 +20,21 @@
 
 namespace vmat {
 
-struct TreeFormationParams {
+struct TreePhaseParams {
   TreeMode mode{TreeMode::kTimestamp};
   Level depth_bound{0};  ///< the announced L (> 0)
   std::uint64_t session{0};
 };
 
+/// Pre-SimulationSpec name, kept as a conversion shim for one release.
+using TreeFormationParams  // vmat-lint: allow(deprecated-config)
+    [[deprecated("use SimulationSpec (spec/simulation_spec.h) or "
+                 "TreePhaseParams")]] = TreePhaseParams;
+
 /// Run the phase to completion. The adversary hook runs at the start of
 /// every slot, before honest transmissions.
 [[nodiscard]] TreeResult run_tree_formation(Network& net, Adversary* adversary,
-                                            const TreeFormationParams& params,
+                                            const TreePhaseParams& params,
                                             Tracer tracer = {});
 
 }  // namespace vmat

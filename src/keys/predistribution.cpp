@@ -8,7 +8,7 @@
 namespace vmat {
 
 Predistribution::Predistribution(std::uint32_t node_count,
-                                 const KeySetupConfig& config)
+                                 const KeyMaterialSpec& config)
     : config_(config),
       pool_(config.pool_size, config.seed),
       path_keys_(node_count),

@@ -18,23 +18,28 @@
 
 namespace vmat {
 
-struct KeySetupConfig {
+struct KeyMaterialSpec {
   std::uint32_t pool_size{1000};   ///< u — paper's evaluation uses 100,000
   std::uint32_t ring_size{60};     ///< r — paper's evaluation uses 250
   std::uint64_t seed{1};           ///< master seed for pool + ring seeds
 };
+
+/// Pre-SimulationSpec name, kept as a conversion shim for one release.
+using KeySetupConfig  // vmat-lint: allow(deprecated-config)
+    [[deprecated("use SimulationSpec (spec/simulation_spec.h) or "
+                 "KeyMaterialSpec")]] = KeyMaterialSpec;
 
 class Predistribution {
  public:
   /// Set up pool and rings for `node_count` sensors (ids 0..node_count-1;
   /// id 0 is the base station, which gets a ring too so it can terminate
   /// audit trails).
-  Predistribution(std::uint32_t node_count, const KeySetupConfig& config);
+  Predistribution(std::uint32_t node_count, const KeyMaterialSpec& config);
 
   [[nodiscard]] std::uint32_t node_count() const noexcept {
     return static_cast<std::uint32_t>(rings_.size());
   }
-  [[nodiscard]] const KeySetupConfig& config() const noexcept { return config_; }
+  [[nodiscard]] const KeyMaterialSpec& config() const noexcept { return config_; }
   [[nodiscard]] const KeyPool& pool() const noexcept { return pool_; }
 
   [[nodiscard]] const KeyRing& ring(NodeId node) const;
@@ -94,7 +99,7 @@ class Predistribution {
   [[nodiscard]] const MacContext& sensor_mac_context(NodeId node) const;
 
  private:
-  KeySetupConfig config_;
+  KeyMaterialSpec config_;
   KeyPool pool_;
   std::vector<KeyRing> rings_;  // indexed by node id
   std::unordered_map<KeyIndex, std::vector<NodeId>> holders_;

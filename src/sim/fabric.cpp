@@ -20,11 +20,13 @@ Fabric::Fabric(const Topology* topology, std::size_t capacity_per_slot)
   if (topology == nullptr) throw std::invalid_argument("Fabric: null topology");
 }
 
-void Fabric::set_loss(double probability, std::uint64_t seed) {
+Status Fabric::set_loss(double probability, std::uint64_t seed) {
   if (probability < 0.0 || probability >= 1.0)
-    throw std::invalid_argument("Fabric::set_loss: probability in [0,1)");
+    return Error{ErrorCode::kInvalidArgument,
+                 "Fabric::set_loss: probability in [0,1)"};
   loss_probability_ = probability;
   loss_rng_state_ = seed ^ 0x10553eedULL;
+  return {};
 }
 
 bool Fabric::send(Envelope envelope) {

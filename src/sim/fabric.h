@@ -24,6 +24,7 @@
 #include "sim/topology.h"
 #include "trace/trace.h"
 #include "util/bytes.h"
+#include "util/error.h"
 #include "util/ids.h"
 
 namespace vmat {
@@ -62,7 +63,9 @@ class Fabric {
   /// Enable lossy links: every frame is independently lost with the given
   /// probability (deterministic per seed). The transmitter still pays for
   /// the frame (radio energy is spent whether or not anyone hears it).
-  void set_loss(double probability, std::uint64_t seed);
+  /// Probability must lie in [0, 1); out-of-domain values are rejected
+  /// with ErrorCode::kInvalidArgument and leave the fabric unchanged.
+  [[nodiscard]] Status set_loss(double probability, std::uint64_t seed);
 
   [[nodiscard]] std::uint64_t frames_lost() const noexcept { return lost_; }
 

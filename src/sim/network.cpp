@@ -1,20 +1,47 @@
 #include "sim/network.h"
 
 #include <algorithm>
+#include <stdexcept>
+
+#include "spec/simulation_spec.h"
 
 namespace vmat {
+namespace {
 
-Network::Network(Topology topology, const NetworkConfig& config)
+Topology validated_topology(const SimulationSpec& spec) {
+  const auto errors = spec.validate();
+  if (!errors.empty()) {
+    std::string msg = "Network: invalid SimulationSpec";
+    for (const Error& e : errors) {
+      msg += "\n  ";
+      msg += e.to_string();
+    }
+    throw std::invalid_argument(msg);
+  }
+  return spec.build_topology();
+}
+
+}  // namespace
+
+Network::Network(const SimulationSpec& spec)
+    : Network(validated_topology(spec), spec.network()) {}
+
+Network::Network(Topology topology, const NetworkSpec& config)
     : topology_(std::move(topology)),
       keys_(topology_.node_count(), config.keys),
       revocation_(&keys_, config.revocation_threshold),
       fabric_(&topology_, config.capacity_per_slot),
       redundancy_(config.redundancy == 0 ? 1 : config.redundancy) {
-  if (config.loss_probability > 0.0)
-    fabric_.set_loss(config.loss_probability, config.keys.seed);
+  if (config.loss_probability > 0.0) {
+    // Spec-validated configs never hit this; a hand-built config with an
+    // out-of-domain loss still fails fast at construction.
+    const Status loss =
+        fabric_.set_loss(config.loss_probability, config.keys.seed);
+    if (!loss) throw std::invalid_argument(loss.error().to_string());
+  }
 }
 
-std::size_t Network::rekey(const KeySetupConfig& fresh_keys) {
+std::size_t Network::rekey(const KeyMaterialSpec& fresh_keys) {
   const std::vector<NodeId> dead = revocation_.revoked_sensors_in_order();
   const std::uint32_t theta = revocation_.threshold();
   keys_ = Predistribution(topology_.node_count(), fresh_keys);
@@ -23,6 +50,7 @@ std::size_t Network::rekey(const KeySetupConfig& fresh_keys) {
   for (NodeId s : dead) (void)revocation_.revoke_sensor(s);
   fabric_.reset();
   edge_key_cache_.clear();
+  ++key_generation_;
   return dead.size();
 }
 
@@ -37,7 +65,10 @@ std::size_t Network::establish_path_keys() {
       ++established;
     }
   }
-  if (established > 0) edge_key_cache_.clear();
+  if (established > 0) {
+    edge_key_cache_.clear();
+    ++key_generation_;
+  }
   return established;
 }
 

@@ -23,8 +23,8 @@
 
 namespace vmat {
 
-struct NetworkConfig {
-  KeySetupConfig keys;
+struct NetworkSpec {
+  KeyMaterialSpec keys;
   /// θ for full-sensor revocation; 0 (default) disables it. θ must be set
   /// well above the expected honest ring overlap with the adversary's key
   /// set (≈ f·r²/u, see Figure 7), otherwise ring revocations cascade into
@@ -40,9 +40,21 @@ struct NetworkConfig {
   std::uint32_t redundancy{1};
 };
 
+/// Pre-SimulationSpec name, kept as a conversion shim for one release.
+using NetworkConfig  // vmat-lint: allow(deprecated-config)
+    [[deprecated("use SimulationSpec (spec/simulation_spec.h) or "
+                 "NetworkSpec")]] = NetworkSpec;
+
+class SimulationSpec;
+
 class Network {
  public:
-  Network(Topology topology, const NetworkConfig& config);
+  Network(Topology topology, const NetworkSpec& config);
+
+  /// Build the whole deployment — topology included — from a validated
+  /// SimulationSpec. Throws std::invalid_argument when spec.validate()
+  /// reports errors (validate first for typed errors).
+  explicit Network(const SimulationSpec& spec);
 
   [[nodiscard]] std::uint32_t node_count() const noexcept {
     return topology_.node_count();
@@ -94,9 +106,16 @@ class Network {
   /// Depth (max BFS level) of the full physical topology.
   [[nodiscard]] Level physical_depth() const { return topology_.depth(); }
 
-  /// Copies per logical transmission (see NetworkConfig::redundancy).
+  /// Copies per logical transmission (see NetworkSpec::redundancy).
   [[nodiscard]] std::uint32_t redundancy() const noexcept {
     return redundancy_;
+  }
+
+  /// Monotone key-material generation: bumped whenever the key material
+  /// itself changes (rekey, path-key establishment). Together with the
+  /// revocation counts this is the coordinator's epoch-validity snapshot.
+  [[nodiscard]] std::uint64_t key_generation() const noexcept {
+    return key_generation_;
   }
 
   /// Re-keying epoch: replace the whole predistribution with fresh
@@ -106,7 +125,7 @@ class Network {
   /// come back at full capacity. Path keys disappear with the old pool;
   /// call establish_path_keys() again if needed. Returns the number of
   /// sensors carried over as revoked.
-  std::size_t rekey(const KeySetupConfig& fresh_keys);
+  std::size_t rekey(const KeyMaterialSpec& fresh_keys);
 
  private:
   /// Uncached ring merge behind usable_edge_key().
@@ -118,6 +137,7 @@ class Network {
   RevocationRegistry revocation_;
   Fabric fabric_;
   std::uint32_t redundancy_;
+  std::uint64_t key_generation_{0};
   Tracer tracer_;
 
   /// Per-edge cache of the usable_edge_key() ring merge. An entry is valid

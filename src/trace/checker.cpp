@@ -13,19 +13,27 @@ std::uint64_t ceil_log2(std::uint64_t x) noexcept {
 }
 
 struct ExecutionSlice {
-  std::span<const TraceEvent> events;  // starts at kExecutionBegin
+  std::span<const TraceEvent> events;  // starts at the begin marker
+  bool is_epoch{false};                // kEpochBegin vs kExecutionBegin
 };
 
 std::vector<ExecutionSlice> slice_executions(
     std::span<const TraceEvent> events) {
   std::vector<ExecutionSlice> slices;
   std::size_t begin = events.size();
+  bool begin_is_epoch = false;
   for (std::size_t i = 0; i < events.size(); ++i) {
-    if (events[i].kind != TraceEventKind::kExecutionBegin) continue;
-    if (begin < i) slices.push_back({events.subspan(begin, i - begin)});
+    const TraceEventKind k = events[i].kind;
+    if (k != TraceEventKind::kExecutionBegin &&
+        k != TraceEventKind::kEpochBegin)
+      continue;
+    if (begin < i)
+      slices.push_back({events.subspan(begin, i - begin), begin_is_epoch});
     begin = i;
+    begin_is_epoch = k == TraceEventKind::kEpochBegin;
   }
-  if (begin < events.size()) slices.push_back({events.subspan(begin)});
+  if (begin < events.size())
+    slices.push_back({events.subspan(begin), begin_is_epoch});
   return slices;
 }
 
@@ -71,11 +79,53 @@ CheckReport check_trace(const TraceContext& context,
   const auto slices = slice_executions(events);
   const std::uint64_t test_envelope = predicate_test_envelope(context);
 
+  // Metrics snapshots exist only for execution slices, so they are consumed
+  // by a running execution counter, not by slice index.
+  std::size_t exec = 0;
   for (std::size_t x = 0; x < slices.size(); ++x) {
     const auto ev = slices[x].events;
     auto flag = [&](const char* property, std::string detail) {
       report.violations.push_back({property, x, std::move(detail)});
     };
+
+    if (slices[x].is_epoch) {
+      // Epoch-prep slices carry announcement + tree formation only: no
+      // query phases, no pinpointing, no outcome — exactly one
+      // authenticated broadcast starts them.
+      std::uint64_t auth_broadcasts = 0;
+      for (const TraceEvent& e : ev) {
+        switch (e.kind) {
+          case TraceEventKind::kAuthBroadcast:
+            ++auth_broadcasts;
+            break;
+          case TraceEventKind::kOutcome:
+            flag("epoch-prep", "epoch slice carries a kOutcome event");
+            break;
+          case TraceEventKind::kPredicateTest:
+          case TraceEventKind::kPinpointStep:
+          case TraceEventKind::kArrivalAccepted:
+          case TraceEventKind::kArrivalRejected:
+          case TraceEventKind::kVeto:
+            flag("epoch-prep",
+                 format("epoch slice carries query-phase event `%s`",
+                        to_string(e.kind)));
+            break;
+          default:
+            break;
+        }
+        if (e.phase == TracePhase::kAggregation ||
+            e.phase == TracePhase::kConfirmation ||
+            e.phase == TracePhase::kPinpoint)
+          flag("epoch-prep",
+               format("epoch slice carries event in query phase `%s`",
+                      to_string(e.phase)));
+      }
+      if (auth_broadcasts > 1)
+        flag("epoch-prep",
+             format("epoch slice used %llu authenticated broadcasts > 1",
+                    static_cast<unsigned long long>(auth_broadcasts)));
+      continue;
+    }
 
     bool saw_outcome = false;
     bool produced_result = false;
@@ -126,6 +176,8 @@ CheckReport check_trace(const TraceContext& context,
                                   static_cast<long long>(max_steps)));
 
     if (!saw_outcome) {
+      // No kOutcome means end_execution never ran, so no metrics snapshot
+      // was pushed for this slice either — exec is not advanced.
       flag("truncated-execution", "stream ends without a kOutcome event");
       continue;  // the remaining properties need the outcome
     }
@@ -136,8 +188,9 @@ CheckReport check_trace(const TraceContext& context,
                ? "execution produced a result AND revoked key material"
                : "execution produced no result and revoked nothing");
 
-    if (x < metrics.size()) {
-      const PhaseCounters totals = metrics[x].totals();
+    const std::size_t metrics_index = exec++;
+    if (metrics_index < metrics.size()) {
+      const PhaseCounters totals = metrics[metrics_index].totals();
       if (produced_result) {
         if (totals.predicate_tests != 0)
           flag("round-envelope",

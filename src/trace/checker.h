@@ -18,6 +18,13 @@
 //                         broadcasts); revocation executions stay within
 //                         the O(L log n) pinpointing envelope.
 //   truncated-execution   The stream for an execution ends with kOutcome.
+//
+// Epoch slices (kEpochBegin, emitted by prepare_epoch) are checked for one
+// property instead:
+//   epoch-prep            An epoch slice carries announcement + tree
+//                         formation only: exactly one authenticated
+//                         broadcast, no query-phase events, no predicate
+//                         tests, no kOutcome.
 #pragma once
 
 #include <span>

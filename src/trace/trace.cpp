@@ -38,6 +38,7 @@ const char* to_string(TraceEventKind kind) noexcept {
     case TraceEventKind::kKeyRevoked: return "key-revoked";
     case TraceEventKind::kSensorRevoked: return "sensor-revoked";
     case TraceEventKind::kOutcome: return "outcome";
+    case TraceEventKind::kEpochBegin: return "epoch-begin";
   }
   return "?";
 }
@@ -78,6 +79,21 @@ void Tracer::begin_execution() {
   const std::int64_t ordinal = state_->executions++;
   if (recording())
     emit({.kind = TraceEventKind::kExecutionBegin, .value = ordinal});
+}
+
+void Tracer::begin_epoch() {
+  if (state_ == nullptr) return;
+  state_->metrics = ExecutionMetrics{};
+  state_->phase = TracePhase::kNone;
+  state_->slot = 0;
+  const std::int64_t ordinal = state_->epochs++;
+  if (recording())
+    emit({.kind = TraceEventKind::kEpochBegin, .value = ordinal});
+}
+
+void Tracer::end_epoch() {
+  if (state_ == nullptr) return;
+  end_phase();
 }
 
 void Tracer::begin_phase(TracePhase p) {
@@ -328,7 +344,7 @@ void append_metrics(std::string& out, const ExecutionMetrics& m) {
 std::string FlightRecorder::to_json() const {
   std::string out;
   out.reserve(256 + events_.size() * 96);
-  out += "{\"trace_version\":1,\"context\":{\"nodes\":";
+  out += "{\"trace_version\":2,\"context\":{\"nodes\":";
   append_u64(out, context_.nodes);
   out += ",\"depth_bound\":";
   out += std::to_string(context_.depth_bound);
@@ -342,25 +358,34 @@ std::string FlightRecorder::to_json() const {
   out += context_.slotted_sof ? "true" : "false";
   out += "},\"executions\":[";
 
-  // Slice the stream at kExecutionBegin markers; metrics snapshots align
-  // with completed executions in recording order.
+  // Slice the stream at kExecutionBegin / kEpochBegin markers. Metrics
+  // snapshots only exist for execution slices (end_execution pushes them),
+  // so they are consumed by a running execution counter, not slice index.
   std::size_t exec = 0;
+  std::size_t slices = 0;
   bool open = false;
+  bool open_is_execution = false;
   bool first_event = true;
-  auto close_execution = [&] {
+  auto close_slice = [&] {
     out += ']';
-    if (exec < execution_metrics_.size()) {
+    if (open_is_execution && exec < execution_metrics_.size()) {
       out += ",\"metrics\":";
       append_metrics(out, execution_metrics_[exec]);
     }
+    if (open_is_execution) ++exec;
     out += '}';
-    ++exec;
+    ++slices;
   };
   for (const TraceEvent& e : events_) {
-    if (e.kind == TraceEventKind::kExecutionBegin) {
-      if (open) close_execution();
-      if (exec > 0) out += ',';
-      out += "{\"events\":[";
+    const bool is_marker = e.kind == TraceEventKind::kExecutionBegin ||
+                           e.kind == TraceEventKind::kEpochBegin;
+    if (is_marker) {
+      if (open) close_slice();
+      if (slices > 0) out += ',';
+      open_is_execution = e.kind == TraceEventKind::kExecutionBegin;
+      out += "{\"unit\":\"";
+      out += open_is_execution ? "execution" : "epoch";
+      out += "\",\"events\":[";
       open = true;
       first_event = true;
     }
@@ -369,7 +394,7 @@ std::string FlightRecorder::to_json() const {
     first_event = false;
     append_event(out, e);
   }
-  if (open) close_execution();
+  if (open) close_slice();
   out += "]}";
   return out;
 }

@@ -59,6 +59,8 @@ enum class TraceEventKind : std::uint8_t {
   kKeyRevoked,       ///< key; ok=true for pinpointed, false for ring seed
   kSensorRevoked,    ///< a=node
   kOutcome,          ///< ok=produced_result, value=trigger enum
+  kEpochBegin,       ///< value = epoch ordinal; an epoch-formation slice
+                     ///  (announcement + tree formation, no query phases)
 };
 
 [[nodiscard]] const char* to_string(TraceEventKind kind) noexcept;
@@ -135,6 +137,7 @@ struct TraceState {
   TracePhase phase{TracePhase::kNone};
   Interval slot{0};
   std::int64_t executions{0};
+  std::int64_t epochs{0};
 };
 
 /// Zero-cost-when-disabled tracing handle. Copyable by value; a default
@@ -156,6 +159,13 @@ class Tracer {
 
   /// Reset metrics/phase for a fresh execution and emit kExecutionBegin.
   void begin_execution();
+  /// Reset metrics/phase for an epoch-formation slice and emit kEpochBegin.
+  /// Epoch slices record announcement + tree formation only; they end with
+  /// end_epoch(), not with a kOutcome (an epoch has no query result).
+  void begin_epoch();
+  /// Close the epoch-formation slice (no kOutcome, no metrics handoff —
+  /// the coordinator snapshots Epoch::metrics itself).
+  void end_epoch();
   /// Close any open phase and emit kPhaseBegin for `p`.
   void begin_phase(TracePhase p);
   /// Emit kPhaseEnd and fall back to TracePhase::kNone.

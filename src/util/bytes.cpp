@@ -1,15 +1,21 @@
 #include "util/bytes.h"
 
+#include <algorithm>
+
 namespace vmat {
 
 void ByteWriter::u8(std::uint8_t v) { buf_.push_back(v); }
 
 void ByteWriter::u32(std::uint32_t v) {
-  for (int i = 0; i < 4; ++i) buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  std::uint8_t le[4];
+  for (int i = 0; i < 4; ++i) le[i] = static_cast<std::uint8_t>(v >> (8 * i));
+  buf_.insert(buf_.end(), le, le + 4);
 }
 
 void ByteWriter::u64(std::uint64_t v) {
-  for (int i = 0; i < 8; ++i) buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  std::uint8_t le[8];
+  for (int i = 0; i < 8; ++i) le[i] = static_cast<std::uint8_t>(v >> (8 * i));
+  buf_.insert(buf_.end(), le, le + 8);
 }
 
 void ByteWriter::i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
@@ -54,6 +60,13 @@ Bytes ByteReader::raw(std::size_t n) {
             data_.begin() + static_cast<std::ptrdiff_t>(pos_ + n));
   pos_ += n;
   return out;
+}
+
+void ByteReader::raw_into(std::span<std::uint8_t> out) {
+  need(out.size());
+  std::copy_n(data_.begin() + static_cast<std::ptrdiff_t>(pos_), out.size(),
+              out.begin());
+  pos_ += out.size();
 }
 
 std::string ByteReader::str() {

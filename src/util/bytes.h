@@ -24,6 +24,9 @@ class ByteWriter {
   void raw(std::span<const std::uint8_t> bytes);
   void str(std::string_view s);  // length-prefixed
 
+  /// Pre-size for `n` further bytes (hot encoders know their exact size).
+  void reserve(std::size_t n) { buf_.reserve(buf_.size() + n); }
+
   [[nodiscard]] const Bytes& bytes() const noexcept { return buf_; }
   [[nodiscard]] Bytes take() noexcept { return std::move(buf_); }
 
@@ -43,6 +46,8 @@ class ByteReader {
   [[nodiscard]] std::uint64_t u64();
   [[nodiscard]] std::int64_t i64();
   [[nodiscard]] Bytes raw(std::size_t n);
+  /// Allocation-free raw read into a caller buffer (hot decode paths).
+  void raw_into(std::span<std::uint8_t> out);
   [[nodiscard]] std::string str();
 
   [[nodiscard]] bool done() const noexcept { return pos_ == data_.size(); }

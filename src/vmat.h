@@ -1,15 +1,26 @@
 // Umbrella header: the full public API of the VMAT library.
 //
-// Typical usage (see examples/quickstart.cpp):
+// Quickstart — one SimulationSpec describes the whole deployment, and the
+// epoch-batched Engine serves query batches over shared tree formations
+// (see examples/quickstart.cpp and examples/vmatsim.cpp --serve):
 //
-//   auto topo = vmat::Topology::random_geometric(400, 0.12, /*seed=*/1);
-//   vmat::NetworkConfig netcfg;          // key pool, ring size, θ
-//   vmat::Network net(topo, netcfg);
-//   vmat::VmatConfig cfg;                // L, instances, tree mode
-//   cfg.instances = vmat::instances_for(0.1, 0.05);
-//   vmat::VmatCoordinator coordinator(&net, /*adversary=*/nullptr, cfg);
+//   vmat::SimulationSpec spec;
+//   spec.nodes(400).accuracy(0.1, 0.05).seed(1);
+//   vmat::Network net(spec);
+//   vmat::VmatCoordinator coordinator(&net, /*adversary=*/nullptr, spec);
+//
+//   // One-shot queries (one tree formation per execution):
 //   vmat::QueryEngine queries(&coordinator);
 //   auto outcome = queries.count(predicate_bits);
+//
+//   // Batched serving (one tree formation per epoch, shared by a batch):
+//   vmat::Engine engine(&coordinator);
+//   auto results = engine.run_batch(std::move(batch));
+//
+// The per-layer section types (NetworkSpec, CoordinatorSpec, ...) remain
+// available for fine-grained construction; the pre-spec config names
+// (NetworkConfig, VmatConfig, KeySetupConfig, TreeFormationParams) are
+// [[deprecated]] aliases kept for one release.
 #pragma once
 
 #include "attack/adversary.h"        // IWYU pragma: export
@@ -17,7 +28,6 @@
 #include "attack/strategies.h"       // IWYU pragma: export
 #include "baseline/alarm_only.h"     // IWYU pragma: export
 #include "baseline/sampling.h"       // IWYU pragma: export
-#include "baseline/set_sampling.h"   // IWYU pragma: export
 #include "baseline/set_sampling.h"   // IWYU pragma: export
 #include "baseline/send_all.h"       // IWYU pragma: export
 #include "baseline/tag.h"            // IWYU pragma: export
@@ -39,6 +49,7 @@
 #include "crypto/mac.h"              // IWYU pragma: export
 #include "crypto/prf.h"              // IWYU pragma: export
 #include "crypto/sha256.h"           // IWYU pragma: export
+#include "engine/engine.h"           // IWYU pragma: export
 #include "keys/key_pool.h"           // IWYU pragma: export
 #include "keys/key_ring.h"           // IWYU pragma: export
 #include "keys/predistribution.h"    // IWYU pragma: export
@@ -46,8 +57,11 @@
 #include "sim/fabric.h"              // IWYU pragma: export
 #include "sim/network.h"             // IWYU pragma: export
 #include "sim/topology.h"            // IWYU pragma: export
+#include "spec/simulation_spec.h"    // IWYU pragma: export
 #include "trace/checker.h"           // IWYU pragma: export
 #include "trace/trace.h"             // IWYU pragma: export
+#include "util/error.h"              // IWYU pragma: export
 #include "util/ids.h"                // IWYU pragma: export
+#include "util/parallel.h"           // IWYU pragma: export
 #include "util/random.h"             // IWYU pragma: export
 #include "util/stats.h"              // IWYU pragma: export

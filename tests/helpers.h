@@ -14,9 +14,9 @@ namespace vmat::testing {
 /// Dense key setup: every physical edge has a shared key with overwhelming
 /// probability (r^2/u = 36), so the secure topology equals the physical
 /// one and tests can reason about connectivity directly.
-inline NetworkConfig dense_keys(std::uint32_t theta = 0,
+inline NetworkSpec dense_keys(std::uint32_t theta = 0,
                                 std::uint64_t seed = 2024) {
-  NetworkConfig cfg;
+  NetworkSpec cfg;
   cfg.keys.pool_size = 400;
   cfg.keys.ring_size = 120;
   cfg.keys.seed = seed;

@@ -18,7 +18,7 @@ struct AggFixture {
   explicit AggFixture(Topology topo, Adversary* adv = nullptr,
                       std::uint32_t instances = 1)
       : net(std::move(topo), dense_keys()), audits(net.node_count()) {
-    TreeFormationParams tp;
+    TreePhaseParams tp;
     tp.depth_bound = net.physical_depth();
     tp.session = 77;
     tree = run_tree_formation(net, adv, tp);
@@ -174,7 +174,7 @@ TEST(Aggregation, MultipathSurvivesSingleSilentParent) {
   const auto topo = Topology::grid(5, 5);
   Network net(topo, dense_keys());
   Adversary adv(&net, {NodeId{6}}, std::make_unique<SilentDropStrategy>());
-  TreeFormationParams tp;
+  TreePhaseParams tp;
   tp.depth_bound = net.physical_depth();
   tp.session = 3;
   const auto tree = run_tree_formation(net, &adv, tp);

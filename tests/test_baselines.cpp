@@ -80,7 +80,7 @@ TEST(AlarmOnly, VmatRecoversWhereAlarmOnlyStalls) {
   Network net(topo, dense_keys());
   Adversary adv(&net, malicious,
                 std::make_unique<ChokeVetoStrategy>(LiePolicy::kDenyAll));
-  VmatConfig cfg;
+  CoordinatorSpec cfg;
   cfg.depth_bound = topo.depth(malicious);
   VmatCoordinator coordinator(&net, &adv, cfg);
   const auto readings = default_readings(25);

@@ -21,7 +21,7 @@ TEST(Garbage, PureNoiseChangesNothing) {
   const auto malicious = choose_malicious(topo, 3, 5);
   Network net(topo, dense_keys());
   Adversary adv(&net, malicious, std::make_unique<GarbageStrategy>(42));
-  VmatConfig cfg;
+  CoordinatorSpec cfg;
   cfg.depth_bound = topo.depth(malicious);
   VmatCoordinator coordinator(&net, &adv, cfg);
   const auto readings = default_readings(net.node_count());
@@ -41,7 +41,7 @@ TEST(Garbage, NoiseDoesNotBreakSynopsisQueries) {
   const auto malicious = choose_malicious(topo, 2, 6);
   Network net(topo, dense_keys());
   Adversary adv(&net, malicious, std::make_unique<GarbageStrategy>(43));
-  VmatConfig cfg;
+  CoordinatorSpec cfg;
   cfg.instances = 40;
   cfg.depth_bound = topo.depth(malicious);
   VmatCoordinator coordinator(&net, &adv, cfg);
@@ -65,7 +65,7 @@ TEST(Composite, WormholePlusDropPlusLies) {
       std::make_unique<ChokeVetoStrategy>(),
       std::make_unique<SilentDropStrategy>(LiePolicy::kAdmitAll));
   Adversary adv(&net, malicious, std::move(strategy));
-  VmatConfig cfg;
+  CoordinatorSpec cfg;
   cfg.depth_bound = topo.depth(malicious);
   VmatCoordinator coordinator(&net, &adv, cfg);
 
@@ -89,7 +89,7 @@ TEST(Composite, NullSubStrategiesAreSilent) {
   Adversary adv(&net, malicious,
                 std::make_unique<CompositeStrategy>(nullptr, nullptr, nullptr,
                                                     nullptr));
-  VmatConfig cfg;
+  CoordinatorSpec cfg;
   cfg.depth_bound = topo.depth(malicious);
   VmatCoordinator coordinator(&net, &adv, cfg);
   const auto readings = default_readings(net.node_count());
@@ -113,7 +113,7 @@ TEST(Composite, CompositeSweepAcrossSeeds) {
         std::make_unique<SelfVetoStrategy>(1),
         std::make_unique<SilentDropStrategy>(LiePolicy::kRandom));
     Adversary adv(&net, malicious, std::move(strategy));
-    VmatConfig cfg;
+    CoordinatorSpec cfg;
     cfg.depth_bound = topo.depth(malicious);
     cfg.seed = seed;
     VmatCoordinator coordinator(&net, &adv, cfg);

@@ -15,7 +15,7 @@ using testing::dense_keys;
 struct ConfFixture {
   explicit ConfFixture(Topology topo, Adversary* adv = nullptr)
       : net(std::move(topo), dense_keys()), audits(net.node_count()) {
-    TreeFormationParams tp;
+    TreePhaseParams tp;
     tp.depth_bound = net.physical_depth();
     tp.session = 5;
     tree = run_tree_formation(net, adv, tp);
@@ -103,7 +103,7 @@ TEST(Confirmation, Lemma1HoldsUnderSilentMaliciousCut) {
     const auto malicious = choose_malicious(topo, 3, seed);
     Network net(topo, dense_keys());
     Adversary adv(&net, malicious, std::make_unique<SilentDropStrategy>());
-    TreeFormationParams tp;
+    TreePhaseParams tp;
     tp.depth_bound = topo.depth(malicious);
     tp.session = seed;
     const auto tree = run_tree_formation(net, &adv, tp);
@@ -136,7 +136,7 @@ TEST(Confirmation, SpuriousVetoChokesButSomethingStillArrives) {
   const auto malicious = choose_malicious(topo, 3, 4);
   Network net(topo, dense_keys());
   Adversary adv(&net, malicious, std::make_unique<ChokeVetoStrategy>());
-  TreeFormationParams tp;
+  TreePhaseParams tp;
   tp.depth_bound = topo.depth(malicious);
   tp.session = 9;
   const auto tree = run_tree_formation(net, &adv, tp);

@@ -16,7 +16,7 @@ using testing::true_min;
 
 TEST(Coordinator, HonestRunReturnsTrueMin) {
   Network net(Topology::grid(5, 5), dense_keys());
-  VmatCoordinator coordinator(&net, nullptr, {});
+  VmatCoordinator coordinator(&net, nullptr, CoordinatorSpec{});
   const auto readings = default_readings(net.node_count());
   const auto out = coordinator.run_min(readings);
   ASSERT_EQ(out.kind, OutcomeKind::kResult);
@@ -27,7 +27,7 @@ TEST(Coordinator, HonestRunReturnsTrueMin) {
 TEST(Coordinator, DataPathIsConstantRounds) {
   for (std::uint32_t side : {4u, 6u, 8u}) {
     Network net(Topology::grid(side, side), dense_keys());
-    VmatCoordinator coordinator(&net, nullptr, {});
+    VmatCoordinator coordinator(&net, nullptr, CoordinatorSpec{});
     const auto out = coordinator.run_min(default_readings(net.node_count()));
     ASSERT_EQ(out.kind, OutcomeKind::kResult);
     EXPECT_EQ(out.data_rounds, 6);  // 3 announcements + 3 phases, any n
@@ -36,7 +36,7 @@ TEST(Coordinator, DataPathIsConstantRounds) {
 
 TEST(Coordinator, RandomGeometricHonestRun) {
   Network net(Topology::random_geometric(200, 0.14, 33), dense_keys());
-  VmatCoordinator coordinator(&net, nullptr, {});
+  VmatCoordinator coordinator(&net, nullptr, CoordinatorSpec{});
   const auto readings = default_readings(net.node_count());
   const auto out = coordinator.run_min(readings);
   ASSERT_EQ(out.kind, OutcomeKind::kResult);
@@ -47,7 +47,7 @@ TEST(Coordinator, PassthroughAdversaryChangesNothing) {
   Network net(Topology::grid(5, 5), dense_keys());
   Adversary adv(&net, {NodeId{7}, NodeId{12}},
                 std::make_unique<NullStrategy>());
-  VmatCoordinator coordinator(&net, &adv, {});
+  VmatCoordinator coordinator(&net, &adv, CoordinatorSpec{});
   const auto readings = default_readings(net.node_count());
   const auto out = coordinator.run_min(readings);
   ASSERT_EQ(out.kind, OutcomeKind::kResult);
@@ -64,7 +64,7 @@ TEST(Coordinator, NeverReturnsIncorrectResult) {
     Network net(topo, dense_keys(0, seed));
     Adversary adv(&net, malicious,
                   std::make_unique<ValueDropStrategy>(LiePolicy::kDenyAll));
-    VmatConfig cfg;
+    CoordinatorSpec cfg;
     cfg.depth_bound = topo.depth(malicious);
     cfg.seed = seed;
     VmatCoordinator coordinator(&net, &adv, cfg);
@@ -111,7 +111,7 @@ TEST(Coordinator, RecoversFromEveryAttackFamily) {
     const auto malicious = choose_malicious(topo, 2, 17);
     Network net(topo, dense_keys(0, 99));
     Adversary adv(&net, malicious, make());
-    VmatConfig cfg;
+    CoordinatorSpec cfg;
     cfg.depth_bound = topo.depth(malicious);
     VmatCoordinator coordinator(&net, &adv, cfg);
     const auto history =
@@ -126,7 +126,7 @@ TEST(Coordinator, RecoversFromEveryAttackFamily) {
 
 TEST(Coordinator, MultipathModeWorksEndToEnd) {
   Network net(Topology::grid(5, 5), dense_keys());
-  VmatConfig cfg;
+  CoordinatorSpec cfg;
   cfg.multipath = true;
   VmatCoordinator coordinator(&net, nullptr, cfg);
   const auto readings = default_readings(net.node_count());
@@ -142,7 +142,7 @@ TEST(Coordinator, MultipathToleratesSingleDropperWithoutPinpointing) {
   Network net(topo, dense_keys());
   Adversary adv(&net, {NodeId{7}},
                 std::make_unique<SilentDropStrategy>(LiePolicy::kDenyAll));
-  VmatConfig cfg;
+  CoordinatorSpec cfg;
   cfg.multipath = true;
   cfg.depth_bound = topo.depth({NodeId{7}});
   VmatCoordinator coordinator(&net, &adv, cfg);
@@ -175,7 +175,7 @@ TEST(Coordinator, SelfIncriminationRevokesTheSigner) {
   const auto topo = Topology::grid(4, 4);
   Network net(topo, dense_keys());
   Adversary adv(&net, {NodeId{5}}, std::make_unique<BadLevelVeto>());
-  VmatConfig cfg;
+  CoordinatorSpec cfg;
   cfg.depth_bound = topo.depth({NodeId{5}});
   VmatCoordinator coordinator(&net, &adv, cfg);
   const auto out = coordinator.run_min(default_readings(16));
@@ -187,7 +187,7 @@ TEST(Coordinator, SelfIncriminationRevokesTheSigner) {
 
 TEST(Coordinator, EmptyNetworkMinIsInfinity) {
   Network net(Topology::line(4), dense_keys());
-  VmatConfig cfg;
+  CoordinatorSpec cfg;
   cfg.instances = 1;
   VmatCoordinator coordinator(&net, nullptr, cfg);
   std::vector<std::vector<Reading>> values(4, {kInfinity});
@@ -199,7 +199,7 @@ TEST(Coordinator, EmptyNetworkMinIsInfinity) {
 
 TEST(Coordinator, ValidatesInputSizes) {
   Network net(Topology::line(4), dense_keys());
-  VmatCoordinator coordinator(&net, nullptr, {});
+  VmatCoordinator coordinator(&net, nullptr, CoordinatorSpec{});
   std::vector<std::vector<Reading>> bad(3, {1});
   std::vector<std::vector<std::int64_t>> weights(4, {0});
   EXPECT_THROW((void)coordinator.execute(bad, weights),
@@ -209,7 +209,7 @@ TEST(Coordinator, ValidatesInputSizes) {
 
 TEST(Coordinator, InstancesZeroRejected) {
   Network net(Topology::line(4), dense_keys());
-  VmatConfig cfg;
+  CoordinatorSpec cfg;
   cfg.instances = 0;
   EXPECT_THROW(VmatCoordinator(&net, nullptr, cfg), std::invalid_argument);
 }

@@ -51,7 +51,7 @@ TEST(LateVeto, UnslottedLateSpuriousVetoIsWalkedSoundly) {
   const Level L = topo.depth(malicious);
   Adversary adv(&net, malicious,
                 std::make_unique<LateSpuriousVeto>(/*inject_at=*/3 * L));
-  VmatConfig cfg;
+  CoordinatorSpec cfg;
   cfg.depth_bound = L;
   cfg.slotted_sof = false;  // the only mode where late injection can land
   VmatCoordinator coordinator(&net, &adv, cfg);
@@ -70,7 +70,7 @@ TEST(LateVeto, SlottedSofIgnoresLateInjection) {
   const Level L = topo.depth(malicious);
   Adversary adv(&net, malicious,
                 std::make_unique<LateSpuriousVeto>(/*inject_at=*/3 * L));
-  VmatConfig cfg;
+  CoordinatorSpec cfg;
   cfg.depth_bound = L;
   VmatCoordinator coordinator(&net, &adv, cfg);
   const auto readings = default_readings(25);
@@ -86,7 +86,7 @@ TEST(LateVeto, UnslottedCampaignStillConverges) {
   const Level L = topo.depth(malicious);
   Adversary adv(&net, malicious,
                 std::make_unique<LateSpuriousVeto>(2 * L));
-  VmatConfig cfg;
+  CoordinatorSpec cfg;
   cfg.depth_bound = L;
   cfg.slotted_sof = false;
   VmatCoordinator coordinator(&net, &adv, cfg);

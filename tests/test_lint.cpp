@@ -111,6 +111,16 @@ TEST(VmatLint, TraceSinkStdoutIsSanctioned) {
   EXPECT_TRUE(r.output.empty()) << r.output;
 }
 
+TEST(VmatLint, DeprecatedConfigNameInSrcIsFlagged) {
+  // The alias definition and the construction are flagged; the string
+  // literal mention and the allow()-suppressed use are not.
+  const auto r = run_lint("tools/fixtures/src/bad_deprecated_config.cpp");
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_EQ(r.count("deprecated-config"), 2) << r.output;
+  EXPECT_TRUE(r.mentions("bad_deprecated_config.cpp:9:")) << r.output;
+  EXPECT_TRUE(r.mentions("bad_deprecated_config.cpp:12:")) << r.output;
+}
+
 TEST(VmatLint, MissingNodiscardInCryptoHeaderIsFlagged) {
   // The const observer and the free function are flagged; the void mutator
   // and the value-returning non-const mutator are not.
@@ -132,7 +142,8 @@ TEST(VmatLint, WholeFixtureTreeTotals) {
   EXPECT_EQ(r.count("threadpool-ref-capture"), 2) << r.output;
   EXPECT_EQ(r.count("stdout-in-src"), 2) << r.output;
   EXPECT_EQ(r.count("missing-nodiscard"), 2) << r.output;
-  EXPECT_TRUE(r.mentions("12 violation(s)")) << r.output;
+  EXPECT_EQ(r.count("deprecated-config"), 2) << r.output;
+  EXPECT_TRUE(r.mentions("14 violation(s)")) << r.output;
 }
 
 TEST(VmatLint, RuleFilterRunsOnlyThatRule) {

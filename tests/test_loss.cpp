@@ -15,9 +15,9 @@ using testing::default_readings;
 using testing::revocations_sound;
 using testing::true_min;
 
-NetworkConfig lossy_keys(double loss, std::uint32_t redundancy,
+NetworkSpec lossy_keys(double loss, std::uint32_t redundancy,
                          std::uint64_t seed = 9) {
-  NetworkConfig cfg = testing::dense_keys(0, seed);
+  NetworkSpec cfg = testing::dense_keys(0, seed);
   cfg.loss_probability = loss;
   cfg.redundancy = redundancy;
   return cfg;
@@ -26,7 +26,7 @@ NetworkConfig lossy_keys(double loss, std::uint32_t redundancy,
 TEST(Loss, FabricDropsRequestedFraction) {
   const auto topo = Topology::line(2);
   Fabric fabric(&topo);
-  fabric.set_loss(0.3, 5);
+  ASSERT_TRUE(fabric.set_loss(0.3, 5).has_value());
   int delivered = 0;
   constexpr int kFrames = 4000;
   for (int i = 0; i < kFrames; ++i) {
@@ -45,8 +45,12 @@ TEST(Loss, FabricDropsRequestedFraction) {
 TEST(Loss, SetLossValidatesProbability) {
   const auto topo = Topology::line(2);
   Fabric fabric(&topo);
-  EXPECT_THROW(fabric.set_loss(-0.1, 1), std::invalid_argument);
-  EXPECT_THROW(fabric.set_loss(1.0, 1), std::invalid_argument);
+  const Status low = fabric.set_loss(-0.1, 1);
+  ASSERT_FALSE(low.has_value());
+  EXPECT_EQ(low.error().code, ErrorCode::kInvalidArgument);
+  const Status high = fabric.set_loss(1.0, 1);
+  ASSERT_FALSE(high.has_value());
+  EXPECT_EQ(high.error().code, ErrorCode::kInvalidArgument);
 }
 
 TEST(Loss, RedundancyRestoresCorrectMin) {
@@ -54,7 +58,7 @@ TEST(Loss, RedundancyRestoresCorrectMin) {
   // across seeds must all return the exact minimum.
   for (std::uint64_t seed = 1; seed <= 6; ++seed) {
     Network net(Topology::grid(5, 5), lossy_keys(0.10, 4, seed));
-    VmatCoordinator coordinator(&net, nullptr, {});
+    VmatCoordinator coordinator(&net, nullptr, CoordinatorSpec{});
     const auto readings = default_readings(25);
     const auto out = coordinator.run_min(readings);
     ASSERT_EQ(out.kind, OutcomeKind::kResult) << "seed " << seed;
@@ -64,7 +68,7 @@ TEST(Loss, RedundancyRestoresCorrectMin) {
 
 TEST(Loss, SynopsisQueriesSurviveLoss) {
   Network net(Topology::grid(6, 6), lossy_keys(0.08, 4));
-  VmatConfig cfg;
+  CoordinatorSpec cfg;
   cfg.instances = 60;
   VmatCoordinator coordinator(&net, nullptr, cfg);
   QueryEngine queries(&coordinator);
@@ -81,7 +85,7 @@ TEST(Loss, AdversaryUnderLossStillSoundlyRevoked) {
   Network net(topo, lossy_keys(0.05, 4));
   Adversary adv(&net, malicious,
                 std::make_unique<SilentDropStrategy>(LiePolicy::kDenyAll));
-  VmatConfig cfg;
+  CoordinatorSpec cfg;
   cfg.depth_bound = topo.depth(malicious);
   VmatCoordinator coordinator(&net, &adv, cfg);
   const auto readings = default_readings(25);
@@ -104,7 +108,7 @@ TEST(Loss, UnmitigatedLossCanCostHonestKeys) {
   int honest_key_revocations = 0;
   for (std::uint64_t seed = 1; seed <= 12; ++seed) {
     Network net(Topology::grid(5, 5), lossy_keys(0.25, 1, seed));
-    VmatCoordinator coordinator(&net, nullptr, {});
+    VmatCoordinator coordinator(&net, nullptr, CoordinatorSpec{});
     (void)coordinator.run_min(default_readings(25));
     honest_key_revocations +=
         static_cast<int>(net.revocation().revoked_key_count());

@@ -16,7 +16,7 @@ struct MonitorFixture {
       : net(Topology::grid(5, 5), dense_keys()) {
     if (strategy != nullptr)
       adversary.emplace(&net, std::move(malicious), std::move(strategy));
-    VmatConfig cfg;
+    CoordinatorSpec cfg;
     cfg.instances = 40;
     cfg.depth_bound = net.physical_depth();
     coordinator = std::make_unique<VmatCoordinator>(

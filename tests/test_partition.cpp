@@ -21,7 +21,7 @@ TEST(Partition, SilentCutVertexLimitsScopeToBsComponent) {
   // Fully silent including tree formation: a destroyed/jammed sensor.
   class DeadSensor final : public AdversaryStrategy {};
   Adversary adv(&net, {NodeId{2}}, std::make_unique<DeadSensor>());
-  VmatConfig cfg;
+  CoordinatorSpec cfg;
   cfg.depth_bound = 5;
   VmatCoordinator coordinator(&net, &adv, cfg);
   auto readings = default_readings(6);
@@ -44,7 +44,7 @@ TEST(Partition, TreeParticipatingCutVertexIsCaughtInstead) {
     Network net(Topology::line(6), dense_keys());
     Adversary adv(&net, {NodeId{2}},
                   std::make_unique<SilentDropStrategy>(LiePolicy::kDenyAll));
-    VmatConfig cfg;
+    CoordinatorSpec cfg;
     cfg.depth_bound = 5;
     VmatCoordinator coordinator(&net, &adv, cfg);
     auto readings = default_readings(6);
@@ -63,7 +63,7 @@ TEST(Partition, TreeParticipatingCutVertexIsCaughtInstead) {
     Network net(topo, dense_keys());
     Adversary adv(&net, {NodeId{2}},
                   std::make_unique<SilentDropStrategy>(LiePolicy::kDenyAll));
-    VmatConfig cfg;
+    CoordinatorSpec cfg;
     cfg.depth_bound = topo.depth({NodeId{2}});
     VmatCoordinator coordinator(&net, &adv, cfg);
     auto readings = default_readings(7);
@@ -84,7 +84,7 @@ TEST(Partition, PartitionedSensorsDoNotBlockTermination) {
   Network net(Topology::line(8), dense_keys());
   class DeadSensor final : public AdversaryStrategy {};
   Adversary adv(&net, {NodeId{3}}, std::make_unique<DeadSensor>());
-  VmatConfig cfg;
+  CoordinatorSpec cfg;
   cfg.depth_bound = 7;
   VmatCoordinator coordinator(&net, &adv, cfg);
   const auto out = coordinator.run_min(default_readings(8));

@@ -14,8 +14,8 @@ using testing::default_readings;
 using testing::revocations_sound;
 using testing::true_min;
 
-NetworkConfig sparse_keys(std::uint64_t seed) {
-  NetworkConfig cfg;
+NetworkSpec sparse_keys(std::uint64_t seed) {
+  NetworkSpec cfg;
   cfg.keys.pool_size = 5000;
   cfg.keys.ring_size = 50;  // P(two rings share a key) ~ 0.39
   cfg.keys.seed = seed;
@@ -118,7 +118,7 @@ TEST(PathKeys, FullProtocolRunsOnSparseRings) {
   const auto topo = Topology::grid(6, 6);
   Network net(topo, sparse_keys(8));
   (void)net.establish_path_keys();
-  VmatCoordinator coordinator(&net, nullptr, {});
+  VmatCoordinator coordinator(&net, nullptr, CoordinatorSpec{});
   const auto readings = default_readings(net.node_count());
   const auto out = coordinator.run_min(readings);
   ASSERT_EQ(out.kind, OutcomeKind::kResult);
@@ -134,7 +134,7 @@ TEST(PathKeys, PinpointingWalksAcrossPathKeys) {
   const auto malicious = choose_malicious(topo, 2, 13);
   Adversary adv(&net, malicious,
                 std::make_unique<SilentDropStrategy>(LiePolicy::kDenyAll));
-  VmatConfig cfg;
+  CoordinatorSpec cfg;
   cfg.depth_bound = topo.depth(malicious);
   VmatCoordinator coordinator(&net, &adv, cfg);
 

@@ -49,7 +49,7 @@ struct Scenario {
   Network net;
   std::unordered_set<NodeId> malicious_set;
   Adversary adv;
-  VmatConfig cfg;
+  CoordinatorSpec cfg;
   std::unique_ptr<VmatCoordinator> coordinator;
 };
 
@@ -189,7 +189,7 @@ TEST(Pinpoint, MessageLevelPredicateModeGivesSameOutcome) {
   auto run_with = [&](PredicateTestMode mode) {
     Scenario s(forced_drop_topology(), {NodeId{2}},
                std::make_unique<SilentDropStrategy>(LiePolicy::kDenyAll));
-    VmatConfig cfg = s.cfg;
+    CoordinatorSpec cfg = s.cfg;
     cfg.predicate_mode = mode;
     VmatCoordinator coordinator(&s.net, &s.adv, cfg);
     return coordinator.run_min(forced_drop_readings());

@@ -174,7 +174,7 @@ TEST(Predicate, NoAuditNeverSatisfies) {
 struct EngineFixture {
   EngineFixture()
       : net(Topology::line(6), dense_keys()), audits(net.node_count()) {
-    TreeFormationParams tp;
+    TreePhaseParams tp;
     tp.depth_bound = net.physical_depth();
     tp.session = 1;
     tree = run_tree_formation(net, nullptr, tp);

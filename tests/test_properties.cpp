@@ -103,7 +103,7 @@ TEST_P(Theorem7Sweep, EveryExecutionResultsOrSoundlyRevokes) {
   const auto malicious = choose_malicious(topo, 3, seed * 13 + 1);
   Network net(topo, dense_keys(/*theta=*/0, seed));
   Adversary adv(&net, malicious, make_strategy(family, policy, seed));
-  VmatConfig cfg;
+  CoordinatorSpec cfg;
   cfg.depth_bound = topo.depth(malicious);
   cfg.seed = seed;
   VmatCoordinator coordinator(&net, &adv, cfg);
@@ -178,7 +178,7 @@ TEST_P(Theorem7Multipath, MultipathKeepsGuarantees) {
   Network net(topo, dense_keys(0, seed));
   Adversary adv(&net, malicious,
                 std::make_unique<ValueDropStrategy>(LiePolicy::kRandom));
-  VmatConfig cfg;
+  CoordinatorSpec cfg;
   cfg.depth_bound = topo.depth(malicious);
   cfg.multipath = true;
   cfg.seed = seed;
@@ -213,7 +213,7 @@ TEST_P(UnslottedSweep, UnslottedSofStillSoundlyRevokes) {
   Network net(topo, dense_keys(0, seed));
   Adversary adv(&net, malicious,
                 std::make_unique<ChokeVetoStrategy>(LiePolicy::kDenyAll));
-  VmatConfig cfg;
+  CoordinatorSpec cfg;
   cfg.depth_bound = topo.depth(malicious);
   cfg.slotted_sof = false;
   cfg.seed = seed;

@@ -58,7 +58,7 @@ TEST_P(SynopsisSweep, CountQueriesConvergeAndStaySound) {
   const auto malicious = choose_malicious(topo, 2, seed + 31);
   Network net(topo, dense_keys(0, seed));
   Adversary adv(&net, malicious, make_strategy(family, seed));
-  VmatConfig cfg;
+  CoordinatorSpec cfg;
   cfg.instances = 40;
   cfg.depth_bound = topo.depth(malicious);
   cfg.seed = seed;
@@ -110,7 +110,7 @@ TEST(SynopsisSweepLarge, GeometricNetworkFiveByzantines) {
   Network net(topo, dense_keys(0, 11));
   Adversary adv(&net, malicious,
                 std::make_unique<RandomByzantineStrategy>(99));
-  VmatConfig cfg;
+  CoordinatorSpec cfg;
   cfg.instances = 30;
   cfg.depth_bound = topo.depth(malicious);
   VmatCoordinator coordinator(&net, &adv, cfg);

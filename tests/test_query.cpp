@@ -16,7 +16,7 @@ struct QueryFixture {
   explicit QueryFixture(std::uint32_t instances = 60,
                         Adversary* adversary = nullptr, Level L = 0)
       : net(Topology::grid(6, 6), dense_keys()) {
-    VmatConfig cfg;
+    CoordinatorSpec cfg;
     cfg.instances = instances;
     if (L > 0) cfg.depth_bound = L;
     coordinator = std::make_unique<VmatCoordinator>(&net, adversary, cfg);
@@ -102,7 +102,7 @@ TEST(Query, FabricatedSynopsisIsRejectedAndSignerRevoked) {
 
   Network net(Topology::grid(6, 6), dense_keys());
   Adversary adv(&net, {NodeId{8}}, std::make_unique<FabricateSynopsis>());
-  VmatConfig cfg;
+  CoordinatorSpec cfg;
   cfg.instances = 20;
   cfg.depth_bound = net.topology().depth({NodeId{8}});
   VmatCoordinator coordinator(&net, &adv, cfg);
@@ -123,7 +123,7 @@ TEST(Query, CountUntilAnsweredDefeatsDropper) {
   Network net(topo, dense_keys());
   Adversary adv(&net, malicious,
                 std::make_unique<SilentDropStrategy>(LiePolicy::kDenyAll));
-  VmatConfig cfg;
+  CoordinatorSpec cfg;
   cfg.instances = 40;
   cfg.depth_bound = topo.depth(malicious);
   VmatCoordinator coordinator(&net, &adv, cfg);
@@ -167,7 +167,7 @@ TEST(Query, MaxUnderDropAttackIsNeverInflatedOrSilentlyLowered) {
   Network net(topo, dense_keys());
   Adversary adv(&net, malicious,
                 std::make_unique<SilentDropStrategy>(LiePolicy::kDenyAll));
-  VmatConfig cfg;
+  CoordinatorSpec cfg;
   cfg.instances = 1;
   cfg.depth_bound = topo.depth(malicious);
   VmatCoordinator coordinator(&net, &adv, cfg);

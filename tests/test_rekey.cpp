@@ -21,7 +21,7 @@ TEST(Rekey, FreshMaterialClearsBurnedEdgeKeys) {
   (void)net.revocation().revoke_key(*first);
   EXPECT_EQ(net.revocation().revoked_key_count(), 1u);
 
-  KeySetupConfig fresh = dense_keys(0, 99).keys;
+  KeyMaterialSpec fresh = dense_keys(0, 99).keys;
   EXPECT_EQ(net.rekey(fresh), 0u);
   EXPECT_EQ(net.revocation().revoked_key_count(), 0u);
   EXPECT_EQ(net.keys().config().seed, fresh.seed);
@@ -41,7 +41,7 @@ TEST(Rekey, RevokedSensorsStayRevoked) {
 }
 
 TEST(Rekey, ThresholdSurvivesRekey) {
-  NetworkConfig cfg = dense_keys(0, 3);
+  NetworkSpec cfg = dense_keys(0, 3);
   cfg.revocation_threshold = 42;
   Network net(Topology::grid(4, 4), cfg);
   (void)net.rekey(dense_keys(0, 101).keys);
@@ -53,11 +53,11 @@ TEST(Rekey, ProtocolRunsCleanAfterEpoch) {
   // query is clean and correct with the attacker still excluded.
   const auto topo = Topology::grid(5, 5);
   const auto malicious = choose_malicious(topo, 1, 4);
-  NetworkConfig cfg = dense_keys(0, 4);
+  NetworkSpec cfg = dense_keys(0, 4);
   Network net(topo, cfg);
   Adversary adv(&net, malicious,
                 std::make_unique<SilentDropStrategy>(LiePolicy::kDenyAll));
-  VmatConfig vcfg;
+  CoordinatorSpec vcfg;
   vcfg.depth_bound = topo.depth(malicious);
   VmatCoordinator coordinator(&net, &adv, vcfg);
   const auto readings = default_readings(25);

@@ -66,7 +66,7 @@ TEST(Replay, StaleVetoFromPastExecutionIsSpuriousAndPinned) {
   Network net(topo, dense_keys());
   const std::unordered_set<NodeId> malicious{NodeId{2}};
   Adversary adv(&net, malicious, std::make_unique<ReplayOldVeto>());
-  VmatConfig cfg;
+  CoordinatorSpec cfg;
   cfg.depth_bound = topo.depth(malicious);
   VmatCoordinator coordinator(&net, &adv, cfg);
 
@@ -113,7 +113,7 @@ TEST(Replay, DirectEarlyJunkAtBaseStationPinsInjectorKey) {
   const std::unordered_set<NodeId> malicious{NodeId{1}};
   Network net(topo, dense_keys());
   Adversary adv(&net, malicious, std::make_unique<DirectJunkAtBs>());
-  VmatConfig cfg;
+  CoordinatorSpec cfg;
   cfg.depth_bound = topo.depth(malicious);
   VmatCoordinator coordinator(&net, &adv, cfg);
   const auto out = coordinator.run_min(default_readings(16));

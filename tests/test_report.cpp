@@ -22,7 +22,7 @@ TEST(Report, EnumNames) {
 
 TEST(Report, ResultSummaryCarriesMinAndRounds) {
   Network net(Topology::grid(4, 4), dense_keys());
-  VmatCoordinator coordinator(&net, nullptr, {});
+  VmatCoordinator coordinator(&net, nullptr, CoordinatorSpec{});
   const auto out = coordinator.run_min(default_readings(16));
   const std::string s = summarize(out);
   EXPECT_NE(s.find("result"), std::string::npos) << s;
@@ -38,7 +38,7 @@ TEST(Report, RevocationSummaryCarriesReason) {
   Network net(topo, dense_keys());
   Adversary adv(&net, malicious,
                 std::make_unique<JunkInjectStrategy>(LiePolicy::kDenyAll));
-  VmatConfig cfg;
+  CoordinatorSpec cfg;
   cfg.depth_bound = topo.depth(malicious);
   VmatCoordinator coordinator(&net, &adv, cfg);
   const auto out = coordinator.run_min(default_readings(16));
@@ -70,7 +70,7 @@ TEST(Report, DeploymentSummary) {
 
 TEST(Report, InfinityMinimaRendered) {
   Network net(Topology::line(4), dense_keys());
-  VmatCoordinator coordinator(&net, nullptr, {});
+  VmatCoordinator coordinator(&net, nullptr, CoordinatorSpec{});
   std::vector<std::vector<Reading>> values(4, {kInfinity});
   std::vector<std::vector<std::int64_t>> weights(4, {0});
   const auto out = coordinator.execute(values, weights);

@@ -143,7 +143,7 @@ ThetaCampaignResult run_theta_campaign(std::uint32_t theta,
   for (std::uint32_t id = 2; id < topo.node_count(); ++id)
     if (topo.degree(NodeId{id}) > topo.degree(attacker)) attacker = NodeId{id};
 
-  NetworkConfig netcfg;
+  NetworkSpec netcfg;
   netcfg.keys.pool_size = 800;
   netcfg.keys.ring_size = 40;
   netcfg.keys.seed = seed;
@@ -154,7 +154,7 @@ ThetaCampaignResult run_theta_campaign(std::uint32_t theta,
   Adversary adv(&net, malicious,
                 std::make_unique<JunkInjectStrategy>(LiePolicy::kDenyAll,
                                                      /*frame=*/false));
-  VmatConfig cfg;
+  CoordinatorSpec cfg;
   cfg.depth_bound = topo.depth(malicious) + 2;  // slack for sparse keying
   cfg.seed = seed;
   VmatCoordinator coordinator(&net, &adv, cfg);

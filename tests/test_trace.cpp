@@ -73,7 +73,7 @@ struct CleanRun {
 
 CleanRun run_clean(FlightRecorder* recorder) {
   Network net(Topology::grid(5, 5), dense_keys());
-  VmatCoordinator coordinator(&net, nullptr, {});
+  VmatCoordinator coordinator(&net, nullptr, CoordinatorSpec{});
   if (recorder != nullptr) coordinator.set_recorder(recorder);
   const std::uint64_t before = net.fabric().total_bytes();
   CleanRun run;
@@ -135,7 +135,7 @@ ExecutionOutcome run_attacked(FlightRecorder* recorder) {
   Network net(topo, dense_keys());
   Adversary adv(&net, malicious,
                 std::make_unique<ChokeVetoStrategy>(LiePolicy::kDenyAll));
-  VmatConfig cfg;
+  CoordinatorSpec cfg;
   cfg.depth_bound = topo.depth(malicious);
   VmatCoordinator coordinator(&net, &adv, cfg);
   if (recorder != nullptr) coordinator.set_recorder(recorder);

@@ -13,7 +13,7 @@ using testing::dense_keys;
 
 TreeResult form(Network& net, Adversary* adv, TreeMode mode, Level L,
                 std::uint64_t session = 1) {
-  TreeFormationParams params;
+  TreePhaseParams params;
   params.mode = mode;
   params.depth_bound = L;
   params.session = session;
@@ -123,7 +123,7 @@ TEST(TreeFormation, StaleSessionFramesIgnored) {
 
 TEST(TreeFormation, RejectsZeroDepthBound) {
   Network net(Topology::line(3), dense_keys());
-  TreeFormationParams params;
+  TreePhaseParams params;
   params.depth_bound = 0;
   EXPECT_THROW((void)run_tree_formation(net, nullptr, params),
                std::invalid_argument);

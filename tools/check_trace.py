@@ -2,9 +2,9 @@
 """check_trace: trace-invariant checker over exported flight-recorder JSON.
 
 Mirrors src/trace/checker.cpp over the schema FlightRecorder::to_json
-writes (trace_version 1), so CI — and anyone without a build tree — can
-validate a recording produced by `vmatsim --trace FILE` or the property
-suite's VMAT_TRACE_DIR export. Properties, per execution:
+writes (trace_version 1 or 2), so CI — and anyone without a build tree —
+can validate a recording produced by `vmatsim --trace FILE` or the
+property suite's VMAT_TRACE_DIR export. Properties, per execution:
 
   lemma1-trail          With slotted SOF every confirmation-phase event
                         happens in an interval <= L (audit trails are
@@ -19,6 +19,14 @@ suite's VMAT_TRACE_DIR export. Properties, per execution:
                         broadcasts); revocation executions stay within the
                         O(L log n) pinpointing envelope.
   truncated-execution   The stream for an execution ends with an outcome.
+
+Version-2 traces may interleave epoch slices ("unit": "epoch", written by
+the serving engine's prepare_epoch), checked for one property instead:
+
+  epoch-prep            An epoch slice carries announcement + tree
+                        formation only: exactly one authenticated
+                        broadcast, no query-phase events, no predicate
+                        tests, no outcome.
 
 Exit status: 0 all invariants hold, 1 violations found, 2 usage/IO error.
 Output format: exec N: [property] message
@@ -160,14 +168,43 @@ def check_execution(
     return out
 
 
+def check_epoch(index: int, epoch: dict[str, Any]) -> list[Violation]:
+    """Epoch-prep property: announcement + tree formation only."""
+    events = epoch.get("events", [])
+    out: list[Violation] = []
+
+    def flag(detail: str) -> None:
+        out.append(Violation(index, "epoch-prep", detail))
+
+    query_kinds = ("predicate-test", "pinpoint-step", "accept", "reject", "veto")
+    query_phases = ("aggregation", "confirmation", "pinpoint")
+    auth_broadcasts = 0
+    for e in events:
+        kind = e["k"]
+        if kind == "auth-bcast":
+            auth_broadcasts += 1
+        elif kind == "outcome":
+            flag("epoch slice carries an outcome event")
+        elif kind in query_kinds:
+            flag(f"epoch slice carries query-phase event `{kind}`")
+        if e["ph"] in query_phases:
+            flag(f"epoch slice carries event in query phase `{e['ph']}`")
+    if auth_broadcasts > 1:
+        flag(f"epoch slice used {auth_broadcasts} authenticated broadcasts > 1")
+    return out
+
+
 def check_trace(trace: dict[str, Any]) -> list[Violation]:
     version = trace.get("trace_version")
-    if version != 1:
+    if version not in (1, 2):
         raise ValueError(f"unsupported trace_version: {version!r}")
     context = trace["context"]
     violations: list[Violation] = []
     for index, execution in enumerate(trace.get("executions", [])):
-        violations.extend(check_execution(index, execution, context))
+        if execution.get("unit") == "epoch":
+            violations.extend(check_epoch(index, execution))
+        else:
+            violations.extend(check_execution(index, execution, context))
     return violations
 
 

@@ -1,0 +1,24 @@
+// Fixture: use of the pre-SimulationSpec [[deprecated]] config names inside
+// src/ (this file's fixture path contains a `src` component, which is what
+// the rule keys on). The shims exist for downstream callers only.
+namespace vmat_fixture {
+
+struct NetworkSpec {
+  int revocation_threshold = 0;
+};
+using NetworkConfig = NetworkSpec;  // deprecated-config (line 9)
+
+inline int ring_budget() {
+  NetworkConfig cfg;  // deprecated-config (line 12)
+  // String and comment mentions of VmatConfig must not count.
+  const char* note = "VmatConfig";
+  (void)note;
+  return cfg.revocation_threshold;
+}
+
+inline int suppressed_use() {
+  NetworkConfig cfg;  // vmat-lint: allow(deprecated-config)
+  return cfg.revocation_threshold;
+}
+
+}  // namespace vmat_fixture

@@ -28,6 +28,12 @@ checkable from source text, as named, individually suppressible rules:
   stdout-in-src          No direct std::cout / printf in src/ — output
                          goes through core/report or util/stats, which the
                          trial engine serialises.
+  deprecated-config      The pre-SimulationSpec config names (NetworkConfig,
+                         VmatConfig, KeySetupConfig, TreeFormationParams)
+                         are [[deprecated]] shims for downstream users
+                         only; src/ itself must use the section types or
+                         SimulationSpec so the shims can be deleted next
+                         release.
 
 Suppression syntax (checked per rule name, or `*` for all):
 
@@ -405,6 +411,22 @@ def rule_stdout_in_src(src: SourceFile, report) -> None:
                       "serialise it")
 
 
+DEPRECATED_CONFIG_RE = re.compile(
+    r"\b(NetworkConfig|VmatConfig|KeySetupConfig|TreeFormationParams)\b")
+
+
+def rule_deprecated_config(src: SourceFile, report) -> None:
+    if not src.in_dir("src"):
+        return
+    for i, line in enumerate(src.code_lines, start=1):
+        m = DEPRECATED_CONFIG_RE.search(line)
+        if m:
+            report(i, f"deprecated config name `{m.group(1)}` in src/; use "
+                      "the section type (NetworkSpec, CoordinatorSpec, ...) "
+                      "or SimulationSpec — the shim names exist only for "
+                      "downstream callers")
+
+
 RULES = {
     "determinism-rng": rule_determinism_rng,
     "mac-verify-discarded": rule_mac_verify_discarded,
@@ -412,6 +434,7 @@ RULES = {
     "key-memcpy": rule_key_memcpy,
     "threadpool-ref-capture": rule_threadpool_ref_capture,
     "stdout-in-src": rule_stdout_in_src,
+    "deprecated-config": rule_deprecated_config,
 }
 
 
