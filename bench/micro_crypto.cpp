@@ -1,15 +1,21 @@
 // MICRO — google-benchmark microbenchmarks for the crypto substrate and
 // the per-step protocol primitives (infrastructure, not a paper figure).
+// Also emits BENCH_micro_crypto.json with the MacBatch lanes-vs-oneshot
+// comparison through the shared bench harness.
 #include <benchmark/benchmark.h>
+
+#include <chrono>
 
 #include "core/audit.h"
 #include "core/synopsis.h"
 #include "crypto/hash_chain.h"
 #include "crypto/hmac.h"
 #include "crypto/mac.h"
+#include "crypto/mac_batch.h"
 #include "crypto/prf.h"
 #include "crypto/sha256.h"
 #include "keys/key_ring.h"
+#include "trial_runner.h"
 
 namespace {
 
@@ -122,6 +128,103 @@ void BM_EvaluatePredicate(benchmark::State& state) {
 }
 BENCHMARK(BM_EvaluatePredicate);
 
+// Multi-buffer MAC throughput by batch width. Frame-sized messages (48 B:
+// a typical encoded veto/agg payload) under one cached key schedule, so
+// the delta over BM_MacCachedSchedule is pure lane parallelism.
+void BM_MacBatchLanes(benchmark::State& state) {
+  const auto lanes = static_cast<std::size_t>(state.range(0));
+  const MacContext ctx(derive_key("bench", 7, 8));
+  const std::vector<Bytes> msgs(lanes, Bytes(48, 0x55));
+  MacBatch batch;
+  for (auto _ : state) {
+    batch.clear();
+    for (const auto& m : msgs) (void)batch.add(ctx, m);
+    batch.compute();
+    benchmark::DoNotOptimize(batch.macs().data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(lanes));
+}
+BENCHMARK(BM_MacBatchLanes)->Arg(1)->Arg(2)->Arg(8)->Arg(16)->Arg(64);
+
+/// The lanes-vs-oneshot report: BENCH_micro_crypto.json gets ns/MAC for
+/// the one-shot path, the cached-schedule path, and MacBatch at widening
+/// lane counts, plus the headline batch-vs-oneshot speedup.
+void write_mac_batch_report() {
+  using clock = std::chrono::steady_clock;
+  constexpr std::size_t kMsgLen = 48;
+  const std::size_t macs_per_rep = bench::smoke() ? 256 : 4096;
+  const std::size_t reps = bench::trials(16);
+  const SymmetricKey key = derive_key("bench", 7, 8);
+  const MacContext ctx(key);
+
+  bench::BenchReport report("micro_crypto");
+  report.config("message_bytes", static_cast<std::int64_t>(kMsgLen));
+  report.config("macs_per_rep", static_cast<std::int64_t>(macs_per_rep));
+  report.config("reps", static_cast<std::int64_t>(reps));
+  const char* impl = "scalar";
+  switch (MacBatch::active_impl()) {
+    case MacBatch::Impl::kShaNiX2: impl = "sha-ni-x2"; break;
+    case MacBatch::Impl::kAvx2X8: impl = "avx2-x8"; break;
+    default: break;
+  }
+  report.config("mac_batch_impl", impl);
+
+  // Best-of-reps ns/MAC for one timed body.
+  const auto measure = [&](const auto& body) {
+    double best_ms = 1e300;
+    for (std::size_t rep = 0; rep < reps; ++rep) {
+      const auto t0 = clock::now();
+      body();
+      const auto t1 = clock::now();
+      const double ms =
+          std::chrono::duration<double, std::milli>(t1 - t0).count();
+      if (ms < best_ms) best_ms = ms;
+    }
+    return best_ms * 1e6 / static_cast<double>(macs_per_rep);
+  };
+
+  const Bytes msg(kMsgLen, 0x55);
+  const double oneshot_ns = measure([&] {
+    for (std::size_t i = 0; i < macs_per_rep; ++i)
+      benchmark::DoNotOptimize(compute_mac(key, msg));
+  });
+  report.group("mac_oneshot").metric("ns_per_mac", oneshot_ns);
+  const double cached_ns = measure([&] {
+    for (std::size_t i = 0; i < macs_per_rep; ++i)
+      benchmark::DoNotOptimize(ctx.compute(msg));
+  });
+  report.group("mac_cached_schedule").metric("ns_per_mac", cached_ns);
+
+  double widest_batch_ns = cached_ns;
+  for (const std::size_t lanes : {std::size_t{2}, std::size_t{8},
+                                  std::size_t{16}, std::size_t{64}}) {
+    const std::vector<Bytes> msgs(lanes, msg);
+    MacBatch batch;
+    const double ns = measure([&] {
+      for (std::size_t done = 0; done < macs_per_rep; done += lanes) {
+        batch.clear();
+        for (const auto& m : msgs) (void)batch.add(ctx, m);
+        batch.compute();
+        benchmark::DoNotOptimize(batch.macs().data());
+      }
+    });
+    report.group("mac_batch_lanes=" + std::to_string(lanes))
+        .metric("ns_per_mac", ns);
+    widest_batch_ns = ns;
+  }
+  report.result("batch_speedup_vs_oneshot", oneshot_ns / widest_batch_ns);
+  report.result("batch_speedup_vs_cached", cached_ns / widest_batch_ns);
+  report.write();
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  write_mac_batch_report();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -2,6 +2,9 @@
 
 #include <stdexcept>
 
+#include "core/phase_shard.h"
+#include "util/parallel.h"
+
 namespace vmat {
 namespace {
 
@@ -69,6 +72,16 @@ AggregationOutcome run_aggregation(
 
   AggregationOutcome outcome;
 
+  // Level-parallel sharding (see core/phase_shard.h): shards cover
+  // contiguous node-id ranges, buffer their sends, and meter receipt into
+  // per-shard traces; every fabric mutation and trace emission happens (or
+  // merges) in global node-id order, so results and recorded streams are
+  // bit-identical for any thread count.
+  net.warm_crypto_caches();
+  const std::size_t shards = plan_shards(n);
+  ThreadPool& pool = ThreadPool::shared();
+  std::vector<ShardBuf> bufs(shards);
+
   for (Interval slot = 1; slot <= L; ++slot) {
     tracer.slot_tick(slot);
     if (adversary != nullptr && !adversary->strategy().passthrough()) {
@@ -82,81 +95,100 @@ AggregationOutcome run_aggregation(
     }
 
     // Honest transmissions: a level-i sensor transmits in slot L-i+1.
-    for (std::uint32_t id = 0; id < n; ++id) {
-      const NodeId node{id};
-      if (node == kBaseStation || byzantine(adversary, node)) continue;
-      if (net.revocation().is_sensor_revoked(node)) continue;
-      if (!tree.has_valid_level(node)) continue;
-      const Level i = tree.level[id];
-      if (slot != L - i + 1) continue;
+    // Shards build bundles and batch-compute edge MACs; the fabric sends
+    // replay serially below.
+    for_each_shard(
+        n, shards, pool,
+        [&net, &tree, &config, &adversary, &own, &audits, &bufs, slot, L](
+            std::size_t shard, std::size_t begin, std::size_t end) {
+          ShardBuf& buf = bufs[shard];
+          for (std::size_t id = begin; id < end; ++id) {
+            const NodeId node{static_cast<std::uint32_t>(id)};
+            if (node == kBaseStation || byzantine(adversary, node)) continue;
+            if (net.revocation().is_sensor_revoked(node)) continue;
+            if (!tree.has_valid_level(node)) continue;
+            const Level i = tree.level[id];
+            if (slot != L - i + 1) continue;
 
-      const AggBundle bundle =
-          honest_bundle(own[id], audits[id].agg.received, config.instances);
-      if (bundle.entries.empty()) continue;
-      const Bytes frame = encode(bundle);
+            const AggBundle bundle = honest_bundle(
+                own[id], audits[id].agg.received, config.instances);
+            if (bundle.entries.empty()) continue;
+            const Bytes frame = encode(bundle);
 
-      const auto& parents = tree.parents[id];
-      const std::size_t fanout =
-          config.multipath ? parents.size() : std::min<std::size_t>(1, parents.size());
-      for (std::size_t p = 0; p < fanout; ++p) {
-        const ParentLink& link = parents[p];
-        if (net.revocation().is_key_revoked(link.edge_key)) continue;
-        Envelope e;
-        e.from = node;
-        e.to = link.claimed_id;
-        e.edge_key = link.edge_key;
-        e.payload = frame;
-        e.edge_mac = net.keys().mac_context(link.edge_key).compute(frame);
-        tracer.mac_compute(node, link.edge_key);
-        // The claimed parent may not be a physical neighbor (a spoofed
-        // tree-formation frame); the fabric then drops the frame, which is
-        // exactly a silent drop the confirmation phase will catch.
-        for (std::uint32_t copy = 0; copy < net.redundancy(); ++copy)
-          (void)net.fabric().send(e);
-        for (const auto& m : bundle.entries)
-          audits[id].agg.forwarded.push_back(
-              {m, link.edge_key, link.claimed_id});
-      }
-    }
+            const auto& parents = tree.parents[id];
+            const std::size_t fanout =
+                config.multipath ? parents.size()
+                                 : std::min<std::size_t>(1, parents.size());
+            for (std::size_t p = 0; p < fanout; ++p) {
+              const ParentLink& link = parents[p];
+              if (net.revocation().is_key_revoked(link.edge_key)) continue;
+              TxStep step;
+              step.env.from = node;
+              step.env.to = link.claimed_id;
+              step.env.edge_key = link.edge_key;
+              // The claimed parent may not be a physical neighbor (a
+              // spoofed tree-formation frame); the fabric then drops the
+              // frame at replay, which is exactly a silent drop the
+              // confirmation phase will catch.
+              buf.stage_payload(step, frame);
+              buf.steps.push_back(std::move(step));
+              for (const auto& m : bundle.entries)
+                audits[id].agg.forwarded.push_back(
+                    {m, link.edge_key, link.claimed_id});
+            }
+          }
+          compute_step_macs(net.keys(), buf);
+        });
+    replay_tx(net, bufs, nullptr, tracer);
 
     net.fabric().end_slot();
 
     // Receipt.
-    for (std::uint32_t id = 0; id < n; ++id) {
-      const NodeId node{id};
-      if (net.revocation().is_sensor_revoked(node)) continue;
-      const bool is_bs = node == kBaseStation;
-      if (!is_bs && !tree.has_valid_level(node)) {
-        (void)net.fabric().take_inbox(node);
-        continue;
-      }
-      const Level i = is_bs ? 0 : tree.level[id];
-      auto frames = net.receive_valid(node);
-      // Collection window: slots 1 .. L-i.
-      if (!is_bs && slot > L - i) continue;
-      const bool is_malicious =
-          adversary != nullptr && adversary->is_malicious(node);
-      for (const auto& env : frames) {
-        const auto bundle = decode_agg(env.payload);
-        if (!bundle.has_value()) continue;
-        for (const auto& m : bundle->entries) {
-          if (m.instance >= config.instances) continue;
-          ReceivedRecord rec;
-          rec.msg = m;
-          rec.in_edge = env.edge_key;
-          rec.slot = slot;
-          rec.child_level = L - slot + 1;
-          rec.claimed_sender = env.from;
-          if (is_bs) {
-            outcome.arrivals.push_back({m, env.edge_key, slot});
-            audits[id].agg.received.push_back(rec);
-          } else {
-            audits[id].agg.received.push_back(rec);
-            if (is_malicious) malicious_received[id].push_back(rec);
+    ShardedTrace rx_trace(tracer, shards);
+    for_each_shard(
+        n, shards, pool,
+        [&net, &tree, &config, &adversary, &audits, &bufs, &rx_trace,
+         &malicious_received, &outcome, slot, L](
+            std::size_t shard, std::size_t begin, std::size_t end) {
+          Tracer shard_tracer = rx_trace.shard(shard);
+          for (std::size_t id = begin; id < end; ++id) {
+            const NodeId node{static_cast<std::uint32_t>(id)};
+            if (net.revocation().is_sensor_revoked(node)) continue;
+            const bool is_bs = node == kBaseStation;
+            if (!is_bs && !tree.has_valid_level(node)) {
+              (void)net.fabric().take_inbox(node);
+              continue;
+            }
+            const Level i = is_bs ? 0 : tree.level[id];
+            auto frames = net.receive_valid(node, bufs[shard].rx,
+                                            shard_tracer);
+            // Collection window: slots 1 .. L-i.
+            if (!is_bs && slot > L - i) continue;
+            const bool is_malicious =
+                adversary != nullptr && adversary->is_malicious(node);
+            for (const auto& env : frames) {
+              const auto bundle = decode_agg(env.payload);
+              if (!bundle.has_value()) continue;
+              for (const auto& m : bundle->entries) {
+                if (m.instance >= config.instances) continue;
+                ReceivedRecord rec;
+                rec.msg = m;
+                rec.in_edge = env.edge_key;
+                rec.slot = slot;
+                rec.child_level = L - slot + 1;
+                rec.claimed_sender = env.from;
+                if (is_bs) {
+                  outcome.arrivals.push_back({m, env.edge_key, slot});
+                  audits[id].agg.received.push_back(rec);
+                } else {
+                  audits[id].agg.received.push_back(rec);
+                  if (is_malicious) malicious_received[id].push_back(rec);
+                }
+              }
+            }
           }
-        }
-      }
-    }
+        });
+    rx_trace.merge();
   }
 
   net.fabric().reset();

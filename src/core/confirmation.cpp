@@ -3,6 +3,9 @@
 #include <optional>
 #include <stdexcept>
 
+#include "core/phase_shard.h"
+#include "util/parallel.h"
+
 namespace vmat {
 namespace {
 
@@ -37,6 +40,16 @@ ConfirmationOutcome run_confirmation(
 
   ConfirmationOutcome outcome;
 
+  // Level-parallel sharding (see core/phase_shard.h). Veto MACs and the
+  // per-neighbor edge MACs compute in-shard; sends, out-edge audit records
+  // (which depend on send success) and veto trace events replay serially in
+  // node-id order, so the fabric and the event stream behave exactly as in
+  // serial execution.
+  net.warm_crypto_caches();
+  const std::size_t shards = plan_shards(n);
+  ThreadPool& pool = ThreadPool::shared();
+  std::vector<ShardBuf> bufs(shards);
+
   const Interval max_interval = slotted ? L : 4 * L + 4;
   for (Interval slot = 1; slot <= max_interval; ++slot) {
     tracer.slot_tick(slot);
@@ -50,73 +63,110 @@ ConfirmationOutcome run_confirmation(
       adversary->strategy().on_conf_slot(adversary->view(), ctx);
     }
 
-    for (std::uint32_t id = 0; id < n; ++id) {
-      const NodeId node{id};
-      if (node == kBaseStation || byzantine(adversary, node)) continue;
-      if (net.revocation().is_sensor_revoked(node)) continue;
+    for_each_shard(
+        n, shards, pool,
+        [&net, &tree, &adversary, &values, &broadcast_minima, &audits,
+         &pending, &bufs, nonce, slot](std::size_t shard, std::size_t begin,
+                                      std::size_t end) {
+          ShardBuf& buf = bufs[shard];
+          auto buffer_flood = [&net, &buf](NodeId node, const Bytes& frame,
+                                           bool track_out_edge) {
+            for (NodeId v : net.topology().neighbors(node)) {
+              const auto edge_key = net.usable_edge_key(node, v);
+              if (!edge_key.has_value()) continue;
+              TxStep step;
+              step.env.from = node;
+              step.env.to = v;
+              step.env.edge_key = *edge_key;
+              step.track_out_edge = track_out_edge;
+              buf.stage_payload(step, frame);
+              buf.steps.push_back(std::move(step));
+            }
+          };
+          for (std::size_t id = begin; id < end; ++id) {
+            const NodeId node{static_cast<std::uint32_t>(id)};
+            if (node == kBaseStation || byzantine(adversary, node)) continue;
+            if (net.revocation().is_sensor_revoked(node)) continue;
 
-      if (slot == 1) {
-        // Vetoers transmit in the first interval.
-        if (!tree.has_valid_level(node)) continue;
-        const auto instance = veto_instance(values[id], broadcast_minima);
-        if (!instance.has_value()) continue;
-        const VetoMsg veto = make_veto(
-            net.keys().sensor_mac_context(node), node, *instance,
-            values[id][*instance], tree.level[id], nonce);
-        const Bytes frame = encode(veto);
-        SofRecord rec;
-        rec.msg = veto;
-        rec.originated = true;
-        rec.received_interval = 0;
-        rec.forward_interval = 1;
-        for (NodeId v : net.usable_neighbors(node)) {
-          if (net.send_secure(node, v, frame))
-            rec.out_edges.push_back(*net.usable_edge_key(node, v));
-        }
-        audits[id].sof = rec;
-        tracer.veto(node, node, slot, values[id][*instance], true);
-      } else if (pending[id].has_value()) {
-        // One-time forward of the first veto received last slot.
-        const Bytes frame = std::move(*pending[id]);
-        pending[id].reset();
-        for (NodeId v : net.usable_neighbors(node)) {
-          if (net.send_secure(node, v, frame))
-            audits[id].sof->out_edges.push_back(*net.usable_edge_key(node, v));
-        }
-      }
-    }
+            if (slot == 1) {
+              // Vetoers transmit in the first interval.
+              if (!tree.has_valid_level(node)) continue;
+              const auto instance =
+                  veto_instance(values[id], broadcast_minima);
+              if (!instance.has_value()) continue;
+              const VetoMsg veto = make_veto(
+                  net.keys().sensor_mac_context(node), node, *instance,
+                  values[id][*instance], tree.level[id], nonce);
+              SofRecord rec;
+              rec.msg = veto;
+              rec.originated = true;
+              rec.received_interval = 0;
+              rec.forward_interval = 1;
+              // out_edges fill at replay, as sends succeed.
+              audits[id].sof = rec;
+              buffer_flood(node, encode(veto), /*track_out_edge=*/true);
+              TxStep ev;
+              ev.kind = TxStep::Kind::kVeto;
+              ev.actor = node;
+              ev.origin = node;
+              ev.slot = slot;
+              ev.value = values[id][*instance];
+              ev.originated = true;
+              buf.steps.push_back(std::move(ev));
+            } else if (pending[id].has_value()) {
+              // One-time forward of the first veto received last slot.
+              const Bytes frame = std::move(*pending[id]);
+              pending[id].reset();
+              buffer_flood(node, frame, /*track_out_edge=*/true);
+            }
+          }
+          compute_step_macs(net.keys(), buf);
+        });
+    replay_tx(net, bufs, &audits, tracer);
 
     net.fabric().end_slot();
 
-    for (std::uint32_t id = 0; id < n; ++id) {
-      const NodeId node{id};
-      if (net.revocation().is_sensor_revoked(node)) continue;
-      auto frames = net.receive_valid(node);
-      const bool is_malicious =
-          adversary != nullptr && adversary->is_malicious(node);
-      for (const auto& env : frames) {
-        const auto veto = decode_veto(env.payload);
-        if (!veto.has_value()) continue;
-        if (node == kBaseStation) {
-          outcome.arrivals.push_back({*veto, env.edge_key, slot});
-          continue;
-        }
-        if (is_malicious) malicious_vetoes[id].push_back(*veto);
-        if (byzantine(adversary, node)) continue;  // strategy decides itself
-        if (audits[id].sof.has_value()) continue;  // one-time: already handled
-        // First veto: schedule forwarding for the next slot and record the
-        // audit tuple now.
-        SofRecord rec;
-        rec.msg = *veto;
-        rec.originated = false;
-        rec.received_interval = slot;
-        rec.forward_interval = slot + 1;
-        rec.in_edge = env.edge_key;
-        audits[id].sof = rec;
-        pending[id] = env.payload;
-        tracer.veto(node, veto->origin, slot, veto->value, false);
-      }
-    }
+    ShardedTrace rx_trace(tracer, shards);
+    for_each_shard(
+        n, shards, pool,
+        [&net, &adversary, &audits, &pending, &malicious_vetoes, &outcome,
+         &bufs, &rx_trace, slot](std::size_t shard, std::size_t begin,
+                                 std::size_t end) {
+          Tracer shard_tracer = rx_trace.shard(shard);
+          for (std::size_t id = begin; id < end; ++id) {
+            const NodeId node{static_cast<std::uint32_t>(id)};
+            if (net.revocation().is_sensor_revoked(node)) continue;
+            auto frames = net.receive_valid(node, bufs[shard].rx,
+                                            shard_tracer);
+            const bool is_malicious =
+                adversary != nullptr && adversary->is_malicious(node);
+            for (const auto& env : frames) {
+              const auto veto = decode_veto(env.payload);
+              if (!veto.has_value()) continue;
+              if (node == kBaseStation) {
+                outcome.arrivals.push_back({*veto, env.edge_key, slot});
+                continue;
+              }
+              if (is_malicious) malicious_vetoes[id].push_back(*veto);
+              if (byzantine(adversary, node)) continue;  // strategy decides
+              if (audits[id].sof.has_value()) continue;  // one-time: handled
+              // First veto: schedule forwarding for the next slot and
+              // record the audit tuple now.
+              SofRecord rec;
+              rec.msg = *veto;
+              rec.originated = false;
+              rec.received_interval = slot;
+              rec.forward_interval = slot + 1;
+              rec.in_edge = env.edge_key;
+              audits[id].sof = rec;
+              // One-time per node per execution: the forwarded frame must
+              // outlive the arena slot. vmat-lint: allow(hot-path-alloc)
+              pending[id] = Bytes(env.payload.begin(), env.payload.end());
+              shard_tracer.veto(node, veto->origin, slot, veto->value, false);
+            }
+          }
+        });
+    rx_trace.merge();
   }
 
   net.fabric().reset();

@@ -70,7 +70,7 @@ Bytes encode(const PredicateReplyMsg& m) {
   return w.take();
 }
 
-std::optional<MsgType> peek_type(const Bytes& frame) noexcept {
+std::optional<MsgType> peek_type(std::span<const std::uint8_t> frame) noexcept {
   if (frame.empty()) return std::nullopt;
   switch (frame[0]) {
     case 1:
@@ -86,7 +86,8 @@ std::optional<MsgType> peek_type(const Bytes& frame) noexcept {
   }
 }
 
-std::optional<TreeFormationMsg> decode_tree(const Bytes& frame) {
+std::optional<TreeFormationMsg> decode_tree(
+    std::span<const std::uint8_t> frame) {
   try {
     ByteReader r(frame);
     if (r.u8() != static_cast<std::uint8_t>(MsgType::kTreeFormation))
@@ -101,7 +102,7 @@ std::optional<TreeFormationMsg> decode_tree(const Bytes& frame) {
   }
 }
 
-std::optional<AggBundle> decode_agg(const Bytes& frame) {
+std::optional<AggBundle> decode_agg(std::span<const std::uint8_t> frame) {
   try {
     ByteReader r(frame);
     if (r.u8() != static_cast<std::uint8_t>(MsgType::kAggBundle))
@@ -120,7 +121,7 @@ std::optional<AggBundle> decode_agg(const Bytes& frame) {
   }
 }
 
-std::optional<VetoMsg> decode_veto(const Bytes& frame) {
+std::optional<VetoMsg> decode_veto(std::span<const std::uint8_t> frame) {
   try {
     ByteReader r(frame);
     if (r.u8() != static_cast<std::uint8_t>(MsgType::kVeto))
@@ -138,7 +139,8 @@ std::optional<VetoMsg> decode_veto(const Bytes& frame) {
   }
 }
 
-std::optional<PredicateReplyMsg> decode_reply(const Bytes& frame) {
+std::optional<PredicateReplyMsg> decode_reply(
+    std::span<const std::uint8_t> frame) {
   try {
     ByteReader r(frame);
     if (r.u8() != static_cast<std::uint8_t>(MsgType::kPredicateReply))

@@ -84,14 +84,21 @@ struct PredicateReplyMsg {
 [[nodiscard]] Bytes encode(const PredicateReplyMsg& m);
 
 /// Peek at the type tag of an encoded frame (nullopt if empty/unknown).
-[[nodiscard]] std::optional<MsgType> peek_type(const Bytes& frame) noexcept;
+[[nodiscard]] std::optional<MsgType> peek_type(
+    std::span<const std::uint8_t> frame) noexcept;
 
 /// Decoders return nullopt on any malformed input — the receiving code
-/// treats such frames as spurious.
-[[nodiscard]] std::optional<TreeFormationMsg> decode_tree(const Bytes& frame);
-[[nodiscard]] std::optional<AggBundle> decode_agg(const Bytes& frame);
-[[nodiscard]] std::optional<VetoMsg> decode_veto(const Bytes& frame);
-[[nodiscard]] std::optional<PredicateReplyMsg> decode_reply(const Bytes& frame);
+/// treats such frames as spurious. They take spans so delivered frames
+/// (whose payloads live in the fabric's slot arena) decode without a copy;
+/// a Bytes converts implicitly.
+[[nodiscard]] std::optional<TreeFormationMsg> decode_tree(
+    std::span<const std::uint8_t> frame);
+[[nodiscard]] std::optional<AggBundle> decode_agg(
+    std::span<const std::uint8_t> frame);
+[[nodiscard]] std::optional<VetoMsg> decode_veto(
+    std::span<const std::uint8_t> frame);
+[[nodiscard]] std::optional<PredicateReplyMsg> decode_reply(
+    std::span<const std::uint8_t> frame);
 
 // --- sensor-key MAC inputs ---
 

@@ -1,0 +1,128 @@
+// Level-parallel phase-driver machinery.
+//
+// Within one slot, the phase drivers shard honest per-node work (bundle
+// building, MAC computation, inbox verification) across the thread pool
+// and keep the protocol's determinism contract by construction:
+//
+//   - TX: shards *buffer* their outgoing frames as TxSteps — edge MACs are
+//     computed in-shard through a per-shard MacBatch, but nothing touches
+//     the fabric. After the join, replay_tx() walks the buffers in shard
+//     order (= global node-id order, since shards cover contiguous id
+//     ranges) and performs the actual sends serially. Delivery order, the
+//     loss-RNG consumption order, transmit-budget accounting, and the
+//     traced event stream are therefore bit-identical to serial execution
+//     for any thread count — and the adversary still transmits first, since
+//     its strategy hook ran before the shards and its frames already sit in
+//     the fabric's staging queue.
+//   - RX: take_inbox()/receive_valid() are safe for distinct nodes, every
+//     write the receipt loops perform is per-node state owned by exactly
+//     one shard, and trace events buffer in a ShardedTrace that merges in
+//     shard order after the join.
+//
+// One code path serves serial and parallel execution: plan_shards() returns
+// 1 when intra-execution threading is off (or the node count is too small),
+// and for_each_shard() then runs the single shard inline on the caller.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/audit.h"
+#include "crypto/mac_batch.h"
+#include "sim/network.h"
+#include "trace/trace.h"
+#include "util/ids.h"
+
+namespace vmat {
+
+/// One buffered transmit-side action, replayed serially after the shard
+/// join. kSend transmits an already-MAC'd envelope; kVeto emits the
+/// originated-veto trace event at its original position in the stream.
+struct TxStep {
+  enum class Kind : std::uint8_t { kSend, kVeto };
+  Kind kind{Kind::kSend};
+  /// kSend: wire fields; env.payload stays empty — the payload bytes live
+  /// in the owning ShardBuf's flat payload buffer (stage_payload()), so
+  /// buffering a step never heap-allocates. edge_mac is filled in by
+  /// compute_step_macs().
+  Envelope env;
+  std::uint32_t payload_off{0};
+  std::uint32_t payload_len{0};
+  /// kSend: on send success, append env.edge_key to
+  /// audits[env.from].sof->out_edges (the SOF audit tuple records which
+  /// edges the one-time flood actually went out on).
+  bool track_out_edge{false};
+  // kVeto event fields (mirrors Tracer::veto).
+  NodeId actor;
+  NodeId origin;
+  Interval slot{0};
+  std::int64_t value{0};
+  bool originated{false};
+};
+
+/// Per-shard scratch: the TX step buffer, its flat payload bytes, the MAC
+/// batch, and the RX scratch. Lives across slots so steady-state slots
+/// allocate nothing.
+struct ShardBuf {
+  std::vector<TxStep> steps;
+  Bytes payload_bytes;  // every buffered step's payload, back to back
+  MacBatch batch;
+  RxScratch rx;
+
+  /// Copy `payload` into the shard's flat buffer and point `step` at it.
+  void stage_payload(TxStep& step, std::span<const std::uint8_t> payload) {
+    step.payload_off = static_cast<std::uint32_t>(payload_bytes.size());
+    step.payload_len = static_cast<std::uint32_t>(payload.size());
+    payload_bytes.insert(payload_bytes.end(), payload.begin(), payload.end());
+  }
+
+  [[nodiscard]] std::span<const std::uint8_t> payload_of(
+      const TxStep& step) const {
+    return std::span<const std::uint8_t>(payload_bytes)
+        .subspan(step.payload_off, step.payload_len);
+  }
+};
+
+/// Compute every buffered kSend step's edge MAC through the shard's
+/// multi-buffer batch. Called at the end of a shard's TX pass, inside the
+/// shard: MacContext lookups must already be warm
+/// (Network::warm_crypto_caches()). Emits no trace events — mac_compute
+/// fires at replay, via Network::send_prepared, exactly where the serial
+/// driver emitted it.
+inline void compute_step_macs(const Predistribution& keys, ShardBuf& buf) {
+  buf.batch.clear();
+  for (const TxStep& s : buf.steps)
+    if (s.kind == TxStep::Kind::kSend)
+      buf.batch.add(keys.mac_context(s.env.edge_key), buf.payload_of(s));
+  buf.batch.compute();
+  std::size_t lane = 0;
+  for (TxStep& s : buf.steps)
+    if (s.kind == TxStep::Kind::kSend) s.env.edge_mac = buf.batch.macs()[lane++];
+}
+
+/// Serially replay every shard's buffered TX steps in shard order and clear
+/// the buffers. `sof_audits` is non-null only for the confirmation driver,
+/// whose sends record their out-edges on success.
+inline void replay_tx(Network& net, std::vector<ShardBuf>& bufs,
+                      std::vector<NodeAudit>* sof_audits, Tracer tracer) {
+  for (ShardBuf& buf : bufs) {
+    for (const TxStep& s : buf.steps) {
+      switch (s.kind) {
+        case TxStep::Kind::kSend: {
+          const bool sent = net.send_prepared(s.env, buf.payload_of(s));
+          if (sent && s.track_out_edge)
+            (*sof_audits)[s.env.from.value].sof->out_edges.push_back(
+                s.env.edge_key);
+          break;
+        }
+        case TxStep::Kind::kVeto:
+          tracer.veto(s.actor, s.origin, s.slot, s.value, s.originated);
+          break;
+      }
+    }
+    buf.steps.clear();
+    buf.payload_bytes.clear();
+  }
+}
+
+}  // namespace vmat

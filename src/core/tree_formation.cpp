@@ -2,6 +2,9 @@
 
 #include <stdexcept>
 
+#include "core/phase_shard.h"
+#include "util/parallel.h"
+
 namespace vmat {
 namespace {
 
@@ -26,6 +29,14 @@ TreeResult run_timestamp_mode(Network& net, Adversary* adversary,
 
   const Bytes flood_frame = encode(TreeFormationMsg{params.session, 0});
 
+  // Level-parallel sharding (see core/phase_shard.h): only level-(slot-1)
+  // sensors transmit each slot, but the cheap per-node filters run in-shard
+  // so one pass covers all ids; sends replay serially in id order.
+  net.warm_crypto_caches();
+  const std::size_t shards = plan_shards(n);
+  ThreadPool& pool = ThreadPool::shared();
+  std::vector<ShardBuf> bufs(shards);
+
   for (Interval slot = 1; slot <= params.depth_bound; ++slot) {
     tracer.slot_tick(slot);
     if (adversary != nullptr && !adversary->strategy().passthrough()) {
@@ -40,38 +51,65 @@ TreeResult run_timestamp_mode(Network& net, Adversary* adversary,
 
     // Honest transmissions: the base station in slot 1; level-(slot-1)
     // sensors in slot `slot`.
-    for (std::uint32_t id = 0; id < n; ++id) {
-      const NodeId node{id};
-      if (byzantine(adversary, node)) continue;
-      if (net.revocation().is_sensor_revoked(node)) continue;
-      const bool is_bs_turn = (node == kBaseStation && slot == 1);
-      const bool is_sensor_turn =
-          (node != kBaseStation && result.level[id] == slot - 1);
-      if (is_bs_turn || is_sensor_turn)
-        net.broadcast_secure(node, flood_frame);
-    }
+    for_each_shard(
+        n, shards, pool,
+        [&net, &adversary, &result, &flood_frame, &bufs, slot](
+            std::size_t shard, std::size_t begin, std::size_t end) {
+          ShardBuf& buf = bufs[shard];
+          for (std::size_t id = begin; id < end; ++id) {
+            const NodeId node{static_cast<std::uint32_t>(id)};
+            if (byzantine(adversary, node)) continue;
+            if (net.revocation().is_sensor_revoked(node)) continue;
+            const bool is_bs_turn = (node == kBaseStation && slot == 1);
+            const bool is_sensor_turn =
+                (node != kBaseStation && result.level[id] == slot - 1);
+            if (!is_bs_turn && !is_sensor_turn) continue;
+            for (NodeId v : net.topology().neighbors(node)) {
+              const auto edge_key = net.usable_edge_key(node, v);
+              if (!edge_key.has_value()) continue;
+              TxStep step;
+              step.env.from = node;
+              step.env.to = v;
+              step.env.edge_key = *edge_key;
+              buf.stage_payload(step, flood_frame);
+              buf.steps.push_back(std::move(step));
+            }
+          }
+          compute_step_macs(net.keys(), buf);
+        });
+    replay_tx(net, bufs, nullptr, tracer);
 
     net.fabric().end_slot();
 
     // Receipt: unleveled nodes adopt this slot as their level.
-    for (std::uint32_t id = 0; id < n; ++id) {
-      const NodeId node{id};
-      if (node == kBaseStation) {
-        (void)net.fabric().take_inbox(node);  // BS ignores tree frames
-        continue;
-      }
-      if (net.revocation().is_sensor_revoked(node)) continue;
-      auto frames = net.receive_valid(node);
-      if (result.level[id] != kNoLevel) continue;  // already leveled: ignore
-      bool adopted = false;
-      for (const auto& env : frames) {
-        const auto msg = decode_tree(env.payload);
-        if (!msg.has_value() || msg->session != params.session) continue;
-        adopted = true;
-        record_parent(result.parents[id], {env.from, env.edge_key});
-      }
-      if (adopted) result.level[id] = slot;
-    }
+    ShardedTrace rx_trace(tracer, shards);
+    for_each_shard(
+        n, shards, pool,
+        [&net, &params, &result, &bufs, &rx_trace, slot](
+            std::size_t shard, std::size_t begin, std::size_t end) {
+          Tracer shard_tracer = rx_trace.shard(shard);
+          for (std::size_t id = begin; id < end; ++id) {
+            const NodeId node{static_cast<std::uint32_t>(id)};
+            if (node == kBaseStation) {
+              (void)net.fabric().take_inbox(node);  // BS ignores tree frames
+              continue;
+            }
+            if (net.revocation().is_sensor_revoked(node)) continue;
+            auto frames = net.receive_valid(node, bufs[shard].rx,
+                                            shard_tracer);
+            if (result.level[id] != kNoLevel) continue;  // already leveled
+            bool adopted = false;
+            for (const auto& env : frames) {
+              const auto msg = decode_tree(env.payload);
+              if (!msg.has_value() || msg->session != params.session)
+                continue;
+              adopted = true;
+              record_parent(result.parents[id], {env.from, env.edge_key});
+            }
+            if (adopted) result.level[id] = slot;
+          }
+        });
+    rx_trace.merge();
   }
   return result;
 }

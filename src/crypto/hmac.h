@@ -26,6 +26,15 @@ class HmacKeyState {
   /// HMAC-SHA-256 of `message` under the precomputed key.
   [[nodiscard]] Digest mac(std::span<const std::uint8_t> message) const noexcept;
 
+  /// The pad midstates, exposed for the multi-buffer MAC batching kernels
+  /// (crypto/mac_batch.*) which resume many inner/outer hashes in lockstep.
+  [[nodiscard]] const Sha256Midstate& inner_midstate() const noexcept {
+    return inner_;
+  }
+  [[nodiscard]] const Sha256Midstate& outer_midstate() const noexcept {
+    return outer_;
+  }
+
  private:
   Sha256Midstate inner_;  // state after the ipad block
   Sha256Midstate outer_;  // state after the opad block

@@ -51,6 +51,11 @@ class MacContext {
     return compute(message) == tag;
   }
 
+  /// The cached HMAC key schedule, exposed for MacBatch lanes.
+  [[nodiscard]] const HmacKeyState& key_state() const noexcept {
+    return state_;
+  }
+
  private:
   HmacKeyState state_;
 };

@@ -8,9 +8,9 @@
 #endif
 
 namespace vmat {
-namespace {
+namespace sha256_detail {
 
-constexpr std::uint32_t kK[64] = {
+const std::uint32_t kRoundConstants[64] = {
     0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1,
     0x923f82a4, 0xab1c5ed5, 0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3,
     0x72be5d74, 0x80deb1fe, 0x9bdc06a7, 0xc19bf174, 0xe49b69c1, 0xefbe4786,
@@ -22,6 +22,12 @@ constexpr std::uint32_t kK[64] = {
     0x19a4c116, 0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a,
     0x5b9cca4f, 0x682e6ff3, 0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208,
     0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2};
+
+}  // namespace sha256_detail
+
+namespace {
+
+const std::uint32_t (&kK)[64] = sha256_detail::kRoundConstants;
 
 constexpr std::uint32_t rotr(std::uint32_t x, int n) noexcept {
   return (x >> n) | (x << (32 - n));
@@ -89,34 +95,7 @@ bool shani_supported() noexcept {
 }
 #endif  // VMAT_SHA_NI_POSSIBLE
 
-}  // namespace
-
-Sha256::Sha256() noexcept {
-  static constexpr std::uint32_t init[8] = {0x6a09e667, 0xbb67ae85, 0x3c6ef372,
-                                            0xa54ff53a, 0x510e527f, 0x9b05688c,
-                                            0x1f83d9ab, 0x5be0cd19};
-  std::memcpy(h_, init, sizeof h_);
-}
-
-Sha256::Sha256(const Sha256Midstate& m) noexcept : length_(m.length) {
-  std::memcpy(h_, m.h.data(), sizeof h_);
-}
-
-Sha256Midstate Sha256::midstate() const noexcept {
-  Sha256Midstate m;
-  std::memcpy(m.h.data(), h_, sizeof h_);
-  m.length = length_;
-  return m;
-}
-
-void Sha256::process_block(const std::uint8_t* block) noexcept {
-#ifdef VMAT_SHA_NI_POSSIBLE
-  static const bool use_shani = shani_supported();
-  if (use_shani) {
-    process_block_shani(h_, block);
-    return;
-  }
-#endif
+void compress_block_scalar(std::uint32_t* h_, const std::uint8_t* block) noexcept {
   std::uint32_t w[64];
   for (int i = 0; i < 16; ++i) {
     w[i] = (std::uint32_t{block[4 * i]} << 24) |
@@ -158,6 +137,56 @@ void Sha256::process_block(const std::uint8_t* block) noexcept {
   h_[5] += f;
   h_[6] += g;
   h_[7] += h;
+}
+
+}  // namespace
+
+namespace sha256_detail {
+
+bool shani_available() noexcept {
+#ifdef VMAT_SHA_NI_POSSIBLE
+  return shani_supported();
+#else
+  return false;
+#endif
+}
+
+void compress_blocks(std::uint32_t* h, const std::uint8_t* blocks,
+                     std::size_t n) noexcept {
+#ifdef VMAT_SHA_NI_POSSIBLE
+  static const bool use_shani = shani_supported();
+  if (use_shani) {
+    for (std::size_t b = 0; b < n; ++b)
+      process_block_shani(h, blocks + 64 * b);
+    return;
+  }
+#endif
+  for (std::size_t b = 0; b < n; ++b)
+    compress_block_scalar(h, blocks + 64 * b);
+}
+
+}  // namespace sha256_detail
+
+Sha256::Sha256() noexcept {
+  static constexpr std::uint32_t init[8] = {0x6a09e667, 0xbb67ae85, 0x3c6ef372,
+                                            0xa54ff53a, 0x510e527f, 0x9b05688c,
+                                            0x1f83d9ab, 0x5be0cd19};
+  std::memcpy(h_, init, sizeof h_);
+}
+
+Sha256::Sha256(const Sha256Midstate& m) noexcept : length_(m.length) {
+  std::memcpy(h_, m.h.data(), sizeof h_);
+}
+
+Sha256Midstate Sha256::midstate() const noexcept {
+  Sha256Midstate m;
+  std::memcpy(m.h.data(), h_, sizeof h_);
+  m.length = length_;
+  return m;
+}
+
+void Sha256::process_block(const std::uint8_t* block) noexcept {
+  sha256_detail::compress_blocks(h_, block, 1);
 }
 
 Sha256& Sha256::update(std::span<const std::uint8_t> data) noexcept {

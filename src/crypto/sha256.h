@@ -22,6 +22,22 @@ struct Sha256Midstate {
   std::uint64_t length{0};  // bytes compressed so far; multiple of 64
 };
 
+/// Internals shared with the multi-buffer MAC batching kernels
+/// (crypto/mac_batch.*): the FIPS round constants, feature detection, and a
+/// single-lane multi-block compressor that follows the same runtime
+/// dispatch (SHA-NI when the CPU has it, portable scalar otherwise).
+namespace sha256_detail {
+
+extern const std::uint32_t kRoundConstants[64];
+
+[[nodiscard]] bool shani_available() noexcept;
+
+/// Compress `n` consecutive 64-byte blocks into the state `h` (8 words).
+void compress_blocks(std::uint32_t* h, const std::uint8_t* blocks,
+                     std::size_t n) noexcept;
+
+}  // namespace sha256_detail
+
 /// Streaming SHA-256.
 class Sha256 {
  public:

@@ -1,5 +1,6 @@
 #include "keys/key_pool.h"
 
+#include <memory>
 #include <stdexcept>
 
 namespace vmat {
@@ -7,6 +8,7 @@ namespace vmat {
 KeyPool::KeyPool(std::uint32_t size, std::uint64_t seed)
     : size_(size), seed_(seed) {
   if (size == 0) throw std::invalid_argument("KeyPool: empty pool");
+  contexts_.resize(size);
 }
 
 SymmetricKey KeyPool::key(KeyIndex index) const {
@@ -15,9 +17,10 @@ SymmetricKey KeyPool::key(KeyIndex index) const {
 }
 
 const MacContext& KeyPool::mac_context(KeyIndex index) const {
-  const auto it = contexts_.find(index.value);
-  if (it != contexts_.end()) return it->second;
-  return contexts_.emplace(index.value, MacContext(key(index))).first->second;
+  if (index.value >= size_) throw std::out_of_range("KeyPool::mac_context");
+  auto& slot = contexts_[index.value];
+  if (!slot) slot = std::make_unique<MacContext>(key(index));
+  return *slot;
 }
 
 }  // namespace vmat

@@ -8,7 +8,8 @@
 #pragma once
 
 #include <cstdint>
-#include <unordered_map>
+#include <memory>
+#include <vector>
 
 #include "crypto/mac.h"
 #include "util/ids.h"
@@ -28,14 +29,17 @@ class KeyPool {
   /// Cached MAC schedule for a pool key: derives the key and its HMAC pad
   /// midstates on first use, then hands out the same context, so repeated
   /// MACs under one pool key skip both the key derivation hash and the pad
-  /// compressions. The cache is lazily mutated and NOT thread-safe; the
-  /// trial engine gives each concurrent trial its own KeyPool.
+  /// compressions. The cache is a flat per-index slot table (one pointer
+  /// load on the hot path, no hashing); it is lazily mutated and NOT
+  /// thread-safe until warmed — the trial engine gives each concurrent
+  /// trial its own KeyPool, and the sharded phase drivers warm it first.
   [[nodiscard]] const MacContext& mac_context(KeyIndex index) const;
 
  private:
   std::uint32_t size_;
   std::uint64_t seed_;
-  mutable std::unordered_map<std::uint32_t, MacContext> contexts_;
+  // Indexed by pool index; unique_ptr keeps handed-out references stable.
+  mutable std::vector<std::unique_ptr<MacContext>> contexts_;
 };
 
 }  // namespace vmat

@@ -13,9 +13,18 @@ KeyRing::KeyRing(std::uint64_t ring_seed, std::uint32_t ring_size,
   const auto raw = rng.sample_without_replacement(pool_size, ring_size);
   indices_.reserve(raw.size());
   for (std::uint32_t v : raw) indices_.push_back(KeyIndex{v});
+  if (pool_size <= kBitmapPoolLimit) {
+    bits_.assign((pool_size + 63) / 64, 0);
+    for (KeyIndex k : indices_) bits_[k.value >> 6] |= 1ULL << (k.value & 63);
+  }
 }
 
 bool KeyRing::contains(KeyIndex k) const noexcept {
+  if (!bits_.empty()) {
+    const std::uint32_t word = k.value >> 6;
+    if (word >= bits_.size()) return false;
+    return (bits_[word] >> (k.value & 63)) & 1ULL;
+  }
   return std::binary_search(indices_.begin(), indices_.end(), k);
 }
 

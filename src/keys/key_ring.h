@@ -42,8 +42,14 @@ class KeyRing {
   [[nodiscard]] std::size_t overlap(const KeyRing& other) const noexcept;
 
  private:
+  /// Pool sizes up to this bound get a membership bitmap (≤ 1 KB per ring)
+  /// so contains() is one bit test instead of a binary search; larger pools
+  /// fall back to searching the sorted index list.
+  static constexpr std::uint32_t kBitmapPoolLimit = 8192;
+
   std::uint64_t seed_;
   std::vector<KeyIndex> indices_;  // sorted
+  std::vector<std::uint64_t> bits_;  // empty when pool > kBitmapPoolLimit
 };
 
 }  // namespace vmat

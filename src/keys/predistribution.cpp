@@ -27,6 +27,7 @@ Predistribution::Predistribution(std::uint32_t node_count,
       holders_[k].push_back(NodeId{id});
   }
   // Holder lists are built in increasing id order, so they are sorted.
+  sensor_contexts_.resize(node_count);
 }
 
 const KeyRing& Predistribution::ring(NodeId node) const {
@@ -62,6 +63,7 @@ KeyIndex Predistribution::register_path_key(NodeId a, NodeId b) {
   path_keys_[b.value].emplace_back(a, index);
   auto& held_by = holders_[index];
   held_by = {std::min(a, b), std::max(a, b)};
+  path_contexts_.resize(next_path_index_ - config_.pool_size);
   return index;
 }
 
@@ -99,19 +101,26 @@ SymmetricKey Predistribution::key_material(KeyIndex index) const {
 
 const MacContext& Predistribution::mac_context(KeyIndex index) const {
   if (!is_path_key(index)) return pool_.mac_context(index);
-  const auto it = path_contexts_.find(index.value);
-  if (it != path_contexts_.end()) return it->second;
-  return path_contexts_
-      .emplace(index.value, MacContext(key_material(index)))
-      .first->second;
+  const std::size_t slot = index.value - config_.pool_size;
+  if (slot >= path_contexts_.size())
+    throw std::out_of_range("mac_context: unknown path key");
+  auto& ctx = path_contexts_[slot];
+  if (!ctx) ctx = std::make_unique<MacContext>(key_material(index));
+  return *ctx;
+}
+
+void Predistribution::warm_mac_contexts() const {
+  for (const auto& [index, held_by] : holders_) (void)mac_context(index);
+  for (std::uint32_t id = 0; id < node_count(); ++id)
+    (void)sensor_mac_context(NodeId{id});
 }
 
 const MacContext& Predistribution::sensor_mac_context(NodeId node) const {
-  const auto it = sensor_contexts_.find(node.value);
-  if (it != sensor_contexts_.end()) return it->second;
-  return sensor_contexts_
-      .emplace(node.value, MacContext(sensor_key(node)))
-      .first->second;
+  if (node.value >= sensor_contexts_.size())
+    throw std::out_of_range("Predistribution::sensor_mac_context");
+  auto& ctx = sensor_contexts_[node.value];
+  if (!ctx) ctx = std::make_unique<MacContext>(sensor_key(node));
+  return *ctx;
 }
 
 }  // namespace vmat

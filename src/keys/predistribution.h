@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <span>
 #include <unordered_map>
@@ -98,6 +99,13 @@ class Predistribution {
   /// mac_context() but keyed by sensor_key(node).
   [[nodiscard]] const MacContext& sensor_mac_context(NodeId node) const;
 
+  /// Derive every MAC context honest code can reach — one per held key
+  /// (ring or path) plus every sensor key — so the lazy caches behind
+  /// mac_context()/sensor_mac_context() are read-only afterwards. The
+  /// sharded phase drivers call this (via Network::warm_crypto_caches())
+  /// at a serial point before fanning out.
+  void warm_mac_contexts() const;
+
  private:
   KeyMaterialSpec config_;
   KeyPool pool_;
@@ -105,8 +113,11 @@ class Predistribution {
   std::unordered_map<KeyIndex, std::vector<NodeId>> holders_;
   std::vector<std::vector<std::pair<NodeId, KeyIndex>>> path_keys_;  // by node
   std::uint32_t next_path_index_;
-  mutable std::unordered_map<std::uint32_t, MacContext> path_contexts_;
-  mutable std::unordered_map<std::uint32_t, MacContext> sensor_contexts_;
+  // Flat lazy slot tables (no hashing on the hot path): path contexts are
+  // indexed by (index - pool_size), sensor contexts by node id. unique_ptr
+  // keeps handed-out references stable across register_path_key() growth.
+  mutable std::vector<std::unique_ptr<MacContext>> path_contexts_;
+  mutable std::vector<std::unique_ptr<MacContext>> sensor_contexts_;
 };
 
 }  // namespace vmat

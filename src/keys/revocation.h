@@ -46,11 +46,13 @@ class RevocationRegistry {
   /// `node` itself as the first element if it was not revoked before).
   std::vector<NodeId> revoke_sensor(NodeId node);
 
+  // Both checks run once per frame (and once per node per slot); the
+  // empty() test keeps the no-revocations common case to one load.
   [[nodiscard]] bool is_key_revoked(KeyIndex key) const noexcept {
-    return revoked_keys_.contains(key);
+    return !revoked_keys_.empty() && revoked_keys_.contains(key);
   }
   [[nodiscard]] bool is_sensor_revoked(NodeId node) const noexcept {
-    return revoked_sensors_.contains(node);
+    return !revoked_sensors_.empty() && revoked_sensors_.contains(node);
   }
 
   [[nodiscard]] std::uint32_t threshold() const noexcept { return threshold_; }

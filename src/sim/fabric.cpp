@@ -1,7 +1,7 @@
 #include "sim/fabric.h"
 
 #include <algorithm>
-#include <iterator>
+#include <cstring>
 #include <stdexcept>
 #include <utility>
 
@@ -9,15 +9,53 @@
 
 namespace vmat {
 
+std::span<const std::uint8_t> SlotArena::store(
+    std::span<const std::uint8_t> bytes) {
+  if (bytes.empty()) return {};
+  while (active_ < chunks_.size() &&
+         chunks_[active_].fill + bytes.size() > chunks_[active_].size)
+    ++active_;
+  if (active_ == chunks_.size()) {
+    // Geometric growth keeps the chunk count logarithmic in peak slot
+    // volume; one slot's largest payload always fits a single chunk.
+    const std::size_t last = chunks_.empty() ? 0 : chunks_.back().size;
+    const std::size_t size = std::max({std::size_t{4096}, 2 * last,
+                                       bytes.size()});
+    chunks_.push_back(Chunk{std::make_unique<std::uint8_t[]>(size), size, 0});
+  }
+  Chunk& chunk = chunks_[active_];
+  std::uint8_t* dst = chunk.data.get() + chunk.fill;
+  std::memcpy(dst, bytes.data(), bytes.size());
+  chunk.fill += bytes.size();
+  used_ += bytes.size();
+  return {dst, bytes.size()};
+}
+
+void SlotArena::reset() noexcept {
+  for (Chunk& chunk : chunks_) chunk.fill = 0;
+  active_ = 0;
+  used_ = 0;
+}
+
+std::size_t SlotArena::capacity() const noexcept {
+  std::size_t total = 0;
+  for (const Chunk& chunk : chunks_) total += chunk.size;
+  return total;
+}
+
 Fabric::Fabric(const Topology* topology, std::size_t capacity_per_slot)
     : topology_(topology),
       capacity_per_slot_(capacity_per_slot),
       sent_this_slot_(topology->node_count(), 0),
-      in_flight_(topology->node_count()),
-      inbox_(topology->node_count()),
+      inbox_begin_(topology->node_count(), 0),
+      inbox_end_(topology->node_count(), 0),
       bytes_sent_(topology->node_count(), 0),
       bytes_received_(topology->node_count(), 0) {
   if (topology == nullptr) throw std::invalid_argument("Fabric: null topology");
+  // Every phase loop sweeps neighbors per slot; make sure the adjacency is
+  // in its flat CSR form before the first hot loop runs (single-threaded
+  // here by construction).
+  topology->compact();
 }
 
 Status Fabric::set_loss(double probability, std::uint64_t seed) {
@@ -29,15 +67,25 @@ Status Fabric::set_loss(double probability, std::uint64_t seed) {
   return {};
 }
 
-bool Fabric::send(Envelope envelope) {
-  return send_as(envelope.from, std::move(envelope));
+bool Fabric::send(const Envelope& envelope) {
+  return send_as(envelope.from, envelope, envelope.payload);
 }
 
-bool Fabric::send_as(NodeId actual_sender, Envelope envelope) {
-  if (actual_sender.value >= in_flight_.size() ||
-      envelope.to.value >= in_flight_.size())
+bool Fabric::send(const Envelope& envelope,
+                  std::span<const std::uint8_t> payload) {
+  return send_as(envelope.from, envelope, payload);
+}
+
+bool Fabric::send_as(NodeId actual_sender, const Envelope& envelope) {
+  return send_as(actual_sender, envelope, envelope.payload);
+}
+
+bool Fabric::send_as(NodeId actual_sender, const Envelope& envelope,
+                     std::span<const std::uint8_t> payload) {
+  if (actual_sender.value >= sent_this_slot_.size() ||
+      envelope.to.value >= sent_this_slot_.size())
     throw std::out_of_range("Fabric::send_as: bad node id");
-  const std::size_t size = frame_size(envelope);
+  const std::size_t size = kFrameOverheadBytes + payload.size();
   if (!topology_->has_edge(actual_sender, envelope.to)) {
     ++dropped_;
     tracer_.frame_dropped(actual_sender, envelope.to, size);
@@ -62,44 +110,68 @@ bool Fabric::send_as(NodeId actual_sender, Envelope envelope) {
       return true;  // sender cannot tell; the ether ate it
     }
   }
-  in_flight_[envelope.to.value].push_back(std::move(envelope));
+  staged_.push_back(Frame{envelope.from, envelope.to, envelope.edge_key,
+                          envelope.edge_mac,
+                          arenas_[collect_].store(payload)});
   return true;
 }
 
 void Fabric::end_slot() {
-  for (std::uint32_t id = 0; id < in_flight_.size(); ++id) {
-    auto& arriving = in_flight_[id];
-    if (!arriving.empty()) {
-      for (const auto& e : arriving) {
-        const std::size_t size = frame_size(e);
-        bytes_received_[id] += size;
-        tracer_.frame_delivered(NodeId{id}, size);
-      }
-      auto& box = inbox_[id];
-      if (box.empty()) {
-        // Wholesale handoff: no per-envelope moves, and the vector that
-        // swaps back keeps its capacity for the next slot.
-        box.swap(arriving);
-      } else {
-        box.reserve(box.size() + arriving.size());
-        std::move(arriving.begin(), arriving.end(), std::back_inserter(box));
-        arriving.clear();
-      }
+  const std::size_t n = sent_this_slot_.size();
+
+  // Stable counting sort of staged_ by destination: delivered_ becomes one
+  // flat frame table grouped by receiver, per-node ranges in
+  // inbox_begin_/inbox_end_. Delivery order within a node is global send
+  // order, exactly as the per-node queues used to behave.
+  sort_pos_.assign(n, 0);
+  for (const Frame& f : staged_) ++sort_pos_[f.to.value];
+  std::uint32_t running = 0;
+  for (std::size_t id = 0; id < n; ++id) {
+    inbox_begin_[id] = running;
+    running += sort_pos_[id];
+    inbox_end_[id] = running;
+    sort_pos_[id] = inbox_begin_[id];
+  }
+  delivered_.resize(staged_.size());
+  for (const Frame& f : staged_) delivered_[sort_pos_[f.to.value]++] = f;
+  staged_.clear();
+
+  // Per-receiver delivery accounting, in receiver order (the order the old
+  // per-node inbox walk used).
+  for (std::size_t id = 0; id < n; ++id) {
+    for (std::uint32_t i = inbox_begin_[id]; i < inbox_end_[id]; ++i) {
+      const std::size_t size = frame_size(delivered_[i]);
+      bytes_received_[id] += size;
+      tracer_.frame_delivered(NodeId{static_cast<std::uint32_t>(id)}, size);
     }
     sent_this_slot_[id] = 0;
   }
+
+  // Rotate arenas: this slot's collection arena now backs the open delivery
+  // slot; the previous delivery arena is rewound and starts collecting.
+  // Undrained frames from the previous slot die here with their arena.
+  collect_ ^= 1;
+  arenas_[collect_].reset();
 }
 
-std::vector<Envelope> Fabric::take_inbox(NodeId node) {
-  if (node.value >= inbox_.size())
+std::span<const Frame> Fabric::take_inbox(NodeId node) {
+  if (node.value >= inbox_begin_.size())
     throw std::out_of_range("Fabric::take_inbox");
-  return std::exchange(inbox_[node.value], {});
+  const std::uint32_t begin = inbox_begin_[node.value];
+  const std::uint32_t end = inbox_end_[node.value];
+  inbox_begin_[node.value] = end;  // drained
+  return std::span<const Frame>(delivered_.data() + begin, end - begin);
 }
 
 void Fabric::reset() {
-  for (auto& q : in_flight_) q.clear();
-  for (auto& q : inbox_) q.clear();
-  for (auto& c : sent_this_slot_) c = 0;
+  staged_.clear();
+  delivered_.clear();
+  std::fill(inbox_begin_.begin(), inbox_begin_.end(), 0);
+  std::fill(inbox_end_.begin(), inbox_end_.end(), 0);
+  std::fill(sent_this_slot_.begin(), sent_this_slot_.end(), 0);
+  arenas_[0].reset();
+  arenas_[1].reset();
+  collect_ = 0;
 }
 
 std::uint64_t Fabric::bytes_sent(NodeId node) const {

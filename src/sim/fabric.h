@@ -1,4 +1,4 @@
-// Slotted message fabric.
+// Slotted message fabric, arena-backed.
 //
 // The VMAT protocol is interval-synchronous: within a slot every node may
 // transmit to neighbors, and everything transmitted in slot t is available
@@ -11,6 +11,18 @@
 // the pessimistic race model choking attacks need (a spurious veto beats a
 // legitimate veto into a one-time-flood inbox).
 //
+// Memory model: payloads are copied once, into a per-slot bump arena, at
+// send time; everything downstream sees `span`s into that arena. Two arenas
+// rotate: the collection arena receives this slot's sends, and at
+// end_slot() it becomes the delivery arena while the previous delivery
+// arena is reset (capacity kept) and starts collecting. So a delivered
+// Frame's payload span is valid for exactly one delivery slot — until the
+// *next* end_slot(). Inboxes are CSR-style index ranges over one flat frame
+// table (a stable counting sort of the slot's frames by destination), so a
+// whole execution performs O(1) steady-state allocations no matter how many
+// frames fly. Frames not drained within their delivery slot are discarded;
+// every phase driver drains every inbox every slot.
+//
 // An optional per-node per-slot transmit budget models the limited relaying
 // capacity that choking attacks exhaust; sends beyond it are dropped and
 // counted.
@@ -18,6 +30,8 @@
 
 #include <cstdint>
 #include <limits>
+#include <memory>
+#include <span>
 #include <vector>
 
 #include "crypto/mac.h"
@@ -29,15 +43,28 @@
 
 namespace vmat {
 
-/// A unicast frame on the wire: payload plus the edge-key MAC that
-/// authenticates it hop-by-hop. `from` is a *claim* — only the edge MAC
-/// constrains who could have produced the frame.
+/// A unicast frame handed to the fabric for transmission: payload plus the
+/// edge-key MAC that authenticates it hop-by-hop. `from` is a *claim* —
+/// only the edge MAC constrains who could have produced the frame. The
+/// fabric copies the payload into its slot arena; the Envelope itself is
+/// not retained.
 struct Envelope {
   NodeId from;
   NodeId to;
   KeyIndex edge_key{kNoKey};
   Mac edge_mac;
   Bytes payload;
+};
+
+/// A delivered frame: same wire fields, but the payload is a span into the
+/// fabric's delivery arena — valid until the next end_slot()/reset(). Copy
+/// the bytes out (e.g. into a Bytes) to keep them longer.
+struct Frame {
+  NodeId from;
+  NodeId to;
+  KeyIndex edge_key{kNoKey};
+  Mac edge_mac;
+  std::span<const std::uint8_t> payload;
 };
 
 /// Per-frame wire overhead: from/to ids (4+4), edge key index (4), and the
@@ -53,6 +80,36 @@ inline constexpr double kBytesPerKb = 1000.0;
 [[nodiscard]] inline std::size_t frame_size(const Envelope& e) noexcept {
   return kFrameOverheadBytes + e.payload.size();
 }
+[[nodiscard]] inline std::size_t frame_size(const Frame& f) noexcept {
+  return kFrameOverheadBytes + f.payload.size();
+}
+
+/// Chunked bump allocator for one slot's payload bytes. Chunks are never
+/// freed by reset(), only rewound, so steady-state slots allocate nothing;
+/// addresses are stable (growth adds chunks, never moves old ones).
+class SlotArena {
+ public:
+  /// Copy `bytes` into the arena; the returned span stays valid until
+  /// reset().
+  [[nodiscard]] std::span<const std::uint8_t> store(
+      std::span<const std::uint8_t> bytes);
+
+  /// Rewind to empty, keeping every chunk's capacity.
+  void reset() noexcept;
+
+  [[nodiscard]] std::size_t capacity() const noexcept;
+  [[nodiscard]] std::size_t used() const noexcept { return used_; }
+
+ private:
+  struct Chunk {
+    std::unique_ptr<std::uint8_t[]> data;
+    std::size_t size{0};
+    std::size_t fill{0};
+  };
+  std::vector<Chunk> chunks_;
+  std::size_t active_{0};
+  std::size_t used_{0};
+};
 
 class Fabric {
  public:
@@ -76,18 +133,27 @@ class Fabric {
   /// Queue a frame for delivery this slot. Returns false (and drops the
   /// frame) if the sender exhausted its transmit budget, or the (from, to)
   /// pair is not a physical edge. Malicious senders are subject to physics
-  /// too: they can only reach their own neighbors.
-  bool send(Envelope envelope);
+  /// too: they can only reach their own neighbors. The span overload sends
+  /// `payload` in place of envelope.payload (replay loops keep payloads in
+  /// flat buffers instead of per-envelope heap Bytes).
+  bool send(const Envelope& envelope);
+  bool send(const Envelope& envelope, std::span<const std::uint8_t> payload);
 
   /// Like send, but `actual_sender` does the transmitting (and pays the
   /// budget) while the envelope may claim any `from` — source spoofing.
-  bool send_as(NodeId actual_sender, Envelope envelope);
+  bool send_as(NodeId actual_sender, const Envelope& envelope);
+  bool send_as(NodeId actual_sender, const Envelope& envelope,
+               std::span<const std::uint8_t> payload);
 
-  /// Close the current slot: queued frames become receivable.
+  /// Close the current slot: queued frames become receivable (and frames
+  /// from the previous slot that were never drained are discarded).
   void end_slot();
 
-  /// Drain a node's inbox (frames delivered at the last end_slot()).
-  [[nodiscard]] std::vector<Envelope> take_inbox(NodeId node);
+  /// Drain a node's inbox: the frames delivered to it at the last
+  /// end_slot(), in delivery order. The returned span (and each frame's
+  /// payload span) is valid until the next end_slot()/reset(). Safe to call
+  /// concurrently for *distinct* nodes.
+  [[nodiscard]] std::span<const Frame> take_inbox(NodeId node);
 
   /// Discard everything in flight and all inboxes (phase boundary).
   void reset();
@@ -99,6 +165,16 @@ class Fabric {
   [[nodiscard]] std::uint64_t frames_dropped() const noexcept { return dropped_; }
   [[nodiscard]] std::uint64_t frames_sent() const noexcept { return frames_sent_; }
 
+  /// Combined chunk capacity of both payload arenas (tests assert reuse:
+  /// capacity must not shrink across slots).
+  [[nodiscard]] std::size_t arena_capacity() const noexcept {
+    return arenas_[0].capacity() + arenas_[1].capacity();
+  }
+  /// Bytes currently parked in the collection arena (this slot's sends).
+  [[nodiscard]] std::size_t collect_arena_used() const noexcept {
+    return arenas_[collect_].used();
+  }
+
   [[nodiscard]] const Topology& topology() const noexcept { return *topology_; }
 
  private:
@@ -109,8 +185,22 @@ class Fabric {
   std::uint64_t loss_rng_state_{0};
   std::uint64_t lost_{0};
   std::vector<std::size_t> sent_this_slot_;
-  std::vector<std::vector<Envelope>> in_flight_;
-  std::vector<std::vector<Envelope>> inbox_;
+
+  // Double-buffered payload arenas: arenas_[collect_] takes this slot's
+  // sends; the other holds the open delivery slot's payloads.
+  SlotArena arenas_[2];
+  std::size_t collect_{0};
+
+  // Flat frame tables. staged_ accumulates sends in global send order;
+  // end_slot() counting-sorts it (stably) by destination into delivered_,
+  // whose per-node ranges are inbox_begin_/inbox_end_. take_inbox() marks a
+  // range drained by collapsing begin onto end.
+  std::vector<Frame> staged_;
+  std::vector<Frame> delivered_;
+  std::vector<std::uint32_t> inbox_begin_;
+  std::vector<std::uint32_t> inbox_end_;
+  std::vector<std::uint32_t> sort_pos_;  // counting-sort scratch
+
   std::vector<std::uint64_t> bytes_sent_;
   std::vector<std::uint64_t> bytes_received_;
   std::uint64_t total_bytes_{0};

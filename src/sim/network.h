@@ -13,9 +13,11 @@
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
+#include "crypto/mac_batch.h"
 #include "keys/predistribution.h"
 #include "keys/revocation.h"
 #include "sim/fabric.h"
@@ -46,6 +48,15 @@ using NetworkConfig  // vmat-lint: allow(deprecated-config)
                  "NetworkSpec")]] = NetworkSpec;
 
 class SimulationSpec;
+
+/// Receive-side scratch for Network::receive_valid(): the candidate-frame
+/// list and the multi-buffer MAC batch live across calls, so draining an
+/// inbox allocates nothing in the steady state. Callers own one per thread
+/// of execution (the sharded phase drivers keep one per shard).
+struct RxScratch {
+  std::vector<Frame> frames;
+  MacBatch batch;
+};
 
 class Network {
  public:
@@ -95,13 +106,43 @@ class Network {
   /// Returns false if there is no usable edge key or the fabric dropped it.
   bool send_secure(NodeId from, NodeId to, const Bytes& payload);
 
+  /// Transmit an envelope whose edge MAC was already computed (the sharded
+  /// phase drivers batch their MACs, then replay sends serially through
+  /// here). Emits the same mac_compute trace event and the same redundancy
+  /// copies as send_secure, so the event stream is indistinguishable. The
+  /// span overload sends `payload` in place of envelope.payload, letting
+  /// replay loops keep their payloads in one flat buffer.
+  bool send_prepared(const Envelope& envelope);
+  bool send_prepared(const Envelope& envelope,
+                     std::span<const std::uint8_t> payload);
+
   /// Honest local broadcast: send_secure to every usable neighbor.
   /// Returns the number of frames transmitted.
   std::size_t broadcast_secure(NodeId from, const Bytes& payload);
 
   /// Honest receive: drain `node`'s inbox and keep only frames whose edge
-  /// key is in `node`'s own ring, not revoked, and whose MAC verifies.
-  [[nodiscard]] std::vector<Envelope> receive_valid(NodeId node);
+  /// key is in `node`'s own ring, not revoked, and whose MAC verifies. All
+  /// surviving MACs of one inbox verify through one multi-buffer batch.
+  /// The returned span points into `scratch` and is valid until its next
+  /// use; frame payloads point into the fabric's delivery arena (valid
+  /// until the next end_slot). Safe to call concurrently for distinct
+  /// nodes with distinct scratches *after* warm_crypto_caches(); the
+  /// Tracer overload lets sharded callers meter into a per-shard trace.
+  [[nodiscard]] std::span<const Frame> receive_valid(NodeId node,
+                                                     RxScratch& scratch);
+  [[nodiscard]] std::span<const Frame> receive_valid(NodeId node,
+                                                     RxScratch& scratch,
+                                                     Tracer tracer);
+  /// Convenience overload over an internal scratch (serial call sites and
+  /// tests; not for concurrent use).
+  [[nodiscard]] std::span<const Frame> receive_valid(NodeId node);
+
+  /// Pre-fill every lazily built crypto cache the hot path reads — the
+  /// edge-key ring merges and the MAC key schedules — so a following
+  /// parallel section sees only cache hits on const maps. Call at a
+  /// single-threaded point; any revocation/rekey in between requires a
+  /// re-warm before the next parallel section.
+  void warm_crypto_caches() const;
 
   /// Depth (max BFS level) of the full physical topology.
   [[nodiscard]] Level physical_depth() const { return topology_.depth(); }
@@ -146,13 +187,30 @@ class Network {
   /// in between forces a recompute, since it may have burned the cached
   /// key or changed the smallest-non-revoked answer. Cleared wholesale on
   /// rekey() and establish_path_keys(), which change the key material
-  /// itself. Lazily mutated, hence not thread-safe — concurrent trials
-  /// each own their Network.
+  /// itself. Lazily mutated, hence not thread-safe in general; the sharded
+  /// phase drivers call warm_crypto_caches() at a serial point first, after
+  /// which parallel lookups are read-only hits.
   struct EdgeKeyEntry {
     std::optional<KeyIndex> key;
     std::size_t revoked_count;
   };
   mutable std::unordered_map<std::uint64_t, EdgeKeyEntry> edge_key_cache_;
+
+  /// Flat fast path in front of edge_key_cache_: one 8-byte slot per
+  /// directed CSR edge, indexed by Topology::directed_edge_slot(), so the
+  /// per-frame lookup is two array loads instead of a hash probe. stamp is
+  /// revoked_key_count()+1 at fill time (0 = unset); key == kNoKey means
+  /// "no usable edge key". Sized once at construction (the fabric compacts
+  /// the topology first); cleared by rekey()/establish_path_keys(). The
+  /// map stays behind it for non-adjacent queries.
+  struct EdgeKeySlot {
+    KeyIndex key{kNoKey};
+    std::uint32_t stamp{0};
+  };
+  mutable std::vector<EdgeKeySlot> edge_key_slots_;
+
+  /// Backs the scratch-less receive_valid() overload.
+  RxScratch own_scratch_;
 };
 
 }  // namespace vmat

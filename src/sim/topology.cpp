@@ -21,16 +21,49 @@ void Topology::add_edge(NodeId a, NodeId b) {
   if (has_edge(a, b)) return;
   adj_[a.value].push_back(b);
   adj_[b.value].push_back(a);
+  csr_ready_ = false;
+}
+
+void Topology::compact() const {
+  if (csr_ready_) return;
+  csr_offsets_.assign(adj_.size() + 1, 0);
+  std::size_t total = 0;
+  for (std::size_t id = 0; id < adj_.size(); ++id) {
+    csr_offsets_[id] = static_cast<std::uint32_t>(total);
+    total += adj_[id].size();
+  }
+  csr_offsets_[adj_.size()] = static_cast<std::uint32_t>(total);
+  csr_neighbors_.clear();
+  csr_neighbors_.reserve(total);
+  for (const auto& list : adj_)
+    csr_neighbors_.insert(csr_neighbors_.end(), list.begin(), list.end());
+  csr_ready_ = true;
 }
 
 bool Topology::has_edge(NodeId a, NodeId b) const noexcept {
+  if (csr_ready_) return directed_edge_slot(a, b) != kNoDirectedEdge;
   if (a.value >= adj_.size()) return false;
   const auto& list = adj_[a.value];
   return std::find(list.begin(), list.end(), b) != list.end();
 }
 
+std::uint32_t Topology::directed_edge_slot(NodeId from,
+                                           NodeId to) const noexcept {
+  if (!csr_ready_ || from.value >= adj_.size()) return kNoDirectedEdge;
+  const std::uint32_t begin = csr_offsets_[from.value];
+  const std::uint32_t end = csr_offsets_[from.value + 1];
+  for (std::uint32_t i = begin; i < end; ++i)
+    if (csr_neighbors_[i] == to) return i;
+  return kNoDirectedEdge;
+}
+
 std::span<const NodeId> Topology::neighbors(NodeId node) const {
   if (node.value >= adj_.size()) throw std::out_of_range("Topology::neighbors");
+  if (csr_ready_) {
+    return std::span<const NodeId>(
+        csr_neighbors_.data() + csr_offsets_[node.value],
+        csr_offsets_[node.value + 1] - csr_offsets_[node.value]);
+  }
   return adj_[node.value];
 }
 

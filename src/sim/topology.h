@@ -34,6 +34,35 @@ class Topology {
   [[nodiscard]] std::size_t degree(NodeId node) const;
   [[nodiscard]] std::size_t edge_count() const noexcept;
 
+  /// Flatten the per-node adjacency lists into one contiguous CSR array
+  /// (neighbor order preserved). Once compacted, neighbors() serves spans
+  /// out of the flat array — one allocation for the whole graph and
+  /// cache-friendly sweeps for the hot per-slot loops. add_edge()
+  /// invalidates the CSR; Fabric construction re-compacts, so every
+  /// simulated topology is compact by the time a protocol phase runs.
+  /// Must not race with readers: call at single-threaded points only.
+  void compact() const;
+
+  [[nodiscard]] bool compacted() const noexcept { return csr_ready_; }
+
+  /// Sentinel for "no such directed edge" from directed_edge_slot().
+  static constexpr std::uint32_t kNoDirectedEdge = 0xffffffffu;
+
+  /// Position of `to` within `from`'s CSR neighbor row, as an index into
+  /// the flat neighbor array — a stable dense id for the directed edge
+  /// from→to that flat per-edge side tables (e.g. the network's edge-key
+  /// cache) can index by. Returns kNoDirectedEdge when the edge is absent
+  /// or the topology is not compacted. The scan is linear over one row:
+  /// sensor degrees are small, so this beats hashing an edge pair.
+  [[nodiscard]] std::uint32_t directed_edge_slot(NodeId from,
+                                                 NodeId to) const noexcept;
+
+  /// Size of the flat CSR neighbor array (2x undirected edge count); the
+  /// domain of directed_edge_slot(). 0 until compacted.
+  [[nodiscard]] std::size_t directed_edge_count() const noexcept {
+    return csr_neighbors_.size();
+  }
+
   /// BFS depth of every node from the base station, skipping nodes in
   /// `excluded` (used for "depth excluding all malicious sensors",
   /// Section III). Unreachable or excluded nodes get kNoLevel.
@@ -77,6 +106,13 @@ class Topology {
 
  private:
   std::vector<std::vector<NodeId>> adj_;
+  // CSR mirror of adj_ (flat neighbor array + per-node offsets), built by
+  // compact(). Mutable: compact() is a const view change, not a graph
+  // change. Reads are lock-free once built; building must be
+  // single-threaded (see compact()).
+  mutable std::vector<NodeId> csr_neighbors_;
+  mutable std::vector<std::uint32_t> csr_offsets_;
+  mutable bool csr_ready_{false};
 };
 
 }  // namespace vmat

@@ -250,6 +250,41 @@ void Tracer::sensor_revoked(NodeId node) {
   emit({.kind = TraceEventKind::kSensorRevoked, .a = node});
 }
 
+// --- ShardedTrace ---
+
+void ShardedTrace::BufferSink::on_event(const TraceEvent& event) {
+  events.push_back(event);
+}
+
+ShardedTrace::ShardedTrace(Tracer parent, std::size_t shards)
+    : parent_(parent) {
+  if (parent_.state_ == nullptr || shards == 0) return;
+  states_.resize(shards);
+  if (parent_.recording()) sinks_.resize(shards);
+  for (std::size_t s = 0; s < shards; ++s) {
+    // Phase/slot context copied so shard counters land in the right bucket
+    // and buffered events carry the right slot; metrics start zeroed so
+    // merge() can add them without double counting.
+    states_[s].phase = parent_.state_->phase;
+    states_[s].slot = parent_.state_->slot;
+    states_[s].sink = sinks_.empty() ? nullptr : &sinks_[s];
+  }
+}
+
+void ShardedTrace::merge() {
+  if (parent_.state_ == nullptr) return;
+  for (std::size_t s = 0; s < states_.size(); ++s) {
+    for (std::size_t p = 0; p < kTracePhaseCount; ++p)
+      parent_.state_->metrics.phase[p] += states_[s].metrics.phase[p];
+    states_[s].metrics = ExecutionMetrics{};
+    if (!sinks_.empty()) {
+      for (const TraceEvent& e : sinks_[s].events)
+        parent_.state_->sink->on_event(e);
+      sinks_[s].events.clear();
+    }
+  }
+}
+
 // --- FlightRecorder ---
 
 void FlightRecorder::on_event(const TraceEvent& event) {

@@ -245,6 +245,43 @@ class Tracer {
   void record_mac_verify(NodeId node, KeyIndex key, bool ok);
 
   TraceState* state_{nullptr};
+
+  friend class ShardedTrace;
+};
+
+/// Per-shard trace buffering for the level-parallel phase drivers.
+///
+/// A sharded slot hands each shard its own Tracer: counters accumulate in a
+/// private per-shard TraceState, and (when the parent is recording) events
+/// buffer in a private sink. After the join, merge() folds the counters
+/// into the parent state and replays the buffered events through the parent
+/// sink in shard order — shards cover nodes in id order, so the merged
+/// stream is the id-ordered stream serial execution produces, bit for bit.
+/// With a disabled parent every shard Tracer is disabled too and merge() is
+/// a no-op. Construct per sharded slot; shard() handles must not outlive
+/// the ShardedTrace.
+class ShardedTrace {
+ public:
+  ShardedTrace(Tracer parent, std::size_t shards);
+
+  /// The buffering Tracer for shard `i`.
+  [[nodiscard]] Tracer shard(std::size_t i) noexcept {
+    return states_.empty() ? Tracer{} : Tracer(&states_[i]);
+  }
+
+  /// Fold shard counters into the parent and replay buffered events in
+  /// shard order. Call exactly once, after the join.
+  void merge();
+
+ private:
+  struct BufferSink final : TraceSink {
+    void on_event(const TraceEvent& event) override;
+    std::vector<TraceEvent> events;
+  };
+
+  Tracer parent_;
+  std::vector<TraceState> states_;  // sized in ctor, never resized
+  std::vector<BufferSink> sinks_;
 };
 
 /// Deployment facts a recorded trace is checked against.

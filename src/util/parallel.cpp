@@ -1,9 +1,26 @@
 #include "util/parallel.h"
 
+#include <algorithm>
+#include <atomic>
 #include <cstdlib>
 #include <string>
 
 namespace vmat {
+namespace {
+
+/// Pools whose drain_batch() is live on this thread, innermost last. A
+/// plain vector (not a set): nesting depth is tiny and push/pop is exact.
+thread_local std::vector<const ThreadPool*> tl_draining;
+
+struct DrainScope {
+  explicit DrainScope(const ThreadPool* pool) { tl_draining.push_back(pool); }
+  ~DrainScope() { tl_draining.pop_back(); }
+};
+
+/// 0 = no override; otherwise the set_intra_execution_threads() value.
+std::atomic<std::size_t> g_exec_threads_override{0};
+
+}  // namespace
 
 std::size_t default_thread_count() {
   if (const char* env = std::getenv("VMAT_THREADS")) {
@@ -14,6 +31,34 @@ std::size_t default_thread_count() {
   }
   const unsigned hw = std::thread::hardware_concurrency();
   return hw == 0 ? 1 : hw;
+}
+
+std::size_t intra_execution_threads() {
+  const std::size_t forced = g_exec_threads_override.load(std::memory_order_relaxed);
+  if (forced != 0) return forced;
+  if (const char* env = std::getenv("VMAT_EXEC_THREADS")) {
+    char* end = nullptr;
+    const long v = std::strtol(env, &end, 10);
+    if (end != env && v >= 1) return static_cast<std::size_t>(v);
+    return 1;
+  }
+  return default_thread_count();
+}
+
+void set_intra_execution_threads(std::size_t threads) {
+  g_exec_threads_override.store(threads, std::memory_order_relaxed);
+}
+
+std::size_t plan_shards(std::size_t n, std::size_t threads) {
+  // Below ~64 items a fork/join costs more than the MACs it spreads; above
+  // it, keep every shard at >= 32 items so the deterministic merge stays a
+  // rounding error next to the shard work.
+  if (threads <= 1 || n < 64) return 1;
+  return std::min(threads, n / 32);
+}
+
+std::size_t plan_shards(std::size_t n) {
+  return plan_shards(n, intra_execution_threads());
 }
 
 std::uint64_t trial_seed(std::uint64_t base_seed,
@@ -55,7 +100,13 @@ void ThreadPool::worker_loop() {
   }
 }
 
+bool ThreadPool::draining_on_this_thread() const noexcept {
+  return std::find(tl_draining.begin(), tl_draining.end(), this) !=
+         tl_draining.end();
+}
+
 void ThreadPool::drain_batch() {
+  const DrainScope scope(this);
   for (;;) {
     const std::function<void(std::size_t)>* fn;
     std::size_t index;
@@ -83,6 +134,22 @@ void ThreadPool::drain_batch() {
 void ThreadPool::for_each(std::size_t n,
                           const std::function<void(std::size_t)>& fn) {
   if (n == 0) return;
+  if (draining_on_this_thread()) {
+    // Nested use from inside one of our own tasks: the pool is saturated at
+    // the outer level, so run inline. Matches the outer contract: all
+    // indices run, the first error is rethrown afterwards.
+    std::exception_ptr error;
+    for (std::size_t i = 0; i < n; ++i) {
+      try {
+        fn(i);
+      } catch (...) {
+        if (!error) error = std::current_exception();
+      }
+    }
+    if (error) std::rethrow_exception(error);
+    return;
+  }
+  const std::lock_guard run_lock(run_mu_);
   {
     std::lock_guard lock(mu_);
     job_ = &fn;
@@ -117,6 +184,25 @@ void parallel_for_trials(std::size_t n_trials, std::uint64_t base_seed,
   pool->for_each(n_trials, [&](std::size_t trial) {
     Rng rng(trial_seed(base_seed, trial));
     fn(trial, rng);
+  });
+}
+
+void for_each_shard(std::size_t n, std::size_t shards, ThreadPool& pool,
+                    const std::function<void(std::size_t, std::size_t,
+                                             std::size_t)>& fn) {
+  if (n == 0) return;
+  if (shards <= 1) {
+    fn(0, 0, n);
+    return;
+  }
+  shards = std::min(shards, n);
+  const std::size_t base = n / shards;
+  const std::size_t extra = n % shards;  // first `extra` shards get +1
+  pool.for_each(shards, [&fn, base, extra](std::size_t shard) {
+    const std::size_t begin =
+        shard * base + std::min(shard, extra);
+    const std::size_t end = begin + base + (shard < extra ? 1 : 0);
+    fn(shard, begin, end);
   });
 }
 

@@ -39,6 +39,25 @@ namespace vmat {
 [[nodiscard]] std::uint64_t trial_seed(std::uint64_t base_seed,
                                        std::uint64_t trial_index) noexcept;
 
+/// Worker-thread count for *intra-execution* parallelism (the level-parallel
+/// phase drivers): the VMAT_EXEC_THREADS environment variable if set
+/// (clamped to >= 1), otherwise default_thread_count(). Overridable at
+/// runtime via set_intra_execution_threads() — benches use that to compare
+/// serial vs sharded execution in one process.
+[[nodiscard]] std::size_t intra_execution_threads();
+
+/// Override intra_execution_threads() process-wide (0 restores the
+/// environment-derived default).
+void set_intra_execution_threads(std::size_t threads);
+
+/// How many shards to split `n` per-node work items into: 1 (run inline)
+/// when the intra-execution thread count is 1 or n is too small to amortize
+/// the fork/join, otherwise at most one shard per thread and at least ~32
+/// items per shard. Deterministic in (n, threads) only — never in load —
+/// because shard boundaries feed the deterministic-merge contract.
+[[nodiscard]] std::size_t plan_shards(std::size_t n, std::size_t threads);
+[[nodiscard]] std::size_t plan_shards(std::size_t n);  // intra_execution_threads()
+
 /// Small fixed-size thread pool. `threads` is the nominal parallelism: the
 /// pool spawns threads-1 workers and the calling thread participates in
 /// every for_each(), so ThreadPool(1) executes strictly serially on the
@@ -56,7 +75,12 @@ class ThreadPool {
   /// Run fn(index) for every index in [0, n), distributed dynamically over
   /// the pool plus the calling thread, and wait for all of them. The first
   /// exception thrown by any fn is rethrown here (remaining indices still
-  /// drain). Not reentrant: one for_each at a time per pool.
+  /// drain). Reentrant-safe: a for_each issued from *inside* a pool task
+  /// (e.g. a sharded phase driver running within a parallel trial) executes
+  /// inline on the calling thread — the pool is already saturated at the
+  /// outer level, so nesting degrades to serial instead of deadlocking.
+  /// Concurrent top-level for_each calls from distinct threads serialize
+  /// against each other.
   void for_each(std::size_t n, const std::function<void(std::size_t)>& fn);
 
   /// Process-wide pool for the trial engine, built lazily with
@@ -67,10 +91,14 @@ class ThreadPool {
   void worker_loop();
   /// Claim-and-run loop shared by workers and the caller.
   void drain_batch();
+  /// Is the calling thread currently executing a task of *this* pool?
+  [[nodiscard]] bool draining_on_this_thread() const noexcept;
 
   std::size_t nominal_;
   std::vector<std::thread> workers_;
 
+  /// Serializes top-level for_each() calls (held for the whole batch).
+  std::mutex run_mu_;
   std::mutex mu_;
   std::condition_variable work_cv_;
   std::condition_variable done_cv_;
@@ -89,5 +117,15 @@ class ThreadPool {
 void parallel_for_trials(std::size_t n_trials, std::uint64_t base_seed,
                          const std::function<void(std::size_t, Rng&)>& fn,
                          ThreadPool* pool = nullptr);
+
+/// Split [0, n) into `shards` contiguous ranges (sizes differing by at most
+/// one, in order) and run fn(shard, begin, end) for each on the pool. With
+/// shards <= 1 the single range runs inline with no pool traffic at all —
+/// the phase drivers use one code path for serial and parallel execution.
+/// Shard boundaries depend only on (n, shards), so a deterministic merge in
+/// shard order is a merge in item order.
+void for_each_shard(std::size_t n, std::size_t shards, ThreadPool& pool,
+                    const std::function<void(std::size_t, std::size_t,
+                                             std::size_t)>& fn);
 
 }  // namespace vmat

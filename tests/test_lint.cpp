@@ -131,6 +131,17 @@ TEST(VmatLint, MissingNodiscardInCryptoHeaderIsFlagged) {
   EXPECT_TRUE(r.mentions("bad_nodiscard.h:28:")) << r.output;
 }
 
+TEST(VmatLint, HotPathAllocIsFlagged) {
+  // The two raw allocations inside per-frame loops are flagged; the
+  // allow()-suppressed copy, the allocation outside any frame loop, and
+  // the reference binding are not.
+  const auto r = run_lint("tools/fixtures/src/sim/bad_hot_alloc.cpp");
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_EQ(r.count("hot-path-alloc"), 2) << r.output;
+  EXPECT_TRUE(r.mentions("bad_hot_alloc.cpp:9:")) << r.output;
+  EXPECT_TRUE(r.mentions("bad_hot_alloc.cpp:10:")) << r.output;
+}
+
 TEST(VmatLint, WholeFixtureTreeTotals) {
   // One run over the whole fixture tree: totals must be the sum of the
   // per-file expectations above and nothing more.
@@ -143,7 +154,8 @@ TEST(VmatLint, WholeFixtureTreeTotals) {
   EXPECT_EQ(r.count("stdout-in-src"), 2) << r.output;
   EXPECT_EQ(r.count("missing-nodiscard"), 2) << r.output;
   EXPECT_EQ(r.count("deprecated-config"), 2) << r.output;
-  EXPECT_TRUE(r.mentions("14 violation(s)")) << r.output;
+  EXPECT_EQ(r.count("hot-path-alloc"), 2) << r.output;
+  EXPECT_TRUE(r.mentions("16 violation(s)")) << r.output;
 }
 
 TEST(VmatLint, RuleFilterRunsOnlyThatRule) {

@@ -1,0 +1,140 @@
+// Multi-buffer HMAC correctness: every MacBatch kernel (scalar, SHA-NI x2,
+// AVX2 x8, auto dispatch) must agree bit-for-bit with the one-shot
+// MacContext::compute across message lengths that hit every padding and
+// block-count edge of SHA-256, for batch sizes that exercise full SIMD
+// groups, partial groups, and single-lane tails.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "crypto/mac.h"
+#include "crypto/mac_batch.h"
+
+namespace vmat {
+namespace {
+
+SymmetricKey key_of(std::uint8_t fill) {
+  SymmetricKey k;
+  k.bytes.fill(fill);
+  return k;
+}
+
+Bytes message_of(std::size_t length, std::uint8_t seed) {
+  Bytes m(length, 0);
+  for (std::size_t i = 0; i < length; ++i)
+    m[i] = static_cast<std::uint8_t>(seed + 31 * i);
+  return m;
+}
+
+/// SHA-256 padding edges: empty, below/at/over the 55-byte single-block
+/// padding boundary, exact block, just past a block, and multi-block.
+constexpr std::size_t kLengths[] = {0, 1, 20, 55, 56, 63, 64, 65,
+                                    119, 120, 128, 333, 1024};
+
+class MacBatchImpls : public ::testing::TestWithParam<MacBatch::Impl> {
+ protected:
+  void SetUp() override { MacBatch::set_impl(GetParam()); }
+  void TearDown() override { MacBatch::set_impl(MacBatch::Impl::kAuto); }
+};
+
+TEST_P(MacBatchImpls, MatchesOneShotAcrossLengths) {
+  std::vector<MacContext> contexts;
+  std::vector<Bytes> messages;
+  for (std::size_t i = 0; i < std::size(kLengths); ++i) {
+    contexts.emplace_back(key_of(static_cast<std::uint8_t>(i + 1)));
+    messages.push_back(message_of(kLengths[i], static_cast<std::uint8_t>(i)));
+  }
+  MacBatch batch;
+  for (std::size_t i = 0; i < contexts.size(); ++i)
+    EXPECT_EQ(batch.add(contexts[i], messages[i]), i);
+  batch.compute();
+  const auto macs = batch.macs();
+  ASSERT_EQ(macs.size(), contexts.size());
+  for (std::size_t i = 0; i < contexts.size(); ++i)
+    EXPECT_EQ(macs[i], contexts[i].compute(messages[i]))
+        << "lane " << i << " (length " << kLengths[i] << ")";
+}
+
+TEST_P(MacBatchImpls, EveryBatchWidthUpToThreeSimdGroups) {
+  // 1..24 lanes: covers single-lane tails, one partial AVX2 group, exact
+  // x8/x2 groups, and several full groups with a remainder.
+  const MacContext context(key_of(0x5a));
+  for (std::size_t width = 1; width <= 24; ++width) {
+    MacBatch batch;
+    std::vector<Bytes> messages;
+    for (std::size_t i = 0; i < width; ++i)
+      messages.push_back(message_of(7 * i, static_cast<std::uint8_t>(width)));
+    for (const auto& m : messages) (void)batch.add(context, m);
+    batch.compute();
+    for (std::size_t i = 0; i < width; ++i)
+      EXPECT_EQ(batch.macs()[i], context.compute(messages[i]))
+          << "width " << width << " lane " << i;
+  }
+}
+
+TEST_P(MacBatchImpls, ClearAndReuseKeepsResultsCorrect) {
+  const MacContext a(key_of(1));
+  const MacContext b(key_of(2));
+  const Bytes ma = message_of(40, 9);
+  const Bytes mb = message_of(80, 10);
+  MacBatch batch;
+  (void)batch.add(a, ma);
+  batch.compute();
+  EXPECT_EQ(batch.macs()[0], a.compute(ma));
+  batch.clear();
+  EXPECT_TRUE(batch.empty());
+  (void)batch.add(b, mb);
+  (void)batch.add(a, ma);
+  batch.compute();
+  ASSERT_EQ(batch.size(), 2u);
+  EXPECT_EQ(batch.macs()[0], b.compute(mb));
+  EXPECT_EQ(batch.macs()[1], a.compute(ma));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKernels, MacBatchImpls,
+                         ::testing::Values(MacBatch::Impl::kAuto,
+                                           MacBatch::Impl::kScalar,
+                                           MacBatch::Impl::kShaNiX2,
+                                           MacBatch::Impl::kAvx2X8),
+                         [](const auto& info) {
+                           switch (info.param) {
+                             case MacBatch::Impl::kAuto: return "Auto";
+                             case MacBatch::Impl::kScalar: return "Scalar";
+                             case MacBatch::Impl::kShaNiX2: return "ShaNiX2";
+                             case MacBatch::Impl::kAvx2X8: return "Avx2X8";
+                           }
+                           return "Unknown";
+                         });
+
+TEST(MacBatch, ForcedUnsupportedKernelFallsBackToScalar) {
+  // set_impl() promises a silent fallback at compute() time when the CPU
+  // lacks the forced kernel; active_impl() reports the kernel actually used
+  // and results stay correct either way. (Exercised for real on hardware
+  // without SHA-NI/AVX2; elsewhere this pins the reporting contract.)
+  for (const auto forced :
+       {MacBatch::Impl::kShaNiX2, MacBatch::Impl::kAvx2X8}) {
+    MacBatch::set_impl(forced);
+    const auto active = MacBatch::active_impl();
+    EXPECT_TRUE(active == forced || active == MacBatch::Impl::kScalar);
+    const MacContext context(key_of(0x33));
+    const Bytes m = message_of(100, 4);
+    MacBatch batch;
+    (void)batch.add(context, m);
+    batch.compute();
+    EXPECT_EQ(batch.macs()[0], context.compute(m));
+  }
+  MacBatch::set_impl(MacBatch::Impl::kAuto);
+  EXPECT_NE(MacBatch::active_impl(), MacBatch::Impl::kAuto);  // resolved
+}
+
+TEST(MacBatch, EmptyComputeIsANoOp) {
+  MacBatch batch;
+  batch.compute();
+  EXPECT_TRUE(batch.macs().empty());
+  EXPECT_TRUE(batch.empty());
+}
+
+}  // namespace
+}  // namespace vmat

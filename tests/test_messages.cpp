@@ -78,7 +78,7 @@ TEST(Messages, TrailingGarbageRejected) {
 
 TEST(Messages, EmptyAndUnknownFrames) {
   EXPECT_FALSE(peek_type({}).has_value());
-  EXPECT_FALSE(peek_type({99}).has_value());
+  EXPECT_FALSE(peek_type(Bytes{99}).has_value());
   EXPECT_FALSE(decode_tree({}).has_value());
 }
 

@@ -14,6 +14,8 @@
 #include <thread>
 #include <vector>
 
+#include "helpers.h"
+#include "trace/trace.h"
 #include "util/parallel.h"
 
 namespace vmat {
@@ -95,6 +97,94 @@ TEST(ParallelTsan, ConcurrentPoolsDoNotInterfere) {
   for (int d = 0; d < kDrivers; ++d)
     EXPECT_EQ(results[d], run_trials(1, 1000 + d)) << "driver " << d;
   EXPECT_EQ(shared_out, run_trials(1, 7));
+}
+
+/// One full traced execution under a forced intra-execution thread count.
+/// 100 nodes so plan_shards() actually shards (n >= 64).
+struct ExecRun {
+  ExecutionOutcome outcome;
+  std::vector<TraceEvent> events;
+};
+
+ExecRun run_execution(std::size_t exec_threads) {
+  set_intra_execution_threads(exec_threads);
+  Network net(Topology::grid(10, 10), testing::dense_keys());
+  VmatCoordinator coordinator(&net, nullptr, CoordinatorSpec{});
+  FlightRecorder recorder;
+  coordinator.set_recorder(&recorder);
+  ExecRun run;
+  run.outcome = coordinator.run_min(
+      testing::default_readings(net.node_count()));
+  run.events = recorder.events();
+  set_intra_execution_threads(0);
+  return run;
+}
+
+TEST(ParallelTsan, LevelParallelExecutionBitIdentical) {
+  // The acceptance criterion of the level-parallel drivers: estimates, the
+  // full flight-recorder event stream, and fabric byte totals are
+  // bit-identical for VMAT_THREADS ∈ {1, 4, hardware_concurrency}.
+  const std::size_t hw =
+      std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  const ExecRun serial = run_execution(1);
+  const ExecRun four = run_execution(4);
+  const ExecRun wide = run_execution(hw);
+  ASSERT_EQ(serial.outcome.kind, OutcomeKind::kResult);
+  for (const ExecRun* run : {&four, &wide}) {
+    EXPECT_EQ(run->outcome.kind, serial.outcome.kind);
+    EXPECT_EQ(run->outcome.minima, serial.outcome.minima);
+    EXPECT_EQ(run->outcome.data_rounds, serial.outcome.data_rounds);
+    EXPECT_EQ(run->outcome.fabric_bytes, serial.outcome.fabric_bytes);
+    EXPECT_EQ(run->outcome.metrics, serial.outcome.metrics);
+    EXPECT_EQ(run->events, serial.events);
+  }
+}
+
+TEST(ParallelTsan, LevelParallelAdversarialRunStaysSoundAndIdentical) {
+  // Same determinism contract with an adversary in the loop: the strategy
+  // hook stages frames serially at the top of each slot, before the honest
+  // shards buffer and replay, so pinpointing and revocation histories must
+  // match bit-for-bit too.
+  auto run_attacked = [](std::size_t exec_threads) {
+    set_intra_execution_threads(exec_threads);
+    const auto topo = Topology::grid(10, 10);
+    Network net(topo, testing::dense_keys());
+    const auto malicious = choose_malicious(topo, 2, 13);
+    Adversary adv(&net, malicious,
+                  std::make_unique<SilentDropStrategy>(LiePolicy::kDenyAll));
+    CoordinatorSpec cfg;
+    cfg.depth_bound = topo.depth(malicious);
+    VmatCoordinator coordinator(&net, &adv, cfg);
+    FlightRecorder recorder;
+    coordinator.set_recorder(&recorder);
+    const auto readings = testing::default_readings(net.node_count());
+    std::vector<std::vector<Reading>> values(net.node_count());
+    std::vector<std::vector<std::int64_t>> weights(net.node_count());
+    for (std::uint32_t id = 0; id < net.node_count(); ++id) {
+      values[id] = {readings[id]};
+      weights[id] = {0};
+    }
+    const auto history = coordinator.run_until_result(values, weights, {}, 400);
+    set_intra_execution_threads(0);
+    struct Result {
+      Reading minimum;
+      std::size_t executions;
+      std::vector<TraceEvent> events;
+      std::uint64_t bytes;
+    } out;
+    EXPECT_TRUE(history.back().produced_result());
+    out.minimum = history.back().minima[0];
+    out.executions = history.size();
+    out.events = recorder.events();
+    out.bytes = 0;
+    for (const auto& h : history) out.bytes += h.fabric_bytes;
+    return std::make_tuple(out.minimum, out.executions, out.bytes, out.events);
+  };
+  const std::size_t hw =
+      std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  const auto serial = run_attacked(1);
+  EXPECT_EQ(run_attacked(4), serial);
+  EXPECT_EQ(run_attacked(hw), serial);
 }
 
 TEST(ParallelTsan, ExceptionUnderLoadLeavesPoolReusable) {

@@ -89,7 +89,7 @@ TEST(PathKeys, SecureSendOverPathKey) {
       net.fabric().end_slot();
       const auto got = net.receive_valid(v);
       ASSERT_EQ(got.size(), 1u);
-      EXPECT_EQ(got[0].payload, payload);
+      EXPECT_EQ(Bytes(got[0].payload.begin(), got[0].payload.end()), payload);
       exercised = true;
       break;
     }

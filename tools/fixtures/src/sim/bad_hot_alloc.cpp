@@ -1,0 +1,28 @@
+// Fixture: hot-path-alloc — allocation inside per-frame loops. Lines are
+// referenced by tests/test_lint.cpp; keep numbering stable.
+#include "sim/network.h"
+
+namespace vmat {
+
+void drain(Network& net, NodeId node) {
+  for (const Frame& f : net.fabric().take_inbox(node)) {
+    Bytes copy(f.payload.begin(), f.payload.end());  // line 9: flagged
+    std::vector<std::uint8_t> staged;                // line 10: flagged
+    (void)copy;
+    (void)staged;
+  }
+  for (const auto& env : net.receive_valid(node)) {
+    // vmat-lint: allow(hot-path-alloc) -- deliberate one-time copy
+    Bytes kept(env.payload.begin(), env.payload.end());
+    (void)kept;
+  }
+  // Outside any per-frame loop: not the hot path, not flagged.
+  Bytes scratch(64, 0);
+  (void)scratch;
+  for (const Frame& f : net.fabric().take_inbox(node)) {
+    const std::vector<std::uint8_t>& view = f.payload_storage;  // line 23:
+    (void)view;  // reference binding allocates nothing: not flagged
+  }
+}
+
+}  // namespace vmat

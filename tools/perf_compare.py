@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""perf_compare: gate bench_scale timings against a committed baseline.
+
+Usage: perf_compare.py NEW_JSON BASELINE_JSON [--threshold 1.25]
+
+Compares every trial group present in both BENCH_scale-style reports:
+
+  * ``exec_ms_min``  — wall-clock regression gate. Fails when
+    new > baseline * threshold (default +25%). Faster is never a failure;
+    a speedup beyond the inverse threshold prints a re-baseline hint.
+  * ``fabric_kb``    — deterministic traffic; any drift beyond 0.1% is a
+    correctness regression (a second byte-accounting path, a protocol
+    change without a re-baseline) and fails regardless of timing.
+
+Exit status: 0 clean, 1 regression, 2 usage/format error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+
+def metrics_by_group(report: dict) -> dict[str, dict[str, float]]:
+    out: dict[str, dict[str, float]] = {}
+    for group in report.get("trial_groups", []):
+        out[group["label"]] = {
+            k: v for k, v in group.items() if isinstance(v, (int, float))
+        }
+    return out
+
+
+def main(argv: list[str]) -> int:
+    ap = argparse.ArgumentParser(prog="perf_compare", description=__doc__)
+    ap.add_argument("new_json")
+    ap.add_argument("baseline_json")
+    ap.add_argument("--threshold", type=float, default=1.25,
+                    help="allowed slowdown ratio (default 1.25 = +25%%)")
+    args = ap.parse_args(argv)
+
+    try:
+        with open(args.new_json) as f:
+            new = metrics_by_group(json.load(f))
+        with open(args.baseline_json) as f:
+            base = metrics_by_group(json.load(f))
+    except (OSError, json.JSONDecodeError, KeyError) as e:
+        print(f"perf_compare: {e}", file=sys.stderr)
+        return 2
+
+    shared = sorted(set(new) & set(base))
+    if not shared:
+        print("perf_compare: no common trial groups", file=sys.stderr)
+        return 2
+
+    failures = 0
+    for label in shared:
+        n, b = new[label], base[label]
+        if "exec_ms_min" in n and "exec_ms_min" in b and b["exec_ms_min"] > 0:
+            ratio = n["exec_ms_min"] / b["exec_ms_min"]
+            verdict = "OK"
+            if ratio > args.threshold:
+                verdict = "REGRESSION"
+                failures += 1
+            elif ratio < 1.0 / args.threshold:
+                verdict = "OK (faster — consider re-baselining)"
+            print(f"{label}: exec_ms_min {b['exec_ms_min']:.2f} -> "
+                  f"{n['exec_ms_min']:.2f} ({ratio:.2f}x)  {verdict}")
+        if "fabric_kb" in n and "fabric_kb" in b and b["fabric_kb"] > 0:
+            drift = abs(n["fabric_kb"] - b["fabric_kb"]) / b["fabric_kb"]
+            if drift > 1e-3:
+                print(f"{label}: fabric_kb {b['fabric_kb']:.1f} -> "
+                      f"{n['fabric_kb']:.1f}  BYTE-ACCOUNTING DRIFT")
+                failures += 1
+
+    if failures:
+        print(f"perf_compare: {failures} regression(s)", file=sys.stderr)
+        return 1
+    print(f"perf_compare: {len(shared)} group(s) within threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

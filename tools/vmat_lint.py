@@ -34,6 +34,11 @@ checkable from source text, as named, individually suppressible rules:
                          only; src/ itself must use the section types or
                          SimulationSpec so the shims can be deleted next
                          release.
+  hot-path-alloc         No Bytes / std::vector construction inside
+                         per-frame loops in src/sim/ and src/core/ — the
+                         arena fabric exists so the per-frame hot path
+                         allocates nothing; stage into reusable scratch
+                         (RxScratch, ShardBuf) or copy outside the loop.
 
 Suppression syntax (checked per rule name, or `*` for all):
 
@@ -48,6 +53,7 @@ Output format: path:line: [rule-name] message
 from __future__ import annotations
 
 import argparse
+import bisect
 import re
 import sys
 from pathlib import Path
@@ -265,6 +271,11 @@ def rule_mac_verify_discarded(src: SourceFile, report) -> None:
         m = VERIFY_CALL_RE.match(line)
         if not m:
             continue
+        # MacBatch::compute() is a void mutator: its tags are consumed via
+        # macs() after the call, so a bare `batch.compute();` statement is
+        # the sanctioned usage, not a discarded check.
+        if re.search(r"(?i)batch", line[:m.start(1)]):
+            continue
         # Must be the start of a statement: previous non-blank code line
         # ends a statement/block, or opens a control body.
         prev = ""
@@ -427,6 +438,69 @@ def rule_deprecated_config(src: SourceFile, report) -> None:
                       "downstream callers")
 
 
+FOR_RE = re.compile(r"\bfor\s*\(")
+# A range-for whose range expression names delivered-frame containers: the
+# per-frame hot path. Single colon only — `::` is scope resolution.
+FRAME_RANGE_RE = re.compile(
+    r"(?<!:):(?!:)[^;]*\b(frames?|inbox(?:es)?|receive_valid|take_inbox|"
+    r"delivered_?|arrivals)\b")
+HOT_ALLOC_RE = re.compile(
+    r"\bBytes\s*[({]"            # temporary / direct-init
+    r"|\bBytes\s+\w+\s*[;=({]"   # fresh declaration
+    r"|\bstd::vector\s*<")
+
+
+def rule_hot_path_alloc(src: SourceFile, report) -> None:
+    if not src.in_dir("src") or not src.in_dir("sim", "core"):
+        return
+    text = "\n".join(src.code_lines)
+    line_starts = [0]
+    for ln in src.code_lines:
+        line_starts.append(line_starts[-1] + len(ln) + 1)
+    for m in FOR_RE.finditer(text):
+        open_pos = text.index("(", m.start())
+        hdr_end = _balanced_span(text, open_pos)
+        if hdr_end < 0:
+            continue
+        if not FRAME_RANGE_RE.search(text[open_pos:hdr_end]):
+            continue
+        # Body: the brace block (or single statement) after the header.
+        j = hdr_end
+        while j < len(text) and text[j] in " \t\n":
+            j += 1
+        if j >= len(text):
+            continue
+        if text[j] == "{":
+            depth = 0
+            end = -1
+            for k in range(j, len(text)):
+                if text[k] == "{":
+                    depth += 1
+                elif text[k] == "}":
+                    depth -= 1
+                    if depth == 0:
+                        end = k + 1
+                        break
+            if end < 0:
+                continue
+        else:
+            end = text.find(";", j)
+            end = len(text) if end < 0 else end + 1
+        for am in HOT_ALLOC_RE.finditer(text, j, end):
+            # Reference/pointer bindings to an existing vector don't
+            # allocate; skip `std::vector<...>&` / `*` forms.
+            if am.group(0).startswith("std::vector"):
+                close = text.find(">", am.end(), end)
+                probe = text[close + 1:close + 4] if close >= 0 else ""
+                if "&" in probe or "*" in probe:
+                    continue
+            report(bisect.bisect_right(line_starts, am.start()),
+                   "Bytes/std::vector construction inside a per-frame "
+                   "loop; the hot path must not allocate — stage into "
+                   "reusable scratch (RxScratch/ShardBuf) or hoist the "
+                   "copy out of the loop")
+
+
 RULES = {
     "determinism-rng": rule_determinism_rng,
     "mac-verify-discarded": rule_mac_verify_discarded,
@@ -435,6 +509,7 @@ RULES = {
     "threadpool-ref-capture": rule_threadpool_ref_capture,
     "stdout-in-src": rule_stdout_in_src,
     "deprecated-config": rule_deprecated_config,
+    "hot-path-alloc": rule_hot_path_alloc,
 }
 
 
