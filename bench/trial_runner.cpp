@@ -4,7 +4,10 @@
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <mutex>
+#include <optional>
 
+#include "crypto/mac_batch.h"
 #include "sim/fabric.h"
 #include "util/stats.h"
 
@@ -173,12 +176,53 @@ void BenchReport::result(std::string key, double value) {
   results_.emplace_back(std::move(key), value);
 }
 
+namespace {
+
+/// `git rev-parse HEAD`, or "unknown" outside a work tree / without git.
+std::string git_sha() {
+  std::string sha = "unknown";
+  if (FILE* pipe = popen("git rev-parse HEAD 2>/dev/null", "r")) {
+    char buf[64] = {};
+    if (std::fgets(buf, sizeof buf, pipe) != nullptr) {
+      std::string line(buf);
+      while (!line.empty() && (line.back() == '\n' || line.back() == '\r'))
+        line.pop_back();
+      if (!line.empty()) sha = line;
+    }
+    pclose(pipe);
+  }
+  return sha;
+}
+
+const char* mac_kernel_name(MacBatch::Impl impl) {
+  switch (impl) {
+    case MacBatch::Impl::kAuto: return "auto";
+    case MacBatch::Impl::kScalar: return "scalar";
+    case MacBatch::Impl::kShaNiX2: return "sha-ni-x2";
+    case MacBatch::Impl::kAvx2X8: return "avx2-x8";
+  }
+  return "?";
+}
+
+}  // namespace
+
 void BenchReport::write() const {
   JsonWriter w;
   w.begin_object();
   w.field("bench", name_);
   w.field("smoke", smoke());
   w.field("threads", static_cast<std::uint64_t>(default_thread_count()));
+
+  // Run provenance: enough to reproduce (or discount) a perf comparison.
+  w.begin_object("meta");
+  w.field("git_sha", git_sha());
+  const char* threads_env = std::getenv("VMAT_THREADS");
+  w.field("vmat_threads", threads_env != nullptr ? threads_env : "");
+  w.field("exec_threads",
+          static_cast<std::uint64_t>(intra_execution_threads()));
+  w.field("mac_kernel", mac_kernel_name(MacBatch::active_impl()));
+  w.field("snapshot_fork", snapshots_enabled());
+  w.end_object();
 
   w.begin_object("config");
   for (const auto& c : config_) {
@@ -258,6 +302,59 @@ void timed_trials(TrialGroup& group, std::size_t n, std::uint64_t base_seed,
             std::chrono::duration<double, std::milli>(
                 std::chrono::steady_clock::now() - start)
                 .count();
+      },
+      pool);
+}
+
+void forked_timed_trials(TrialGroup& group, std::size_t n,
+                         std::uint64_t base_seed, const ForkFactory& factory,
+                         const ForkTrialFn& fn, ThreadPool* pool) {
+  group.trial_ms.assign(n, 0.0);
+  const bool sharing = snapshots_enabled();
+  std::mutex idle_mutex;
+  std::vector<std::unique_ptr<ForkDeployment>> idle;
+  std::optional<Snapshot> shared;
+  if (sharing) {
+    // Capture the shared prefix once; the capture deployment then joins
+    // the free list and serves forks like any other.
+    std::unique_ptr<ForkDeployment> first = factory();
+    shared = first->coordinator->snapshot_after_formation();
+    idle.push_back(std::move(first));
+  }
+  parallel_for_trials(
+      n, base_seed,
+      [&group, &factory, &fn, &idle_mutex, &idle, &shared,
+       sharing](std::size_t trial, Rng& rng) {
+        std::unique_ptr<ForkDeployment> fork;
+        if (sharing) {
+          const std::lock_guard<std::mutex> lock(idle_mutex);
+          if (!idle.empty()) {
+            fork = std::move(idle.back());
+            idle.pop_back();
+          }
+        }
+        if (fork == nullptr) fork = factory();
+        if (sharing) {
+          const auto start = std::chrono::steady_clock::now();
+          fn(trial, rng, *fork, *shared);
+          group.trial_ms[trial] =
+              std::chrono::duration<double, std::milli>(
+                  std::chrono::steady_clock::now() - start)
+                  .count();
+          const std::lock_guard<std::mutex> lock(idle_mutex);
+          idle.push_back(std::move(fork));
+        } else {
+          // VMAT_SNAPSHOT=0: no cross-trial sharing, no recycling. The
+          // private capture is bit-identical to the shared one (same
+          // factory, same seed), so only the cost changes.
+          const Snapshot priv = fork->coordinator->snapshot_after_formation();
+          const auto start = std::chrono::steady_clock::now();
+          fn(trial, rng, *fork, priv);
+          group.trial_ms[trial] =
+              std::chrono::duration<double, std::milli>(
+                  std::chrono::steady_clock::now() - start)
+                  .count();
+        }
       },
       pool);
 }

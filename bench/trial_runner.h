@@ -13,9 +13,14 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "attack/adversary.h"
+#include "core/coordinator.h"
+#include "sim/network.h"
+#include "sim/snapshot.h"
 #include "trace/trace.h"
 #include "util/parallel.h"
 
@@ -115,6 +120,40 @@ class BenchReport {
 void timed_trials(TrialGroup& group, std::size_t n, std::uint64_t base_seed,
                   const std::function<void(std::size_t, Rng&)>& fn,
                   ThreadPool* pool = nullptr);
+
+/// One self-contained deployment a fork trial runs on: the coordinator
+/// mutates its network during an execution, so concurrent trials need
+/// disjoint deployments. Factories build them; forked_timed_trials()
+/// recycles them through a free list.
+struct ForkDeployment {
+  std::unique_ptr<Network> net;
+  std::unique_ptr<Adversary> adversary;  ///< may be null (no attack)
+  std::unique_ptr<VmatCoordinator> coordinator;
+};
+
+/// Builds one ForkDeployment. Must be deterministic (same seed, same
+/// malicious set every call): the shared snapshot is captured from one
+/// factory product and restored into the others, and the fingerprint check
+/// rejects any drift.
+using ForkFactory = std::function<std::unique_ptr<ForkDeployment>()>;
+
+/// One fork trial body: finish the execution from `snapshot` (resume_from /
+/// resume_min on fork.coordinator). Strategies may diverge per trial via
+/// set_adversary(), but the malicious *set* is fixed by the factory.
+using ForkTrialFn = std::function<void(
+    std::size_t trial, Rng& rng, ForkDeployment& fork, const Snapshot& snapshot)>;
+
+/// Fork-fan-out twin of timed_trials(): capture the post-formation prefix
+/// ONCE from a factory-built deployment, then run `n` timed trials that
+/// each resume from that shared snapshot on a recycled deployment. With
+/// VMAT_SNAPSHOT=0 the sharing is disabled — every trial builds a private
+/// deployment and resumes from its own freshly captured snapshot, which is
+/// bit-identical to the shared one (same factory, same seed), so results
+/// never depend on the escape hatch. Timings cover fn only (construction
+/// and capture are untimed in both modes).
+void forked_timed_trials(TrialGroup& group, std::size_t n,
+                         std::uint64_t base_seed, const ForkFactory& factory,
+                         const ForkTrialFn& fn, ThreadPool* pool = nullptr);
 
 /// Flatten a flight-recorder metrics snapshot into per-phase group metrics
 /// ("<phase>.bytes_kb", "<phase>.frames", "<phase>.mac_verifies",

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "sim/snapshot.h"
+
 namespace vmat {
 
 SymmetricKey broadcast_key(const Digest& chain_element) noexcept {
@@ -46,6 +48,16 @@ bool AuthReceiver::accept(const SignedBroadcast& b, Tracer tracer,
   last_verified_ = b.chain_element;
   last_epoch_ = b.epoch;
   return true;
+}
+
+void AuthReceiver::snapshot_save(SnapshotWriter& w) const {
+  w.pod(last_verified_);
+  w.pod(last_epoch_);
+}
+
+void AuthReceiver::snapshot_load(SnapshotReader& r) {
+  r.pod(last_verified_);
+  r.pod(last_epoch_);
 }
 
 }  // namespace vmat

@@ -25,6 +25,9 @@
 
 namespace vmat {
 
+class SnapshotReader;
+class SnapshotWriter;
+
 /// A signed broadcast frame.
 struct SignedBroadcast {
   std::uint64_t epoch{0};
@@ -45,6 +48,12 @@ class AuthBroadcaster {
 
   [[nodiscard]] std::uint64_t next_epoch() const noexcept { return next_epoch_; }
 
+  /// Reposition the chain cursor (snapshot restore). The chain itself is
+  /// immutable precomputed material, so the cursor is the whole state.
+  void restore_next_epoch(std::uint64_t next_epoch) noexcept {
+    next_epoch_ = next_epoch;
+  }
+
  private:
   HashChain chain_;
   std::uint64_t next_epoch_{1};  // epoch 0 is the anchor itself
@@ -60,6 +69,11 @@ class AuthReceiver {
   /// `self` identifies the receiving sensor in the trace stream.
   [[nodiscard]] bool accept(const SignedBroadcast& b, Tracer tracer = {},
                             NodeId self = {});
+
+  // --- snapshots (sim/snapshot.h): the verification cursor is the whole
+  // mutable state ---
+  void snapshot_save(SnapshotWriter& writer) const;
+  void snapshot_load(SnapshotReader& reader);
 
  private:
   Digest last_verified_;

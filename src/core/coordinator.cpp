@@ -1,6 +1,7 @@
 #include "core/coordinator.h"
 
 #include <stdexcept>
+#include <type_traits>
 
 #include "spec/simulation_spec.h"
 #include "util/random.h"
@@ -10,6 +11,37 @@ namespace {
 
 /// Enough hash-chain elements for long experiment campaigns.
 constexpr std::size_t kMaxBroadcasts = 1 << 16;
+
+// Snapshot section tags (layout skew detectors; see sim/snapshot.h).
+constexpr std::uint32_t kCoordSection = 0x434f4f52;  // "COOR"
+constexpr std::uint32_t kTreeSection = 0x54524545;   // "TREE"
+constexpr std::uint32_t kAuditSection = 0x41554454;  // "AUDT"
+constexpr std::uint32_t kTraceSection = 0x54524143;  // "TRAC"
+
+// The snapshot encodes these wholesale as flat pods.
+static_assert(std::is_trivially_copyable_v<Epoch>);
+static_assert(std::is_trivially_copyable_v<ParentLink>);
+static_assert(std::is_trivially_copyable_v<ReceivedRecord>);
+static_assert(std::is_trivially_copyable_v<ForwardRecord>);
+static_assert(std::is_trivially_copyable_v<VetoMsg>);
+static_assert(std::is_trivially_copyable_v<TraceEvent>);
+
+/// Buffers the event stream of a capture prefix while forwarding it to the
+/// user's sink (if any) — so snapshot_after_formation()/prepare_epoch()
+/// record the same events a plain execute()/prepare_epoch() would, and the
+/// buffered copy replays into forks' sinks on restore.
+struct TeeSink final : TraceSink {
+  TraceSink* downstream{nullptr};
+  std::vector<TraceEvent>* buffer{nullptr};
+
+  void on_event(const TraceEvent& event) override {
+    buffer->push_back(event);
+    if (downstream != nullptr) downstream->on_event(event);
+  }
+  void on_execution_end(const ExecutionMetrics& metrics) override {
+    if (downstream != nullptr) downstream->on_execution_end(metrics);
+  }
+};
 
 CoordinatorSpec validated_coordinator_spec(const SimulationSpec& spec) {
   const auto errors = spec.validate();
@@ -120,13 +152,28 @@ ExecutionOutcome VmatCoordinator::run_min(
 }
 
 const Epoch& VmatCoordinator::prepare_epoch() {
+  // With snapshots enabled, tee the epoch slice's event stream so the
+  // kEpoch snapshot captured below can replay it on rearm_epoch().
+  std::vector<TraceEvent> prefix;
+  TeeSink tee;
+  tee.downstream = trace_state_.sink;
+  tee.buffer = &prefix;
+  TraceSink* const user_sink = trace_state_.sink;
+  const bool capture = snapshots_enabled();
+  if (capture) trace_state_.sink = &tee;
+
   Tracer tracer{&trace_state_};
   tracer.begin_epoch();
   net_->set_tracer(tracer);
   struct TracerDetach {
     Network* net;
-    ~TracerDetach() { net->set_tracer({}); }
-  } detach{net_};
+    TraceState* ts;
+    TraceSink* user;
+    ~TracerDetach() {
+      net->set_tracer({});
+      ts->sink = user;
+    }
+  } detach{net_, &trace_state_, user_sink};
 
   int rounds = 0;
   const std::uint64_t session = fresh_nonce();
@@ -142,6 +189,10 @@ const Epoch& VmatCoordinator::prepare_epoch() {
   epoch_.revoked_sensors = net_->revocation().revoked_sensors_in_order().size();
   epoch_.key_generation = net_->key_generation();
   epoch_stale_ = false;
+  if (capture) {
+    epoch_snapshot_ = capture_snapshot(SnapshotKind::kEpoch, rounds, prefix);
+    epoch_snapshot_meta_ = epoch_;
+  }
   return epoch_;
 }
 
@@ -344,6 +395,251 @@ ExecutionOutcome VmatCoordinator::run_query_phases(
   out.trigger = Trigger::kNone;
   out.minima = std::move(minima);
   return finish(out);
+}
+
+std::uint64_t VmatCoordinator::deployment_fingerprint() const {
+  std::uint64_t h = net_->snapshot_fingerprint();
+  h = snapshot_mix(h, config_.seed);
+  h = snapshot_mix(h, depth_bound_);
+  h = snapshot_mix(h, static_cast<std::uint64_t>(config_.tree_mode));
+  h = snapshot_mix(h, config_.multipath ? 1 : 0);
+  h = snapshot_mix(h, config_.slotted_sof ? 1 : 0);
+  h = snapshot_mix(h, config_.instances);
+  h = snapshot_mix(h, static_cast<std::uint64_t>(config_.predicate_mode));
+  return h;
+}
+
+Snapshot VmatCoordinator::capture_snapshot(
+    SnapshotKind kind, int rounds,
+    const std::vector<TraceEvent>& prefix_events) const {
+  SnapshotWriter w;
+
+  w.section(kCoordSection);
+  w.pod(nonce_state_);
+  w.pod(epoch_stale_);
+  w.pod(epoch_);
+  w.pod(broadcaster_.next_epoch());
+  w.pod(static_cast<std::uint64_t>(receivers_.size()));
+  for (const AuthReceiver& recv : receivers_) recv.snapshot_save(w);
+  w.pod(trace_state_.metrics);
+  w.pod(trace_state_.phase);
+  w.pod(trace_state_.slot);
+  w.pod(trace_state_.executions);
+  w.pod(trace_state_.epochs);
+
+  w.section(kTreeSection);
+  w.pod(tree_.session);
+  w.pod(tree_.mode);
+  w.pod(tree_.depth_bound);
+  w.vec_pod(tree_.level);
+  w.pod(static_cast<std::uint64_t>(tree_.parents.size()));
+  for (const std::vector<ParentLink>& links : tree_.parents) w.vec_pod(links);
+
+  w.section(kAuditSection);
+  w.pod(static_cast<std::uint64_t>(audits_.size()));
+  for (const NodeAudit& a : audits_) {
+    w.pod(a.agg.level);
+    w.vec_pod(a.agg.received);
+    w.vec_pod(a.agg.forwarded);
+    w.pod(a.sof.has_value());
+    if (a.sof.has_value()) {
+      w.pod(a.sof->msg);
+      w.pod(a.sof->originated);
+      w.pod(a.sof->received_interval);
+      w.pod(a.sof->forward_interval);
+      w.pod(a.sof->in_edge);
+      w.vec_pod(a.sof->out_edges);
+    }
+  }
+
+  net_->snapshot_save(w);
+
+  w.section(kTraceSection);
+  w.vec_pod(prefix_events);
+
+  Snapshot snap;
+  snap.kind_ = kind;
+  snap.fingerprint_ = deployment_fingerprint();
+  snap.node_count_ = net_->node_count();
+  snap.formation_rounds_ = rounds;
+  snap.buffer_ = w.take();
+  return snap;
+}
+
+void VmatCoordinator::restore_snapshot(const Snapshot& snapshot,
+                                       std::int64_t epoch_ordinal) {
+  if (snapshot.empty())
+    throw std::invalid_argument("restore_snapshot: empty snapshot");
+  if (snapshot.node_count() != net_->node_count() ||
+      snapshot.fingerprint() != deployment_fingerprint())
+    throw std::invalid_argument(
+        "restore_snapshot: snapshot belongs to an incompatible deployment "
+        "(topology/key material/config mismatch)");
+
+  SnapshotReader r(snapshot.data());
+
+  r.section(kCoordSection);
+  r.pod(nonce_state_);
+  r.pod(epoch_stale_);
+  r.pod(epoch_);
+  broadcaster_.restore_next_epoch(r.pod<std::uint64_t>());
+  if (r.pod<std::uint64_t>() != receivers_.size())
+    throw std::invalid_argument("restore_snapshot: receiver count mismatch");
+  for (AuthReceiver& recv : receivers_) recv.snapshot_load(r);
+  r.pod(trace_state_.metrics);
+  r.pod(trace_state_.phase);
+  r.pod(trace_state_.slot);
+  r.pod(trace_state_.executions);
+  r.pod(trace_state_.epochs);
+
+  r.section(kTreeSection);
+  r.pod(tree_.session);
+  r.pod(tree_.mode);
+  r.pod(tree_.depth_bound);
+  r.vec_pod(tree_.level);
+  tree_.parents.resize(r.pod<std::uint64_t>());
+  for (std::vector<ParentLink>& links : tree_.parents) r.vec_pod(links);
+
+  r.section(kAuditSection);
+  if (r.pod<std::uint64_t>() != audits_.size())
+    throw std::invalid_argument("restore_snapshot: audit count mismatch");
+  for (NodeAudit& a : audits_) {
+    r.pod(a.agg.level);
+    r.vec_pod(a.agg.received);
+    r.vec_pod(a.agg.forwarded);
+    if (r.pod<bool>()) {
+      SofRecord sof;
+      r.pod(sof.msg);
+      r.pod(sof.originated);
+      r.pod(sof.received_interval);
+      r.pod(sof.forward_interval);
+      r.pod(sof.in_edge);
+      r.vec_pod(sof.out_edges);
+      a.sof = std::move(sof);
+    } else {
+      a.sof.reset();
+    }
+  }
+
+  net_->snapshot_load(r);
+
+  r.section(kTraceSection);
+  std::vector<TraceEvent> prefix;
+  r.vec_pod(prefix);
+  if (TraceSink* sink = trace_state_.sink; sink != nullptr) {
+    for (TraceEvent e : prefix) {
+      if (epoch_ordinal >= 0 && e.kind == TraceEventKind::kEpochBegin)
+        e.value = epoch_ordinal;
+      // Straight to the sink: going through a Tracer would double-meter
+      // events the restored metrics already count.
+      sink->on_event(e);
+    }
+  }
+  if (!r.exhausted())
+    throw std::invalid_argument("restore_snapshot: trailing bytes");
+}
+
+Snapshot VmatCoordinator::snapshot_after_formation() {
+  // Tee the prefix's event stream: the user's sink (if any) observes it
+  // live, and the buffered copy replays into forks' sinks on restore.
+  std::vector<TraceEvent> prefix;
+  TeeSink tee;
+  tee.downstream = trace_state_.sink;
+  tee.buffer = &prefix;
+  TraceSink* const user_sink = trace_state_.sink;
+  trace_state_.sink = &tee;
+
+  Tracer tracer{&trace_state_};
+  tracer.begin_execution();
+  net_->set_tracer(tracer);
+  struct TracerDetach {
+    Network* net;
+    TraceState* ts;
+    TraceSink* user;
+    ~TracerDetach() {
+      net->set_tracer({});
+      ts->sink = user;
+    }
+  } detach{net_, &trace_state_, user_sink};
+
+  // Same prefix as execute(): orphan any prepared epoch, fresh session,
+  // announcement + tree formation.
+  epoch_stale_ = true;
+  int rounds = 0;
+  const std::uint64_t session = fresh_nonce();
+  form_tree(session, rounds, tracer);
+  return capture_snapshot(SnapshotKind::kExecutionPrefix, rounds, prefix);
+}
+
+ExecutionOutcome VmatCoordinator::resume_from(
+    const Snapshot& snapshot, const std::vector<std::vector<Reading>>& values,
+    const std::vector<std::vector<std::int64_t>>& weights,
+    const ContentValidator& validate, std::uint32_t instances) {
+  if (snapshot.kind() != SnapshotKind::kExecutionPrefix)
+    throw std::invalid_argument(
+        "resume_from: not an execution-prefix snapshot (epoch snapshots "
+        "re-arm via rearm_epoch)");
+  restore_snapshot(snapshot, -1);
+  // Mid-execution: the captured prefix already ran begin_execution() (its
+  // metrics and ordinal were just restored), so attach without resetting.
+  Tracer tracer{&trace_state_};
+  net_->set_tracer(tracer);
+  struct TracerDetach {
+    Network* net;
+    ~TracerDetach() { net->set_tracer({}); }
+  } detach{net_};
+  return run_query_phases(values, weights, validate,
+                          instances == 0 ? config_.instances : instances,
+                          tracer, snapshot.formation_rounds());
+}
+
+ExecutionOutcome VmatCoordinator::resume_min(
+    const Snapshot& snapshot, const std::vector<Reading>& readings) {
+  if (config_.instances != 1)
+    throw std::logic_error("resume_min requires instances == 1");
+  std::vector<std::vector<Reading>> values(readings.size());
+  std::vector<std::vector<std::int64_t>> weights(readings.size());
+  for (std::size_t i = 0; i < readings.size(); ++i) {
+    Reading r = readings[i];
+    if (adversary_ != nullptr && adversary_->is_byzantine(NodeId{
+            static_cast<std::uint32_t>(i)}))
+      r = adversary_->strategy().own_reading(
+          NodeId{static_cast<std::uint32_t>(i)}, r);
+    values[i] = {r};
+    weights[i] = {0};
+  }
+  return resume_from(snapshot, values, weights);
+}
+
+bool VmatCoordinator::rearm_epoch() {
+  if (!snapshots_enabled() || !epoch_snapshot_.has_value()) return false;
+  // The formed tree is stale if anything revocation/key-shaped moved since
+  // capture; only a real prepare_epoch() may serve then.
+  if (net_->revocation().revoked_key_count() !=
+          epoch_snapshot_meta_.revoked_keys ||
+      net_->revocation().revoked_sensors_in_order().size() !=
+          epoch_snapshot_meta_.revoked_sensors ||
+      net_->key_generation() != epoch_snapshot_meta_.key_generation)
+    return false;
+
+  // Monotone counters survive the rewind: the nonce stream, the broadcast
+  // chain cursor, the trace ordinals, and the epoch id keep advancing, so
+  // a re-armed epoch never reuses a nonce or a chain element.
+  const std::uint64_t cur_nonce = nonce_state_;
+  const std::uint64_t cur_next = broadcaster_.next_epoch();
+  const std::int64_t cur_execs = trace_state_.executions;
+  const std::int64_t cur_epochs = trace_state_.epochs;
+  const std::uint64_t cur_epoch_id = epoch_.id;
+
+  restore_snapshot(*epoch_snapshot_, cur_epochs);
+
+  nonce_state_ = cur_nonce;
+  broadcaster_.restore_next_epoch(cur_next);
+  trace_state_.executions = cur_execs;
+  trace_state_.epochs = cur_epochs + 1;
+  epoch_.id = cur_epoch_id + 1;
+  epoch_stale_ = false;
+  return true;
 }
 
 std::vector<ExecutionOutcome> VmatCoordinator::run_until_result(

@@ -19,6 +19,7 @@
 #pragma once
 
 #include <functional>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -30,6 +31,7 @@
 #include "core/pinpoint.h"
 #include "core/tree_formation.h"
 #include "sim/network.h"
+#include "sim/snapshot.h"
 #include "trace/trace.h"
 
 namespace vmat {
@@ -166,6 +168,57 @@ class VmatCoordinator {
       const std::vector<std::vector<std::int64_t>>& weights,
       const ContentValidator& validate = {}, int max_executions = 1000);
 
+  // --- copy-on-write snapshots (sim/snapshot.h) ---
+
+  /// Run the shared execution prefix — fresh session nonce, authenticated
+  /// announcement, tree formation (identical to execute()'s prefix) — and
+  /// capture the complete post-formation state. The coordinator is left
+  /// mid-execution; finish it any number of times with resume_from(), on
+  /// this coordinator or on any compatible one (same topology/keys/config;
+  /// enforced by a fingerprint check). An attached recorder observes the
+  /// prefix live here AND replayed by every restore — for one complete
+  /// stream per fork, attach the recorder to the forking coordinator after
+  /// the capture. The fork contract: the malicious
+  /// *set* shaped formation and must stay fixed across forks — strategies
+  /// may diverge post-formation (every PolicyStrategy shares the honest
+  /// tree-slot behavior), rebound via set_adversary().
+  [[nodiscard]] Snapshot snapshot_after_formation();
+
+  /// Finish an execution from a kExecutionPrefix snapshot: restore the
+  /// captured state and run the query phases (aggregation → confirmation →
+  /// classification) over it. Bit-identical to the execute() that would
+  /// have run the same prefix: same nonce stream, same stats, and — with a
+  /// recorder attached — the same event stream, because the captured
+  /// prefix events are replayed into the sink before the live phases run.
+  /// `instances` overrides config().instances (0 = config value).
+  [[nodiscard]] ExecutionOutcome resume_from(
+      const Snapshot& snapshot,
+      const std::vector<std::vector<Reading>>& values,
+      const std::vector<std::vector<std::int64_t>>& weights,
+      const ContentValidator& validate = {}, std::uint32_t instances = 0);
+
+  /// run_min()'s fork twin: same per-node reading preparation (byzantine
+  /// own_reading substitution included), finished via resume_from().
+  [[nodiscard]] ExecutionOutcome resume_min(
+      const Snapshot& snapshot, const std::vector<Reading>& readings);
+
+  /// Re-arm the last prepare_epoch() tree from its snapshot instead of
+  /// re-forming it: O(state) restore, zero flooding rounds. Succeeds only
+  /// when snapshots are enabled, an epoch snapshot exists, and no
+  /// revocation/rekey happened since its capture (the formed tree would be
+  /// stale otherwise — prepare_epoch() is the only correct path then).
+  /// Monotone counters survive the restore: the nonce stream, the
+  /// broadcast chain cursor, and the trace ordinals keep advancing, so a
+  /// re-armed epoch never reuses a nonce or a chain element. Returns true
+  /// and leaves epoch_ready() on success.
+  bool rearm_epoch();
+
+  /// Rebind the adversary handle (fork fan-out swaps per-trial strategies;
+  /// nullptr = no adversary). The malicious set must match the one the
+  /// restored snapshot's tree was formed under — see
+  /// snapshot_after_formation().
+  void set_adversary(Adversary* adversary) noexcept { adversary_ = adversary; }
+
   [[nodiscard]] const std::vector<NodeAudit>& audits() const noexcept {
     return audits_;
   }
@@ -202,6 +255,19 @@ class VmatCoordinator {
       const ContentValidator& validate, std::uint32_t instances,
       Tracer tracer, int rounds_so_far);
 
+  /// Hash pinning the immutable deployment identity a snapshot belongs to.
+  [[nodiscard]] std::uint64_t deployment_fingerprint() const;
+  /// Serialize the coordinator + network state (with the buffered prefix
+  /// trace events) into a Snapshot.
+  [[nodiscard]] Snapshot capture_snapshot(
+      SnapshotKind kind, int rounds,
+      const std::vector<TraceEvent>& prefix_events) const;
+  /// Decode a snapshot back into this coordinator/network, replaying the
+  /// buffered prefix events into an attached sink. `epoch_ordinal` >= 0
+  /// rewrites the replayed kEpochBegin ordinal (rearm continues the live
+  /// epoch counter instead of rewinding it).
+  void restore_snapshot(const Snapshot& snapshot, std::int64_t epoch_ordinal);
+
   Network* net_;
   Adversary* adversary_;
   CoordinatorSpec config_;
@@ -216,6 +282,10 @@ class VmatCoordinator {
   /// Shared by every component tracing one execution; the Tracer handles
   /// threaded through the phases all point here.
   TraceState trace_state_;
+  /// The kEpoch snapshot prepare_epoch() captures (when snapshots are
+  /// enabled), plus the epoch-validity guard recorded at capture time.
+  std::optional<Snapshot> epoch_snapshot_;
+  Epoch epoch_snapshot_meta_;
 };
 
 }  // namespace vmat

@@ -113,17 +113,27 @@ void Engine::settle_failure(Pending& p, ErrorCode code, const char* detail) {
 void Engine::run_round() {
   stats_.rounds += 1;
 
-  // --- epoch: form (or re-form, after a revocation) the shared tree ---
+  // --- epoch: re-arm the shared tree from its snapshot when the epoch
+  // went stale without a revocation (an intervening one-shot execution,
+  // say); otherwise form (or re-form, after a revocation) it for real ---
   if (!coordinator_->epoch_ready()) {
-    const Epoch& epoch = coordinator_->prepare_epoch();
-    stats_.epochs_formed += 1;
-    stats_.fabric_bytes += epoch.fabric_bytes;
-    EpochRollup rollup;
-    rollup.epoch_id = epoch.id;
-    rollup.formation_rounds = epoch.formation_rounds;
-    rollup.formation_bytes = epoch.fabric_bytes;
-    rollup.metrics = epoch.metrics;
-    epochs_.push_back(std::move(rollup));
+    if (coordinator_->rearm_epoch()) {
+      stats_.epochs_rearmed += 1;
+      EpochRollup rollup;
+      rollup.epoch_id = coordinator_->epoch().id;
+      rollup.rearmed = true;  // restored, not re-flooded: zero formation cost
+      epochs_.push_back(std::move(rollup));
+    } else {
+      const Epoch& epoch = coordinator_->prepare_epoch();
+      stats_.epochs_formed += 1;
+      stats_.fabric_bytes += epoch.fabric_bytes;
+      EpochRollup rollup;
+      rollup.epoch_id = epoch.id;
+      rollup.formation_rounds = epoch.formation_rounds;
+      rollup.formation_bytes = epoch.fabric_bytes;
+      rollup.metrics = epoch.metrics;
+      epochs_.push_back(std::move(rollup));
+    }
   }
 
   const std::size_t n = coordinator_->network().node_count();

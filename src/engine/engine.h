@@ -109,6 +109,9 @@ struct EngineConfig {
 /// Per-epoch rollup: formation cost plus everything served on that tree.
 struct EpochRollup {
   std::uint64_t epoch_id{0};
+  /// The epoch was re-armed from its snapshot instead of re-formed: zero
+  /// formation rounds/bytes (the tree was restored, not re-flooded).
+  bool rearmed{false};
   int formation_rounds{0};
   std::uint64_t formation_bytes{0};
   std::uint64_t executions{0};
@@ -124,6 +127,9 @@ struct EngineStats {
   std::uint64_t executions{0};
   std::uint64_t disrupted_executions{0};
   std::uint64_t epochs_formed{0};
+  /// Epochs restored from their prepare_epoch() snapshot (rearm_epoch())
+  /// instead of re-formed — the zero-flooding recovery path.
+  std::uint64_t epochs_rearmed{0};
   std::uint64_t queries_answered{0};
   std::uint64_t queries_failed{0};
   /// Current nominal backoff (0 after a clean round).

@@ -2,7 +2,13 @@
 
 #include <stdexcept>
 
+#include "sim/snapshot.h"
+
 namespace vmat {
+
+namespace {
+constexpr std::uint32_t kRevocationSection = 0x5245564f;  // "REVO"
+}  // namespace
 
 RevocationRegistry::RevocationRegistry(const Predistribution* keys,
                                        std::uint32_t threshold)
@@ -55,6 +61,41 @@ std::vector<NodeId> RevocationRegistry::revoke_sensor(NodeId node) {
 std::uint32_t RevocationRegistry::revoked_count(NodeId node) const noexcept {
   const auto it = counts_.find(node);
   return it == counts_.end() ? 0 : it->second;
+}
+
+void RevocationRegistry::snapshot_save(SnapshotWriter& w) const {
+  w.section(kRevocationSection);
+  w.pod(static_cast<std::uint64_t>(revoked_keys_.size()));
+  for (const KeyIndex k : revoked_keys_) w.pod(k);
+  w.pod(static_cast<std::uint64_t>(revoked_sensors_.size()));
+  for (const NodeId s : revoked_sensors_) w.pod(s);
+  w.vec_pod(revoked_sensor_order_);
+  w.pod(static_cast<std::uint64_t>(counts_.size()));
+  for (const auto& [node, count] : counts_) {
+    w.pod(node);
+    w.pod(count);
+  }
+  w.vec_pod(events_);
+}
+
+void RevocationRegistry::snapshot_load(SnapshotReader& r) {
+  r.section(kRevocationSection);
+  revoked_keys_.clear();
+  const auto key_count = static_cast<std::size_t>(r.pod<std::uint64_t>());
+  for (std::size_t i = 0; i < key_count; ++i)
+    revoked_keys_.insert(r.pod<KeyIndex>());
+  revoked_sensors_.clear();
+  const auto sensor_count = static_cast<std::size_t>(r.pod<std::uint64_t>());
+  for (std::size_t i = 0; i < sensor_count; ++i)
+    revoked_sensors_.insert(r.pod<NodeId>());
+  r.vec_pod(revoked_sensor_order_);
+  counts_.clear();
+  const auto count_count = static_cast<std::size_t>(r.pod<std::uint64_t>());
+  for (std::size_t i = 0; i < count_count; ++i) {
+    const auto node = r.pod<NodeId>();
+    counts_[node] = r.pod<std::uint32_t>();
+  }
+  r.vec_pod(events_);
 }
 
 std::size_t RevocationRegistry::pinpointed_key_count() const noexcept {

@@ -21,6 +21,9 @@
 
 namespace vmat {
 
+class SnapshotReader;
+class SnapshotWriter;
+
 enum class RevocationCause : std::uint8_t {
   kPinpointed,   ///< individually exposed by a pinpointing run
   kRingSeed,     ///< bulk-revoked when its holder's ring seed was announced
@@ -78,6 +81,15 @@ class RevocationRegistry {
   /// How many events were individual (pinpointed) revocations.
   [[nodiscard]] std::size_t pinpointed_key_count() const noexcept;
 
+  // --- snapshots (sim/snapshot.h) ---
+
+  /// Serialize the registry's full mutable state. The hash containers are
+  /// flattened in iteration order; only membership/counts matter to the
+  /// protocol, so the restored registry is behaviorally identical.
+  void snapshot_save(SnapshotWriter& writer) const;
+  /// Restore a snapshot_save() image (replaces all current state).
+  void snapshot_load(SnapshotReader& reader);
+
  private:
   /// Mark one key revoked; push sensors that cross θ onto `newly`.
   void mark_key(KeyIndex key, RevocationCause cause,
@@ -87,6 +99,10 @@ class RevocationRegistry {
   const Predistribution* keys_;
   std::uint32_t threshold_;
   Tracer tracer_;
+  // The hash containers below are snapshot-captured by explicit
+  // flatten/rebuild in snapshot_save()/snapshot_load() — membership and
+  // counts are the only observable state, so iteration order is free.
+  // vmat-lint: allow-file(snapshot-unsafe-state)
   std::unordered_set<KeyIndex> revoked_keys_;
   std::unordered_set<NodeId> revoked_sensors_;
   std::vector<NodeId> revoked_sensor_order_;

@@ -43,6 +43,9 @@
 
 namespace vmat {
 
+class SnapshotReader;
+class SnapshotWriter;
+
 /// A unicast frame handed to the fabric for transmission: payload plus the
 /// edge-key MAC that authenticates it hop-by-hop. `from` is a *claim* —
 /// only the edge MAC constrains who could have produced the frame. The
@@ -176,6 +179,21 @@ class Fabric {
   }
 
   [[nodiscard]] const Topology& topology() const noexcept { return *topology_; }
+
+  // --- snapshots (sim/snapshot.h) ---
+
+  /// Serialize the fabric's mutable state: loss RNG position, counters,
+  /// per-slot budgets, and every in-flight frame (staged and undrained
+  /// delivered) with its payload bytes.
+  void snapshot_save(SnapshotWriter& writer) const;
+  /// Restore a snapshot_save() image. Arenas are rewound (capacity kept)
+  /// and payload bytes re-enter them through store(), so a steady-state
+  /// restore allocates nothing; delivered frames are re-packed compacted,
+  /// which take_inbox() cannot distinguish from the original layout.
+  void snapshot_load(SnapshotReader& reader);
+  /// Fold the fabric's *configuration* (slot capacity, loss probability)
+  /// into a deployment fingerprint.
+  [[nodiscard]] std::uint64_t config_fingerprint(std::uint64_t h) const noexcept;
 
  private:
   const Topology* topology_;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "sim/snapshot.h"
 #include "spec/simulation_spec.h"
 
 namespace vmat {
@@ -220,6 +221,50 @@ std::span<const Frame> Network::receive_valid(NodeId node, RxScratch& scratch,
   }
   scratch.frames.resize(keep);
   return scratch.frames;
+}
+
+namespace {
+constexpr std::uint32_t kNetworkSection = 0x4e455457;  // "NETW"
+}  // namespace
+
+void Network::snapshot_save(SnapshotWriter& w) const {
+  w.section(kNetworkSection);
+  w.pod(key_generation_);
+  // The slot table restores wholesale (stamps included): a slot filled
+  // under revoked count c is only trusted while the live count is still c,
+  // and the captured registry restores alongside — so stale stamps can
+  // never alias a different revoked set.
+  w.vec_pod(edge_key_slots_);
+  revocation_.snapshot_save(w);
+  fabric_.snapshot_save(w);
+}
+
+void Network::snapshot_load(SnapshotReader& r) {
+  r.section(kNetworkSection);
+  const auto generation = r.pod<std::uint64_t>();
+  if (generation != key_generation_)
+    throw std::invalid_argument(
+        "Network::snapshot_load: key material changed since capture "
+        "(rekey/path-key establishment) — the snapshot is stale");
+  r.vec_pod(edge_key_slots_);
+  edge_key_cache_.clear();
+  revocation_.snapshot_load(r);
+  fabric_.snapshot_load(r);
+}
+
+std::uint64_t Network::snapshot_fingerprint() const {
+  std::uint64_t h = 0x564d41542d534e41ULL;  // "VMAT-SNA"
+  h = snapshot_mix(h, topology_.node_count());
+  for (std::uint32_t id = 0; id < topology_.node_count(); ++id)
+    for (const NodeId v : topology_.neighbors(NodeId{id}))
+      h = snapshot_mix(h, (static_cast<std::uint64_t>(id) << 32) | v.value);
+  const KeyMaterialSpec& keys = keys_.config();
+  h = snapshot_mix(h, keys.pool_size);
+  h = snapshot_mix(h, keys.ring_size);
+  h = snapshot_mix(h, keys.seed);
+  h = snapshot_mix(h, revocation_.threshold());
+  h = snapshot_mix(h, redundancy_);
+  return fabric_.config_fingerprint(h);
 }
 
 void Network::warm_crypto_caches() const {

@@ -168,6 +168,22 @@ class Network {
   /// sensors carried over as revoked.
   std::size_t rekey(const KeyMaterialSpec& fresh_keys);
 
+  // --- snapshots (sim/snapshot.h) ---
+
+  /// Serialize the network's mutable state: key generation, the flat
+  /// edge-key slot table, the revocation registry, and the fabric.
+  /// Immutable material (topology, key pool/rings) is not serialized — it
+  /// is pinned by snapshot_fingerprint() and the captured key_generation.
+  void snapshot_save(SnapshotWriter& writer) const;
+  /// Restore a snapshot_save() image. Throws std::invalid_argument when
+  /// the key material changed since capture (key_generation mismatch).
+  /// The map-side edge-key cache is cleared, not restored: recompute is
+  /// deterministic, so behavior is identical either way.
+  void snapshot_load(SnapshotReader& reader);
+  /// Identity hash of the immutable deployment substrate: topology CSR,
+  /// key-material spec, revocation threshold, redundancy, fabric config.
+  [[nodiscard]] std::uint64_t snapshot_fingerprint() const;
+
  private:
   /// Uncached ring merge behind usable_edge_key().
   [[nodiscard]] std::optional<KeyIndex> compute_usable_edge_key(NodeId a,
@@ -194,6 +210,9 @@ class Network {
     std::optional<KeyIndex> key;
     std::size_t revoked_count;
   };
+  // Not snapshot-captured: snapshot_load() clears it and lets the
+  // deterministic recompute repopulate (see snapshot_load docs).
+  // vmat-lint: allow(snapshot-unsafe-state)
   mutable std::unordered_map<std::uint64_t, EdgeKeyEntry> edge_key_cache_;
 
   /// Flat fast path in front of edge_key_cache_: one 8-byte slot per

@@ -1,0 +1,12 @@
+#include "sim/snapshot.h"
+
+#include <cstdlib>
+
+namespace vmat {
+
+bool snapshots_enabled() {
+  const char* env = std::getenv("VMAT_SNAPSHOT");
+  return !(env != nullptr && env[0] == '0' && env[1] == '\0');
+}
+
+}  // namespace vmat

@@ -142,6 +142,18 @@ TEST(VmatLint, HotPathAllocIsFlagged) {
   EXPECT_TRUE(r.mentions("bad_hot_alloc.cpp:10:")) << r.output;
 }
 
+TEST(VmatLint, SnapshotUnsafeStateIsFlagged) {
+  // The unordered_map member and the mutable-pointee raw pointer in the
+  // snapshot_save()-bearing struct are flagged; the const-pointee pointer,
+  // the flat vector, the nested helper's member, and the struct without
+  // snapshot_save() are not.
+  const auto r = run_lint("tools/fixtures/src/sim/bad_snapshot_state.cpp");
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_EQ(r.count("snapshot-unsafe-state"), 2) << r.output;
+  EXPECT_TRUE(r.mentions("bad_snapshot_state.cpp:13:")) << r.output;
+  EXPECT_TRUE(r.mentions("bad_snapshot_state.cpp:14:")) << r.output;
+}
+
 TEST(VmatLint, WholeFixtureTreeTotals) {
   // One run over the whole fixture tree: totals must be the sum of the
   // per-file expectations above and nothing more.
@@ -155,7 +167,8 @@ TEST(VmatLint, WholeFixtureTreeTotals) {
   EXPECT_EQ(r.count("missing-nodiscard"), 2) << r.output;
   EXPECT_EQ(r.count("deprecated-config"), 2) << r.output;
   EXPECT_EQ(r.count("hot-path-alloc"), 2) << r.output;
-  EXPECT_TRUE(r.mentions("16 violation(s)")) << r.output;
+  EXPECT_EQ(r.count("snapshot-unsafe-state"), 2) << r.output;
+  EXPECT_TRUE(r.mentions("18 violation(s)")) << r.output;
 }
 
 TEST(VmatLint, RuleFilterRunsOnlyThatRule) {

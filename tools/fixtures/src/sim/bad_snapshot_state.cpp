@@ -1,0 +1,27 @@
+// Fixture: snapshot-unsafe-state — a snapshot-captured class (one with a
+// snapshot_save() member) holding members the flat buffer cannot encode.
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace vmat {
+
+class SnapshotWriter;
+
+struct BadCapturedState {
+  void snapshot_save(SnapshotWriter& writer) const;
+  std::unordered_map<std::uint64_t, int> cache_;  // hash order leaks
+  int* scratch_;                                  // unowned mutable pointee
+  const char* label_{nullptr};   // const pointee: fingerprinted identity
+  std::vector<int> slots_;       // flat vector: the sanctioned form
+  struct Entry {
+    int* cursor_;  // nested helper: captured via its own encode
+  };
+};
+
+struct NotCaptured {  // no snapshot_save(): the rule does not apply
+  std::unordered_map<int, int> free_form_;
+  int* raw_;
+};
+
+}  // namespace vmat

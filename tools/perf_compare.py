@@ -1,18 +1,25 @@
 #!/usr/bin/env python3
-"""perf_compare: gate bench_scale timings against a committed baseline.
+"""perf_compare: gate BENCH_*.json timings against a committed baseline.
 
 Usage: perf_compare.py NEW_JSON BASELINE_JSON [--threshold 1.25]
 
-Compares every trial group present in both BENCH_scale-style reports:
+Row matching is by trial-group label. Every group in the BASELINE must be
+present in the new report — a vanished group means a renamed or deleted
+bench configuration and fails the gate with a per-row error (never a bare
+KeyError). Groups only present in the new report are listed and ignored:
+adding a bench row must not fail CI until it is baselined.
 
-  * ``exec_ms_min``  — wall-clock regression gate. Fails when
-    new > baseline * threshold (default +25%). Faster is never a failure;
-    a speedup beyond the inverse threshold prints a re-baseline hint.
+Gated metrics per shared group:
+
+  * ``exec_ms_min`` (falling back to the harness-emitted ``min_ms``) —
+    wall-clock regression gate. Fails when new > baseline * threshold
+    (default +25%). Faster is never a failure; a speedup beyond the
+    inverse threshold prints a re-baseline hint.
   * ``fabric_kb``    — deterministic traffic; any drift beyond 0.1% is a
     correctness regression (a second byte-accounting path, a protocol
     change without a re-baseline) and fails regardless of timing.
 
-Exit status: 0 clean, 1 regression, 2 usage/format error.
+Exit status: 0 clean, 1 regression/missing row, 2 usage/format error.
 """
 
 from __future__ import annotations
@@ -22,13 +29,32 @@ import json
 import sys
 
 
-def metrics_by_group(report: dict) -> dict[str, dict[str, float]]:
+class FormatError(Exception):
+    """A structurally malformed report (not a perf regression)."""
+
+
+def metrics_by_group(report: dict, path: str) -> dict[str, dict[str, float]]:
+    if not isinstance(report, dict):
+        raise FormatError(f"{path}: top level is not an object")
     out: dict[str, dict[str, float]] = {}
-    for group in report.get("trial_groups", []):
+    for i, group in enumerate(report.get("trial_groups", [])):
+        if not isinstance(group, dict) or "label" not in group:
+            raise FormatError(
+                f"{path}: trial_groups[{i}] is malformed (no label)")
         out[group["label"]] = {
-            k: v for k, v in group.items() if isinstance(v, (int, float))
+            k: v for k, v in group.items()
+            if isinstance(v, (int, float)) and not isinstance(v, bool)
         }
     return out
+
+
+def wall_metric(row: dict[str, float]) -> tuple[str, float] | None:
+    """The gated wall-clock metric: the bench's explicit exec_ms_min when
+    present, else the harness-emitted per-trial min_ms."""
+    for key in ("exec_ms_min", "min_ms"):
+        if key in row and row[key] > 0:
+            return key, row[key]
+    return None
 
 
 def main(argv: list[str]) -> int:
@@ -41,31 +67,45 @@ def main(argv: list[str]) -> int:
 
     try:
         with open(args.new_json) as f:
-            new = metrics_by_group(json.load(f))
+            new = metrics_by_group(json.load(f), args.new_json)
         with open(args.baseline_json) as f:
-            base = metrics_by_group(json.load(f))
-    except (OSError, json.JSONDecodeError, KeyError) as e:
+            base = metrics_by_group(json.load(f), args.baseline_json)
+    except (OSError, json.JSONDecodeError, FormatError) as e:
         print(f"perf_compare: {e}", file=sys.stderr)
         return 2
 
-    shared = sorted(set(new) & set(base))
-    if not shared:
-        print("perf_compare: no common trial groups", file=sys.stderr)
+    if not base:
+        print(f"perf_compare: {args.baseline_json} has no trial groups",
+              file=sys.stderr)
         return 2
 
     failures = 0
-    for label in shared:
+    for label in sorted(set(base) - set(new)):
+        print(f"{label}: MISSING from {args.new_json} — baseline row has no "
+              "counterpart (renamed or deleted bench configuration?)")
+        failures += 1
+    for label in sorted(set(new) - set(base)):
+        print(f"{label}: new group (not in baseline) — ignored; re-baseline "
+              "to start gating it")
+
+    for label in sorted(set(new) & set(base)):
         n, b = new[label], base[label]
-        if "exec_ms_min" in n and "exec_ms_min" in b and b["exec_ms_min"] > 0:
-            ratio = n["exec_ms_min"] / b["exec_ms_min"]
-            verdict = "OK"
-            if ratio > args.threshold:
-                verdict = "REGRESSION"
+        base_wall = wall_metric(b)
+        if base_wall is not None:
+            key, base_ms = base_wall
+            if key not in n or n[key] <= 0:
+                print(f"{label}: {key} missing from new report")
                 failures += 1
-            elif ratio < 1.0 / args.threshold:
-                verdict = "OK (faster — consider re-baselining)"
-            print(f"{label}: exec_ms_min {b['exec_ms_min']:.2f} -> "
-                  f"{n['exec_ms_min']:.2f} ({ratio:.2f}x)  {verdict}")
+            else:
+                ratio = n[key] / base_ms
+                verdict = "OK"
+                if ratio > args.threshold:
+                    verdict = "REGRESSION"
+                    failures += 1
+                elif ratio < 1.0 / args.threshold:
+                    verdict = "OK (faster — consider re-baselining)"
+                print(f"{label}: {key} {base_ms:.2f} -> "
+                      f"{n[key]:.2f} ({ratio:.2f}x)  {verdict}")
         if "fabric_kb" in n and "fabric_kb" in b and b["fabric_kb"] > 0:
             drift = abs(n["fabric_kb"] - b["fabric_kb"]) / b["fabric_kb"]
             if drift > 1e-3:
@@ -76,7 +116,8 @@ def main(argv: list[str]) -> int:
     if failures:
         print(f"perf_compare: {failures} regression(s)", file=sys.stderr)
         return 1
-    print(f"perf_compare: {len(shared)} group(s) within threshold")
+    print(f"perf_compare: {len(set(new) & set(base))} group(s) within "
+          "threshold")
     return 0
 
 

@@ -39,6 +39,16 @@ checkable from source text, as named, individually suppressible rules:
                          arena fabric exists so the per-frame hot path
                          allocates nothing; stage into reusable scratch
                          (RxScratch, ShardBuf) or copy outside the loop.
+  snapshot-unsafe-state  Classes captured by the copy-on-write snapshot
+                         subsystem (any class with a snapshot_save()
+                         member) must hold flat, order-independent state:
+                         no std::unordered_map / std::unordered_set
+                         members (iteration order leaks into the buffer
+                         unless explicitly flattened) and no raw pointer
+                         members with a mutable pointee (a snapshot cannot
+                         own or relocate what they reference). Sanctioned
+                         exceptions carry an allow() with the flatten /
+                         rebuild story.
 
 Suppression syntax (checked per rule name, or `*` for all):
 
@@ -501,6 +511,73 @@ def rule_hot_path_alloc(src: SourceFile, report) -> None:
                    "copy out of the loop")
 
 
+CLASS_OPEN_RE = re.compile(r"\b(?:class|struct)\s+[A-Za-z_]\w*[^;{(]*\{")
+SNAPSHOT_SAVE_RE = re.compile(r"\bsnapshot_save\s*\(")
+# A member declaration of an unordered container, anchored at the start of
+# the line so parameter lists inside method signatures don't match.
+UNSAFE_CONTAINER_MEMBER_RE = re.compile(
+    r"^\s*(?:mutable\s+)?(?:static\s+)?std::unordered_(map|set)\s*<")
+# A raw pointer member (whole-line declaration, optional brace init). The
+# captured type group is checked for `const`: a const pointee is a
+# reference to immutable deployment identity, which snapshots fingerprint
+# rather than capture.
+PTR_MEMBER_RE = re.compile(
+    r"^\s*(?:mutable\s+)?"
+    r"((?:[A-Za-z_][\w:]*\s+)*[A-Za-z_][\w:]*(?:<[^;()]*>)?)"
+    r"\s*\*+\s*\w+\s*(?:\{[^;()]*\})?\s*;")
+
+
+def rule_snapshot_unsafe_state(src: SourceFile, report) -> None:
+    text = "\n".join(src.code_lines)
+    line_starts = [0]
+    for ln in src.code_lines:
+        line_starts.append(line_starts[-1] + len(ln) + 1)
+    for m in CLASS_OPEN_RE.finditer(text):
+        open_brace = text.index("{", m.start())
+        depth = 0
+        end = -1
+        for k in range(open_brace, len(text)):
+            if text[k] == "{":
+                depth += 1
+            elif text[k] == "}":
+                depth -= 1
+                if depth == 0:
+                    end = k
+                    break
+        if end < 0:
+            continue
+        body = text[open_brace + 1:end]
+        if not SNAPSHOT_SAVE_RE.search(body):
+            continue
+        # Walk the body tracking brace depth relative to the class scope,
+        # so locals in inline member functions and nested helper structs
+        # (whose members are captured via their own encode) are skipped.
+        depth = 0
+        offset = open_brace + 1
+        for raw in body.split("\n"):
+            if depth == 0 and "(" not in raw:
+                line_no = bisect.bisect_right(line_starts, offset)
+                if UNSAFE_CONTAINER_MEMBER_RE.match(raw):
+                    report(line_no,
+                           "unordered container member in a snapshot-"
+                           "captured class; hash iteration order is not "
+                           "part of the state — flatten to a sorted/"
+                           "insertion-ordered form in snapshot_save() and "
+                           "carry an allow() documenting it, or use a flat "
+                           "container")
+                else:
+                    pm = PTR_MEMBER_RE.match(raw)
+                    if pm and "const" not in pm.group(1).split():
+                        report(line_no,
+                               "raw pointer member with a mutable pointee "
+                               "in a snapshot-captured class; a snapshot "
+                               "buffer cannot own or relocate the pointee "
+                               "— capture the pointed-to state by value or "
+                               "point at const deployment identity")
+            depth += raw.count("{") - raw.count("}")
+            offset += len(raw) + 1
+
+
 RULES = {
     "determinism-rng": rule_determinism_rng,
     "mac-verify-discarded": rule_mac_verify_discarded,
@@ -510,6 +587,7 @@ RULES = {
     "stdout-in-src": rule_stdout_in_src,
     "deprecated-config": rule_deprecated_config,
     "hot-path-alloc": rule_hot_path_alloc,
+    "snapshot-unsafe-state": rule_snapshot_unsafe_state,
 }
 
 
