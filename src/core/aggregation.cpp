@@ -178,6 +178,10 @@ AggregationOutcome run_aggregation(
                 rec.child_level = L - slot + 1;
                 rec.claimed_sender = env.from;
                 if (is_bs) {
+                  // Only the shard owning kBaseStation reaches this arm
+                  // (RX shards partition nodes), so the shared outcome
+                  // sees exactly one writer.
+                  // vmat-analyze: allow(shard-race) -- BS-owner-only write
                   outcome.arrivals.push_back({m, env.edge_key, slot});
                   audits[id].agg.received.push_back(rec);
                 } else {

@@ -144,6 +144,10 @@ ConfirmationOutcome run_confirmation(
               const auto veto = decode_veto(env.payload);
               if (!veto.has_value()) continue;
               if (node == kBaseStation) {
+                // Only the shard owning kBaseStation reaches this arm
+                // (RX shards partition nodes), so the shared outcome
+                // sees exactly one writer.
+                // vmat-analyze: allow(shard-race) -- BS-owner-only write
                 outcome.arrivals.push_back({*veto, env.edge_key, slot});
                 continue;
               }
@@ -160,7 +164,8 @@ ConfirmationOutcome run_confirmation(
               rec.in_edge = env.edge_key;
               audits[id].sof = rec;
               // One-time per node per execution: the forwarded frame must
-              // outlive the arena slot. vmat-lint: allow(hot-path-alloc)
+              // outlive the arena slot.
+              // vmat-lint: allow(hot-path-alloc) -- one-shot veto forward
               pending[id] = Bytes(env.payload.begin(), env.payload.end());
               shard_tracer.veto(node, veto->origin, slot, veto->value, false);
             }

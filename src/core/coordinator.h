@@ -50,7 +50,7 @@ struct CoordinatorSpec {
 };
 
 /// Pre-SimulationSpec name, kept as a conversion shim for one release.
-using VmatConfig  // vmat-lint: allow(deprecated-config)
+using VmatConfig  // vmat-lint: allow(deprecated-config) -- the shim itself
     [[deprecated("use SimulationSpec (spec/simulation_spec.h) or "
                  "CoordinatorSpec")]] = CoordinatorSpec;
 
@@ -269,8 +269,14 @@ class VmatCoordinator {
   void restore_snapshot(const Snapshot& snapshot, std::int64_t epoch_ordinal);
 
   Network* net_;
+  // The adversary strategy is an input to an execution, not part of its
+  // state: forks deliberately re-run it against restored state.
+  // vmat-analyze: allow(snapshot-field-coverage) -- execution input
   Adversary* adversary_;
+  // Construction-time config, covered by deployment_fingerprint().
+  // vmat-analyze: allow(snapshot-field-coverage) -- fingerprint-pinned
   CoordinatorSpec config_;
+  // vmat-analyze: allow(snapshot-field-coverage) -- fingerprint-pinned
   Level depth_bound_;
   std::uint64_t nonce_state_;
   std::vector<NodeAudit> audits_;
@@ -284,7 +290,11 @@ class VmatCoordinator {
   TraceState trace_state_;
   /// The kEpoch snapshot prepare_epoch() captures (when snapshots are
   /// enabled), plus the epoch-validity guard recorded at capture time.
+  /// Snapshot storage itself: capturing a snapshot inside a snapshot
+  /// would recurse, so the pair deliberately skips both members.
+  // vmat-analyze: allow(snapshot-field-coverage) -- snapshot storage
   std::optional<Snapshot> epoch_snapshot_;
+  // vmat-analyze: allow(snapshot-field-coverage) -- snapshot storage
   Epoch epoch_snapshot_meta_;
 };
 

@@ -27,7 +27,7 @@ struct TreePhaseParams {
 };
 
 /// Pre-SimulationSpec name, kept as a conversion shim for one release.
-using TreeFormationParams  // vmat-lint: allow(deprecated-config)
+using TreeFormationParams  // vmat-lint: allow(deprecated-config) -- shim
     [[deprecated("use SimulationSpec (spec/simulation_spec.h) or "
                  "TreePhaseParams")]] = TreePhaseParams;
 

@@ -26,7 +26,7 @@ struct KeyMaterialSpec {
 };
 
 /// Pre-SimulationSpec name, kept as a conversion shim for one release.
-using KeySetupConfig  // vmat-lint: allow(deprecated-config)
+using KeySetupConfig  // vmat-lint: allow(deprecated-config) -- the shim itself
     [[deprecated("use SimulationSpec (spec/simulation_spec.h) or "
                  "KeyMaterialSpec")]] = KeyMaterialSpec;
 

@@ -196,9 +196,16 @@ class Fabric {
   [[nodiscard]] std::uint64_t config_fingerprint(std::uint64_t h) const noexcept;
 
  private:
+  // Immutable deployment identity (fingerprinted, not serialized).
+  // vmat-analyze: allow(snapshot-field-coverage) -- fingerprint-pinned
   const Topology* topology_;
+  // Trace sink handle, owned by the coordinator, not execution state.
+  // vmat-analyze: allow(snapshot-field-coverage) -- trace sink, not state
   Tracer tracer_;
+  // Construction-time config, covered by config_fingerprint().
+  // vmat-analyze: allow(snapshot-field-coverage) -- fingerprint-pinned
   std::size_t capacity_per_slot_;
+  // vmat-analyze: allow(snapshot-field-coverage) -- fingerprint-pinned
   double loss_probability_{0.0};
   std::uint64_t loss_rng_state_{0};
   std::uint64_t lost_{0};
@@ -217,7 +224,9 @@ class Fabric {
   std::vector<Frame> delivered_;
   std::vector<std::uint32_t> inbox_begin_;
   std::vector<std::uint32_t> inbox_end_;
-  std::vector<std::uint32_t> sort_pos_;  // counting-sort scratch
+  // Counting-sort scratch, fully rewritten by every end_slot().
+  // vmat-analyze: allow(snapshot-field-coverage) -- transient scratch
+  std::vector<std::uint32_t> sort_pos_;
 
   std::vector<std::uint64_t> bytes_sent_;
   std::vector<std::uint64_t> bytes_received_;

@@ -43,7 +43,7 @@ struct NetworkSpec {
 };
 
 /// Pre-SimulationSpec name, kept as a conversion shim for one release.
-using NetworkConfig  // vmat-lint: allow(deprecated-config)
+using NetworkConfig  // vmat-lint: allow(deprecated-config) -- the shim itself
     [[deprecated("use SimulationSpec (spec/simulation_spec.h) or "
                  "NetworkSpec")]] = NetworkSpec;
 
@@ -189,12 +189,23 @@ class Network {
   [[nodiscard]] std::optional<KeyIndex> compute_usable_edge_key(NodeId a,
                                                                 NodeId b) const;
 
+  // Immutable deployment identity: pinned by snapshot_fingerprint(), not
+  // serialized (see snapshot_save docs).
+  // vmat-analyze: allow(snapshot-field-coverage) -- fingerprint-pinned
   Topology topology_;
+  // Key material is pinned by the captured key_generation_, never
+  // restored wholesale.
+  // vmat-analyze: allow(snapshot-field-coverage) -- generation-pinned
   Predistribution keys_;
   RevocationRegistry revocation_;
   Fabric fabric_;
+  // Construction-time config, part of the fingerprint, never mutated.
+  // vmat-analyze: allow(snapshot-field-coverage) -- fingerprint-pinned
   std::uint32_t redundancy_;
   std::uint64_t key_generation_{0};
+  // Trace sink handle: recording identity is owned by the coordinator,
+  // not by forked execution state.
+  // vmat-analyze: allow(snapshot-field-coverage) -- trace sink, not state
   Tracer tracer_;
 
   /// Per-edge cache of the usable_edge_key() ring merge. An entry is valid
@@ -212,7 +223,7 @@ class Network {
   };
   // Not snapshot-captured: snapshot_load() clears it and lets the
   // deterministic recompute repopulate (see snapshot_load docs).
-  // vmat-lint: allow(snapshot-unsafe-state)
+  // vmat-lint: allow(snapshot-unsafe-state) -- cleared on load, recompute
   mutable std::unordered_map<std::uint64_t, EdgeKeyEntry> edge_key_cache_;
 
   /// Flat fast path in front of edge_key_cache_: one 8-byte slot per
@@ -228,7 +239,9 @@ class Network {
   };
   mutable std::vector<EdgeKeySlot> edge_key_slots_;
 
-  /// Backs the scratch-less receive_valid() overload.
+  /// Backs the scratch-less receive_valid() overload. Transient per-call
+  /// scratch, fully overwritten before every use.
+  // vmat-analyze: allow(snapshot-field-coverage) -- transient scratch
   RxScratch own_scratch_;
 };
 

@@ -1,0 +1,223 @@
+// Self-test for tools/vmat_analyze.py: runs the libclang semantic analyzer
+// as a subprocess on the fixtures under tools/fixtures/analyze/ and asserts
+// exact rule hits (rule name + line) on the bad fixtures, silence on the
+// ok/suppressed fixtures, and the documented exit codes (0 clean,
+// 1 findings, 2 usage/infrastructure error, 3 libclang unavailable).
+//
+// The analyzer gates itself on libclang availability; every AST-dependent
+// test probes first and GTEST_SKIPs when the bindings are absent, so this
+// suite degrades exactly like the `vmat_analyze` ctest (SKIP_RETURN_CODE 3)
+// instead of failing on machines without python3-clang.
+//
+// VMAT_PYTHON, VMAT_SOURCE_DIR and VMAT_BUILD_DIR are injected by
+// tests/CMakeLists.txt.
+#include <gtest/gtest.h>
+
+#include <sys/wait.h>
+
+#include <cstdio>
+#include <string>
+
+namespace {
+
+struct AnalyzeResult {
+  int exit_code;
+  std::string output;
+
+  [[nodiscard]] bool mentions(const std::string& needle) const {
+    return output.find(needle) != std::string::npos;
+  }
+
+  /// Count of reported findings for `rule` (lines matching "[rule]").
+  [[nodiscard]] int count(const std::string& rule) const {
+    const std::string tag = "[" + rule + "]";
+    int n = 0;
+    for (std::size_t pos = output.find(tag); pos != std::string::npos;
+         pos = output.find(tag, pos + tag.size()))
+      ++n;
+    return n;
+  }
+};
+
+AnalyzeResult run_analyze(const std::string& args) {
+  const std::string cmd = std::string(VMAT_PYTHON) + " " + VMAT_SOURCE_DIR +
+                          "/tools/vmat_analyze.py --root " + VMAT_SOURCE_DIR +
+                          " " + args + " 2>&1";
+  FILE* pipe = popen(cmd.c_str(), "r");
+  EXPECT_NE(pipe, nullptr) << "failed to launch: " << cmd;
+  std::string output;
+  char buf[512];
+  while (pipe != nullptr && std::fgets(buf, sizeof buf, pipe) != nullptr)
+    output += buf;
+  const int status = pipe != nullptr ? pclose(pipe) : -1;
+  const int code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  return AnalyzeResult{code, output};
+}
+
+bool analyzer_available() {
+  static const bool available =
+      run_analyze("--probe").exit_code == 0;
+  return available;
+}
+
+#define REQUIRE_LIBCLANG()                                              \
+  do {                                                                  \
+    if (!analyzer_available())                                          \
+      GTEST_SKIP() << "libclang python bindings unavailable "           \
+                      "(vmat_analyze.py --probe exited nonzero)";       \
+  } while (false)
+
+// --- Contract tests that must hold with or without libclang ------------
+
+TEST(VmatAnalyze, ProbeExitsZeroOrUnavailable) {
+  const auto r = run_analyze("--probe");
+  EXPECT_TRUE(r.exit_code == 0 || r.exit_code == 3) << r.output;
+}
+
+TEST(VmatAnalyze, ListRulesIsSortedAndExitsZero) {
+  const auto r = run_analyze("--list-rules");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  const char* rules[] = {"expected-discarded", "pool-escape", "shard-race",
+                         "snapshot-field-coverage"};
+  std::size_t pos = 0;
+  for (const auto* rule : rules) {
+    const std::size_t at = r.output.find(rule, pos);
+    ASSERT_NE(at, std::string::npos)
+        << rule << " missing or out of order in:\n"
+        << r.output;
+    pos = at + 1;
+  }
+}
+
+TEST(VmatAnalyze, UnknownRuleIsUsageError) {
+  const auto r = run_analyze("--only no-such-rule tools/fixtures/analyze");
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_TRUE(r.mentions("unknown rule")) << r.output;
+}
+
+// --- Per-rule fixtures (one positive and one negative file per rule) ---
+
+TEST(VmatAnalyze, ShardRaceFixture) {
+  REQUIRE_LIBCLANG();
+  const auto r = run_analyze(
+      "--only shard-race tools/fixtures/analyze/shard_race_bad.cpp");
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_EQ(r.count("shard-race"), 5) << r.output;
+  EXPECT_TRUE(r.mentions("shard_race_bad.cpp:37:")) << r.output;  // +=
+  EXPECT_TRUE(r.mentions("shard_race_bad.cpp:38:")) << r.output;  // method
+  EXPECT_TRUE(r.mentions("shard_race_bad.cpp:40:")) << r.output;  // =
+  EXPECT_TRUE(r.mentions("shard_race_bad.cpp:41:")) << r.output;  // global
+  EXPECT_TRUE(r.mentions("shard_race_bad.cpp:54:")) << r.output;  // this
+}
+
+TEST(VmatAnalyze, ShardRaceNegatives) {
+  REQUIRE_LIBCLANG();
+  const auto r = run_analyze(
+      "--only shard-race tools/fixtures/analyze/shard_race_ok.cpp");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+}
+
+TEST(VmatAnalyze, SnapshotFieldCoverageFixture) {
+  REQUIRE_LIBCLANG();
+  const auto r = run_analyze(
+      "--only snapshot-field-coverage "
+      "tools/fixtures/analyze/snapshot_coverage_bad.cpp");
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_EQ(r.count("snapshot-field-coverage"), 1) << r.output;
+  EXPECT_TRUE(r.mentions("snapshot_coverage_bad.cpp:27:")) << r.output;
+  EXPECT_TRUE(r.mentions("dropped_")) << r.output;
+}
+
+TEST(VmatAnalyze, SnapshotFieldCoverageNegatives) {
+  REQUIRE_LIBCLANG();
+  const auto r = run_analyze(
+      "--only snapshot-field-coverage "
+      "tools/fixtures/analyze/snapshot_coverage_ok.cpp");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+}
+
+TEST(VmatAnalyze, ExpectedDiscardedFixture) {
+  REQUIRE_LIBCLANG();
+  const auto r = run_analyze(
+      "--only expected-discarded "
+      "tools/fixtures/analyze/expected_discarded_bad.cpp");
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_EQ(r.count("expected-discarded"), 3) << r.output;
+  EXPECT_TRUE(r.mentions("expected_discarded_bad.cpp:27:")) << r.output;
+  EXPECT_TRUE(r.mentions("expected_discarded_bad.cpp:31:")) << r.output;
+  EXPECT_TRUE(r.mentions("expected_discarded_bad.cpp:37:")) << r.output;
+}
+
+TEST(VmatAnalyze, ExpectedDiscardedNegatives) {
+  REQUIRE_LIBCLANG();
+  const auto r = run_analyze(
+      "--only expected-discarded "
+      "tools/fixtures/analyze/expected_discarded_ok.cpp");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+}
+
+TEST(VmatAnalyze, PoolEscapeFixture) {
+  REQUIRE_LIBCLANG();
+  const auto r = run_analyze(
+      "--only pool-escape tools/fixtures/analyze/pool_escape_bad.cpp");
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_EQ(r.count("pool-escape"), 4) << r.output;
+  EXPECT_TRUE(r.mentions("pool_escape_bad.cpp:28:")) << r.output;  // return
+  EXPECT_TRUE(r.mentions("pool_escape_bad.cpp:36:")) << r.output;  // member
+  EXPECT_TRUE(r.mentions("pool_escape_bad.cpp:45:")) << r.output;  // thread
+  EXPECT_TRUE(r.mentions("pool_escape_bad.cpp:52:")) << r.output;  // global
+}
+
+TEST(VmatAnalyze, PoolEscapeNegatives) {
+  REQUIRE_LIBCLANG();
+  const auto r = run_analyze(
+      "--only pool-escape tools/fixtures/analyze/pool_escape_ok.cpp");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+}
+
+// --- Suppressions, totals, JSON, and the shipping tree ------------------
+
+TEST(VmatAnalyze, SuppressionsSilenceEveryForm) {
+  // suppressed.cpp holds true positives of three rules, each silenced by a
+  // same-line, line-above, or file-level allow().
+  REQUIRE_LIBCLANG();
+  const auto r = run_analyze("tools/fixtures/analyze/suppressed.cpp");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_TRUE(r.output.empty()) << r.output;
+}
+
+TEST(VmatAnalyze, WholeFixtureTreeTotals) {
+  // One run over the whole analyze fixture tree: totals must be the sum of
+  // the per-file expectations above and nothing more.
+  REQUIRE_LIBCLANG();
+  const auto r = run_analyze("tools/fixtures/analyze");
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_EQ(r.count("shard-race"), 5) << r.output;
+  EXPECT_EQ(r.count("snapshot-field-coverage"), 1) << r.output;
+  EXPECT_EQ(r.count("expected-discarded"), 3) << r.output;
+  EXPECT_EQ(r.count("pool-escape"), 4) << r.output;
+  EXPECT_TRUE(r.mentions("13 finding(s)")) << r.output;
+}
+
+TEST(VmatAnalyze, JsonReportForCi) {
+  REQUIRE_LIBCLANG();
+  const auto r = run_analyze(
+      "--json - --only expected-discarded "
+      "tools/fixtures/analyze/expected_discarded_bad.cpp");
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_TRUE(r.mentions("\"schema\": \"vmat-analyze/1\"")) << r.output;
+  EXPECT_TRUE(r.mentions("\"rule\": \"expected-discarded\"")) << r.output;
+  EXPECT_TRUE(r.mentions("\"line\": 27")) << r.output;
+}
+
+TEST(VmatAnalyze, RealTreeIsClean) {
+  // The shipping sources must satisfy every invariant (findings fixed or
+  // carrying a justified allow) — the same sweep the vmat_analyze ctest
+  // and the CI analyze job run, driven by the build's compile database.
+  REQUIRE_LIBCLANG();
+  const auto r =
+      run_analyze(std::string("-p ") + VMAT_BUILD_DIR + " src");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+}
+
+}  // namespace

@@ -185,6 +185,26 @@ TEST(VmatLint, UnknownRuleIsUsageError) {
   EXPECT_TRUE(r.mentions("unknown rule")) << r.output;
 }
 
+TEST(VmatLint, ListRulesIsSortedAndExitsZero) {
+  // The catalog must print every rule in lexicographic order regardless of
+  // registration (dict insertion) order, so diffs of CI logs are stable.
+  const auto r = run_lint("--list-rules");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  const char* rules[] = {
+      "deprecated-config",     "determinism-rng",    "hot-path-alloc",
+      "key-memcpy",            "mac-verify-discarded",
+      "missing-nodiscard",     "snapshot-unsafe-state",
+      "stdout-in-src",         "threadpool-ref-capture"};
+  std::size_t pos = 0;
+  for (const auto* rule : rules) {
+    const std::size_t at = r.output.find(rule, pos);
+    ASSERT_NE(at, std::string::npos)
+        << rule << " missing or out of order in:\n"
+        << r.output;
+    pos = at + 1;
+  }
+}
+
 TEST(VmatLint, RealTreeIsClean) {
   // The shipping sources must satisfy every invariant — this is the same
   // invocation the vmat_lint ctest runs.

@@ -412,5 +412,71 @@ TEST(SnapshotParallel, ConcurrentForksAreIsolated) {
   }
 }
 
+// Runtime twin of the vmat-analyze `snapshot-field-coverage` rule (see
+// tools/fixtures/analyze/snapshot_coverage_bad.cpp for the static fixture):
+// a serializer that omits a mutable field silently resurrects post-capture
+// state on restore. The drifting pair shows the corruption the rule exists
+// to catch; the covered pair shows the fix restoring bit-exact state.
+struct DriftingTally {
+  std::uint64_t applied{0};
+  std::uint64_t dropped{0};
+
+  // The buggy pair: `dropped` never enters the buffer.
+  void save_drifting(SnapshotWriter& w) const { w.pod(applied); }
+  void load_drifting(SnapshotReader& r) { r.pod(applied); }
+
+  // The covered pair: every mutable field round-trips.
+  void save_covered(SnapshotWriter& w) const {
+    w.pod(applied);
+    w.pod(dropped);
+  }
+  void load_covered(SnapshotReader& r) {
+    r.pod(applied);
+    r.pod(dropped);
+  }
+};
+
+TEST(Snapshot, OmittedFieldDriftsAcrossRestore) {
+  DriftingTally tally;
+  tally.applied = 3;
+  tally.dropped = 7;
+
+  SnapshotWriter w;
+  tally.save_drifting(w);
+  const Bytes image = w.take();
+
+  // Post-capture mutation that a restore must undo.
+  tally.applied = 100;
+  tally.dropped = 100;
+
+  SnapshotReader r(image);
+  tally.load_drifting(r);
+  EXPECT_TRUE(r.exhausted());
+
+  EXPECT_EQ(tally.applied, 3u);    // serialized: restored to capture time
+  EXPECT_EQ(tally.dropped, 100u);  // omitted: post-capture value leaks through
+  EXPECT_NE(tally.dropped, 7u);    // the restored object != the captured one
+}
+
+TEST(Snapshot, CoveredFieldsRestoreBitExact) {
+  DriftingTally tally;
+  tally.applied = 3;
+  tally.dropped = 7;
+
+  SnapshotWriter w;
+  tally.save_covered(w);
+  const Bytes image = w.take();
+
+  tally.applied = 100;
+  tally.dropped = 100;
+
+  SnapshotReader r(image);
+  tally.load_covered(r);
+  EXPECT_TRUE(r.exhausted());
+
+  EXPECT_EQ(tally.applied, 3u);
+  EXPECT_EQ(tally.dropped, 7u);
+}
+
 }  // namespace
 }  // namespace vmat

@@ -1,0 +1,40 @@
+// vmat-analyze fixture: expected-discarded positives — a bare statement
+// discard, a (void)-cast discard, and an error path that manufactures a
+// fresh Error while dropping the one it was handed. Expected findings: 3.
+
+struct Error {
+  int code = 0;
+};
+
+template <typename T>
+class Expected {
+ public:
+  Expected(T v) : value_(v), ok_(true) {}
+  Expected(Error e) : err_(e), ok_(false) {}
+  explicit operator bool() const { return ok_; }
+  [[nodiscard]] const T& value() const { return value_; }
+  [[nodiscard]] const Error& error() const { return err_; }
+
+ private:
+  T value_{};
+  Error err_{};
+  bool ok_ = true;
+};
+
+Expected<int> parse_frame();
+
+void drop_by_statement() {
+  parse_frame();  // finding: Expected result discarded
+}
+
+void drop_by_cast() {
+  (void)parse_frame();  // finding: Expected result void-cast away
+}
+
+Expected<int> drop_error_code() {
+  Expected<int> r = parse_frame();
+  if (!r) {
+    return Expected<int>(Error{7});  // finding: r.error() dropped
+  }
+  return r;
+}

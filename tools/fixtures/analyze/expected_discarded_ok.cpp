@@ -1,0 +1,56 @@
+// vmat-analyze fixture: expected-discarded negatives — propagation,
+// consulting error() on the error path, discarding a non-Expected result,
+// and a success-only branch. Expected findings: 0.
+
+struct Error {
+  int code = 0;
+};
+
+template <typename T>
+class Expected {
+ public:
+  Expected(T v) : value_(v), ok_(true) {}
+  Expected(Error e) : err_(e), ok_(false) {}
+  explicit operator bool() const { return ok_; }
+  [[nodiscard]] const T& value() const { return value_; }
+  [[nodiscard]] const Error& error() const { return err_; }
+
+ private:
+  T value_{};
+  Error err_{};
+  bool ok_ = true;
+};
+
+Expected<int> parse_frame();
+int side_effect();
+void log_code(int code);
+void use_value(int v);
+
+Expected<int> propagate() {
+  Expected<int> r = parse_frame();
+  if (!r) {
+    return r;  // ok: the error object travels with the return
+  }
+  return r;
+}
+
+Expected<int> wrap_with_context() {
+  Expected<int> r = parse_frame();
+  if (!r) {
+    log_code(r.error().code);  // ok: the underlying code is consulted
+    return Expected<int>(Error{r.error().code});
+  }
+  return r;
+}
+
+void plain_discard_is_fine() {
+  (void)side_effect();  // ok: not an Expected/Error/Status result
+  side_effect();        // ok: plain int statement
+}
+
+void success_only_branch() {
+  Expected<int> r = parse_frame();
+  if (r) {
+    use_value(r.value());  // ok: no error branch to judge
+  }
+}

@@ -1,0 +1,53 @@
+// vmat-analyze fixture: pool-escape positives — ref-capturing callables
+// whose lifetime is not bounded by the frame that owns the captures: one
+// returned, one stored into a member queue, one handed to a thread, one
+// assigned to a global. Expected findings: 4.
+
+struct Task {
+  Task();
+  template <typename F>
+  Task(F f);
+  template <typename F>
+  Task& operator=(F f);
+};
+
+struct TaskQueue {
+  template <typename F>
+  void push_back(F f);
+};
+
+struct thread {
+  template <typename F>
+  thread(F f);
+};
+
+void consume(int v);
+
+Task make_task() {
+  int local = 0;
+  return Task([&local] { consume(local); });  // finding: returned callable
+}
+
+class Scheduler {
+ public:
+  void arm() {
+    int deadline = 5;
+    // finding: member queue outlives arm()'s frame
+    pending_.push_back([&deadline] { consume(deadline); });
+  }
+
+ private:
+  TaskQueue pending_;
+};
+
+void spawn_detached() {
+  int budget = 3;
+  thread worker([&budget] { consume(budget); });  // finding: async lifetime
+}
+
+Task g_task;
+
+void arm_global() {
+  int n = 1;
+  g_task = [&n] { consume(n); };  // finding: global store
+}

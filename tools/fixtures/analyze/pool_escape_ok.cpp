@@ -1,0 +1,52 @@
+// vmat-analyze fixture: pool-escape negatives — by-value captures may go
+// anywhere, ref captures are fine for the synchronous pool entry points
+// (they join before returning) and for locally drained queues. Expected
+// findings: 0.
+
+struct Task {
+  Task();
+  template <typename F>
+  Task(F f);
+  template <typename F>
+  Task& operator=(F f);
+};
+
+struct TaskQueue {
+  template <typename F>
+  void push_back(F f);
+};
+
+struct ThreadPool {
+  template <typename F>
+  void for_each(unsigned long n, F f);
+};
+
+void consume(int v);
+void drain(TaskQueue& q);
+
+Task make_owned_task() {
+  int local = 7;
+  return Task([local] { consume(local); });  // ok: capture by value
+}
+
+void synchronous_pool(ThreadPool& pool, int (&acc)[8]) {
+  int base = 2;
+  // ok: for_each joins before returning, captures cannot dangle
+  pool.for_each(8ul, [&acc, &base](unsigned long i) {
+    acc[i] = base;
+  });
+}
+
+void local_queue() {
+  int n = 4;
+  TaskQueue q;
+  q.push_back([&n] { consume(n); });  // ok: q is drained in this frame
+  drain(q);
+}
+
+Task g_owned;
+
+void arm_global_by_value() {
+  int n = 9;
+  g_owned = [n] { consume(n); };  // ok: the callable owns its state
+}

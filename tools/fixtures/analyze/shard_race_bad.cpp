@@ -1,0 +1,60 @@
+// vmat-analyze fixture: shard-race positives. Every write below targets
+// state shared across shard workers without going through an indexed
+// per-shard/per-node slot. Expected findings: 5 (see tests/test_analyze.cpp).
+//
+// Self-contained on purpose: fixtures parse without the project headers so
+// the self-test runs even when compile_commands.json is absent.
+
+namespace fake {
+
+struct ThreadPool {};
+
+template <typename F>
+void for_each_shard(unsigned long n, unsigned long shards, ThreadPool& pool,
+                    F fn) {
+  (void)shards;
+  (void)pool;
+  fn(0ul, 0ul, n);
+}
+
+}  // namespace fake
+
+struct Log {
+  void add(int v) { n_ += v; }
+  int n_ = 0;
+};
+
+long g_collisions = 0;
+
+void unsynchronised_totals(fake::ThreadPool& pool, Log& log) {
+  unsigned long total = 0;
+  unsigned long last = 0;
+  fake::for_each_shard(
+      64ul, 4ul, pool,
+      [&total, &last, &log](unsigned long shard, unsigned long begin,
+                            unsigned long end) {
+        for (unsigned long id = begin; id < end; ++id) {
+          total += id;   // finding: by-ref capture, not shard-indexed
+          log.add(1);    // finding: mutating method on by-ref capture
+        }
+        last = shard;    // finding: by-ref capture, not shard-indexed
+        ++g_collisions;  // finding: global written from every shard
+      });
+}
+
+class Collector {
+ public:
+  void run(fake::ThreadPool& pool) {
+    fake::for_each_shard(
+        64ul, 4ul, pool,
+        [this](unsigned long shard, unsigned long begin, unsigned long end) {
+          (void)shard;
+          (void)begin;
+          (void)end;
+          hits_ = hits_ + 1;  // finding: member write via captured this
+        });
+  }
+
+ private:
+  unsigned long hits_ = 0;
+};

@@ -1,0 +1,49 @@
+// vmat-analyze fixture: shard-race negatives. Every construct here is the
+// sanctioned shard discipline — indexed per-node/per-shard slots, shard-
+// local accumulation, by-value captures, and the documented shard-safe
+// accessors. Expected findings: 0.
+
+namespace fake {
+
+struct ThreadPool {};
+
+template <typename F>
+void for_each_shard(unsigned long n, unsigned long shards, ThreadPool& pool,
+                    F fn) {
+  (void)shards;
+  (void)pool;
+  fn(0ul, 0ul, n);
+}
+
+}  // namespace fake
+
+struct Trace {
+  Trace shard(unsigned long i);  // per-shard handle: documented shard-safe
+  void mark(unsigned long v);
+};
+
+struct Slots {
+  int& at(unsigned long i);
+  int cells[8];
+};
+
+void disciplined_shards(fake::ThreadPool& pool, unsigned long (&counts)[128],
+                        Slots& slots, Trace& tracer) {
+  unsigned long grand_total = 0;
+  fake::for_each_shard(
+      128ul, 4ul, pool,
+      [&counts, &slots, &tracer, grand_total](
+          unsigned long shard, unsigned long begin,
+          unsigned long end) mutable {
+        Trace local_trace = tracer.shard(shard);  // shard-safe accessor
+        unsigned long local_total = 0;            // shard-local state
+        auto bump = [&](unsigned long v) { local_total += v; };
+        for (unsigned long id = begin; id < end; ++id) {
+          counts[id] += 1;    // indexed by the shard's contiguous id range
+          slots.at(id) = 1;   // indexed through at()
+          bump(id);
+          local_trace.mark(id);  // local object, free to mutate
+        }
+        grand_total += local_total;  // by-value capture: mutates the copy
+      });
+}

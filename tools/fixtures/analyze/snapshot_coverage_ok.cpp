@@ -1,0 +1,48 @@
+// vmat-analyze fixture: snapshot-field-coverage negatives. CoveredCounter
+// touches every member across the pair (touching a field in *either* body
+// counts); HeaderOnly declares the pair but defines it elsewhere, so this
+// TU cannot judge coverage and the rule must stay silent; SaveOnly has no
+// matching pair at all. Expected findings: 0.
+
+struct Writer {
+  void pod_u64(unsigned long v);
+};
+
+struct Reader {
+  unsigned long pod_u64();
+};
+
+class CoveredCounter {
+ public:
+  void snapshot_save(Writer& w) const {
+    w.pod_u64(sent_);
+    w.pod_u64(dropped_);
+  }
+
+  void snapshot_load(Reader& r) {
+    sent_ = r.pod_u64();
+    dropped_ = r.pod_u64();
+  }
+
+ private:
+  unsigned long sent_ = 0;
+  unsigned long dropped_ = 0;
+};
+
+class HeaderOnly {
+ public:
+  void snapshot_save(Writer& w) const;  // defined in another TU
+  void snapshot_load(Reader& r);
+
+ private:
+  unsigned long opaque_ = 0;
+};
+
+class SaveOnly {
+ public:
+  void snapshot_save(Writer& w) const { w.pod_u64(epoch_); }
+
+ private:
+  unsigned long epoch_ = 0;
+  unsigned long scratch_ = 0;  // no pair, no coverage obligation
+};

@@ -1,0 +1,75 @@
+// vmat-analyze fixture: every suppression form the analyzer honours —
+// same-line allow(), line-above allow(), and whole-file allow-file().
+// Each suppressed site is a true positive elsewhere in this tree, so a
+// broken suppression path shows up as a nonzero count here.
+// Expected findings: 0.
+//
+// vmat-analyze: allow-file(expected-discarded) -- fixture: exercises the
+// whole-file form; the discard below is intentional.
+
+namespace fake {
+
+struct ThreadPool {};
+
+template <typename F>
+void for_each_shard(unsigned long n, unsigned long shards, ThreadPool& pool,
+                    F fn) {
+  (void)shards;
+  (void)pool;
+  fn(0ul, 0ul, n);
+}
+
+}  // namespace fake
+
+struct Error {
+  int code = 0;
+};
+
+template <typename T>
+class Expected {
+ public:
+  Expected(T v) : value_(v), ok_(true) {}
+  Expected(Error e) : err_(e), ok_(false) {}
+  explicit operator bool() const { return ok_; }
+
+ private:
+  T value_{};
+  Error err_{};
+  bool ok_ = true;
+};
+
+Expected<int> parse_frame();
+
+struct Writer {
+  void pod_u64(unsigned long v);
+};
+
+struct Reader {
+  unsigned long pod_u64();
+};
+
+void covered_by_allow_file() {
+  parse_frame();  // silenced by the allow-file() in the header comment
+}
+
+void same_line_allow(fake::ThreadPool& pool) {
+  unsigned long total = 0;
+  fake::for_each_shard(
+      8ul, 2ul, pool,
+      [&total](unsigned long shard, unsigned long begin, unsigned long end) {
+        (void)shard;
+        (void)begin;
+        total += end;  // vmat-analyze: allow(shard-race) -- fixture: same-line form
+      });
+}
+
+class LineAboveAllow {
+ public:
+  void snapshot_save(Writer& w) const { w.pod_u64(kept_); }
+  void snapshot_load(Reader& r) { kept_ = r.pod_u64(); }
+
+ private:
+  unsigned long kept_ = 0;
+  // vmat-analyze: allow(snapshot-field-coverage) -- fixture: line-above form
+  unsigned long scratch_ = 0;
+};

@@ -593,7 +593,10 @@ RULES = {
 
 def lint_file(src: SourceFile, only: set[str] | None) -> list[Violation]:
     out: list[Violation] = []
-    for rule_name, fn in RULES.items():
+    # Sorted so reporting order is (file, line, rule)-deterministic by
+    # construction, independent of dict insertion order; main()'s final
+    # sort then has nothing left to disambiguate.
+    for rule_name, fn in sorted(RULES.items()):
         if only and rule_name not in only:
             continue
 
@@ -647,7 +650,7 @@ def main(argv: list[str]) -> int:
     args = ap.parse_args(argv)
 
     if args.list_rules:
-        for name in RULES:
+        for name in sorted(RULES):
             print(name)
         return 0
 
