@@ -89,6 +89,16 @@ TEST(VmatAnalyze, ListRulesIsSortedAndExitsZero) {
   }
 }
 
+TEST(VmatAnalyze, SelfCheckPassesWithoutLibclang) {
+  // Binding-free checks of the shared walking / compile-db helpers. The
+  // AST rules only execute where libclang is present, so without this
+  // gate a pure-Python regression (e.g. project_walk losing its yield)
+  // would be masked by GTEST_SKIP on machines without python3-clang.
+  const auto r = run_analyze("--self-check");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_TRUE(r.mentions("self-check OK")) << r.output;
+}
+
 TEST(VmatAnalyze, UnknownRuleIsUsageError) {
   const auto r = run_analyze("--only no-such-rule tools/fixtures/analyze");
   EXPECT_EQ(r.exit_code, 2);

@@ -254,8 +254,10 @@ class Ast:
     """Thin facade over clang.cindex kinds + shared cursor utilities."""
 
     def __init__(self, cindex, root: Path):
+        # cindex is None only under --self-check, which exercises the
+        # kind-independent helpers (project_walk, in_project) with stubs.
         self.ci = cindex
-        self.K = cindex.CursorKind
+        self.K = getattr(cindex, "CursorKind", None)
         self.root = root.resolve()
         self._root_str = str(self.root) + os.sep
 
@@ -267,10 +269,14 @@ class Ast:
 
     def project_walk(self, tu_cursor):
         """Preorder walk skipping subtrees rooted outside the repo (system
-        headers), which keeps the sweep fast and findings first-party."""
+        headers), which keeps the sweep fast and findings first-party.
+        Yields every in-project cursor; the TU root itself is not yielded
+        (it has no file and no rule matches it)."""
         stack = [tu_cursor]
         while stack:
             cur = stack.pop()
+            if cur is not tu_cursor:
+                yield cur
             for child in reversed(list(cur.get_children())):
                 if child.location.file is None or self.in_project(child):
                     stack.append(child)
@@ -903,6 +909,22 @@ _DROP_ARGS = {"-c", "-MMD", "-MD", "-MP", "-fcolor-diagnostics",
               "-fdiagnostics-color=always"}
 
 
+def _is_source_operand(arg: str, directory: str, path: Path) -> bool:
+    """True iff `arg` is the TU's own source-file operand. Compares
+    resolved paths (relative args resolve against the command's working
+    directory) so an unrelated argument that merely shares the basename
+    — e.g. a -include operand from another directory — is kept."""
+    if arg.startswith("-"):
+        return False
+    cand = Path(arg)
+    if not cand.is_absolute():
+        cand = Path(directory) / cand
+    try:
+        return cand.resolve() == path
+    except OSError:
+        return False
+
+
 def args_for(cindex, compdb, path: Path, fallback: list[str]) -> list[str]:
     if compdb is not None:
         try:
@@ -912,6 +934,7 @@ def args_for(cindex, compdb, path: Path, fallback: list[str]) -> list[str]:
         if commands:
             cmd = commands[0]
             raw = list(cmd.arguments)
+            directory = str(cmd.directory)
             out: list[str] = []
             skip_next = False
             for arg in raw[1:]:  # raw[0] is the compiler
@@ -921,8 +944,8 @@ def args_for(cindex, compdb, path: Path, fallback: list[str]) -> list[str]:
                 if arg in ("-o", "-MF", "-MT", "-MQ", "--output"):
                     skip_next = True
                     continue
-                if arg in _DROP_ARGS or arg == str(path) \
-                        or arg.endswith(path.name):
+                if arg in _DROP_ARGS \
+                        or _is_source_operand(arg, directory, path):
                     continue
                 out.append(arg)
             return out
@@ -948,6 +971,67 @@ def collect_tus(root: Path, specs: list[str]) -> list[Path]:
                 seen.add(q)
                 files.append(q)
     return files
+
+
+# --------------------------------------------------------------------------
+# Binding-free self-check. The AST rules only execute where libclang is
+# importable, so a pure-Python regression in the shared walking / compdb
+# helpers would otherwise be masked by SKIP on machines without bindings.
+# --self-check exercises them against stub cursors and a stub compilation
+# database; the ctest suite runs it unconditionally.
+# --------------------------------------------------------------------------
+
+def _self_check(root: Path) -> int:
+    import inspect
+    import types
+
+    failures: list[str] = []
+
+    def expect(cond: bool, msg: str) -> None:
+        if not cond:
+            failures.append(msg)
+
+    def cursor(name: str, file: str | None, *children):
+        loc = types.SimpleNamespace(
+            file=None if file is None else types.SimpleNamespace(name=file))
+        return types.SimpleNamespace(
+            spelling=name, location=loc,
+            get_children=lambda kids=tuple(children): list(kids))
+
+    ast = Ast(None, root)
+    expect(inspect.isgeneratorfunction(Ast.project_walk),
+           "project_walk must be a generator (every rule iterates it)")
+    inside = str(root / "a.cpp")
+    tu = cursor(
+        "tu", None,
+        cursor("a", inside,
+               cursor("a1", inside), cursor("a2", inside)),
+        cursor("sys", "/usr/include/x.h",
+               cursor("sys1", "/usr/include/x.h")),
+        cursor("b", str(root / "sub" / "b.cpp")))
+    walked = [c.spelling for c in ast.project_walk(tu)]
+    expect(walked == ["a", "a1", "a2", "b"],
+           f"project_walk preorder/pruning wrong: {walked}")
+
+    # args_for drops exactly the TU's own source operand (absolute or
+    # relative to the command's directory); a same-basename file elsewhere
+    # (-include operand below) and ordinary flags survive.
+    src = (root / "sub" / "foo.cpp").resolve()
+    command = types.SimpleNamespace(
+        filename=str(src), directory=str(root / "build"),
+        arguments=["c++", "-c", "-Ipublic", "-include",
+                   "/elsewhere/foo.cpp", "-o", "foo.o", "../sub/foo.cpp"])
+    compdb = types.SimpleNamespace(getCompileCommands=lambda _p: [command])
+    got = args_for(None, compdb, src, ["fallback"])
+    expect(got == ["-Ipublic", "-include", "/elsewhere/foo.cpp"],
+           f"args_for filtered wrong: {got}")
+
+    for msg in failures:
+        print(f"vmat-analyze: self-check: {msg}", file=sys.stderr)
+    if failures:
+        return EXIT_INFRA
+    print("vmat-analyze: self-check OK")
+    return EXIT_CLEAN
 
 
 # --------------------------------------------------------------------------
@@ -977,6 +1061,9 @@ def main(argv: list[str]) -> int:
                     help="explicit libclang shared-object path")
     ap.add_argument("--probe", action="store_true",
                     help="exit 0 if libclang is usable, 3 if not")
+    ap.add_argument("--self-check", action="store_true",
+                    help="run binding-free unit checks of the shared "
+                         "helpers (no libclang needed) and exit")
     ap.add_argument("--skip-unavailable", action="store_true",
                     help="exit 0 instead of 3 when libclang is missing "
                          "(for build targets that must not fail on "
@@ -990,6 +1077,9 @@ def main(argv: list[str]) -> int:
         for name in sorted(RULES):
             print(name)
         return EXIT_CLEAN
+
+    if args.self_check:
+        return _self_check(Path(args.root).resolve())
 
     only = set()
     for spec in args.only:
@@ -1056,6 +1146,7 @@ def main(argv: list[str]) -> int:
     fallback = ["-x", "c++", f"-std={args.std}", "-I", str(root / "src")]
 
     parse_errors: list[str] = []
+    rule_errors: list[str] = []
     for path in tus:
         tu_args = args_for(cindex, compdb, path, fallback)
         try:
@@ -1075,7 +1166,14 @@ def main(argv: list[str]) -> int:
         for name, rule in sorted(RULES.items()):
             if only and name not in only:
                 continue
-            rule(ast, tu.cursor, reporter)
+            # A rule that throws is an analyzer bug, not a finding: record
+            # it and exit EXIT_INFRA so exit-code consumers never mistake a
+            # crash for "findings reported" (mirrors parse-error handling).
+            try:
+                rule(ast, tu.cursor, reporter)
+            except Exception as exc:
+                rule_errors.append(f"{path}: rule {name} crashed: "
+                                   f"{type(exc).__name__}: {exc}")
 
     reporter.findings.sort(key=lambda f: (f.path, f.line, f.column, f.rule))
 
@@ -1089,6 +1187,7 @@ def main(argv: list[str]) -> int:
             "paths": specs,
             "translation_units": len(tus),
             "parse_errors": parse_errors,
+            "rule_errors": rule_errors,
             "suppressed": reporter.suppressed,
             "counts": counts,
             "findings": [{"file": f.path, "line": f.line,
@@ -1111,6 +1210,12 @@ def main(argv: list[str]) -> int:
         print(f"vmat-analyze: {len(parse_errors)} translation unit(s) "
               "failed to parse — findings would be unreliable",
               file=sys.stderr)
+        return EXIT_INFRA
+    if rule_errors:
+        for err in rule_errors:
+            print(f"vmat-analyze: {err}", file=sys.stderr)
+        print(f"vmat-analyze: {len(rule_errors)} internal rule error(s) "
+              "— findings would be incomplete", file=sys.stderr)
         return EXIT_INFRA
     if reporter.findings:
         print(f"vmat-analyze: {len(reporter.findings)} finding(s) "
