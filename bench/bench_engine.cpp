@@ -128,7 +128,7 @@ int main() {
         seq_estimates = std::move(estimates);
       },
       &serial);
-  const double seq_best = vmat::percentile(seq_ms, 0);
+  const double seq_best = vmat::percentile_nearest_rank(seq_ms, 0);
   seq_group.metric("wall_ms_min", seq_best);
   seq_group.metric("fabric_kb", seq_bytes / vmat::kBytesPerKb);
 
@@ -159,7 +159,7 @@ int main() {
         batch_estimates = std::move(estimates);
       },
       &serial);
-  const double batch_best = vmat::percentile(batch_ms, 0);
+  const double batch_best = vmat::percentile_nearest_rank(batch_ms, 0);
   batch_group.metric("wall_ms_min", batch_best);
   batch_group.metric("fabric_kb", batch_bytes / vmat::kBytesPerKb);
   batch_group.metric("epochs", static_cast<double>(epochs_formed));

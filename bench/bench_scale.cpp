@@ -186,7 +186,7 @@ int main() {
           depth_bound = coordinator.effective_depth_bound();
         },
         &serial);
-    const double clean_ms = vmat::percentile(clean_exec, 0);
+    const double clean_ms = vmat::percentile_nearest_rank(clean_exec, 0);
     clean_group.metric("exec_ms_min", clean_ms);
     clean_group.metric("fabric_kb", clean_bytes / vmat::kBytesPerKb);
     vmat::bench::add_phase_metrics(clean_group, clean_metrics);
@@ -221,7 +221,7 @@ int main() {
             attacked_metrics = out.metrics;
           },
           &serial);
-      const double attacked_ms = vmat::percentile(attacked_exec, 0);
+      const double attacked_ms = vmat::percentile_nearest_rank(attacked_exec, 0);
       attacked_group.metric("exec_ms_min", attacked_ms);
       attacked_group.metric("pinpoint_tests", tests);
       vmat::bench::add_phase_metrics(attacked_group, attacked_metrics);

@@ -1,0 +1,362 @@
+// SERVE — vmatd load bench: a multi-tenant daemon under an open-loop
+// request stream.
+//
+// Two groups land in BENCH_serve.json:
+//
+//  * "burst ..." — deterministic perf gate. A fresh Daemon per repeat is
+//    driven through its direct request API (no sockets, no timing): a
+//    fixed round-robin burst of COUNT/SUM/AVERAGE/MIN/MAX/quantile
+//    submissions across every tenant, then tick() to completion. The
+//    request sequence is fixed, so the packing — and therefore the fabric
+//    byte count — is bit-stable: the group emits exec_ms_min (wall gate)
+//    and fabric_kb (drift gate) for tools/perf_compare.py. A determinism
+//    cross-check replays the burst on ThreadPool(1) vs ThreadPool(hw)
+//    daemons and requires bit-identical estimates.
+//
+//  * "open-loop ..." — the latency story. The daemon serves the frame
+//    protocol on one end of a socketpair from its own thread; the client
+//    submits at target QPS on an open-loop schedule (send times fixed in
+//    advance — a slow server does NOT slow the arrival process) and
+//    measures each query's latency from its INTENDED arrival time to the
+//    poll that observed its result, so queue buildup is charged to the
+//    server (no coordinated omission). Reports sustained throughput and
+//    interpolated p50/p95/p99 latency. Timing-dependent packing makes
+//    fabric bytes nondeterministic here, so this group carries no
+//    fabric_kb and no wall gate — the burst group owns the CI gate.
+//
+// One tenant hosts a ChokeVeto adversary, so the stream exercises the
+// disruption path: revocation, epoch invalidation, snapshot re-arm, retry.
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "serve/client.h"
+#include "serve/daemon.h"
+#include "trial_runner.h"
+#include "util/stats.h"
+
+namespace {
+
+using vmat::serve::Daemon;
+using vmat::serve::ServeOptions;
+using vmat::serve::SubmitRequest;
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
+}
+
+ServeOptions bench_options(std::uint32_t tenants,
+                           std::uint32_t adversary_tenants) {
+  ServeOptions o;
+  o.tenants = tenants;
+  o.nodes = 36;
+  o.topology = vmat::TopologyKind::kGrid;
+  o.instances = 16;
+  o.adversary_tenants = adversary_tenants;
+  o.f = 2;
+  o.seed = 7;
+  return o;
+}
+
+/// Request i of the fixed mixed stream: kinds round-robin, tenants stride
+/// round-robin, quantile q sweeps.
+SubmitRequest make_request(std::size_t i, std::uint32_t tenants) {
+  SubmitRequest r;
+  r.tenant = static_cast<std::uint32_t>(i) % tenants;
+  switch (i % 6) {
+    case 0:
+      r.kind = vmat::EngineQueryKind::kCount;
+      r.threshold = 1300;
+      break;
+    case 1: r.kind = vmat::EngineQueryKind::kSum; break;
+    case 2: r.kind = vmat::EngineQueryKind::kAverage; break;
+    case 3: r.kind = vmat::EngineQueryKind::kMin; break;
+    case 4: r.kind = vmat::EngineQueryKind::kMax; break;
+    default:
+      r.kind = vmat::EngineQueryKind::kQuantile;
+      r.q = 0.25 + 0.25 * static_cast<double>(i % 3);
+      r.domain_max = 2048;
+      break;
+  }
+  return r;
+}
+
+/// Drive one fixed burst through the direct request API; returns the
+/// answered estimates (in completion order) for the determinism check and
+/// the total fabric bytes via `fabric_bytes`.
+std::vector<double> run_burst(Daemon& daemon, std::size_t requests,
+                              std::uint64_t* fabric_bytes) {
+  const std::uint32_t tenants = daemon.options().tenants;
+  for (std::size_t i = 0; i < requests; ++i) {
+    vmat::serve::Request req;
+    req.op = vmat::serve::Op::kSubmit;
+    req.submit = make_request(i, tenants);
+    const vmat::Bytes resp = daemon.handle_request(req);
+    const auto decoded = vmat::serve::decode_response(resp);
+    if (!decoded || decoded.value().error.has_value()) {
+      std::fprintf(stderr, "bench_serve: burst submit %zu rejected\n", i);
+      std::exit(1);
+    }
+  }
+  while (daemon.open_total() > 0) daemon.tick();
+
+  vmat::serve::Request poll;
+  poll.op = vmat::serve::Op::kPoll;
+  poll.poll_max = 0;
+  const auto decoded = vmat::serve::decode_response(daemon.handle_request(poll));
+  if (!decoded) {
+    std::fprintf(stderr, "bench_serve: burst poll failed\n");
+    std::exit(1);
+  }
+  std::vector<double> estimates;
+  estimates.reserve(requests);
+  for (const auto& rec : decoded.value().results) {
+    if (!rec.answered) {
+      std::fprintf(stderr, "bench_serve: burst query %llu failed (%s)\n",
+                   static_cast<unsigned long long>(rec.request_id),
+                   vmat::to_string(rec.error));
+      std::exit(1);
+    }
+    estimates.push_back(rec.estimate);
+  }
+  if (estimates.size() != requests) {
+    std::fprintf(stderr, "bench_serve: burst lost results (%zu of %zu)\n",
+                 estimates.size(), requests);
+    std::exit(1);
+  }
+  if (fabric_bytes != nullptr) {
+    vmat::serve::Request stats;
+    stats.op = vmat::serve::Op::kStats;
+    const auto s = vmat::serve::decode_response(daemon.handle_request(stats));
+    std::uint64_t total = 0;
+    for (const auto& t : s.value().stats.tenants) total += t.fabric_bytes;
+    *fabric_bytes = total;
+  }
+  return estimates;
+}
+
+/// The engine determinism contract, extended through the daemon: the same
+/// request sequence on a serial pool and a wide pool must produce
+/// bit-identical estimates.
+void check_determinism(std::size_t requests, std::uint32_t tenants,
+                       std::uint32_t adversary_tenants) {
+  vmat::ThreadPool serial(1);
+  vmat::ThreadPool wide(0);  // default_thread_count()
+  Daemon a(bench_options(tenants, adversary_tenants), &serial);
+  Daemon b(bench_options(tenants, adversary_tenants), &wide);
+  const std::vector<double> ea = run_burst(a, requests, nullptr);
+  const std::vector<double> eb = run_burst(b, requests, nullptr);
+  for (std::size_t i = 0; i < ea.size(); ++i) {
+    if (ea[i] != eb[i]) {  // bit-identical, not approximately equal
+      std::fprintf(stderr,
+                   "bench_serve: DETERMINISM VIOLATION at query %zu: "
+                   "%.17g (1 thread) vs %.17g (wide pool)\n",
+                   i, ea[i], eb[i]);
+      std::exit(1);
+    }
+  }
+  std::printf("determinism: %zu estimates bit-identical across pools\n",
+              ea.size());
+}
+
+struct OpenLoopOutcome {
+  std::vector<double> latency_ms;  // indexed by request
+  double sustained_qps{0.0};
+  std::uint64_t epochs_rearmed{0};
+  std::uint64_t disrupted_executions{0};
+};
+
+/// Open-loop run: submissions fire on a fixed schedule (i / qps); the gaps
+/// between scheduled sends are spent polling for completions.
+OpenLoopOutcome run_open_loop(std::size_t requests, double target_qps,
+                              std::uint32_t tenants,
+                              std::uint32_t adversary_tenants) {
+  int fds[2];
+  if (socketpair(AF_UNIX, SOCK_STREAM, 0, fds) != 0) {
+    std::perror("bench_serve: socketpair");
+    std::exit(1);
+  }
+  Daemon daemon(bench_options(tenants, adversary_tenants));
+  std::thread server([&daemon, &fds] {
+    if (daemon.run(fds[1], fds[1]) != 0)
+      std::fprintf(stderr, "bench_serve: daemon session error\n");
+  });
+  vmat::serve::ServeClient client(fds[0], fds[0]);
+
+  OpenLoopOutcome out;
+  out.latency_ms.assign(requests, 0.0);
+  std::unordered_map<std::uint64_t, std::size_t> index_of;  // wire id -> i
+  index_of.reserve(requests);
+  const double interval_ms = 1000.0 / target_qps;
+  std::size_t completed = 0;
+  double last_completion_ms = 0.0;
+
+  const Clock::time_point t0 = Clock::now();
+  auto record = [&](const std::vector<vmat::serve::ResultRecord>& results) {
+    const double now_ms = ms_since(t0);
+    for (const auto& rec : results) {
+      const auto it = index_of.find(rec.request_id);
+      if (it == index_of.end()) continue;
+      // Open-loop latency: observed completion minus INTENDED arrival, so
+      // server-side queue buildup counts against the server.
+      out.latency_ms[it->second] =
+          now_ms - static_cast<double>(it->second) * interval_ms;
+      completed += 1;
+      last_completion_ms = now_ms;
+    }
+  };
+
+  for (std::size_t i = 0; i < requests; ++i) {
+    const double intended_ms = static_cast<double>(i) * interval_ms;
+    while (ms_since(t0) < intended_ms) {
+      const auto ready = client.poll(8);
+      if (!ready) {
+        std::fprintf(stderr, "bench_serve: poll failed mid-run\n");
+        std::exit(1);
+      }
+      record(*ready);
+      if (ready.value().empty())
+        std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+    const auto id = client.submit(make_request(i, tenants));
+    if (!id) {
+      std::fprintf(stderr, "bench_serve: submit %zu failed: %s\n", i,
+                   id.error().to_string().c_str());
+      std::exit(1);
+    }
+    index_of.emplace(*id, i);
+  }
+  while (completed < requests) {
+    const auto ready = client.poll(0);
+    if (!ready) {
+      std::fprintf(stderr, "bench_serve: poll failed in drain\n");
+      std::exit(1);
+    }
+    record(*ready);
+  }
+  const auto tail = client.stats();
+  if (tail) {
+    for (const auto& t : tail.value().tenants) {
+      out.epochs_rearmed += t.epochs_rearmed;
+      out.disrupted_executions += t.disrupted_executions;
+    }
+  }
+  const auto rest = client.shutdown();
+  if (rest) record(*rest);
+  server.join();
+  close(fds[0]);
+  close(fds[1]);
+
+  out.sustained_qps = last_completion_ms > 0.0
+                          ? static_cast<double>(requests) * 1000.0 /
+                                last_completion_ms
+                          : 0.0;
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  const bool smoke = vmat::bench::smoke();
+  const std::uint32_t tenants = 8;
+  const std::uint32_t adversary_tenants = 1;
+  const std::size_t burst_requests = smoke ? 48 : 96;
+  const std::size_t open_requests = smoke ? 64 : 256;
+  const double target_qps = smoke ? 48.0 : 64.0;
+  const std::size_t repeats = vmat::bench::trials(3);
+
+  vmat::bench::BenchReport report("serve");
+  report.config("tenants", static_cast<std::int64_t>(tenants));
+  report.config("adversary_tenants",
+                static_cast<std::int64_t>(adversary_tenants));
+  report.config("nodes", static_cast<std::int64_t>(36));
+  report.config("instances", static_cast<std::int64_t>(16));
+  report.config("burst_requests", static_cast<std::int64_t>(burst_requests));
+  report.config("open_requests", static_cast<std::int64_t>(open_requests));
+  report.config("target_qps", target_qps);
+
+  check_determinism(smoke ? 24 : 48, tenants, adversary_tenants);
+
+  // --- deterministic burst: the CI perf gate ---
+  auto& burst = report.group("burst t=" + std::to_string(tenants) +
+                             " q=" + std::to_string(burst_requests));
+  burst.trial_ms.reserve(repeats);
+  std::uint64_t fabric_bytes = 0;
+  for (std::size_t r = 0; r < repeats; ++r) {
+    Daemon daemon(bench_options(tenants, adversary_tenants));
+    const Clock::time_point start = Clock::now();
+    std::uint64_t trial_fabric = 0;
+    (void)run_burst(daemon, burst_requests, &trial_fabric);
+    burst.trial_ms.push_back(ms_since(start));
+    if (r == 0) {
+      fabric_bytes = trial_fabric;
+    } else if (trial_fabric != fabric_bytes) {
+      std::fprintf(stderr,
+                   "bench_serve: fabric bytes drifted across repeats "
+                   "(%llu vs %llu) — burst is not deterministic\n",
+                   static_cast<unsigned long long>(trial_fabric),
+                   static_cast<unsigned long long>(fabric_bytes));
+      return 1;
+    }
+  }
+  const double burst_min =
+      vmat::percentile_nearest_rank(burst.trial_ms, 0);
+  burst.metric("exec_ms_min", burst_min);
+  burst.metric("fabric_kb", static_cast<double>(fabric_bytes) / 1024.0);
+  burst.metric("burst_qps",
+               static_cast<double>(burst_requests) * 1000.0 / burst_min);
+  std::printf("burst: %zu queries in %.1f ms (%.0f q/s), %.1f KB fabric\n",
+              burst_requests, burst_min,
+              static_cast<double>(burst_requests) * 1000.0 / burst_min,
+              static_cast<double>(fabric_bytes) / 1024.0);
+
+  // --- open-loop latency under the target arrival rate ---
+  const OpenLoopOutcome open =
+      run_open_loop(open_requests, target_qps, tenants, adversary_tenants);
+  auto& loop = report.group("open-loop qps=" +
+                            std::to_string(static_cast<int>(target_qps)));
+  const double p50 = vmat::percentile_interpolated(open.latency_ms, 50);
+  const double p95 = vmat::percentile_interpolated(open.latency_ms, 95);
+  const double p99 = vmat::percentile_interpolated(open.latency_ms, 99);
+  loop.metric("requests", static_cast<double>(open_requests));
+  loop.metric("target_qps", target_qps);
+  loop.metric("sustained_qps", open.sustained_qps);
+  loop.metric("p50_latency_ms", p50);
+  loop.metric("p95_latency_ms", p95);
+  loop.metric("p99_latency_ms", p99);
+  loop.metric("max_latency_ms",
+              vmat::percentile_nearest_rank(open.latency_ms, 100));
+  loop.metric("epochs_rearmed", static_cast<double>(open.epochs_rearmed));
+  loop.metric("disrupted_executions",
+              static_cast<double>(open.disrupted_executions));
+  std::printf(
+      "open-loop: %zu requests at %.0f q/s target -> %.0f q/s sustained; "
+      "latency p50 %.1f ms, p95 %.1f ms, p99 %.1f ms "
+      "(%llu rearm(s), %llu disrupted execution(s))\n",
+      open_requests, target_qps, open.sustained_qps, p50, p95, p99,
+      static_cast<unsigned long long>(open.epochs_rearmed),
+      static_cast<unsigned long long>(open.disrupted_executions));
+
+  if (open.sustained_qps < 0.8 * target_qps) {
+    std::fprintf(stderr,
+                 "bench_serve: sustained %.0f q/s fell below 80%% of the "
+                 "%.0f q/s target\n",
+                 open.sustained_qps, target_qps);
+    return 1;
+  }
+
+  report.result("burst_exec_ms_min", burst_min);
+  report.result("sustained_qps", open.sustained_qps);
+  report.result("p95_latency_ms", p95);
+  report.write();
+  return 0;
+}

@@ -76,10 +76,10 @@ void print_series(const char* label, const std::int64_t* counts,
   for (std::size_t i = 0; i < count_n; ++i) {
     table.add_row({std::to_string(counts[i]),
                    vmat::TablePrinter::fmt(vmat::mean(errors[i]), 4),
-                   vmat::TablePrinter::fmt(vmat::percentile(errors[i], 90), 4),
-                   vmat::TablePrinter::fmt(vmat::percentile(errors[i], 95), 4),
-                   vmat::TablePrinter::fmt(vmat::percentile(errors[i], 99), 4),
-                   vmat::TablePrinter::fmt(vmat::percentile(errors[i], 100), 4)});
+                   vmat::TablePrinter::fmt(vmat::percentile_nearest_rank(errors[i], 90), 4),
+                   vmat::TablePrinter::fmt(vmat::percentile_nearest_rank(errors[i], 95), 4),
+                   vmat::TablePrinter::fmt(vmat::percentile_nearest_rank(errors[i], 99), 4),
+                   vmat::TablePrinter::fmt(vmat::percentile_nearest_rank(errors[i], 100), 4)});
   }
   std::printf("%s\n", label);
   table.print();
@@ -109,7 +109,7 @@ int main() {
           errors_statistical(c, 0xf180000 + static_cast<std::uint64_t>(c),
                              n_trials, group));
       group.metric("avg_rel_err", vmat::mean(errors.back()));
-      group.metric("p95_rel_err", vmat::percentile(errors.back(), 95));
+      group.metric("p95_rel_err", vmat::percentile_nearest_rank(errors.back(), 95));
     }
     print_series("statistical mode (exact Exp(1/c) minima):", counts,
                  std::size(counts), errors);
@@ -152,7 +152,7 @@ int main() {
       const double avg = vmat::mean(errors);
       group.metric("avg_rel_err", avg);
       table.add_row({std::to_string(m), vmat::TablePrinter::fmt(avg, 4),
-                     vmat::TablePrinter::fmt(vmat::percentile(errors, 95), 4),
+                     vmat::TablePrinter::fmt(vmat::percentile_nearest_rank(errors, 95), 4),
                      vmat::TablePrinter::fmt(avg * std::sqrt(double(m)), 3)});
     }
     std::printf("m-sweep at true count 1000 (err x sqrt(m) ~ constant):\n");

@@ -1,6 +1,7 @@
 #include "trial_runner.h"
 
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -102,6 +103,11 @@ JsonWriter& JsonWriter::end_array() {
 namespace {
 
 std::string number(double v) {
+  // JSON has no inf/nan literal: a %.6g "inf" (e.g. the ±inf identity
+  // extrema of an empty RunningStats serialized into a report) would make
+  // the whole file unparseable and take the perf gate down with it. Every
+  // non-finite value becomes null at this choke point.
+  if (!std::isfinite(v)) return "null";
   char buf[32];
   std::snprintf(buf, sizeof buf, "%.6g", v);
   return buf;
@@ -242,9 +248,9 @@ void BenchReport::write() const {
     w.field("trials", static_cast<std::uint64_t>(g.trial_ms.size()));
     if (!g.trial_ms.empty()) {
       w.field("mean_ms", mean(g.trial_ms));
-      w.field("min_ms", percentile(g.trial_ms, 0));
-      w.field("p95_ms", percentile(g.trial_ms, 95));
-      w.field("max_ms", percentile(g.trial_ms, 100));
+      w.field("min_ms", percentile_nearest_rank(g.trial_ms, 0));
+      w.field("p95_ms", percentile_nearest_rank(g.trial_ms, 95));
+      w.field("max_ms", percentile_nearest_rank(g.trial_ms, 100));
       w.begin_array("trial_ms");
       for (const double t : g.trial_ms) {
         w.element(t);

@@ -5,6 +5,7 @@
 //           [--f K] [--theta T] [--query min|count] [--instances M]
 //           [--seed S] [--executions E] [--serve Q] [--multipath]
 //           [--sparse-keys] [--trace FILE]
+//           [--daemon] [--tenants N] [--adversary-tenants A] [--socket PATH]
 //
 // Default mode runs E one-shot query executions against the configured
 // adversary and reports each outcome plus the final revocation state.
@@ -14,6 +15,18 @@
 // records the full flight-recorder event stream, writes it to FILE as JSON
 // (readable by tools/check_trace.py), and runs the built-in trace-invariant
 // checker over the recording.
+//
+// --daemon starts vmatd: N independent tenants served over the frame
+// protocol (src/serve/protocol.h) on stdin/stdout, or on a Unix socket
+// with --socket PATH (accepts one session). The first A tenants host a
+// ChokeVeto adversary compromising --f nodes each. --trace records
+// tenant 0's epoch formations and serving executions and writes the JSON
+// after the session ends (the frame stream itself stays clean).
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
 #include <cmath>
 #include <cstdio>
 #include <cstring>
@@ -39,6 +52,11 @@ struct Options {
   bool multipath = false;
   bool sparse_keys = false;
   std::string trace;  // empty = no recording
+  // --daemon mode
+  bool daemon = false;
+  std::uint32_t tenants = 8;
+  std::uint32_t adversary_tenants = 0;
+  std::string socket_path;  // empty = stdin/stdout
 };
 
 [[noreturn]] void usage(const char* argv0) {
@@ -48,9 +66,48 @@ struct Options {
       "random|garbage]\n"
       "          [--f K] [--theta T] [--query min|count] [--instances M]\n"
       "          [--seed S] [--executions E] [--serve Q] [--multipath]\n"
-      "          [--sparse-keys] [--trace FILE]\n",
+      "          [--sparse-keys] [--trace FILE]\n"
+      "          [--daemon] [--tenants N] [--adversary-tenants A] "
+      "[--socket PATH]\n",
       argv0);
   std::exit(2);
+}
+
+/// Checked integer flag parsing — every count/seed flag goes through here.
+/// A bare std::stoi would accept "12abc" (silently dropping the suffix)
+/// and die with an unhelpful std::invalid_argument backtrace on "abc";
+/// instead every malformed or out-of-range value gets a per-flag error.
+std::uint64_t parse_uint(const char* flag, const std::string& text,
+                         std::uint64_t min_value, std::uint64_t max_value) {
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(text.c_str(), &end, 10);
+  const bool malformed = text.empty() || end != text.c_str() + text.size() ||
+                         text.front() == '-' ||  // strtoull wraps negatives
+                         errno == ERANGE;
+  if (malformed) {
+    std::fprintf(stderr, "vmatsim: %s: expected an unsigned integer, got '%s'\n",
+                 flag, text.c_str());
+    std::exit(2);
+  }
+  if (v < min_value || v > max_value) {
+    std::fprintf(stderr,
+                 "vmatsim: %s: value %llu out of range [%llu, %llu]\n", flag,
+                 v, static_cast<unsigned long long>(min_value),
+                 static_cast<unsigned long long>(max_value));
+    std::exit(2);
+  }
+  return v;
+}
+
+/// A count that must be positive (--nodes 0 is a config bug, not a run).
+std::uint32_t parse_count(const char* flag, const std::string& text) {
+  return static_cast<std::uint32_t>(parse_uint(flag, text, 1, 1u << 20));
+}
+
+/// A size that may legitimately be zero (--f 0, --theta 0, ...).
+std::uint32_t parse_size(const char* flag, const std::string& text) {
+  return static_cast<std::uint32_t>(parse_uint(flag, text, 0, 1u << 20));
 }
 
 Options parse(int argc, char** argv) {
@@ -58,23 +115,36 @@ Options parse(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     const std::string flag = argv[i];
     auto value = [&]() -> std::string {
-      if (i + 1 >= argc) usage(argv[0]);
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "vmatsim: %s: missing value\n", flag.c_str());
+        usage(argv[0]);
+      }
       return argv[++i];
     };
-    if (flag == "--nodes") o.nodes = static_cast<std::uint32_t>(std::stoul(value()));
+    if (flag == "--nodes") o.nodes = parse_count("--nodes", value());
     else if (flag == "--topology") o.topology = value();
     else if (flag == "--attack") o.attack = value();
-    else if (flag == "--f") o.f = static_cast<std::uint32_t>(std::stoul(value()));
-    else if (flag == "--theta") o.theta = static_cast<std::uint32_t>(std::stoul(value()));
+    else if (flag == "--f") o.f = parse_size("--f", value());
+    else if (flag == "--theta") o.theta = parse_size("--theta", value());
     else if (flag == "--query") o.query = value();
-    else if (flag == "--instances") o.instances = static_cast<std::uint32_t>(std::stoul(value()));
-    else if (flag == "--seed") o.seed = std::stoull(value());
-    else if (flag == "--executions") o.executions = std::stoi(value());
-    else if (flag == "--serve") o.serve = std::stoi(value());
+    else if (flag == "--instances") o.instances = parse_count("--instances", value());
+    else if (flag == "--seed") o.seed = parse_uint("--seed", value(), 0, ~0ull);
+    else if (flag == "--executions") o.executions = static_cast<int>(parse_count("--executions", value()));
+    else if (flag == "--serve") o.serve = static_cast<int>(parse_count("--serve", value()));
     else if (flag == "--multipath") o.multipath = true;
     else if (flag == "--sparse-keys") o.sparse_keys = true;
     else if (flag == "--trace") o.trace = value();
+    else if (flag == "--daemon") o.daemon = true;
+    else if (flag == "--tenants") o.tenants = parse_count("--tenants", value());
+    else if (flag == "--adversary-tenants") o.adversary_tenants = parse_size("--adversary-tenants", value());
+    else if (flag == "--socket") o.socket_path = value();
     else usage(argv[0]);
+  }
+  if (o.adversary_tenants > o.tenants) {
+    std::fprintf(stderr,
+                 "vmatsim: --adversary-tenants %u exceeds --tenants %u\n",
+                 o.adversary_tenants, o.tenants);
+    std::exit(2);
   }
   return o;
 }
@@ -220,10 +290,93 @@ int run_serving_mode(const Options& o, vmat::VmatCoordinator& coordinator,
   return stats.queries_failed == 0 ? 0 : 1;
 }
 
+/// vmatd entry: serve the frame protocol on stdin/stdout, or accept one
+/// session on a Unix socket. Nodes/topology/instances/f/seed flags shape
+/// every tenant identically (tenant t perturbs the seed).
+int run_daemon_mode(const Options& o) {
+  vmat::serve::ServeOptions so;
+  so.tenants = o.tenants;
+  so.nodes = o.nodes;
+  const auto kind = vmat::topology_kind_from(o.topology);
+  if (!kind.has_value()) {
+    std::fprintf(stderr, "unknown topology: %s\n", o.topology.c_str());
+    return 2;
+  }
+  so.topology = *kind;
+  so.instances = o.instances;
+  so.adversary_tenants = o.adversary_tenants;
+  so.f = o.f;
+  // vmatsim's --theta default (0) keeps one-shot semantics; for the
+  // daemon 0 would let a ChokeVeto tenant burn whole deadlines before
+  // neutralization, so 0 means "keep the daemon default" here.
+  if (o.theta > 0) so.theta = o.theta;
+  so.seed = o.seed;
+  vmat::serve::Daemon daemon(so);
+
+  // --trace: record tenant 0's epoch formations + serving executions; the
+  // JSON is written (and the invariant checker run) after the session ends
+  // so nothing interleaves with the frame stream.
+  vmat::FlightRecorder recorder;
+  if (!o.trace.empty()) daemon.set_recorder(0, &recorder);
+  const auto finish_trace = [&o, &recorder, &daemon](int rc) {
+    if (o.trace.empty()) return rc;
+    daemon.set_recorder(0, nullptr);
+    if (!recorder.write_json(o.trace)) {
+      std::fprintf(stderr, "failed to write trace: %s\n", o.trace.c_str());
+      return rc == 0 ? 1 : rc;
+    }
+    const auto check = vmat::check_trace(recorder);
+    std::fprintf(stderr, "trace: %zu event(s); invariants %s\n",
+                 recorder.events().size(), check.ok() ? "OK" : "VIOLATED");
+    if (!check.ok()) {
+      std::fprintf(stderr, "%s\n", check.to_string().c_str());
+      return rc == 0 ? 1 : rc;
+    }
+    return rc;
+  };
+
+  if (o.socket_path.empty())
+    return finish_trace(daemon.run(STDIN_FILENO, STDOUT_FILENO));
+
+  const int listener = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listener < 0) {
+    std::perror("vmatsim: socket");
+    return 1;
+  }
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (o.socket_path.size() >= sizeof addr.sun_path) {
+    std::fprintf(stderr, "vmatsim: --socket: path too long\n");
+    ::close(listener);
+    return 2;
+  }
+  std::memcpy(addr.sun_path, o.socket_path.c_str(), o.socket_path.size() + 1);
+  ::unlink(o.socket_path.c_str());  // stale socket from a previous run
+  if (::bind(listener, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof addr) != 0 ||
+      ::listen(listener, 1) != 0) {
+    std::perror("vmatsim: bind/listen");
+    ::close(listener);
+    return 1;
+  }
+  const int session = ::accept(listener, nullptr, nullptr);
+  if (session < 0) {
+    std::perror("vmatsim: accept");
+    ::close(listener);
+    return 1;
+  }
+  const int rc = daemon.run(session, session);
+  ::close(session);
+  ::close(listener);
+  ::unlink(o.socket_path.c_str());
+  return finish_trace(rc);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   Options o = parse(argc, argv);
+  if (o.daemon) return run_daemon_mode(o);
 
   const vmat::SimulationSpec base_spec = make_spec(o);
   vmat::Network net(base_spec);

@@ -110,31 +110,70 @@ void Engine::settle_failure(Pending& p, ErrorCode code, const char* detail) {
   stats_.queries_failed += 1;
 }
 
+void Engine::prepare() {
+  // Re-arm the shared tree from its snapshot when the epoch went stale
+  // without a revocation (an intervening one-shot execution, say);
+  // otherwise form (or re-form, after a revocation) it for real.
+  if (coordinator_->epoch_ready()) return;
+  if (coordinator_->rearm_epoch()) {
+    stats_.epochs_rearmed += 1;
+    EpochRollup rollup;
+    rollup.epoch_id = coordinator_->epoch().id;
+    rollup.rearmed = true;  // restored, not re-flooded: zero formation cost
+    epochs_.push_back(std::move(rollup));
+  } else {
+    const Epoch& epoch = coordinator_->prepare_epoch();
+    stats_.epochs_formed += 1;
+    stats_.fabric_bytes += epoch.fabric_bytes;
+    EpochRollup rollup;
+    rollup.epoch_id = epoch.id;
+    rollup.formation_rounds = epoch.formation_rounds;
+    rollup.formation_bytes = epoch.fabric_bytes;
+    rollup.metrics = epoch.metrics;
+    epochs_.push_back(std::move(rollup));
+  }
+}
+
+bool Engine::step() {
+  bool open = false;
+  for (const Pending& p : pending_)
+    if (!p.done) { open = true; break; }
+  if (!open) return false;
+  if (stats_.rounds >= config_.max_rounds) {
+    // Same engine-budget discipline as drain(): a step()-driven caller (the
+    // vmatd tick loop) must not spin forever on a pathological tenant.
+    for (Pending& p : pending_)
+      if (!p.done)
+        settle_failure(p, ErrorCode::kBudgetExhausted,
+                       "engine round budget exhausted");
+    return false;
+  }
+  run_round();
+  for (const Pending& p : pending_)
+    if (!p.done) return true;
+  return false;
+}
+
+std::vector<EngineResult> Engine::take_ready() {
+  std::vector<EngineResult> ready;
+  std::size_t keep = 0;
+  for (Pending& p : pending_) {
+    if (p.done) {
+      ready.push_back(std::move(p.result));
+      continue;
+    }
+    // Guard the no-gap case: self-move-assignment would gut the query's
+    // payload vectors and leave an open query with no predicate/readings.
+    if (&pending_[keep] != &p) pending_[keep] = std::move(p);
+    ++keep;
+  }
+  pending_.resize(keep);
+  return ready;
+}
+
 void Engine::run_round() {
   stats_.rounds += 1;
-
-  // --- epoch: re-arm the shared tree from its snapshot when the epoch
-  // went stale without a revocation (an intervening one-shot execution,
-  // say); otherwise form (or re-form, after a revocation) it for real ---
-  if (!coordinator_->epoch_ready()) {
-    if (coordinator_->rearm_epoch()) {
-      stats_.epochs_rearmed += 1;
-      EpochRollup rollup;
-      rollup.epoch_id = coordinator_->epoch().id;
-      rollup.rearmed = true;  // restored, not re-flooded: zero formation cost
-      epochs_.push_back(std::move(rollup));
-    } else {
-      const Epoch& epoch = coordinator_->prepare_epoch();
-      stats_.epochs_formed += 1;
-      stats_.fabric_bytes += epoch.fabric_bytes;
-      EpochRollup rollup;
-      rollup.epoch_id = epoch.id;
-      rollup.formation_rounds = epoch.formation_rounds;
-      rollup.formation_bytes = epoch.fabric_bytes;
-      rollup.metrics = epoch.metrics;
-      epochs_.push_back(std::move(rollup));
-    }
-  }
+  prepare();
 
   const std::size_t n = coordinator_->network().node_count();
   const std::uint32_t default_instances = coordinator_->config().instances;
@@ -379,19 +418,7 @@ void Engine::run_round() {
 }
 
 std::vector<EngineResult> Engine::drain() {
-  while (true) {
-    bool open = false;
-    for (const Pending& p : pending_)
-      if (!p.done) { open = true; break; }
-    if (!open) break;
-    if (stats_.rounds >= config_.max_rounds) {
-      for (Pending& p : pending_)
-        if (!p.done)
-          settle_failure(p, ErrorCode::kBudgetExhausted,
-                         "engine round budget exhausted");
-      break;
-    }
-    run_round();
+  while (step()) {
   }
   std::vector<EngineResult> results;
   results.reserve(pending_.size());

@@ -155,12 +155,42 @@ class Engine {
   /// submission order and empties the queue.
   std::vector<EngineResult> drain();
 
+  // --- non-blocking serving seams (the vmatd daemon drives these) ---
+
+  /// Ensure the serving epoch is ready without running any query: re-arm
+  /// it from its prepare_epoch() snapshot when possible, form it
+  /// otherwise. No-op when the epoch is already ready. This is the
+  /// pipelining seam — a multiplexer calls it on an idle tenant so the
+  /// tree formation overlaps other tenants' serving rounds and the next
+  /// burst of queries lands on a warm epoch.
+  void prepare();
+
+  /// Run at most ONE serving round (prepare() + pack + one combined
+  /// execution + settle) if any query is open. Returns true while open
+  /// queries remain afterwards — callers interleave step() across engines
+  /// instead of blocking in drain(). Settled queries stay queued until
+  /// take_ready() collects them.
+  bool step();
+
+  /// Remove and return every settled query's result (submission order
+  /// preserved among them); open queries stay queued. The incremental
+  /// counterpart of drain() for callers that poll.
+  std::vector<EngineResult> take_ready();
+
   /// submit() + drain(): accepted queries come back in request order;
   /// submissions rejected by admission control are appended after them as
   /// failed results (id 0), not thrown.
   std::vector<EngineResult> run_batch(std::vector<EngineQuery> queries);
 
   [[nodiscard]] std::size_t queued() const noexcept { return pending_.size(); }
+  /// Queued queries not yet settled (queued() also counts settled results
+  /// awaiting take_ready()).
+  [[nodiscard]] std::size_t open_queries() const noexcept {
+    std::size_t open = 0;
+    for (const Pending& p : pending_)
+      if (!p.done) ++open;
+    return open;
+  }
   [[nodiscard]] const EngineConfig& config() const noexcept { return config_; }
   [[nodiscard]] const EngineStats& stats() const noexcept { return stats_; }
   /// One rollup per epoch formed by this engine, in formation order.

@@ -1,0 +1,60 @@
+#include "serve/client.h"
+
+#include <utility>
+
+namespace vmat::serve {
+
+namespace {
+
+Error transport_error(const char* what) {
+  return Error{ErrorCode::kUnavailable, what};
+}
+
+}  // namespace
+
+Expected<Response> ServeClient::exchange(Op op, const Bytes& request_payload) {
+  if (!write_frame(out_fd_, request_payload))
+    return transport_error("request write failed");
+  Bytes payload;
+  switch (read_frame(in_fd_, payload)) {
+    case FrameStatus::kOk: break;
+    case FrameStatus::kEof:
+      return transport_error("daemon closed the stream");
+    case FrameStatus::kError:
+      return transport_error("malformed response frame");
+  }
+  Expected<Response> response = decode_response(payload);
+  if (!response) return response.error();
+  if (response.value().op != op)
+    return Error{ErrorCode::kInvalidArgument,
+                 "response opcode does not match the request"};
+  if (response.value().error.has_value()) return *response.value().error;
+  return response;
+}
+
+Expected<std::uint64_t> ServeClient::submit(const SubmitRequest& request) {
+  Expected<Response> response = exchange(Op::kSubmit, encode_submit(request));
+  if (!response) return response.error();
+  return response.value().request_id;
+}
+
+Expected<std::vector<ResultRecord>> ServeClient::poll(
+    std::uint32_t max_results) {
+  Expected<Response> response = exchange(Op::kPoll, encode_poll(max_results));
+  if (!response) return response.error();
+  return std::move(response.value().results);
+}
+
+Expected<StatsResponse> ServeClient::stats() {
+  Expected<Response> response = exchange(Op::kStats, encode_stats());
+  if (!response) return response.error();
+  return std::move(response.value().stats);
+}
+
+Expected<std::vector<ResultRecord>> ServeClient::shutdown() {
+  Expected<Response> response = exchange(Op::kShutdown, encode_shutdown());
+  if (!response) return response.error();
+  return std::move(response.value().results);
+}
+
+}  // namespace vmat::serve

@@ -1,0 +1,47 @@
+// ServeClient — the caller's side of the vmatd frame protocol.
+//
+// Wraps a connected file-descriptor pair (stdin/stdout of a spawned
+// daemon, or one end of a socketpair) and turns each protocol exchange
+// into a typed call: write one request frame, read one response frame,
+// decode. Blocking, one request in flight at a time — the daemon serves
+// between requests, so a client that wants progress polls.
+//
+// Every transport or decode failure comes back as an Error (kUnavailable
+// for the transport, kInvalidArgument for malformed payloads); the client
+// never throws across the protocol boundary.
+#pragma once
+
+#include <cstdint>
+
+#include "serve/protocol.h"
+#include "util/error.h"
+
+namespace vmat::serve {
+
+class ServeClient {
+ public:
+  /// `in_fd` carries daemon responses, `out_fd` carries our requests. The
+  /// client does not own either descriptor.
+  ServeClient(int in_fd, int out_fd) noexcept : in_fd_(in_fd), out_fd_(out_fd) {}
+
+  /// Enqueue one query; returns the daemon-assigned request id.
+  Expected<std::uint64_t> submit(const SubmitRequest& request);
+
+  /// Collect up to `max_results` settled results (0 = all ready).
+  Expected<std::vector<ResultRecord>> poll(std::uint32_t max_results = 0);
+
+  Expected<StatsResponse> stats();
+
+  /// Drain every in-flight query and stop the daemon; returns the results
+  /// that had not been polled yet.
+  Expected<std::vector<ResultRecord>> shutdown();
+
+ private:
+  /// One request/response exchange, op-checked.
+  Expected<Response> exchange(Op op, const Bytes& request_payload);
+
+  int in_fd_;
+  int out_fd_;
+};
+
+}  // namespace vmat::serve

@@ -1,0 +1,328 @@
+#include "serve/protocol.h"
+
+#include <unistd.h>
+
+#include <bit>
+#include <cerrno>
+#include <stdexcept>
+
+namespace vmat::serve {
+
+namespace {
+
+void put_f64(ByteWriter& w, double v) { w.u64(std::bit_cast<std::uint64_t>(v)); }
+
+double get_f64(ByteReader& r) { return std::bit_cast<double>(r.u64()); }
+
+Error malformed(const char* what) {
+  return Error{ErrorCode::kInvalidArgument, what};
+}
+
+Expected<Op> read_op(ByteReader& r) {
+  const std::uint8_t raw = r.u8();
+  switch (raw) {
+    case static_cast<std::uint8_t>(Op::kSubmit): return Op::kSubmit;
+    case static_cast<std::uint8_t>(Op::kPoll): return Op::kPoll;
+    case static_cast<std::uint8_t>(Op::kStats): return Op::kStats;
+    case static_cast<std::uint8_t>(Op::kShutdown): return Op::kShutdown;
+    default: return malformed("unknown opcode");
+  }
+}
+
+Expected<EngineQueryKind> read_kind(ByteReader& r) {
+  const std::uint8_t raw = r.u8();
+  if (raw > static_cast<std::uint8_t>(EngineQueryKind::kQuantile))
+    return malformed("unknown query kind");
+  return static_cast<EngineQueryKind>(raw);
+}
+
+Expected<ErrorCode> read_error_code(ByteReader& r) {
+  const std::uint8_t raw = r.u8();
+  if (raw > static_cast<std::uint8_t>(ErrorCode::kUnavailable))
+    return malformed("unknown error code");
+  return static_cast<ErrorCode>(raw);
+}
+
+void write_result(ByteWriter& w, const ResultRecord& rec) {
+  w.u64(rec.request_id);
+  w.u32(rec.tenant);
+  w.u8(static_cast<std::uint8_t>(rec.kind));
+  w.u8(rec.answered ? 1 : 0);
+  if (rec.answered)
+    put_f64(w, rec.estimate);
+  else
+    w.u8(static_cast<std::uint8_t>(rec.error));
+  w.u32(rec.executions);
+  w.u64(rec.epoch_id);
+}
+
+Expected<ResultRecord> read_result(ByteReader& r) {
+  ResultRecord rec;
+  rec.request_id = r.u64();
+  rec.tenant = r.u32();
+  Expected<EngineQueryKind> kind = read_kind(r);
+  if (!kind) return kind.error();
+  rec.kind = *kind;
+  rec.answered = r.u8() != 0;
+  if (rec.answered) {
+    rec.estimate = get_f64(r);
+  } else {
+    Expected<ErrorCode> code = read_error_code(r);
+    if (!code) return code.error();
+    rec.error = *code;
+  }
+  rec.executions = r.u32();
+  rec.epoch_id = r.u64();
+  return rec;
+}
+
+}  // namespace
+
+const char* to_string(Op op) noexcept {
+  switch (op) {
+    case Op::kSubmit: return "SUBMIT";
+    case Op::kPoll: return "POLL";
+    case Op::kStats: return "STATS";
+    case Op::kShutdown: return "SHUTDOWN";
+  }
+  return "?";
+}
+
+Bytes encode_submit(const SubmitRequest& request) {
+  ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(Op::kSubmit));
+  w.u32(request.tenant);
+  w.u8(static_cast<std::uint8_t>(request.kind));
+  w.u32(request.instances);
+  w.u32(request.max_executions);
+  w.i64(request.threshold);
+  put_f64(w, request.q);
+  w.i64(request.domain_max);
+  return w.take();
+}
+
+Bytes encode_poll(std::uint32_t max_results) {
+  ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(Op::kPoll));
+  w.u32(max_results);
+  return w.take();
+}
+
+Bytes encode_stats() {
+  ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(Op::kStats));
+  return w.take();
+}
+
+Bytes encode_shutdown() {
+  ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(Op::kShutdown));
+  return w.take();
+}
+
+Bytes encode_error(Op op, const Error& error) {
+  ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(op));
+  w.u8(1);
+  w.u8(static_cast<std::uint8_t>(error.code));
+  w.str(error.message);
+  return w.take();
+}
+
+Bytes encode_submit_ok(std::uint64_t request_id) {
+  ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(Op::kSubmit));
+  w.u8(0);
+  w.u64(request_id);
+  return w.take();
+}
+
+Bytes encode_results(Op op, std::span<const ResultRecord> results) {
+  ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(op));
+  w.u8(0);
+  w.u32(static_cast<std::uint32_t>(results.size()));
+  for (const ResultRecord& rec : results) write_result(w, rec);
+  return w.take();
+}
+
+Bytes encode_stats_ok(const StatsResponse& stats) {
+  ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(Op::kStats));
+  w.u8(0);
+  w.u64(stats.ticks);
+  w.u64(stats.results_ready);
+  w.u32(static_cast<std::uint32_t>(stats.tenants.size()));
+  for (const TenantStats& t : stats.tenants) {
+    w.u32(t.tenant);
+    w.u8(t.disrupted ? 1 : 0);
+    w.u32(t.open);
+    w.u64(t.submitted);
+    w.u64(t.answered);
+    w.u64(t.failed);
+    w.u64(t.rounds);
+    w.u64(t.executions);
+    w.u64(t.disrupted_executions);
+    w.u64(t.epochs_formed);
+    w.u64(t.epochs_rearmed);
+    w.u64(t.fabric_bytes);
+  }
+  return w.take();
+}
+
+Expected<Request> decode_request(std::span<const std::uint8_t> payload) {
+  try {
+    ByteReader r(payload);
+    Expected<Op> op = read_op(r);
+    if (!op) return op.error();
+    Request req;
+    req.op = *op;
+    switch (req.op) {
+      case Op::kSubmit: {
+        req.submit.tenant = r.u32();
+        Expected<EngineQueryKind> kind = read_kind(r);
+        if (!kind) return kind.error();
+        req.submit.kind = *kind;
+        req.submit.instances = r.u32();
+        req.submit.max_executions = r.u32();
+        req.submit.threshold = r.i64();
+        req.submit.q = get_f64(r);
+        req.submit.domain_max = r.i64();
+        break;
+      }
+      case Op::kPoll:
+        req.poll_max = r.u32();
+        break;
+      case Op::kStats:
+      case Op::kShutdown:
+        break;
+    }
+    if (!r.done()) return malformed("trailing bytes after request");
+    return req;
+  } catch (const std::out_of_range&) {
+    return malformed("truncated request payload");
+  }
+}
+
+Expected<Response> decode_response(std::span<const std::uint8_t> payload) {
+  try {
+    ByteReader r(payload);
+    Expected<Op> op = read_op(r);
+    if (!op) return op.error();
+    Response resp;
+    resp.op = *op;
+    if (r.u8() != 0) {
+      Expected<ErrorCode> code = read_error_code(r);
+      if (!code) return code.error();
+      resp.error = Error{*code, r.str()};
+      if (!r.done()) return malformed("trailing bytes after response");
+      return resp;
+    }
+    switch (resp.op) {
+      case Op::kSubmit:
+        resp.request_id = r.u64();
+        break;
+      case Op::kPoll:
+      case Op::kShutdown: {
+        const std::uint32_t count = r.u32();
+        if (count > kMaxFrameBytes)  // cheap sanity bound before reserving
+          return malformed("implausible result count");
+        resp.results.reserve(count);
+        for (std::uint32_t i = 0; i < count; ++i) {
+          Expected<ResultRecord> rec = read_result(r);
+          if (!rec) return rec.error();
+          resp.results.push_back(*rec);
+        }
+        break;
+      }
+      case Op::kStats: {
+        resp.stats.ticks = r.u64();
+        resp.stats.results_ready = r.u64();
+        const std::uint32_t count = r.u32();
+        if (count > kMaxFrameBytes)
+          return malformed("implausible tenant count");
+        resp.stats.tenants.reserve(count);
+        for (std::uint32_t i = 0; i < count; ++i) {
+          TenantStats t;
+          t.tenant = r.u32();
+          t.disrupted = r.u8() != 0;
+          t.open = r.u32();
+          t.submitted = r.u64();
+          t.answered = r.u64();
+          t.failed = r.u64();
+          t.rounds = r.u64();
+          t.executions = r.u64();
+          t.disrupted_executions = r.u64();
+          t.epochs_formed = r.u64();
+          t.epochs_rearmed = r.u64();
+          t.fabric_bytes = r.u64();
+          resp.stats.tenants.push_back(t);
+        }
+        break;
+      }
+    }
+    if (!r.done()) return malformed("trailing bytes after response");
+    return resp;
+  } catch (const std::out_of_range&) {
+    return malformed("truncated response payload");
+  }
+}
+
+namespace {
+
+/// read() until `out` is full; handles EINTR and short reads. Returns the
+/// bytes read (== out.size() on success; fewer means EOF or error).
+std::size_t read_fully(int fd, std::span<std::uint8_t> out) {
+  std::size_t got = 0;
+  while (got < out.size()) {
+    const ssize_t n = ::read(fd, out.data() + got, out.size() - got);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (n == 0) break;  // EOF
+    got += static_cast<std::size_t>(n);
+  }
+  return got;
+}
+
+}  // namespace
+
+FrameStatus read_frame(int fd, Bytes& payload) {
+  std::uint8_t len_buf[4];
+  const std::size_t got = read_fully(fd, len_buf);
+  if (got == 0) return FrameStatus::kEof;
+  if (got < sizeof len_buf) return FrameStatus::kError;  // torn length prefix
+  const std::uint32_t len = static_cast<std::uint32_t>(len_buf[0]) |
+                            static_cast<std::uint32_t>(len_buf[1]) << 8 |
+                            static_cast<std::uint32_t>(len_buf[2]) << 16 |
+                            static_cast<std::uint32_t>(len_buf[3]) << 24;
+  if (len > kMaxFrameBytes) return FrameStatus::kError;
+  payload.resize(len);
+  if (read_fully(fd, payload) != len) return FrameStatus::kError;
+  return FrameStatus::kOk;
+}
+
+bool write_frame(int fd, std::span<const std::uint8_t> payload) {
+  if (payload.size() > kMaxFrameBytes) return false;
+  const auto len = static_cast<std::uint32_t>(payload.size());
+  Bytes frame;
+  frame.reserve(sizeof len + payload.size());
+  frame.push_back(static_cast<std::uint8_t>(len & 0xff));
+  frame.push_back(static_cast<std::uint8_t>(len >> 8 & 0xff));
+  frame.push_back(static_cast<std::uint8_t>(len >> 16 & 0xff));
+  frame.push_back(static_cast<std::uint8_t>(len >> 24 & 0xff));
+  frame.insert(frame.end(), payload.begin(), payload.end());
+  std::size_t sent = 0;
+  while (sent < frame.size()) {
+    const ssize_t n = ::write(fd, frame.data() + sent, frame.size() - sent);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace vmat::serve

@@ -1,0 +1,145 @@
+// vmatd wire protocol — length-prefixed binary request/response frames.
+//
+// A frame is a little-endian u32 payload length followed by that many
+// payload bytes (kMaxFrameBytes cap). Request payloads start with a one
+// byte opcode; response payloads echo the opcode and carry a status byte
+// (0 = OK, otherwise 1 + the ErrorCode and a length-prefixed message).
+//
+//   SUBMIT   enqueue one query on a tenant's engine -> request id
+//   POLL     collect up to N settled results (0 = all)
+//   STATS    daemon + per-tenant counters snapshot
+//   SHUTDOWN drain every in-flight query, return the drained results,
+//            and stop the daemon loop
+//
+// Queries are described, not shipped: the daemon owns each tenant's
+// per-node readings, so a SUBMIT carries the query kind plus scalar
+// parameters (predicate threshold, quantile q / domain) and the daemon
+// materializes the per-node payload vectors. All integers are fixed-width
+// little-endian via ByteWriter/ByteReader; doubles travel as their IEEE
+// bit pattern in a u64. Malformed payloads decode to an Error — never an
+// exception across the wire boundary.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "engine/engine.h"
+#include "util/bytes.h"
+#include "util/error.h"
+
+namespace vmat::serve {
+
+/// Upper bound on one frame's payload; a longer length prefix is a
+/// protocol violation (or a desynchronized stream) and kills the session.
+inline constexpr std::uint32_t kMaxFrameBytes = 1u << 20;
+
+enum class Op : std::uint8_t {
+  kSubmit = 1,
+  kPoll = 2,
+  kStats = 3,
+  kShutdown = 4,
+};
+
+[[nodiscard]] const char* to_string(Op op) noexcept;
+
+/// One query submission. The daemon builds the EngineQuery payload from
+/// the tenant's readings: kCount counts readings >= threshold; kSum /
+/// kAverage / kQuantile run over the readings themselves; kMin / kMax are
+/// exact extrema of the raw readings.
+struct SubmitRequest {
+  std::uint32_t tenant{0};
+  EngineQueryKind kind{EngineQueryKind::kCount};
+  std::uint32_t instances{0};       ///< 0 = the tenant's configured count
+  std::uint32_t max_executions{0};  ///< 0 = the engine's default deadline
+  std::int64_t threshold{0};        ///< kCount predicate: reading >= threshold
+  double q{0.5};                    ///< kQuantile
+  std::int64_t domain_max{2048};    ///< kQuantile reading domain [0, max]
+};
+
+/// One settled query, as reported by POLL / SHUTDOWN.
+struct ResultRecord {
+  std::uint64_t request_id{0};
+  std::uint32_t tenant{0};
+  EngineQueryKind kind{EngineQueryKind::kCount};
+  bool answered{false};
+  ErrorCode error{ErrorCode::kUnavailable};  ///< valid when !answered
+  double estimate{0.0};                      ///< valid when answered
+  std::uint32_t executions{0};
+  std::uint64_t epoch_id{0};
+};
+
+struct TenantStats {
+  std::uint32_t tenant{0};
+  bool disrupted{false};  ///< configured with an adversary
+  std::uint32_t open{0};  ///< submitted, not yet settled
+  std::uint64_t submitted{0};
+  std::uint64_t answered{0};
+  std::uint64_t failed{0};
+  std::uint64_t rounds{0};
+  std::uint64_t executions{0};
+  std::uint64_t disrupted_executions{0};
+  std::uint64_t epochs_formed{0};
+  std::uint64_t epochs_rearmed{0};
+  std::uint64_t fabric_bytes{0};
+};
+
+struct StatsResponse {
+  std::uint64_t ticks{0};
+  std::uint64_t results_ready{0};
+  std::vector<TenantStats> tenants;
+};
+
+/// A decoded request (daemon side).
+struct Request {
+  Op op{Op::kPoll};
+  SubmitRequest submit;       ///< op == kSubmit
+  std::uint32_t poll_max{0};  ///< op == kPoll; 0 = all
+};
+
+/// A decoded response (client side). Exactly one payload member is
+/// meaningful, selected by `op`; `error` is set when the daemon rejected
+/// the request.
+struct Response {
+  Op op{Op::kPoll};
+  std::optional<Error> error;
+  std::uint64_t request_id{0};        ///< kSubmit
+  std::vector<ResultRecord> results;  ///< kPoll / kShutdown
+  StatsResponse stats;                ///< kStats
+};
+
+// --- request encoding (client side) ---
+[[nodiscard]] Bytes encode_submit(const SubmitRequest& request);
+[[nodiscard]] Bytes encode_poll(std::uint32_t max_results);
+[[nodiscard]] Bytes encode_stats();
+[[nodiscard]] Bytes encode_shutdown();
+
+// --- response encoding (daemon side) ---
+[[nodiscard]] Bytes encode_error(Op op, const Error& error);
+[[nodiscard]] Bytes encode_submit_ok(std::uint64_t request_id);
+[[nodiscard]] Bytes encode_results(Op op, std::span<const ResultRecord> results);
+[[nodiscard]] Bytes encode_stats_ok(const StatsResponse& stats);
+
+// --- decoding ---
+[[nodiscard]] Expected<Request> decode_request(
+    std::span<const std::uint8_t> payload);
+[[nodiscard]] Expected<Response> decode_response(
+    std::span<const std::uint8_t> payload);
+
+// --- framing over file descriptors ---
+
+enum class FrameStatus : std::uint8_t {
+  kOk,     ///< one complete frame read
+  kEof,    ///< clean end of stream before any byte of a frame
+  kError,  ///< oversized length prefix, truncated frame, or read error
+};
+
+/// Blocking read of one frame into `payload` (replaced, not appended).
+[[nodiscard]] FrameStatus read_frame(int fd, Bytes& payload);
+
+/// Blocking write of the length prefix + payload. False on write error.
+[[nodiscard]] bool write_frame(int fd, std::span<const std::uint8_t> payload);
+
+}  // namespace vmat::serve

@@ -26,15 +26,35 @@ double stddev(std::span<const double> xs) noexcept {
   return std::sqrt(variance(xs));
 }
 
-double percentile(std::span<const double> xs, double p) {
+namespace {
+
+std::vector<double> sorted_checked(std::span<const double> xs, double p) {
   if (xs.empty()) throw std::invalid_argument("percentile of empty span");
   if (p < 0.0 || p > 100.0) throw std::invalid_argument("percentile range");
   std::vector<double> sorted(xs.begin(), xs.end());
   std::sort(sorted.begin(), sorted.end());
+  return sorted;
+}
+
+}  // namespace
+
+double percentile_nearest_rank(std::span<const double> xs, double p) {
+  const std::vector<double> sorted = sorted_checked(xs, p);
   if (p == 0.0) return sorted.front();
   const auto rank = static_cast<std::size_t>(
       std::ceil(p / 100.0 * static_cast<double>(sorted.size())));
   return sorted[rank - 1];
+}
+
+double percentile_interpolated(std::span<const double> xs, double p) {
+  const std::vector<double> sorted = sorted_checked(xs, p);
+  if (sorted.size() == 1) return sorted.front();
+  const double pos =
+      p / 100.0 * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  if (lo + 1 >= sorted.size()) return sorted.back();
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[lo + 1] - sorted[lo]);
 }
 
 void RunningStats::add(double x) noexcept {

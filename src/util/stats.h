@@ -23,7 +23,25 @@ namespace vmat {
 /// value" reading: p == 0 returns the minimum, p == 100 the maximum, and a
 /// single-element span returns that element for every p. Throws
 /// std::invalid_argument on an empty span or p outside [0, 100].
-[[nodiscard]] double percentile(std::span<const double> xs, double p);
+///
+/// Nearest-rank is a step function: below 1/n samples every p above
+/// (n-1)/n collapses to the maximum (p95 of 10 samples IS the max). The
+/// long-standing BENCH_*.json fields (min_ms / p95_ms / max_ms) and the
+/// figure-8 error tables keep this reading deliberately; latency reporting
+/// with small sample counts wants percentile_interpolated() instead.
+[[nodiscard]] double percentile_nearest_rank(std::span<const double> xs,
+                                             double p);
+
+/// p in [0, 100]. Linear interpolation between closest ranks (the
+/// C = 1 / "exclusive of endpoints" convention used by numpy's default
+/// quantile): the sorted sample i (0-based) sits at percentile
+/// 100 * i / (n - 1), and p between two samples interpolates linearly.
+/// p == 0 returns the minimum, p == 100 the maximum. Unlike nearest-rank,
+/// p95 of a small sample does not silently collapse to the max — this is
+/// the variant the serving-latency reports use. Throws
+/// std::invalid_argument on an empty span or p outside [0, 100].
+[[nodiscard]] double percentile_interpolated(std::span<const double> xs,
+                                             double p);
 
 /// Incremental accumulator for long-running sweeps.
 ///

@@ -54,6 +54,9 @@
 #include "keys/key_ring.h"           // IWYU pragma: export
 #include "keys/predistribution.h"    // IWYU pragma: export
 #include "keys/revocation.h"         // IWYU pragma: export
+#include "serve/client.h"            // IWYU pragma: export
+#include "serve/daemon.h"            // IWYU pragma: export
+#include "serve/protocol.h"          // IWYU pragma: export
 #include "sim/fabric.h"              // IWYU pragma: export
 #include "sim/network.h"             // IWYU pragma: export
 #include "sim/topology.h"            // IWYU pragma: export

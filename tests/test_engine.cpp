@@ -236,6 +236,163 @@ TEST(Engine, DeadlineExceededUnderPersistentDisruption) {
   EXPECT_EQ(engine.stats().window, 1u);
 }
 
+TEST(Engine, StepServesIncrementallyAndTakeReadyPreservesOrder) {
+  EngineFixture fx(100);
+  std::vector<std::uint64_t> ids;
+  for (EngineQuery& q : mixed_batch())
+    ids.push_back(*fx.engine->submit(std::move(q)));
+
+  // Drive the serving seams the way the daemon does: one round at a time,
+  // collecting settled results between rounds.
+  std::vector<EngineResult> collected;
+  bool more = true;
+  while (more) {
+    more = fx.engine->step();
+    for (EngineResult& r : fx.engine->take_ready())
+      collected.push_back(std::move(r));
+  }
+  EXPECT_EQ(fx.engine->open_queries(), 0u);
+  EXPECT_EQ(fx.engine->queued(), 0u);
+
+  ASSERT_EQ(collected.size(), ids.size());
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    EXPECT_EQ(collected[i].id, ids[i]);  // submission order preserved
+    EXPECT_TRUE(collected[i].answered());
+  }
+  // take_ready() on a drained engine is an empty no-op.
+  EXPECT_TRUE(fx.engine->take_ready().empty());
+}
+
+TEST(Engine, TakeReadyMidServeKeepsOpenQueryPayloadsIntact) {
+  // Regression: take_ready() used to compact the pending queue with an
+  // unconditional move-assignment, which self-moved (and gutted) the first
+  // open query's payload vectors whenever nothing settled ahead of it —
+  // exactly the daemon's poll-between-rounds pattern under disruption.
+  Network net(Topology::grid(6, 6), dense_keys());
+  Adversary adv(&net, {NodeId{14}, NodeId{21}},
+                std::make_unique<ChokeVetoStrategy>());
+  CoordinatorSpec cfg;
+  cfg.instances = 40;
+  VmatCoordinator coordinator(&net, &adv, cfg);
+  Engine engine(&coordinator);
+
+  EngineQuery q;
+  q.kind = EngineQueryKind::kCount;
+  q.predicate.assign(kNodes, 1);
+  q.predicate[0] = 0;
+  q.max_executions = 600;
+  ASSERT_TRUE(engine.submit(q).has_value());
+
+  std::vector<EngineResult> collected;
+  bool more = true;
+  while (more) {
+    // Poll even when nothing settled: the empty-take path is the trigger.
+    for (EngineResult& r : engine.take_ready())
+      collected.push_back(std::move(r));
+    more = engine.step();
+  }
+  for (EngineResult& r : engine.take_ready()) collected.push_back(std::move(r));
+
+  ASSERT_EQ(collected.size(), 1u);
+  ASSERT_TRUE(collected[0].answered());
+  EXPECT_NEAR(*collected[0].estimate, 35.0, 35.0 * 0.40);
+  EXPECT_GT(engine.stats().disrupted_executions, 0u);
+}
+
+TEST(Engine, StepSettlesEverythingOnceRoundBudgetExhausts) {
+  Network net(Topology::grid(6, 6), dense_keys());
+  Adversary adv(&net, {NodeId{14}}, std::make_unique<ChokeVetoStrategy>());
+  CoordinatorSpec cfg;
+  cfg.instances = 10;
+  VmatCoordinator coordinator(&net, &adv, cfg);
+  EngineConfig config;
+  config.max_rounds = 1;
+  Engine engine(&coordinator, config);
+
+  EngineQuery q;
+  q.kind = EngineQueryKind::kCount;
+  q.predicate.assign(kNodes, 1);
+  q.predicate[0] = 0;
+  q.max_executions = 50;  // far beyond the engine budget
+  ASSERT_TRUE(engine.submit(q).has_value());
+
+  EXPECT_TRUE(engine.step());   // round 1: disrupted, query stays open
+  EXPECT_FALSE(engine.step());  // budget check fires before a second round
+  const auto results = engine.take_ready();
+  ASSERT_EQ(results.size(), 1u);
+  ASSERT_TRUE(results[0].error.has_value());
+  EXPECT_EQ(results[0].error->code, ErrorCode::kBudgetExhausted);
+  EXPECT_EQ(engine.stats().rounds, 1u);
+  EXPECT_EQ(engine.stats().queries_failed, 1u);
+}
+
+TEST(Engine, DeadlineOnDisruptedRoundSettlesExactlyOnce) {
+  // Boundary: the deadline lands on the same disrupted round that
+  // invalidates the epoch. The query must settle kDeadlineExceeded exactly
+  // once — not get retried on the re-formed epoch, not settle twice.
+  Network net(Topology::grid(6, 6), dense_keys());
+  Adversary adv(&net, {NodeId{14}}, std::make_unique<ChokeVetoStrategy>());
+  CoordinatorSpec cfg;
+  cfg.instances = 10;
+  VmatCoordinator coordinator(&net, &adv, cfg);
+  Engine engine(&coordinator);
+
+  EngineQuery q;
+  q.kind = EngineQueryKind::kCount;
+  q.predicate.assign(kNodes, 1);
+  q.predicate[0] = 0;
+  q.max_executions = 2;  // both attempts disrupted; the second is terminal
+  ASSERT_TRUE(engine.submit(q).has_value());
+
+  while (engine.step()) {}
+  EXPECT_FALSE(coordinator.epoch_ready());  // that round revoked material
+  const auto results = engine.take_ready();
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_FALSE(results[0].answered());
+  ASSERT_TRUE(results[0].error.has_value());
+  EXPECT_EQ(results[0].error->code, ErrorCode::kDeadlineExceeded);
+  EXPECT_EQ(results[0].executions, 2);
+  EXPECT_EQ(engine.stats().queries_failed, 1u);  // settled exactly once
+  EXPECT_EQ(engine.stats().rounds, 2u);
+  EXPECT_EQ(engine.open_queries(), 0u);
+}
+
+TEST(Engine, PrepareWarmsEpochAheadAndRearmsAfterOneShot) {
+  EngineFixture fx(40);
+  // Pipelining seam: prepare() forms the epoch before any query arrives...
+  fx.engine->prepare();
+  EXPECT_TRUE(fx.coordinator->epoch_ready());
+  EXPECT_EQ(fx.engine->stats().epochs_formed, 1u);
+  fx.engine->prepare();  // ...and is a no-op while the epoch stays ready.
+  EXPECT_EQ(fx.engine->stats().epochs_formed, 1u);
+
+  // A one-shot execution orphans the epoch's tree WITHOUT moving key
+  // material — the only situation rearm_epoch() covers.
+  const std::vector<std::vector<Reading>> values(
+      kNodes, std::vector<Reading>(40, kInfinity));
+  const std::vector<std::vector<std::int64_t>> weights(
+      kNodes, std::vector<std::int64_t>(40, 0));
+  (void)fx.coordinator->execute(values, weights);
+  EXPECT_FALSE(fx.coordinator->epoch_ready());
+  fx.engine->prepare();
+  EXPECT_TRUE(fx.coordinator->epoch_ready());
+  EXPECT_EQ(fx.engine->stats().epochs_rearmed, 1u);
+  EXPECT_EQ(fx.engine->stats().epochs_formed, 1u);  // restored, not re-formed
+  ASSERT_EQ(fx.engine->epoch_rollups().size(), 2u);
+  EXPECT_TRUE(fx.engine->epoch_rollups().back().rearmed);
+  EXPECT_EQ(fx.engine->epoch_rollups().back().formation_bytes, 0u);
+
+  // Queries land on the re-armed epoch and serve normally.
+  EngineQuery q;
+  q.kind = EngineQueryKind::kCount;
+  q.predicate.assign(kNodes, 1);
+  q.predicate[0] = 0;
+  const auto results = fx.engine->run_batch({q});
+  ASSERT_EQ(results.size(), 1u);
+  ASSERT_TRUE(results[0].answered());
+  EXPECT_EQ(fx.engine->stats().epochs_formed, 1u);
+}
+
 TEST(Engine, AdmissionControlRejectsOverflowAndBadPayloads) {
   EngineConfig config;
   config.queue_depth = 2;

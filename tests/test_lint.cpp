@@ -111,6 +111,15 @@ TEST(VmatLint, TraceSinkStdoutIsSanctioned) {
   EXPECT_TRUE(r.output.empty()) << r.output;
 }
 
+TEST(VmatLint, ServeDaemonStdoutIsSanctioned) {
+  // src/serve/ prints vmatd operator status lines (only when stdout is not
+  // the protocol channel); the stdout rule carves the component out just
+  // like trace/, core/report and util/stats.
+  const auto r = run_lint("tools/fixtures/src/serve/clean_serve_daemon.cpp");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_TRUE(r.output.empty()) << r.output;
+}
+
 TEST(VmatLint, DeprecatedConfigNameInSrcIsFlagged) {
   // The alias definition and the construction are flagged; the string
   // literal mention and the allow()-suppressed use are not.

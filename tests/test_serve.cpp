@@ -1,0 +1,404 @@
+// vmatd tests: wire-protocol round trips and malformed-frame discipline,
+// fd framing, daemon tenant isolation, bit-identical serving across thread
+// pools, clean SHUTDOWN draining, and a full client/daemon session over a
+// socketpair.
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <thread>
+#include <vector>
+
+#include "serve/client.h"
+#include "serve/daemon.h"
+#include "serve/protocol.h"
+
+namespace vmat::serve {
+namespace {
+
+ServeOptions small_options(std::uint32_t tenants,
+                           std::uint32_t adversary_tenants = 0) {
+  ServeOptions o;
+  o.tenants = tenants;
+  o.nodes = 36;
+  o.topology = TopologyKind::kGrid;
+  o.instances = 8;
+  o.adversary_tenants = adversary_tenants;
+  o.f = 2;
+  o.seed = 11;
+  return o;
+}
+
+SubmitRequest count_request(std::uint32_t tenant, std::int64_t threshold) {
+  SubmitRequest r;
+  r.tenant = tenant;
+  r.kind = EngineQueryKind::kCount;
+  r.threshold = threshold;
+  return r;
+}
+
+Response must_decode(const Bytes& payload) {
+  const Expected<Response> decoded = decode_response(payload);
+  EXPECT_TRUE(decoded.has_value());
+  return decoded.has_value() ? decoded.value() : Response{};
+}
+
+/// Submit through the direct request API; returns the wire request id.
+std::uint64_t must_submit(Daemon& daemon, const SubmitRequest& submit) {
+  Request req;
+  req.op = Op::kSubmit;
+  req.submit = submit;
+  const Response resp = must_decode(daemon.handle_request(req));
+  EXPECT_FALSE(resp.error.has_value())
+      << (resp.error.has_value() ? resp.error->to_string() : "");
+  return resp.request_id;
+}
+
+std::vector<ResultRecord> settle_and_poll(Daemon& daemon) {
+  while (daemon.open_total() > 0) daemon.tick();
+  Request poll;
+  poll.op = Op::kPoll;
+  poll.poll_max = 0;
+  return must_decode(daemon.handle_request(poll)).results;
+}
+
+// --- protocol round trips ---
+
+TEST(ServeProtocol, SubmitRoundTripPreservesEveryField) {
+  SubmitRequest in;
+  in.tenant = 5;
+  in.kind = EngineQueryKind::kQuantile;
+  in.instances = 24;
+  in.max_executions = 7;
+  in.threshold = -1234;
+  in.q = 0.62;
+  in.domain_max = 4096;
+  const Expected<Request> out = decode_request(encode_submit(in));
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(out.value().op, Op::kSubmit);
+  const SubmitRequest& got = out.value().submit;
+  EXPECT_EQ(got.tenant, in.tenant);
+  EXPECT_EQ(got.kind, in.kind);
+  EXPECT_EQ(got.instances, in.instances);
+  EXPECT_EQ(got.max_executions, in.max_executions);
+  EXPECT_EQ(got.threshold, in.threshold);
+  EXPECT_EQ(got.q, in.q);  // f64 travels as its bit pattern: exact
+  EXPECT_EQ(got.domain_max, in.domain_max);
+}
+
+TEST(ServeProtocol, ControlRequestsRoundTrip) {
+  const Expected<Request> poll = decode_request(encode_poll(17));
+  ASSERT_TRUE(poll.has_value());
+  EXPECT_EQ(poll.value().op, Op::kPoll);
+  EXPECT_EQ(poll.value().poll_max, 17u);
+
+  const Expected<Request> stats = decode_request(encode_stats());
+  ASSERT_TRUE(stats.has_value());
+  EXPECT_EQ(stats.value().op, Op::kStats);
+
+  const Expected<Request> shutdown = decode_request(encode_shutdown());
+  ASSERT_TRUE(shutdown.has_value());
+  EXPECT_EQ(shutdown.value().op, Op::kShutdown);
+}
+
+TEST(ServeProtocol, ResultRecordsRoundTripAnsweredAndFailed) {
+  ResultRecord answered;
+  answered.request_id = (7ull << 32) | 3;
+  answered.tenant = 6;
+  answered.kind = EngineQueryKind::kAverage;
+  answered.answered = true;
+  answered.estimate = 1234.5625;
+  answered.executions = 4;
+  answered.epoch_id = 9;
+  ResultRecord failed;
+  failed.request_id = (1ull << 32) | 8;
+  failed.kind = EngineQueryKind::kQuantile;
+  failed.answered = false;
+  failed.error = ErrorCode::kDeadlineExceeded;
+  const std::vector<ResultRecord> records{answered, failed};
+
+  const Response out = must_decode(encode_results(Op::kPoll, records));
+  EXPECT_EQ(out.op, Op::kPoll);
+  ASSERT_EQ(out.results.size(), 2u);
+  EXPECT_EQ(out.results[0].request_id, answered.request_id);
+  EXPECT_EQ(out.results[0].estimate, answered.estimate);
+  EXPECT_EQ(out.results[0].epoch_id, answered.epoch_id);
+  EXPECT_FALSE(out.results[1].answered);
+  EXPECT_EQ(out.results[1].error, ErrorCode::kDeadlineExceeded);
+}
+
+TEST(ServeProtocol, StatsAndErrorResponsesRoundTrip) {
+  StatsResponse stats;
+  stats.ticks = 42;
+  stats.results_ready = 3;
+  TenantStats t;
+  t.tenant = 1;
+  t.disrupted = true;
+  t.open = 2;
+  t.submitted = 10;
+  t.answered = 7;
+  t.failed = 1;
+  t.epochs_rearmed = 5;
+  t.fabric_bytes = 123456;
+  stats.tenants.push_back(t);
+  const Response out = must_decode(encode_stats_ok(stats));
+  EXPECT_EQ(out.stats.ticks, 42u);
+  ASSERT_EQ(out.stats.tenants.size(), 1u);
+  EXPECT_TRUE(out.stats.tenants[0].disrupted);
+  EXPECT_EQ(out.stats.tenants[0].epochs_rearmed, 5u);
+  EXPECT_EQ(out.stats.tenants[0].fabric_bytes, 123456u);
+
+  const Response err = must_decode(
+      encode_error(Op::kSubmit, Error{ErrorCode::kQueueFull, "full"}));
+  ASSERT_TRUE(err.error.has_value());
+  EXPECT_EQ(err.error->code, ErrorCode::kQueueFull);
+  EXPECT_EQ(err.error->message, "full");
+}
+
+TEST(ServeProtocol, MalformedPayloadsDecodeToErrorsNotExceptions) {
+  // Empty payload, unknown opcode, truncation, trailing garbage: each is a
+  // typed decode error — the wire boundary never throws.
+  EXPECT_FALSE(decode_request({}).has_value());
+  const Bytes unknown{0x09};
+  EXPECT_FALSE(decode_request(unknown).has_value());
+
+  Bytes truncated = encode_submit(count_request(0, 10));
+  truncated.resize(truncated.size() / 2);
+  const Expected<Request> trunc = decode_request(truncated);
+  ASSERT_FALSE(trunc.has_value());
+  EXPECT_EQ(trunc.error().code, ErrorCode::kInvalidArgument);
+
+  Bytes trailing = encode_poll(1);
+  trailing.push_back(0xff);
+  EXPECT_FALSE(decode_request(trailing).has_value());
+
+  Bytes bad_response = encode_submit_ok(7);
+  bad_response.resize(3);
+  EXPECT_FALSE(decode_response(bad_response).has_value());
+}
+
+// --- fd framing ---
+
+TEST(ServeProtocol, FramesRoundTripOverAPipe) {
+  int fds[2];
+  ASSERT_EQ(pipe(fds), 0);
+  const Bytes sent = encode_submit(count_request(2, 99));
+  ASSERT_TRUE(write_frame(fds[1], sent));
+  Bytes got;
+  EXPECT_EQ(read_frame(fds[0], got), FrameStatus::kOk);
+  EXPECT_EQ(got, sent);
+
+  // Clean close between frames is EOF, not an error.
+  close(fds[1]);
+  EXPECT_EQ(read_frame(fds[0], got), FrameStatus::kEof);
+  close(fds[0]);
+}
+
+TEST(ServeProtocol, OversizedAndTornFramesAreErrors) {
+  int fds[2];
+  ASSERT_EQ(pipe(fds), 0);
+  // Length prefix far beyond kMaxFrameBytes: the stream is unsynchronized.
+  const std::uint8_t huge[4] = {0xff, 0xff, 0xff, 0x7f};
+  ASSERT_EQ(write(fds[1], huge, sizeof huge), 4);
+  Bytes got;
+  EXPECT_EQ(read_frame(fds[0], got), FrameStatus::kError);
+
+  // A frame whose payload is cut off mid-way is an error, not a hang.
+  const std::uint8_t torn[6] = {8, 0, 0, 0, 0xab, 0xcd};
+  ASSERT_EQ(write(fds[1], torn, sizeof torn), 6);
+  close(fds[1]);
+  EXPECT_EQ(read_frame(fds[0], got), FrameStatus::kError);
+  close(fds[0]);
+}
+
+// --- daemon semantics (direct request API: deterministic, no sockets) ---
+
+TEST(ServeDaemon, TenantIsolationBitIdenticalWithAndWithoutNeighbors) {
+  // Tenant 1's answers must not depend on what tenant 0 is doing: drive
+  // the same tenant-1 sequence with busy and idle neighbors and compare
+  // records bit-for-bit.
+  Daemon busy(small_options(2));
+  Daemon idle(small_options(2));
+  for (int i = 0; i < 3; ++i) {
+    (void)must_submit(busy, count_request(0, 1100 + 40 * i));  // neighbor load
+    (void)must_submit(busy, count_request(1, 1300 + 10 * i));
+    (void)must_submit(idle, count_request(1, 1300 + 10 * i));
+  }
+  const std::vector<ResultRecord> busy_all = settle_and_poll(busy);
+  const std::vector<ResultRecord> idle_all = settle_and_poll(idle);
+
+  std::vector<ResultRecord> busy_t1;
+  for (const ResultRecord& r : busy_all)
+    if (r.tenant == 1) busy_t1.push_back(r);
+  ASSERT_EQ(busy_t1.size(), 3u);
+  ASSERT_EQ(idle_all.size(), 3u);
+  for (std::size_t i = 0; i < busy_t1.size(); ++i) {
+    EXPECT_EQ(busy_t1[i].request_id, idle_all[i].request_id);
+    ASSERT_TRUE(busy_t1[i].answered);
+    ASSERT_TRUE(idle_all[i].answered);
+    EXPECT_EQ(busy_t1[i].estimate, idle_all[i].estimate);  // bit-identical
+    EXPECT_EQ(busy_t1[i].executions, idle_all[i].executions);
+  }
+}
+
+TEST(ServeDaemon, TenantsSeeTheirOwnReadings) {
+  // The same MAX query against two tenants reports each tenant's own
+  // sensor state — the readings are deliberately tenant-perturbed.
+  Daemon daemon(small_options(2));
+  SubmitRequest max0;
+  max0.tenant = 0;
+  max0.kind = EngineQueryKind::kMax;
+  SubmitRequest max1 = max0;
+  max1.tenant = 1;
+  (void)must_submit(daemon, max0);
+  (void)must_submit(daemon, max1);
+  const std::vector<ResultRecord> results = settle_and_poll(daemon);
+  ASSERT_EQ(results.size(), 2u);
+  ASSERT_TRUE(results[0].answered);
+  ASSERT_TRUE(results[1].answered);
+  EXPECT_NE(results[0].estimate, results[1].estimate);
+}
+
+TEST(ServeDaemon, BitIdenticalAcrossThreadPools) {
+  // The engine determinism contract survives the daemon multiplexer: the
+  // same request/tick sequence on a serial and a wide pool yields
+  // bit-identical result streams, disrupted tenant included.
+  std::vector<std::vector<ResultRecord>> runs;
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+    ThreadPool pool(threads);
+    Daemon daemon(small_options(3, /*adversary_tenants=*/1), &pool);
+    for (int i = 0; i < 9; ++i) {
+      SubmitRequest r = count_request(static_cast<std::uint32_t>(i) % 3,
+                                      1200 + 17 * (i % 4));
+      if (i % 3 == 2) {
+        r.kind = EngineQueryKind::kSum;
+      } else if (i % 3 == 1) {
+        r.kind = EngineQueryKind::kMin;
+      }
+      (void)must_submit(daemon, r);
+    }
+    runs.push_back(settle_and_poll(daemon));
+  }
+  ASSERT_EQ(runs[0].size(), runs[1].size());
+  for (std::size_t i = 0; i < runs[0].size(); ++i) {
+    EXPECT_EQ(runs[0][i].request_id, runs[1][i].request_id);
+    ASSERT_EQ(runs[0][i].answered, runs[1][i].answered);
+    if (runs[0][i].answered) {
+      EXPECT_EQ(runs[0][i].estimate, runs[1][i].estimate);  // bit-identical
+    }
+    EXPECT_EQ(runs[0][i].executions, runs[1][i].executions);
+    EXPECT_EQ(runs[0][i].epoch_id, runs[1][i].epoch_id);
+  }
+}
+
+TEST(ServeDaemon, ShutdownDrainsInFlightAndLatchesClosed) {
+  Daemon daemon(small_options(2));
+  std::vector<std::uint64_t> ids;
+  for (int i = 0; i < 4; ++i)
+    ids.push_back(
+        must_submit(daemon, count_request(static_cast<std::uint32_t>(i) % 2,
+                                          1100 + 100 * i)));
+  // No ticks ran: every query is still in flight when SHUTDOWN arrives.
+  ASSERT_EQ(daemon.open_total(), 4u);
+  Request shutdown;
+  shutdown.op = Op::kShutdown;
+  const Response drained = must_decode(daemon.handle_request(shutdown));
+  ASSERT_EQ(drained.results.size(), ids.size());
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    EXPECT_EQ(drained.results[i].answered, true)
+        << "query " << i << " not settled by the shutdown drain";
+  }
+  EXPECT_TRUE(daemon.shutting_down());
+  EXPECT_EQ(daemon.open_total(), 0u);
+
+  // The daemon is latched: post-shutdown submissions are refused.
+  Request late;
+  late.op = Op::kSubmit;
+  late.submit = count_request(0, 1200);
+  const Response refused = must_decode(daemon.handle_request(late));
+  ASSERT_TRUE(refused.error.has_value());
+  EXPECT_EQ(refused.error->code, ErrorCode::kUnavailable);
+}
+
+TEST(ServeDaemon, RejectsUnknownTenantAndMalformedPayloads) {
+  Daemon daemon(small_options(1));
+  Request bad;
+  bad.op = Op::kSubmit;
+  bad.submit = count_request(7, 0);
+  const Response refused = must_decode(daemon.handle_request(bad));
+  ASSERT_TRUE(refused.error.has_value());
+  EXPECT_EQ(refused.error->code, ErrorCode::kInvalidArgument);
+
+  const Bytes junk{0x01, 0x02};  // SUBMIT opcode, truncated body
+  const Response err = must_decode(daemon.handle_payload(junk));
+  EXPECT_EQ(err.op, Op::kSubmit);
+  ASSERT_TRUE(err.error.has_value());
+  EXPECT_EQ(err.error->code, ErrorCode::kInvalidArgument);
+}
+
+TEST(ServeDaemon, StatsTrackSubmissionsAndDisruptedTenants) {
+  Daemon daemon(small_options(2, /*adversary_tenants=*/1));
+  (void)must_submit(daemon, count_request(0, 1200));
+  (void)must_submit(daemon, count_request(1, 1200));
+  const std::vector<ResultRecord> results = settle_and_poll(daemon);
+  ASSERT_EQ(results.size(), 2u);
+
+  Request stats;
+  stats.op = Op::kStats;
+  const Response out = must_decode(daemon.handle_request(stats));
+  ASSERT_EQ(out.stats.tenants.size(), 2u);
+  EXPECT_TRUE(out.stats.tenants[0].disrupted);
+  EXPECT_FALSE(out.stats.tenants[1].disrupted);
+  for (const TenantStats& t : out.stats.tenants) {
+    EXPECT_EQ(t.submitted, 1u);
+    EXPECT_EQ(t.open, 0u);
+    EXPECT_GT(t.fabric_bytes, 0u);
+  }
+  // The choked tenant paid for its disruption; the clean one did not.
+  EXPECT_GT(out.stats.tenants[0].disrupted_executions, 0u);
+  EXPECT_EQ(out.stats.tenants[1].disrupted_executions, 0u);
+}
+
+// --- full session over a socketpair ---
+
+TEST(ServeSession, ClientDrivesDaemonOverSocketpair) {
+  int fds[2];
+  ASSERT_EQ(socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  Daemon daemon(small_options(2, /*adversary_tenants=*/1));
+  int daemon_rc = -1;
+  std::thread server(
+      [&daemon, &fds, &daemon_rc] { daemon_rc = daemon.run(fds[1], fds[1]); });
+  ServeClient client(fds[0], fds[0]);
+
+  std::vector<std::uint64_t> ids;
+  for (int i = 0; i < 6; ++i) {
+    const auto id = client.submit(
+        count_request(static_cast<std::uint32_t>(i) % 2, 1150 + 25 * i));
+    ASSERT_TRUE(id.has_value()) << id.error().to_string();
+    ids.push_back(*id);
+  }
+  std::vector<ResultRecord> results;
+  while (results.size() < ids.size()) {
+    const auto batch = client.poll(0);
+    ASSERT_TRUE(batch.has_value()) << batch.error().to_string();
+    results.insert(results.end(), batch.value().begin(), batch.value().end());
+  }
+  for (const ResultRecord& r : results)
+    EXPECT_TRUE(r.answered) << "request " << r.request_id;
+
+  const auto stats = client.stats();
+  ASSERT_TRUE(stats.has_value());
+  EXPECT_EQ(stats.value().tenants.size(), 2u);
+
+  const auto rest = client.shutdown();
+  ASSERT_TRUE(rest.has_value());
+  EXPECT_TRUE(rest.value().empty());  // everything was already polled
+  server.join();
+  EXPECT_EQ(daemon_rc, 0);
+  close(fds[0]);
+  close(fds[1]);
+}
+
+}  // namespace
+}  // namespace vmat::serve

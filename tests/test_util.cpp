@@ -128,30 +128,52 @@ TEST(Stats, MeanVarianceStddev) {
 
 TEST(Stats, PercentileNearestRank) {
   const std::vector<double> xs{10, 20, 30, 40, 50, 60, 70, 80, 90, 100};
-  EXPECT_DOUBLE_EQ(percentile(xs, 50), 50.0);
-  EXPECT_DOUBLE_EQ(percentile(xs, 90), 90.0);
-  EXPECT_DOUBLE_EQ(percentile(xs, 100), 100.0);
-  EXPECT_DOUBLE_EQ(percentile(xs, 0), 10.0);
+  EXPECT_DOUBLE_EQ(percentile_nearest_rank(xs, 50), 50.0);
+  EXPECT_DOUBLE_EQ(percentile_nearest_rank(xs, 90), 90.0);
+  EXPECT_DOUBLE_EQ(percentile_nearest_rank(xs, 100), 100.0);
+  EXPECT_DOUBLE_EQ(percentile_nearest_rank(xs, 0), 10.0);
 }
 
 TEST(Stats, PercentileValidatesInput) {
-  EXPECT_THROW((void)percentile({}, 50), std::invalid_argument);
-  EXPECT_THROW((void)percentile({}, 0), std::invalid_argument);
-  EXPECT_THROW((void)percentile({}, 100), std::invalid_argument);
+  EXPECT_THROW((void)percentile_nearest_rank({}, 50), std::invalid_argument);
+  EXPECT_THROW((void)percentile_nearest_rank({}, 0), std::invalid_argument);
+  EXPECT_THROW((void)percentile_nearest_rank({}, 100), std::invalid_argument);
+  EXPECT_THROW((void)percentile_interpolated({}, 50), std::invalid_argument);
   const std::vector<double> xs{1.0};
-  EXPECT_THROW((void)percentile(xs, 101), std::invalid_argument);
-  EXPECT_THROW((void)percentile(xs, -0.5), std::invalid_argument);
+  EXPECT_THROW((void)percentile_nearest_rank(xs, 101), std::invalid_argument);
+  EXPECT_THROW((void)percentile_nearest_rank(xs, -0.5), std::invalid_argument);
+  EXPECT_THROW((void)percentile_interpolated(xs, 101), std::invalid_argument);
+  EXPECT_THROW((void)percentile_interpolated(xs, -0.5), std::invalid_argument);
 }
 
 TEST(Stats, PercentileEndpointsAndSingleElement) {
-  // Documented contract: p == 0 is the minimum, p == 100 the maximum, and
-  // a single-element span returns that element for every p.
+  // Documented contract (both variants): p == 0 is the minimum, p == 100
+  // the maximum, and a single-element span returns that element for every p.
   const std::vector<double> xs{7.0, -2.0, 3.5};
-  EXPECT_DOUBLE_EQ(percentile(xs, 0), -2.0);
-  EXPECT_DOUBLE_EQ(percentile(xs, 100), 7.0);
+  EXPECT_DOUBLE_EQ(percentile_nearest_rank(xs, 0), -2.0);
+  EXPECT_DOUBLE_EQ(percentile_nearest_rank(xs, 100), 7.0);
+  EXPECT_DOUBLE_EQ(percentile_interpolated(xs, 0), -2.0);
+  EXPECT_DOUBLE_EQ(percentile_interpolated(xs, 100), 7.0);
   const std::vector<double> one{42.0};
-  for (const double p : {0.0, 1.0, 50.0, 99.0, 100.0})
-    EXPECT_DOUBLE_EQ(percentile(one, p), 42.0) << "p=" << p;
+  for (const double p : {0.0, 1.0, 50.0, 99.0, 100.0}) {
+    EXPECT_DOUBLE_EQ(percentile_nearest_rank(one, p), 42.0) << "p=" << p;
+    EXPECT_DOUBLE_EQ(percentile_interpolated(one, p), 42.0) << "p=" << p;
+  }
+}
+
+TEST(Stats, PercentileInterpolatedDoesNotCollapseToMax) {
+  // The latency-reporting bugfix: nearest-rank p95 of 10 samples IS the
+  // max (rank ceil(0.95 * 10) = 10); the interpolated variant lands
+  // between the 9th and 10th order statistics instead.
+  const std::vector<double> xs{10, 20, 30, 40, 50, 60, 70, 80, 90, 100};
+  EXPECT_DOUBLE_EQ(percentile_nearest_rank(xs, 95), 100.0);
+  EXPECT_DOUBLE_EQ(percentile_interpolated(xs, 95), 95.5);
+  EXPECT_DOUBLE_EQ(percentile_interpolated(xs, 50), 55.0);
+  EXPECT_DOUBLE_EQ(percentile_interpolated(xs, 99), 99.1);
+  // Two samples: straight line between them.
+  const std::vector<double> two{0.0, 10.0};
+  EXPECT_DOUBLE_EQ(percentile_interpolated(two, 25), 2.5);
+  EXPECT_DOUBLE_EQ(percentile_interpolated(two, 75), 7.5);
 }
 
 TEST(Stats, EmptyRunningStatsUsesIdentityExtrema) {

@@ -1,0 +1,18 @@
+// Fixture: src/serve/ is a sanctioned output sink — vmatd prints operator
+// status lines (and only when stdout is not the protocol channel, so the
+// frame stream stays clean). stdout-in-src must NOT fire anywhere under a
+// serve/ component.
+#include <cstdio>
+#include <iostream>
+
+namespace fixture {
+
+inline void announce_session(unsigned tenants, bool log) {
+  if (log) std::printf("vmatd: serving %u tenant(s)\n", tenants);
+}
+
+inline void announce_shutdown(unsigned long long ticks) {
+  std::cout << "vmatd: shutdown after " << ticks << " tick(s)\n";
+}
+
+}  // namespace fixture

@@ -19,6 +19,10 @@ Gated metrics per shared group:
     correctness regression (a second byte-accounting path, a protocol
     change without a re-baseline) and fails regardless of timing.
 
+Reports carrying non-finite numbers (Infinity/NaN — e.g. the ±inf identity
+extrema of a zero-sample stats group) are malformed and exit 2 with a clear
+error, never a traceback.
+
 Exit status: 0 clean, 1 regression/missing row, 2 usage/format error.
 """
 
@@ -26,11 +30,24 @@ from __future__ import annotations
 
 import argparse
 import json
+import math
 import sys
 
 
 class FormatError(Exception):
     """A structurally malformed report (not a perf regression)."""
+
+
+def _reject_constant(token: str):
+    # Python's json quietly accepts Infinity/-Infinity/NaN; a report
+    # carrying one (an unguarded ±inf extremum from a zero-sample group)
+    # is malformed, not comparable — fail with a clear format error.
+    raise FormatError(f"non-finite JSON constant {token!r} in report")
+
+
+def load_report(path: str) -> dict:
+    with open(path) as f:
+        return json.load(f, parse_constant=_reject_constant)
 
 
 def metrics_by_group(report: dict, path: str) -> dict[str, dict[str, float]]:
@@ -41,10 +58,17 @@ def metrics_by_group(report: dict, path: str) -> dict[str, dict[str, float]]:
         if not isinstance(group, dict) or "label" not in group:
             raise FormatError(
                 f"{path}: trial_groups[{i}] is malformed (no label)")
-        out[group["label"]] = {
+        metrics = {
             k: v for k, v in group.items()
             if isinstance(v, (int, float)) and not isinstance(v, bool)
         }
+        for k, v in metrics.items():
+            if not math.isfinite(v):
+                raise FormatError(
+                    f"{path}: group {group['label']!r} metric {k!r} is "
+                    f"non-finite ({v}) — a zero-sample stats group leaked "
+                    "into the report")
+        out[group["label"]] = metrics
     return out
 
 
@@ -66,10 +90,9 @@ def main(argv: list[str]) -> int:
     args = ap.parse_args(argv)
 
     try:
-        with open(args.new_json) as f:
-            new = metrics_by_group(json.load(f), args.new_json)
-        with open(args.baseline_json) as f:
-            base = metrics_by_group(json.load(f), args.baseline_json)
+        new = metrics_by_group(load_report(args.new_json), args.new_json)
+        base = metrics_by_group(load_report(args.baseline_json),
+                                args.baseline_json)
     except (OSError, json.JSONDecodeError, FormatError) as e:
         print(f"perf_compare: {e}", file=sys.stderr)
         return 2

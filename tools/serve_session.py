@@ -1,0 +1,210 @@
+#!/usr/bin/env python3
+"""serve-session: scripted client for the vmatd frame protocol.
+
+Spawns `vmatsim --daemon` (or any command speaking src/serve/protocol.h on
+stdin/stdout), submits a round-robin mix of COUNT / SUM / AVERAGE / MIN /
+MAX / quantile queries across the tenants, polls until every result is in,
+prints the STATS snapshot as JSON, and sends SHUTDOWN.
+
+This is the language-independent conformance check for the wire protocol:
+if the byte layout drifts from the documented encoding, this driver (not a
+C++ client compiled against the same headers) is what catches it.
+
+A query on a clean tenant must always be answered. A query on an
+adversary-disrupted tenant may legitimately fail: with lying key holders
+the revocation procedure broadens to whole ring-seed closures, and a
+severe cascade can revoke enough of the population that MIN/MAX have no
+readings left (kUnavailable) — Theorem 7 promises neutralization, not
+zero casualties. The driver therefore tolerates failures on tenants whose
+STATS snapshot says disrupted (reported in the JSON), unless --strict.
+
+Exit status: 0 all clean-tenant queries answered, nothing lost, and the
+daemon exited cleanly; 1 otherwise; 2 usage error.
+
+Usage:
+  tools/serve_session.py --queries 24 -- \\
+      build/examples/vmatsim --daemon --tenants 4 --adversary-tenants 1
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import struct
+import subprocess
+import sys
+
+OP_SUBMIT, OP_POLL, OP_STATS, OP_SHUTDOWN = 1, 2, 3, 4
+KIND_NAMES = ["count", "sum", "average", "min", "max", "quantile"]
+
+TENANT_STATS_FIELDS = (
+    "tenant", "disrupted", "open", "submitted", "answered", "failed",
+    "rounds", "executions", "disrupted_executions", "epochs_formed",
+    "epochs_rearmed", "fabric_bytes")
+
+
+def write_frame(pipe, payload: bytes) -> None:
+    pipe.write(struct.pack("<I", len(payload)) + payload)
+    pipe.flush()
+
+
+def read_frame(pipe) -> bytes:
+    header = pipe.read(4)
+    if len(header) < 4:
+        raise EOFError("daemon closed the stream")
+    (length,) = struct.unpack("<I", header)
+    payload = pipe.read(length)
+    if len(payload) < length:
+        raise EOFError("truncated frame from daemon")
+    return payload
+
+
+def encode_submit(tenant: int, kind: int, threshold: int, q: float,
+                  domain_max: int) -> bytes:
+    return struct.pack("<BIBIIqdq", OP_SUBMIT, tenant, kind, 0, 0,
+                       threshold, q, domain_max)
+
+
+class Reader:
+    def __init__(self, payload: bytes):
+        self.buf = payload
+        self.pos = 0
+
+    def take(self, fmt: str):
+        size = struct.calcsize(fmt)
+        if self.pos + size > len(self.buf):
+            raise EOFError("truncated response payload")
+        out = struct.unpack_from(fmt, self.buf, self.pos)
+        self.pos += size
+        return out[0] if len(out) == 1 else out
+
+
+def decode_response(payload: bytes) -> dict:
+    r = Reader(payload)
+    op = r.take("<B")
+    if r.take("<B") != 0:
+        code = r.take("<B")
+        msg = r.buf[r.pos + 4:].decode("utf-8", "replace")
+        return {"op": op, "error": {"code": code, "message": msg}}
+    out = {"op": op}
+    if op == OP_SUBMIT:
+        out["request_id"] = r.take("<Q")
+    elif op in (OP_POLL, OP_SHUTDOWN):
+        records = []
+        for _ in range(r.take("<I")):
+            rec = {"request_id": r.take("<Q"), "tenant": r.take("<I"),
+                   "kind": KIND_NAMES[r.take("<B")]}
+            rec["answered"] = r.take("<B") != 0
+            if rec["answered"]:
+                rec["estimate"] = r.take("<d")
+            else:
+                rec["error_code"] = r.take("<B")
+            rec["executions"] = r.take("<I")
+            rec["epoch_id"] = r.take("<Q")
+            records.append(rec)
+        out["results"] = records
+    elif op == OP_STATS:
+        out["ticks"] = r.take("<Q")
+        out["results_ready"] = r.take("<Q")
+        tenants = []
+        for _ in range(r.take("<I")):
+            values = r.take("<IBIQQQQQQQQQ")
+            tenants.append(dict(zip(TENANT_STATS_FIELDS, values)))
+        out["tenants"] = tenants
+    return out
+
+
+def main(argv: list[str]) -> int:
+    ap = argparse.ArgumentParser(
+        prog="serve-session",
+        description="Scripted vmatd session over stdin/stdout frames.")
+    ap.add_argument("--queries", type=int, default=24,
+                    help="queries to submit, round-robin kinds (default 24)")
+    ap.add_argument("--tenants", type=int, default=4,
+                    help="tenant count to spread queries over (must match "
+                         "the daemon's --tenants; default 4)")
+    ap.add_argument("--strict", action="store_true",
+                    help="fail on ANY unanswered query, disrupted tenants "
+                         "included")
+    ap.add_argument("command", nargs=argparse.REMAINDER,
+                    help="daemon command line (prefix with --)")
+    args = ap.parse_args(argv)
+    command = args.command
+    if command and command[0] == "--":
+        command = command[1:]
+    if not command:
+        ap.error("missing daemon command (after --)")
+    if args.queries < 1 or args.tenants < 1:
+        ap.error("--queries and --tenants must be positive")
+
+    daemon = subprocess.Popen(command, stdin=subprocess.PIPE,
+                              stdout=subprocess.PIPE)
+    try:
+        ids = set()
+        for i in range(args.queries):
+            payload = encode_submit(
+                tenant=i % args.tenants, kind=i % 6,
+                threshold=1200 + 25 * (i % 8),
+                q=0.25 + 0.25 * (i % 3), domain_max=2048)
+            write_frame(daemon.stdin, payload)
+            resp = decode_response(read_frame(daemon.stdout))
+            if "error" in resp:
+                print(f"serve-session: SUBMIT {i} rejected: {resp['error']}",
+                      file=sys.stderr)
+                return 1
+            ids.add(resp["request_id"])
+
+        answered, failed = [], []
+        while len(answered) + len(failed) < args.queries:
+            write_frame(daemon.stdin, struct.pack("<BI", OP_POLL, 0))
+            resp = decode_response(read_frame(daemon.stdout))
+            if "error" in resp:
+                print(f"serve-session: POLL rejected: {resp['error']}",
+                      file=sys.stderr)
+                return 1
+            for rec in resp["results"]:
+                ids.discard(rec["request_id"])
+                (answered if rec["answered"] else failed).append(rec)
+
+        write_frame(daemon.stdin, struct.pack("<B", OP_STATS))
+        stats = decode_response(read_frame(daemon.stdout))
+        write_frame(daemon.stdin, struct.pack("<B", OP_SHUTDOWN))
+        final = decode_response(read_frame(daemon.stdout))
+        daemon.stdin.close()
+        rc = daemon.wait(timeout=60)
+
+        disrupted = {t["tenant"] for t in stats.get("tenants", [])
+                     if t.get("disrupted")}
+        failed_clean = [r for r in failed if r["tenant"] not in disrupted]
+        failed_disrupted = [r for r in failed if r["tenant"] in disrupted]
+        report = {
+            "queries": args.queries,
+            "answered": len(answered),
+            "failed_clean": len(failed_clean),
+            "failed_disrupted": len(failed_disrupted),
+            "unaccounted": len(ids),
+            "leftover_at_shutdown": len(final.get("results", [])),
+            "daemon_exit": rc,
+            "stats": {k: v for k, v in stats.items() if k != "op"},
+        }
+        print(json.dumps(report, indent=2))
+        for rec in failed:
+            where = "disrupted" if rec["tenant"] in disrupted else "CLEAN"
+            print(f"serve-session: query {rec['request_id']} failed on "
+                  f"{where} tenant {rec['tenant']} "
+                  f"(error code {rec['error_code']})", file=sys.stderr)
+        ok = not failed_clean and not ids and rc == 0
+        if args.strict:
+            ok = ok and not failed_disrupted
+        return 0 if ok else 1
+    except EOFError as e:
+        print(f"serve-session: {e}", file=sys.stderr)
+        return 1
+    finally:
+        if daemon.poll() is None:
+            daemon.kill()
+            daemon.wait()
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

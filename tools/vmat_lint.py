@@ -27,7 +27,9 @@ checkable from source text, as named, individually suppressible rules:
                          per-trial-slot discipline is auditable.
   stdout-in-src          No direct std::cout / printf in src/ — output
                          goes through core/report or util/stats, which the
-                         trial engine serialises.
+                         trial engine serialises. src/serve/ is sanctioned
+                         (vmatd's operator status lines, printed only when
+                         stdout is not the protocol channel).
   deprecated-config      The pre-SimulationSpec config names (NetworkConfig,
                          VmatConfig, KeySetupConfig, TreeFormationParams)
                          are [[deprecated]] shims for downstream users
@@ -425,6 +427,10 @@ def rule_stdout_in_src(src: SourceFile, report) -> None:
         return  # the sanctioned report sink
     if src.in_dir("trace"):
         return  # the flight recorder's export sink (trace-file pointer line)
+    if src.in_dir("serve"):
+        # vmatd's operator status lines; Daemon::run() only prints when
+        # stdout is NOT the protocol channel, so frames stay clean.
+        return
     for i, line in enumerate(src.code_lines, start=1):
         if STDOUT_RE.search(line):
             report(i, "direct stdout in src/; route output through "
