@@ -7,6 +7,11 @@
 // at all. We measure the fraction of first executions disrupted across
 // random dropper placements, and the average pinpointing rounds paid per
 // query.
+//
+// Not eligible for snapshot-fork / epoch reuse: every trial draws a fresh
+// dropper placement, and the malicious set must be fixed at formation time
+// for a shared snapshot (the fork contract) — each placement genuinely
+// needs its own tree.
 #include <cstdio>
 #include <memory>
 #include <string>

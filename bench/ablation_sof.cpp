@@ -10,6 +10,10 @@
 // The delaying adversary here drops the veto passing through it and
 // re-injects it much later; honest one-time forwarders that had not seen it
 // yet then propagate it with large intervals.
+//
+// Not eligible for snapshot-fork / epoch reuse: this bench drives the raw
+// SOF phase primitives directly (no coordinator, no execution prefix to
+// capture or epoch to reuse).
 #include <cstdio>
 #include <memory>
 #include <string>

@@ -7,6 +7,9 @@
 // in aggregation; in timestamp mode the same frames merely assign
 // (valid) early levels. We report the fraction of honest sensors left
 // without a valid level.
+//
+// Not eligible for snapshot-fork / epoch reuse: tree formation itself is
+// the measurand — reusing a formed tree would measure nothing.
 #include <cstdio>
 #include <memory>
 #include <string>

@@ -5,6 +5,7 @@
 //           [--f K] [--theta T] [--query min|count] [--instances M]
 //           [--seed S] [--executions E] [--serve Q] [--multipath]
 //           [--sparse-keys] [--trace FILE]
+//           [--campaign P] [--corpus FILE] [--replay FILE]
 //           [--daemon] [--tenants N] [--adversary-tenants A] [--socket PATH]
 //
 // Default mode runs E one-shot query executions against the configured
@@ -15,6 +16,15 @@
 // records the full flight-recorder event stream, writes it to FILE as JSON
 // (readable by tools/check_trace.py), and runs the built-in trace-invariant
 // checker over the recording.
+//
+// --campaign P runs the coverage-guided strategy fuzzer (src/campaign/):
+// P probes forked from one post-formation snapshot, searching the
+// (policy x predicate x seed) space for worst cases; prints the
+// deterministic worst-case table. --corpus FILE seeds the search from an
+// existing corpus (if the file exists) and writes the found corpus back;
+// --trace exports the worst probe's event stream. --replay FILE instead
+// re-executes every corpus entry and verifies its outcome digest — the
+// regression mode the committed corpus runs under ctest.
 //
 // --daemon starts vmatd: N independent tenants served over the frame
 // protocol (src/serve/protocol.h) on stdin/stdout, or on a Unix socket
@@ -52,6 +62,10 @@ struct Options {
   bool multipath = false;
   bool sparse_keys = false;
   std::string trace;  // empty = no recording
+  // --campaign mode
+  std::uint32_t campaign = 0;  // > 0: fuzz with this probe budget
+  std::string corpus;          // seed corpus in / found corpus out
+  std::string replay;          // corpus regression replay mode
   // --daemon mode
   bool daemon = false;
   std::uint32_t tenants = 8;
@@ -67,6 +81,7 @@ struct Options {
       "          [--f K] [--theta T] [--query min|count] [--instances M]\n"
       "          [--seed S] [--executions E] [--serve Q] [--multipath]\n"
       "          [--sparse-keys] [--trace FILE]\n"
+      "          [--campaign P] [--corpus FILE] [--replay FILE]\n"
       "          [--daemon] [--tenants N] [--adversary-tenants A] "
       "[--socket PATH]\n",
       argv0);
@@ -134,6 +149,9 @@ Options parse(int argc, char** argv) {
     else if (flag == "--multipath") o.multipath = true;
     else if (flag == "--sparse-keys") o.sparse_keys = true;
     else if (flag == "--trace") o.trace = value();
+    else if (flag == "--campaign") o.campaign = parse_count("--campaign", value());
+    else if (flag == "--corpus") o.corpus = value();
+    else if (flag == "--replay") o.replay = value();
     else if (flag == "--daemon") o.daemon = true;
     else if (flag == "--tenants") o.tenants = parse_count("--tenants", value());
     else if (flag == "--adversary-tenants") o.adversary_tenants = parse_size("--adversary-tenants", value());
@@ -181,19 +199,44 @@ vmat::SimulationSpec make_spec(Options& o) {
   return spec;
 }
 
-std::unique_ptr<vmat::AdversaryStrategy> make_strategy(const Options& o) {
+/// The classic named attacks, described declaratively (the AttackSpec path —
+/// the zoo subclasses these mirror remain only for attacks whose behavior is
+/// not expressible as a policy x predicate genome).
+bool describe_attack(const std::string& name, vmat::AttackSpec& attack) {
+  using vmat::campaign::AggAction;
+  using vmat::campaign::AttackPolicy;
+  using vmat::campaign::AttackPredicate;
+  using vmat::campaign::ConfAction;
+  // The zoo's choking attacks all strike in the first slot only.
+  const AttackPredicate first_slot =
+      AttackPredicate::slot_at_least(1) && !AttackPredicate::slot_at_least(2);
+  AttackPolicy policy;
+  if (name == "silent") {
+    attack.policy(policy);
+  } else if (name == "drop") {
+    policy.agg = AggAction::kForwardMax;
+    policy.lie = vmat::LiePolicy::kRandom;
+    attack.policy(policy);
+  } else if (name == "junk") {
+    policy.agg = AggAction::kInjectJunk;
+    attack.policy(policy).when(first_slot);
+  } else if (name == "choke") {
+    policy.conf = ConfAction::kChokeVeto;
+    attack.policy(policy).when(first_slot);
+  } else if (name == "selfveto") {
+    policy.conf = ConfAction::kSelfVeto;
+    policy.self_veto_value = 1;
+    attack.policy(policy).when(first_slot);
+  } else {
+    return false;
+  }
+  return true;
+}
+
+/// Zoo strategies with behavior outside the declarative genome (physical
+/// wormholes, per-slot coin flips, malformed frames).
+std::unique_ptr<vmat::AdversaryStrategy> make_zoo_strategy(const Options& o) {
   using namespace vmat;
-  if (o.attack == "none") return std::make_unique<NullStrategy>();
-  if (o.attack == "silent")
-    return std::make_unique<SilentDropStrategy>(LiePolicy::kDenyAll);
-  if (o.attack == "drop")
-    return std::make_unique<ValueDropStrategy>(LiePolicy::kRandom);
-  if (o.attack == "junk")
-    return std::make_unique<JunkInjectStrategy>(LiePolicy::kDenyAll);
-  if (o.attack == "choke")
-    return std::make_unique<ChokeVetoStrategy>(LiePolicy::kDenyAll);
-  if (o.attack == "selfveto")
-    return std::make_unique<SelfVetoStrategy>(1, LiePolicy::kDenyAll);
   if (o.attack == "wormhole")
     return std::make_unique<WormholeStrategy>(100, LiePolicy::kDenyAll);
   if (o.attack == "random")
@@ -201,6 +244,29 @@ std::unique_ptr<vmat::AdversaryStrategy> make_strategy(const Options& o) {
   if (o.attack == "garbage") return std::make_unique<GarbageStrategy>(o.seed);
   std::fprintf(stderr, "unknown attack: %s\n", o.attack.c_str());
   std::exit(2);
+}
+
+/// Place the configured adversary: the declarative AttackSpec path when the
+/// attack is expressible as policy x predicate, the zoo otherwise.
+std::unique_ptr<vmat::Adversary> make_adversary(const Options& o,
+                                                vmat::SimulationSpec& spec,
+                                                vmat::Network& net) {
+  if (o.attack == "none" || o.f == 0)
+    return std::make_unique<vmat::Adversary>(
+        &net, std::unordered_set<vmat::NodeId>{},
+        std::make_unique<vmat::NullStrategy>());
+  if (describe_attack(o.attack, spec.attack())) {
+    spec.attack().compromised(o.f).placement_seed(o.seed + 17);
+    auto built = spec.build_adversary(net);
+    if (!built.has_value()) {
+      std::fprintf(stderr, "vmatsim: %s\n", built.error().to_string().c_str());
+      std::exit(2);
+    }
+    return std::move(built.value());
+  }
+  auto malicious = vmat::choose_malicious(net.topology(), o.f, o.seed + 17);
+  return std::make_unique<vmat::Adversary>(&net, std::move(malicious),
+                                           make_zoo_strategy(o));
 }
 
 /// Round-robin over the engine's query kinds so a --serve run exercises
@@ -288,6 +354,90 @@ int run_serving_mode(const Options& o, vmat::VmatCoordinator& coordinator,
         static_cast<unsigned long long>(epoch.queries_served),
         static_cast<double>(epoch.fabric_bytes) / 1024.0);
   return stats.queries_failed == 0 ? 0 : 1;
+}
+
+/// --campaign: the coverage-guided strategy fuzzer. Deterministic for a
+/// fixed (--seed, --campaign, deployment) triple: same corpus, same
+/// coverage counters, same worst-case table, any VMAT_THREADS.
+int run_campaign_mode(const Options& o, const vmat::SimulationSpec& base_spec) {
+  namespace camp = vmat::campaign;
+  camp::CampaignConfig config;
+  config.spec = base_spec;
+  config.compromised = o.f == 0 ? 2 : o.f;
+  config.placement_seed = o.seed + 17;
+  config.probes = o.campaign;
+  config.seed = o.seed;
+  if (!o.corpus.empty())
+    if (auto seeds = camp::Corpus::load(o.corpus); seeds.has_value()) {
+      config.seeds = std::move(seeds.value());
+      std::printf("corpus: seeded search with %zu entr(ies) from %s\n",
+                  config.seeds.entries.size(), o.corpus.c_str());
+    }
+  camp::CampaignRunner runner(std::move(config));
+  const camp::CampaignResult result = runner.run();
+  std::printf("%s", result.table().c_str());
+  if (!o.corpus.empty()) {
+    if (const vmat::Status saved = result.corpus.save(o.corpus);
+        !saved.has_value()) {
+      std::fprintf(stderr, "vmatsim: %s\n", saved.error().to_string().c_str());
+      return 1;
+    }
+    std::printf("corpus: wrote %zu entr(ies) to %s\n",
+                result.corpus.entries.size(), o.corpus.c_str());
+  }
+  if (!o.trace.empty() && !result.probes.empty()) {
+    // Export the most interesting probe's full event stream.
+    std::size_t index = 0;
+    if (result.first_violation.has_value()) index = *result.first_violation;
+    else if (result.worst_ruin.has_value()) index = *result.worst_ruin;
+    else if (result.worst_misrevocation.has_value()) index = *result.worst_misrevocation;
+    else if (result.worst_latency.has_value()) index = *result.worst_latency;
+    vmat::FlightRecorder recorder;
+    (void)runner.replay(result.probes[index].entry, recorder);
+    if (!recorder.write_json(o.trace)) {
+      std::fprintf(stderr, "failed to write trace: %s\n", o.trace.c_str());
+      return 1;
+    }
+    const auto check = vmat::check_trace(recorder);
+    std::printf("trace: probe %zu, %zu event(s); invariants %s\n", index,
+                recorder.events().size(), check.ok() ? "OK" : "VIOLATED");
+  }
+  return result.first_violation.has_value() ? 1 : 0;
+}
+
+/// --replay: corpus regression mode. Re-executes every entry through the
+/// probe path and verifies the recorded outcome digest.
+int run_replay_mode(const Options& o, const vmat::SimulationSpec& base_spec) {
+  namespace camp = vmat::campaign;
+  auto loaded = camp::Corpus::load(o.replay);
+  if (!loaded.has_value()) {
+    std::fprintf(stderr, "vmatsim: --replay: %s\n",
+                 loaded.error().to_string().c_str());
+    return 2;
+  }
+  camp::CampaignConfig config;
+  config.spec = base_spec;
+  config.compromised = o.f == 0 ? 2 : o.f;
+  config.placement_seed = o.seed + 17;
+  config.seed = o.seed;
+  camp::CampaignRunner runner(std::move(config));
+  int drifted = 0;
+  std::size_t violations = 0;
+  const auto& entries = loaded.value().entries;
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    const camp::ProbeOutcome po = runner.replay(entries[i]);
+    const bool match =
+        entries[i].digest == 0 || entries[i].digest == po.entry.digest;
+    violations += po.violations;
+    std::printf("replay %2zu [%-9s]: digest %016llx %s\n", i,
+                entries[i].objective.c_str(),
+                static_cast<unsigned long long>(po.entry.digest),
+                match ? "ok" : "DRIFT");
+    if (!match) ++drifted;
+  }
+  std::printf("replay: %zu entr(ies), %d drifted, %zu violation(s)\n",
+              entries.size(), drifted, violations);
+  return drifted == 0 ? 0 : 1;
 }
 
 /// vmatd entry: serve the frame protocol on stdin/stdout, or accept one
@@ -379,18 +529,27 @@ int main(int argc, char** argv) {
   if (o.daemon) return run_daemon_mode(o);
 
   const vmat::SimulationSpec base_spec = make_spec(o);
+  if (o.campaign > 0 || !o.replay.empty()) {
+    try {
+      return o.replay.empty() ? run_campaign_mode(o, base_spec)
+                              : run_replay_mode(o, base_spec);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "vmatsim: %s\n", e.what());
+      return 2;
+    }
+  }
+
   vmat::Network net(base_spec);
   if (o.sparse_keys) {
     const auto established = net.establish_path_keys();
     std::printf("path keys established: %zu\n", established);
   }
 
-  std::unordered_set<vmat::NodeId> malicious;
-  if (o.attack != "none" && o.f > 0)
-    malicious = vmat::choose_malicious(net.topology(), o.f, o.seed + 17);
-  vmat::Adversary adversary(&net, malicious, make_strategy(o));
-
   vmat::SimulationSpec spec = base_spec;
+  std::unique_ptr<vmat::Adversary> adversary_ptr = make_adversary(o, spec, net);
+  vmat::Adversary& adversary = *adversary_ptr;
+  const std::unordered_set<vmat::NodeId>& malicious = adversary.malicious();
+
   spec.depth_bound(net.topology().depth(malicious));
   vmat::VmatCoordinator coordinator(&net, &adversary, spec);
 

@@ -61,6 +61,17 @@ std::optional<KeyIndex> AdversaryView::attack_key_for(NodeId target) const {
   return best;
 }
 
+TriggerState AdversaryView::trigger_state(TracePhase phase,
+                                          Interval slot) const {
+  TriggerState state;
+  state.phase = phase;
+  state.slot = slot;
+  state.revoked_keys = net_->revocation().revoked_key_count();
+  state.revoked_sensors = net_->revocation().revoked_sensors_in_order().size();
+  state.round = round_;
+  return state;
+}
+
 std::vector<NodeId> AdversaryView::malicious_neighbors_of(NodeId node) const {
   std::vector<NodeId> out;
   for (NodeId v : net_->topology().neighbors(node))

@@ -25,6 +25,30 @@
 
 namespace vmat {
 
+/// A snapshot of the live execution state an attack trigger predicate is
+/// evaluated over (campaign/predicate.h). AdversaryView fills the fields it
+/// can see globally (phase, slot, revocation counts, execution round); the
+/// per-phase hooks add what only their context knows (tree level, frame
+/// contents).
+struct TriggerState {
+  TracePhase phase{TracePhase::kNone};
+  Interval slot{0};
+  /// Deepest tree level any malicious sensor was placed at (0 = unknown /
+  /// not yet on a tree).
+  Level deepest_level{0};
+  std::size_t revoked_keys{0};
+  std::size_t revoked_sensors{0};
+  /// 1-based execution ordinal since this adversary was placed (bumped by
+  /// the coordinator at the start of every execution's query phases).
+  std::uint64_t round{0};
+  /// Valid-envelope frames delivered to the malicious set so far this phase.
+  std::size_t frames_seen{0};
+  /// Smallest reading observed in those frames (kInfinity = none yet).
+  Reading min_seen{kInfinity};
+
+  friend bool operator==(const TriggerState&, const TriggerState&) = default;
+};
+
 class AdversaryView {
  public:
   AdversaryView(Network* net, std::unordered_set<NodeId> malicious);
@@ -62,9 +86,24 @@ class AdversaryView {
   /// Malicious physical neighbors of `node`.
   [[nodiscard]] std::vector<NodeId> malicious_neighbors_of(NodeId node) const;
 
+  // --- trigger-predicate evaluation seam (campaign/predicate.h) ---
+
+  /// Called by the coordinator at the start of every execution's query
+  /// phases, so `(round>= N)` predicates can arm on a later execution.
+  void begin_execution_round() noexcept { ++round_; }
+  /// 1-based execution ordinal; 0 before the first execution.
+  [[nodiscard]] std::uint64_t round() const noexcept { return round_; }
+
+  /// The globally visible part of the trigger state: phase, slot, the
+  /// revocation counters, and the execution round. Per-phase hook contexts
+  /// add tree level and frame contents on top (campaign/strategy.h).
+  [[nodiscard]] TriggerState trigger_state(TracePhase phase,
+                                           Interval slot) const;
+
  private:
   Network* net_;
   std::unordered_set<NodeId> malicious_;
+  std::uint64_t round_{0};
 };
 
 /// Read-only context handed to the tree-formation hook each slot.

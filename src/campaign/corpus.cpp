@@ -1,0 +1,146 @@
+#include "campaign/corpus.h"
+
+#include <charconv>
+#include <fstream>
+#include <sstream>
+
+namespace vmat::campaign {
+namespace {
+
+constexpr std::string_view kMagic = "vmatc1";
+
+Error fail(const std::string& what) {
+  return Error{ErrorCode::kInvalidArgument, "corpus parse: " + what};
+}
+
+std::string hex64(std::uint64_t value) {
+  char buf[17];
+  const auto [ptr, ec] = std::to_chars(buf, buf + 16, value, 16);
+  return std::string(buf, ptr);
+}
+
+/// `key=value` field where value runs to the next space. Returns false if
+/// the line does not start (at `pos`) with `key=`.
+bool take_field(std::string_view line, std::size_t& pos, std::string_view key,
+                std::string_view& value) {
+  while (pos < line.size() && line[pos] == ' ') ++pos;
+  if (line.substr(pos, key.size()) != key || pos + key.size() >= line.size() ||
+      line[pos + key.size()] != '=')
+    return false;
+  pos += key.size() + 1;
+  const std::size_t end = std::min(line.find(' ', pos), line.size());
+  value = line.substr(pos, end - pos);
+  pos = end;
+  return true;
+}
+
+}  // namespace
+
+std::string to_line(const CampaignEntry& entry) {
+  std::string out(kMagic);
+  out += " seed=";
+  out += std::to_string(entry.seed);
+  out += " digest=";
+  out += hex64(entry.digest);
+  out += " objective=";
+  out += entry.objective;
+  out += " policy=";
+  out += to_text(entry.policy);
+  out += " when=";
+  out += entry.when.to_text();
+  return out;
+}
+
+Expected<CampaignEntry> entry_from_line(std::string_view line) {
+  CampaignEntry entry;
+  std::size_t pos = 0;
+  while (pos < line.size() && line[pos] == ' ') ++pos;
+  if (line.substr(pos, kMagic.size()) != kMagic)
+    return fail("line does not start with '" + std::string(kMagic) + "'");
+  pos += kMagic.size();
+
+  std::string_view value;
+  if (!take_field(line, pos, "seed", value)) return fail("missing seed=");
+  {
+    const auto [ptr, ec] =
+        std::from_chars(value.data(), value.data() + value.size(), entry.seed);
+    if (ec != std::errc{} || ptr != value.data() + value.size())
+      return fail("bad seed '" + std::string(value) + "'");
+  }
+  if (!take_field(line, pos, "digest", value)) return fail("missing digest=");
+  {
+    const auto [ptr, ec] = std::from_chars(
+        value.data(), value.data() + value.size(), entry.digest, 16);
+    if (ec != std::errc{} || ptr != value.data() + value.size())
+      return fail("bad digest '" + std::string(value) + "'");
+  }
+  if (!take_field(line, pos, "objective", value))
+    return fail("missing objective=");
+  entry.objective = std::string(value);
+  if (!take_field(line, pos, "policy", value)) return fail("missing policy=");
+  Expected<AttackPolicy> policy = policy_from_text(value);
+  if (!policy) return policy.error();
+  entry.policy = policy.value();
+
+  // `when=` runs to end of line (the predicate text contains spaces).
+  while (pos < line.size() && line[pos] == ' ') ++pos;
+  if (line.substr(pos, 5) != "when=") return fail("missing when=");
+  Expected<AttackPredicate> when = AttackPredicate::parse(line.substr(pos + 5));
+  if (!when) return when.error();
+  entry.when = when.value();
+  return entry;
+}
+
+std::string Corpus::to_text() const {
+  std::string out =
+      "# vmat campaign corpus — one replayable counterexample per line\n";
+  for (const CampaignEntry& entry : entries) {
+    out += to_line(entry);
+    out += '\n';
+  }
+  return out;
+}
+
+Expected<Corpus> Corpus::from_text(std::string_view text) {
+  Corpus corpus;
+  std::size_t line_no = 0;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const std::size_t end = std::min(text.find('\n', pos), text.size());
+    std::string_view line = text.substr(pos, end - pos);
+    ++line_no;
+    while (!line.empty() && (line.back() == '\r' || line.back() == ' '))
+      line.remove_suffix(1);
+    if (!line.empty() && line.front() != '#') {
+      Expected<CampaignEntry> entry = entry_from_line(line);
+      if (!entry)
+        return Error{entry.error().code, "line " + std::to_string(line_no) +
+                                             ": " + entry.error().message};
+      corpus.entries.push_back(std::move(entry.value()));
+    }
+    if (end == text.size()) break;
+    pos = end + 1;
+  }
+  return corpus;
+}
+
+Expected<Corpus> Corpus::load(const std::string& path) {
+  std::ifstream in(path);
+  if (!in)
+    return Error{ErrorCode::kUnavailable, "corpus load: cannot open " + path};
+  std::ostringstream text;
+  text << in.rdbuf();
+  return from_text(text.str());
+}
+
+Status Corpus::save(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out)
+    return Error{ErrorCode::kUnavailable, "corpus save: cannot open " + path};
+  out << to_text();
+  return out.good() ? Status{}
+                    : Status{Error{ErrorCode::kUnavailable,
+                                   "corpus save: write failed for " + path}};
+}
+
+}  // namespace vmat::campaign

@@ -1,0 +1,53 @@
+// The replayable campaign corpus: every interesting probe the fuzzer finds
+// (counterexamples, coverage novelties, worst cases) serialized as one
+// text line — seed + policy + predicate tree + the outcome digest observed
+// when it was recorded. Replaying an entry re-executes the probe and
+// compares digests: a mismatch means the protocol's behavior changed, which
+// is exactly what the ctest regression target guards against.
+//
+// Line grammar (space-separated fields; `when=` must be last because the
+// predicate s-expression contains spaces):
+//
+//   vmatc1 seed=<u64> digest=<hex64> objective=<word> policy=<policy> when=<expr>
+//
+// '#'-prefixed lines and blank lines are comments.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "campaign/strategy.h"
+#include "util/error.h"
+
+namespace vmat::campaign {
+
+struct CampaignEntry {
+  /// Seeds the probe's readings and the strategy RNG (LiePolicy::kRandom).
+  std::uint64_t seed{1};
+  AttackPolicy policy{};
+  AttackPredicate when{};
+  /// Why this entry is in the corpus: "seed", "coverage", "ruin",
+  /// "misrevoke", "latency", or "violation".
+  std::string objective{"seed"};
+  /// Outcome digest observed when the entry was recorded (0 = unverified).
+  std::uint64_t digest{0};
+
+  friend bool operator==(const CampaignEntry&, const CampaignEntry&) = default;
+};
+
+[[nodiscard]] std::string to_line(const CampaignEntry& entry);
+[[nodiscard]] Expected<CampaignEntry> entry_from_line(std::string_view line);
+
+struct Corpus {
+  std::vector<CampaignEntry> entries;
+
+  [[nodiscard]] std::string to_text() const;
+  [[nodiscard]] static Expected<Corpus> from_text(std::string_view text);
+  [[nodiscard]] static Expected<Corpus> load(const std::string& path);
+  [[nodiscard]] Status save(const std::string& path) const;
+
+  friend bool operator==(const Corpus&, const Corpus&) = default;
+};
+
+}  // namespace vmat::campaign

@@ -1,0 +1,319 @@
+#include "campaign/predicate.h"
+
+#include <array>
+#include <cctype>
+#include <charconv>
+
+namespace vmat::campaign {
+namespace {
+
+struct PhaseName {
+  TracePhase phase;
+  std::string_view name;
+};
+
+constexpr std::array<PhaseName, kTracePhaseCount> kPhaseNames{{
+    {TracePhase::kNone, "none"},
+    {TracePhase::kBroadcast, "broadcast"},
+    {TracePhase::kTreeFormation, "tree"},
+    {TracePhase::kAggregation, "aggregation"},
+    {TracePhase::kConfirmation, "confirmation"},
+    {TracePhase::kPinpoint, "pinpoint"},
+}};
+
+std::string_view phase_name(TracePhase phase) {
+  for (const PhaseName& p : kPhaseNames)
+    if (p.phase == phase) return p.name;
+  return "none";
+}
+
+}  // namespace
+
+AttackPredicate::AttackPredicate(Kind kind, std::int64_t arg) {
+  nodes_.push_back(Node{kind, arg, 0, 0});
+}
+
+AttackPredicate AttackPredicate::always() { return {Kind::kAlways, 0}; }
+AttackPredicate AttackPredicate::never() { return {Kind::kNever, 0}; }
+AttackPredicate AttackPredicate::phase_is(TracePhase phase) {
+  return {Kind::kPhaseIs, static_cast<std::int64_t>(phase)};
+}
+AttackPredicate AttackPredicate::slot_at_least(Interval slot) {
+  return {Kind::kSlotAtLeast, slot};
+}
+AttackPredicate AttackPredicate::level_at_least(Level level) {
+  return {Kind::kLevelAtLeast, level};
+}
+AttackPredicate AttackPredicate::revoked_keys_at_least(std::size_t n) {
+  return {Kind::kRevokedKeysAtLeast, static_cast<std::int64_t>(n)};
+}
+AttackPredicate AttackPredicate::revoked_sensors_at_least(std::size_t n) {
+  return {Kind::kRevokedSensorsAtLeast, static_cast<std::int64_t>(n)};
+}
+AttackPredicate AttackPredicate::round_at_least(std::uint64_t n) {
+  return {Kind::kRoundAtLeast, static_cast<std::int64_t>(n)};
+}
+AttackPredicate AttackPredicate::frames_seen_at_least(std::size_t n) {
+  return {Kind::kFramesSeenAtLeast, static_cast<std::int64_t>(n)};
+}
+AttackPredicate AttackPredicate::min_seen_below(Reading value) {
+  return {Kind::kMinSeenBelow, value};
+}
+
+AttackPredicate AttackPredicate::combine(Kind kind, const AttackPredicate& a,
+                                         const AttackPredicate& b) {
+  std::vector<Node> nodes = a.nodes_;
+  const auto offset = static_cast<std::uint32_t>(nodes.size());
+  for (Node n : b.nodes_) {
+    if (n.kind == Kind::kAnd || n.kind == Kind::kOr) {
+      n.left += offset;
+      n.right += offset;
+    } else if (n.kind == Kind::kNot) {
+      n.left += offset;
+    }
+    nodes.push_back(n);
+  }
+  const auto b_root = static_cast<std::uint32_t>(nodes.size() - 1);
+  nodes.push_back(Node{kind, 0, offset - 1, b_root});
+  return AttackPredicate{std::move(nodes)};
+}
+
+AttackPredicate operator!(const AttackPredicate& a) {
+  std::vector<AttackPredicate::Node> nodes = a.nodes_;
+  const auto root = static_cast<std::uint32_t>(nodes.size() - 1);
+  nodes.push_back(
+      {AttackPredicate::Kind::kNot, 0, root, 0});
+  return AttackPredicate{std::move(nodes)};
+}
+
+bool AttackPredicate::evaluate(const TriggerState& state) const {
+  return evaluate_node(static_cast<std::uint32_t>(nodes_.size() - 1), state);
+}
+
+bool AttackPredicate::evaluate_node(std::uint32_t index,
+                                    const TriggerState& state) const {
+  const Node& node = nodes_[index];
+  switch (node.kind) {
+    case Kind::kAlways:
+      return true;
+    case Kind::kNever:
+      return false;
+    case Kind::kPhaseIs:
+      return static_cast<std::int64_t>(state.phase) == node.arg;
+    case Kind::kSlotAtLeast:
+      return state.slot >= node.arg;
+    case Kind::kLevelAtLeast:
+      return state.deepest_level >= node.arg;
+    case Kind::kRevokedKeysAtLeast:
+      return static_cast<std::int64_t>(state.revoked_keys) >= node.arg;
+    case Kind::kRevokedSensorsAtLeast:
+      return static_cast<std::int64_t>(state.revoked_sensors) >= node.arg;
+    case Kind::kRoundAtLeast:
+      return static_cast<std::int64_t>(state.round) >= node.arg;
+    case Kind::kFramesSeenAtLeast:
+      return static_cast<std::int64_t>(state.frames_seen) >= node.arg;
+    case Kind::kMinSeenBelow:
+      return state.min_seen < node.arg;
+    case Kind::kAnd:
+      return evaluate_node(node.left, state) && evaluate_node(node.right, state);
+    case Kind::kOr:
+      return evaluate_node(node.left, state) || evaluate_node(node.right, state);
+    case Kind::kNot:
+      return !evaluate_node(node.left, state);
+  }
+  return false;
+}
+
+void AttackPredicate::print_node(std::uint32_t index, std::string& out) const {
+  const Node& node = nodes_[index];
+  switch (node.kind) {
+    case Kind::kAlways:
+      out += "(always)";
+      return;
+    case Kind::kNever:
+      out += "(never)";
+      return;
+    case Kind::kPhaseIs:
+      out += "(phase ";
+      out += phase_name(static_cast<TracePhase>(node.arg));
+      out += ')';
+      return;
+    case Kind::kSlotAtLeast:
+    case Kind::kLevelAtLeast:
+    case Kind::kRevokedKeysAtLeast:
+    case Kind::kRevokedSensorsAtLeast:
+    case Kind::kRoundAtLeast:
+    case Kind::kFramesSeenAtLeast:
+    case Kind::kMinSeenBelow: {
+      static constexpr std::string_view kHeads[] = {
+          "slot>=", "level>=", "keys>=", "sensors>=",
+          "round>=", "frames>=", "min<"};
+      const auto head =
+          kHeads[static_cast<std::size_t>(node.kind) -
+                 static_cast<std::size_t>(Kind::kSlotAtLeast)];
+      out += '(';
+      out += head;
+      out += ' ';
+      out += std::to_string(node.arg);
+      out += ')';
+      return;
+    }
+    case Kind::kAnd:
+    case Kind::kOr:
+      out += node.kind == Kind::kAnd ? "(and " : "(or ";
+      print_node(node.left, out);
+      out += ' ';
+      print_node(node.right, out);
+      out += ')';
+      return;
+    case Kind::kNot:
+      out += "(not ";
+      print_node(node.left, out);
+      out += ')';
+      return;
+  }
+}
+
+std::string AttackPredicate::to_text() const {
+  std::string out;
+  print_node(static_cast<std::uint32_t>(nodes_.size() - 1), out);
+  return out;
+}
+
+namespace {
+
+/// Recursive-descent parser over the s-expression grammar. Appends the
+/// parsed subtree to `nodes` in postorder and returns its root index, or an
+/// Error describing the first malformed token.
+class PredicateParser {
+ public:
+  explicit PredicateParser(std::string_view text) : text_(text) {}
+
+  Expected<std::uint32_t> parse_expr(std::vector<AttackPredicate::Node>& nodes);
+
+  [[nodiscard]] bool at_end() {
+    skip_space();
+    return pos_ >= text_.size();
+  }
+
+ private:
+  using Kind = AttackPredicate::Kind;
+
+  void skip_space() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])) != 0)
+      ++pos_;
+  }
+
+  [[nodiscard]] Error fail(const std::string& what) const {
+    return Error{ErrorCode::kInvalidArgument,
+                 "predicate parse at offset " + std::to_string(pos_) + ": " +
+                     what};
+  }
+
+  /// A head / phase-name token: everything up to whitespace or ')'.
+  std::string_view token() {
+    skip_space();
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() && text_[pos_] != ')' && text_[pos_] != '(' &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])) == 0)
+      ++pos_;
+    return text_.substr(start, pos_ - start);
+  }
+
+  Expected<std::int64_t> number() {
+    const std::string_view tok = token();
+    std::int64_t value = 0;
+    const auto [ptr, ec] =
+        std::from_chars(tok.data(), tok.data() + tok.size(), value);
+    if (ec != std::errc{} || ptr != tok.data() + tok.size())
+      return fail("expected an integer, got '" + std::string(tok) + "'");
+    return value;
+  }
+
+  Status expect(char c) {
+    skip_space();
+    if (pos_ >= text_.size() || text_[pos_] != c)
+      return fail(std::string("expected '") + c + "'");
+    ++pos_;
+    return {};
+  }
+
+  std::string_view text_;
+  std::size_t pos_{0};
+};
+
+Expected<std::uint32_t> PredicateParser::parse_expr(
+    std::vector<AttackPredicate::Node>& nodes) {
+  if (nodes.size() > 1024) return fail("expression too large");
+  if (Status s = expect('('); !s) return s.error();
+  const std::string_view head = token();
+
+  auto leaf = [&nodes](Kind kind, std::int64_t arg) {
+    nodes.push_back({kind, arg, 0, 0});
+    return static_cast<std::uint32_t>(nodes.size() - 1);
+  };
+
+  std::uint32_t root = 0;
+  if (head == "always" || head == "never") {
+    root = leaf(head == "always" ? Kind::kAlways : Kind::kNever, 0);
+  } else if (head == "phase") {
+    const std::string_view name = token();
+    bool found = false;
+    for (const PhaseName& p : kPhaseNames) {
+      if (p.name != name) continue;
+      root = leaf(Kind::kPhaseIs, static_cast<std::int64_t>(p.phase));
+      found = true;
+      break;
+    }
+    if (!found) return fail("unknown phase '" + std::string(name) + "'");
+  } else if (head == "slot>=" || head == "level>=" || head == "keys>=" ||
+             head == "sensors>=" || head == "round>=" || head == "frames>=" ||
+             head == "min<") {
+    const Kind kind = head == "slot>="      ? Kind::kSlotAtLeast
+                      : head == "level>="   ? Kind::kLevelAtLeast
+                      : head == "keys>="    ? Kind::kRevokedKeysAtLeast
+                      : head == "sensors>=" ? Kind::kRevokedSensorsAtLeast
+                      : head == "round>="   ? Kind::kRoundAtLeast
+                      : head == "frames>="  ? Kind::kFramesSeenAtLeast
+                                            : Kind::kMinSeenBelow;
+    Expected<std::int64_t> arg = number();
+    if (!arg) return arg.error();
+    root = leaf(kind, arg.value());
+  } else if (head == "and" || head == "or") {
+    Expected<std::uint32_t> left = parse_expr(nodes);
+    if (!left) return left.error();
+    Expected<std::uint32_t> right = parse_expr(nodes);
+    if (!right) return right.error();
+    nodes.push_back({head == "and" ? Kind::kAnd : Kind::kOr, 0, left.value(),
+                     right.value()});
+    root = static_cast<std::uint32_t>(nodes.size() - 1);
+  } else if (head == "not") {
+    Expected<std::uint32_t> child = parse_expr(nodes);
+    if (!child) return child.error();
+    nodes.push_back({Kind::kNot, 0, child.value(), 0});
+    root = static_cast<std::uint32_t>(nodes.size() - 1);
+  } else {
+    return fail("unknown operator '" + std::string(head) + "'");
+  }
+
+  if (Status s = expect(')'); !s) return s.error();
+  return root;
+}
+
+}  // namespace
+
+Expected<AttackPredicate> AttackPredicate::parse(std::string_view text) {
+  PredicateParser parser(text);
+  std::vector<Node> nodes;
+  Expected<std::uint32_t> root = parser.parse_expr(nodes);
+  if (!root) return root.error();
+  if (!parser.at_end())
+    return Error{ErrorCode::kInvalidArgument,
+                 "predicate parse: trailing text after expression"};
+  // parse_expr appends in postorder with the outermost expression's node
+  // last, so the vector is already in canonical layout.
+  return AttackPredicate{std::move(nodes)};
+}
+
+}  // namespace vmat::campaign

@@ -1,0 +1,87 @@
+// AttackPolicy × AttackPredicate — attack strategies as data.
+//
+// AttackPolicy is the action genome: WHAT the compromised set does in each
+// query phase, drawn from the shared building blocks of the strategy zoo
+// (attack/strategies.h). AttackPredicate (campaign/predicate.h) is WHEN it
+// does it. PredicatedStrategy glues the two behind the ordinary
+// AdversaryStrategy hook interface, so one serializable (policy, predicate,
+// seed) triple replaces a hand-written PolicyStrategy subclass — which is
+// what the campaign fuzzer mutates and the corpus replays.
+//
+// The zoo subclasses remain for compatibility, but new call sites should
+// build adversaries declaratively via SimulationSpec::attack()
+// (spec/attack_spec.h); see DESIGN.md "Campaign search & predicates".
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "attack/strategies.h"
+#include "campaign/predicate.h"
+#include "util/error.h"
+
+namespace vmat::campaign {
+
+/// Aggregation-phase action once the trigger fires. Until it fires (and for
+/// kSilentDrop) malicious sensors transmit nothing — the Section IV-B
+/// dropping attack is the resting state of every predicated adversary.
+enum class AggAction : std::uint8_t {
+  kSilentDrop,  ///< never transmit (pure dropping)
+  kForwardMax,  ///< forward the collected maximum instead of the minimum
+  kInjectJunk,  ///< inject spurious minima with bogus MACs
+};
+
+/// Confirmation-phase (SOF) action once the trigger fires.
+enum class ConfAction : std::uint8_t {
+  kNone,       ///< no confirmation-phase attack
+  kChokeVeto,  ///< flood spurious vetoes (Section IV-C choking)
+  kSelfVeto,   ///< veto a hidden own reading with a *valid* MAC (Theorem 2)
+};
+
+/// The serializable action genome of a predicated adversary.
+struct AttackPolicy {
+  AggAction agg{AggAction::kSilentDrop};
+  ConfAction conf{ConfAction::kNone};
+  LiePolicy lie{LiePolicy::kDenyAll};
+  /// kInjectJunk claims an honest neighbor as origin (framing) when true.
+  bool frame_honest_origin{true};
+  /// kSelfVeto: the hidden reading the malicious sensor vetoes.
+  Reading self_veto_value{1};
+
+  friend bool operator==(const AttackPolicy&, const AttackPolicy&) = default;
+};
+
+/// Compact one-token text form, e.g. "agg:junk,conf:none,lie:deny,frame:1,veto:1".
+[[nodiscard]] std::string to_text(const AttackPolicy& policy);
+[[nodiscard]] Expected<AttackPolicy> policy_from_text(std::string_view text);
+
+// --- trigger-state builders (the per-phase halves of the evaluation seam;
+//     AdversaryView::trigger_state fills the globally visible fields) ---
+
+[[nodiscard]] TriggerState trigger_state(const AdversaryView& view,
+                                         const AggCtx& ctx);
+[[nodiscard]] TriggerState trigger_state(const AdversaryView& view,
+                                         const ConfCtx& ctx);
+
+/// Any PolicyStrategy as data: participates honestly in tree formation
+/// (inherited — the profitable play, and the behavior the shared
+/// post-formation snapshot assumes), then runs `policy` in every slot whose
+/// trigger state satisfies `when`.
+class PredicatedStrategy final : public PolicyStrategy {
+ public:
+  explicit PredicatedStrategy(AttackPolicy policy,
+                              AttackPredicate when = AttackPredicate::always(),
+                              std::uint64_t seed = 7);
+
+  void on_agg_slot(AdversaryView& view, const AggCtx& ctx) override;
+  void on_conf_slot(AdversaryView& view, const ConfCtx& ctx) override;
+
+  [[nodiscard]] const AttackPolicy& policy() const noexcept { return policy_; }
+  [[nodiscard]] const AttackPredicate& when() const noexcept { return when_; }
+
+ private:
+  AttackPolicy policy_;
+  AttackPredicate when_;
+};
+
+}  // namespace vmat::campaign

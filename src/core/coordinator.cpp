@@ -131,6 +131,7 @@ void VmatCoordinator::form_tree(std::uint64_t session, int& rounds,
   tracer.begin_phase(TracePhase::kTreeFormation);
   tree_ = run_tree_formation(*net_, adversary_, tree_params, tracer);
   rounds += 1;
+  formations_ += 1;
 }
 
 ExecutionOutcome VmatCoordinator::run_min(
@@ -259,6 +260,10 @@ ExecutionOutcome VmatCoordinator::run_query_phases(
   const std::uint32_t n = net_->node_count();
   if (values.size() != n || weights.size() != n)
     throw std::invalid_argument("execute: values/weights must cover all nodes");
+
+  // Arm `(round>= N)` trigger predicates: one bump per execution, on every
+  // entry path (execute / run_query / resume_from).
+  if (adversary_ != nullptr) adversary_->view().begin_execution_round();
 
   ExecutionOutcome out;
   out.data_rounds = rounds_so_far;

@@ -49,11 +49,6 @@ struct CoordinatorSpec {
   PredicateTestMode predicate_mode{PredicateTestMode::kReachability};
 };
 
-/// Pre-SimulationSpec name, kept as a conversion shim for one release.
-using VmatConfig  // vmat-lint: allow(deprecated-config) -- the shim itself
-    [[deprecated("use SimulationSpec (spec/simulation_spec.h) or "
-                 "CoordinatorSpec")]] = CoordinatorSpec;
-
 class SimulationSpec;
 
 enum class OutcomeKind : std::uint8_t { kResult, kRevocation };
@@ -231,6 +226,14 @@ class VmatCoordinator {
 
   [[nodiscard]] std::uint64_t fresh_nonce() noexcept;
 
+  /// How many tree formations this coordinator has run (execute(),
+  /// prepare_epoch(), snapshot_after_formation() each form once; resumes
+  /// and rearms never do). The campaign bench asserts fork-mode probes
+  /// leave this at 1.
+  [[nodiscard]] std::uint64_t formations_run() const noexcept {
+    return formations_;
+  }
+
   /// Attach a flight recorder: every subsequent execute() records its full
   /// event stream into it (and fills its TraceContext from this deployment).
   /// Pass nullptr to stop recording; per-phase metrics are metered either
@@ -279,6 +282,11 @@ class VmatCoordinator {
   // vmat-analyze: allow(snapshot-field-coverage) -- fingerprint-pinned
   Level depth_bound_;
   std::uint64_t nonce_state_;
+  // Diagnostic counter (formation-reuse accounting), not execution state:
+  // a fork restoring a snapshot must NOT inherit the capturing
+  // coordinator's count.
+  // vmat-analyze: allow(snapshot-field-coverage) -- diagnostic counter
+  std::uint64_t formations_{0};
   std::vector<NodeAudit> audits_;
   TreeResult tree_;
   Epoch epoch_;

@@ -26,11 +26,6 @@ struct TreePhaseParams {
   std::uint64_t session{0};
 };
 
-/// Pre-SimulationSpec name, kept as a conversion shim for one release.
-using TreeFormationParams  // vmat-lint: allow(deprecated-config) -- shim
-    [[deprecated("use SimulationSpec (spec/simulation_spec.h) or "
-                 "TreePhaseParams")]] = TreePhaseParams;
-
 /// Run the phase to completion. The adversary hook runs at the start of
 /// every slot, before honest transmissions.
 [[nodiscard]] TreeResult run_tree_formation(Network& net, Adversary* adversary,

@@ -25,11 +25,6 @@ struct KeyMaterialSpec {
   std::uint64_t seed{1};           ///< master seed for pool + ring seeds
 };
 
-/// Pre-SimulationSpec name, kept as a conversion shim for one release.
-using KeySetupConfig  // vmat-lint: allow(deprecated-config) -- the shim itself
-    [[deprecated("use SimulationSpec (spec/simulation_spec.h) or "
-                 "KeyMaterialSpec")]] = KeyMaterialSpec;
-
 class Predistribution {
  public:
   /// Set up pool and rings for `node_count` sensors (ids 0..node_count-1;

@@ -42,11 +42,6 @@ struct NetworkSpec {
   std::uint32_t redundancy{1};
 };
 
-/// Pre-SimulationSpec name, kept as a conversion shim for one release.
-using NetworkConfig  // vmat-lint: allow(deprecated-config) -- the shim itself
-    [[deprecated("use SimulationSpec (spec/simulation_spec.h) or "
-                 "NetworkSpec")]] = NetworkSpec;
-
 class SimulationSpec;
 
 /// Receive-side scratch for Network::receive_valid(): the candidate-frame

@@ -62,7 +62,19 @@ std::vector<Error> SimulationSpec::validate() const {
   } else if (instances_ == 0) {
     bad("instances: must be >= 1");
   }
+  if (attack_.has_value())
+    for (Error& error : attack_->validate(nodes_))
+      errors.push_back(std::move(error));
   return errors;
+}
+
+Expected<std::unique_ptr<Adversary>> SimulationSpec::build_adversary(
+    Network& net) const {
+  if (!attack_.has_value())
+    return Error{ErrorCode::kUnavailable,
+                 "build_adversary: no attack section declared (call "
+                 "spec.attack() first)"};
+  return attack_->build(net);
 }
 
 Status SimulationSpec::check() const {

@@ -16,9 +16,8 @@
 //
 // The spec subsumes the former per-layer config structs — NetworkSpec,
 // CoordinatorSpec, KeyMaterialSpec, TreePhaseParams are still the internal
-// section types (and their pre-spec names NetworkConfig / VmatConfig /
-// KeySetupConfig / TreeFormationParams remain as [[deprecated]] shims), but
-// public call sites should build one SimulationSpec and hand it around.
+// section types, but public call sites should build one SimulationSpec
+// (including its attack() section) and hand it around.
 #pragma once
 
 #include <cstdint>
@@ -30,6 +29,7 @@
 #include "core/coordinator.h"
 #include "sim/network.h"
 #include "sim/topology.h"
+#include "spec/attack_spec.h"
 #include "util/error.h"
 
 namespace vmat {
@@ -92,6 +92,23 @@ class SimulationSpec {
   /// Master seed: topology placement, key material, nonces.
   SimulationSpec& seed(std::uint64_t s) { seed_ = s; return *this; }
 
+  /// The declarative adversary section (spec/attack_spec.h). First call
+  /// creates it; chain its builder directly:
+  ///   spec.attack().compromised(4).policy({...}).when(predicate);
+  AttackSpec& attack() {
+    if (!attack_.has_value()) attack_.emplace();
+    return *attack_;
+  }
+  [[nodiscard]] bool has_attack() const noexcept { return attack_.has_value(); }
+  /// The attack section, or nullptr when none was declared.
+  [[nodiscard]] const AttackSpec* attack_section() const noexcept {
+    return attack_.has_value() ? &*attack_ : nullptr;
+  }
+  /// Place the declared adversary on `net` (kUnavailable error when no
+  /// attack section was declared; see AttackSpec::build otherwise).
+  [[nodiscard]] Expected<std::unique_ptr<Adversary>> build_adversary(
+      Network& net) const;
+
   // --- getters ---
 
   [[nodiscard]] std::uint32_t nodes() const noexcept { return nodes_; }
@@ -138,6 +155,7 @@ class SimulationSpec {
   std::optional<double> delta_;
   PredicateTestMode predicate_mode_{PredicateTestMode::kReachability};
   std::uint64_t seed_{0x5eed};
+  std::optional<AttackSpec> attack_;
 };
 
 }  // namespace vmat

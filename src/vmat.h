@@ -18,9 +18,9 @@
 //   auto results = engine.run_batch(std::move(batch));
 //
 // The per-layer section types (NetworkSpec, CoordinatorSpec, ...) remain
-// available for fine-grained construction; the pre-spec config names
-// (NetworkConfig, VmatConfig, KeySetupConfig, TreeFormationParams) are
-// [[deprecated]] aliases kept for one release.
+// available for fine-grained construction. Adversaries are described
+// declaratively through the spec's attack section (spec/attack_spec.h);
+// wiring a PolicyStrategy subclass directly is the deprecated path.
 #pragma once
 
 #include "attack/adversary.h"        // IWYU pragma: export
@@ -32,6 +32,10 @@
 #include "baseline/send_all.h"       // IWYU pragma: export
 #include "baseline/tag.h"            // IWYU pragma: export
 #include "broadcast/auth_broadcast.h"  // IWYU pragma: export
+#include "campaign/corpus.h"         // IWYU pragma: export
+#include "campaign/predicate.h"      // IWYU pragma: export
+#include "campaign/runner.h"         // IWYU pragma: export
+#include "campaign/strategy.h"       // IWYU pragma: export
 #include "core/aggregation.h"        // IWYU pragma: export
 #include "core/audit.h"              // IWYU pragma: export
 #include "core/confirmation.h"       // IWYU pragma: export
@@ -60,6 +64,7 @@
 #include "sim/fabric.h"              // IWYU pragma: export
 #include "sim/network.h"             // IWYU pragma: export
 #include "sim/topology.h"            // IWYU pragma: export
+#include "spec/attack_spec.h"        // IWYU pragma: export
 #include "spec/simulation_spec.h"    // IWYU pragma: export
 #include "trace/checker.h"           // IWYU pragma: export
 #include "trace/trace.h"             // IWYU pragma: export

@@ -1,7 +1,6 @@
 // Serving-engine tests: epoch-batched execution, bit-identical results
 // across thread pools, epoch invalidation on revocation, deadlines and
-// slow-start/backoff under a choking adversary, admission control, and the
-// deprecated config-struct shims.
+// slow-start/backoff under a choking adversary, and admission control.
 #include <gtest/gtest.h>
 
 #include <cmath>
@@ -472,29 +471,6 @@ TEST(Engine, SimulationSpecValidateReportsTypedErrors) {
   EXPECT_FALSE(spec.check().has_value());
   EXPECT_THROW((void)Network(spec), std::invalid_argument);
 }
-
-// Golden compile test for the deprecated config-struct shims: the old
-// names must still compile (as aliases of the new section types) for one
-// release. Warnings are suppressed locally — exactly what a migrating
-// downstream would do.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-TEST(Engine, DeprecatedConfigShimsStillCompile) {
-  static_assert(std::is_same_v<NetworkConfig, NetworkSpec>);
-  static_assert(std::is_same_v<VmatConfig, CoordinatorSpec>);
-  static_assert(std::is_same_v<KeySetupConfig, KeyMaterialSpec>);
-  static_assert(std::is_same_v<TreeFormationParams, TreePhaseParams>);
-
-  NetworkConfig net_cfg = dense_keys();
-  Network net(Topology::grid(6, 6), net_cfg);
-  VmatConfig cfg;
-  cfg.instances = 1;
-  VmatCoordinator coordinator(&net, nullptr, cfg);
-  const auto out = coordinator.run_min(testing::default_readings(kNodes));
-  ASSERT_TRUE(out.produced_result());
-  EXPECT_EQ(out.minima[0], 101);
-}
-#pragma GCC diagnostic pop
 
 }  // namespace
 }  // namespace vmat

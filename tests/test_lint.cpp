@@ -120,14 +120,16 @@ TEST(VmatLint, ServeDaemonStdoutIsSanctioned) {
   EXPECT_TRUE(r.output.empty()) << r.output;
 }
 
-TEST(VmatLint, DeprecatedConfigNameInSrcIsFlagged) {
-  // The alias definition and the construction are flagged; the string
-  // literal mention and the allow()-suppressed use are not.
-  const auto r = run_lint("tools/fixtures/src/bad_deprecated_config.cpp");
+TEST(VmatLint, PredicatePurityIsFlagged) {
+  // The non-const evaluate(), the member mutation in its body, and the RNG
+  // draw in a const evaluate() are flagged; the pure form and the
+  // allow()-suppressed form are not.
+  const auto r = run_lint("tools/fixtures/src/campaign/bad_predicate_purity.cpp");
   EXPECT_EQ(r.exit_code, 1);
-  EXPECT_EQ(r.count("deprecated-config"), 2) << r.output;
-  EXPECT_TRUE(r.mentions("bad_deprecated_config.cpp:9:")) << r.output;
-  EXPECT_TRUE(r.mentions("bad_deprecated_config.cpp:12:")) << r.output;
+  EXPECT_EQ(r.count("predicate-purity"), 3) << r.output;
+  EXPECT_TRUE(r.mentions("bad_predicate_purity.cpp:10:")) << r.output;
+  EXPECT_TRUE(r.mentions("bad_predicate_purity.cpp:11:")) << r.output;
+  EXPECT_TRUE(r.mentions("bad_predicate_purity.cpp:19:")) << r.output;
 }
 
 TEST(VmatLint, MissingNodiscardInCryptoHeaderIsFlagged) {
@@ -174,10 +176,10 @@ TEST(VmatLint, WholeFixtureTreeTotals) {
   EXPECT_EQ(r.count("threadpool-ref-capture"), 2) << r.output;
   EXPECT_EQ(r.count("stdout-in-src"), 2) << r.output;
   EXPECT_EQ(r.count("missing-nodiscard"), 2) << r.output;
-  EXPECT_EQ(r.count("deprecated-config"), 2) << r.output;
+  EXPECT_EQ(r.count("predicate-purity"), 3) << r.output;
   EXPECT_EQ(r.count("hot-path-alloc"), 2) << r.output;
   EXPECT_EQ(r.count("snapshot-unsafe-state"), 2) << r.output;
-  EXPECT_TRUE(r.mentions("18 violation(s)")) << r.output;
+  EXPECT_TRUE(r.mentions("19 violation(s)")) << r.output;
 }
 
 TEST(VmatLint, RuleFilterRunsOnlyThatRule) {
@@ -200,9 +202,9 @@ TEST(VmatLint, ListRulesIsSortedAndExitsZero) {
   const auto r = run_lint("--list-rules");
   EXPECT_EQ(r.exit_code, 0) << r.output;
   const char* rules[] = {
-      "deprecated-config",     "determinism-rng",    "hot-path-alloc",
-      "key-memcpy",            "mac-verify-discarded",
-      "missing-nodiscard",     "snapshot-unsafe-state",
+      "determinism-rng",       "hot-path-alloc",     "key-memcpy",
+      "mac-verify-discarded",  "missing-nodiscard",
+      "predicate-purity",      "snapshot-unsafe-state",
       "stdout-in-src",         "threadpool-ref-capture"};
   std::size_t pos = 0;
   for (const auto* rule : rules) {

@@ -1,0 +1,34 @@
+// Fixture: predicate-purity — campaign trigger predicates must keep
+// evaluate() const-qualified, RNG-free, and effect-free. Expected:
+// line 10 (non-const evaluate), line 11 (member mutation), line 19
+// (RNG draw). The pure and allow()-suppressed forms stay silent.
+namespace vmat::campaign {
+
+struct TriggerState { int slot{0}; };
+
+struct CountingPredicate {
+  bool evaluate(const TriggerState& state) {
+    ++evals_;
+    return state.slot > 0;
+  }
+  long evals_{0};
+};
+
+struct FlakyPredicate {
+  bool evaluate(const TriggerState& state) const {
+    return vmat::Rng(7).below(2) == 0 && state.slot > 0;
+  }
+};
+
+struct PurePredicate {
+  bool evaluate(const TriggerState& state) const {
+    return state.slot > 0;
+  }
+};
+
+struct SuppressedPredicate {
+  // vmat-lint: allow(predicate-purity)
+  bool evaluate(const TriggerState& state) { return state.slot > 0; }
+};
+
+}  // namespace vmat::campaign

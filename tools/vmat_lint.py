@@ -30,12 +30,13 @@ checkable from source text, as named, individually suppressible rules:
                          trial engine serialises. src/serve/ is sanctioned
                          (vmatd's operator status lines, printed only when
                          stdout is not the protocol channel).
-  deprecated-config      The pre-SimulationSpec config names (NetworkConfig,
-                         VmatConfig, KeySetupConfig, TreeFormationParams)
-                         are [[deprecated]] shims for downstream users
-                         only; src/ itself must use the section types or
-                         SimulationSpec so the shims can be deleted next
-                         release.
+  predicate-purity       Campaign trigger predicates are pure data: every
+                         evaluate() definition in campaign code must be
+                         const-qualified, must not consume randomness, and
+                         must not mutate state. An impure predicate makes
+                         fuzzer probes order-dependent, breaking corpus
+                         replay and the De Morgan rewrite laws the search
+                         relies on.
   hot-path-alloc         No Bytes / std::vector construction inside
                          per-frame loops in src/sim/ and src/core/ — the
                          arena fabric exists so the per-frame hot path
@@ -438,20 +439,76 @@ def rule_stdout_in_src(src: SourceFile, report) -> None:
                       "serialise it")
 
 
-DEPRECATED_CONFIG_RE = re.compile(
-    r"\b(NetworkConfig|VmatConfig|KeySetupConfig|TreeFormationParams)\b")
+# A *definition* of an evaluate() member/function: a return type before the
+# name keeps calls (`when_.evaluate(...)`) from matching; `evaluate_node`
+# and friends are excluded by requiring '(' right after the name.
+PREDICATE_EVAL_DEF_RE = re.compile(
+    r"^\s*(?:\[\[nodiscard\]\]\s*)?"
+    r"(?:(?:static|constexpr|inline|virtual)\s+)*"
+    r"(?:bool|auto)\s+(?:[A-Za-z_]\w*::)*evaluate\s*\(")
+PREDICATE_RNG_RE = re.compile(
+    r"\bRng\b|\brng\b|\brandom_device\b|(?<!\w)s?rand\s*\(|"
+    r"\.(?:below|between|bernoulli|unit|fork)\s*\(")
+PREDICATE_MUTATE_RE = re.compile(
+    r"(?:\+\+|--)\s*\w+_\b|\b\w+_\s*(?:\+\+|--)|"
+    r"\b\w+_\s*(?:[+\-*/|&^]|<<|>>)?=(?!=)|"
+    r"\b\w+_\s*\.\s*(?:push_back|pop_back|insert|erase|clear|"
+    r"emplace\w*|resize)\s*\(")
 
 
-def rule_deprecated_config(src: SourceFile, report) -> None:
-    if not src.in_dir("src"):
+def rule_predicate_purity(src: SourceFile, report) -> None:
+    if not src.in_dir("campaign"):
         return
-    for i, line in enumerate(src.code_lines, start=1):
-        m = DEPRECATED_CONFIG_RE.search(line)
-        if m:
-            report(i, f"deprecated config name `{m.group(1)}` in src/; use "
-                      "the section type (NetworkSpec, CoordinatorSpec, ...) "
-                      "or SimulationSpec — the shim names exist only for "
-                      "downstream callers")
+    lines = src.code_lines
+    text = "\n".join(lines)
+    line_starts = [0]
+    for ln in lines:
+        line_starts.append(line_starts[-1] + len(ln) + 1)
+    for i, line in enumerate(lines, start=1):
+        m = PREDICATE_EVAL_DEF_RE.match(line)
+        if not m:
+            continue
+        abs_pos = line_starts[i - 1] + line.index("evaluate")
+        open_pos = text.index("(", abs_pos)
+        params_end = _balanced_span(text, open_pos)
+        if params_end < 0:
+            continue
+        brace = text.find("{", params_end)
+        semi = text.find(";", params_end)
+        if brace < 0 or 0 <= semi < brace:
+            continue  # declaration, not a definition
+        if not re.search(r"\bconst\b", text[params_end:brace]):
+            report(i, "predicate evaluate() must be const-qualified: "
+                      "trigger evaluation is a pure function of the "
+                      "TriggerState")
+        depth = 0
+        end = -1
+        for k in range(brace, len(text)):
+            if text[k] == "{":
+                depth += 1
+            elif text[k] == "}":
+                depth -= 1
+                if depth == 0:
+                    end = k
+                    break
+        if end < 0:
+            continue
+        first = bisect.bisect_right(line_starts, brace)
+        last = bisect.bisect_right(line_starts, end)
+        for body_no in range(first, last + 1):
+            if body_no == i:
+                continue  # the signature line itself
+            body_line = lines[body_no - 1]
+            if PREDICATE_RNG_RE.search(body_line):
+                report(body_no,
+                       "RNG use inside a predicate evaluate(); trigger "
+                       "evaluation must not consume randomness — an impure "
+                       "predicate breaks corpus replay")
+            elif PREDICATE_MUTATE_RE.search(body_line):
+                report(body_no,
+                       "state mutation inside a predicate evaluate(); "
+                       "trigger evaluation must be effect-free — fuzzer "
+                       "probes must not be order-dependent")
 
 
 FOR_RE = re.compile(r"\bfor\s*\(")
@@ -591,7 +648,7 @@ RULES = {
     "key-memcpy": rule_key_memcpy,
     "threadpool-ref-capture": rule_threadpool_ref_capture,
     "stdout-in-src": rule_stdout_in_src,
-    "deprecated-config": rule_deprecated_config,
+    "predicate-purity": rule_predicate_purity,
     "hot-path-alloc": rule_hot_path_alloc,
     "snapshot-unsafe-state": rule_snapshot_unsafe_state,
 }
