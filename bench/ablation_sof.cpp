@@ -94,20 +94,20 @@ TrailStats run_case(bool slotted, vmat::Interval replay_at) {
   tp.session = 1;
   const auto tree = run_tree_formation(net, &adv, tp);
 
-  std::vector<std::vector<vmat::Reading>> values(net.node_count());
+  vmat::ValueTable values(net.node_count(), 1, 0);
   for (std::uint32_t id = 0; id < net.node_count(); ++id)
-    values[id] = {100 + static_cast<vmat::Reading>(id)};
-  values[kArm] = {1};  // the vetoer undercuts the broadcast minimum
+    values.data[id] = 100 + static_cast<vmat::Reading>(id);
+  values.data[kArm] = 1;  // the vetoer undercuts the broadcast minimum
 
-  std::vector<vmat::NodeAudit> audits(net.node_count());
+  vmat::AuditLog audits(net.node_count());
   (void)run_confirmation(net, &adv, tree, {50}, 9, values, audits, slotted);
 
   TrailStats stats;
   for (std::uint32_t id = 1; id < net.node_count(); ++id) {
-    if (!audits[id].sof.has_value()) continue;
+    const vmat::SofRecord* rec = audits.sof(vmat::NodeId{id});
+    if (rec == nullptr) continue;
     ++stats.forwarders;
-    stats.max_interval =
-        std::max(stats.max_interval, audits[id].sof->forward_interval);
+    stats.max_interval = std::max(stats.max_interval, rec->forward_interval);
   }
   return stats;
 }

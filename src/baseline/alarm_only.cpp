@@ -21,17 +21,14 @@ AlarmOnlyResult run_alarm_only(Network& net, Adversary* adversary,
   const TreeResult tree = run_tree_formation(net, adversary, tree_params);
   result.flooding_rounds += 2;  // announcement + tree
 
-  std::vector<std::vector<Reading>> values(n);
-  std::vector<std::vector<std::int64_t>> weights(n);
-  for (std::uint32_t id = 0; id < n; ++id) {
-    values[id] = {readings[id]};
-    weights[id] = {0};
-  }
+  ValueTable values(n, 1, 0);
+  const ValueTable weights(n, 1, 0);
+  for (std::uint32_t id = 0; id < n; ++id) values.data[id] = readings[id];
 
   AggConfig agg_config;
   agg_config.instances = 1;
   agg_config.nonce = splitmix64(nonce_state);
-  std::vector<NodeAudit> audits(n);
+  AuditLog audits(n);
   const AggregationOutcome agg =
       run_aggregation(net, adversary, tree, agg_config, values, weights,
                       audits);

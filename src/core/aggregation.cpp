@@ -8,11 +8,29 @@
 namespace vmat {
 namespace {
 
+/// The messages an honest node originates: one per instance with a
+/// contributing value (kInfinity marks "no contribution", e.g. a COUNT
+/// predicate the sensor does not satisfy). Built on the fly in the node's
+/// transmit slot — a stack MacContext computes the same MACs as the cached
+/// sensor_mac_context() form without an O(n) prebuilt table.
+void build_own_messages(const Network& net, const AggConfig& config,
+                        NodeId node, std::span<const Reading> values,
+                        std::span<const std::int64_t> weights,
+                        std::vector<AggMessage>& out) {
+  out.clear();
+  const MacContext key(net.keys().sensor_key(node));
+  for (std::uint32_t i = 0; i < config.instances; ++i) {
+    if (values[i] == kInfinity) continue;
+    out.push_back(
+        make_agg_message(key, node, i, values[i], weights[i], config.nonce));
+  }
+}
+
 /// The per-instance minima a sensor would honestly forward: its own message
 /// and everything collected from children, minimum by value (ties broken by
 /// origin id for determinism).
 AggBundle honest_bundle(const std::vector<AggMessage>& own,
-                        const std::vector<ReceivedRecord>& received,
+                        const AuditLog& audits, NodeId node,
                         std::uint32_t instances) {
   std::vector<const AggMessage*> best(instances, nullptr);
   auto consider = [&](const AggMessage& m) {
@@ -23,7 +41,8 @@ AggBundle honest_bundle(const std::vector<AggMessage>& own,
       slot = &m;
   };
   for (const auto& m : own) consider(m);
-  for (const auto& r : received) consider(r.msg);
+  audits.for_each_received(node,
+                           [&](const ReceivedRecord& r) { consider(r.msg); });
 
   AggBundle bundle;
   for (const AggMessage* m : best)
@@ -33,44 +52,22 @@ AggBundle honest_bundle(const std::vector<AggMessage>& own,
 
 }  // namespace
 
-AggregationOutcome run_aggregation(
-    Network& net, Adversary* adversary, const TreeResult& tree,
-    const AggConfig& config, const std::vector<std::vector<Reading>>& values,
-    const std::vector<std::vector<std::int64_t>>& weights,
-    std::vector<NodeAudit>& audits, Tracer tracer) {
+AggregationOutcome run_aggregation(Network& net, Adversary* adversary,
+                                   const TreeResult& tree,
+                                   const AggConfig& config,
+                                   const ValueTable& values,
+                                   const ValueTable& weights, AuditLog& audits,
+                                   Tracer tracer) {
   const std::uint32_t n = net.node_count();
   const Level L = tree.depth_bound;
-  if (values.size() != n || weights.size() != n || audits.size() != n)
+  if (values.node_count != n || weights.node_count != n ||
+      audits.node_count() != n)
     throw std::invalid_argument("run_aggregation: size mismatch");
+  if (values.instances != config.instances ||
+      weights.instances != config.instances)
+    throw std::invalid_argument("run_aggregation: instance-count mismatch");
 
   net.fabric().reset();
-  for (std::uint32_t id = 0; id < n; ++id) {
-    audits[id].agg.clear();
-    audits[id].agg.level = tree.level[id];
-  }
-
-  // Pre-build every node's own messages (what an honest node originates).
-  std::vector<std::vector<AggMessage>> own(n);
-  for (std::uint32_t id = 0; id < n; ++id) {
-    const NodeId node{id};
-    if (node == kBaseStation) continue;
-    if (net.revocation().is_sensor_revoked(node)) continue;
-    if (!tree.has_valid_level(node)) continue;
-    const MacContext& key = net.keys().sensor_mac_context(node);
-    own[id].reserve(config.instances);
-    for (std::uint32_t i = 0; i < config.instances; ++i) {
-      // kInfinity marks "no contribution" (e.g. a COUNT predicate the
-      // sensor does not satisfy): the sensor originates nothing.
-      if (values[id][i] == kInfinity) continue;
-      own[id].push_back(make_agg_message(key, node, i, values[id][i],
-                                         weights[id][i], config.nonce));
-    }
-  }
-
-  // Valid records delivered to malicious nodes, exposed to the strategy.
-  std::vector<std::vector<ReceivedRecord>> malicious_received(n);
-
-  AggregationOutcome outcome;
 
   // Level-parallel sharding (see core/phase_shard.h): shards cover
   // contiguous node-id ranges, buffer their sends, and meter receipt into
@@ -81,6 +78,34 @@ AggregationOutcome run_aggregation(
   const std::size_t shards = plan_shards(n);
   ThreadPool& pool = ThreadPool::shared();
   std::vector<ShardBuf> bufs(shards);
+
+  audits.begin_aggregation(shards);
+  for (std::uint32_t id = 0; id < n; ++id)
+    audits.set_level(NodeId{id}, tree.level[id]);
+
+  // The adversary hook interface exposes every node's own messages and the
+  // valid records delivered to malicious nodes — both O(n)
+  // vector-of-vectors by construction (strategies index them per node). A
+  // clean large-n run (no adversary) skips them entirely: honest
+  // transmitters rebuild their own messages on the fly in their one
+  // transmit slot, bit-identically (same pure MAC over the same inputs).
+  const bool hooked = adversary != nullptr;
+  std::vector<std::vector<AggMessage>> own(hooked ? n : 0);
+  std::vector<std::vector<ReceivedRecord>> malicious_received(hooked ? n : 0);
+  if (hooked) {
+    std::vector<AggMessage> msgs;
+    for (std::uint32_t id = 0; id < n; ++id) {
+      const NodeId node{id};
+      if (node == kBaseStation) continue;
+      if (net.revocation().is_sensor_revoked(node)) continue;
+      if (!tree.has_valid_level(node)) continue;
+      build_own_messages(net, config, node, values.row(id), weights.row(id),
+                         msgs);
+      own[id] = msgs;
+    }
+  }
+
+  AggregationOutcome outcome;
 
   for (Interval slot = 1; slot <= L; ++slot) {
     tracer.slot_tick(slot);
@@ -99,9 +124,10 @@ AggregationOutcome run_aggregation(
     // replay serially below.
     for_each_shard(
         n, shards, pool,
-        [&net, &tree, &config, &adversary, &own, &audits, &bufs, slot, L](
-            std::size_t shard, std::size_t begin, std::size_t end) {
+        [&net, &tree, &config, &adversary, &values, &weights, &audits, &bufs,
+         slot, L](std::size_t shard, std::size_t begin, std::size_t end) {
           ShardBuf& buf = bufs[shard];
+          std::vector<AggMessage> own_msgs;  // per-node scratch
           for (std::size_t id = begin; id < end; ++id) {
             const NodeId node{static_cast<std::uint32_t>(id)};
             if (node == kBaseStation || byzantine(adversary, node)) continue;
@@ -110,12 +136,16 @@ AggregationOutcome run_aggregation(
             const Level i = tree.level[id];
             if (slot != L - i + 1) continue;
 
-            const AggBundle bundle = honest_bundle(
-                own[id], audits[id].agg.received, config.instances);
+            build_own_messages(net, config, node,
+                               values.row(static_cast<std::uint32_t>(id)),
+                               weights.row(static_cast<std::uint32_t>(id)),
+                               own_msgs);
+            const AggBundle bundle =
+                honest_bundle(own_msgs, audits, node, config.instances);
             if (bundle.entries.empty()) continue;
             const Bytes frame = encode(bundle);
 
-            const auto& parents = tree.parents[id];
+            const auto parents = tree.parents[id];
             const std::size_t fanout =
                 config.multipath ? parents.size()
                                  : std::min<std::size_t>(1, parents.size());
@@ -123,9 +153,9 @@ AggregationOutcome run_aggregation(
               const ParentLink& link = parents[p];
               if (net.revocation().is_key_revoked(link.edge_key)) continue;
               TxStep step;
-              step.env.from = node;
-              step.env.to = link.claimed_id;
-              step.env.edge_key = link.edge_key;
+              step.from = node;
+              step.to = link.claimed_id;
+              step.edge_key = link.edge_key;
               // The claimed parent may not be a physical neighbor (a
               // spoofed tree-formation frame); the fabric then drops the
               // frame at replay, which is exactly a silent drop the
@@ -133,8 +163,8 @@ AggregationOutcome run_aggregation(
               buf.stage_payload(step, frame);
               buf.steps.push_back(std::move(step));
               for (const auto& m : bundle.entries)
-                audits[id].agg.forwarded.push_back(
-                    {m, link.edge_key, link.claimed_id});
+                audits.add_forwarded(shard, node,
+                                     {m, link.edge_key, link.claimed_id});
             }
           }
           compute_step_macs(net.keys(), buf);
@@ -183,9 +213,9 @@ AggregationOutcome run_aggregation(
                   // sees exactly one writer.
                   // vmat-analyze: allow(shard-race) -- BS-owner-only write
                   outcome.arrivals.push_back({m, env.edge_key, slot});
-                  audits[id].agg.received.push_back(rec);
+                  audits.add_received(shard, node, rec);
                 } else {
-                  audits[id].agg.received.push_back(rec);
+                  audits.add_received(shard, node, rec);
                   if (is_malicious) malicious_received[id].push_back(rec);
                 }
               }

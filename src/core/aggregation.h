@@ -32,16 +32,14 @@ struct AggregationOutcome {
   std::vector<BsArrival> arrivals;
 };
 
-/// `values[node][instance]` is the value each sensor reports (raw reading
-/// for MIN, encoded synopsis otherwise); `weights[node][instance]` the
-/// synopsis weight (0 for raw MIN). Both must be sized node_count x
-/// instances. `audits` (sized node_count) receives the distributed audit
-/// trail; previous aggregation records are cleared.
+/// `values.row(node)[instance]` is the value each sensor reports (raw
+/// reading for MIN, encoded synopsis otherwise); `weights.row(node)` the
+/// synopsis weights (0 for raw MIN). Both tables must be sized node_count x
+/// config.instances. `audits` (node_count nodes) receives the distributed
+/// audit trail; previous aggregation records are cleared.
 [[nodiscard]] AggregationOutcome run_aggregation(
     Network& net, Adversary* adversary, const TreeResult& tree,
-    const AggConfig& config,
-    const std::vector<std::vector<Reading>>& values,
-    const std::vector<std::vector<std::int64_t>>& weights,
-    std::vector<NodeAudit>& audits, Tracer tracer = {});
+    const AggConfig& config, const ValueTable& values,
+    const ValueTable& weights, AuditLog& audits, Tracer tracer = {});
 
 }  // namespace vmat

@@ -32,60 +32,76 @@ bool in_edge_window(const Predicate& p, KeyIndex k) noexcept {
 
 }  // namespace
 
+namespace {
+
+/// Existential scan over a node's pooled record chain.
+template <class Log, class F>
+bool any_forwarded(const Log& audits, NodeId self, F&& pred) {
+  bool hit = false;
+  audits.for_each_forwarded(self, [&](const ForwardRecord& f) {
+    if (!hit && pred(f)) hit = true;
+  });
+  return hit;
+}
+
+template <class Log, class F>
+bool any_received(const Log& audits, NodeId self, F&& pred) {
+  bool hit = false;
+  audits.for_each_received(self, [&](const ReceivedRecord& r) {
+    if (!hit && pred(r)) hit = true;
+  });
+  return hit;
+}
+
+}  // namespace
+
 bool evaluate_predicate(const Predicate& p, NodeId self,
-                        const NodeAudit& audit) {
+                        const AuditLog& audits) {
   if (!in_id_window(p, self)) return false;
 
   switch (p.kind) {
     case PredicateKind::kAggForwardedValue: {
-      if (audit.agg.level != p.level) return false;
-      return std::any_of(
-          audit.agg.forwarded.begin(), audit.agg.forwarded.end(),
-          [&](const ForwardRecord& f) {
-            return f.msg.instance == p.instance && f.msg.value <= p.v_max &&
-                   in_edge_window(p, f.out_edge);
-          });
+      if (audits.level(self) != p.level) return false;
+      return any_forwarded(audits, self, [&](const ForwardRecord& f) {
+        return f.msg.instance == p.instance && f.msg.value <= p.v_max &&
+               in_edge_window(p, f.out_edge);
+      });
     }
     case PredicateKind::kAggReceivedValue: {
-      if (audit.agg.level != p.level - 1) return false;
-      return std::any_of(
-          audit.agg.received.begin(), audit.agg.received.end(),
-          [&](const ReceivedRecord& r) {
-            return r.msg.instance == p.instance && r.msg.value <= p.v_max &&
-                   r.child_level == p.level;
-          });
+      if (audits.level(self) != p.level - 1) return false;
+      return any_received(audits, self, [&](const ReceivedRecord& r) {
+        return r.msg.instance == p.instance && r.msg.value <= p.v_max &&
+               r.child_level == p.level;
+      });
     }
     case PredicateKind::kJunkAggForwarded: {
-      if (audit.agg.level != p.level) return false;
-      return std::any_of(audit.agg.forwarded.begin(),
-                         audit.agg.forwarded.end(),
-                         [&](const ForwardRecord& f) {
-                           return f.out_edge == p.bound_edge &&
-                                  message_identity(f.msg) == p.msg_hash;
-                         });
+      if (audits.level(self) != p.level) return false;
+      return any_forwarded(audits, self, [&](const ForwardRecord& f) {
+        return f.out_edge == p.bound_edge &&
+               message_identity(f.msg) == p.msg_hash;
+      });
     }
     case PredicateKind::kJunkAggReceived: {
-      if (audit.agg.level != p.level) return false;
-      return std::any_of(audit.agg.received.begin(), audit.agg.received.end(),
-                         [&](const ReceivedRecord& r) {
-                           return in_edge_window(p, r.in_edge) &&
-                                  message_identity(r.msg) == p.msg_hash;
-                         });
+      if (audits.level(self) != p.level) return false;
+      return any_received(audits, self, [&](const ReceivedRecord& r) {
+        return in_edge_window(p, r.in_edge) &&
+               message_identity(r.msg) == p.msg_hash;
+      });
     }
     case PredicateKind::kJunkSofForwarded: {
-      if (!audit.sof.has_value()) return false;
-      const SofRecord& s = *audit.sof;
-      return s.forward_interval == p.level &&
-             message_identity(s.msg) == p.msg_hash &&
-             std::find(s.out_edges.begin(), s.out_edges.end(), p.bound_edge) !=
-                 s.out_edges.end();
+      const SofRecord* s = audits.sof(self);
+      if (s == nullptr) return false;
+      return s->forward_interval == p.level &&
+             message_identity(s->msg) == p.msg_hash &&
+             std::find(s->out_edges.begin(), s->out_edges.end(),
+                       p.bound_edge) != s->out_edges.end();
     }
     case PredicateKind::kJunkSofReceived: {
-      if (!audit.sof.has_value()) return false;
-      const SofRecord& s = *audit.sof;
-      return !s.originated && s.received_interval == p.level &&
-             message_identity(s.msg) == p.msg_hash &&
-             in_edge_window(p, s.in_edge);
+      const SofRecord* s = audits.sof(self);
+      if (s == nullptr) return false;
+      return !s->originated && s->received_interval == p.level &&
+             message_identity(s->msg) == p.msg_hash &&
+             in_edge_window(p, s->in_edge);
     }
   }
   return false;

@@ -12,7 +12,7 @@ namespace {
 /// The instance a sensor vetoes for: the smallest instance index whose own
 /// value undercuts the broadcast minimum.
 std::optional<std::uint32_t> veto_instance(
-    const std::vector<Reading>& own_values,
+    std::span<const Reading> own_values,
     const std::vector<Reading>& minima) {
   for (std::uint32_t i = 0; i < minima.size() && i < own_values.size(); ++i)
     if (own_values[i] < minima[i]) return i;
@@ -24,21 +24,13 @@ std::optional<std::uint32_t> veto_instance(
 ConfirmationOutcome run_confirmation(
     Network& net, Adversary* adversary, const TreeResult& tree,
     const std::vector<Reading>& broadcast_minima, std::uint64_t nonce,
-    const std::vector<std::vector<Reading>>& values,
-    std::vector<NodeAudit>& audits, bool slotted, Tracer tracer) {
+    const ValueTable& values, AuditLog& audits, bool slotted, Tracer tracer) {
   const std::uint32_t n = net.node_count();
   const Level L = tree.depth_bound;
-  if (values.size() != n || audits.size() != n)
+  if (values.node_count != n || audits.node_count() != n)
     throw std::invalid_argument("run_confirmation: size mismatch");
 
   net.fabric().reset();
-  for (auto& a : audits) a.sof.reset();
-
-  // Pending forwards decided at receipt, executed next slot.
-  std::vector<std::optional<Bytes>> pending(n);
-  std::vector<std::vector<VetoMsg>> malicious_vetoes(n);
-
-  ConfirmationOutcome outcome;
 
   // Level-parallel sharding (see core/phase_shard.h). Veto MACs and the
   // per-neighbor edge MACs compute in-shard; sends, out-edge audit records
@@ -49,6 +41,17 @@ ConfirmationOutcome run_confirmation(
   const std::size_t shards = plan_shards(n);
   ThreadPool& pool = ThreadPool::shared();
   std::vector<ShardBuf> bufs(shards);
+
+  audits.begin_sof(shards);
+
+  // Pending forwards decided at receipt, executed next slot (an empty
+  // buffer means none — a recorded veto frame is never empty). The
+  // malicious-veto feed exists only for the adversary hooks.
+  std::vector<Bytes> pending(n);
+  std::vector<std::vector<VetoMsg>> malicious_vetoes(
+      adversary != nullptr ? n : 0);
+
+  ConfirmationOutcome outcome;
 
   const Interval max_interval = slotted ? L : 4 * L + 4;
   for (Interval slot = 1; slot <= max_interval; ++slot) {
@@ -75,9 +78,9 @@ ConfirmationOutcome run_confirmation(
               const auto edge_key = net.usable_edge_key(node, v);
               if (!edge_key.has_value()) continue;
               TxStep step;
-              step.env.from = node;
-              step.env.to = v;
-              step.env.edge_key = *edge_key;
+              step.from = node;
+              step.to = v;
+              step.edge_key = *edge_key;
               step.track_out_edge = track_out_edge;
               buf.stage_payload(step, frame);
               buf.steps.push_back(std::move(step));
@@ -91,32 +94,37 @@ ConfirmationOutcome run_confirmation(
             if (slot == 1) {
               // Vetoers transmit in the first interval.
               if (!tree.has_valid_level(node)) continue;
-              const auto instance =
-                  veto_instance(values[id], broadcast_minima);
+              const auto instance = veto_instance(
+                  values.row(static_cast<std::uint32_t>(id)),
+                  broadcast_minima);
               if (!instance.has_value()) continue;
-              const VetoMsg veto = make_veto(
-                  net.keys().sensor_mac_context(node), node, *instance,
-                  values[id][*instance], tree.level[id], nonce);
+              // Stack context: identical MAC to the cached form, and
+              // thread-safe inside the shard (no lazy table mutation).
+              const MacContext vetoer_key(net.keys().sensor_key(node));
+              const Reading own =
+                  values.row(static_cast<std::uint32_t>(id))[*instance];
+              const VetoMsg veto = make_veto(vetoer_key, node, *instance, own,
+                                             tree.level[id], nonce);
               SofRecord rec;
               rec.msg = veto;
               rec.originated = true;
               rec.received_interval = 0;
               rec.forward_interval = 1;
               // out_edges fill at replay, as sends succeed.
-              audits[id].sof = rec;
+              audits.set_sof(shard, node, std::move(rec));
               buffer_flood(node, encode(veto), /*track_out_edge=*/true);
               TxStep ev;
               ev.kind = TxStep::Kind::kVeto;
               ev.actor = node;
               ev.origin = node;
               ev.slot = slot;
-              ev.value = values[id][*instance];
+              ev.value = own;
               ev.originated = true;
               buf.steps.push_back(std::move(ev));
-            } else if (pending[id].has_value()) {
+            } else if (!pending[id].empty()) {
               // One-time forward of the first veto received last slot.
-              const Bytes frame = std::move(*pending[id]);
-              pending[id].reset();
+              const Bytes frame = std::move(pending[id]);
+              pending[id].clear();
               buffer_flood(node, frame, /*track_out_edge=*/true);
             }
           }
@@ -153,7 +161,7 @@ ConfirmationOutcome run_confirmation(
               }
               if (is_malicious) malicious_vetoes[id].push_back(*veto);
               if (byzantine(adversary, node)) continue;  // strategy decides
-              if (audits[id].sof.has_value()) continue;  // one-time: handled
+              if (audits.has_sof(node)) continue;  // one-time: handled
               // First veto: schedule forwarding for the next slot and
               // record the audit tuple now.
               SofRecord rec;
@@ -162,7 +170,7 @@ ConfirmationOutcome run_confirmation(
               rec.received_interval = slot;
               rec.forward_interval = slot + 1;
               rec.in_edge = env.edge_key;
-              audits[id].sof = rec;
+              audits.set_sof(shard, node, std::move(rec));
               // One-time per node per execution: the forwarded frame must
               // outlive the arena slot.
               // vmat-lint: allow(hot-path-alloc) -- one-shot veto forward

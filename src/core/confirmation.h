@@ -40,7 +40,7 @@ struct ConfirmationOutcome {
 [[nodiscard]] ConfirmationOutcome run_confirmation(
     Network& net, Adversary* adversary, const TreeResult& tree,
     const std::vector<Reading>& broadcast_minima, std::uint64_t nonce,
-    const std::vector<std::vector<Reading>>& values,
-    std::vector<NodeAudit>& audits, bool slotted = true, Tracer tracer = {});
+    const ValueTable& values, AuditLog& audits, bool slotted = true,
+    Tracer tracer = {});
 
 }  // namespace vmat

@@ -14,8 +14,11 @@ constexpr std::size_t kMaxBroadcasts = 1 << 16;
 
 // Snapshot section tags (layout skew detectors; see sim/snapshot.h).
 constexpr std::uint32_t kCoordSection = 0x434f4f52;  // "COOR"
-constexpr std::uint32_t kTreeSection = 0x54524545;   // "TREE"
-constexpr std::uint32_t kAuditSection = 0x41554454;  // "AUDT"
+// The tree and audit sections moved to CSR/pooled layouts with the large-n
+// memory diet; their tags are versioned so a pre-diet snapshot is rejected
+// by the section check instead of misparsed.
+constexpr std::uint32_t kTreeSection = 0x54524532;   // "TRE2" (CSR parents)
+constexpr std::uint32_t kAuditSection = 0x41554432;  // "AUD2" (pooled audit)
 constexpr std::uint32_t kTraceSection = 0x54524143;  // "TRAC"
 
 // The snapshot encodes these wholesale as flat pods.
@@ -138,16 +141,15 @@ ExecutionOutcome VmatCoordinator::run_min(
     const std::vector<Reading>& readings) {
   if (config_.instances != 1)
     throw std::logic_error("run_min requires instances == 1");
-  std::vector<std::vector<Reading>> values(readings.size());
-  std::vector<std::vector<std::int64_t>> weights(readings.size());
+  ValueTable values(static_cast<std::uint32_t>(readings.size()), 1, 0);
+  const ValueTable weights(static_cast<std::uint32_t>(readings.size()), 1, 0);
   for (std::size_t i = 0; i < readings.size(); ++i) {
     Reading r = readings[i];
     if (adversary_ != nullptr && adversary_->is_byzantine(NodeId{
             static_cast<std::uint32_t>(i)}))
       r = adversary_->strategy().own_reading(
           NodeId{static_cast<std::uint32_t>(i)}, r);
-    values[i] = {r};
-    weights[i] = {0};
+    values.data[i] = r;
   }
   return execute(values, weights);
 }
@@ -220,15 +222,24 @@ ExecutionOutcome VmatCoordinator::run_query(
     Network* net;
     ~TracerDetach() { net->set_tracer({}); }
   } detach{net_};
-  return run_query_phases(values, weights, validate,
-                          instances == 0 ? config_.instances : instances,
-                          tracer, 0);
+  const std::uint32_t inst = instances == 0 ? config_.instances : instances;
+  return run_query_phases(ValueTable::from_nested(values, inst, kInfinity),
+                          ValueTable::from_nested(weights, inst, 0), validate,
+                          inst, tracer, 0);
 }
 
 ExecutionOutcome VmatCoordinator::execute(
     const std::vector<std::vector<Reading>>& values,
     const std::vector<std::vector<std::int64_t>>& weights,
     const ContentValidator& validate) {
+  return execute(
+      ValueTable::from_nested(values, config_.instances, kInfinity),
+      ValueTable::from_nested(weights, config_.instances, 0), validate);
+}
+
+ExecutionOutcome VmatCoordinator::execute(const ValueTable& values,
+                                          const ValueTable& weights,
+                                          const ContentValidator& validate) {
   // Attach the flight recorder for exactly this execution: the Tracer
   // handles passed down all point at trace_state_, and the network-side
   // attachment is undone on every exit path so no component keeps a handle
@@ -253,12 +264,11 @@ ExecutionOutcome VmatCoordinator::execute(
 }
 
 ExecutionOutcome VmatCoordinator::run_query_phases(
-    const std::vector<std::vector<Reading>>& values,
-    const std::vector<std::vector<std::int64_t>>& weights,
+    const ValueTable& values, const ValueTable& weights,
     const ContentValidator& validate, std::uint32_t instances, Tracer tracer,
     int rounds_so_far) {
   const std::uint32_t n = net_->node_count();
-  if (values.size() != n || weights.size() != n)
+  if (values.node_count != n || weights.node_count != n)
     throw std::invalid_argument("execute: values/weights must cover all nodes");
 
   // Arm `(round>= N)` trigger predicates: one bump per execution, on every
@@ -437,23 +447,28 @@ Snapshot VmatCoordinator::capture_snapshot(
   w.pod(tree_.mode);
   w.pod(tree_.depth_bound);
   w.vec_pod(tree_.level);
-  w.pod(static_cast<std::uint64_t>(tree_.parents.size()));
-  for (const std::vector<ParentLink>& links : tree_.parents) w.vec_pod(links);
+  w.vec_pod(tree_.parents.offsets());
+  w.vec_pod(tree_.parents.links());
 
+  // Canonical per-node encoding regardless of the pooled in-memory layout
+  // (which varies with the shard plan): rows serialize in per-node arrival
+  // order, exactly as the pre-diet per-node vectors did.
   w.section(kAuditSection);
-  w.pod(static_cast<std::uint64_t>(audits_.size()));
-  for (const NodeAudit& a : audits_) {
-    w.pod(a.agg.level);
-    w.vec_pod(a.agg.received);
-    w.vec_pod(a.agg.forwarded);
-    w.pod(a.sof.has_value());
-    if (a.sof.has_value()) {
-      w.pod(a.sof->msg);
-      w.pod(a.sof->originated);
-      w.pod(a.sof->received_interval);
-      w.pod(a.sof->forward_interval);
-      w.pod(a.sof->in_edge);
-      w.vec_pod(a.sof->out_edges);
+  w.pod(static_cast<std::uint64_t>(audits_.node_count()));
+  for (std::uint32_t id = 0; id < audits_.node_count(); ++id) {
+    const NodeId node{id};
+    w.pod(audits_.level(node));
+    w.vec_pod(audits_.received_of(node));
+    w.vec_pod(audits_.forwarded_of(node));
+    const SofRecord* sof = audits_.sof(node);
+    w.pod(sof != nullptr);
+    if (sof != nullptr) {
+      w.pod(sof->msg);
+      w.pod(sof->originated);
+      w.pod(sof->received_interval);
+      w.pod(sof->forward_interval);
+      w.pod(sof->in_edge);
+      w.vec_pod(sof->out_edges);
     }
   }
 
@@ -502,16 +517,29 @@ void VmatCoordinator::restore_snapshot(const Snapshot& snapshot,
   r.pod(tree_.mode);
   r.pod(tree_.depth_bound);
   r.vec_pod(tree_.level);
-  tree_.parents.resize(r.pod<std::uint64_t>());
-  for (std::vector<ParentLink>& links : tree_.parents) r.vec_pod(links);
+  {
+    std::vector<std::uint32_t> offsets;
+    std::vector<ParentLink> links;
+    r.vec_pod(offsets);
+    r.vec_pod(links);
+    tree_.parents.restore(std::move(offsets), std::move(links));
+  }
 
   r.section(kAuditSection);
-  if (r.pod<std::uint64_t>() != audits_.size())
+  if (r.pod<std::uint64_t>() != audits_.node_count())
     throw std::invalid_argument("restore_snapshot: audit count mismatch");
-  for (NodeAudit& a : audits_) {
-    r.pod(a.agg.level);
-    r.vec_pod(a.agg.received);
-    r.vec_pod(a.agg.forwarded);
+  audits_.begin_aggregation(1);  // serial restore: one pool
+  for (std::uint32_t id = 0; id < audits_.node_count(); ++id) {
+    const NodeId node{id};
+    Level level;
+    r.pod(level);
+    audits_.set_level(node, level);
+    std::vector<ReceivedRecord> received;
+    std::vector<ForwardRecord> forwarded;
+    r.vec_pod(received);
+    r.vec_pod(forwarded);
+    for (const ReceivedRecord& rec : received) audits_.add_received(0, node, rec);
+    for (const ForwardRecord& rec : forwarded) audits_.add_forwarded(0, node, rec);
     if (r.pod<bool>()) {
       SofRecord sof;
       r.pod(sof.msg);
@@ -520,9 +548,7 @@ void VmatCoordinator::restore_snapshot(const Snapshot& snapshot,
       r.pod(sof.forward_interval);
       r.pod(sof.in_edge);
       r.vec_pod(sof.out_edges);
-      a.sof = std::move(sof);
-    } else {
-      a.sof.reset();
+      audits_.set_sof(0, node, std::move(sof));
     }
   }
 
@@ -584,6 +610,22 @@ ExecutionOutcome VmatCoordinator::resume_from(
     throw std::invalid_argument(
         "resume_from: not an execution-prefix snapshot (epoch snapshots "
         "re-arm via rearm_epoch)");
+  const std::uint32_t inst = instances == 0 ? config_.instances : instances;
+  return resume_from(snapshot,
+                     ValueTable::from_nested(values, inst, kInfinity),
+                     ValueTable::from_nested(weights, inst, 0), validate,
+                     instances);
+}
+
+ExecutionOutcome VmatCoordinator::resume_from(const Snapshot& snapshot,
+                                              const ValueTable& values,
+                                              const ValueTable& weights,
+                                              const ContentValidator& validate,
+                                              std::uint32_t instances) {
+  if (snapshot.kind() != SnapshotKind::kExecutionPrefix)
+    throw std::invalid_argument(
+        "resume_from: not an execution-prefix snapshot (epoch snapshots "
+        "re-arm via rearm_epoch)");
   restore_snapshot(snapshot, -1);
   // Mid-execution: the captured prefix already ran begin_execution() (its
   // metrics and ordinal were just restored), so attach without resetting.
@@ -602,16 +644,15 @@ ExecutionOutcome VmatCoordinator::resume_min(
     const Snapshot& snapshot, const std::vector<Reading>& readings) {
   if (config_.instances != 1)
     throw std::logic_error("resume_min requires instances == 1");
-  std::vector<std::vector<Reading>> values(readings.size());
-  std::vector<std::vector<std::int64_t>> weights(readings.size());
+  ValueTable values(static_cast<std::uint32_t>(readings.size()), 1, 0);
+  const ValueTable weights(static_cast<std::uint32_t>(readings.size()), 1, 0);
   for (std::size_t i = 0; i < readings.size(); ++i) {
     Reading r = readings[i];
     if (adversary_ != nullptr && adversary_->is_byzantine(NodeId{
             static_cast<std::uint32_t>(i)}))
       r = adversary_->strategy().own_reading(
           NodeId{static_cast<std::uint32_t>(i)}, r);
-    values[i] = {r};
-    weights[i] = {0};
+    values.data[i] = r;
   }
   return resume_from(snapshot, values, weights);
 }

@@ -122,10 +122,15 @@ class VmatCoordinator {
   /// One full execution over per-node, per-instance values/weights
   /// (kInfinity value = the node contributes nothing for that instance).
   /// `validate` defaults to "raw reading" semantics (weight must be 0).
+  /// The nested form converts at the boundary; the ValueTable overload is
+  /// the allocation-lean path large-n drivers (run_min, benches) use.
   [[nodiscard]] ExecutionOutcome execute(
       const std::vector<std::vector<Reading>>& values,
       const std::vector<std::vector<std::int64_t>>& weights,
       const ContentValidator& validate = {});
+  [[nodiscard]] ExecutionOutcome execute(const ValueTable& values,
+                                         const ValueTable& weights,
+                                         const ContentValidator& validate = {});
 
   // --- epoch-batched serving (engine/engine.h drives these) ---
 
@@ -191,6 +196,10 @@ class VmatCoordinator {
       const std::vector<std::vector<Reading>>& values,
       const std::vector<std::vector<std::int64_t>>& weights,
       const ContentValidator& validate = {}, std::uint32_t instances = 0);
+  [[nodiscard]] ExecutionOutcome resume_from(
+      const Snapshot& snapshot, const ValueTable& values,
+      const ValueTable& weights, const ContentValidator& validate = {},
+      std::uint32_t instances = 0);
 
   /// run_min()'s fork twin: same per-node reading preparation (byzantine
   /// own_reading substitution included), finished via resume_from().
@@ -214,9 +223,7 @@ class VmatCoordinator {
   /// snapshot_after_formation().
   void set_adversary(Adversary* adversary) noexcept { adversary_ = adversary; }
 
-  [[nodiscard]] const std::vector<NodeAudit>& audits() const noexcept {
-    return audits_;
-  }
+  [[nodiscard]] const AuditLog& audits() const noexcept { return audits_; }
   [[nodiscard]] Network& network() const noexcept { return *net_; }
   [[nodiscard]] const TreeResult& last_tree() const noexcept { return tree_; }
   [[nodiscard]] const CoordinatorSpec& config() const noexcept { return config_; }
@@ -253,8 +260,7 @@ class VmatCoordinator {
   /// confirmation → classification over the already-formed tree_;
   /// `rounds_so_far` seeds ExecutionOutcome::data_rounds.
   [[nodiscard]] ExecutionOutcome run_query_phases(
-      const std::vector<std::vector<Reading>>& values,
-      const std::vector<std::vector<std::int64_t>>& weights,
+      const ValueTable& values, const ValueTable& weights,
       const ContentValidator& validate, std::uint32_t instances,
       Tracer tracer, int rounds_so_far);
 
@@ -287,7 +293,7 @@ class VmatCoordinator {
   // coordinator's count.
   // vmat-analyze: allow(snapshot-field-coverage) -- diagnostic counter
   std::uint64_t formations_{0};
-  std::vector<NodeAudit> audits_;
+  AuditLog audits_;
   TreeResult tree_;
   Epoch epoch_;
   bool epoch_stale_{true};

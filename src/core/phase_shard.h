@@ -41,16 +41,21 @@ namespace vmat {
 struct TxStep {
   enum class Kind : std::uint8_t { kSend, kVeto };
   Kind kind{Kind::kSend};
-  /// kSend: wire fields; env.payload stays empty — the payload bytes live
-  /// in the owning ShardBuf's flat payload buffer (stage_payload()), so
-  /// buffering a step never heap-allocates. edge_mac is filled in by
-  /// compute_step_macs().
-  Envelope env;
+  /// kSend: wire fields, kept flat instead of as an Envelope (whose heap
+  /// Bytes member would add 24 B of dead weight per buffered step — the
+  /// payload bytes live in the owning ShardBuf's flat payload buffer via
+  /// stage_payload(), so buffering a step never heap-allocates). edge_mac
+  /// is filled in by compute_step_macs(); replay_tx() builds a stack
+  /// Envelope per step.
+  NodeId from;
+  NodeId to;
+  KeyIndex edge_key{kNoKey};
+  Mac edge_mac;
   std::uint32_t payload_off{0};
   std::uint32_t payload_len{0};
-  /// kSend: on send success, append env.edge_key to
-  /// audits[env.from].sof->out_edges (the SOF audit tuple records which
-  /// edges the one-time flood actually went out on).
+  /// kSend: on send success, append env.edge_key to the sender's SOF
+  /// out_edges (the SOF audit tuple records which edges the one-time flood
+  /// actually went out on).
   bool track_out_edge{false};
   // kVeto event fields (mirrors Tracer::veto).
   NodeId actor;
@@ -93,26 +98,30 @@ inline void compute_step_macs(const Predistribution& keys, ShardBuf& buf) {
   buf.batch.clear();
   for (const TxStep& s : buf.steps)
     if (s.kind == TxStep::Kind::kSend)
-      buf.batch.add(keys.mac_context(s.env.edge_key), buf.payload_of(s));
+      buf.batch.add(keys.mac_context(s.edge_key), buf.payload_of(s));
   buf.batch.compute();
   std::size_t lane = 0;
   for (TxStep& s : buf.steps)
-    if (s.kind == TxStep::Kind::kSend) s.env.edge_mac = buf.batch.macs()[lane++];
+    if (s.kind == TxStep::Kind::kSend) s.edge_mac = buf.batch.macs()[lane++];
 }
 
 /// Serially replay every shard's buffered TX steps in shard order and clear
 /// the buffers. `sof_audits` is non-null only for the confirmation driver,
 /// whose sends record their out-edges on success.
 inline void replay_tx(Network& net, std::vector<ShardBuf>& bufs,
-                      std::vector<NodeAudit>* sof_audits, Tracer tracer) {
+                      AuditLog* sof_audits, Tracer tracer) {
   for (ShardBuf& buf : bufs) {
     for (const TxStep& s : buf.steps) {
       switch (s.kind) {
         case TxStep::Kind::kSend: {
-          const bool sent = net.send_prepared(s.env, buf.payload_of(s));
+          Envelope env;
+          env.from = s.from;
+          env.to = s.to;
+          env.edge_key = s.edge_key;
+          env.edge_mac = s.edge_mac;
+          const bool sent = net.send_prepared(env, buf.payload_of(s));
           if (sent && s.track_out_edge)
-            (*sof_audits)[s.env.from.value].sof->out_edges.push_back(
-                s.env.edge_key);
+            sof_audits->sof_mut(s.from)->out_edges.push_back(s.edge_key);
           break;
         }
         case TxStep::Kind::kVeto:

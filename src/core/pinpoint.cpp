@@ -23,7 +23,7 @@ Predicate with_z_window(Predicate p, KeyIndex lo, KeyIndex hi) {
 }  // namespace
 
 PinpointEngine::PinpointEngine(Network* net, Adversary* adversary,
-                               const std::vector<NodeAudit>* audits,
+                               const AuditLog* audits,
                                const TreeResult* tree, PredicateTestMode mode,
                                Tracer tracer)
     : net_(net), adversary_(adversary), audits_(audits), tree_(tree),

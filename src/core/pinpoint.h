@@ -56,7 +56,7 @@ struct PinpointOutcome {
 class PinpointEngine {
  public:
   PinpointEngine(Network* net, Adversary* adversary,
-                 const std::vector<NodeAudit>* audits, const TreeResult* tree,
+                 const AuditLog* audits, const TreeResult* tree,
                  PredicateTestMode mode = PredicateTestMode::kReachability,
                  Tracer tracer = {});
 
@@ -96,7 +96,7 @@ class PinpointEngine {
 
   Network* net_;
   Adversary* adversary_;
-  const std::vector<NodeAudit>* audits_;
+  const AuditLog* audits_;
   const TreeResult* tree_;
   PredicateTestMode mode_;
   Tracer tracer_;

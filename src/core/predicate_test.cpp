@@ -6,7 +6,7 @@
 namespace vmat {
 
 PredicateTestEngine::PredicateTestEngine(Network* net, Adversary* adversary,
-                                         const std::vector<NodeAudit>* audits,
+                                         const AuditLog* audits,
                                          CostMeter* meter,
                                          PredicateTestMode mode, Tracer tracer)
     : net_(net),
@@ -50,7 +50,7 @@ std::vector<NodeId> PredicateTestEngine::collect_repliers(
       if (adversary_->strategy().answer_predicate(adversary_->view(),
                                                   predicate, node))
         repliers.push_back(node);
-    } else if (evaluate_predicate(predicate, node, (*audits_)[id])) {
+    } else if (evaluate_predicate(predicate, node, *audits_)) {
       repliers.push_back(node);
     }
   }

@@ -77,7 +77,7 @@ class PredicateTestEngine {
  public:
   /// `audits` must outlive the engine and stay indexed by node id.
   PredicateTestEngine(Network* net, Adversary* adversary,
-                      const std::vector<NodeAudit>* audits, CostMeter* meter,
+                      const AuditLog* audits, CostMeter* meter,
                       PredicateTestMode mode = PredicateTestMode::kReachability,
                       Tracer tracer = {});
 
@@ -97,7 +97,7 @@ class PredicateTestEngine {
 
   Network* net_;
   Adversary* adversary_;
-  const std::vector<NodeAudit>* audits_;
+  const AuditLog* audits_;
   CostMeter* meter_;
   PredicateTestMode mode_;
   Tracer tracer_;

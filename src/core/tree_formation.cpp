@@ -8,11 +8,18 @@
 namespace vmat {
 namespace {
 
-/// Parents recorded this slot, deduplicated by (claimed id, edge key).
-void record_parent(std::vector<ParentLink>& parents, ParentLink link) {
-  for (const auto& p : parents)
-    if (p == link) return;
-  parents.push_back(link);
+/// Record a parent into a flat staging buffer, deduplicated by (claimed id,
+/// edge key) against the node's links already staged. A node records all
+/// its parents in one slot of one shard, so its entries form the trailing
+/// run tagged with its id — the backward scan stops at the first foreign
+/// tag.
+void record_parent(std::vector<ParentTable::Tagged>& staged,
+                   std::uint32_t node, ParentLink link) {
+  for (std::size_t i = staged.size(); i-- > 0;) {
+    if (staged[i].node != node) break;
+    if (staged[i].link == link) return;
+  }
+  staged.push_back({node, link});
 }
 
 TreeResult run_timestamp_mode(Network& net, Adversary* adversary,
@@ -24,9 +31,7 @@ TreeResult run_timestamp_mode(Network& net, Adversary* adversary,
   result.mode = params.mode;
   result.depth_bound = params.depth_bound;
   result.level.assign(n, kNoLevel);
-  result.parents.assign(n, {});
   result.level[kBaseStation.value] = 0;
-
   const Bytes flood_frame = encode(TreeFormationMsg{params.session, 0});
 
   // Level-parallel sharding (see core/phase_shard.h): only level-(slot-1)
@@ -36,6 +41,10 @@ TreeResult run_timestamp_mode(Network& net, Adversary* adversary,
   const std::size_t shards = plan_shards(n);
   ThreadPool& pool = ThreadPool::shared();
   std::vector<ShardBuf> bufs(shards);
+  // Flat per-shard parent staging, compacted into the CSR ParentTable at
+  // phase end (a node records all its parents in the one slot it adopts a
+  // level, within its owning shard).
+  std::vector<std::vector<ParentTable::Tagged>> parent_stage(shards);
 
   for (Interval slot = 1; slot <= params.depth_bound; ++slot) {
     tracer.slot_tick(slot);
@@ -68,9 +77,9 @@ TreeResult run_timestamp_mode(Network& net, Adversary* adversary,
               const auto edge_key = net.usable_edge_key(node, v);
               if (!edge_key.has_value()) continue;
               TxStep step;
-              step.env.from = node;
-              step.env.to = v;
-              step.env.edge_key = *edge_key;
+              step.from = node;
+              step.to = v;
+              step.edge_key = *edge_key;
               buf.stage_payload(step, flood_frame);
               buf.steps.push_back(std::move(step));
             }
@@ -85,7 +94,7 @@ TreeResult run_timestamp_mode(Network& net, Adversary* adversary,
     ShardedTrace rx_trace(tracer, shards);
     for_each_shard(
         n, shards, pool,
-        [&net, &params, &result, &bufs, &rx_trace, slot](
+        [&net, &params, &result, &parent_stage, &bufs, &rx_trace, slot](
             std::size_t shard, std::size_t begin, std::size_t end) {
           Tracer shard_tracer = rx_trace.shard(shard);
           for (std::size_t id = begin; id < end; ++id) {
@@ -104,13 +113,16 @@ TreeResult run_timestamp_mode(Network& net, Adversary* adversary,
               if (!msg.has_value() || msg->session != params.session)
                 continue;
               adopted = true;
-              record_parent(result.parents[id], {env.from, env.edge_key});
+              record_parent(parent_stage[shard],
+                            static_cast<std::uint32_t>(id),
+                            {env.from, env.edge_key});
             }
             if (adopted) result.level[id] = slot;
           }
         });
     rx_trace.merge();
   }
+  result.parents = ParentTable::from_tagged(n, parent_stage);
   return result;
 }
 
@@ -123,8 +135,8 @@ TreeResult run_hopcount_mode(Network& net, Adversary* adversary,
   result.mode = params.mode;
   result.depth_bound = params.depth_bound;
   result.level.assign(n, kNoLevel);
-  result.parents.assign(n, {});
   result.level[kBaseStation.value] = 0;
+  std::vector<std::vector<ParentTable::Tagged>> parent_stage(1);
 
   // Hop count each node will forward with, once, in the slot after receipt.
   std::vector<std::int32_t> pending_hop(n, -1);
@@ -177,11 +189,12 @@ TreeResult run_hopcount_mode(Network& net, Adversary* adversary,
         // First frame wins, exactly as in TAG.
         result.level[id] = msg->hop_count + 1;
         pending_hop[id] = msg->hop_count;
-        record_parent(result.parents[id], {env.from, env.edge_key});
+        record_parent(parent_stage[0], id, {env.from, env.edge_key});
         break;
       }
     }
   }
+  result.parents = ParentTable::from_tagged(n, parent_stage);
   return result;
 }
 

@@ -6,27 +6,40 @@
 
 namespace vmat {
 
-HashChain::HashChain(std::uint64_t seed, std::size_t length) {
+HashChain::HashChain(std::uint64_t seed, std::size_t length) : length_(length) {
   if (length == 0) throw std::invalid_argument("HashChain: zero length");
   ByteWriter w;
   w.str("vmat.hash-chain.seed");
   w.u64(seed);
   Digest current = Sha256::hash(w.bytes());
 
-  // Build from the seed end back to the anchor, then reverse.
-  std::vector<Digest> reversed;
-  reversed.reserve(length);
-  reversed.push_back(current);
-  for (std::size_t i = 1; i < length; ++i) {
-    current = Sha256::hash(current);
-    reversed.push_back(current);
+  // Walk from the seed end (index length-1) down to the anchor (index 0),
+  // keeping the seed end plus every kStride-aligned element, written back
+  // to front so checkpoints_[k] holds element(k * kStride).
+  checkpoints_.resize((length - 1) / kStride + 1);
+  top_ = current;
+  for (std::size_t i = length; i-- > 0;) {
+    if (i != length - 1) current = Sha256::hash(current);
+    if (i % kStride == 0) checkpoints_[i / kStride] = current;
   }
-  chain_.assign(reversed.rbegin(), reversed.rend());
 }
 
-const Digest& HashChain::element(std::size_t i) const {
-  if (i >= chain_.size()) throw std::out_of_range("HashChain::element");
-  return chain_[i];
+Digest HashChain::element(std::size_t i) const {
+  if (i >= length_) throw std::out_of_range("HashChain::element");
+  // Start from the nearest stored element at or above i and hash down:
+  // element(i) = H^(k-i)(element(k)), at most kStride-1 hashes.
+  const std::size_t slot = (i + kStride - 1) / kStride;
+  std::size_t k;
+  Digest current;
+  if (slot < checkpoints_.size()) {
+    k = slot * kStride;
+    current = checkpoints_[slot];
+  } else {
+    k = length_ - 1;
+    current = top_;
+  }
+  for (std::size_t step = k; step > i; --step) current = Sha256::hash(current);
+  return current;
 }
 
 bool HashChain::verify(const Digest& candidate, std::size_t i,

@@ -4,6 +4,13 @@
 // The base station commits to chain anchor H^n(seed); releasing H^{n-i}(seed)
 // in epoch i authenticates that epoch's broadcast key. Receivers verify a
 // released element by hashing forward to a previously verified element.
+//
+// Storage: the chain is checkpointed, not materialized — every kStride-th
+// element (plus the seed end) is stored, and element(i) rehashes down from
+// the nearest checkpoint above. A 2^16-element chain thus costs ~8 KB
+// resident instead of 2 MB, and an element access at most kStride-1 extra
+// hashes (broadcasts are rare: a handful per execution). Elements are
+// identical to the fully materialized chain by construction.
 #pragma once
 
 #include <cstdint>
@@ -19,12 +26,13 @@ class HashChain {
   /// anchor (deepest hash, publicly known), element(length-1) the seed end.
   HashChain(std::uint64_t seed, std::size_t length);
 
-  [[nodiscard]] std::size_t length() const noexcept { return chain_.size(); }
+  [[nodiscard]] std::size_t length() const noexcept { return length_; }
 
-  /// i in [0, length): element i, where larger i = released later.
-  [[nodiscard]] const Digest& element(std::size_t i) const;
+  /// i in [0, length): element i, where larger i = released later. Returned
+  /// by value: off-checkpoint elements are recomputed on the fly.
+  [[nodiscard]] Digest element(std::size_t i) const;
 
-  [[nodiscard]] const Digest& anchor() const { return element(0); }
+  [[nodiscard]] const Digest& anchor() const { return checkpoints_.front(); }
 
   /// Verify that `candidate` is the element at position `i` of a chain whose
   /// element at `verified_pos` (< i) is `verified`. Hashes forward i -
@@ -33,8 +41,13 @@ class HashChain {
                                    const Digest& verified,
                                    std::size_t verified_pos) noexcept;
 
+  /// Checkpoint spacing (elements between stored digests).
+  static constexpr std::size_t kStride = 256;
+
  private:
-  std::vector<Digest> chain_;  // chain_[0] = anchor
+  std::size_t length_{0};
+  std::vector<Digest> checkpoints_;  // element(k * kStride); [0] = anchor
+  Digest top_{};                     // element(length-1), the seed end
 };
 
 }  // namespace vmat

@@ -9,13 +9,49 @@ namespace vmat {
 KeyRing::KeyRing(std::uint64_t ring_seed, std::uint32_t ring_size,
                  std::uint32_t pool_size)
     : seed_(ring_seed) {
-  Rng rng(ring_seed);
-  const auto raw = rng.sample_without_replacement(pool_size, ring_size);
-  indices_.reserve(raw.size());
-  for (std::uint32_t v : raw) indices_.push_back(KeyIndex{v});
+  derive_indices(ring_seed, ring_size, pool_size, indices_);
   if (pool_size <= kBitmapPoolLimit) {
     bits_.assign((pool_size + 63) / 64, 0);
     for (KeyIndex k : indices_) bits_[k.value >> 6] |= 1ULL << (k.value & 63);
+  }
+}
+
+void KeyRing::derive_indices(std::uint64_t ring_seed, std::uint32_t ring_size,
+                             std::uint32_t pool_size,
+                             std::vector<KeyIndex>& out) {
+  out.clear();
+  out.reserve(ring_size);
+  // Floyd's sampling with the identical draw sequence as
+  // Rng::sample_without_replacement: at step j it draws below(j+1) and
+  // inserts either t or j depending only on whether t was already chosen.
+  // A zeroed scratch bitmap answers that membership question; bits are
+  // cleared again afterwards so the (thread_local) scratch stays all-zero
+  // between calls without an O(pool) wipe.
+  thread_local std::vector<std::uint64_t> scratch;
+  const std::size_t words = (static_cast<std::size_t>(pool_size) + 63) / 64;
+  if (scratch.size() < words) scratch.resize(words, 0);
+  Rng rng(ring_seed);
+  for (std::uint32_t j = pool_size - ring_size; j < pool_size; ++j) {
+    const auto t = static_cast<std::uint32_t>(rng.below(j + 1));
+    const bool taken = (scratch[t >> 6] >> (t & 63)) & 1ULL;
+    const std::uint32_t pick = taken ? j : t;
+    scratch[pick >> 6] |= 1ULL << (pick & 63);
+    out.push_back(KeyIndex{pick});
+  }
+  for (const KeyIndex k : out)
+    scratch[k.value >> 6] &= ~(1ULL << (k.value & 63));
+  std::sort(out.begin(), out.end());
+}
+
+void KeyRing::derive_into_bits(std::uint64_t ring_seed,
+                               std::uint32_t ring_size,
+                               std::uint32_t pool_size, std::uint64_t* bits) {
+  Rng rng(ring_seed);
+  for (std::uint32_t j = pool_size - ring_size; j < pool_size; ++j) {
+    const auto t = static_cast<std::uint32_t>(rng.below(j + 1));
+    const bool taken = (bits[t >> 6] >> (t & 63)) & 1ULL;
+    const std::uint32_t pick = taken ? j : t;
+    bits[pick >> 6] |= 1ULL << (pick & 63);
   }
 }
 

@@ -11,6 +11,7 @@ Predistribution::Predistribution(std::uint32_t node_count,
                                  const KeyMaterialSpec& config)
     : config_(config),
       pool_(config.pool_size, config.seed),
+      node_count_(node_count),
       path_keys_(node_count),
       next_path_index_(config.pool_size) {
   if (node_count == 0)
@@ -18,26 +19,64 @@ Predistribution::Predistribution(std::uint32_t node_count,
   if (config.ring_size > config.pool_size)
     throw std::invalid_argument("Predistribution: ring larger than pool");
 
-  rings_.reserve(node_count);
+  // The resident per-node key state is exactly one ring seed; rings are
+  // re-derived from it on demand (see ring()/ring_contains()).
+  ring_seeds_.resize(node_count);
   std::uint64_t seed_state = config.seed ^ 0xabcdef12345678ULL;
-  for (std::uint32_t id = 0; id < node_count; ++id) {
-    const std::uint64_t ring_seed = splitmix64(seed_state);
-    rings_.emplace_back(ring_seed, config.ring_size, config.pool_size);
-    for (KeyIndex k : rings_.back().indices())
-      holders_[k].push_back(NodeId{id});
-  }
-  // Holder lists are built in increasing id order, so they are sorted.
-  sensor_contexts_.resize(node_count);
+  for (std::uint32_t id = 0; id < node_count; ++id)
+    ring_seeds_[id] = splitmix64(seed_state);
+  ring_cache_.reserve(kRingCacheCapacity);
+}
+
+std::uint64_t Predistribution::ring_seed(NodeId node) const {
+  if (node.value >= node_count_)
+    throw std::out_of_range("Predistribution::ring_seed");
+  return ring_seeds_[node.value];
 }
 
 const KeyRing& Predistribution::ring(NodeId node) const {
-  if (node.value >= rings_.size())
+  if (node.value >= node_count_)
     throw std::out_of_range("Predistribution::ring");
-  return rings_[node.value];
+  for (RingCacheEntry& entry : ring_cache_) {
+    if (entry.node == node.value) {
+      entry.last_used = ++ring_clock_;
+      return *entry.ring;
+    }
+  }
+  auto ring = std::make_unique<KeyRing>(ring_seeds_[node.value],
+                                        config_.ring_size, config_.pool_size);
+  if (ring_cache_.size() < kRingCacheCapacity) {
+    ring_cache_.push_back({node.value, ++ring_clock_, std::move(ring)});
+    return *ring_cache_.back().ring;
+  }
+  RingCacheEntry* victim = &ring_cache_.front();
+  for (RingCacheEntry& entry : ring_cache_)
+    if (entry.last_used < victim->last_used) victim = &entry;
+  *victim = {node.value, ++ring_clock_, std::move(ring)};
+  return *victim->ring;
+}
+
+bool Predistribution::ring_contains(NodeId node, KeyIndex index) const {
+  if (node.value >= node_count_)
+    throw std::out_of_range("Predistribution::ring_contains");
+  // Per-thread memo of the last derived ring: inbox drains and cascade
+  // loops query the same node many times in a row, so the derivation
+  // amortizes to once per (thread, node) run.
+  thread_local std::uint64_t memo_seed = 0;
+  thread_local bool memo_valid = false;
+  thread_local std::vector<KeyIndex> memo_indices;
+  const std::uint64_t seed = ring_seeds_[node.value];
+  if (!memo_valid || memo_seed != seed) {
+    KeyRing::derive_indices(seed, config_.ring_size, config_.pool_size,
+                            memo_indices);
+    memo_seed = seed;
+    memo_valid = true;
+  }
+  return std::binary_search(memo_indices.begin(), memo_indices.end(), index);
 }
 
 SymmetricKey Predistribution::sensor_key(NodeId node) const {
-  if (node.value >= rings_.size())
+  if (node.value >= node_count_)
     throw std::out_of_range("Predistribution::sensor_key");
   return derive_key("vmat.sensor-key", config_.seed, node.value);
 }
@@ -47,13 +86,28 @@ std::optional<KeyIndex> Predistribution::edge_key(NodeId a, NodeId b) const {
 }
 
 std::span<const NodeId> Predistribution::holders(KeyIndex index) const {
-  const auto it = holders_.find(index);
-  if (it == holders_.end()) return {};
-  return it->second;
+  const auto it = holders_cache_.find(index);
+  if (it != holders_cache_.end()) return it->second;
+  if (is_path_key(index) || index == kNoKey ||
+      index.value >= config_.pool_size)
+    return {};  // unknown path keys have no holders; registration fills them
+  // First query for this pool index: derive which rings contain it. O(n)
+  // ring re-derivations, paid once per distinct revoked/pinpointed key.
+  std::vector<NodeId> held_by;
+  std::vector<KeyIndex> scratch;
+  for (std::uint32_t id = 0; id < node_count_; ++id) {
+    KeyRing::derive_indices(ring_seeds_[id], config_.ring_size,
+                            config_.pool_size, scratch);
+    if (std::binary_search(scratch.begin(), scratch.end(), index))
+      held_by.push_back(NodeId{id});
+  }
+  auto& cached = holders_cache_[index];
+  cached = std::move(held_by);  // built in increasing id order, so sorted
+  return cached;
 }
 
 KeyIndex Predistribution::register_path_key(NodeId a, NodeId b) {
-  if (a.value >= rings_.size() || b.value >= rings_.size())
+  if (a.value >= node_count_ || b.value >= node_count_)
     throw std::out_of_range("register_path_key: bad node id");
   if (a == b) throw std::invalid_argument("register_path_key: same node");
   if (const auto existing = path_key_between(a, b)) return *existing;
@@ -61,7 +115,7 @@ KeyIndex Predistribution::register_path_key(NodeId a, NodeId b) {
   const KeyIndex index{next_path_index_++};
   path_keys_[a.value].emplace_back(b, index);
   path_keys_[b.value].emplace_back(a, index);
-  auto& held_by = holders_[index];
+  auto& held_by = holders_cache_[index];
   held_by = {std::min(a, b), std::max(a, b)};
   path_contexts_.resize(next_path_index_ - config_.pool_size);
   return index;
@@ -77,7 +131,7 @@ std::optional<KeyIndex> Predistribution::path_key_between(NodeId a,
 
 bool Predistribution::node_holds(NodeId node, KeyIndex index) const {
   if (index == kNoKey) return false;
-  if (!is_path_key(index)) return ring(node).contains(index);
+  if (!is_path_key(index)) return ring_contains(node, index);
   for (const auto& [peer, held] : path_keys_[node.value])
     if (held == index) return true;
   return false;
@@ -94,7 +148,7 @@ std::vector<KeyIndex> Predistribution::keys_of(NodeId node) const {
 
 SymmetricKey Predistribution::key_material(KeyIndex index) const {
   if (!is_path_key(index)) return pool_.key(index);
-  if (!holders_.contains(index))
+  if (index.value >= next_path_index_)
     throw std::out_of_range("key_material: unknown path key");
   return derive_key("vmat.path-key", config_.seed, index.value);
 }
@@ -109,14 +163,14 @@ const MacContext& Predistribution::mac_context(KeyIndex index) const {
   return *ctx;
 }
 
-void Predistribution::warm_mac_contexts() const {
-  for (const auto& [index, held_by] : holders_) (void)mac_context(index);
-  for (std::uint32_t id = 0; id < node_count(); ++id)
-    (void)sensor_mac_context(NodeId{id});
+void Predistribution::warm_path_contexts() const {
+  for (std::uint32_t index = config_.pool_size; index < next_path_index_;
+       ++index)
+    (void)mac_context(KeyIndex{index});
 }
 
 const MacContext& Predistribution::sensor_mac_context(NodeId node) const {
-  if (node.value >= sensor_contexts_.size())
+  if (node.value >= node_count_)
     throw std::out_of_range("Predistribution::sensor_mac_context");
   auto& ctx = sensor_contexts_[node.value];
   if (!ctx) ctx = std::make_unique<MacContext>(sensor_key(node));

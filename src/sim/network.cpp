@@ -1,6 +1,7 @@
 #include "sim/network.h"
 
 #include <algorithm>
+#include <bit>
 #include <stdexcept>
 
 #include "sim/snapshot.h"
@@ -43,6 +44,10 @@ Network::Network(Topology topology, const NetworkSpec& config)
   // Fabric construction compacted the topology, so the directed-edge id
   // space is fixed from here on.
   edge_key_slots_.resize(topology_.directed_edge_count());
+  fabric_.set_streaming(
+      config.memory_mode == MemoryMode::kStreaming ||
+      (config.memory_mode == MemoryMode::kAuto &&
+       topology_.node_count() >= kStreamingAutoThreshold));
 }
 
 std::size_t Network::rekey(const KeyMaterialSpec& fresh_keys) {
@@ -192,7 +197,7 @@ std::span<const Frame> Network::receive_valid(NodeId node, RxScratch& scratch,
   for (const Frame& f : inbox) {
     if (f.edge_key == kNoKey) continue;
     if (revocation_.is_key_revoked(f.edge_key)) continue;
-    if (!keys_.node_holds(node, f.edge_key)) continue;
+    if (!holds_claimed_key(node, f)) continue;
     scratch.frames.push_back(f);
   }
   if (scratch.frames.empty()) return {};
@@ -248,6 +253,7 @@ void Network::snapshot_load(SnapshotReader& r) {
         "(rekey/path-key establishment) — the snapshot is stale");
   r.vec_pod(edge_key_slots_);
   edge_key_cache_.clear();
+  warm_valid_ = false;
   revocation_.snapshot_load(r);
   fabric_.snapshot_load(r);
 }
@@ -267,12 +273,103 @@ std::uint64_t Network::snapshot_fingerprint() const {
   return fabric_.config_fingerprint(h);
 }
 
+bool Network::holds_claimed_key(NodeId node, const Frame& f) const {
+  const std::uint32_t slot = topology_.directed_edge_slot(f.from, node);
+  if (slot != Topology::kNoDirectedEdge && slot < edge_key_slots_.size()) {
+    const EdgeKeySlot& s = edge_key_slots_[slot];
+    const auto stamp =
+        static_cast<std::uint32_t>(revocation_.revoked_key_count()) + 1;
+    // A warmed usable edge key is by construction shared by both
+    // endpoints, so a matching claim is held without any ring work. A
+    // mismatch proves nothing (the claim may be another shared key).
+    if (s.stamp == stamp && s.key != kNoKey && s.key == f.edge_key)
+      return true;
+  }
+  return keys_.node_holds(node, f.edge_key);
+}
+
 void Network::warm_crypto_caches() const {
-  keys_.warm_mac_contexts();
-  for (std::uint32_t id = 0; id < topology_.node_count(); ++id) {
+  if (warm_valid_ && warm_generation_ == key_generation_ &&
+      warm_revoked_count_ == revocation_.revoked_key_count())
+    return;
+  // Every pool MAC context (u-bounded, not n-bounded): parallel RX
+  // verifies under whatever held key a frame claims — not only warmed
+  // edge keys — so each reachable context must already be a read-only
+  // hit before the fan-out. Sensor-key MACs are built on the stack by
+  // the sharded phases, so the per-sensor cache stays cold here.
+  for (std::uint32_t k = 0; k < keys_.config().pool_size; ++k)
+    (void)keys_.mac_context(KeyIndex{k});
+  keys_.warm_path_contexts();
+  warm_edge_keys();
+  warm_valid_ = true;
+  warm_generation_ = key_generation_;
+  warm_revoked_count_ = revocation_.revoked_key_count();
+}
+
+void Network::warm_edge_keys() const {
+  const std::uint32_t n = topology_.node_count();
+  const std::uint32_t u = keys_.config().pool_size;
+  const std::size_t words = (static_cast<std::size_t>(u) + 63) / 64;
+  const auto stamp =
+      static_cast<std::uint32_t>(revocation_.revoked_key_count()) + 1;
+
+  // Transient per-node ring bitmaps (n · u/8 bytes). Past the budget the
+  // pairwise-merge path still warms correctly, only slower.
+  constexpr std::uint64_t kWarmBitmapBudget = 1ULL << 28;  // 256 MB
+  if (static_cast<std::uint64_t>(n) * words * 8 > kWarmBitmapBudget) {
+    for (std::uint32_t id = 0; id < n; ++id) {
+      for (NodeId v : topology_.neighbors(NodeId{id})) {
+        if (v.value < id) continue;
+        (void)usable_edge_key(NodeId{id}, v);
+      }
+    }
+    return;
+  }
+
+  // Global non-revoked mask over the pool.
+  std::vector<std::uint64_t> usable(words, ~0ULL);
+  if ((u & 63) != 0) usable[words - 1] = (1ULL << (u & 63)) - 1;
+  for (const RevocationEvent& e : revocation_.events())
+    if (e.key.value < u)
+      usable[e.key.value >> 6] &= ~(1ULL << (e.key.value & 63));
+
+  // Derive each ring exactly once, straight into its bitmap row.
+  std::vector<std::uint64_t> bitmaps(static_cast<std::size_t>(n) * words, 0);
+  for (std::uint32_t id = 0; id < n; ++id)
+    KeyRing::derive_into_bits(keys_.ring_seed(NodeId{id}),
+                              keys_.config().ring_size, u,
+                              bitmaps.data() +
+                                  static_cast<std::size_t>(id) * words);
+
+  // Smallest shared non-revoked index per edge = lowest set bit of the
+  // AND — exactly what compute_usable_edge_key()'s sorted merge returns,
+  // path-key fallback included.
+  for (std::uint32_t id = 0; id < n; ++id) {
+    const std::uint64_t* ri =
+        bitmaps.data() + static_cast<std::size_t>(id) * words;
     for (NodeId v : topology_.neighbors(NodeId{id})) {
       if (v.value < id) continue;
-      (void)usable_edge_key(NodeId{id}, v);
+      const std::uint64_t* rj =
+          bitmaps.data() + static_cast<std::size_t>(v.value) * words;
+      KeyIndex key = kNoKey;
+      for (std::size_t w = 0; w < words; ++w) {
+        const std::uint64_t m = ri[w] & rj[w] & usable[w];
+        if (m != 0) {
+          key = KeyIndex{
+              static_cast<std::uint32_t>(w * 64 + std::countr_zero(m))};
+          break;
+        }
+      }
+      if (key == kNoKey) {
+        const auto path = keys_.path_key_between(NodeId{id}, v);
+        if (path.has_value() && !revocation_.is_key_revoked(*path))
+          key = *path;
+      }
+      const EdgeKeySlot slot{key, stamp};
+      const std::uint32_t fwd = topology_.directed_edge_slot(NodeId{id}, v);
+      const std::uint32_t rev = topology_.directed_edge_slot(v, NodeId{id});
+      if (fwd < edge_key_slots_.size()) edge_key_slots_[fwd] = slot;
+      if (rev < edge_key_slots_.size()) edge_key_slots_[rev] = slot;
     }
   }
 }

@@ -40,6 +40,10 @@ struct NetworkSpec {
   /// proper retransmissions if necessary". With loss p and redundancy k, a
   /// logical message is lost with probability p^k.
   std::uint32_t redundancy{1};
+  /// Fabric allocation policy (sim/fabric.h). kAuto resolves to streaming
+  /// at node counts >= kStreamingAutoThreshold, resident below. Purely an
+  /// allocation policy — results are bit-identical either way.
+  MemoryMode memory_mode{MemoryMode::kAuto};
 };
 
 class SimulationSpec;
@@ -133,10 +137,14 @@ class Network {
   [[nodiscard]] std::span<const Frame> receive_valid(NodeId node);
 
   /// Pre-fill every lazily built crypto cache the hot path reads — the
-  /// edge-key ring merges and the MAC key schedules — so a following
-  /// parallel section sees only cache hits on const maps. Call at a
+  /// edge-key slot table and the MAC key schedules — so a following
+  /// parallel section sees only cache hits on const state. Call at a
   /// single-threaded point; any revocation/rekey in between requires a
-  /// re-warm before the next parallel section.
+  /// re-warm before the next parallel section. Edge keys are warmed by an
+  /// inverted pass: each node's ring is derived ONCE into a transient
+  /// bitmap (n · pool/8 bytes, budget-gated) and every edge's smallest
+  /// shared non-revoked index read off a bitmap AND — O(n + E) ring
+  /// derivations instead of O(E) pairwise merges.
   void warm_crypto_caches() const;
 
   /// Depth (max BFS level) of the full physical topology.
@@ -183,6 +191,17 @@ class Network {
   /// Uncached ring merge behind usable_edge_key().
   [[nodiscard]] std::optional<KeyIndex> compute_usable_edge_key(NodeId a,
                                                                 NodeId b) const;
+
+  /// Fill edge_key_slots_ for every physical edge at the current revocation
+  /// stamp (see warm_crypto_caches docs for the inverted bitmap pass).
+  void warm_edge_keys() const;
+
+  /// Receive-side "does `node` hold the claimed key" check. Fast path: a
+  /// warmed edge slot for (from → node) matching the claim proves shared
+  /// (hence held) without any ring work; otherwise the thread-safe
+  /// re-derivation in Predistribution::node_holds decides (adversarial
+  /// claims of non-edge keys, unwarmed serial call sites).
+  [[nodiscard]] bool holds_claimed_key(NodeId node, const Frame& frame) const;
 
   // Immutable deployment identity: pinned by snapshot_fingerprint(), not
   // serialized (see snapshot_save docs).
@@ -233,6 +252,21 @@ class Network {
     std::uint32_t stamp{0};
   };
   mutable std::vector<EdgeKeySlot> edge_key_slots_;
+
+  /// Warm-state memo: warm_crypto_caches() is a no-op while the key
+  /// generation and revocation stamp it last completed under still hold
+  /// (phases re-warm at every serial entry; without this each would redo
+  /// the O(n) ring-derivation pass). Invalidated by rekey(), path-key
+  /// establishment (generation bump), any revocation (stamp change), and
+  /// snapshot_load() (conservative: restored slots may predate a
+  /// revocation that happened before capture).
+  // vmat-lint: allow(snapshot-unsafe-state) -- invalidated on load
+  // vmat-analyze: allow(snapshot-field-coverage) -- cache memo, reset on load
+  mutable bool warm_valid_{false};
+  // vmat-analyze: allow(snapshot-field-coverage) -- cache memo, reset on load
+  mutable std::uint64_t warm_generation_{0};
+  // vmat-analyze: allow(snapshot-field-coverage) -- cache memo, reset on load
+  mutable std::size_t warm_revoked_count_{0};
 
   /// Backs the scratch-less receive_valid() overload. Transient per-call
   /// scratch, fully overwritten before every use.

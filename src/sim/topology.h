@@ -23,7 +23,7 @@ class Topology {
   explicit Topology(std::uint32_t node_count);
 
   [[nodiscard]] std::uint32_t node_count() const noexcept {
-    return static_cast<std::uint32_t>(adj_.size());
+    return node_count_;
   }
 
   /// Add an undirected edge (idempotent; self-loops rejected).
@@ -44,6 +44,15 @@ class Topology {
   void compact() const;
 
   [[nodiscard]] bool compacted() const noexcept { return csr_ready_; }
+
+  /// Release the per-node adjacency lists, keeping only the flat CSR form.
+  /// For large deployments the nested lists cost ~24 bytes/node of vector
+  /// headers on top of a second copy of every neighbor id; once compacted
+  /// the CSR serves every read path, so benches at n >= 10^5 shed the
+  /// nested form before constructing the network. A later add_edge()
+  /// transparently rehydrates the lists from the CSR. Compacts first if
+  /// needed; same single-threaded-point contract as compact().
+  void shed_adjacency() const;
 
   /// Sentinel for "no such directed edge" from directed_edge_slot().
   static constexpr std::uint32_t kNoDirectedEdge = 0xffffffffu;
@@ -104,8 +113,34 @@ class Topology {
                                                  std::uint64_t seed,
                                                  int max_attempts = 64);
 
+  /// Connectivity-safe radius for an n-node random geometric deployment.
+  /// Up to n = 10^4 this is the historical sparse figure-scale radius
+  /// 1.8/sqrt(n) (every committed bench digest at those sizes was measured
+  /// with it). Above that, 1.8 falls below the Θ(sqrt(ln n / n))
+  /// connectivity threshold of random geometric graphs and no amount of
+  /// seed-retrying helps, so the factor widens to 1.15·sqrt(ln n / π) —
+  /// ~10% above the threshold, mean degree growing ~ln n as connected RGGs
+  /// inherently require.
+  [[nodiscard]] static double connected_radius(std::uint32_t n);
+
+  /// Spatial-grid implementation of random_geometric(): buckets nodes into
+  /// radius-sized cells so edge discovery is O(n · expected degree) instead
+  /// of O(n^2). Produces the *identical* topology (same coordinates, same
+  /// edge set, same adjacency order) as the pairwise scan for any input —
+  /// random_geometric() delegates here above a size threshold; exposed so
+  /// the equivalence is testable.
+  [[nodiscard]] static Topology random_geometric_cells(std::uint32_t n,
+                                                       double radius,
+                                                       std::uint64_t seed,
+                                                       int max_attempts = 64);
+
  private:
-  std::vector<std::vector<NodeId>> adj_;
+  std::uint32_t node_count_{0};
+  // Primary adjacency during construction; may be shed once the CSR mirror
+  // exists (see shed_adjacency()). Mutable together with the CSR members so
+  // the release is expressible through the const Topology& the network
+  // layers hold.
+  mutable std::vector<std::vector<NodeId>> adj_;
   // CSR mirror of adj_ (flat neighbor array + per-node offsets), built by
   // compact(). Mutable: compact() is a const view change, not a graph
   // change. Reads are lock-free once built; building must be

@@ -83,18 +83,34 @@ void TablePrinter::add_row(const std::vector<std::string>& cells) {
   rows_.push_back(cells);
 }
 
+namespace {
+
+/// Display width of a cell: UTF-8 code points, not bytes, so cells like
+/// the em dash ("—", 3 bytes, 1 column) don't skew the padding.
+std::size_t display_width(const std::string& s) noexcept {
+  std::size_t w = 0;
+  for (const char ch : s)
+    if ((static_cast<unsigned char>(ch) & 0xc0) != 0x80) ++w;
+  return w;
+}
+
+}  // namespace
+
 void TablePrinter::print() const {
   std::vector<std::size_t> width(headers_.size());
   for (std::size_t c = 0; c < headers_.size(); ++c)
-    width[c] = headers_[c].size();
+    width[c] = display_width(headers_[c]);
   for (const auto& row : rows_)
     for (std::size_t c = 0; c < row.size(); ++c)
-      width[c] = std::max(width[c], row[c].size());
+      width[c] = std::max(width[c], display_width(row[c]));
 
   auto print_row = [&](const std::vector<std::string>& row) {
     std::printf("|");
-    for (std::size_t c = 0; c < row.size(); ++c)
-      std::printf(" %-*s |", static_cast<int>(width[c]), row[c].c_str());
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      // Pad by display width: printf's %-*s counts bytes.
+      const std::size_t pad = width[c] - display_width(row[c]);
+      std::printf(" %s%*s |", row[c].c_str(), static_cast<int>(pad), "");
+    }
     std::printf("\n");
   };
   print_row(headers_);

@@ -28,12 +28,11 @@ struct AggFixture {
 
   AggregationOutcome run(Adversary* adv,
                          const std::vector<Reading>& readings) {
-    std::vector<std::vector<Reading>> values(net.node_count());
-    std::vector<std::vector<std::int64_t>> weights(net.node_count());
-    for (std::uint32_t id = 0; id < net.node_count(); ++id) {
-      values[id].assign(config.instances, readings[id]);
-      weights[id].assign(config.instances, 0);
-    }
+    ValueTable values(net.node_count(), config.instances, 0);
+    const ValueTable weights(net.node_count(), config.instances, 0);
+    for (std::uint32_t id = 0; id < net.node_count(); ++id)
+      for (std::uint32_t i = 0; i < config.instances; ++i)
+        values.row(id)[i] = readings[id];
     return run_aggregation(net, adv, tree, config, values, weights, audits);
   }
 
@@ -52,7 +51,7 @@ struct AggFixture {
   Network net;
   TreeResult tree;
   AggConfig config;
-  std::vector<NodeAudit> audits;
+  AuditLog audits;
 };
 
 TEST(Aggregation, HonestRunDeliversTrueMin) {
@@ -86,18 +85,18 @@ TEST(Aggregation, EveryForwarderRecordedAuditTuples) {
   (void)fx.run(nullptr, readings);
   // Every intermediate node forwarded value 1 with in/out edges recorded.
   for (std::uint32_t id = 1; id <= 5; ++id) {
-    const auto& agg = fx.audits[id].agg;
-    EXPECT_EQ(agg.level, static_cast<Level>(id));
+    EXPECT_EQ(fx.audits.level(NodeId{id}), static_cast<Level>(id));
+    const auto forwarded = fx.audits.forwarded_of(NodeId{id});
     const bool forwarded_min =
-        std::any_of(agg.forwarded.begin(), agg.forwarded.end(),
+        std::any_of(forwarded.begin(), forwarded.end(),
                     [](const ForwardRecord& f) { return f.msg.value == 1; });
     EXPECT_TRUE(forwarded_min) << "node " << id;
-    for (const auto& f : agg.forwarded)
+    for (const auto& f : forwarded)
       EXPECT_TRUE(fx.net.keys().ring(NodeId{id}).contains(f.out_edge));
   }
   // Receivers recorded the child level the value arrived from.
   for (std::uint32_t id = 1; id <= 4; ++id) {
-    const auto& received = fx.audits[id].agg.received;
+    const auto received = fx.audits.received_of(NodeId{id});
     const bool got_min = std::any_of(
         received.begin(), received.end(), [&](const ReceivedRecord& r) {
           return r.msg.value == 1 &&
@@ -109,13 +108,12 @@ TEST(Aggregation, EveryForwarderRecordedAuditTuples) {
 
 TEST(Aggregation, MultiInstanceMinimaIndependent) {
   AggFixture fx(Topology::grid(4, 4), nullptr, /*instances=*/3);
-  std::vector<std::vector<Reading>> values(fx.net.node_count());
-  std::vector<std::vector<std::int64_t>> weights(fx.net.node_count());
+  ValueTable values(fx.net.node_count(), 3, 0);
+  const ValueTable weights(fx.net.node_count(), 3, 0);
   for (std::uint32_t id = 0; id < fx.net.node_count(); ++id) {
-    values[id] = {static_cast<Reading>(1000 + id),
-                  static_cast<Reading>(2000 - id),
-                  static_cast<Reading>(5 * id + 7)};
-    weights[id] = {0, 0, 0};
+    values.row(id)[0] = static_cast<Reading>(1000 + id);
+    values.row(id)[1] = static_cast<Reading>(2000 - id);
+    values.row(id)[2] = static_cast<Reading>(5 * id + 7);
   }
   const auto out = run_aggregation(fx.net, nullptr, fx.tree, fx.config,
                                    values, weights, fx.audits);
@@ -129,13 +127,9 @@ TEST(Aggregation, MultiInstanceMinimaIndependent) {
 
 TEST(Aggregation, InfinityValueContributesNothing) {
   AggFixture fx(Topology::line(4));
-  std::vector<std::vector<Reading>> values(fx.net.node_count());
-  std::vector<std::vector<std::int64_t>> weights(fx.net.node_count());
-  for (std::uint32_t id = 0; id < fx.net.node_count(); ++id) {
-    values[id] = {kInfinity};
-    weights[id] = {0};
-  }
-  values[2] = {55};
+  ValueTable values(fx.net.node_count(), 1, kInfinity);
+  const ValueTable weights(fx.net.node_count(), 1, 0);
+  values.data[2] = 55;
   const auto out = run_aggregation(fx.net, nullptr, fx.tree, fx.config,
                                    values, weights, fx.audits);
   ASSERT_FALSE(out.arrivals.empty());
@@ -184,15 +178,13 @@ TEST(Aggregation, MultipathSurvivesSingleSilentParent) {
   config.nonce = 0x77;
   config.multipath = true;
 
-  std::vector<std::vector<Reading>> values(net.node_count());
-  std::vector<std::vector<std::int64_t>> weights(net.node_count());
+  ValueTable values(net.node_count(), 1, 0);
+  const ValueTable weights(net.node_count(), 1, 0);
   auto readings = default_readings(net.node_count());
   readings[24] = 1;  // far corner
-  for (std::uint32_t id = 0; id < net.node_count(); ++id) {
-    values[id] = {readings[id]};
-    weights[id] = {0};
-  }
-  std::vector<NodeAudit> audits(net.node_count());
+  for (std::uint32_t id = 0; id < net.node_count(); ++id)
+    values.data[id] = readings[id];
+  AuditLog audits(net.node_count());
   const auto out = run_aggregation(net, &adv, tree, config, values, weights,
                                    audits);
   Reading best = kInfinity;
@@ -202,8 +194,8 @@ TEST(Aggregation, MultipathSurvivesSingleSilentParent) {
 
 TEST(Aggregation, SizeMismatchThrows) {
   AggFixture fx(Topology::line(3));
-  std::vector<std::vector<Reading>> bad(2);
-  std::vector<std::vector<std::int64_t>> weights(3, {0});
+  const ValueTable bad(2, 1, 0);  // wrong node count
+  const ValueTable weights(3, 1, 0);
   EXPECT_THROW((void)run_aggregation(fx.net, nullptr, fx.tree, fx.config, bad,
                                      weights, fx.audits),
                std::invalid_argument);

@@ -23,16 +23,16 @@ struct ConfFixture {
 
   ConfirmationOutcome run(Adversary* adv, const std::vector<Reading>& readings,
                           Reading broadcast_min, bool slotted = true) {
-    std::vector<std::vector<Reading>> values(net.node_count());
+    ValueTable values(net.node_count(), 1, 0);
     for (std::uint32_t id = 0; id < net.node_count(); ++id)
-      values[id] = {readings[id]};
+      values.data[id] = readings[id];
     return run_confirmation(net, adv, tree, {broadcast_min}, 0x99, values,
                             audits, slotted);
   }
 
   Network net;
   TreeResult tree;
-  std::vector<NodeAudit> audits;
+  AuditLog audits;
 };
 
 TEST(Confirmation, NoVetoWhenMinimumCorrect) {
@@ -71,17 +71,18 @@ TEST(Confirmation, OneTimeForwardingRecordsSingleTuple) {
   readings[7] = 1;
   (void)fx.run(nullptr, readings, 50);
   for (std::uint32_t id = 1; id <= 6; ++id) {
-    ASSERT_TRUE(fx.audits[id].sof.has_value()) << "node " << id;
-    const auto& rec = *fx.audits[id].sof;
-    EXPECT_FALSE(rec.originated);
-    EXPECT_EQ(rec.forward_interval, rec.received_interval + 1);
-    EXPECT_FALSE(rec.out_edges.empty());
-    EXPECT_TRUE(fx.net.keys().ring(NodeId{id}).contains(rec.in_edge));
+    const SofRecord* rec = fx.audits.sof(NodeId{id});
+    ASSERT_NE(rec, nullptr) << "node " << id;
+    EXPECT_FALSE(rec->originated);
+    EXPECT_EQ(rec->forward_interval, rec->received_interval + 1);
+    EXPECT_FALSE(rec->out_edges.empty());
+    EXPECT_TRUE(fx.net.keys().ring(NodeId{id}).contains(rec->in_edge));
   }
   // The vetoer's record.
-  ASSERT_TRUE(fx.audits[7].sof.has_value());
-  EXPECT_TRUE(fx.audits[7].sof->originated);
-  EXPECT_EQ(fx.audits[7].sof->forward_interval, 1);
+  const SofRecord* vetoer_rec = fx.audits.sof(NodeId{7});
+  ASSERT_NE(vetoer_rec, nullptr);
+  EXPECT_TRUE(vetoer_rec->originated);
+  EXPECT_EQ(vetoer_rec->forward_interval, 1);
 }
 
 TEST(Confirmation, SofIntervalsAreBoundedByDepth) {
@@ -90,8 +91,9 @@ TEST(Confirmation, SofIntervalsAreBoundedByDepth) {
   readings[29] = 1;
   (void)fx.run(nullptr, readings, 50);
   for (std::uint32_t id = 1; id < fx.net.node_count(); ++id) {
-    if (!fx.audits[id].sof.has_value()) continue;
-    EXPECT_LE(fx.audits[id].sof->forward_interval, fx.tree.depth_bound + 1);
+    const SofRecord* rec = fx.audits.sof(NodeId{id});
+    if (rec == nullptr) continue;
+    EXPECT_LE(rec->forward_interval, fx.tree.depth_bound + 1);
   }
 }
 
@@ -118,10 +120,10 @@ TEST(Confirmation, Lemma1HoldsUnderSilentMaliciousCut) {
       }
     readings[vetoer.value] = 1;
 
-    std::vector<std::vector<Reading>> values(net.node_count());
+    ValueTable values(net.node_count(), 1, 0);
     for (std::uint32_t id = 0; id < net.node_count(); ++id)
-      values[id] = {readings[id]};
-    std::vector<NodeAudit> audits(net.node_count());
+      values.data[id] = readings[id];
+    AuditLog audits(net.node_count());
     const auto out = run_confirmation(net, &adv, tree, {50}, seed, values,
                                       audits);
     EXPECT_FALSE(out.arrivals.empty()) << "seed " << seed;
@@ -149,10 +151,10 @@ TEST(Confirmation, SpuriousVetoChokesButSomethingStillArrives) {
       break;
     }
   readings[vetoer.value] = 1;
-  std::vector<std::vector<Reading>> values(net.node_count());
+  ValueTable values(net.node_count(), 1, 0);
   for (std::uint32_t id = 0; id < net.node_count(); ++id)
-    values[id] = {readings[id]};
-  std::vector<NodeAudit> audits(net.node_count());
+    values.data[id] = readings[id];
+  AuditLog audits(net.node_count());
   const auto out =
       run_confirmation(net, &adv, tree, {50}, 11, values, audits);
   ASSERT_FALSE(out.arrivals.empty());

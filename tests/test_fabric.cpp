@@ -1,10 +1,17 @@
 // Fabric and secure-network mechanics: slotted delivery, physics
-// constraints, capacity, accounting, arena payload lifetime, and the honest
-// receive discipline.
+// constraints, capacity, accounting, arena payload lifetime, the honest
+// receive discipline, and the large-n memory-diet structures (ParentTable
+// CSR, pooled AuditLog chains, streaming allocation policy).
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <stdexcept>
+#include <utility>
 
+#include "core/audit.h"
+#include "core/coordinator.h"
+#include "core/phase_state.h"
+#include "helpers.h"
 #include "sim/fabric.h"
 #include "sim/network.h"
 
@@ -163,6 +170,199 @@ TEST(Fabric, ResetDropsInFlightAndInboxes) {
   fabric.reset();
   fabric.end_slot();
   EXPECT_TRUE(fabric.take_inbox(NodeId{1}).empty());
+}
+
+// --- large-n memory-diet structures ---
+
+TEST(ParentTable, FromNestedKeepsVectorOfVectorsSemantics) {
+  std::vector<std::vector<ParentLink>> rows(5);
+  rows[0] = {{NodeId{7}, KeyIndex{3}}};
+  rows[2] = {{NodeId{1}, KeyIndex{9}},
+             {NodeId{4}, KeyIndex{2}},
+             {NodeId{1}, KeyIndex{9}}};  // duplicates preserved
+  rows[4] = {{NodeId{0}, KeyIndex{0}}};
+  const auto expected = rows;  // copy before from_nested consumes them
+
+  const ParentTable table = ParentTable::from_nested(std::move(rows));
+  ASSERT_EQ(table.size(), expected.size());
+  for (std::size_t id = 0; id < expected.size(); ++id) {
+    const auto row = table[id];
+    ASSERT_EQ(row.size(), expected[id].size()) << "node " << id;
+    for (std::size_t k = 0; k < row.size(); ++k)
+      EXPECT_EQ(row[k], expected[id][k]) << "node " << id << " link " << k;
+  }
+  EXPECT_THROW((void)table[expected.size()], std::out_of_range);
+}
+
+TEST(ParentTable, RestoreRoundTripsAndRejectsCorruptOffsets) {
+  std::vector<std::vector<ParentLink>> rows(3);
+  rows[1] = {{NodeId{2}, KeyIndex{5}}, {NodeId{9}, KeyIndex{1}}};
+  const ParentTable original = ParentTable::from_nested(std::move(rows));
+
+  ParentTable restored;
+  restored.restore(original.offsets(), original.links());
+  ASSERT_EQ(restored.size(), original.size());
+  for (std::size_t id = 0; id < original.size(); ++id) {
+    const auto a = original[id];
+    const auto b = restored[id];
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t k = 0; k < a.size(); ++k) EXPECT_EQ(a[k], b[k]);
+  }
+
+  // offsets.back() must equal links.size(); a truncated link pool is the
+  // snapshot-corruption shape this guards against.
+  ParentTable corrupt;
+  EXPECT_THROW(corrupt.restore(original.offsets(), {}),
+               std::invalid_argument);
+}
+
+TEST(ParentTable, FromTaggedMatchesFromNested) {
+  // Two shards owning contiguous id ranges ([0,2) and [2,4)), links staged
+  // in record order within each shard — the phase drivers' invariant.
+  std::vector<std::vector<ParentTable::Tagged>> bufs(2);
+  bufs[0] = {{1, {NodeId{8}, KeyIndex{4}}},
+             {0, {NodeId{5}, KeyIndex{7}}},
+             {1, {NodeId{6}, KeyIndex{2}}}};
+  bufs[1] = {{3, {NodeId{2}, KeyIndex{0}}},
+             {3, {NodeId{7}, KeyIndex{9}}}};
+
+  std::vector<std::vector<ParentLink>> rows(4);
+  for (const auto& buf : bufs)
+    for (const auto& e : buf) rows[e.node].push_back(e.link);
+
+  const ParentTable tagged = ParentTable::from_tagged(4, bufs);
+  const ParentTable nested = ParentTable::from_nested(std::move(rows));
+  ASSERT_EQ(tagged.size(), nested.size());
+  EXPECT_EQ(tagged.offsets(), nested.offsets());
+  EXPECT_EQ(tagged.links(), nested.links());
+}
+
+TEST(AuditLog, PooledChainsPreserveArrivalOrderAcrossShardPlans) {
+  // The same per-node append sequence through a 1-pool and a 3-pool plan
+  // (nodes assigned to shards round-robin, consistently per node). The
+  // in-memory pool layout differs; every per-node observation must not.
+  constexpr std::uint32_t kNodes = 6;
+  const auto fill = [](AuditLog& log, std::size_t shards) {
+    log.begin_aggregation(shards);
+    for (std::uint32_t step = 0; step < 24; ++step) {
+      const NodeId node{step % kNodes};
+      const std::size_t shard = shards == 1 ? 0 : node.value % shards;
+      ReceivedRecord r;
+      r.msg.origin = NodeId{step};
+      r.msg.value = static_cast<Reading>(1000 + step);
+      r.in_edge = KeyIndex{step};
+      r.slot = static_cast<Interval>(1 + step / kNodes);
+      log.add_received(shard, node, r);
+      if (step % 2 == 0) {
+        ForwardRecord f;
+        f.msg.origin = NodeId{step};
+        f.msg.value = static_cast<Reading>(2000 + step);
+        f.out_edge = KeyIndex{100 + step};
+        f.parent = NodeId{(step + 1) % kNodes};
+        log.add_forwarded(shard, node, f);
+      }
+    }
+  };
+
+  AuditLog one(kNodes), three(kNodes);
+  fill(one, 1);
+  fill(three, 3);
+  for (std::uint32_t id = 0; id < kNodes; ++id) {
+    const auto ra = one.received_of(NodeId{id});
+    const auto rb = three.received_of(NodeId{id});
+    ASSERT_EQ(ra.size(), rb.size()) << "node " << id;
+    for (std::size_t k = 0; k < ra.size(); ++k) {
+      EXPECT_EQ(ra[k].msg, rb[k].msg);
+      EXPECT_EQ(ra[k].in_edge, rb[k].in_edge);
+      EXPECT_EQ(ra[k].slot, rb[k].slot);
+    }
+    const auto fa = one.forwarded_of(NodeId{id});
+    const auto fb = three.forwarded_of(NodeId{id});
+    ASSERT_EQ(fa.size(), fb.size()) << "node " << id;
+    for (std::size_t k = 0; k < fa.size(); ++k) {
+      EXPECT_EQ(fa[k].msg, fb[k].msg);
+      EXPECT_EQ(fa[k].out_edge, fb[k].out_edge);
+      EXPECT_EQ(fa[k].parent, fb[k].parent);
+    }
+  }
+}
+
+TEST(Fabric, StreamingModeDeliversIdenticalFrames) {
+  const auto topo = Topology::line(4);
+  Fabric resident(&topo);
+  Fabric streaming(&topo);
+  streaming.set_streaming(true);
+
+  for (int slot = 0; slot < 3; ++slot) {
+    for (std::uint32_t i = 0; i + 1 < 4; ++i) {
+      Envelope e = plain(NodeId{i}, NodeId{i + 1},
+                         static_cast<std::uint8_t>(slot * 4 + i));
+      e.payload.resize(32 + 7 * i, e.payload[0]);
+      ASSERT_TRUE(resident.send(e));
+      ASSERT_TRUE(streaming.send(e));
+    }
+    resident.end_slot();
+    streaming.end_slot();
+    for (std::uint32_t i = 1; i < 4; ++i) {
+      const auto a = resident.take_inbox(NodeId{i});
+      const auto b = streaming.take_inbox(NodeId{i});
+      ASSERT_EQ(a.size(), b.size());
+      for (std::size_t k = 0; k < a.size(); ++k) {
+        EXPECT_EQ(a[k].from, b[k].from);
+        EXPECT_EQ(a[k].to, b[k].to);
+        EXPECT_EQ(a[k].edge_key, b[k].edge_key);
+        EXPECT_EQ(copy_of(a[k].payload), copy_of(b[k].payload));
+      }
+    }
+  }
+  EXPECT_EQ(resident.total_bytes(), streaming.total_bytes());
+  EXPECT_EQ(resident.frames_sent(), streaming.frames_sent());
+}
+
+TEST(Fabric, StreamingModeRetiresArenaCapacity) {
+  const auto topo = Topology::line(2);
+  Fabric fabric(&topo);
+  fabric.set_streaming(true);
+  // One fat slot, then quiet slots: resident mode would keep the fat
+  // slot's chunks forever; streaming retires them as the slot closes.
+  Envelope big = plain(NodeId{0}, NodeId{1}, 1);
+  big.payload = Bytes(1 << 16, 0xcd);
+  ASSERT_TRUE(fabric.send(big));
+  fabric.end_slot();
+  const auto inbox = fabric.take_inbox(NodeId{1});
+  ASSERT_EQ(inbox.size(), 1u);
+  EXPECT_EQ(copy_of(inbox[0].payload), big.payload);  // span still valid
+  fabric.end_slot();  // the fat slot's arena is now the retiring one
+  fabric.end_slot();
+  EXPECT_EQ(fabric.arena_capacity(), 0u);
+  // Traffic still flows after full retirement.
+  ASSERT_TRUE(fabric.send(plain(NodeId{0}, NodeId{1}, 2)));
+  fabric.end_slot();
+  EXPECT_EQ(fabric.take_inbox(NodeId{1}).size(), 1u);
+}
+
+TEST(Fabric, StreamingRunMinMatchesResident) {
+  // Full executions under both allocation policies must be bit-identical
+  // (this is also the ASan driver for the streaming paths: every frame
+  // span is read after the retiring arena was released).
+  const auto topo = Topology::grid(6, 6);
+  const auto readings = testing::default_readings(36);
+  auto run = [&](MemoryMode mode) {
+    NetworkSpec cfg = testing::dense_keys();
+    cfg.memory_mode = mode;
+    Network net(topo, cfg);
+    VmatCoordinator coordinator(&net, nullptr, CoordinatorSpec{});
+    return coordinator.run_min(readings);
+  };
+  const auto resident = run(MemoryMode::kResident);
+  const auto streaming = run(MemoryMode::kStreaming);
+  ASSERT_EQ(resident.kind, OutcomeKind::kResult);
+  EXPECT_EQ(resident.kind, streaming.kind);
+  EXPECT_EQ(resident.trigger, streaming.trigger);
+  EXPECT_EQ(resident.minima, streaming.minima);
+  EXPECT_EQ(resident.data_rounds, streaming.data_rounds);
+  EXPECT_EQ(resident.fabric_bytes, streaming.fabric_bytes);
+  EXPECT_TRUE(resident.metrics == streaming.metrics);
 }
 
 class NetworkTest : public ::testing::Test {

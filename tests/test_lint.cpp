@@ -142,6 +142,17 @@ TEST(VmatLint, MissingNodiscardInCryptoHeaderIsFlagged) {
   EXPECT_TRUE(r.mentions("bad_nodiscard.h:28:")) << r.output;
 }
 
+TEST(VmatLint, EagerRingMaterializationIsFlagged) {
+  // The vector-of-KeyRing member and the per-node ring() sweep are
+  // flagged; the ring_contains() sweep and the allow()-suppressed sweep
+  // are not.
+  const auto r = run_lint("tools/fixtures/src/keys_use/bad_eager_rings.cpp");
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_EQ(r.count("eager-ring-materialization"), 2) << r.output;
+  EXPECT_TRUE(r.mentions("bad_eager_rings.cpp:9:")) << r.output;
+  EXPECT_TRUE(r.mentions("bad_eager_rings.cpp:15:")) << r.output;
+}
+
 TEST(VmatLint, HotPathAllocIsFlagged) {
   // The two raw allocations inside per-frame loops are flagged; the
   // allow()-suppressed copy, the allocation outside any frame loop, and
@@ -171,6 +182,7 @@ TEST(VmatLint, WholeFixtureTreeTotals) {
   const auto r = run_lint("tools/fixtures");
   EXPECT_EQ(r.exit_code, 1);
   EXPECT_EQ(r.count("determinism-rng"), 3) << r.output;
+  EXPECT_EQ(r.count("eager-ring-materialization"), 2) << r.output;
   EXPECT_EQ(r.count("mac-verify-discarded"), 2) << r.output;
   EXPECT_EQ(r.count("key-memcpy"), 1) << r.output;
   EXPECT_EQ(r.count("threadpool-ref-capture"), 2) << r.output;
@@ -179,7 +191,7 @@ TEST(VmatLint, WholeFixtureTreeTotals) {
   EXPECT_EQ(r.count("predicate-purity"), 3) << r.output;
   EXPECT_EQ(r.count("hot-path-alloc"), 2) << r.output;
   EXPECT_EQ(r.count("snapshot-unsafe-state"), 2) << r.output;
-  EXPECT_TRUE(r.mentions("19 violation(s)")) << r.output;
+  EXPECT_TRUE(r.mentions("21 violation(s)")) << r.output;
 }
 
 TEST(VmatLint, RuleFilterRunsOnlyThatRule) {
@@ -202,7 +214,8 @@ TEST(VmatLint, ListRulesIsSortedAndExitsZero) {
   const auto r = run_lint("--list-rules");
   EXPECT_EQ(r.exit_code, 0) << r.output;
   const char* rules[] = {
-      "determinism-rng",       "hot-path-alloc",     "key-memcpy",
+      "determinism-rng",       "eager-ring-materialization",
+      "hot-path-alloc",        "key-memcpy",
       "mac-verify-discarded",  "missing-nodiscard",
       "predicate-purity",      "snapshot-unsafe-state",
       "stdout-in-src",         "threadpool-ref-capture"};

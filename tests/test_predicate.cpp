@@ -16,9 +16,12 @@ using testing::dense_keys;
 
 // --- evaluate_predicate unit tests over hand-built audits ---
 
-NodeAudit sample_audit() {
-  NodeAudit audit;
-  audit.agg.level = 3;
+// Node 5 sits at level 3 with one received and one forwarded record
+// (serial build: shard 0).
+AuditLog sample_audits() {
+  AuditLog audits(8);
+  audits.begin_aggregation(1);
+  audits.set_level(NodeId{5}, 3);
   ReceivedRecord r;
   r.msg.origin = NodeId{9};
   r.msg.instance = 0;
@@ -26,17 +29,17 @@ NodeAudit sample_audit() {
   r.in_edge = KeyIndex{17};
   r.slot = 2;
   r.child_level = 4;
-  audit.agg.received.push_back(r);
+  audits.add_received(0, NodeId{5}, r);
   ForwardRecord f;
   f.msg = r.msg;
   f.out_edge = KeyIndex{23};
   f.parent = NodeId{2};
-  audit.agg.forwarded.push_back(f);
-  return audit;
+  audits.add_forwarded(0, NodeId{5}, f);
+  return audits;
 }
 
 TEST(Predicate, AggForwardedMatchesLevelValueAndWindow) {
-  const NodeAudit audit = sample_audit();
+  const AuditLog audit = sample_audits();
   Predicate p;
   p.kind = PredicateKind::kAggForwardedValue;
   p.instance = 0;
@@ -65,7 +68,7 @@ TEST(Predicate, AggForwardedMatchesLevelValueAndWindow) {
 }
 
 TEST(Predicate, AggReceivedRequiresOwnLevelOneBelow) {
-  const NodeAudit audit = sample_audit();  // own level 3, child level 4
+  const AuditLog audit = sample_audits();  // own level 3, child level 4
   Predicate p;
   p.kind = PredicateKind::kAggReceivedValue;
   p.instance = 0;
@@ -79,8 +82,8 @@ TEST(Predicate, AggReceivedRequiresOwnLevelOneBelow) {
 }
 
 TEST(Predicate, JunkAggKindsBindExactIdentityAndEdge) {
-  const NodeAudit audit = sample_audit();
-  const Digest id_hash = message_identity(audit.agg.forwarded[0].msg);
+  const AuditLog audit = sample_audits();
+  const Digest id_hash = message_identity(audit.forwarded_of(NodeId{5})[0].msg);
   Predicate p;
   p.kind = PredicateKind::kJunkAggForwarded;
   p.level = 3;
@@ -109,7 +112,8 @@ TEST(Predicate, JunkAggKindsBindExactIdentityAndEdge) {
 }
 
 TEST(Predicate, SofKindsMatchIntervalAndEdges) {
-  NodeAudit audit;
+  AuditLog audit(8);
+  audit.begin_aggregation(1);
   SofRecord rec;
   rec.msg.origin = NodeId{4};
   rec.msg.value = 7;
@@ -119,7 +123,7 @@ TEST(Predicate, SofKindsMatchIntervalAndEdges) {
   rec.forward_interval = 3;
   rec.in_edge = KeyIndex{31};
   rec.out_edges = {KeyIndex{40}, KeyIndex{41}};
-  audit.sof = rec;
+  audit.set_sof(0, NodeId{6}, rec);
   const Digest id_hash = message_identity(rec.msg);
 
   Predicate p;
@@ -146,12 +150,12 @@ TEST(Predicate, SofKindsMatchIntervalAndEdges) {
   q.id_hi = NodeId{100};
   EXPECT_TRUE(evaluate_predicate(q, NodeId{6}, audit));
   // Originators never satisfy the received kind.
-  audit.sof->originated = true;
+  audit.sof_mut(NodeId{6})->originated = true;
   EXPECT_FALSE(evaluate_predicate(q, NodeId{6}, audit));
 }
 
 TEST(Predicate, NoAuditNeverSatisfies) {
-  const NodeAudit empty;
+  const AuditLog empty(2);
   for (auto kind : {PredicateKind::kAggForwardedValue,
                     PredicateKind::kAggReceivedValue,
                     PredicateKind::kJunkAggForwarded,
@@ -182,12 +186,10 @@ struct EngineFixture {
     cfg.nonce = 0xaa;
     auto readings = default_readings(net.node_count());
     readings[5] = 1;
-    std::vector<std::vector<Reading>> values(net.node_count());
-    std::vector<std::vector<std::int64_t>> weights(net.node_count());
-    for (std::uint32_t id = 0; id < net.node_count(); ++id) {
-      values[id] = {readings[id]};
-      weights[id] = {0};
-    }
+    ValueTable values(net.node_count(), 1, 0);
+    const ValueTable weights(net.node_count(), 1, 0);
+    for (std::uint32_t id = 0; id < net.node_count(); ++id)
+      values.data[id] = readings[id];
     (void)run_aggregation(net, nullptr, tree, cfg, values, weights, audits);
   }
 
@@ -205,7 +207,7 @@ struct EngineFixture {
 
   Network net;
   TreeResult tree;
-  std::vector<NodeAudit> audits;
+  AuditLog audits;
 };
 
 TEST(PredicateEngine, SucceedsWhenHonestHolderSatisfies) {
@@ -233,7 +235,7 @@ TEST(PredicateEngine, PoolKeyTestReachesAllHolders) {
   CostMeter meter;
   PredicateTestEngine engine(&fx.net, nullptr, &fx.audits, &meter);
   // Use node 3's actual out-edge key: its holder (node 3) satisfies.
-  const KeyIndex out_edge = fx.audits[3].agg.forwarded[0].out_edge;
+  const KeyIndex out_edge = fx.audits.forwarded_of(NodeId{3})[0].out_edge;
   EXPECT_TRUE(engine.run(KeySpec::pool_key(out_edge),
                          fx.forwarded_probe(3, 1)));
 }

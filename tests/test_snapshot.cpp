@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdlib>
+#include <cstring>
 #include <memory>
 #include <string>
 #include <thread>
@@ -224,6 +225,56 @@ TEST(Snapshot, ResumeRejectsIncompatibleDeployment) {
   VmatCoordinator b(&net_b, nullptr, CoordinatorSpec{});
   EXPECT_THROW((void)b.resume_min(snapshot, default_readings(25)),
                std::invalid_argument);
+}
+
+/// Rewrite the first occurrence of the 4-byte little-endian section tag
+/// `from` inside the snapshot buffer to `to`. The Snapshot API is
+/// deliberately opaque, so the tamper goes through data()'s span.
+void retag_section(const Snapshot& snapshot, std::uint32_t from,
+                   std::uint32_t to) {
+  const auto view = snapshot.data();
+  auto* bytes = const_cast<std::uint8_t*>(view.data());
+  std::uint8_t needle[4], replacement[4];
+  std::memcpy(needle, &from, 4);
+  std::memcpy(replacement, &to, 4);
+  for (std::size_t i = 0; i + 4 <= view.size(); ++i) {
+    if (std::memcmp(bytes + i, needle, 4) == 0) {
+      std::memcpy(bytes + i, replacement, 4);
+      return;
+    }
+  }
+  FAIL() << "section tag not found in snapshot buffer";
+}
+
+TEST(Snapshot, ResumeRejectsPreDietSectionLayout) {
+  // The memory diet changed the tree and audit section encodings (CSR
+  // offsets + pooled chains) and renamed their tags TREE→TRE2, AUDT→AUD2.
+  // A snapshot carrying a pre-diet tag must be refused as layout skew, not
+  // misparsed: forward compatibility here is a clean error.
+  constexpr std::uint32_t kTre2 = 0x54524532;  // "TRE2" (current)
+  constexpr std::uint32_t kTree = 0x54524545;  // "TREE" (pre-diet)
+  constexpr std::uint32_t kAud2 = 0x41554432;  // "AUD2" (current)
+  constexpr std::uint32_t kAudt = 0x41554454;  // "AUDT" (pre-diet)
+
+  Network net(Topology::grid(5, 5), dense_keys());
+  VmatCoordinator coordinator(&net, nullptr, CoordinatorSpec{});
+  const auto readings = default_readings(25);
+
+  Snapshot stale_tree = coordinator.snapshot_after_formation();
+  retag_section(stale_tree, kTre2, kTree);
+  EXPECT_THROW((void)coordinator.resume_min(stale_tree, readings),
+               std::invalid_argument);
+
+  Snapshot stale_audit = coordinator.snapshot_after_formation();
+  retag_section(stale_audit, kAud2, kAudt);
+  EXPECT_THROW((void)coordinator.resume_min(stale_audit, readings),
+               std::invalid_argument);
+
+  // The untampered twin still resumes — the rejections above are the tag
+  // checks firing, not collateral corruption.
+  const Snapshot good = coordinator.snapshot_after_formation();
+  EXPECT_EQ(coordinator.resume_min(good, readings).kind,
+            OutcomeKind::kResult);
 }
 
 TEST(Snapshot, RestoreRejectsStaleKeyMaterial) {

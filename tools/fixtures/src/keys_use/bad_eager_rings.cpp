@@ -1,0 +1,32 @@
+// Fixture: eager-ring-materialization — containers of materialized rings
+// and whole-network ring() sweeps (the pre-diet provisioning shape). The
+// ring_contains() sweep and the allow()-suppressed sweep must stay clean.
+#include "keys/predistribution.h"
+
+namespace vmat {
+
+struct EagerRingCache {
+  std::vector<KeyRing> rings_;  // flagged: pre-diet container shape
+};
+
+inline std::size_t sweep_all_rings(const Predistribution& keys) {
+  std::size_t total = 0;
+  for (std::uint32_t id = 0; id < keys.node_count(); ++id)
+    total += keys.ring(NodeId{id}).size();  // flagged: per-node ring()
+  return total;
+}
+
+inline bool lazy_membership_sweep(const Predistribution& keys) {
+  bool any = false;
+  for (std::uint32_t id = 0; id < keys.node_count(); ++id)
+    any = any || keys.ring_contains(NodeId{id}, KeyIndex{3});  // clean
+  return any;
+}
+
+inline void sanctioned_sweep(const Predistribution& keys) {
+  for (std::uint32_t id = 0; id < keys.node_count(); ++id)
+    // vmat-lint: allow(eager-ring-materialization)
+    (void)keys.ring(NodeId{id});
+}
+
+}  // namespace vmat

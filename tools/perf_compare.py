@@ -18,6 +18,10 @@ Gated metrics per shared group:
   * ``fabric_kb``    — deterministic traffic; any drift beyond 0.1% is a
     correctness regression (a second byte-accounting path, a protocol
     change without a re-baseline) and fails regardless of timing.
+  * ``bytes_per_node`` — resident heap footprint (bench_memory). Gated at
+    ±15% (``--memory-threshold``): growth is a memory regression, and a
+    shrink past the band means the diet moved and the baseline is stale —
+    both fail so the committed number stays honest.
 
 Reports carrying non-finite numbers (Infinity/NaN — e.g. the ±inf identity
 extrema of a zero-sample stats group) are malformed and exit 2 with a clear
@@ -87,6 +91,9 @@ def main(argv: list[str]) -> int:
     ap.add_argument("baseline_json")
     ap.add_argument("--threshold", type=float, default=1.25,
                     help="allowed slowdown ratio (default 1.25 = +25%%)")
+    ap.add_argument("--memory-threshold", type=float, default=0.15,
+                    help="allowed bytes_per_node drift, either direction "
+                         "(default 0.15 = ±15%%)")
     args = ap.parse_args(argv)
 
     try:
@@ -129,6 +136,19 @@ def main(argv: list[str]) -> int:
                     verdict = "OK (faster — consider re-baselining)"
                 print(f"{label}: {key} {base_ms:.2f} -> "
                       f"{n[key]:.2f} ({ratio:.2f}x)  {verdict}")
+        if "bytes_per_node" in n and "bytes_per_node" in b \
+                and b["bytes_per_node"] > 0:
+            ratio = n["bytes_per_node"] / b["bytes_per_node"]
+            drift = ratio - 1.0
+            if abs(drift) > args.memory_threshold:
+                kind = ("MEMORY REGRESSION" if drift > 0
+                        else "MEMORY SHRINK — re-baseline")
+                print(f"{label}: bytes_per_node {b['bytes_per_node']:.1f} -> "
+                      f"{n['bytes_per_node']:.1f} ({ratio:.2f}x)  {kind}")
+                failures += 1
+            else:
+                print(f"{label}: bytes_per_node {b['bytes_per_node']:.1f} -> "
+                      f"{n['bytes_per_node']:.1f} ({ratio:.2f}x)  OK")
         if "fabric_kb" in n and "fabric_kb" in b and b["fabric_kb"] > 0:
             drift = abs(n["fabric_kb"] - b["fabric_kb"]) / b["fabric_kb"]
             if drift > 1e-3:

@@ -42,6 +42,16 @@ checkable from source text, as named, individually suppressible rules:
                          arena fabric exists so the per-frame hot path
                          allocates nothing; stage into reusable scratch
                          (RxScratch, ShardBuf) or copy outside the loop.
+  eager-ring-materialization
+                         The large-n memory diet keeps one 8-byte ring
+                         seed per node and re-derives key rings on demand
+                         through Predistribution's small LRU. A container
+                         of materialized KeyRing objects, or a ring()
+                         sweep over every node, is the pre-diet shape: at
+                         10^5..10^6 sensors it either resurrects the n·r
+                         resident index sets or thrashes the LRU. Use
+                         ring_seed()/ring_contains() (or the derive-based
+                         paths) in whole-network loops.
   snapshot-unsafe-state  Classes captured by the copy-on-write snapshot
                          subsystem (any class with a snapshot_save()
                          member) must hold flat, order-independent state:
@@ -641,8 +651,71 @@ def rule_snapshot_unsafe_state(src: SourceFile, report) -> None:
             offset += len(raw) + 1
 
 
+RING_CONTAINER_RE = re.compile(
+    r"\bstd::(?:vector|array|deque)\s*<\s*(?:vmat::)?KeyRing\b"
+    r"|\bnew\s+(?:vmat::)?KeyRing\s*\[")
+# `.ring(` / `->ring(` exactly — `ring_contains(` and `ring_seed(` are the
+# sanctioned lazy alternatives and must not match.
+RING_CALL_RE = re.compile(r"(?:\.|->)ring\s*\(")
+NODE_SWEEP_RE = re.compile(r"\bnode_count\b|\bnode_ids\b|\ball_nodes\b")
+
+
+def rule_eager_ring_materialization(src: SourceFile, report) -> None:
+    if not src.in_dir("src"):
+        return
+    if src.in_dir("keys") and src.basename().startswith(
+            ("predistribution.", "key_ring.")):
+        return  # the lazy provisioning seam itself
+    lines = src.code_lines
+    text = "\n".join(lines)
+    line_starts = [0]
+    for ln in lines:
+        line_starts.append(line_starts[-1] + len(ln) + 1)
+    for i, line in enumerate(lines, start=1):
+        if RING_CONTAINER_RE.search(line):
+            report(i, "container of materialized KeyRing objects — the "
+                      "pre-diet provisioning shape; keep the 8-byte ring "
+                      "seeds and re-derive through Predistribution's LRU")
+    for m in FOR_RE.finditer(text):
+        open_pos = text.index("(", m.start())
+        hdr_end = _balanced_span(text, open_pos)
+        if hdr_end < 0:
+            continue
+        if not NODE_SWEEP_RE.search(text[open_pos:hdr_end]):
+            continue
+        # Body: the brace block (or single statement) after the header.
+        j = hdr_end
+        while j < len(text) and text[j] in " \t\n":
+            j += 1
+        if j >= len(text):
+            continue
+        if text[j] == "{":
+            depth = 0
+            end = -1
+            for k in range(j, len(text)):
+                if text[k] == "{":
+                    depth += 1
+                elif text[k] == "}":
+                    depth -= 1
+                    if depth == 0:
+                        end = k + 1
+                        break
+            if end < 0:
+                continue
+        else:
+            end = text.find(";", j)
+            end = len(text) if end < 0 else end + 1
+        for rm in RING_CALL_RE.finditer(text, j, end):
+            report(bisect.bisect_right(line_starts, rm.start()),
+                   "ring() materialized for every node in a whole-network "
+                   "sweep; this thrashes the LRU and re-derives n rings — "
+                   "use ring_seed()/ring_contains() or the derive-based "
+                   "paths instead")
+
+
 RULES = {
     "determinism-rng": rule_determinism_rng,
+    "eager-ring-materialization": rule_eager_ring_materialization,
     "mac-verify-discarded": rule_mac_verify_discarded,
     "missing-nodiscard": rule_missing_nodiscard,
     "key-memcpy": rule_key_memcpy,
